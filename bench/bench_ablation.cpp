@@ -1,0 +1,137 @@
+// Ablation study over the optimization techniques of Section 7, on the
+// WEBSPAM-UK2007 stand-in (the workload the paper uses to motivate them):
+//
+//   (1) 1P/1PB with both optimizations vs early-acceptance-only vs
+//       early-rejection-only vs neither (extends Table 1's with/without
+//       comparison to the individual techniques);
+//   (2) the early-acceptance threshold tau swept around the paper's 0.5%;
+//   (3) the early-rejection cadence swept around the paper's 5;
+//   (4) accumulate-during-scan vs frozen-scan rejection bounds (the
+//       soundness trade-off documented in one_phase.cc).
+
+#include "bench/bench_common.h"
+
+namespace ioscc {
+namespace bench {
+namespace {
+
+struct Variant {
+  std::string name;
+  SemiExternalOptions options;
+};
+
+void RunVariants(const BenchContext& ctx, const std::string& path,
+                 SccAlgorithm algorithm, const std::vector<Variant>& variants,
+                 const char* title) {
+  std::printf("\n-- %s (%s) --\n", title, AlgorithmName(algorithm));
+  Table table({"variant", "time", "# I/Os", "iterations", "accepted",
+               "rejected"});
+  for (const Variant& variant : variants) {
+    RunOutcome outcome = Run(ctx, algorithm, path, variant.options);
+    table.AddRow({variant.name, TimeCell(outcome), IoCell(outcome),
+                  outcome.Finished()
+                      ? FormatCount(outcome.stats.iterations)
+                      : "-",
+                  FormatCount(outcome.stats.nodes_accepted),
+                  FormatCount(outcome.stats.nodes_rejected)});
+  }
+  table.Print();
+}
+
+int Main(int argc, char** argv) {
+  BenchContext ctx;
+  ctx.scale = 0.002;
+  ctx.time_limit = 60.0;
+  Flags flags;
+  if (!InitBench(argc, argv, &ctx, &flags)) return 1;
+  const uint64_t nodes = static_cast<uint64_t>(ctx.scale * 105'895'908.0);
+  const double degree = flags.GetDouble("degree", 35.0);
+
+  std::string path;
+  Status st = ctx.datasets->WebspamSim(nodes, degree, ctx.seed, &path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "generate: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("== Ablation of the Section 7 optimizations ==\n");
+  PrintDatasetLine("dataset", path);
+  DatasetStats ds;
+  (void)DatasetBuilder::Describe(path, &ds);
+  const SemiExternalOptions base = ctx.Options(ds.node_count);
+
+  // (1) Optimization on/off matrix.
+  for (SccAlgorithm algorithm :
+       {SccAlgorithm::kOnePhaseBatch, SccAlgorithm::kOnePhase}) {
+    std::vector<Variant> variants;
+    {
+      Variant v{"EA + ER (paper defaults)", base};
+      variants.push_back(v);
+    }
+    {
+      Variant v{"EA only", base};
+      v.options.reject_interval = 0;
+      variants.push_back(v);
+    }
+    {
+      Variant v{"ER only", base};
+      v.options.tau_fraction = -1.0;
+      variants.push_back(v);
+    }
+    {
+      Variant v{"neither", base};
+      v.options.tau_fraction = -1.0;
+      v.options.reject_interval = 0;
+      variants.push_back(v);
+    }
+    RunVariants(ctx, path, algorithm, variants,
+                "early acceptance / early rejection matrix");
+  }
+
+  // (2) tau sweep (1PB).
+  {
+    std::vector<Variant> variants;
+    for (double tau : {0.0, 0.001, 0.005, 0.02, 0.1}) {
+      Variant v{"tau = " + FormatPercent(tau), base};
+      v.options.tau_fraction = tau;
+      variants.push_back(v);
+    }
+    RunVariants(ctx, path, SccAlgorithm::kOnePhaseBatch, variants,
+                "early-acceptance threshold tau");
+  }
+
+  // (3) rejection cadence sweep (1PB).
+  {
+    std::vector<Variant> variants;
+    for (uint32_t interval : {1u, 2u, 5u, 10u}) {
+      Variant v{"every " + std::to_string(interval), base};
+      v.options.reject_interval = interval;
+      variants.push_back(v);
+    }
+    RunVariants(ctx, path, SccAlgorithm::kOnePhaseBatch, variants,
+                "early-rejection cadence");
+  }
+
+  // (4) loose vs strict rejection bounds (1P).
+  {
+    std::vector<Variant> variants;
+    {
+      Variant v{"accumulated bounds", base};
+      v.options.strict_rejection = false;
+      variants.push_back(v);
+    }
+    {
+      Variant v{"frozen-scan bounds", base};
+      v.options.strict_rejection = true;
+      variants.push_back(v);
+    }
+    RunVariants(ctx, path, SccAlgorithm::kOnePhase, variants,
+                "rejection bound computation");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ioscc
+
+int main(int argc, char** argv) { return ioscc::bench::Main(argc, argv); }

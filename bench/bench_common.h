@@ -1,0 +1,180 @@
+// Shared plumbing for the per-table/figure bench binaries.
+//
+// Every bench accepts:
+//   --scale=<f>        scale factor vs the paper's dataset sizes
+//   --seed=<n>         generator seed
+//   --time-limit=<s>   per-run wall-clock cap (runs over it print INF,
+//                      exactly like the paper's 5h cap)
+//   --verify           cross-check every finished run against the
+//                      in-memory oracle (slower; loads the graph once)
+//   --verbose          per-iteration progress on stderr
+
+#ifndef IOSCC_BENCH_BENCH_COMMON_H_
+#define IOSCC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/graph_io.h"
+#include "harness/datasets.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "scc/algorithms.h"
+#include "scc/tarjan.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace ioscc {
+namespace bench {
+
+struct BenchContext {
+  double scale = 0.01;
+  uint64_t seed = 42;
+  double time_limit = 60.0;
+  bool verify = false;
+  std::unique_ptr<DatasetBuilder> datasets;
+  // Optional machine-readable sink (--csv=FILE): every sweep table is
+  // appended as CSV alongside the human-readable output.
+  std::FILE* csv = nullptr;
+
+  // The paper's default memory grant M = 4 bytes * 3|V| + one block.
+  SemiExternalOptions Options(uint64_t node_count) const {
+    SemiExternalOptions options;
+    options.time_limit_seconds = time_limit;
+    options.memory_budget_bytes =
+        PaperDefaultMemoryBytes(node_count, kDefaultBlockSize);
+    return options;
+  }
+};
+
+inline bool InitBench(int argc, char** argv, BenchContext* ctx,
+                      Flags* flags_out = nullptr) {
+  Flags flags = Flags::Parse(argc, argv);
+  ctx->scale = flags.GetDouble("scale", ctx->scale);
+  ctx->seed = static_cast<uint64_t>(flags.GetInt("seed", ctx->seed));
+  ctx->time_limit = flags.GetDouble("time-limit", ctx->time_limit);
+  ctx->verify = flags.GetBool("verify", false);
+  if (flags.GetBool("verbose", false)) SetLogLevel(LogLevel::kDebug);
+  const std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty()) {
+    ctx->csv = std::fopen(csv_path.c_str(), "w");
+    if (ctx->csv == nullptr) {
+      std::fprintf(stderr, "cannot open --csv file %s\n", csv_path.c_str());
+      return false;
+    }
+  }
+  Status st = DatasetBuilder::Create(&ctx->datasets);
+  if (!st.ok()) {
+    std::fprintf(stderr, "dataset scratch dir: %s\n", st.ToString().c_str());
+    return false;
+  }
+  if (flags_out != nullptr) *flags_out = flags;
+  return true;
+}
+
+// Runs `algorithm` on `path` under `options`; when ctx.verify is set the
+// result is compared against Tarjan on an in-memory copy.
+inline RunOutcome Run(const BenchContext& ctx, SccAlgorithm algorithm,
+                      const std::string& path,
+                      const SemiExternalOptions& options) {
+  std::optional<SccResult> oracle;
+  if (ctx.verify) {
+    Digraph graph;
+    Status st = LoadDigraph(path, &graph, nullptr);
+    if (st.ok()) oracle = TarjanScc(graph);
+  }
+  std::fprintf(stderr, "  running %-8s on %s ...\n",
+               AlgorithmName(algorithm), path.c_str());
+  RunOutcome outcome = RunAlgorithmOnFile(
+      algorithm, path, options, oracle ? &*oracle : nullptr);
+  std::fprintf(stderr, "  %-8s: %s, %s I/Os (%s)\n",
+               AlgorithmName(algorithm), TimeCell(outcome).c_str(),
+               IoCell(outcome).c_str(), outcome.status.ToString().c_str());
+  return outcome;
+}
+
+// Table 2 of the paper, scaled. At scale = 1.0 these are the paper's
+// parameter defaults (|V| = 30M, degree 5, Massive-SCC 400K, Large-SCC
+// 8K x 50, Small-SCC 40 x 10K).
+struct Table2Defaults {
+  uint64_t nodes;
+  double degree = 5.0;
+  uint64_t massive_size;
+  uint64_t large_size;
+  uint64_t large_count = 50;
+  uint64_t small_size = 40;
+  uint64_t small_count;
+};
+
+inline Table2Defaults ScaledTable2(double scale) {
+  Table2Defaults d;
+  d.nodes = static_cast<uint64_t>(scale * 30e6);
+  d.massive_size = std::max<uint64_t>(100,
+                                      static_cast<uint64_t>(scale * 400e3));
+  d.large_size = std::max<uint64_t>(8, static_cast<uint64_t>(scale * 8e3));
+  d.small_count = std::max<uint64_t>(10,
+                                     static_cast<uint64_t>(scale * 10e3));
+  return d;
+}
+
+// A labeled sweep point (one x-axis value of a figure).
+struct SweepPoint {
+  std::string label;
+  std::string path;
+};
+
+// Runs `algorithms` over every sweep point and prints the two series the
+// paper's figures plot: processing time (a) and # of I/Os (b).
+inline void PrintSweep(const BenchContext& ctx, const std::string& title,
+                       const std::vector<SweepPoint>& points,
+                       const std::vector<SccAlgorithm>& algorithms) {
+  std::vector<std::string> headers = {title};
+  for (SccAlgorithm a : algorithms) headers.push_back(AlgorithmName(a));
+  Table time_table(headers);
+  Table io_table(headers);
+  for (const SweepPoint& point : points) {
+    DatasetStats ds;
+    (void)DatasetBuilder::Describe(point.path, &ds);
+    SemiExternalOptions options = ctx.Options(ds.node_count);
+    std::vector<std::string> time_row = {point.label};
+    std::vector<std::string> io_row = {point.label};
+    for (SccAlgorithm algorithm : algorithms) {
+      RunOutcome outcome = Run(ctx, algorithm, point.path, options);
+      time_row.push_back(TimeCell(outcome));
+      io_row.push_back(IoCell(outcome));
+    }
+    time_table.AddRow(time_row);
+    io_table.AddRow(io_row);
+  }
+  std::printf("\n(a) processing time\n");
+  time_table.Print();
+  std::printf("\n(b) # of block I/Os\n");
+  io_table.Print();
+  if (ctx.csv != nullptr) {
+    std::fprintf(ctx.csv, "# %s: time\n", title.c_str());
+    time_table.AppendCsv(ctx.csv);
+    std::fprintf(ctx.csv, "# %s: block I/Os\n", title.c_str());
+    io_table.AppendCsv(ctx.csv);
+    std::fflush(ctx.csv);
+  }
+}
+
+inline void PrintDatasetLine(const std::string& label,
+                             const std::string& path) {
+  DatasetStats stats;
+  if (DatasetBuilder::Describe(path, &stats).ok()) {
+    std::printf("%s: %s nodes, %s edges\n", label.c_str(),
+                FormatCount(stats.node_count).c_str(),
+                FormatCount(stats.edge_count).c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace ioscc
+
+#endif  // IOSCC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,60 @@
+// Regenerates Fig. 12: WEBSPAM-UK2007 stand-in, varying the induced-
+// subgraph node fraction from 20% to 100%; (a) time, (b) # of I/Os.
+//
+// Shape to reproduce: 1PB-SCC finishes at every size; 1P-SCC stops
+// finishing above ~60%; DFS-SCC and 2P-SCC hit the cap early.
+
+#include "bench/bench_common.h"
+#include "graph/graph_io.h"
+
+namespace ioscc {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchContext ctx;
+  ctx.scale = 0.002;
+  ctx.time_limit = 30.0;
+  Flags flags;
+  if (!InitBench(argc, argv, &ctx, &flags)) return 1;
+  const uint64_t nodes = static_cast<uint64_t>(ctx.scale * 105'895'908.0);
+  const double degree = flags.GetDouble("degree", 35.0);
+
+  std::string full;
+  Status st = ctx.datasets->WebspamSim(nodes, degree, ctx.seed, &full);
+  if (!st.ok()) {
+    std::fprintf(stderr, "generate: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("== Fig. 12: webspam-sim, varying node fraction ==\n");
+  PrintDatasetLine("dataset (100%)", full);
+
+  std::vector<SweepPoint> points;
+  for (int pct : {20, 40, 60, 80, 100}) {
+    SweepPoint point;
+    point.label = std::to_string(pct) + "%";
+    if (pct == 100) {
+      point.path = full;
+    } else {
+      point.path = ctx.datasets->NewPath(".edges");
+      st = InduceSubgraphByNodePrefix(full, pct / 100.0, point.path,
+                                      nullptr);
+      if (!st.ok()) {
+        std::fprintf(stderr, "induce: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    points.push_back(point);
+  }
+
+  PrintSweep(ctx, "fraction", points,
+             {SccAlgorithm::kOnePhaseBatch, SccAlgorithm::kOnePhase,
+              SccAlgorithm::kTwoPhase, SccAlgorithm::kDfs});
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ioscc
+
+int main(int argc, char** argv) { return ioscc::bench::Main(argc, argv); }

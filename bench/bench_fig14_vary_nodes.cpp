@@ -1,0 +1,73 @@
+// Regenerates Fig. 14: synthetic graphs, varying |V| (paper: 30M..70M;
+// scaled by --scale) for the Massive-SCC, Large-SCC and Small-SCC
+// families; (a,c,e) time and (b,d,f) # of I/Os.
+//
+// Shape to reproduce: 1PB-SCC best everywhere; 1P-SCC close on I/O;
+// DFS-SCC grows sharply; 2P-SCC hits the cap on larger graphs
+// (Massive-SCC above 40M in the paper).
+
+#include "bench/bench_common.h"
+
+namespace ioscc {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchContext ctx;
+  ctx.scale = 0.005;
+  ctx.time_limit = 12.0;
+  if (!InitBench(argc, argv, &ctx)) return 1;
+  const Table2Defaults defaults = ScaledTable2(ctx.scale);
+
+  const std::vector<SccAlgorithm> algorithms = {
+      SccAlgorithm::kOnePhaseBatch, SccAlgorithm::kOnePhase,
+      SccAlgorithm::kTwoPhase, SccAlgorithm::kDfs};
+
+  struct Family {
+    const char* name;
+    std::function<PlantedSccSpec(uint64_t nodes)> spec;
+  };
+  const std::vector<Family> families = {
+      {"Massive-SCC",
+       [&](uint64_t nodes) {
+         return MassiveSccSpec(nodes, defaults.degree,
+                               defaults.massive_size, ctx.seed);
+       }},
+      {"Large-SCC",
+       [&](uint64_t nodes) {
+         return LargeSccSpec(nodes, defaults.degree, defaults.large_size,
+                             defaults.large_count, ctx.seed);
+       }},
+      {"Small-SCC",
+       [&](uint64_t nodes) {
+         return SmallSccSpec(nodes, defaults.degree, defaults.small_size,
+                             defaults.small_count, ctx.seed);
+       }},
+  };
+
+  std::printf("== Fig. 14: synthetic data, varying node count ==\n");
+  for (const Family& family : families) {
+    std::printf("\n--- %s ---\n", family.name);
+    std::vector<SweepPoint> points;
+    for (int millions : {30, 40, 50, 60, 70}) {
+      uint64_t nodes = static_cast<uint64_t>(ctx.scale * millions * 1e6);
+      SweepPoint point;
+      point.label = FormatCompact(nodes);
+      Status st = ctx.datasets->FromPlantedSpec(family.spec(nodes),
+                                                &point.path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "generate: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      points.push_back(point);
+    }
+    PrintSweep(ctx, "|V|", points, algorithms);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ioscc
+
+int main(int argc, char** argv) { return ioscc::bench::Main(argc, argv); }

@@ -1,0 +1,71 @@
+// Regenerates Fig. 15: synthetic graphs, varying the average degree 3..7
+// for the three SCC families; (a,c,e) time and (b,d,f) # of I/Os.
+//
+// Shape to reproduce: costs grow with degree for all algorithms; 1PB-SCC
+// grows slowest (batch SCC merging benefits from density); DFS-SCC and
+// 2P-SCC only handle the low-degree end before hitting the cap.
+
+#include "bench/bench_common.h"
+
+namespace ioscc {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchContext ctx;
+  ctx.scale = 0.005;
+  ctx.time_limit = 12.0;
+  if (!InitBench(argc, argv, &ctx)) return 1;
+  const Table2Defaults defaults = ScaledTable2(ctx.scale);
+
+  const std::vector<SccAlgorithm> algorithms = {
+      SccAlgorithm::kOnePhaseBatch, SccAlgorithm::kOnePhase,
+      SccAlgorithm::kTwoPhase, SccAlgorithm::kDfs};
+
+  struct Family {
+    const char* name;
+    std::function<PlantedSccSpec(double degree)> spec;
+  };
+  const std::vector<Family> families = {
+      {"Massive-SCC",
+       [&](double degree) {
+         return MassiveSccSpec(defaults.nodes, degree,
+                               defaults.massive_size, ctx.seed);
+       }},
+      {"Large-SCC",
+       [&](double degree) {
+         return LargeSccSpec(defaults.nodes, degree, defaults.large_size,
+                             defaults.large_count, ctx.seed);
+       }},
+      {"Small-SCC",
+       [&](double degree) {
+         return SmallSccSpec(defaults.nodes, degree, defaults.small_size,
+                             defaults.small_count, ctx.seed);
+       }},
+  };
+
+  std::printf("== Fig. 15: synthetic data, varying average degree ==\n");
+  for (const Family& family : families) {
+    std::printf("\n--- %s ---\n", family.name);
+    std::vector<SweepPoint> points;
+    for (int degree : {3, 4, 5, 6, 7}) {
+      SweepPoint point;
+      point.label = "D=" + std::to_string(degree);
+      Status st = ctx.datasets->FromPlantedSpec(
+          family.spec(static_cast<double>(degree)), &point.path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "generate: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      points.push_back(point);
+    }
+    PrintSweep(ctx, "degree", points, algorithms);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ioscc
+
+int main(int argc, char** argv) { return ioscc::bench::Main(argc, argv); }

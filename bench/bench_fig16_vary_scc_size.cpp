@@ -1,0 +1,82 @@
+// Regenerates Fig. 16: synthetic graphs, varying the planted SCC size
+// (paper: Massive 200K..600K, Large 4K..12K, Small 20..60; the first two
+// are scaled by --scale); (a,c,e) time and (b,d,f) # of I/Os.
+//
+// Shape to reproduce: only 1P-SCC and 1PB-SCC finish the Massive-SCC
+// sweep; 1PB-SCC is best; 2P-SCC only completes the Small-SCC end.
+
+#include "bench/bench_common.h"
+
+namespace ioscc {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchContext ctx;
+  ctx.scale = 0.005;
+  ctx.time_limit = 12.0;
+  if (!InitBench(argc, argv, &ctx)) return 1;
+  const Table2Defaults defaults = ScaledTable2(ctx.scale);
+
+  const std::vector<SccAlgorithm> algorithms = {
+      SccAlgorithm::kOnePhaseBatch, SccAlgorithm::kOnePhase,
+      SccAlgorithm::kTwoPhase, SccAlgorithm::kDfs};
+
+  std::printf("== Fig. 16: synthetic data, varying SCC size ==\n");
+
+  {
+    std::printf("\n--- Massive-SCC ---\n");
+    std::vector<SweepPoint> points;
+    for (int k : {200, 300, 400, 500, 600}) {
+      uint64_t size = std::max<uint64_t>(
+          100, static_cast<uint64_t>(ctx.scale * k * 1e3));
+      SweepPoint point;
+      point.label = FormatCompact(size);
+      Status st = ctx.datasets->FromPlantedSpec(
+          MassiveSccSpec(defaults.nodes, defaults.degree, size, ctx.seed),
+          &point.path);
+      if (!st.ok()) return 1;
+      points.push_back(point);
+    }
+    PrintSweep(ctx, "SCC size", points, algorithms);
+  }
+  {
+    std::printf("\n--- Large-SCC ---\n");
+    std::vector<SweepPoint> points;
+    for (int k : {4, 6, 8, 10, 12}) {
+      uint64_t size = std::max<uint64_t>(
+          4, static_cast<uint64_t>(ctx.scale * k * 1e3));
+      SweepPoint point;
+      point.label = FormatCompact(size);
+      Status st = ctx.datasets->FromPlantedSpec(
+          LargeSccSpec(defaults.nodes, defaults.degree, size,
+                       defaults.large_count, ctx.seed),
+          &point.path);
+      if (!st.ok()) return 1;
+      points.push_back(point);
+    }
+    PrintSweep(ctx, "SCC size", points, algorithms);
+  }
+  {
+    std::printf("\n--- Small-SCC ---\n");
+    std::vector<SweepPoint> points;
+    for (int size : {20, 30, 40, 50, 60}) {
+      SweepPoint point;
+      point.label = std::to_string(size);
+      Status st = ctx.datasets->FromPlantedSpec(
+          SmallSccSpec(defaults.nodes, defaults.degree, size,
+                       defaults.small_count, ctx.seed),
+          &point.path);
+      if (!st.ok()) return 1;
+      points.push_back(point);
+    }
+    PrintSweep(ctx, "SCC size", points, algorithms);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ioscc
+
+int main(int argc, char** argv) { return ioscc::bench::Main(argc, argv); }

@@ -1,0 +1,69 @@
+// Regenerates Fig. 17: synthetic graphs, varying the *number* of planted
+// SCCs (paper: Large 30..70 of 8K nodes; Small 6K..14K of 40 nodes,
+// counts scaled by --scale); (a,c) time and (b,d) # of I/Os.
+//
+// Shape to reproduce: 1PB-SCC and 1P-SCC finish everything with 1PB
+// ahead; 2P-SCC cannot handle Large-SCC and takes hours on Small-SCC;
+// DFS-SCC finishes nothing.
+
+#include "bench/bench_common.h"
+
+namespace ioscc {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchContext ctx;
+  ctx.scale = 0.005;
+  ctx.time_limit = 12.0;
+  if (!InitBench(argc, argv, &ctx)) return 1;
+  const Table2Defaults defaults = ScaledTable2(ctx.scale);
+
+  const std::vector<SccAlgorithm> algorithms = {
+      SccAlgorithm::kOnePhaseBatch, SccAlgorithm::kOnePhase,
+      SccAlgorithm::kTwoPhase, SccAlgorithm::kDfs};
+
+  std::printf("== Fig. 17: synthetic data, varying the number of SCCs "
+              "==\n");
+  {
+    std::printf("\n--- Large-SCC (size %llu) ---\n",
+                static_cast<unsigned long long>(defaults.large_size));
+    std::vector<SweepPoint> points;
+    for (int count : {30, 40, 50, 60, 70}) {
+      SweepPoint point;
+      point.label = std::to_string(count);
+      Status st = ctx.datasets->FromPlantedSpec(
+          LargeSccSpec(defaults.nodes, defaults.degree,
+                       defaults.large_size, count, ctx.seed),
+          &point.path);
+      if (!st.ok()) return 1;
+      points.push_back(point);
+    }
+    PrintSweep(ctx, "# SCCs", points, algorithms);
+  }
+  {
+    std::printf("\n--- Small-SCC (size %llu) ---\n",
+                static_cast<unsigned long long>(defaults.small_size));
+    std::vector<SweepPoint> points;
+    for (int k : {6, 8, 10, 12, 14}) {
+      uint64_t count = std::max<uint64_t>(
+          6, static_cast<uint64_t>(ctx.scale * k * 1e3));
+      SweepPoint point;
+      point.label = FormatCompact(count);
+      Status st = ctx.datasets->FromPlantedSpec(
+          SmallSccSpec(defaults.nodes, defaults.degree,
+                       defaults.small_size, count, ctx.seed),
+          &point.path);
+      if (!st.ok()) return 1;
+      points.push_back(point);
+    }
+    PrintSweep(ctx, "# SCCs", points, algorithms);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ioscc
+
+int main(int argc, char** argv) { return ioscc::bench::Main(argc, argv); }

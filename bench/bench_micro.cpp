@@ -1,0 +1,242 @@
+// Google-benchmark microbenchmarks for the building blocks: union-find,
+// spanning-tree pushdown/ancestor checks, drank refresh, the in-memory
+// oracle, and raw edge-file scan throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "gen/generators.h"
+#include "graph/digraph.h"
+#include "io/edge_file.h"
+#include "io/temp_dir.h"
+#include "io/external_sort.h"
+#include "scc/drank.h"
+#include "scc/kosaraju.h"
+#include "scc/reachability.h"
+#include "scc/spanning_tree.h"
+#include "scc/tarjan.h"
+#include "scc/union_find.h"
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+void BM_UnionFind(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    UnionFind uf(n);
+    for (NodeId i = 0; i < n; ++i) {
+      uf.Union(static_cast<NodeId>(rng.Uniform(n)),
+               static_cast<NodeId>(rng.Uniform(n)));
+    }
+    benchmark::DoNotOptimize(uf.Find(0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UnionFind)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_TreePushdown(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    SpanningTree tree(n);
+    // Random chain of pushdowns: attach each node under a random earlier
+    // one (always legal: the target starts as a star sibling).
+    for (NodeId v = 1; v < n; ++v) {
+      NodeId u = static_cast<NodeId>(rng.Uniform(v));
+      if (!tree.IsAncestor(v, u)) tree.Reparent(v, u);
+    }
+    benchmark::DoNotOptimize(tree.depth(n - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TreePushdown)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_AncestorCheck(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  SpanningTree tree(n);
+  for (NodeId v = 1; v < n; ++v) tree.Reparent(v, v - 1);  // one long path
+  Rng rng(3);
+  for (auto _ : state) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    benchmark::DoNotOptimize(tree.IsAncestor(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AncestorCheck)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_DrankRefresh(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(4);
+  SpanningTree tree(n);
+  std::vector<NodeId> backedge(n, kInvalidNode);
+  for (NodeId v = 1; v < n; ++v) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(v));
+    if (!tree.IsAncestor(v, u)) tree.Reparent(v, u);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (rng.OneIn(0.3)) {
+      NodeId anc = tree.parent(v);
+      if (anc != tree.root() && anc != kInvalidNode) backedge[v] = anc;
+    }
+  }
+  for (auto _ : state) {
+    DrankResult dr = ComputeDrank(tree, backedge);
+    benchmark::DoNotOptimize(dr.drank[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DrankRefresh)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_TarjanScc(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  std::vector<Edge> edges;
+  (void)GenerateUniformEdges(n, 4ull * n, 5, &edges);
+  Digraph graph(n, edges);
+  for (auto _ : state) {
+    SccResult result = TarjanScc(graph);
+    benchmark::DoNotOptimize(result.component.data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_TarjanScc)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_KosarajuScc(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  std::vector<Edge> edges;
+  (void)GenerateUniformEdges(n, 4ull * n, 5, &edges);
+  Digraph graph(n, edges);
+  for (auto _ : state) {
+    SccResult result = KosarajuScc(graph);
+    benchmark::DoNotOptimize(result.component.data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_KosarajuScc)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_CondensationTarjan(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  std::vector<Edge> edges;
+  (void)GenerateUniformEdges(n, 4ull * n, 5, &edges);
+  Digraph graph(n, edges);
+  for (auto _ : state) {
+    SccResult scc;
+    std::vector<NodeId> order;
+    std::vector<Edge> dag = CondensationOf(graph, &scc, &order);
+    benchmark::DoNotOptimize(dag.data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_CondensationTarjan)->Arg(1 << 14);
+
+void BM_CondensationKosaraju(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  std::vector<Edge> edges;
+  (void)GenerateUniformEdges(n, 4ull * n, 5, &edges);
+  Digraph graph(n, edges);
+  for (auto _ : state) {
+    SccResult scc;
+    std::vector<NodeId> order;
+    std::vector<Edge> dag = CondensationOfKosaraju(graph, &scc, &order);
+    benchmark::DoNotOptimize(dag.data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_CondensationKosaraju)->Arg(1 << 14);
+
+void BM_GrailBuild(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(11);
+  std::vector<Edge> edges;
+  for (uint64_t e = 0; e < 4ull * n; ++e) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    if (a != b) edges.push_back(Edge{std::min(a, b), std::max(a, b)});
+  }
+  Digraph dag(n, edges);
+  for (auto _ : state) {
+    GrailIndex index(dag, 2, 7);
+    benchmark::DoNotOptimize(&index);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GrailBuild)->Arg(1 << 14);
+
+void BM_GrailQuery(benchmark::State& state) {
+  const NodeId n = 1 << 14;
+  Rng rng(13);
+  std::vector<Edge> edges;
+  for (uint64_t e = 0; e < 4ull * n; ++e) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    if (a != b) edges.push_back(Edge{std::min(a, b), std::max(a, b)});
+  }
+  Digraph dag(n, edges);
+  GrailIndex index(dag, static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    NodeId v = static_cast<NodeId>(rng.Uniform(n));
+    benchmark::DoNotOptimize(index.Reaches(dag, u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GrailQuery)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ExternalSort(benchmark::State& state) {
+  static std::unique_ptr<TempDir> dir = [] {
+    std::unique_ptr<TempDir> d;
+    (void)TempDir::Create("ioscc-sortbench", &d);
+    return d;
+  }();
+  const NodeId n = 1 << 16;
+  const uint64_t m = static_cast<uint64_t>(state.range(0));
+  std::vector<Edge> edges;
+  (void)GenerateUniformEdges(n, m, 17, &edges);
+  std::string in = dir->NewFilePath(".edges");
+  (void)WriteEdgeFile(in, n, edges, kDefaultBlockSize, nullptr);
+  ExternalSortOptions options;
+  options.memory_budget_bytes = m;  // ~8 runs
+  for (auto _ : state) {
+    std::string out = dir->NewFilePath(".sorted");
+    Status st = SortEdgeFile(in, out, options, dir.get(), nullptr);
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_ExternalSort)->Arg(1 << 18)->Arg(1 << 20);
+
+void BM_EdgeScan(benchmark::State& state) {
+  static std::unique_ptr<TempDir> dir = [] {
+    std::unique_ptr<TempDir> d;
+    (void)TempDir::Create("ioscc-microbench", &d);
+    return d;
+  }();
+  const NodeId n = 1 << 16;
+  const uint64_t m = static_cast<uint64_t>(state.range(0));
+  std::vector<Edge> edges;
+  (void)GenerateUniformEdges(n, m, 6, &edges);
+  std::string path = dir->NewFilePath(".edges");
+  (void)WriteEdgeFile(path, n, edges, kDefaultBlockSize, nullptr);
+  IoStats stats;
+  std::unique_ptr<EdgeScanner> scanner;
+  (void)EdgeScanner::Open(path, &stats, &scanner);
+  for (auto _ : state) {
+    scanner->Reset();
+    Edge edge;
+    uint64_t checksum = 0;
+    while (scanner->Next(&edge)) checksum += edge.from ^ edge.to;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+  state.SetBytesProcessed(state.iterations() * m * sizeof(Edge));
+}
+BENCHMARK(BM_EdgeScan)->Arg(1 << 18)->Arg(1 << 22);
+
+}  // namespace
+}  // namespace ioscc
+
+BENCHMARK_MAIN();

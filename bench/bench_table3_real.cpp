@@ -1,0 +1,99 @@
+// Regenerates Table 3: time and # of I/Os for 1PB-SCC, 1P-SCC, 2P-SCC and
+// DFS-SCC on the three citation-dataset stand-ins (cit-patents,
+// go-uniprot, citeseerx; see DESIGN.md §3 for the substitutions).
+//
+// Shape to reproduce (paper, at full scale): 1P/1PB are 1-2 orders of
+// magnitude faster and cheaper in I/O than 2P and DFS; 1PB uses fewer
+// I/Os than 1P on go-uniprot (small average SCCs) but slightly more on
+// the other two.
+//
+// Also prints the Section 2 analytic comparison: the Buchsbaum et al.
+// theoretical DFS I/O bound vs our measured totals.
+
+#include "bench/bench_common.h"
+#include "harness/theory.h"
+
+namespace ioscc {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchContext ctx;
+  // Generous default cap: DFS-SCC finishes all three datasets (slowest by
+  // 1-2 orders of magnitude), matching the paper's Table 3 shape.
+  ctx.time_limit = 240.0;
+  if (!InitBench(argc, argv, &ctx)) return 1;
+
+  struct Dataset {
+    std::string name;
+    std::string path;
+  };
+  std::vector<Dataset> datasets(3);
+  datasets[0].name = "cit-patents";
+  datasets[1].name = "go-uniprot";
+  datasets[2].name = "citeseerx";
+  Status st = ctx.datasets->CitPatentsSim(ctx.scale, ctx.seed,
+                                          &datasets[0].path);
+  if (st.ok()) {
+    st = ctx.datasets->GoUniprotSim(ctx.scale, ctx.seed, &datasets[1].path);
+  }
+  if (st.ok()) {
+    st = ctx.datasets->CiteseerxSim(ctx.scale, ctx.seed, &datasets[2].path);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "generate: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<SccAlgorithm> algorithms = {
+      SccAlgorithm::kOnePhaseBatch, SccAlgorithm::kOnePhase,
+      SccAlgorithm::kTwoPhase, SccAlgorithm::kDfs};
+
+  std::printf("== Table 3: real-dataset stand-ins (T: time, I/O: block "
+              "I/Os) ==\n");
+  for (const Dataset& d : datasets) PrintDatasetLine(d.name, d.path);
+  std::printf("\n");
+
+  Table table({"Name", "1PB-SCC", "1P-SCC", "2P-SCC", "DFS-SCC"});
+  std::vector<std::vector<RunOutcome>> outcomes(datasets.size());
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    DatasetStats ds;
+    (void)DatasetBuilder::Describe(datasets[i].path, &ds);
+    SemiExternalOptions options = ctx.Options(ds.node_count);
+    for (SccAlgorithm algorithm : algorithms) {
+      outcomes[i].push_back(Run(ctx, algorithm, datasets[i].path, options));
+    }
+  }
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    std::vector<std::string> row = {datasets[i].name + " (T)"};
+    for (const RunOutcome& o : outcomes[i]) row.push_back(TimeCell(o));
+    table.AddRow(row);
+  }
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    std::vector<std::string> row = {datasets[i].name + " (I/O)"};
+    for (const RunOutcome& o : outcomes[i]) row.push_back(IoCell(o));
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf("\n== Section 2 analytic comparison ==\n");
+  Table theory({"Name", "Buchsbaum DFS bound", "1PB-SCC measured"});
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    DatasetStats ds;
+    (void)DatasetBuilder::Describe(datasets[i].path, &ds);
+    SemiExternalOptions options = ctx.Options(ds.node_count);
+    theory.AddRow({datasets[i].name,
+                   FormatCount(TheoryBuchsbaumDfsIos(
+                       ds.node_count, ds.edge_count,
+                       options.memory_budget_bytes, kDefaultBlockSize)),
+                   IoCell(outcomes[i][0])});
+  }
+  theory.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ioscc
+
+int main(int argc, char** argv) { return ioscc::bench::Main(argc, argv); }

@@ -1,0 +1,351 @@
+// scc_tool: command-line driver over the whole library.
+//
+//   Generate a dataset:
+//     $ scc_tool generate --kind=webspam --nodes=100000 --degree=8
+//         --out=/tmp/web.edges
+//     (kinds: webspam, citation, uniform, massive, large, small)
+//
+//   Compute SCCs (any algorithm) and print a component-size histogram:
+//     $ scc_tool run /tmp/web.edges --algorithm=1PB [--verify]
+//
+//   Import/export SNAP-style text edge lists:
+//     $ scc_tool import graph.txt /tmp/graph.edges [--densify=false]
+//     $ scc_tool export /tmp/graph.edges graph.txt
+//
+//   Condense to the DAG representation + topological levels:
+//     $ scc_tool condense /tmp/web.edges /tmp/dag.edges
+//
+//   Integrity + structural statistics:
+//     $ scc_tool verify-file /tmp/web.edges
+//     $ scc_tool stats /tmp/web.edges
+//
+//   Show file metadata:
+//     $ scc_tool info /tmp/web.edges
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gen/generators.h"
+#include "graph/digraph.h"
+#include "graph/graph_io.h"
+#include "harness/table.h"
+#include "io/edge_file.h"
+#include "io/text_import.h"
+#include "io/verify_file.h"
+#include "graph/graph_stats.h"
+#include "scc/condense.h"
+#include "scc/algorithms.h"
+#include "scc/tarjan.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+using namespace ioscc;  // examples only
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: scc_tool generate --kind=... --out=FILE [options]\n"
+               "       scc_tool run FILE [--algorithm=1PB|1P|2P|DFS|EM] "
+               "[--verify] [--time-limit=SECONDS]\n"
+               "       scc_tool info FILE\n"
+               "       scc_tool import TEXT FILE [--densify=false]\n"
+               "       scc_tool export FILE TEXT\n"
+               "       scc_tool condense FILE DAGFILE "
+               "[--algorithm=...]\n"
+               "       scc_tool verify-file FILE\n"
+               "       scc_tool stats FILE\n");
+  return 2;
+}
+
+int Generate(const Flags& flags) {
+  const std::string kind = flags.GetString("kind", "uniform");
+  const std::string out = flags.GetString("out", "");
+  const uint64_t nodes = flags.GetInt("nodes", 100'000);
+  const double degree = flags.GetDouble("degree", 5.0);
+  const uint64_t seed = flags.GetInt("seed", 1);
+  if (out.empty()) return Usage();
+
+  Status st;
+  if (kind == "webspam") {
+    st = GeneratePlantedSccFile(WebspamSpec(nodes, degree, seed), out,
+                                kDefaultBlockSize, nullptr);
+  } else if (kind == "citation") {
+    CitationSpec spec;
+    spec.node_count = nodes;
+    spec.avg_degree = degree;
+    spec.noise_fraction = flags.GetDouble("noise", 0.10);
+    spec.seed = seed;
+    st = GenerateCitationFile(spec, out, kDefaultBlockSize, nullptr);
+  } else if (kind == "uniform") {
+    std::vector<Edge> edges;
+    st = GenerateUniformEdges(nodes,
+                              static_cast<uint64_t>(nodes * degree), seed,
+                              &edges);
+    if (st.ok()) {
+      st = WriteEdgeFile(out, nodes, edges, kDefaultBlockSize, nullptr);
+    }
+  } else if (kind == "massive" || kind == "large" || kind == "small") {
+    PlantedSccSpec spec;
+    if (kind == "massive") {
+      spec = MassiveSccSpec(nodes, degree, flags.GetInt("scc-size", 4000),
+                            seed);
+    } else if (kind == "large") {
+      spec = LargeSccSpec(nodes, degree, flags.GetInt("scc-size", 80),
+                          flags.GetInt("scc-count", 50), seed);
+    } else {
+      spec = SmallSccSpec(nodes, degree, flags.GetInt("scc-size", 40),
+                          flags.GetInt("scc-count", 100), seed);
+    }
+    st = GeneratePlantedSccFile(spec, out, kDefaultBlockSize, nullptr);
+  } else {
+    std::fprintf(stderr, "unknown kind: %s\n", kind.c_str());
+    return 2;
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  EdgeFileInfo info;
+  (void)ReadEdgeFileInfo(out, &info);
+  std::printf("wrote %s: %s nodes, %s edges\n", out.c_str(),
+              FormatCount(info.node_count).c_str(),
+              FormatCount(info.edge_count).c_str());
+  return 0;
+}
+
+int Info(const std::string& path) {
+  EdgeFileInfo info;
+  Status st = ReadEdgeFileInfo(path, &info);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %s nodes, %s edges, block size %zu, %s blocks\n",
+              path.c_str(), FormatCount(info.node_count).c_str(),
+              FormatCount(info.edge_count).c_str(), info.block_size,
+              FormatCount(info.TotalBlocks()).c_str());
+  return 0;
+}
+
+int RunOn(const std::string& path, const Flags& flags) {
+  SccAlgorithm algorithm;
+  Status st = ParseAlgorithm(flags.GetString("algorithm", "1PB"),
+                             &algorithm);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  SemiExternalOptions options;
+  options.time_limit_seconds = flags.GetDouble("time-limit", 0);
+  if (flags.GetBool("verbose", false)) SetLogLevel(LogLevel::kDebug);
+
+  SccResult result;
+  RunStats stats;
+  st = RunScc(algorithm, path, options, &result, &stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", AlgorithmName(algorithm),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %s SCCs, largest %s nodes, %s nodes in non-trivial "
+              "SCCs\n",
+              AlgorithmName(algorithm),
+              FormatCount(result.ComponentCount()).c_str(),
+              FormatCount(result.LargestComponentSize()).c_str(),
+              FormatCount(result.NodesInNontrivialSccs()).c_str());
+  std::printf("%s block I/Os, %llu iterations, %s\n",
+              FormatCount(stats.io.TotalBlockIos()).c_str(),
+              static_cast<unsigned long long>(stats.iterations),
+              FormatSeconds(stats.seconds).c_str());
+
+  // Component-size histogram (log2 buckets).
+  std::map<int, uint64_t> histogram;
+  for (uint32_t size : result.ComponentSizes()) {
+    if (size == 0) continue;
+    int bucket = 0;
+    while ((1u << (bucket + 1)) <= size) ++bucket;
+    ++histogram[bucket];
+  }
+  Table table({"SCC size", "# SCCs"});
+  for (const auto& [bucket, count] : histogram) {
+    std::string label = FormatCount(1ull << bucket) + ".." +
+                        FormatCount((2ull << bucket) - 1);
+    table.AddRow({label, FormatCount(count)});
+  }
+  table.Print();
+
+  if (flags.GetBool("verify", false)) {
+    Digraph graph;
+    st = LoadDigraph(path, &graph, nullptr);
+    if (!st.ok()) {
+      std::fprintf(stderr, "verify load: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    SccResult oracle = TarjanScc(graph);
+    if (result == oracle) {
+      std::printf("verify: OK (matches in-memory Tarjan)\n");
+    } else {
+      std::printf("verify: MISMATCH against in-memory Tarjan!\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int VerifyFile(const std::string& path) {
+  EdgeFileFingerprint fp;
+  Status st = VerifyEdgeFile(path, &fp, nullptr);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: OK — %s nodes, %s edges, stream digest %016llx, "
+              "multiset digest %016llx\n",
+              path.c_str(), FormatCount(fp.node_count).c_str(),
+              FormatCount(fp.edge_count).c_str(),
+              static_cast<unsigned long long>(fp.stream_digest),
+              static_cast<unsigned long long>(fp.multiset_digest));
+  return 0;
+}
+
+int Stats(const std::string& path) {
+  GraphStats stats;
+  Status st = ComputeGraphStats(path, &stats, nullptr);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %s nodes, %s edges (avg degree %.2f, %s self-loops)\n",
+              path.c_str(), FormatCount(stats.node_count).c_str(),
+              FormatCount(stats.edge_count).c_str(), stats.avg_degree,
+              FormatCount(stats.self_loops).c_str());
+  std::printf("max out-degree %s, max in-degree %s; %s sources, %s sinks, "
+              "%s isolated\n",
+              FormatCount(stats.max_out_degree).c_str(),
+              FormatCount(stats.max_in_degree).c_str(),
+              FormatCount(stats.sources).c_str(),
+              FormatCount(stats.sinks).c_str(),
+              FormatCount(stats.isolated).c_str());
+  Table table({"out-degree", "# nodes"});
+  for (size_t b = 0; b < stats.out_degree_histogram.size(); ++b) {
+    if (stats.out_degree_histogram[b] == 0) continue;
+    std::string label =
+        b == 0 ? "0"
+               : FormatCount(1ull << (b - 1)) + ".." +
+                     FormatCount((1ull << b) - 1);
+    table.AddRow({label, FormatCount(stats.out_degree_histogram[b])});
+  }
+  table.Print();
+  return 0;
+}
+
+int Import(const std::string& text, const std::string& edges,
+           const Flags& flags) {
+  TextImportOptions options;
+  options.densify = flags.GetBool("densify", true);
+  options.drop_self_loops = flags.GetBool("drop-self-loops", false);
+  TextImportResult result;
+  Status st = ImportTextEdges(text, edges, options, &result, nullptr);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("imported %s -> %s: %s nodes, %s edges (%s comment lines, "
+              "%s self-loops dropped)\n",
+              text.c_str(), edges.c_str(),
+              FormatCount(result.node_count).c_str(),
+              FormatCount(result.edge_count).c_str(),
+              FormatCount(result.comment_lines).c_str(),
+              FormatCount(result.dropped_self_loops).c_str());
+  return 0;
+}
+
+int Export(const std::string& edges, const std::string& text) {
+  Status st = ExportTextEdges(edges, text, nullptr);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("exported %s -> %s\n", edges.c_str(), text.c_str());
+  return 0;
+}
+
+int Condense(const std::string& graph, const std::string& dag,
+             const Flags& flags) {
+  SccAlgorithm algorithm;
+  Status st = ParseAlgorithm(flags.GetString("algorithm", "1PB"),
+                             &algorithm);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  SemiExternalOptions options;
+  options.time_limit_seconds = flags.GetDouble("time-limit", 0);
+  SccResult scc;
+  RunStats stats;
+  st = RunScc(algorithm, graph, options, &scc, &stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  CondensationStats cstats;
+  IoStats io;
+  st = WriteCondensation(graph, scc, dag, &cstats, &io);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::vector<uint32_t> levels;
+  uint64_t scans = 0;
+  st = TopologicalLevels(dag, &levels, &scans, &io);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  uint32_t depth = 0;
+  for (NodeId v = 0; v < scc.node_count(); ++v) {
+    if (scc.component[v] == v) depth = std::max(depth, levels[v]);
+  }
+  std::printf("condensed %s -> %s: %s components, %s DAG edges, depth %u "
+              "(toposort in %s scans)\n",
+              graph.c_str(), dag.c_str(),
+              FormatCount(cstats.component_count).c_str(),
+              FormatCount(cstats.edge_count).c_str(), depth,
+              FormatCount(scans).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const auto& positional = flags.positional();
+  if (positional.empty()) return Usage();
+  const std::string& command = positional[0];
+  if (command == "generate") return Generate(flags);
+  if (command == "info" && positional.size() == 2) {
+    return Info(positional[1]);
+  }
+  if (command == "run" && positional.size() == 2) {
+    return RunOn(positional[1], flags);
+  }
+  if (command == "import" && positional.size() == 3) {
+    return Import(positional[1], positional[2], flags);
+  }
+  if (command == "export" && positional.size() == 3) {
+    return Export(positional[1], positional[2]);
+  }
+  if (command == "condense" && positional.size() == 3) {
+    return Condense(positional[1], positional[2], flags);
+  }
+  if (command == "verify-file" && positional.size() == 2) {
+    return VerifyFile(positional[1]);
+  }
+  if (command == "stats" && positional.size() == 2) {
+    return Stats(positional[1]);
+  }
+  return Usage();
+}

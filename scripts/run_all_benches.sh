@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs every table/figure bench sequentially and tees the output.
+#
+#   scripts/run_all_benches.sh [build-dir] [output-file]
+#
+# Pass-through flags for individual binaries (scale, seeds, time limits)
+# are documented in bench/bench_common.h; this script uses the defaults,
+# which regenerate every paper artifact at ~1/100-1/200 scale in well
+# under an hour.
+
+set -u
+BUILD_DIR="${1:-build}"
+OUT="${2:-bench_output.txt}"
+
+: > "$OUT"
+for b in \
+  bench_table1_reduction \
+  bench_table3_real \
+  bench_fig12_webspam_scale \
+  bench_fig13_memory \
+  bench_fig14_vary_nodes \
+  bench_fig15_vary_degree \
+  bench_fig16_vary_scc_size \
+  bench_fig17_vary_scc_count \
+  bench_ablation \
+  bench_micro; do
+  echo "===== $b =====" | tee -a "$OUT"
+  "$BUILD_DIR/bench/$b" 2>/dev/null | tee -a "$OUT"
+  echo | tee -a "$OUT"
+done
+echo "full output in $OUT"

@@ -1,0 +1,316 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "io/edge_file.h"
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+// Fisher-Yates shuffle with our deterministic RNG.
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    std::swap((*v)[i - 1], (*v)[rng->Uniform(i)]);
+  }
+}
+
+}  // namespace
+
+uint64_t PlantedSccSpec::PlantedNodes() const {
+  uint64_t total = 0;
+  for (const PlantedComponent& c : components) total += c.size * c.count;
+  return total;
+}
+
+uint64_t PlantedSccSpec::TargetEdges() const {
+  // Structural minimum: a cycle per planted component.
+  uint64_t structural = 0;
+  for (const PlantedComponent& c : components) {
+    structural += c.size * c.count;
+  }
+  uint64_t target = static_cast<uint64_t>(
+      static_cast<double>(node_count) * avg_degree);
+  return std::max(target, structural);
+}
+
+Status GeneratePlantedSccEdges(const PlantedSccSpec& spec,
+                               std::vector<Edge>* edges) {
+  if (spec.node_count == 0) {
+    return Status::InvalidArgument("node_count must be positive");
+  }
+  for (const PlantedComponent& c : spec.components) {
+    if (c.size < 2 && c.count > 0) {
+      return Status::InvalidArgument("planted SCCs need size >= 2");
+    }
+  }
+  if (spec.PlantedNodes() > spec.node_count) {
+    return Status::InvalidArgument(
+        "planted components exceed node_count (" +
+        std::to_string(spec.PlantedNodes()) + " > " +
+        std::to_string(spec.node_count) + ")");
+  }
+
+  const NodeId n = static_cast<NodeId>(spec.node_count);
+  Rng rng(spec.seed);
+
+  // Scatter component members across the id space: permute all node ids and
+  // carve component member sets from the front ("randomly selecting all
+  // nodes in SCCs first").
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  Shuffle(&perm, &rng);
+
+  // comp_of[v]: planted component index of v, or kNone for singletons.
+  constexpr uint32_t kNone = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> comp_of(n, kNone);
+  std::vector<std::vector<NodeId>> members;
+  size_t cursor = 0;
+  for (const PlantedComponent& c : spec.components) {
+    for (uint64_t k = 0; k < c.count; ++k) {
+      std::vector<NodeId> nodes(perm.begin() + cursor,
+                                perm.begin() + cursor + c.size);
+      cursor += c.size;
+      uint32_t id = static_cast<uint32_t>(members.size());
+      for (NodeId v : nodes) comp_of[v] = id;
+      members.push_back(std::move(nodes));
+    }
+  }
+
+  // Hidden topological rank over the condensation: every node gets a rank;
+  // members of one component share theirs. Filler edges always point from
+  // lower to higher rank, so no new cycle (and hence no new SCC) can form.
+  std::vector<uint32_t> rank(n);
+  {
+    std::vector<NodeId> order(perm);  // reuse the scatter permutation basis
+    Shuffle(&order, &rng);
+    uint32_t next_rank = 0;
+    std::vector<uint32_t> comp_rank(members.size(), kNone);
+    for (NodeId v : order) {
+      uint32_t c = comp_of[v];
+      if (c == kNone) {
+        rank[v] = next_rank++;
+      } else if (comp_rank[c] == kNone) {
+        comp_rank[c] = next_rank++;
+        rank[v] = comp_rank[c];
+      } else {
+        rank[v] = comp_rank[c];
+      }
+    }
+  }
+
+  edges->clear();
+  const uint64_t target_edges = spec.TargetEdges();
+  edges->reserve(target_edges);
+
+  // 1) Make each planted component strongly connected: a random Hamiltonian
+  //    cycle, plus |C| random internal chords for robustness (the paper
+  //    "adds edges among the nodes in an SCC until all nodes form an SCC").
+  for (std::vector<NodeId>& nodes : members) {
+    Shuffle(&nodes, &rng);
+    const size_t k = nodes.size();
+    for (size_t i = 0; i < k; ++i) {
+      edges->push_back(Edge{nodes[i], nodes[(i + 1) % k]});
+    }
+    for (size_t i = 0; i < k && edges->size() < target_edges; ++i) {
+      NodeId a = nodes[rng.Uniform(k)];
+      NodeId b = nodes[rng.Uniform(k)];
+      if (a != b) edges->push_back(Edge{a, b});
+    }
+  }
+
+  // 2) Fill the remaining budget with condensation-order-respecting edges.
+  while (edges->size() < target_edges) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    if (a == b) continue;
+    if (rank[a] == rank[b]) {
+      // Same planted component: internal edge, any direction is safe.
+      edges->push_back(Edge{a, b});
+    } else if (rank[a] < rank[b]) {
+      edges->push_back(Edge{a, b});
+    } else {
+      edges->push_back(Edge{b, a});
+    }
+  }
+
+  // Shuffle so the on-disk order carries no structure; semi-external
+  // algorithms must not benefit from accidentally sorted input.
+  Shuffle(edges, &rng);
+  return Status::OK();
+}
+
+Status GeneratePlantedSccFile(const PlantedSccSpec& spec,
+                              const std::string& path, size_t block_size,
+                              IoStats* stats) {
+  std::vector<Edge> edges;
+  IOSCC_RETURN_IF_ERROR(GeneratePlantedSccEdges(spec, &edges));
+  return WriteEdgeFile(path, spec.node_count, edges, block_size, stats);
+}
+
+Status GenerateUniformEdges(uint64_t node_count, uint64_t edge_count,
+                            uint64_t seed, std::vector<Edge>* edges) {
+  if (node_count < 2 && edge_count > 0) {
+    return Status::InvalidArgument("need >= 2 nodes to place edges");
+  }
+  Rng rng(seed);
+  edges->clear();
+  edges->reserve(edge_count);
+  while (edges->size() < edge_count) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(node_count));
+    NodeId b = static_cast<NodeId>(rng.Uniform(node_count));
+    if (a != b) edges->push_back(Edge{a, b});
+  }
+  return Status::OK();
+}
+
+Status GeneratePowerLawEdges(uint64_t node_count, uint64_t edge_count,
+                             double exponent, uint64_t seed,
+                             std::vector<Edge>* edges) {
+  if (node_count < 2 && edge_count > 0) {
+    return Status::InvalidArgument("need >= 2 nodes to place edges");
+  }
+  if (exponent <= 1.0) {
+    return Status::InvalidArgument("power-law exponent must exceed 1");
+  }
+  Rng rng(seed);
+  // Cumulative weights w_i = (i+1)^(-1/(exponent-1)), sampled by binary
+  // search over the prefix sums (node 0 is the heaviest hub).
+  std::vector<double> cumulative(node_count);
+  const double alpha = -1.0 / (exponent - 1.0);
+  double total = 0;
+  for (uint64_t i = 0; i < node_count; ++i) {
+    total += std::pow(static_cast<double>(i + 1), alpha);
+    cumulative[i] = total;
+  }
+  auto sample = [&]() {
+    double x = rng.NextDouble() * total;
+    return static_cast<NodeId>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), x) -
+        cumulative.begin());
+  };
+  edges->clear();
+  edges->reserve(edge_count);
+  while (edges->size() < edge_count) {
+    NodeId a = sample();
+    NodeId b = sample();
+    if (a != b) edges->push_back(Edge{a, b});
+  }
+  return Status::OK();
+}
+
+Status GenerateCitationEdges(const CitationSpec& spec,
+                             std::vector<Edge>* edges) {
+  if (spec.node_count < 2) {
+    return Status::InvalidArgument("citation graph needs >= 2 nodes");
+  }
+  Rng rng(spec.seed);
+  const NodeId n = static_cast<NodeId>(spec.node_count);
+  edges->clear();
+  const uint64_t dag_edges = static_cast<uint64_t>(
+      static_cast<double>(spec.node_count) * spec.avg_degree);
+  edges->reserve(dag_edges + static_cast<uint64_t>(
+                                 spec.noise_fraction * dag_edges) +
+                 1);
+
+  // Temporal DAG: node i cites uniform random earlier nodes. The expected
+  // out-degree is avg_degree, drawn as a small geometric-ish spread so
+  // degree is not constant.
+  for (uint64_t e = 0; e < dag_edges; ++e) {
+    // Pick the citing node biased away from node 0 (which has no one to
+    // cite) by sampling from [1, n).
+    NodeId from = static_cast<NodeId>(1 + rng.Uniform(n - 1));
+    NodeId to = static_cast<NodeId>(rng.Uniform(from));
+    edges->push_back(Edge{from, to});
+  }
+
+  // Extra uniform random edges (the paper's +10% protocol); these are the
+  // only source of cycles.
+  const uint64_t noise =
+      static_cast<uint64_t>(spec.noise_fraction * dag_edges);
+  for (uint64_t e = 0; e < noise;) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    if (a == b) continue;
+    edges->push_back(Edge{a, b});
+    ++e;
+  }
+
+  Shuffle(edges, &rng);
+  return Status::OK();
+}
+
+Status GenerateCitationFile(const CitationSpec& spec, const std::string& path,
+                            size_t block_size, IoStats* stats) {
+  std::vector<Edge> edges;
+  IOSCC_RETURN_IF_ERROR(GenerateCitationEdges(spec, &edges));
+  return WriteEdgeFile(path, spec.node_count, edges, block_size, stats);
+}
+
+PlantedSccSpec MassiveSccSpec(uint64_t node_count, double degree,
+                              uint64_t scc_size, uint64_t seed) {
+  PlantedSccSpec spec;
+  spec.node_count = node_count;
+  spec.avg_degree = degree;
+  spec.components = {{scc_size, 1}};
+  spec.seed = seed;
+  return spec;
+}
+
+PlantedSccSpec LargeSccSpec(uint64_t node_count, double degree,
+                            uint64_t scc_size, uint64_t scc_count,
+                            uint64_t seed) {
+  PlantedSccSpec spec;
+  spec.node_count = node_count;
+  spec.avg_degree = degree;
+  spec.components = {{scc_size, scc_count}};
+  spec.seed = seed;
+  return spec;
+}
+
+PlantedSccSpec SmallSccSpec(uint64_t node_count, double degree,
+                            uint64_t scc_size, uint64_t scc_count,
+                            uint64_t seed) {
+  PlantedSccSpec spec;
+  spec.node_count = node_count;
+  spec.avg_degree = degree;
+  spec.components = {{scc_size, scc_count}};
+  spec.seed = seed;
+  return spec;
+}
+
+PlantedSccSpec WebspamSpec(uint64_t node_count, double degree,
+                           uint64_t seed) {
+  PlantedSccSpec spec;
+  spec.node_count = node_count;
+  spec.avg_degree = degree;
+  spec.seed = seed;
+
+  // Composition measured on the real WEBSPAM-UK2007 (§7.4): the largest SCC
+  // holds 64.8% of all nodes, the runner-up 0.22%, and small SCCs bring the
+  // total SCC coverage to ~80% of nodes.
+  const uint64_t giant = static_cast<uint64_t>(0.648 * node_count);
+  const uint64_t second = std::max<uint64_t>(2, node_count / 450);
+  uint64_t covered = giant + second;
+  const uint64_t coverage_target = static_cast<uint64_t>(0.80 * node_count);
+  spec.components.push_back({giant, 1});
+  spec.components.push_back({second, 1});
+  // Tail: mixture of mid (100), small (10) and tiny (2) SCCs, biased to the
+  // small end like the real distribution (smallest SCC in the data has 2
+  // nodes).
+  const uint64_t tail = coverage_target > covered
+                            ? coverage_target - covered
+                            : 0;
+  const uint64_t mid_nodes = tail / 4;
+  const uint64_t small_nodes = tail / 2;
+  const uint64_t tiny_nodes = tail - mid_nodes - small_nodes;
+  if (mid_nodes >= 100) spec.components.push_back({100, mid_nodes / 100});
+  if (small_nodes >= 10) spec.components.push_back({10, small_nodes / 10});
+  if (tiny_nodes >= 2) spec.components.push_back({2, tiny_nodes / 2});
+  return spec;
+}
+
+}  // namespace ioscc

@@ -1,0 +1,113 @@
+// Synthetic graph generators.
+//
+// Two families:
+//
+//  * Planted-SCC graphs (the paper's synthetic data, Table 2): choose the
+//    SCC node sets first, make each strongly connected (random cycle plus
+//    random internal edges), then fill the rest of the edge budget with
+//    edges that respect a hidden topological order over the condensation —
+//    so the planted components are *exactly* the SCCs of the output. This
+//    property is what lets the Massive-/Large-/Small-SCC experiment
+//    classes control SCC size precisely, and what our property tests
+//    verify against.
+//
+//  * Citation-style graphs (stand-ins for cit-patents / go-uniprot /
+//    citeseerx): a temporal DAG (each node cites uniformly random earlier
+//    nodes) with a fraction of extra uniformly random edges added on top —
+//    the paper's own protocol of adding 10% random edges to the real
+//    citation datasets to create SCCs.
+//
+// All generators are deterministic functions of their seed.
+
+#ifndef IOSCC_GEN_GENERATORS_H_
+#define IOSCC_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+// One tier of planted components: `count` SCCs of `size` nodes each.
+struct PlantedComponent {
+  uint64_t size = 0;
+  uint64_t count = 0;
+};
+
+struct PlantedSccSpec {
+  uint64_t node_count = 0;
+  double avg_degree = 5.0;
+  std::vector<PlantedComponent> components;
+  uint64_t seed = 1;
+
+  // Nodes covered by planted components. Must be <= node_count.
+  uint64_t PlantedNodes() const;
+  // Total edges the generator will emit (node_count * avg_degree, floored,
+  // but at least the structural minimum needed to wire the components).
+  uint64_t TargetEdges() const;
+};
+
+// Generates the planted-SCC graph as an in-memory edge list.
+Status GeneratePlantedSccEdges(const PlantedSccSpec& spec,
+                               std::vector<Edge>* edges);
+
+// Same, written straight to an edge file at `path`.
+Status GeneratePlantedSccFile(const PlantedSccSpec& spec,
+                              const std::string& path, size_t block_size,
+                              IoStats* stats);
+
+// Uniform random digraph: m edges, endpoints uniform, no self-loops.
+Status GenerateUniformEdges(uint64_t node_count, uint64_t edge_count,
+                            uint64_t seed, std::vector<Edge>* edges);
+
+// Heavy-tailed digraph (Chung-Lu style): endpoints drawn with probability
+// proportional to per-node weights w_i ~ i^(-1/(exponent-1)), giving an
+// expected power-law degree distribution with the given exponent
+// (web-graph-like for exponent ~2.1). No self-loops; duplicates possible,
+// as in crawled data.
+Status GeneratePowerLawEdges(uint64_t node_count, uint64_t edge_count,
+                             double exponent, uint64_t seed,
+                             std::vector<Edge>* edges);
+
+// Citation-style graph: node i has ~avg_degree edges to uniform earlier
+// nodes (a DAG); then `noise_fraction` * m_dag extra uniform random edges
+// are added (these create the SCCs). noise_fraction = 0.10 reproduces the
+// paper's protocol for the real citation datasets.
+struct CitationSpec {
+  uint64_t node_count = 0;
+  double avg_degree = 4.0;
+  double noise_fraction = 0.10;
+  uint64_t seed = 1;
+};
+
+Status GenerateCitationEdges(const CitationSpec& spec,
+                             std::vector<Edge>* edges);
+Status GenerateCitationFile(const CitationSpec& spec, const std::string& path,
+                            size_t block_size, IoStats* stats);
+
+// --- Paper experiment families (Table 2 defaults, scaled by `scale`) -------
+//
+// Paper defaults at scale = 1.0: |V| = 30M, degree 5, Massive-SCC 400K,
+// Large-SCC 8K x 50, Small-SCC 40 x 10K. Benches default to scale = 0.01.
+
+PlantedSccSpec MassiveSccSpec(uint64_t node_count, double degree,
+                              uint64_t scc_size, uint64_t seed);
+PlantedSccSpec LargeSccSpec(uint64_t node_count, double degree,
+                            uint64_t scc_size, uint64_t scc_count,
+                            uint64_t seed);
+PlantedSccSpec SmallSccSpec(uint64_t node_count, double degree,
+                            uint64_t scc_size, uint64_t scc_count,
+                            uint64_t seed);
+
+// WEBSPAM-UK2007 stand-in: one giant SCC (~64.8% of nodes), one mid-size
+// SCC (~0.22%), and a tail of small SCCs so that ~80% of all nodes lie in
+// some SCC (the measured composition of the real graph, §7.4).
+PlantedSccSpec WebspamSpec(uint64_t node_count, double degree, uint64_t seed);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_GEN_GENERATORS_H_

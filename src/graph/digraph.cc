@@ -1,0 +1,40 @@
+#include "graph/digraph.h"
+
+#include <cassert>
+
+namespace ioscc {
+
+Digraph::Digraph(NodeId node_count, const std::vector<Edge>& edges)
+    : node_count_(node_count) {
+  offsets_.assign(static_cast<size_t>(node_count) + 1, 0);
+  for (const Edge& edge : edges) {
+    assert(edge.from < node_count && edge.to < node_count);
+    ++offsets_[edge.from + 1];
+  }
+  for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+  targets_.resize(edges.size());
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& edge : edges) {
+    targets_[cursor[edge.from]++] = edge.to;
+  }
+}
+
+Digraph Digraph::Reversed() const {
+  std::vector<Edge> reversed;
+  reversed.reserve(targets_.size());
+  for (NodeId u = 0; u < node_count_; ++u) {
+    for (NodeId v : OutNeighbors(u)) reversed.push_back(Edge{v, u});
+  }
+  return Digraph(node_count_, reversed);
+}
+
+std::vector<Edge> Digraph::ToEdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(targets_.size());
+  for (NodeId u = 0; u < node_count_; ++u) {
+    for (NodeId v : OutNeighbors(u)) edges.push_back(Edge{u, v});
+  }
+  return edges;
+}
+
+}  // namespace ioscc

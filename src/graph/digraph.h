@@ -1,0 +1,53 @@
+// In-memory directed graph in compressed sparse row (CSR) form.
+//
+// Used by the in-memory SCC oracles (Tarjan / Kosaraju), by 1PB-SCC's
+// per-batch graphs, by EM-SCC's partitions, and by the examples. The
+// semi-external algorithms themselves never materialize a Digraph of the
+// full input — they stream edges from disk.
+
+#ifndef IOSCC_GRAPH_DIGRAPH_H_
+#define IOSCC_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ioscc {
+
+class Digraph {
+ public:
+  Digraph() = default;
+
+  // Builds the CSR from an edge list over nodes [0, node_count). Edges with
+  // endpoints >= node_count are undefined behaviour (checked in debug).
+  Digraph(NodeId node_count, const std::vector<Edge>& edges);
+
+  NodeId node_count() const { return node_count_; }
+  uint64_t edge_count() const { return targets_.size(); }
+
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    return {targets_.data() + offsets_[u],
+            targets_.data() + offsets_[u + 1]};
+  }
+
+  uint32_t OutDegree(NodeId u) const {
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  // The same graph with every edge reversed.
+  Digraph Reversed() const;
+
+  // All edges in CSR order (from ascending).
+  std::vector<Edge> ToEdgeList() const;
+
+ private:
+  NodeId node_count_ = 0;
+  std::vector<uint64_t> offsets_;  // size node_count_ + 1
+  std::vector<NodeId> targets_;    // size edge_count
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_GRAPH_DIGRAPH_H_

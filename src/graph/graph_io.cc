@@ -1,0 +1,55 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "io/edge_file.h"
+
+namespace ioscc {
+
+Status LoadDigraph(const std::string& path, Digraph* graph, IoStats* stats) {
+  std::vector<Edge> edges;
+  uint64_t node_count = 0;
+  IOSCC_RETURN_IF_ERROR(ReadAllEdges(path, &edges, &node_count, stats));
+  *graph = Digraph(static_cast<NodeId>(node_count), edges);
+  return Status::OK();
+}
+
+Status SaveDigraph(const Digraph& graph, const std::string& path,
+                   size_t block_size, IoStats* stats) {
+  std::unique_ptr<EdgeWriter> writer;
+  IOSCC_RETURN_IF_ERROR(EdgeWriter::Create(path, graph.node_count(),
+                                           block_size, stats, &writer));
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      IOSCC_RETURN_IF_ERROR(writer->Add(Edge{u, v}));
+    }
+  }
+  return writer->Finish();
+}
+
+Status InduceSubgraphByNodePrefix(const std::string& input, double fraction,
+                                  const std::string& output, IoStats* stats) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in (0, 1]");
+  }
+  std::unique_ptr<EdgeScanner> scanner;
+  IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(input, stats, &scanner));
+  const uint64_t keep =
+      std::max<uint64_t>(1, static_cast<uint64_t>(
+                                std::ceil(fraction * scanner->node_count())));
+  std::unique_ptr<EdgeWriter> writer;
+  IOSCC_RETURN_IF_ERROR(EdgeWriter::Create(
+      output, keep, scanner->info().block_size, stats, &writer));
+  Edge edge;
+  while (scanner->Next(&edge)) {
+    if (edge.from < keep && edge.to < keep) {
+      IOSCC_RETURN_IF_ERROR(writer->Add(edge));
+    }
+  }
+  IOSCC_RETURN_IF_ERROR(scanner->status());
+  return writer->Finish();
+}
+
+}  // namespace ioscc

@@ -1,0 +1,34 @@
+// Bridges between on-disk edge files and in-memory graphs, plus the
+// induced-subgraph extraction used by the WEBSPAM scaling experiment
+// (Fig. 12 varies the fraction of nodes kept).
+
+#ifndef IOSCC_GRAPH_GRAPH_IO_H_
+#define IOSCC_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+// Loads a whole edge file into a CSR graph (small graphs / oracles only).
+Status LoadDigraph(const std::string& path, Digraph* graph, IoStats* stats);
+
+// Writes a CSR graph to an edge file.
+Status SaveDigraph(const Digraph& graph, const std::string& path,
+                   size_t block_size, IoStats* stats);
+
+// Streams `input` and writes the subgraph induced by the first
+// ceil(fraction * n) node ids (relabeled densely 0..n'-1) to `output`.
+// This mirrors the paper's Exp-2 protocol of extracting induced subgraphs
+// over a subset of nodes.
+Status InduceSubgraphByNodePrefix(const std::string& input, double fraction,
+                                  const std::string& output, IoStats* stats);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_GRAPH_GRAPH_IO_H_

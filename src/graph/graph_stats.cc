@@ -1,0 +1,58 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "graph/types.h"
+#include "io/edge_file.h"
+
+namespace ioscc {
+
+Status ComputeGraphStats(const std::string& path, GraphStats* stats,
+                         IoStats* io) {
+  std::unique_ptr<EdgeScanner> scanner;
+  IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(path, io, &scanner));
+  const uint64_t n = scanner->node_count();
+
+  GraphStats local;
+  local.node_count = n;
+  std::vector<uint32_t> out_degree(n, 0);
+  std::vector<uint32_t> in_degree(n, 0);
+  Edge edge;
+  while (scanner->Next(&edge)) {
+    ++local.edge_count;
+    if (edge.from == edge.to) ++local.self_loops;
+    ++out_degree[edge.from];
+    ++in_degree[edge.to];
+  }
+  IOSCC_RETURN_IF_ERROR(scanner->status());
+
+  local.out_degree_histogram.assign(34, 0);
+  for (uint64_t v = 0; v < n; ++v) {
+    local.max_out_degree =
+        std::max<uint64_t>(local.max_out_degree, out_degree[v]);
+    local.max_in_degree =
+        std::max<uint64_t>(local.max_in_degree, in_degree[v]);
+    if (out_degree[v] == 0 && in_degree[v] == 0) {
+      ++local.isolated;
+    } else if (in_degree[v] == 0) {
+      ++local.sources;
+    } else if (out_degree[v] == 0) {
+      ++local.sinks;
+    }
+    int bucket = 0;
+    if (out_degree[v] > 0) {
+      bucket = 1;
+      while ((1u << bucket) <= out_degree[v]) ++bucket;
+    }
+    ++local.out_degree_histogram[std::min<size_t>(
+        bucket, local.out_degree_histogram.size() - 1)];
+  }
+  local.avg_degree =
+      n == 0 ? 0.0
+             : static_cast<double>(local.edge_count) / static_cast<double>(n);
+  *stats = local;
+  return Status::OK();
+}
+
+}  // namespace ioscc

@@ -1,0 +1,39 @@
+// Streaming graph statistics: degree profiles and structural summaries
+// computed in O(|V|) memory from one sequential scan. Used by scc_tool's
+// `stats` command and handy when sizing memory budgets for a dataset.
+
+#ifndef IOSCC_GRAPH_GRAPH_STATS_H_
+#define IOSCC_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+struct GraphStats {
+  uint64_t node_count = 0;
+  uint64_t edge_count = 0;
+  uint64_t self_loops = 0;
+  uint64_t max_out_degree = 0;
+  uint64_t max_in_degree = 0;
+  uint64_t sources = 0;     // in-degree 0 (excluding isolated)
+  uint64_t sinks = 0;       // out-degree 0 (excluding isolated)
+  uint64_t isolated = 0;    // no edges at all
+  double avg_degree = 0;    // m / n
+
+  // out_degree_histogram[0] = # nodes with out-degree 0; bucket b >= 1
+  // holds out-degrees in [2^(b-1), 2^b).
+  std::vector<uint64_t> out_degree_histogram;
+};
+
+// One sequential scan of the edge file at `path`.
+Status ComputeGraphStats(const std::string& path, GraphStats* stats,
+                         IoStats* io);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_GRAPH_GRAPH_STATS_H_

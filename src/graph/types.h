@@ -1,0 +1,43 @@
+// Fundamental graph value types shared by the on-disk and in-memory layers.
+
+#ifndef IOSCC_GRAPH_TYPES_H_
+#define IOSCC_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace ioscc {
+
+// Node identifier. 32 bits supports graphs up to ~4.29G nodes, matching the
+// paper's setup (4 bytes per node id; WEBSPAM-UK2007 has 105.9M nodes).
+using NodeId = uint32_t;
+
+// Sentinel for "no node" (e.g. the parent of the virtual root).
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+// A directed edge u -> v. Exactly 8 bytes; edge files store raw arrays of
+// these, little-endian (we only target little-endian hosts).
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.from == b.from && a.to == b.to;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  }
+};
+
+static_assert(sizeof(Edge) == 8, "Edge must pack to 8 bytes");
+
+// Orders edges by target then source; used when building reverse graphs.
+struct OrderEdgeByTarget {
+  bool operator()(const Edge& a, const Edge& b) const {
+    return a.to != b.to ? a.to < b.to : a.from < b.from;
+  }
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_GRAPH_TYPES_H_

@@ -1,0 +1,94 @@
+#include "harness/datasets.h"
+
+#include <algorithm>
+
+#include "io/edge_file.h"
+
+namespace ioscc {
+namespace {
+
+uint64_t Scaled(double scale, uint64_t paper_count) {
+  return std::max<uint64_t>(
+      1000, static_cast<uint64_t>(scale * static_cast<double>(paper_count)));
+}
+
+}  // namespace
+
+Status DatasetBuilder::Create(std::unique_ptr<DatasetBuilder>* out) {
+  std::unique_ptr<DatasetBuilder> builder(new DatasetBuilder());
+  IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-data", &builder->dir_));
+  *out = std::move(builder);
+  return Status::OK();
+}
+
+Status DatasetBuilder::CitPatentsSim(double scale, uint64_t seed,
+                                     std::string* path) {
+  CitationSpec spec;
+  spec.node_count = Scaled(scale, 3'774'768);
+  spec.avg_degree = 4.37;
+  spec.noise_fraction = 0.10;
+  spec.seed = seed;
+  return FromCitationSpec(spec, path);
+}
+
+Status DatasetBuilder::GoUniprotSim(double scale, uint64_t seed,
+                                    std::string* path) {
+  CitationSpec spec;
+  spec.node_count = Scaled(scale, 6'967'956);
+  spec.avg_degree = 4.99;
+  // go-uniprot's SCCs are smaller on average than the other two datasets
+  // (the effect behind 1PB's I/O win in Table 3); less noise -> smaller,
+  // more scattered cycles.
+  spec.noise_fraction = 0.06;
+  spec.seed = seed;
+  return FromCitationSpec(spec, path);
+}
+
+Status DatasetBuilder::CiteseerxSim(double scale, uint64_t seed,
+                                    std::string* path) {
+  CitationSpec spec;
+  spec.node_count = Scaled(scale, 6'540'399);
+  spec.avg_degree = 2.3;
+  spec.noise_fraction = 0.10;
+  spec.seed = seed;
+  return FromCitationSpec(spec, path);
+}
+
+Status DatasetBuilder::WebspamSim(uint64_t node_count, double degree,
+                                  uint64_t seed, std::string* path) {
+  return FromPlantedSpec(WebspamSpec(node_count, degree, seed), path);
+}
+
+Status DatasetBuilder::Massive(const PlantedSccSpec& spec,
+                               std::string* path) {
+  return FromPlantedSpec(spec, path);
+}
+
+Status DatasetBuilder::FromPlantedSpec(const PlantedSccSpec& spec,
+                                       std::string* path) {
+  *path = dir_->NewFilePath(".edges");
+  return GeneratePlantedSccFile(spec, *path, kDefaultBlockSize,
+                                /*stats=*/nullptr);
+}
+
+Status DatasetBuilder::FromCitationSpec(const CitationSpec& spec,
+                                        std::string* path) {
+  *path = dir_->NewFilePath(".edges");
+  return GenerateCitationFile(spec, *path, kDefaultBlockSize,
+                              /*stats=*/nullptr);
+}
+
+std::string DatasetBuilder::NewPath(const std::string& suffix) {
+  return dir_->NewFilePath(suffix);
+}
+
+Status DatasetBuilder::Describe(const std::string& path,
+                                DatasetStats* stats) {
+  EdgeFileInfo info;
+  IOSCC_RETURN_IF_ERROR(ReadEdgeFileInfo(path, &info));
+  stats->node_count = info.node_count;
+  stats->edge_count = info.edge_count;
+  return Status::OK();
+}
+
+}  // namespace ioscc

@@ -1,0 +1,60 @@
+// Named dataset construction for the benches (the paper's four real
+// datasets as synthetic stand-ins plus the Table 2 synthetic families).
+// Files are built lazily into a scratch directory owned by the builder.
+
+#ifndef IOSCC_HARNESS_DATASETS_H_
+#define IOSCC_HARNESS_DATASETS_H_
+
+#include <memory>
+#include <string>
+
+#include "gen/generators.h"
+#include "io/temp_dir.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+// Real-dataset stand-ins (see DESIGN.md §3 for the substitution rationale).
+// `scale` multiplies the real node counts (1.0 = paper scale; benches
+// default to 0.01). Average degrees match the real graphs.
+struct DatasetStats {
+  std::string name;
+  uint64_t node_count = 0;
+  uint64_t edge_count = 0;
+};
+
+class DatasetBuilder {
+ public:
+  static Status Create(std::unique_ptr<DatasetBuilder>* out);
+
+  // cit-patents: 3.77M nodes, degree 4.37, +10% random edges.
+  Status CitPatentsSim(double scale, uint64_t seed, std::string* path);
+  // go-uniprot: 6.97M nodes, degree 4.99, denser, smaller SCCs.
+  Status GoUniprotSim(double scale, uint64_t seed, std::string* path);
+  // citeseerx: 6.54M nodes, degree 2.3, sparse.
+  Status CiteseerxSim(double scale, uint64_t seed, std::string* path);
+  // WEBSPAM-UK2007: 105.9M nodes, degree ~35 (stand-in uses `degree`).
+  Status WebspamSim(uint64_t node_count, double degree, uint64_t seed,
+                    std::string* path);
+
+  // Table 2 synthetic families.
+  Status Massive(const PlantedSccSpec& spec, std::string* path);
+
+  // Generic: write any planted spec / citation spec.
+  Status FromPlantedSpec(const PlantedSccSpec& spec, std::string* path);
+  Status FromCitationSpec(const CitationSpec& spec, std::string* path);
+
+  // A fresh file path inside the scratch directory (for induced subgraphs
+  // and other derived datasets).
+  std::string NewPath(const std::string& suffix);
+
+  static Status Describe(const std::string& path, DatasetStats* stats);
+
+ private:
+  DatasetBuilder() = default;
+  std::unique_ptr<TempDir> dir_;
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_HARNESS_DATASETS_H_

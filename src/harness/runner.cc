@@ -1,0 +1,38 @@
+#include "harness/runner.h"
+
+#include "harness/table.h"
+
+namespace ioscc {
+
+RunOutcome RunAlgorithmOnFile(SccAlgorithm algorithm, const std::string& path,
+                              const SemiExternalOptions& options,
+                              const SccResult* oracle) {
+  RunOutcome outcome;
+  outcome.status =
+      RunScc(algorithm, path, options, &outcome.result, &outcome.stats);
+  if (outcome.status.ok() && oracle != nullptr &&
+      !(outcome.result == *oracle)) {
+    outcome.status = Status::Internal(
+        std::string(AlgorithmName(algorithm)) +
+        " produced a partition that disagrees with the oracle");
+  }
+  return outcome;
+}
+
+std::string TimeCell(const RunOutcome& outcome) {
+  if (outcome.TimedOut()) return "INF";
+  if (!outcome.status.ok()) return "ERR";
+  return FormatSeconds(outcome.stats.seconds);
+}
+
+std::string IoCell(const RunOutcome& outcome) {
+  if (outcome.TimedOut()) return "INF";
+  if (!outcome.status.ok()) return "ERR";
+  return FormatCount(outcome.stats.io.TotalBlockIos());
+}
+
+uint64_t PaperDefaultMemoryBytes(uint64_t node_count, size_t block_size) {
+  return 4 * 3 * node_count + block_size;
+}
+
+}  // namespace ioscc

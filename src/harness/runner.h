@@ -1,0 +1,44 @@
+// Runs an algorithm on a dataset file and packages the outcome the way the
+// paper reports it (time, # of I/Os, or INF when the cap was hit).
+
+#ifndef IOSCC_HARNESS_RUNNER_H_
+#define IOSCC_HARNESS_RUNNER_H_
+
+#include <string>
+
+#include "scc/algorithms.h"
+#include "scc/options.h"
+#include "scc/scc_result.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+struct RunOutcome {
+  Status status;
+  SccResult result;
+  RunStats stats;
+
+  bool Finished() const { return status.ok(); }
+  bool TimedOut() const { return status.IsIncomplete(); }
+};
+
+// Runs and, if `oracle` is non-null, cross-checks the partition against it
+// (mismatch turns the outcome's status into Internal — benches report it
+// loudly instead of publishing wrong numbers).
+RunOutcome RunAlgorithmOnFile(SccAlgorithm algorithm, const std::string& path,
+                              const SemiExternalOptions& options,
+                              const SccResult* oracle = nullptr);
+
+// "12.3s" / "INF" / "ERR".
+std::string TimeCell(const RunOutcome& outcome);
+// "4,096" / "INF" / "ERR".
+std::string IoCell(const RunOutcome& outcome);
+
+// The paper's default memory grant: 4 bytes * 3|V| + one block, i.e. the
+// three per-node words the BR+-Tree needs plus a single I/O buffer.
+// Used as the baseline for the memory-scaling experiment (Fig. 13).
+uint64_t PaperDefaultMemoryBytes(uint64_t node_count, size_t block_size);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_HARNESS_RUNNER_H_

@@ -1,0 +1,98 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ioscc {
+
+void Table::Print(std::FILE* out) const {
+  std::vector<size_t> width(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      if (c == 0) {
+        std::fprintf(out, "%-*s", static_cast<int>(width[c]), cell.c_str());
+      } else {
+        std::fprintf(out, "  %*s", static_cast<int>(width[c]), cell.c_str());
+      }
+    }
+    std::fputc('\n', out);
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  std::string rule(total, '-');
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::AppendCsv(std::FILE* out) const {
+  auto emit = [out](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) std::fputc(',', out);
+      for (char ch : cells[c]) {
+        if (ch != ',') std::fputc(ch, out);
+      }
+    }
+    std::fputc('\n', out);
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string FormatCount(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  const int size = static_cast<int>(digits.size());
+  const int lead = size % 3;
+  for (int i = 0; i < size; ++i) {
+    if (i != 0 && (i - lead) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[64];
+  if (seconds >= 3600) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fh", seconds / 3600);
+  } else if (seconds >= 100) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fs", seconds);
+  } else if (seconds >= 1) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fs", seconds);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3fs", seconds);
+  }
+  return buffer;
+}
+
+std::string FormatCompact(uint64_t value) {
+  char buffer[64];
+  if (value >= 1'000'000'000ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fG", value / 1e9);
+  } else if (value >= 1'000'000ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fM", value / 1e6);
+  } else if (value >= 10'000ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fK", value / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(value));
+  }
+  return buffer;
+}
+
+std::string FormatPercent(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f%%", fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace ioscc

@@ -1,0 +1,50 @@
+// Console table rendering for the bench harness: each bench binary prints
+// the rows/series of the paper table or figure it regenerates.
+
+#ifndef IOSCC_HARNESS_TABLE_H_
+#define IOSCC_HARNESS_TABLE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ioscc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  // Renders with aligned columns (first column left-aligned, the rest
+  // right-aligned, matching the paper's tables).
+  void Print(std::FILE* out = stdout) const;
+
+  // Appends the table as CSV rows (header + data, comma-separated; commas
+  // inside cells — e.g. FormatCount output — are stripped).
+  void AppendCsv(std::FILE* out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// 1234567 -> "1,234,567".
+std::string FormatCount(uint64_t value);
+
+// Seconds with adaptive precision ("0.42s", "12.3s", "1.2h").
+std::string FormatSeconds(double seconds);
+
+// Compact magnitude ("7.6M", "113K").
+std::string FormatCompact(uint64_t value);
+
+// Percentage with two decimals ("3.02%").
+std::string FormatPercent(double fraction);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_HARNESS_TABLE_H_

@@ -1,0 +1,70 @@
+// Block-granular file storage with logical I/O accounting.
+//
+// This is the "disk" of the external-memory model: all edge data moves
+// through fixed-size blocks, and every block transfer increments IoStats.
+// Files written through BlockFile are always a whole number of blocks long
+// (writers pad the tail block).
+
+#ifndef IOSCC_IO_BLOCK_FILE_H_
+#define IOSCC_IO_BLOCK_FILE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+class BlockFile {
+ public:
+  enum class Mode { kRead, kWrite };
+
+  // Opens `path` for reading or (over)writing. `stats` may be null (no
+  // accounting); otherwise it must outlive the BlockFile.
+  static Status Open(const std::string& path, Mode mode, size_t block_size,
+                     IoStats* stats, std::unique_ptr<BlockFile>* out);
+
+  ~BlockFile();
+
+  BlockFile(const BlockFile&) = delete;
+  BlockFile& operator=(const BlockFile&) = delete;
+
+  // Appends one full block (block_size bytes). Write mode only.
+  Status AppendBlock(const void* data);
+
+  // Reads block `index` (0-based) into `data` (block_size bytes).
+  // Read mode only.
+  Status ReadBlock(uint64_t index, void* data);
+
+  // Flushes buffered writes to the OS. Write mode only.
+  Status Flush();
+
+  // Number of complete blocks currently in the file.
+  uint64_t block_count() const { return block_count_; }
+  size_t block_size() const { return block_size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  BlockFile(std::string path, std::FILE* file, Mode mode, size_t block_size,
+            uint64_t block_count, IoStats* stats)
+      : path_(std::move(path)),
+        file_(file),
+        mode_(mode),
+        block_size_(block_size),
+        block_count_(block_count),
+        stats_(stats) {}
+
+  std::string path_;
+  std::FILE* file_;
+  Mode mode_;
+  size_t block_size_;
+  uint64_t block_count_;
+  uint64_t read_cursor_ = static_cast<uint64_t>(-1);  // last block read + 1
+  IoStats* stats_;
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_IO_BLOCK_FILE_H_

@@ -1,0 +1,140 @@
+// On-disk edge-list format and sequential streaming access.
+//
+// Layout: one header block followed by data blocks of packed Edge records
+// (8 bytes each). The header block stores {magic, version, block size,
+// node count, edge count}; the rest of it is zero padding so that data
+// blocks stay aligned. A graph with m edges therefore occupies
+// 1 + ceil(m / edges_per_block) blocks, and one sequential scan costs
+// exactly that many block reads — the quantity the paper counts.
+//
+// Semi-external algorithms only ever touch edges through EdgeScanner
+// (repeated sequential scans) and EdgeWriter (rewriting a reduced graph),
+// so IoStats gives a faithful I/O count.
+
+#ifndef IOSCC_IO_EDGE_FILE_H_
+#define IOSCC_IO_EDGE_FILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "io/block_file.h"
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+// Parsed header of an edge file.
+struct EdgeFileInfo {
+  uint64_t node_count = 0;
+  uint64_t edge_count = 0;
+  size_t block_size = kDefaultBlockSize;
+
+  // Blocks a full sequential scan reads (header + data).
+  uint64_t TotalBlocks() const {
+    size_t per_block = block_size / sizeof(Edge);
+    return 1 + (edge_count + per_block - 1) / per_block;
+  }
+};
+
+// Reads and validates only the header of `path`.
+Status ReadEdgeFileInfo(const std::string& path, EdgeFileInfo* info);
+
+// Appends edges to a new edge file. Not thread-safe.
+class EdgeWriter {
+ public:
+  // Creates/overwrites `path`. `node_count` may be adjusted later via
+  // set_node_count (e.g. generators that discover n while emitting).
+  static Status Create(const std::string& path, uint64_t node_count,
+                       size_t block_size, IoStats* stats,
+                       std::unique_ptr<EdgeWriter>* out);
+
+  ~EdgeWriter();
+
+  EdgeWriter(const EdgeWriter&) = delete;
+  EdgeWriter& operator=(const EdgeWriter&) = delete;
+
+  Status Add(Edge edge);
+
+  void set_node_count(uint64_t node_count) { node_count_ = node_count; }
+  uint64_t edge_count() const { return edge_count_; }
+
+  // Flushes the tail block and rewrites the header. Must be called exactly
+  // once; no Add() after Finish().
+  Status Finish();
+
+ private:
+  EdgeWriter(std::string path, uint64_t node_count, size_t block_size,
+             IoStats* stats)
+      : path_(std::move(path)),
+        node_count_(node_count),
+        block_size_(block_size),
+        stats_(stats) {}
+
+  Status FlushBlock();
+
+  std::string path_;
+  uint64_t node_count_;
+  size_t block_size_;
+  IoStats* stats_;
+  std::unique_ptr<BlockFile> file_;
+  std::vector<Edge> buffer_;
+  uint64_t edge_count_ = 0;
+  bool finished_ = false;
+};
+
+// Sequentially scans an edge file, possibly multiple times (Reset()).
+class EdgeScanner {
+ public:
+  static Status Open(const std::string& path, IoStats* stats,
+                     std::unique_ptr<EdgeScanner>* out);
+
+  EdgeScanner(const EdgeScanner&) = delete;
+  EdgeScanner& operator=(const EdgeScanner&) = delete;
+
+  // Fills `edge` and returns true, or returns false at end-of-file or on
+  // error (distinguish via status()).
+  bool Next(Edge* edge);
+
+  // Rewinds to the first edge. The next data block read is counted again:
+  // each pass over the file is a fresh sequential scan.
+  void Reset();
+
+  Status status() const { return status_; }
+  uint64_t node_count() const { return info_.node_count; }
+  uint64_t edge_count() const { return info_.edge_count; }
+  const EdgeFileInfo& info() const { return info_; }
+
+ private:
+  EdgeScanner(std::unique_ptr<BlockFile> file, const EdgeFileInfo& info)
+      : file_(std::move(file)), info_(info) {
+    block_.resize(info_.block_size / sizeof(Edge));
+  }
+
+  std::unique_ptr<BlockFile> file_;
+  EdgeFileInfo info_;
+  std::vector<Edge> block_;      // current data block, decoded
+  uint64_t next_block_ = 1;      // next data block index (0 is the header)
+  size_t pos_in_block_ = 0;      // next edge within block_
+  size_t valid_in_block_ = 0;    // edges decoded in block_
+  uint64_t edges_emitted_ = 0;
+  Status status_;
+};
+
+// Convenience: writes `edges` (n = node_count) to `path`.
+Status WriteEdgeFile(const std::string& path, uint64_t node_count,
+                     const std::vector<Edge>& edges, size_t block_size,
+                     IoStats* stats);
+
+// Convenience: reads every edge into memory (tests / small graphs only).
+Status ReadAllEdges(const std::string& path, std::vector<Edge>* edges,
+                    uint64_t* node_count, IoStats* stats);
+
+// Streams `input` to `output` with every edge reversed (v,u for u,v).
+Status ReverseEdgeFile(const std::string& input, const std::string& output,
+                       IoStats* stats);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_IO_EDGE_FILE_H_

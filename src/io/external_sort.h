@@ -1,0 +1,48 @@
+// External merge sort over edge files.
+//
+// Classic two-stage sort under a memory budget: (1) run formation — read as
+// many edges as fit in memory, sort, spill a sorted run; (2) k-way merge of
+// the runs with a loser-tree-style heap, one block buffer per run. All disk
+// traffic goes through the edge-file layer and is counted in IoStats, so a
+// sort costs the textbook sort(m) ≈ (m/B)·(1 + ceil(log_k(runs))) block I/Os.
+//
+// Used to reverse/normalize graphs (DFS-SCC's second pass needs the reversed
+// edge set) and by generators to produce deduplicated edge files.
+
+#ifndef IOSCC_IO_EXTERNAL_SORT_H_
+#define IOSCC_IO_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/types.h"
+#include "io/io_stats.h"
+#include "io/temp_dir.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+enum class EdgeOrder {
+  kBySource,  // (from, to) lexicographic
+  kByTarget,  // (to, from) lexicographic
+};
+
+struct ExternalSortOptions {
+  // Bytes of main memory the sort may use for edge payloads.
+  size_t memory_budget_bytes = 64 * 1024 * 1024;
+  EdgeOrder order = EdgeOrder::kBySource;
+  // Drop exact duplicate edges while merging.
+  bool dedup = false;
+  // Drop self-loops (u,u) while merging.
+  bool drop_self_loops = false;
+};
+
+// Sorts the edge file `input` into a new edge file `output`.
+// `scratch` holds intermediate runs; `stats` may be null.
+Status SortEdgeFile(const std::string& input, const std::string& output,
+                    const ExternalSortOptions& options, TempDir* scratch,
+                    IoStats* stats);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_IO_EXTERNAL_SORT_H_

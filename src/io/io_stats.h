@@ -1,0 +1,38 @@
+// Logical disk I/O accounting.
+//
+// Every block that crosses the disk boundary through the io:: layer is
+// counted here. "# of I/Os" in the paper's tables and figures is
+// blocks_read + blocks_written at the default 64 KiB block size.
+
+#ifndef IOSCC_IO_IO_STATS_H_
+#define IOSCC_IO_IO_STATS_H_
+
+#include <cstdint>
+
+namespace ioscc {
+
+// Default disk block size used throughout (the paper's experimental setup).
+inline constexpr size_t kDefaultBlockSize = 64 * 1024;
+
+struct IoStats {
+  uint64_t blocks_read = 0;
+  uint64_t blocks_written = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  uint64_t TotalBlockIos() const { return blocks_read + blocks_written; }
+
+  void Reset() { *this = IoStats(); }
+
+  IoStats& operator+=(const IoStats& other) {
+    blocks_read += other.blocks_read;
+    blocks_written += other.blocks_written;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    return *this;
+  }
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_IO_IO_STATS_H_

@@ -1,0 +1,52 @@
+#include "io/temp_dir.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+namespace ioscc {
+namespace fs = std::filesystem;
+
+namespace {
+std::atomic<uint64_t> g_dir_counter{0};
+}  // namespace
+
+Status TempDir::Create(const std::string& prefix,
+                       std::unique_ptr<TempDir>* out) {
+  const char* env_root = std::getenv("IOSCC_TMPDIR");
+  std::error_code ec;
+  fs::path root = env_root != nullptr ? fs::path(env_root)
+                                      : fs::temp_directory_path(ec);
+  if (ec) return Status::IoError("temp root unavailable: " + ec.message());
+
+  // Retry with distinct counters in case of collisions.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    uint64_t id = g_dir_counter.fetch_add(1);
+    fs::path candidate =
+        root / (prefix + "." + std::to_string(::getpid()) + "." +
+                std::to_string(id));
+    if (fs::create_directories(candidate, ec) && !ec) {
+      out->reset(new TempDir(candidate.string()));
+      return Status::OK();
+    }
+  }
+  return Status::IoError("could not create temp dir under " + root.string());
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  fs::remove_all(path_, ec);  // best effort
+}
+
+std::string TempDir::FilePath(const std::string& name) const {
+  return (fs::path(path_) / name).string();
+}
+
+std::string TempDir::NewFilePath(const std::string& suffix) {
+  return FilePath("f" + std::to_string(counter_++) + suffix);
+}
+
+}  // namespace ioscc

@@ -1,0 +1,44 @@
+// Scratch-directory management for spill files (edge files, sort runs).
+
+#ifndef IOSCC_IO_TEMP_DIR_H_
+#define IOSCC_IO_TEMP_DIR_H_
+
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace ioscc {
+
+// Owns a uniquely named directory; removes it (and everything inside)
+// on destruction.
+class TempDir {
+ public:
+  // Creates a fresh directory under the system temp root (or $IOSCC_TMPDIR
+  // if set) whose name starts with `prefix`.
+  static Status Create(const std::string& prefix,
+                       std::unique_ptr<TempDir>* out);
+
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  // Returns an absolute path for a file named `name` inside the directory.
+  std::string FilePath(const std::string& name) const;
+
+  // Allocates a fresh unique file name with the given suffix.
+  std::string NewFilePath(const std::string& suffix);
+
+ private:
+  explicit TempDir(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_IO_TEMP_DIR_H_

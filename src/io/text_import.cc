@@ -1,0 +1,138 @@
+#include "io/text_import.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "graph/types.h"
+#include "io/edge_file.h"
+
+namespace ioscc {
+namespace {
+
+// Parses an unsigned integer starting at *p, advancing it. Returns false
+// if no digits are present.
+bool ParseUint(const char** p, uint64_t* value) {
+  const char* s = *p;
+  while (*s == ' ' || *s == '\t') ++s;
+  if (!std::isdigit(static_cast<unsigned char>(*s))) return false;
+  uint64_t v = 0;
+  while (std::isdigit(static_cast<unsigned char>(*s))) {
+    v = v * 10 + static_cast<uint64_t>(*s - '0');
+    ++s;
+  }
+  *p = s;
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+Status ImportTextEdges(const std::string& text_path,
+                       const std::string& edge_path,
+                       const TextImportOptions& options,
+                       TextImportResult* result, IoStats* io) {
+  std::FILE* in = std::fopen(text_path.c_str(), "r");
+  if (in == nullptr) {
+    return Status::IoError("open " + text_path + ": " +
+                           std::strerror(errno));
+  }
+
+  std::unique_ptr<EdgeWriter> writer;
+  Status st = EdgeWriter::Create(edge_path, 0, options.block_size, io,
+                                 &writer);
+  if (!st.ok()) {
+    std::fclose(in);
+    return st;
+  }
+
+  TextImportResult local;
+  std::unordered_map<uint64_t, NodeId> dense;
+  uint64_t max_id = 0;
+  auto map_id = [&](uint64_t raw) -> NodeId {
+    if (!options.densify) {
+      max_id = std::max(max_id, raw);
+      return static_cast<NodeId>(raw);
+    }
+    auto [it, inserted] =
+        dense.emplace(raw, static_cast<NodeId>(dense.size()));
+    return it->second;
+  };
+
+  char line[4096];
+  uint64_t line_number = 0;
+  while (std::fgets(line, sizeof(line), in) != nullptr) {
+    ++line_number;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0' || *p == '\n' || *p == '\r') continue;
+    if (*p == '#' || *p == '%') {
+      ++local.comment_lines;
+      continue;
+    }
+    uint64_t from_raw = 0, to_raw = 0;
+    if (!ParseUint(&p, &from_raw) || !ParseUint(&p, &to_raw)) {
+      std::fclose(in);
+      return Status::Corruption(text_path + ":" +
+                                std::to_string(line_number) +
+                                ": expected '<from> <to>'");
+    }
+    if (!options.densify &&
+        (from_raw > UINT32_MAX - 1 || to_raw > UINT32_MAX - 1)) {
+      std::fclose(in);
+      return Status::InvalidArgument(
+          "node id exceeds 32 bits; use densify");
+    }
+    NodeId from = map_id(from_raw);
+    NodeId to = map_id(to_raw);
+    if (options.drop_self_loops && from == to) {
+      ++local.dropped_self_loops;
+      continue;
+    }
+    st = writer->Add(Edge{from, to});
+    if (!st.ok()) {
+      std::fclose(in);
+      return st;
+    }
+  }
+  const bool read_error = std::ferror(in) != 0;
+  std::fclose(in);
+  if (read_error) return Status::IoError("read " + text_path);
+
+  local.node_count =
+      options.densify ? dense.size()
+                      : (writer->edge_count() > 0 || max_id > 0 ? max_id + 1
+                                                                : 0);
+  local.edge_count = writer->edge_count();
+  writer->set_node_count(local.node_count);
+  IOSCC_RETURN_IF_ERROR(writer->Finish());
+  if (result != nullptr) *result = local;
+  return Status::OK();
+}
+
+Status ExportTextEdges(const std::string& edge_path,
+                       const std::string& text_path, IoStats* io) {
+  std::unique_ptr<EdgeScanner> scanner;
+  IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(edge_path, io, &scanner));
+  std::FILE* out = std::fopen(text_path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::IoError("open " + text_path + ": " +
+                           std::strerror(errno));
+  }
+  std::fprintf(out, "# nodes=%llu edges=%llu\n",
+               static_cast<unsigned long long>(scanner->node_count()),
+               static_cast<unsigned long long>(scanner->edge_count()));
+  Edge edge;
+  while (scanner->Next(&edge)) {
+    std::fprintf(out, "%u %u\n", edge.from, edge.to);
+  }
+  const bool write_error = std::ferror(out) != 0;
+  std::fclose(out);
+  if (write_error) return Status::IoError("write " + text_path);
+  return scanner->status();
+}
+
+}  // namespace ioscc

@@ -1,0 +1,53 @@
+// Text edge-list import/export (SNAP / WebGraph-ascii style).
+//
+// The real datasets the paper evaluates (cit-patents, go-uniprot,
+// citeseerx, WEBSPAM-UK2007) ship as whitespace-separated "u v" lines
+// with '#' comments. ImportTextEdges streams such a file into our binary
+// edge-file format, optionally densifying arbitrary (possibly sparse,
+// 64-bit) ids into 0..n-1.
+
+#ifndef IOSCC_IO_TEXT_IMPORT_H_
+#define IOSCC_IO_TEXT_IMPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+struct TextImportOptions {
+  // Remap arbitrary node ids to dense 0..n-1 (first-seen order). When
+  // false, ids are used as-is and node_count = max id + 1 (ids must fit
+  // in 32 bits).
+  bool densify = true;
+  // Drop self-loops during import.
+  bool drop_self_loops = false;
+  // Block size of the output edge file.
+  size_t block_size = kDefaultBlockSize;
+};
+
+struct TextImportResult {
+  uint64_t node_count = 0;
+  uint64_t edge_count = 0;
+  uint64_t comment_lines = 0;
+  uint64_t dropped_self_loops = 0;
+};
+
+// Parses `text_path` ('#'- or '%'-prefixed lines are comments; each other
+// non-empty line is "<from> <to>" with arbitrary whitespace) and writes
+// the binary edge file to `edge_path`.
+Status ImportTextEdges(const std::string& text_path,
+                       const std::string& edge_path,
+                       const TextImportOptions& options,
+                       TextImportResult* result, IoStats* io);
+
+// Writes the binary edge file at `edge_path` as "u v" lines (one edge per
+// line) with a "# nodes=<n> edges=<m>" header comment.
+Status ExportTextEdges(const std::string& edge_path,
+                       const std::string& text_path, IoStats* io);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_IO_TEXT_IMPORT_H_

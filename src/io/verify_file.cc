@@ -1,0 +1,52 @@
+#include "io/verify_file.h"
+
+#include <memory>
+
+#include "io/edge_file.h"
+
+namespace ioscc {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t HashEdge(Edge edge) {
+  uint64_t h = kFnvOffset;
+  uint64_t packed =
+      (static_cast<uint64_t>(edge.from) << 32) | edge.to;
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (packed >> shift) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+Status VerifyEdgeFile(const std::string& path,
+                      EdgeFileFingerprint* fingerprint, IoStats* io) {
+  std::unique_ptr<EdgeScanner> scanner;
+  IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(path, io, &scanner));
+  EdgeFileFingerprint local;
+  local.node_count = scanner->node_count();
+  local.stream_digest = kFnvOffset;
+
+  Edge edge;
+  while (scanner->Next(&edge)) {
+    ++local.edge_count;
+    uint64_t h = HashEdge(edge);
+    local.stream_digest = (local.stream_digest ^ h) * kFnvPrime;
+    local.multiset_digest += h;
+  }
+  IOSCC_RETURN_IF_ERROR(scanner->status());
+  if (local.edge_count != scanner->edge_count()) {
+    return Status::Corruption(path + ": payload held " +
+                              std::to_string(local.edge_count) +
+                              " edges but the header claims " +
+                              std::to_string(scanner->edge_count()));
+  }
+  if (fingerprint != nullptr) *fingerprint = local;
+  return Status::OK();
+}
+
+}  // namespace ioscc

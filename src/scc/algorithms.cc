@@ -1,0 +1,71 @@
+#include "scc/algorithms.h"
+
+#include "scc/dfs_scc.h"
+#include "scc/em_scc.h"
+#include "scc/one_phase.h"
+#include "scc/one_phase_batch.h"
+#include "scc/two_phase.h"
+
+namespace ioscc {
+
+const char* AlgorithmName(SccAlgorithm algorithm) {
+  switch (algorithm) {
+    case SccAlgorithm::kOnePhaseBatch:
+      return "1PB-SCC";
+    case SccAlgorithm::kOnePhase:
+      return "1P-SCC";
+    case SccAlgorithm::kTwoPhase:
+      return "2P-SCC";
+    case SccAlgorithm::kDfs:
+      return "DFS-SCC";
+    case SccAlgorithm::kEm:
+      return "EM-SCC";
+  }
+  return "?";
+}
+
+Status ParseAlgorithm(const std::string& name, SccAlgorithm* algorithm) {
+  std::string base = name;
+  if (base.size() > 4 && base.substr(base.size() - 4) == "-SCC") {
+    base = base.substr(0, base.size() - 4);
+  }
+  if (base == "1PB") {
+    *algorithm = SccAlgorithm::kOnePhaseBatch;
+  } else if (base == "1P") {
+    *algorithm = SccAlgorithm::kOnePhase;
+  } else if (base == "2P") {
+    *algorithm = SccAlgorithm::kTwoPhase;
+  } else if (base == "DFS") {
+    *algorithm = SccAlgorithm::kDfs;
+  } else if (base == "EM") {
+    *algorithm = SccAlgorithm::kEm;
+  } else {
+    return Status::InvalidArgument("unknown algorithm: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<SccAlgorithm> AllAlgorithms() {
+  return {SccAlgorithm::kOnePhaseBatch, SccAlgorithm::kOnePhase,
+          SccAlgorithm::kTwoPhase, SccAlgorithm::kDfs, SccAlgorithm::kEm};
+}
+
+Status RunScc(SccAlgorithm algorithm, const std::string& path,
+              const SemiExternalOptions& options, SccResult* result,
+              RunStats* stats) {
+  switch (algorithm) {
+    case SccAlgorithm::kOnePhaseBatch:
+      return OnePhaseBatchScc(path, options, result, stats);
+    case SccAlgorithm::kOnePhase:
+      return OnePhaseScc(path, options, result, stats);
+    case SccAlgorithm::kTwoPhase:
+      return TwoPhaseScc(path, options, result, stats);
+    case SccAlgorithm::kDfs:
+      return DfsScc(path, options, result, stats);
+    case SccAlgorithm::kEm:
+      return EmScc(path, options, result, stats);
+  }
+  return Status::InvalidArgument("bad algorithm enum");
+}
+
+}  // namespace ioscc

@@ -1,0 +1,43 @@
+// Uniform entry point over every SCC algorithm in the library.
+//
+// Benches, examples and the property-test sweeps dispatch by name through
+// this registry so new algorithms plug into every harness automatically.
+
+#ifndef IOSCC_SCC_ALGORITHMS_H_
+#define IOSCC_SCC_ALGORITHMS_H_
+
+#include <string>
+#include <vector>
+
+#include "scc/options.h"
+#include "scc/scc_result.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+enum class SccAlgorithm {
+  kOnePhaseBatch,  // 1PB-SCC (Algorithm 8)   — the paper's best
+  kOnePhase,       // 1P-SCC  (Algorithm 6+7)
+  kTwoPhase,       // 2P-SCC  (Algorithm 3-5)
+  kDfs,            // DFS-SCC (Sibeyn et al. baseline)
+  kEm,             // EM-SCC  (Cosgaya-Lozano & Zeh baseline)
+};
+
+// Canonical short name ("1PB-SCC", "1P-SCC", "2P-SCC", "DFS-SCC",
+// "EM-SCC").
+const char* AlgorithmName(SccAlgorithm algorithm);
+
+// Parses a name (case-sensitive, with or without the "-SCC" suffix).
+Status ParseAlgorithm(const std::string& name, SccAlgorithm* algorithm);
+
+// All algorithms in the paper's reporting order.
+std::vector<SccAlgorithm> AllAlgorithms();
+
+// Runs `algorithm` on the edge file at `path`.
+Status RunScc(SccAlgorithm algorithm, const std::string& path,
+              const SemiExternalOptions& options, SccResult* result,
+              RunStats* stats);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_ALGORITHMS_H_

@@ -1,0 +1,73 @@
+#include "scc/condense.h"
+
+#include <memory>
+
+#include "io/edge_file.h"
+
+namespace ioscc {
+
+Status WriteCondensation(const std::string& graph_path, const SccResult& scc,
+                         const std::string& dag_path,
+                         CondensationStats* stats, IoStats* io) {
+  std::unique_ptr<EdgeScanner> scanner;
+  IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(graph_path, io, &scanner));
+  if (scanner->node_count() != scc.node_count()) {
+    return Status::InvalidArgument(
+        "partition size does not match the graph");
+  }
+  std::unique_ptr<EdgeWriter> writer;
+  IOSCC_RETURN_IF_ERROR(EdgeWriter::Create(dag_path, scanner->node_count(),
+                                           scanner->info().block_size, io,
+                                           &writer));
+  CondensationStats local;
+  Edge edge;
+  while (scanner->Next(&edge)) {
+    NodeId cu = scc.component[edge.from];
+    NodeId cv = scc.component[edge.to];
+    if (cu == cv) {
+      ++local.dropped_intra;
+      continue;
+    }
+    IOSCC_RETURN_IF_ERROR(writer->Add(Edge{cu, cv}));
+  }
+  IOSCC_RETURN_IF_ERROR(scanner->status());
+  IOSCC_RETURN_IF_ERROR(writer->Finish());
+  local.edge_count = writer->edge_count();
+  local.component_count = scc.ComponentCount();
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status TopologicalLevels(const std::string& dag_path,
+                         std::vector<uint32_t>* levels, uint64_t* scans,
+                         IoStats* io) {
+  std::unique_ptr<EdgeScanner> scanner;
+  IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(dag_path, io, &scanner));
+  levels->assign(scanner->node_count(), 0);
+  uint64_t scan_count = 0;
+  bool changed = true;
+  // Longest-path relaxation converges after depth(DAG)+1 scans on a DAG;
+  // a cycle would relax forever, so cap at node_count + 1 and report.
+  const uint64_t cap = scanner->node_count() + 1;
+  while (changed) {
+    if (scan_count > cap) {
+      return Status::InvalidArgument(
+          "TopologicalLevels input contains a cycle");
+    }
+    changed = false;
+    ++scan_count;
+    scanner->Reset();
+    Edge edge;
+    while (scanner->Next(&edge)) {
+      if ((*levels)[edge.to] < (*levels)[edge.from] + 1) {
+        (*levels)[edge.to] = (*levels)[edge.from] + 1;
+        changed = true;
+      }
+    }
+    IOSCC_RETURN_IF_ERROR(scanner->status());
+  }
+  if (scans != nullptr) *scans = scan_count;
+  return Status::OK();
+}
+
+}  // namespace ioscc

@@ -1,0 +1,48 @@
+// Condensation utilities: turning an SCC partition into the DAG
+// representation the paper's motivating applications consume
+// (reachability indexing, topological sorting, external bisimulation,
+// graph pattern matching — Section 1).
+//
+// Both operations are semi-external: they stream edge files and keep only
+// O(|V|) state in memory.
+
+#ifndef IOSCC_SCC_CONDENSE_H_
+#define IOSCC_SCC_CONDENSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/io_stats.h"
+#include "scc/scc_result.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+struct CondensationStats {
+  uint64_t component_count = 0;  // nodes of the DAG
+  uint64_t edge_count = 0;       // edges written (duplicates possible)
+  uint64_t dropped_intra = 0;    // intra-SCC edges removed
+};
+
+// Streams `graph_path` once and writes the condensation to `dag_path`:
+// endpoints mapped to their component labels, intra-SCC edges dropped.
+// Component labels keep the original id space (the DAG file's node count
+// equals the graph's); duplicate DAG edges are preserved — pipe through
+// SortEdgeFile with dedup if uniqueness is needed.
+Status WriteCondensation(const std::string& graph_path, const SccResult& scc,
+                         const std::string& dag_path,
+                         CondensationStats* stats, IoStats* io);
+
+// Computes topological levels of a DAG edge file by iterated longest-path
+// relaxation: level[v] = max over edges (u, v) of level[u] + 1, reached
+// after depth(DAG)+1 sequential scans. On return, `levels`[v] is only
+// meaningful for component representatives. `scans` (optional) receives
+// the number of sequential scans used.
+Status TopologicalLevels(const std::string& dag_path,
+                         std::vector<uint32_t>* levels, uint64_t* scans,
+                         IoStats* io);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_CONDENSE_H_

@@ -1,0 +1,58 @@
+#include "scc/dfs_scc.h"
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "io/edge_file.h"
+#include "io/temp_dir.h"
+#include "scc/semi_external_dfs.h"
+#include "util/timer.h"
+
+namespace ioscc {
+
+// Algorithm 2 (DFS-SCC): two semi-external DFS fixpoints.
+//
+//  1. DFS tree of G with natural node priority; take its decreasing
+//     postorder (the Kosaraju finish order).
+//  2. Reverse G externally; DFS tree of the reversed graph with root
+//     priority = that decreasing postorder.
+//
+// Each subtree hanging off the virtual root of the second tree is one
+// SCC: root children are started in decreasing finish order, tree edges
+// are real edges of the reversed graph, and the classical Kosaraju
+// argument applies (see the discussion in semi_external_dfs.h).
+Status DfsScc(const std::string& edge_file,
+              const SemiExternalOptions& options, SccResult* result,
+              RunStats* stats) {
+  Timer timer;
+  Deadline deadline(options.time_limit_seconds);
+
+  EdgeFileInfo info;
+  IOSCC_RETURN_IF_ERROR(ReadEdgeFileInfo(edge_file, &info));
+  const NodeId n = static_cast<NodeId>(info.node_count);
+
+  std::vector<NodeId> priority(n);
+  std::iota(priority.begin(), priority.end(), NodeId{0});
+  std::unique_ptr<DfsForest> first_tree;
+  IOSCC_RETURN_IF_ERROR(BuildSemiExternalDfsTree(
+      edge_file, priority, options, deadline, stats, &first_tree));
+  std::vector<NodeId> decreasing_post = first_tree->DecreasingPostorder();
+  first_tree.reset();
+
+  std::unique_ptr<TempDir> scratch;
+  IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-dfs", &scratch));
+  const std::string reversed = scratch->NewFilePath(".rev");
+  IOSCC_RETURN_IF_ERROR(ReverseEdgeFile(edge_file, reversed, &stats->io));
+
+  std::unique_ptr<DfsForest> second_tree;
+  IOSCC_RETURN_IF_ERROR(BuildSemiExternalDfsTree(
+      reversed, decreasing_post, options, deadline, stats, &second_tree));
+
+  second_tree->LabelRootSubtrees(&result->component);
+  result->Normalize();
+  stats->seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace ioscc

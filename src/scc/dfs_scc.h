@@ -1,0 +1,34 @@
+// DFS-SCC: the semi-external baseline of Sibeyn, Abello and Meyer
+// (SPAA'02), as described in Section 4 of the paper (Algorithms 1 and 2).
+//
+// Semi-external DFS-tree fixpoint: keep a spanning tree in memory, scan
+// the edge stream, and whenever a forward-cross edge (u, v) is found —
+// no ancestor/descendant relation and preorder(u) < preorder(v) — move v
+// under u. When a full scan finds no forward-cross edge, the tree is a DFS
+// tree (the classical characterization: a spanning tree is a DFS tree iff
+// no forward-cross edges exist). Preorders are reassigned after every
+// scan, which is the global renumbering cost the paper calls Cost-3.
+//
+// SCCs via Kosaraju-Sharir: run the fixpoint on G with node priority
+// 0..n-1, take the decreasing postorder of the resulting tree, reverse the
+// graph externally, run the fixpoint again with that priority, and report
+// each subtree hanging off the virtual root as one SCC.
+
+#ifndef IOSCC_SCC_DFS_SCC_H_
+#define IOSCC_SCC_DFS_SCC_H_
+
+#include <string>
+
+#include "scc/options.h"
+#include "scc/scc_result.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+Status DfsScc(const std::string& edge_file,
+              const SemiExternalOptions& options, SccResult* result,
+              RunStats* stats);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_DFS_SCC_H_

@@ -1,0 +1,77 @@
+#include "scc/drank.h"
+
+#include <algorithm>
+
+#include "graph/digraph.h"
+#include "scc/tarjan.h"
+
+namespace ioscc {
+
+DrankResult ComputeDrank(const SpanningTree& tree,
+                         const std::vector<NodeId>& backedge) {
+  const NodeId n = tree.real_node_count();
+  const NodeId total = n + 1;  // + virtual root
+
+  // Reachability structure: tree edges (parent -> child) + stored backward
+  // edges. Note the virtual root participates (its children are reachable
+  // from it) but nothing reaches it via backedges, so its drank stays 0.
+  std::vector<Edge> edges;
+  edges.reserve(2 * static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId p = tree.parent(v);
+    if (p != kInvalidNode) edges.push_back(Edge{p, v});
+    if (backedge[v] != kInvalidNode) edges.push_back(Edge{v, backedge[v]});
+  }
+  Digraph structure(total, edges);
+
+  SccResult comp;
+  std::vector<NodeId> emit_order;  // successors emitted before predecessors
+  std::vector<Edge> dag_edges = CondensationOf(structure, &comp, &emit_order);
+
+  // Per-component minimum over members.
+  DrankResult result;
+  result.drank.assign(total, 0);
+  result.dlink.assign(total, kInvalidNode);
+  std::vector<uint32_t> comp_min(total, UINT32_MAX);
+  std::vector<NodeId> comp_arg(total, kInvalidNode);
+  for (NodeId v = 0; v < total; ++v) {
+    NodeId c = comp.component[v];
+    uint32_t d = tree.depth(v);
+    if (d < comp_min[c] || (d == comp_min[c] && v < comp_arg[c])) {
+      comp_min[c] = d;
+      comp_arg[c] = v;
+    }
+  }
+
+  // Out-adjacency of the condensation, grouped by source component.
+  std::vector<uint32_t> head(total + 1, 0);
+  for (const Edge& e : dag_edges) ++head[e.from + 1];
+  for (size_t i = 1; i < head.size(); ++i) head[i] += head[i - 1];
+  std::vector<NodeId> adj(dag_edges.size());
+  {
+    std::vector<uint32_t> cursor(head.begin(), head.end() - 1);
+    for (const Edge& e : dag_edges) adj[cursor[e.from]++] = e.to;
+  }
+
+  // Tarjan emits components with all successors already emitted, so one
+  // pass in emission order finalizes the minimum reachable depth.
+  for (NodeId c : emit_order) {
+    for (uint32_t i = head[c]; i < head[c + 1]; ++i) {
+      NodeId succ = adj[i];
+      if (comp_min[succ] < comp_min[c] ||
+          (comp_min[succ] == comp_min[c] && comp_arg[succ] < comp_arg[c])) {
+        comp_min[c] = comp_min[succ];
+        comp_arg[c] = comp_arg[succ];
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < total; ++v) {
+    NodeId c = comp.component[v];
+    result.drank[v] = comp_min[c];
+    result.dlink[v] = comp_arg[c];
+  }
+  return result;
+}
+
+}  // namespace ioscc

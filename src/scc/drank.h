@@ -1,0 +1,39 @@
+// Exact drank / dlink over a BR+-Tree (Section 5 of the paper).
+//
+//   drank(u, T) = min{ depth(v, T) : v in Rset(u, G, T) }
+//   dlink(u, T) = the node attaining that minimum
+//
+// where Rset(u) is everything u can reach inside the BR+-Tree: following
+// tree edges downward (parent -> child, which are real graph edges) and
+// stored backward edges (node -> recorded ancestor). We compute the exact
+// closure, I/O-free, by condensing the (<= 2|V|)-edge in-memory structure
+// with Tarjan and propagating the minimum over the condensation in
+// topological order. O(|V|) time and memory per refresh.
+
+#ifndef IOSCC_SCC_DRANK_H_
+#define IOSCC_SCC_DRANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "scc/spanning_tree.h"
+
+namespace ioscc {
+
+struct DrankResult {
+  // Indexed by node id (0..n-1 real nodes; index n = virtual root).
+  std::vector<uint32_t> drank;
+  std::vector<NodeId> dlink;
+};
+
+// `backedge[v]` is the stored backward-edge target of v (an ancestor of v
+// in `tree`) or kInvalidNode. Vector size must be tree.real_node_count().
+// Detached (removed) nodes keep drank = depth = stale values; callers must
+// not query them.
+DrankResult ComputeDrank(const SpanningTree& tree,
+                         const std::vector<NodeId>& backedge);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_DRANK_H_

@@ -1,0 +1,175 @@
+#include "scc/em_scc.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "io/edge_file.h"
+#include "io/temp_dir.h"
+#include "scc/tarjan.h"
+#include "scc/union_find.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ioscc {
+namespace {
+
+// Runs the in-memory oracle on the subgraph induced by `chunk` (edges over
+// representatives) and merges each discovered multi-member SCC in `uf`.
+// Node ids are compacted before building the Digraph so the cost scales
+// with the chunk, not with |V|.
+uint64_t ContractChunk(const std::vector<Edge>& chunk, UnionFind* uf) {
+  if (chunk.empty()) return 0;
+  // Compact the endpoint ids so the oracle's cost scales with the chunk.
+  std::vector<NodeId> nodes;
+  nodes.reserve(chunk.size() * 2);
+  for (const Edge& e : chunk) {
+    nodes.push_back(e.from);
+    nodes.push_back(e.to);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  auto dense = [&](NodeId v) {
+    return static_cast<NodeId>(
+        std::lower_bound(nodes.begin(), nodes.end(), v) - nodes.begin());
+  };
+  std::vector<Edge> local;
+  local.reserve(chunk.size());
+  for (const Edge& e : chunk) {
+    local.push_back(Edge{dense(e.from), dense(e.to)});
+  }
+  Digraph graph(static_cast<NodeId>(nodes.size()), local);
+  SccResult scc = TarjanScc(graph);
+
+  uint64_t merged = 0;
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    NodeId label = scc.component[v];
+    if (label != v) {
+      uf->Union(nodes[label], nodes[v]);
+      ++merged;
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+Status EmScc(const std::string& edge_file, const SemiExternalOptions& options,
+             SccResult* result, RunStats* stats) {
+  Timer timer;
+  Deadline deadline(options.time_limit_seconds);
+
+  std::unique_ptr<TempDir> scratch;
+  IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-em", &scratch));
+
+  std::unique_ptr<EdgeScanner> scanner;
+  IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(edge_file, &stats->io, &scanner));
+  const NodeId n = static_cast<NodeId>(scanner->node_count());
+  UnionFind uf(n);
+
+  const size_t chunk_capacity = std::max<size_t>(
+      1024, options.memory_budget_bytes / sizeof(Edge));
+  const uint64_t max_iterations =
+      options.max_iterations > 0 ? options.max_iterations : 64;
+
+  std::string current = edge_file;
+  uint64_t live_edges = scanner->edge_count();
+
+  while (true) {
+    if (deadline.Expired()) {
+      return Status::Incomplete("EM-SCC hit the time limit");
+    }
+    if (live_edges <= chunk_capacity) {
+      // Fits in memory: final in-memory pass over representatives.
+      std::vector<Edge> edges;
+      edges.reserve(live_edges);
+      scanner->Reset();
+      Edge e;
+      while (scanner->Next(&e)) {
+        NodeId a = uf.Find(e.from), b = uf.Find(e.to);
+        if (a != b) edges.push_back(Edge{a, b});
+      }
+      IOSCC_RETURN_IF_ERROR(scanner->status());
+      ContractChunk(edges, &uf);
+      break;
+    }
+
+    if (stats->iterations >= max_iterations) {
+      return Status::Incomplete(
+          "EM-SCC stopped shrinking (Case-1/Case-2 of Section 4) after " +
+          std::to_string(stats->iterations) + " iterations");
+    }
+    ++stats->iterations;
+
+    // One pass: contract per chunk, and rewrite the stream remapped to
+    // representatives with intra-SCC edges dropped.
+    const std::string next_path = scratch->NewFilePath(".edges");
+    std::unique_ptr<EdgeWriter> writer;
+    IOSCC_RETURN_IF_ERROR(EdgeWriter::Create(next_path, n,
+                                             options.scratch_block_size,
+                                             &stats->io, &writer));
+    std::vector<Edge> chunk;
+    chunk.reserve(chunk_capacity);
+    uint64_t merged = 0;
+    scanner->Reset();
+    Edge e;
+    while (scanner->Next(&e)) {
+      NodeId a = uf.Find(e.from), b = uf.Find(e.to);
+      if (a == b) continue;
+      chunk.push_back(Edge{a, b});
+      if (chunk.size() >= chunk_capacity) {
+        merged += ContractChunk(chunk, &uf);
+        // Flush the chunk remapped to post-contraction representatives.
+        for (const Edge& ce : chunk) {
+          NodeId ca = uf.Find(ce.from), cb = uf.Find(ce.to);
+          if (ca != cb) IOSCC_RETURN_IF_ERROR(writer->Add(Edge{ca, cb}));
+        }
+        chunk.clear();
+      }
+    }
+    IOSCC_RETURN_IF_ERROR(scanner->status());
+    if (!chunk.empty()) {
+      merged += ContractChunk(chunk, &uf);
+      for (const Edge& ce : chunk) {
+        NodeId ca = uf.Find(ce.from), cb = uf.Find(ce.to);
+        if (ca != cb) IOSCC_RETURN_IF_ERROR(writer->Add(Edge{ca, cb}));
+      }
+      chunk.clear();
+    }
+    IOSCC_RETURN_IF_ERROR(writer->Finish());
+
+    const uint64_t new_edges = writer->edge_count();
+    stats->contractions += merged;
+    IterationStats iter_stats;
+    iter_stats.nodes_reduced = merged;
+    iter_stats.edges_reduced =
+        live_edges > new_edges ? live_edges - new_edges : 0;
+    iter_stats.live_edges = new_edges;
+    stats->per_iteration.push_back(iter_stats);
+    if (options.progress &&
+        !options.progress(stats->iterations, iter_stats)) {
+      return Status::Incomplete("EM-SCC cancelled by progress callback");
+    }
+
+    if (merged == 0 && new_edges >= live_edges) {
+      // Case-1 / Case-2: contraction can no longer shrink the graph.
+      return Status::Incomplete(
+          "EM-SCC cannot make progress: graph exceeds memory and no "
+          "partition contains a contractible cycle");
+    }
+    live_edges = new_edges;
+    current = next_path;
+    scanner.reset();
+    IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(current, &stats->io, &scanner));
+  }
+
+  result->component.resize(n);
+  for (NodeId v = 0; v < n; ++v) result->component[v] = uf.Find(v);
+  result->Normalize();
+  stats->seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace ioscc

@@ -1,0 +1,32 @@
+// EM-SCC: the contraction-based external-memory baseline of
+// Cosgaya-Lozano and Zeh (SEA'09), as characterized in Section 4.
+//
+// Iteratively: partition the edge stream into memory-sized chunks, compute
+// the SCCs of each chunk's induced subgraph with the in-memory oracle,
+// contract them, and rewrite the (remapped, deduplicated-by-contraction)
+// graph. Stop when the graph fits in memory and finish in-memory.
+//
+// The paper's Case-1 (an SCC straddling partitions that contraction can
+// no longer shrink) and Case-2 (a DAG larger than memory) make the loop
+// stall: no chunk contains a cycle, nothing contracts, the graph stops
+// shrinking. We detect a stalled iteration and return Status::Incomplete —
+// the honest equivalent of the paper's "cannot stop in a finite number of
+// iterations" (reported as INF / omitted in their tables).
+
+#ifndef IOSCC_SCC_EM_SCC_H_
+#define IOSCC_SCC_EM_SCC_H_
+
+#include <string>
+
+#include "scc/options.h"
+#include "scc/scc_result.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+Status EmScc(const std::string& edge_file, const SemiExternalOptions& options,
+             SccResult* result, RunStats* stats);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_EM_SCC_H_

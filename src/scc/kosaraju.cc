@@ -1,0 +1,108 @@
+#include "scc/kosaraju.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ioscc {
+
+namespace {
+
+// Shared two-pass core. `on_component(label, members)` is invoked for
+// each component in the discovery order of pass 2, which is the
+// topological order of the condensation (sources first).
+template <typename OnComponent>
+void RunKosaraju(const Digraph& graph, std::vector<NodeId>* component,
+                 OnComponent on_component) {
+  const NodeId n = graph.node_count();
+
+  // Pass 1: DFS on G collecting nodes in increasing finish time.
+  std::vector<NodeId> finish_order;
+  finish_order.reserve(n);
+  {
+    std::vector<bool> visited(n, false);
+    struct Frame {
+      NodeId node;
+      size_t edge_pos;
+    };
+    std::vector<Frame> dfs;
+    for (NodeId root = 0; root < n; ++root) {
+      if (visited[root]) continue;
+      visited[root] = true;
+      dfs.push_back({root, 0});
+      while (!dfs.empty()) {
+        Frame& frame = dfs.back();
+        auto neighbors = graph.OutNeighbors(frame.node);
+        if (frame.edge_pos < neighbors.size()) {
+          NodeId v = neighbors[frame.edge_pos++];
+          if (!visited[v]) {
+            visited[v] = true;
+            dfs.push_back({v, 0});
+          }
+          continue;
+        }
+        finish_order.push_back(frame.node);
+        dfs.pop_back();
+      }
+    }
+  }
+
+  // Pass 2: DFS on the reverse graph in decreasing finish time; each tree
+  // is one SCC, discovered in topological order of the condensation.
+  Digraph reversed = graph.Reversed();
+  component->assign(n, kInvalidNode);
+  std::vector<NodeId> stack;
+  for (auto it = finish_order.rbegin(); it != finish_order.rend(); ++it) {
+    NodeId root = *it;
+    if ((*component)[root] != kInvalidNode) continue;
+    std::vector<NodeId> members;
+    stack.push_back(root);
+    (*component)[root] = root;  // temporary label
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      members.push_back(u);
+      for (NodeId v : reversed.OutNeighbors(u)) {
+        if ((*component)[v] == kInvalidNode) {
+          (*component)[v] = root;
+          stack.push_back(v);
+        }
+      }
+    }
+    NodeId label = *std::min_element(members.begin(), members.end());
+    for (NodeId u : members) (*component)[u] = label;
+    on_component(label, members);
+  }
+}
+
+}  // namespace
+
+std::vector<Edge> CondensationOfKosaraju(const Digraph& graph,
+                                         SccResult* scc,
+                                         std::vector<NodeId>* order) {
+  order->clear();
+  RunKosaraju(graph, &scc->component,
+              [&](NodeId label, const std::vector<NodeId>&) {
+                order->push_back(label);
+              });
+  // Discovery order is topological; the shared contract wants reverse
+  // topological (successors first), matching CondensationOf.
+  std::reverse(order->begin(), order->end());
+  std::vector<Edge> dag_edges;
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    NodeId cu = scc->component[u];
+    for (NodeId v : graph.OutNeighbors(u)) {
+      NodeId cv = scc->component[v];
+      if (cu != cv) dag_edges.push_back(Edge{cu, cv});
+    }
+  }
+  return dag_edges;
+}
+
+SccResult KosarajuScc(const Digraph& graph) {
+  SccResult result;
+  RunKosaraju(graph, &result.component,
+              [](NodeId, const std::vector<NodeId>&) {});
+  return result;
+}
+
+}  // namespace ioscc

@@ -1,0 +1,30 @@
+// Kosaraju-Sharir in-memory SCC algorithm (iterative, two DFS passes).
+//
+// The algorithm DFS-SCC semi-externalizes; kept as a second independent
+// oracle so the test suite can cross-check Tarjan, and as the reference
+// whose "total order is too strong" observation motivates the paper.
+
+#ifndef IOSCC_SCC_KOSARAJU_H_
+#define IOSCC_SCC_KOSARAJU_H_
+
+#include "graph/digraph.h"
+#include "scc/scc_result.h"
+
+namespace ioscc {
+
+// Computes the SCC partition of `graph`. Labels are normalized.
+SccResult KosarajuScc(const Digraph& graph);
+
+// Condensation via Kosaraju: same contract as CondensationOf (tarjan.h) —
+// normalized labels in `scc`, component representatives in `order` in
+// *reverse* topological order (successors before predecessors), returned
+// DAG edges named by representatives. Kosaraju's second pass discovers
+// components in topological order (decreasing first-pass finish time), so
+// `order` is that discovery order reversed.
+std::vector<Edge> CondensationOfKosaraju(const Digraph& graph,
+                                         SccResult* scc,
+                                         std::vector<NodeId>* order);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_KOSARAJU_H_

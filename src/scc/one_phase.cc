@@ -1,0 +1,284 @@
+#include "scc/one_phase.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "io/edge_file.h"
+#include "io/temp_dir.h"
+#include "scc/spanning_tree.h"
+#include "scc/union_find.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ioscc {
+namespace {
+
+// Early-rejection bounds (Section 7.2). A representative r can be removed
+// once depth(r) < drank_min or depth(r) > drank_max, where the bounds are
+// min/max over "qualifying" edges (a, b) with depth(a) >= depth(b) of
+// depth(b) / depth(a) respectively. Soundness: every remaining cycle has a
+// minimum-depth node m whose entering edge satisfies depth(p) >= depth(m)
+// (m is the minimum) and a maximum-depth node M whose leaving edge
+// satisfies depth(M) >= depth(next); hence drank_min <= depth(m) <= depth
+// of every cycle node <= depth(M) <= drank_max, so nodes outside the band
+// lie on no cycle and their SCC is final.
+//
+// When the bounds are accumulated during a *mutating* scan, depths move
+// under us: contraction lowers depths (harmless: the triggering backward
+// edge itself qualifies with the new, lower depth), while pushdown raises
+// them — so we additionally fold the post-move maximum depth of every
+// pushed-down subtree into drank_max. options.strict_rejection instead
+// computes the bounds in a dedicated frozen scan, which needs no widening.
+struct RejectBounds {
+  uint32_t drank_min = UINT32_MAX;
+  uint32_t drank_max = 0;
+
+  void NoteQualifying(uint32_t depth_from, uint32_t depth_to) {
+    if (depth_from >= depth_to) {
+      drank_min = std::min(drank_min, depth_to);
+      drank_max = std::max(drank_max, depth_from);
+    }
+  }
+};
+
+class OnePhaseRunner {
+ public:
+  OnePhaseRunner(const std::string& edge_file,
+                 const SemiExternalOptions& options, SccResult* result,
+                 RunStats* stats)
+      : input_path_(edge_file),
+        options_(options),
+        result_(result),
+        stats_(stats) {}
+
+  Status Run();
+
+ private:
+  Status Iterate(bool* updated);
+  Status RejectFrozenScan(RejectBounds* bounds);
+  void ApplyRejection(const RejectBounds& bounds);
+  uint64_t ContractBackward(NodeId desc_rep, NodeId anc_rep);
+
+  const std::string input_path_;
+  const SemiExternalOptions& options_;
+  SccResult* result_;
+  RunStats* stats_;
+
+  std::unique_ptr<TempDir> scratch_;
+  std::string current_path_;
+  std::unique_ptr<EdgeScanner> scanner_;
+
+  NodeId n_ = 0;
+  std::unique_ptr<SpanningTree> tree_;
+  std::unique_ptr<UnionFind> uf_;
+  std::vector<bool> removed_;       // rep rejected (tree-detached, final)
+  std::vector<NodeId> scratch_path_;
+
+  uint64_t tau_abs_ = 0;            // early-acceptance threshold (0 = off)
+  bool pending_rewrite_ = false;    // rewrite the stream on the next scan
+  uint64_t live_edges_ = 0;
+  uint64_t merged_this_iter_ = 0;
+  uint64_t rejected_this_iter_ = 0;
+  RejectBounds loose_bounds_;       // accumulated during mutating scans
+  Deadline deadline_;
+};
+
+uint64_t OnePhaseRunner::ContractBackward(NodeId desc_rep, NodeId anc_rep) {
+  scratch_path_.clear();
+  tree_->ContractPathInto(desc_rep, anc_rep, &scratch_path_);
+  for (NodeId w : scratch_path_) uf_->UnionInto(anc_rep, w, anc_rep);
+  if (tau_abs_ > 0 && uf_->SetSize(anc_rep) >= tau_abs_) {
+    pending_rewrite_ = true;  // early acceptance: reduce the graph
+  }
+  return scratch_path_.size();
+}
+
+Status OnePhaseRunner::Iterate(bool* updated) {
+  // Optionally rewrite the stream while scanning it (early acceptance /
+  // purge of rejected nodes): surviving edges are remapped to current
+  // representatives and written to a fresh file.
+  std::unique_ptr<EdgeWriter> writer;
+  const bool rewriting = pending_rewrite_;
+  std::string next_path;
+  if (rewriting) {
+    pending_rewrite_ = false;
+    next_path = scratch_->NewFilePath(".edges");
+    IOSCC_RETURN_IF_ERROR(EdgeWriter::Create(next_path, n_,
+                                             options_.scratch_block_size,
+                                             &stats_->io, &writer));
+  }
+
+  scanner_->Reset();
+  Edge edge;
+  uint64_t scanned = 0;
+  while (scanner_->Next(&edge)) {
+    if ((++scanned & 0xFFFF) == 0 && deadline_.Expired()) {
+      return Status::Incomplete("1P-SCC hit the time limit");
+    }
+    NodeId a = uf_->Find(edge.from);
+    NodeId b = uf_->Find(edge.to);
+    if (a == b || removed_[a] || removed_[b]) continue;  // dead edge
+
+    const uint32_t depth_a = tree_->depth(a);
+    const uint32_t depth_b = tree_->depth(b);
+    loose_bounds_.NoteQualifying(depth_a, depth_b);
+
+    if (tree_->IsAncestor(b, a)) {
+      // Backward edge: early acceptance — contract the path b..a now.
+      uint64_t merged = ContractBackward(a, b);
+      merged_this_iter_ += merged;
+      stats_->contractions += merged;
+      *updated = true;
+      continue;  // edge is intra-SCC now; never write it out
+    }
+    if (!tree_->IsAncestor(a, b) && depth_a >= depth_b) {
+      // Up-edge: pushdown T ⇓ (a, b).
+      uint32_t moved_max = 0;
+      tree_->Reparent(b, a, &moved_max);
+      loose_bounds_.drank_max = std::max(loose_bounds_.drank_max, moved_max);
+      ++stats_->pushdowns;
+      *updated = true;
+    }
+    if (writer != nullptr) {
+      IOSCC_RETURN_IF_ERROR(writer->Add(Edge{a, b}));
+    }
+  }
+  IOSCC_RETURN_IF_ERROR(scanner_->status());
+
+  if (writer != nullptr) {
+    IOSCC_RETURN_IF_ERROR(writer->Finish());
+    live_edges_ = writer->edge_count();
+    current_path_ = next_path;
+    scanner_.reset();
+    IOSCC_RETURN_IF_ERROR(
+        EdgeScanner::Open(current_path_, &stats_->io, &scanner_));
+  }
+  return Status::OK();
+}
+
+Status OnePhaseRunner::RejectFrozenScan(RejectBounds* bounds) {
+  scanner_->Reset();
+  Edge edge;
+  while (scanner_->Next(&edge)) {
+    NodeId a = uf_->Find(edge.from);
+    NodeId b = uf_->Find(edge.to);
+    if (a == b || removed_[a] || removed_[b]) continue;
+    bounds->NoteQualifying(tree_->depth(a), tree_->depth(b));
+  }
+  return scanner_->status();
+}
+
+void OnePhaseRunner::ApplyRejection(const RejectBounds& bounds) {
+  // Decide against one consistent depth snapshot first: removing a node
+  // splices its children one level up, so interleaving removals with the
+  // band test would compare later nodes' *shifted* depths against bounds
+  // computed for the snapshot.
+  std::vector<NodeId> doomed;
+  for (NodeId r = 0; r < n_; ++r) {
+    if (removed_[r] || uf_->Find(r) != r) continue;
+    uint32_t d = tree_->depth(r);
+    if (d < bounds.drank_min || d > bounds.drank_max) doomed.push_back(r);
+  }
+  for (NodeId r : doomed) {
+    // r's SCC is final: report and remove it from the tree and graph.
+    removed_[r] = true;
+    tree_->Remove(r);
+    // Counted in graph-node (representative) units, matching Table 1's
+    // "# of Nodes Reduced" (the members of r's set were already counted
+    // when they were contracted into r).
+    ++rejected_this_iter_;
+    ++stats_->nodes_rejected;
+    pending_rewrite_ = true;  // purge its edges on the next scan
+  }
+}
+
+Status OnePhaseRunner::Run() {
+  Timer timer;
+  deadline_ = Deadline(options_.time_limit_seconds);
+
+  IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-1p", &scratch_));
+  current_path_ = input_path_;
+  IOSCC_RETURN_IF_ERROR(
+      EdgeScanner::Open(current_path_, &stats_->io, &scanner_));
+  n_ = static_cast<NodeId>(scanner_->node_count());
+  live_edges_ = scanner_->edge_count();
+
+  tree_ = std::make_unique<SpanningTree>(n_);
+  uf_ = std::make_unique<UnionFind>(n_ + 1);
+  removed_.assign(n_, false);
+  tau_abs_ = options_.tau_fraction < 0
+                 ? 0
+                 : std::max<uint64_t>(
+                       2, static_cast<uint64_t>(options_.tau_fraction *
+                                                static_cast<double>(n_)));
+
+  const uint64_t max_iterations =
+      options_.max_iterations > 0 ? options_.max_iterations
+                                  : static_cast<uint64_t>(n_) + 16;
+
+  bool updated = true;
+  while (updated) {
+    if (stats_->iterations >= max_iterations) {
+      return Status::Incomplete("1P-SCC exceeded iteration cap");
+    }
+    if (deadline_.Expired()) {
+      return Status::Incomplete("1P-SCC hit the time limit");
+    }
+    updated = false;
+    ++stats_->iterations;
+    merged_this_iter_ = 0;
+    rejected_this_iter_ = 0;
+    loose_bounds_ = RejectBounds();
+
+    const uint64_t edges_before = live_edges_;
+    IOSCC_RETURN_IF_ERROR(Iterate(&updated));
+
+    if (options_.reject_interval > 0 &&
+        stats_->iterations % options_.reject_interval == 0) {
+      RejectBounds bounds = loose_bounds_;
+      if (options_.strict_rejection) {
+        bounds = RejectBounds();
+        IOSCC_RETURN_IF_ERROR(RejectFrozenScan(&bounds));
+      }
+      ApplyRejection(bounds);
+    }
+    stats_->nodes_accepted += merged_this_iter_;
+
+    IterationStats iter_stats;
+    iter_stats.nodes_reduced = merged_this_iter_ + rejected_this_iter_;
+    iter_stats.edges_reduced =
+        edges_before > live_edges_ ? edges_before - live_edges_ : 0;
+    iter_stats.live_edges = live_edges_;
+    iter_stats.live_nodes =
+        n_ - stats_->nodes_rejected -
+        (stats_->contractions /* merged members no longer count */);
+    stats_->per_iteration.push_back(iter_stats);
+    if (options_.progress &&
+        !options_.progress(stats_->iterations, iter_stats)) {
+      return Status::Incomplete("1P-SCC cancelled by progress callback");
+    }
+    LogDebug("1P iter %llu: merged=%llu rejected=%llu edges=%llu",
+             static_cast<unsigned long long>(stats_->iterations),
+             static_cast<unsigned long long>(merged_this_iter_),
+             static_cast<unsigned long long>(rejected_this_iter_),
+             static_cast<unsigned long long>(live_edges_));
+  }
+
+  result_->component.resize(n_);
+  for (NodeId v = 0; v < n_; ++v) result_->component[v] = uf_->Find(v);
+  result_->Normalize();
+  stats_->seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status OnePhaseScc(const std::string& edge_file,
+                   const SemiExternalOptions& options, SccResult* result,
+                   RunStats* stats) {
+  OnePhaseRunner runner(edge_file, options, result, stats);
+  return runner.Run();
+}
+
+}  // namespace ioscc

@@ -1,0 +1,39 @@
+// 1P-SCC: the paper's single-phase single-tree algorithm (Section 7,
+// Algorithm 6) with the early-acceptance and early-rejection
+// optimizations (Algorithm 7).
+//
+// One loop over the edge stream that both shapes the BR-Tree and contracts
+// SCCs as soon as their cycles are seen:
+//
+//   * backward edge (u, v): contract the tree path v..u immediately
+//     (early acceptance of a partial SCC); drank(u) = depth(u) thereafter.
+//   * up-edge (depth(u) >= depth(v), no ancestor relation): pushdown
+//     T ⇓ (u, v).
+//
+// Graph reduction: once some contracted SCC reaches tau = tau_fraction*|V|
+// nodes (or nodes were rejected), the next scan simultaneously rewrites
+// the edge stream — dropping intra-SCC edges, dropping edges of removed
+// nodes, and remapping endpoints to their representatives — so later
+// iterations scan a strictly smaller file. Early rejection (every
+// reject_interval iterations) removes representatives whose depth lies
+// outside [drank_min, drank_max] and reports their sets as final SCCs;
+// see the bound-soundness discussion in the .cc file.
+
+#ifndef IOSCC_SCC_ONE_PHASE_H_
+#define IOSCC_SCC_ONE_PHASE_H_
+
+#include <string>
+
+#include "scc/options.h"
+#include "scc/scc_result.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+Status OnePhaseScc(const std::string& edge_file,
+                   const SemiExternalOptions& options, SccResult* result,
+                   RunStats* stats);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_ONE_PHASE_H_

@@ -1,0 +1,341 @@
+#include "scc/one_phase_batch.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "io/edge_file.h"
+#include "io/temp_dir.h"
+#include "scc/kosaraju.h"
+#include "scc/spanning_tree.h"
+#include "scc/tarjan.h"
+#include "scc/union_find.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ioscc {
+namespace {
+
+class OnePhaseBatchRunner {
+ public:
+  OnePhaseBatchRunner(const std::string& edge_file,
+                      const SemiExternalOptions& options, SccResult* result,
+                      RunStats* stats)
+      : input_path_(edge_file),
+        options_(options),
+        result_(result),
+        stats_(stats) {}
+
+  Status Run();
+
+ private:
+  Status Iterate(bool* updated);
+  void ProcessBatch(std::vector<Edge>* batch, bool* updated);
+  Status RejectFrozenScan();
+
+  const std::string input_path_;
+  const SemiExternalOptions& options_;
+  SccResult* result_;
+  RunStats* stats_;
+
+  std::unique_ptr<TempDir> scratch_;
+  std::string current_path_;
+  std::unique_ptr<EdgeScanner> scanner_;
+
+  NodeId n_ = 0;
+  std::unique_ptr<SpanningTree> tree_;
+  std::unique_ptr<UnionFind> uf_;
+  std::vector<bool> removed_;
+
+  uint64_t tau_abs_ = 0;
+  bool pending_rewrite_ = false;
+  uint64_t live_edges_ = 0;
+  uint64_t merged_this_iter_ = 0;
+  uint64_t rejected_this_iter_ = 0;
+  size_t batch_capacity_ = 0;
+  Deadline deadline_;
+};
+
+void OnePhaseBatchRunner::ProcessBatch(std::vector<Edge>* batch,
+                                       bool* updated) {
+  const NodeId total = n_ + 1;  // + virtual root
+
+  // G'' = T ∪ B_i over current representatives.
+  std::vector<Edge> gpp_edges;
+  gpp_edges.reserve(static_cast<size_t>(n_) + batch->size());
+  for (NodeId v = 0; v < n_; ++v) {
+    if (removed_[v] || uf_->Find(v) != v) continue;
+    NodeId p = tree_->parent(v);
+    if (p != kInvalidNode) gpp_edges.push_back(Edge{p, v});
+  }
+  for (const Edge& e : *batch) {
+    NodeId a = uf_->Find(e.from);
+    NodeId b = uf_->Find(e.to);
+    if (a == b || removed_[a] || removed_[b]) continue;
+    gpp_edges.push_back(Edge{a, b});
+  }
+  batch->clear();
+
+  Digraph gpp(total, gpp_edges);
+  SccResult comp;
+  std::vector<NodeId> emit_order;
+  std::vector<Edge> dag_edges =
+      options_.batch_kernel == BatchKernel::kKosaraju
+          ? CondensationOfKosaraju(gpp, &comp, &emit_order)
+          : CondensationOf(gpp, &comp, &emit_order);
+
+  // Contract every multi-member SCC of G''. Tarjan labels components by
+  // their smallest member id, so merging everything into the label keeps
+  // union-find representatives equal to component labels.
+  {
+    std::vector<uint32_t> comp_size(total, 0);
+    for (NodeId v = 0; v < n_; ++v) {
+      if (removed_[v] || uf_->Find(v) != v) continue;
+      ++comp_size[comp.component[v]];
+    }
+    for (NodeId v = 0; v < n_; ++v) {
+      if (removed_[v] || uf_->Find(v) != v) continue;
+      NodeId label = comp.component[v];
+      if (v != label && comp_size[label] >= 2) {
+        uf_->UnionInto(label, v, label);
+        ++merged_this_iter_;
+        ++stats_->contractions;
+        *updated = true;
+      }
+    }
+    if (tau_abs_ > 0 && !pending_rewrite_) {
+      for (NodeId v = 0; v < n_; ++v) {
+        if (comp_size[v] >= 2 && uf_->SetSize(v) >= tau_abs_) {
+          pending_rewrite_ = true;  // early acceptance: reduce the graph
+          break;
+        }
+      }
+    }
+  }
+
+  // Rebuild the BR-Tree as the longest-path forest over the condensation:
+  // process components in topological order; drank(c) = max over DAG
+  // in-edges (u, c) of drank(u) + 1, parent(c) = the maximizing u.
+  // Tarjan emits successors first, so topological order is the reverse.
+  std::vector<uint32_t> in_head(static_cast<size_t>(total) + 1, 0);
+  for (const Edge& e : dag_edges) ++in_head[e.to + 1];
+  for (size_t i = 1; i < in_head.size(); ++i) in_head[i] += in_head[i - 1];
+  std::vector<NodeId> in_adj(dag_edges.size());
+  {
+    std::vector<uint32_t> cursor(in_head.begin(), in_head.end() - 1);
+    for (const Edge& e : dag_edges) in_adj[cursor[e.to]++] = e.from;
+  }
+
+  std::vector<uint32_t> drank(total, 0);
+  std::vector<NodeId> new_parent(n_, kInvalidNode);
+  const NodeId root_comp = comp.component[n_];
+  for (auto it = emit_order.rbegin(); it != emit_order.rend(); ++it) {
+    NodeId c = *it;
+    if (c == root_comp) continue;  // drank 0, no parent
+    uint32_t best = 0;
+    NodeId best_parent = kInvalidNode;
+    for (uint32_t i = in_head[c]; i < in_head[c + 1]; ++i) {
+      NodeId u = in_adj[i];
+      if (drank[u] + 1 > best) {
+        best = drank[u] + 1;
+        best_parent = u;
+      }
+    }
+    drank[c] = best;
+    if (c < n_ && best_parent != kInvalidNode) {
+      // Map the parent component back to a tree node: the component label
+      // is its representative; the root component maps to the root.
+      new_parent[c] = best_parent == root_comp ? tree_->root() : best_parent;
+    }
+  }
+
+  // Detect whether the rebuild actually changed anything (the paper's
+  // `update` flag from pushdown operations).
+  bool tree_changed = false;
+  for (NodeId v = 0; v < n_; ++v) {
+    bool live = !removed_[v] && uf_->Find(v) == v;
+    NodeId old_parent =
+        live ? tree_->parent(v) : kInvalidNode;
+    NodeId wanted = live ? new_parent[v] : kInvalidNode;
+    if (old_parent != wanted ||
+        (live && wanted != kInvalidNode &&
+         tree_->depth(v) != drank[comp.component[v]])) {
+      tree_changed = true;
+    }
+    if (!live) new_parent[v] = kInvalidNode;
+  }
+  if (tree_changed) {
+    tree_->RebuildFromParents(new_parent);
+    ++stats_->pushdowns;  // counted per batch rebuild
+    *updated = true;
+  }
+}
+
+Status OnePhaseBatchRunner::Iterate(bool* updated) {
+  std::unique_ptr<EdgeWriter> writer;
+  const bool rewriting = pending_rewrite_;
+  std::string next_path;
+  if (rewriting) {
+    pending_rewrite_ = false;
+    next_path = scratch_->NewFilePath(".edges");
+    IOSCC_RETURN_IF_ERROR(EdgeWriter::Create(next_path, n_,
+                                             options_.scratch_block_size,
+                                             &stats_->io, &writer));
+  }
+
+  scanner_->Reset();
+  std::vector<Edge> batch;
+  batch.reserve(batch_capacity_);
+  Edge edge;
+  uint64_t scanned = 0;
+  while (scanner_->Next(&edge)) {
+    if ((++scanned & 0xFFFF) == 0 && deadline_.Expired()) {
+      return Status::Incomplete("1PB-SCC hit the time limit");
+    }
+    NodeId a = uf_->Find(edge.from);
+    NodeId b = uf_->Find(edge.to);
+    if (a == b || removed_[a] || removed_[b]) continue;
+    batch.push_back(Edge{a, b});
+    if (writer != nullptr) {
+      IOSCC_RETURN_IF_ERROR(writer->Add(Edge{a, b}));
+    }
+    if (batch.size() >= batch_capacity_) ProcessBatch(&batch, updated);
+  }
+  IOSCC_RETURN_IF_ERROR(scanner_->status());
+  if (!batch.empty()) ProcessBatch(&batch, updated);
+
+  if (writer != nullptr) {
+    IOSCC_RETURN_IF_ERROR(writer->Finish());
+    live_edges_ = writer->edge_count();
+    current_path_ = next_path;
+    scanner_.reset();
+    IOSCC_RETURN_IF_ERROR(
+        EdgeScanner::Open(current_path_, &stats_->io, &scanner_));
+  }
+  return Status::OK();
+}
+
+Status OnePhaseBatchRunner::RejectFrozenScan() {
+  uint32_t drank_min = UINT32_MAX;
+  uint32_t drank_max = 0;
+  scanner_->Reset();
+  Edge edge;
+  while (scanner_->Next(&edge)) {
+    NodeId a = uf_->Find(edge.from);
+    NodeId b = uf_->Find(edge.to);
+    if (a == b || removed_[a] || removed_[b]) continue;
+    uint32_t da = tree_->depth(a);
+    uint32_t db = tree_->depth(b);
+    if (da >= db) {
+      drank_min = std::min(drank_min, db);
+      drank_max = std::max(drank_max, da);
+    }
+  }
+  IOSCC_RETURN_IF_ERROR(scanner_->status());
+
+  // Decide on a consistent depth snapshot, then remove (removal shifts the
+  // depths of spliced child subtrees; see one_phase.cc).
+  std::vector<NodeId> doomed;
+  for (NodeId r = 0; r < n_; ++r) {
+    if (removed_[r] || uf_->Find(r) != r) continue;
+    uint32_t d = tree_->depth(r);
+    if (d < drank_min || d > drank_max) doomed.push_back(r);
+  }
+  for (NodeId r : doomed) {
+    removed_[r] = true;
+    tree_->Remove(r);
+    // Counted in graph-node (representative) units, matching Table 1's
+    // "# of Nodes Reduced" (the members of r's set were already counted
+    // when they were contracted into r).
+    ++rejected_this_iter_;
+    ++stats_->nodes_rejected;
+    pending_rewrite_ = true;
+  }
+  return Status::OK();
+}
+
+Status OnePhaseBatchRunner::Run() {
+  Timer timer;
+  deadline_ = Deadline(options_.time_limit_seconds);
+
+  IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-1pb", &scratch_));
+  current_path_ = input_path_;
+  IOSCC_RETURN_IF_ERROR(
+      EdgeScanner::Open(current_path_, &stats_->io, &scanner_));
+  n_ = static_cast<NodeId>(scanner_->node_count());
+  live_edges_ = scanner_->edge_count();
+
+  tree_ = std::make_unique<SpanningTree>(n_);
+  uf_ = std::make_unique<UnionFind>(n_ + 1);
+  removed_.assign(n_, false);
+  tau_abs_ = options_.tau_fraction < 0
+                 ? 0
+                 : std::max<uint64_t>(
+                       2, static_cast<uint64_t>(options_.tau_fraction *
+                                                static_cast<double>(n_)));
+  batch_capacity_ = std::max<size_t>(
+      1024, options_.memory_budget_bytes / sizeof(Edge));
+
+  const uint64_t max_iterations =
+      options_.max_iterations > 0 ? options_.max_iterations
+                                  : static_cast<uint64_t>(n_) + 16;
+
+  bool updated = true;
+  while (updated) {
+    if (stats_->iterations >= max_iterations) {
+      return Status::Incomplete("1PB-SCC exceeded iteration cap");
+    }
+    if (deadline_.Expired()) {
+      return Status::Incomplete("1PB-SCC hit the time limit");
+    }
+    updated = false;
+    ++stats_->iterations;
+    merged_this_iter_ = 0;
+    rejected_this_iter_ = 0;
+
+    const uint64_t edges_before = live_edges_;
+    IOSCC_RETURN_IF_ERROR(Iterate(&updated));
+
+    if (options_.reject_interval > 0 &&
+        stats_->iterations % options_.reject_interval == 0) {
+      IOSCC_RETURN_IF_ERROR(RejectFrozenScan());
+    }
+    stats_->nodes_accepted += merged_this_iter_;
+
+    IterationStats iter_stats;
+    iter_stats.nodes_reduced = merged_this_iter_ + rejected_this_iter_;
+    iter_stats.edges_reduced =
+        edges_before > live_edges_ ? edges_before - live_edges_ : 0;
+    iter_stats.live_edges = live_edges_;
+    iter_stats.live_nodes =
+        n_ - stats_->nodes_rejected - stats_->contractions;
+    stats_->per_iteration.push_back(iter_stats);
+    if (options_.progress &&
+        !options_.progress(stats_->iterations, iter_stats)) {
+      return Status::Incomplete("1PB-SCC cancelled by progress callback");
+    }
+    LogDebug("1PB iter %llu: merged=%llu rejected=%llu edges=%llu",
+             static_cast<unsigned long long>(stats_->iterations),
+             static_cast<unsigned long long>(merged_this_iter_),
+             static_cast<unsigned long long>(rejected_this_iter_),
+             static_cast<unsigned long long>(live_edges_));
+  }
+
+  result_->component.resize(n_);
+  for (NodeId v = 0; v < n_; ++v) result_->component[v] = uf_->Find(v);
+  result_->Normalize();
+  stats_->seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status OnePhaseBatchScc(const std::string& edge_file,
+                        const SemiExternalOptions& options, SccResult* result,
+                        RunStats* stats) {
+  OnePhaseBatchRunner runner(edge_file, options, result, stats);
+  return runner.Run();
+}
+
+}  // namespace ioscc

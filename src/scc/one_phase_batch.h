@@ -1,0 +1,40 @@
+// 1PB-SCC: 1P-SCC plus batch edge reduction (Section 7.3, Algorithm 8).
+//
+// Instead of classifying edges one at a time against the tree (whose
+// ancestor checks cost O(depth) each), edges are read in memory-budget
+// sized batches. For each batch B_i the algorithm:
+//
+//   1. forms the in-memory graph G'' = T ∪ B_i (tree edges plus batch
+//      edges over current representatives),
+//   2. computes all SCCs of G'' with the in-memory oracle and contracts
+//      every multi-member SCC (early acceptance at batch granularity),
+//   3. condenses G'' to a DAG, topologically sorts it, and rebuilds the
+//      BR-Tree as the longest-path forest from the virtual root using the
+//      dynamic program drank(v) = max over in-edges (u, v) of drank(u)+1 —
+//      which is exactly the paper's pushdown cascade without per-edge
+//      subtree walks.
+//
+// Early acceptance rewrites and early rejection work as in 1P-SCC, except
+// that rejection always uses a frozen classification scan: batch
+// processing rewrites all depths wholesale, so bounds accumulated during a
+// mutating pass would not be meaningful (see one_phase.cc for the bound
+// soundness argument).
+
+#ifndef IOSCC_SCC_ONE_PHASE_BATCH_H_
+#define IOSCC_SCC_ONE_PHASE_BATCH_H_
+
+#include <string>
+
+#include "scc/options.h"
+#include "scc/scc_result.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+Status OnePhaseBatchScc(const std::string& edge_file,
+                        const SemiExternalOptions& options, SccResult* result,
+                        RunStats* stats);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_ONE_PHASE_BATCH_H_

@@ -1,0 +1,92 @@
+// Options and run statistics shared by every semi-external SCC algorithm.
+
+#ifndef IOSCC_SCC_OPTIONS_H_
+#define IOSCC_SCC_OPTIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "io/io_stats.h"
+
+namespace ioscc {
+
+// Per-iteration reduction record (feeds the paper's Table 1).
+struct IterationStats {
+  uint64_t nodes_reduced = 0;   // contracted away + rejected this iteration
+  uint64_t edges_reduced = 0;   // edges dropped from the stream
+  uint64_t live_nodes = 0;      // remaining after the iteration
+  uint64_t live_edges = 0;
+};
+
+// In-memory SCC kernel used by 1PB-SCC on each batch graph. The paper
+// names Kosaraju-Sharir (it reuses the pass-1 finish order as the
+// topological sort); Tarjan produces the identical condensation in one
+// pass and is the default.
+enum class BatchKernel { kTarjan, kKosaraju };
+
+struct SemiExternalOptions {
+  // Bytes of main memory available to edge batches (1PB-SCC) and in-memory
+  // partitions (EM-SCC) *on top of* the O(|V|) node arrays the semi-
+  // external model always grants. The paper's default memory is
+  // 4 * 3|V| bytes + one block; RunHarness mirrors that.
+  uint64_t memory_budget_bytes = 64ull << 20;
+
+  // Early-acceptance threshold tau as a fraction of |V| (paper: 0.5%).
+  // A graph rewrite is triggered once some contracted SCC reaches this
+  // size. Set to 0 to rewrite on every iteration; < 0 disables.
+  double tau_fraction = 0.005;
+
+  // Early rejection runs every this many iterations (paper: 5).
+  // 0 disables early rejection.
+  uint32_t reject_interval = 5;
+
+  // Use an extra frozen classification scan for early rejection instead of
+  // accumulating the drank_min/max bounds during the mutating scan. Costs
+  // one additional scan per rejection round but makes the bounds exact.
+  bool strict_rejection = false;
+
+  // Abort with Status::Incomplete after this many edge-scan iterations
+  // (0 = derive a generous bound from the graph size). This is the
+  // safeguard for EM-SCC's documented non-termination cases.
+  uint64_t max_iterations = 0;
+
+  // Wall-clock cap in seconds (0 = none); the paper uses 5 hours and
+  // reports INF for runs that exceed it.
+  double time_limit_seconds = 0;
+
+  // Block size for scratch files written by the algorithms (reduced graph
+  // rewrites, reversed graphs, sort runs). Input files carry their own.
+  size_t scratch_block_size = kDefaultBlockSize;
+
+  // Directory for scratch files; empty = fresh system temp dir.
+  std::string scratch_dir;
+
+  // In-memory kernel for 1PB-SCC batch graphs.
+  BatchKernel batch_kernel = BatchKernel::kTarjan;
+
+  // Invoked after every full pass over the edge stream with the 1-based
+  // pass number and that pass's reduction record (zeroed for algorithms
+  // that do not reduce the graph). Return false to cancel: the algorithm
+  // stops at the next pass boundary with Status::Incomplete. Long runs
+  // use this for progress reporting and cooperative cancellation.
+  std::function<bool(uint64_t iteration, const IterationStats& stats)>
+      progress;
+};
+
+struct RunStats {
+  IoStats io;
+  uint64_t iterations = 0;       // full passes over the edge stream
+  uint64_t search_scans = 0;     // tree-search passes (2P-SCC)
+  uint64_t nodes_accepted = 0;   // removed via early acceptance rewrites
+  uint64_t nodes_rejected = 0;   // removed via early rejection
+  uint64_t pushdowns = 0;
+  uint64_t contractions = 0;
+  double seconds = 0;
+  std::vector<IterationStats> per_iteration;
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_OPTIONS_H_

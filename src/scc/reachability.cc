@@ -1,0 +1,135 @@
+#include "scc/reachability.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+// One randomized post-order interval labeling of the DAG: children are
+// explored in an order derived from `shuffle_key`, so independent
+// labelings prune different false positives.
+void BuildLabeling(const Digraph& dag, Rng* rng,
+                   std::vector<uint32_t>* low, std::vector<uint32_t>* post) {
+  const NodeId n = dag.node_count();
+  low->assign(n, 0);
+  post->assign(n, 0);
+  std::vector<uint8_t> state(n, 0);  // 0 new, 1 on stack, 2 done
+
+  // Random root visiting order (and a per-run neighbor rotation) gives the
+  // labelings their independence.
+  std::vector<NodeId> roots(n);
+  for (NodeId v = 0; v < n; ++v) roots[v] = v;
+  for (size_t i = roots.size(); i > 1; --i) {
+    std::swap(roots[i - 1], roots[rng->Uniform(i)]);
+  }
+
+  uint32_t counter = 0;
+  struct Frame {
+    NodeId node;
+    size_t edge_pos;
+    size_t rotation;
+  };
+  std::vector<Frame> stack;
+  for (NodeId root : roots) {
+    if (state[root] != 0) continue;
+    state[root] = 1;
+    stack.push_back(
+        {root, 0, dag.OutDegree(root) ? rng->Uniform(dag.OutDegree(root))
+                                      : 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      auto neighbors = dag.OutNeighbors(frame.node);
+      if (frame.edge_pos < neighbors.size()) {
+        // Rotated scan order: start at a random offset per node.
+        NodeId next = neighbors[(frame.edge_pos + frame.rotation) %
+                                neighbors.size()];
+        ++frame.edge_pos;
+        if (state[next] == 0) {
+          state[next] = 1;
+          stack.push_back({next, 0,
+                           dag.OutDegree(next)
+                               ? rng->Uniform(dag.OutDegree(next))
+                               : 0});
+        }
+        continue;
+      }
+      NodeId v = frame.node;
+      uint32_t my_low = counter;
+      for (NodeId w : dag.OutNeighbors(v)) {
+        my_low = std::min(my_low, (*low)[w]);
+      }
+      (*post)[v] = counter++;
+      (*low)[v] = std::min(my_low, (*post)[v]);
+      state[v] = 2;
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+GrailIndex::GrailIndex(const Digraph& dag, int num_labelings,
+                       uint64_t seed) {
+  Rng rng(seed);
+  labelings_.resize(std::max(1, num_labelings));
+  for (Labeling& labeling : labelings_) {
+    BuildLabeling(dag, &rng, &labeling.low, &labeling.post);
+  }
+}
+
+bool GrailIndex::MayReach(NodeId u, NodeId v) const {
+  // u can reach v only if v's interval nests in u's in EVERY labeling.
+  for (const Labeling& l : labelings_) {
+    if (l.low[u] > l.low[v] || l.post[v] > l.post[u]) return false;
+  }
+  return true;
+}
+
+bool GrailIndex::Reaches(const Digraph& dag, NodeId u, NodeId v) const {
+  if (u == v) return true;
+  if (!MayReach(u, v)) return false;
+  // Pruned DFS: skip any branch the filter can refute.
+  std::vector<NodeId> stack = {u};
+  std::vector<bool> seen(dag.node_count(), false);
+  seen[u] = true;
+  while (!stack.empty()) {
+    NodeId x = stack.back();
+    stack.pop_back();
+    for (NodeId w : dag.OutNeighbors(x)) {
+      if (w == v) return true;
+      if (!seen[w] && MayReach(w, v)) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+ReachabilityOracle::ReachabilityOracle(const Digraph& graph,
+                                       const SccResult& scc,
+                                       int num_labelings, uint64_t seed)
+    : component_(scc.component),
+      dag_([&] {
+        std::vector<Edge> dag_edges;
+        for (NodeId u = 0; u < graph.node_count(); ++u) {
+          for (NodeId v : graph.OutNeighbors(u)) {
+            if (scc.component[u] != scc.component[v]) {
+              dag_edges.push_back(
+                  Edge{scc.component[u], scc.component[v]});
+            }
+          }
+        }
+        return Digraph(graph.node_count(), dag_edges);
+      }()),
+      index_(dag_, num_labelings, seed) {}
+
+bool ReachabilityOracle::Reaches(NodeId u, NodeId v) const {
+  NodeId cu = component_[u], cv = component_[v];
+  if (cu == cv) return true;  // same SCC
+  return index_.Reaches(dag_, cu, cv);
+}
+
+}  // namespace ioscc

@@ -1,0 +1,74 @@
+// GRAIL-style reachability over general directed graphs — the paper's
+// flagship motivating application (Section 1): "the GRAIL index needs to
+// be built on DAG ... it must compute all SCCs before constructing an
+// index for a general directed graph".
+//
+// GrailIndex implements the interval-labeling scheme of Yildirim, Chaoji
+// and Zaki (GRAIL, PVLDB'10) over a DAG: k independent post-order interval
+// labelings with randomized child orders; query u -> v is rejected
+// whenever some labeling's interval of v is not contained in u's
+// (exception-free variant: accepted pairs fall back to a pruned DFS).
+//
+// ReachabilityOracle composes the full pipeline over a general graph:
+// SCC partition (same-component queries are trivially reachable) +
+// condensation + GrailIndex.
+
+#ifndef IOSCC_SCC_REACHABILITY_H_
+#define IOSCC_SCC_REACHABILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "scc/scc_result.h"
+
+namespace ioscc {
+
+class GrailIndex {
+ public:
+  // Builds `num_labelings` randomized interval labelings of `dag`
+  // (which must be acyclic; cycles make the labels meaningless).
+  explicit GrailIndex(const Digraph& dag, int num_labelings = 2,
+                      uint64_t seed = 1);
+
+  int num_labelings() const { return static_cast<int>(labelings_.size()); }
+
+  // False means u definitely cannot reach v. True means "maybe".
+  bool MayReach(NodeId u, NodeId v) const;
+
+  // Exact reachability in `dag` (must be the graph the index was built
+  // on): interval filter first, then DFS with per-node filter pruning.
+  bool Reaches(const Digraph& dag, NodeId u, NodeId v) const;
+
+ private:
+  struct Labeling {
+    std::vector<uint32_t> low;   // min post-order in v's reachable set
+    std::vector<uint32_t> post;  // v's post-order number
+  };
+
+  std::vector<Labeling> labelings_;
+};
+
+// End-to-end reachability over a general directed graph: contracts SCCs,
+// indexes the condensation, and answers queries on original node ids.
+class ReachabilityOracle {
+ public:
+  // `scc` must be the normalized partition of `graph`.
+  ReachabilityOracle(const Digraph& graph, const SccResult& scc,
+                     int num_labelings = 2, uint64_t seed = 1);
+
+  bool Reaches(NodeId u, NodeId v) const;
+
+  // Fraction of the id space that is a component representative; exposed
+  // for diagnostics.
+  const Digraph& dag() const { return dag_; }
+
+ private:
+  std::vector<NodeId> component_;
+  Digraph dag_;
+  GrailIndex index_;
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_REACHABILITY_H_

@@ -1,0 +1,52 @@
+#include "scc/scc_result.h"
+
+#include <algorithm>
+
+namespace ioscc {
+
+void SccResult::Normalize() {
+  const NodeId n = node_count();
+  // min_member[label] = smallest node id seen with that label. Labels are
+  // arbitrary NodeIds < n produced by the algorithms.
+  std::vector<NodeId> min_member(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId label = component[v];
+    if (min_member[label] == kInvalidNode || v < min_member[label]) {
+      min_member[label] = v;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    component[v] = min_member[component[v]];
+  }
+}
+
+uint64_t SccResult::ComponentCount() const {
+  uint64_t count = 0;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (component[v] == v) ++count;
+  }
+  return count;
+}
+
+std::vector<uint32_t> SccResult::ComponentSizes() const {
+  std::vector<uint32_t> sizes(node_count(), 0);
+  for (NodeId v = 0; v < node_count(); ++v) ++sizes[component[v]];
+  return sizes;
+}
+
+uint32_t SccResult::LargestComponentSize() const {
+  if (component.empty()) return 0;
+  std::vector<uint32_t> sizes = ComponentSizes();
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+uint64_t SccResult::NodesInNontrivialSccs() const {
+  std::vector<uint32_t> sizes = ComponentSizes();
+  uint64_t nodes = 0;
+  for (uint32_t s : sizes) {
+    if (s >= 2) nodes += s;
+  }
+  return nodes;
+}
+
+}  // namespace ioscc

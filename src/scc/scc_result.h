@@ -1,0 +1,47 @@
+// SCC partition representation and comparison helpers.
+
+#ifndef IOSCC_SCC_SCC_RESULT_H_
+#define IOSCC_SCC_SCC_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ioscc {
+
+// The SCC partition of a graph with n nodes: component[v] identifies v's
+// SCC. After Normalize(), component[v] is the smallest node id in v's SCC,
+// which makes partitions from different algorithms directly comparable.
+struct SccResult {
+  std::vector<NodeId> component;
+
+  NodeId node_count() const {
+    return static_cast<NodeId>(component.size());
+  }
+
+  // Rewrites labels to the canonical form (min member id per component).
+  void Normalize();
+
+  // Number of distinct components. Requires normalized labels.
+  uint64_t ComponentCount() const;
+
+  // Size of each component, indexed by canonical label; zero elsewhere.
+  // Requires normalized labels.
+  std::vector<uint32_t> ComponentSizes() const;
+
+  // Size of the largest component (0 for the empty graph).
+  uint32_t LargestComponentSize() const;
+
+  // Number of nodes that belong to a non-trivial SCC (size >= 2).
+  uint64_t NodesInNontrivialSccs() const;
+
+  // Order-insensitive content equality of two partitions (both normalized).
+  friend bool operator==(const SccResult& a, const SccResult& b) {
+    return a.component == b.component;
+  }
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_SCC_RESULT_H_

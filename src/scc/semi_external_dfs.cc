@@ -1,0 +1,192 @@
+#include "scc/semi_external_dfs.h"
+
+#include <algorithm>
+
+#include "io/edge_file.h"
+#include "util/logging.h"
+
+namespace ioscc {
+
+std::vector<uint32_t> DfsForest::Preorder() const {
+  std::vector<uint32_t> pre(static_cast<size_t>(n) + 1, 0);
+  uint32_t counter = 0;
+  Traverse([&](NodeId v, bool entering) {
+    if (entering) pre[v] = counter++;
+  });
+  return pre;
+}
+
+std::vector<NodeId> DfsForest::DecreasingPostorder() const {
+  std::vector<NodeId> order;
+  order.reserve(n);
+  Traverse([&](NodeId v, bool entering) {
+    if (!entering && v != n) order.push_back(v);
+  });
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+void DfsForest::LabelRootSubtrees(std::vector<NodeId>* component) const {
+  component->assign(n, kInvalidNode);
+  for (NodeId top : children[n]) {
+    std::vector<NodeId> stack = {top};
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      (*component)[v] = top;
+      for (NodeId c : children[v]) stack.push_back(c);
+    }
+  }
+}
+
+namespace {
+
+// One batch step: runs a genuine DFS over (tree ∪ batch edges) — each
+// node's current tree children first, in order, then its batch out-edges
+// — and replaces the tree with the resulting DFS tree. If the tree has no
+// forward-cross edges w.r.t. the batch, the DFS reproduces it exactly
+// (tree children are explored first and every non-tree batch edge then
+// leads to an already-visited node), so "no batch changed the tree over a
+// full scan" is precisely Algorithm 1's termination condition.
+//
+// Returns true if the tree changed.
+bool RefineWithBatch(const std::vector<Edge>& batch, DfsForest* tree) {
+  const NodeId n = tree->n;
+  const NodeId total = n + 1;
+
+  // Batch adjacency grouped by source (counting sort preserves stream
+  // order within a source).
+  std::vector<uint32_t> head(static_cast<size_t>(total) + 1, 0);
+  for (const Edge& e : batch) ++head[e.from + 1];
+  for (size_t i = 1; i < head.size(); ++i) head[i] += head[i - 1];
+  std::vector<NodeId> adj(batch.size());
+  {
+    std::vector<uint32_t> cursor(head.begin(), head.end() - 1);
+    for (const Edge& e : batch) adj[cursor[e.from]++] = e.to;
+  }
+
+  DfsForest next(n);
+  std::vector<bool> visited(total, false);
+  struct Frame {
+    NodeId node;
+    size_t child_pos;   // over tree->children[node]
+    uint32_t edge_pos;  // over adj[head[node]..head[node+1])
+  };
+  std::vector<Frame> stack;
+  visited[n] = true;
+  stack.push_back({n, 0, head[n]});
+  bool changed = false;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const NodeId u = frame.node;
+    NodeId child = kInvalidNode;
+    while (frame.child_pos < tree->children[u].size()) {
+      NodeId c = tree->children[u][frame.child_pos++];
+      if (!visited[c]) {
+        child = c;
+        break;
+      }
+    }
+    if (child == kInvalidNode) {
+      while (frame.edge_pos < head[u + 1]) {
+        NodeId c = adj[frame.edge_pos++];
+        if (!visited[c]) {
+          child = c;
+          break;
+        }
+      }
+    }
+    if (child == kInvalidNode) {
+      stack.pop_back();
+      continue;
+    }
+    visited[child] = true;
+    next.parent[child] = u;
+    next.children[u].push_back(child);
+    if (tree->parent[child] != u) changed = true;
+    stack.push_back({child, 0, head[child]});
+  }
+  // Children-order changes also matter: they alter preorder.
+  if (!changed) {
+    for (NodeId v = 0; v <= n; ++v) {
+      if (next.children[v] != tree->children[v]) {
+        changed = true;
+        break;
+      }
+    }
+  }
+  *tree = std::move(next);
+  return changed;
+}
+
+}  // namespace
+
+Status BuildSemiExternalDfsTree(const std::string& path,
+                                const std::vector<NodeId>& priority,
+                                const SemiExternalOptions& options,
+                                const Deadline& deadline, RunStats* stats,
+                                std::unique_ptr<DfsForest>* out) {
+  std::unique_ptr<EdgeScanner> scanner;
+  IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(path, &stats->io, &scanner));
+  const NodeId n = static_cast<NodeId>(scanner->node_count());
+  if (priority.size() != n) {
+    return Status::InvalidArgument("priority must cover every node");
+  }
+  auto tree = std::make_unique<DfsForest>(n);
+  for (NodeId v : priority) {
+    tree->parent[v] = n;
+    tree->children[n].push_back(v);
+  }
+
+  const size_t batch_capacity = std::max<size_t>(
+      1024, options.memory_budget_bytes / sizeof(Edge));
+  const uint64_t max_iterations =
+      options.max_iterations > 0 ? options.max_iterations
+                                 : static_cast<uint64_t>(n) + 16;
+  uint64_t iterations = 0;
+  bool updated = true;
+  while (updated) {
+    if (iterations >= max_iterations) {
+      return Status::Incomplete("DFS-Tree exceeded iteration cap");
+    }
+    if (deadline.Expired()) {
+      return Status::Incomplete("semi-external DFS hit the time limit");
+    }
+    updated = false;
+    ++iterations;
+    ++stats->iterations;
+    scanner->Reset();
+    std::vector<Edge> batch;
+    batch.reserve(batch_capacity);
+    Edge edge;
+    while (scanner->Next(&edge)) {
+      if (edge.from != edge.to) batch.push_back(edge);
+      if (batch.size() >= batch_capacity) {
+        if (RefineWithBatch(batch, tree.get())) {
+          updated = true;
+          ++stats->pushdowns;  // counted per reshaping batch
+        }
+        batch.clear();
+        if (deadline.Expired()) {
+          return Status::Incomplete("semi-external DFS hit the time limit");
+        }
+      }
+    }
+    IOSCC_RETURN_IF_ERROR(scanner->status());
+    if (!batch.empty() && RefineWithBatch(batch, tree.get())) {
+      updated = true;
+      ++stats->pushdowns;  // counted per reshaping batch
+    }
+    if (options.progress &&
+        !options.progress(stats->iterations, IterationStats())) {
+      return Status::Incomplete(
+          "semi-external DFS cancelled by progress callback");
+    }
+    LogDebug("DFS-Tree scan %llu done (updated=%d)",
+             static_cast<unsigned long long>(iterations), int(updated));
+  }
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+}  // namespace ioscc

@@ -1,0 +1,89 @@
+// Semi-external DFS trees (the substrate of the DFS-SCC baseline, and a
+// useful primitive in its own right — Section 4, Algorithm 1).
+//
+// A spanning tree T of G (rooted at a virtual node) is a DFS tree iff G
+// has no forward-cross edges w.r.t. T: for every edge (u, v), u and v are
+// ancestor-related or preorder(u) > preorder(v). BuildSemiExternalDfsTree
+// computes such a tree for an on-disk graph while keeping only O(|V|)
+// state in memory, by repeatedly scanning the edge stream in memory-sized
+// batches and replacing the tree with a genuine DFS tree of
+// (current tree ∪ batch) until no batch changes it (the buffered
+// restructuring strategy of Sibeyn, Abello and Meyer's implementation).
+//
+// The root's children appear in the given priority order, which is what
+// Kosaraju-style SCC extraction (DFS-SCC) builds on.
+
+#ifndef IOSCC_SCC_SEMI_EXTERNAL_DFS_H_
+#define IOSCC_SCC_SEMI_EXTERNAL_DFS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "scc/options.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace ioscc {
+
+// A rooted tree with ordered children (DFS semantics). Node `n` is the
+// virtual root; children order encodes the DFS visit order, so preorder
+// and postorder are derived by plain traversal.
+struct DfsForest {
+  NodeId n;                                   // real node count; root = n
+  std::vector<NodeId> parent;                 // size n+1
+  std::vector<std::vector<NodeId>> children;  // in DFS visit order
+
+  explicit DfsForest(NodeId n_in) : n(n_in) {
+    parent.assign(static_cast<size_t>(n) + 1, kInvalidNode);
+    children.assign(static_cast<size_t>(n) + 1, {});
+  }
+
+  // fn(node, entering): entering=true on first visit, false when leaving.
+  template <typename Fn>
+  void Traverse(Fn fn) const {
+    struct Frame {
+      NodeId node;
+      size_t child_pos;
+    };
+    std::vector<Frame> stack;
+    fn(n, true);
+    stack.push_back({n, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.child_pos < children[frame.node].size()) {
+        NodeId c = children[frame.node][frame.child_pos++];
+        fn(c, true);
+        stack.push_back({c, 0});
+        continue;
+      }
+      fn(frame.node, false);
+      stack.pop_back();
+    }
+  }
+
+  // Preorder numbers of all nodes (root included, pre[root] = 0).
+  std::vector<uint32_t> Preorder() const;
+
+  // Real nodes in decreasing postorder (last-finished first).
+  std::vector<NodeId> DecreasingPostorder() const;
+
+  // component[v] = the root-child whose subtree contains v.
+  void LabelRootSubtrees(std::vector<NodeId>* component) const;
+};
+
+// Computes a DFS tree of the graph at `path` with root children in
+// `priority` order (must be a permutation of 0..n-1). Progress counters
+// are accumulated into `stats` (iterations = stream scans; pushdowns =
+// reshaping batches). Returns Incomplete on the iteration cap or
+// deadline.
+Status BuildSemiExternalDfsTree(const std::string& path,
+                                const std::vector<NodeId>& priority,
+                                const SemiExternalOptions& options,
+                                const Deadline& deadline, RunStats* stats,
+                                std::unique_ptr<DfsForest>* out);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_SEMI_EXTERNAL_DFS_H_

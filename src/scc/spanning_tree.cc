@@ -1,0 +1,197 @@
+#include "scc/spanning_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ioscc {
+
+SpanningTree::SpanningTree(NodeId n) : n_(n) {
+  const size_t total = static_cast<size_t>(n) + 1;
+  parent_.assign(total, kInvalidNode);
+  depth_.assign(total, 1);
+  first_child_.assign(total, kInvalidNode);
+  next_sibling_.assign(total, kInvalidNode);
+  prev_sibling_.assign(total, kInvalidNode);
+
+  depth_[n_] = 0;
+  // Star: children are linked in id order (node 0 first).
+  for (NodeId v = 0; v < n; ++v) {
+    parent_[v] = n_;
+    if (v + 1 < n) next_sibling_[v] = v + 1;
+    if (v > 0) prev_sibling_[v] = v - 1;
+  }
+  if (n > 0) first_child_[n_] = 0;
+}
+
+bool SpanningTree::IsAncestor(NodeId anc, NodeId desc) const {
+  if (depth_[anc] > depth_[desc]) return false;
+  NodeId v = desc;
+  while (depth_[v] > depth_[anc]) v = parent_[v];
+  return v == anc;
+}
+
+void SpanningTree::Detach(NodeId v) {
+  NodeId p = parent_[v];
+  assert(p != kInvalidNode);
+  if (first_child_[p] == v) first_child_[p] = next_sibling_[v];
+  if (prev_sibling_[v] != kInvalidNode) {
+    next_sibling_[prev_sibling_[v]] = next_sibling_[v];
+  }
+  if (next_sibling_[v] != kInvalidNode) {
+    prev_sibling_[next_sibling_[v]] = prev_sibling_[v];
+  }
+  prev_sibling_[v] = next_sibling_[v] = kInvalidNode;
+  parent_[v] = kInvalidNode;
+}
+
+void SpanningTree::Attach(NodeId v, NodeId parent) {
+  assert(parent_[v] == kInvalidNode);
+  parent_[v] = parent;
+  NodeId head = first_child_[parent];
+  next_sibling_[v] = head;
+  if (head != kInvalidNode) prev_sibling_[head] = v;
+  first_child_[parent] = v;
+  prev_sibling_[v] = kInvalidNode;
+}
+
+uint32_t SpanningTree::SetSubtreeDepths(NodeId v, uint32_t base_depth) {
+  // Depth-first, assigning depth relative to the (already correct) parent.
+  depth_[v] = base_depth;
+  uint32_t max_depth = base_depth;
+  NodeId node = v;
+  while (true) {
+    if (first_child_[node] != kInvalidNode) {
+      node = first_child_[node];
+      depth_[node] = depth_[parent_[node]] + 1;
+      max_depth = std::max(max_depth, depth_[node]);
+      continue;
+    }
+    while (node != v && next_sibling_[node] == kInvalidNode) {
+      node = parent_[node];
+    }
+    if (node == v) return max_depth;
+    node = next_sibling_[node];
+    depth_[node] = depth_[parent_[node]] + 1;
+    max_depth = std::max(max_depth, depth_[node]);
+  }
+}
+
+void SpanningTree::Reparent(NodeId v, NodeId u, uint32_t* moved_max_depth) {
+  assert(v != root());
+  assert(!IsAncestor(v, u) && "cannot paste a subtree under itself");
+  Detach(v);
+  Attach(v, u);
+  uint32_t max_depth = SetSubtreeDepths(v, depth_[u] + 1);
+  if (moved_max_depth != nullptr) *moved_max_depth = max_depth;
+}
+
+void SpanningTree::SpliceChildrenTo(NodeId from, NodeId to) {
+  NodeId child = first_child_[from];
+  while (child != kInvalidNode) {
+    NodeId next = next_sibling_[child];
+    Detach(child);
+    Attach(child, to);
+    SetSubtreeDepths(child, depth_[to] + 1);
+    child = next;
+  }
+}
+
+void SpanningTree::Remove(NodeId v) {
+  assert(v != root());
+  NodeId p = parent_[v];
+  SpliceChildrenTo(v, p);
+  Detach(v);
+}
+
+void SpanningTree::RebuildFromParents(const std::vector<NodeId>& parents) {
+  assert(parents.size() == n_);
+  const size_t total = static_cast<size_t>(n_) + 1;
+  std::fill(first_child_.begin(), first_child_.end(), kInvalidNode);
+  std::fill(next_sibling_.begin(), next_sibling_.end(), kInvalidNode);
+  std::fill(prev_sibling_.begin(), prev_sibling_.end(), kInvalidNode);
+  parent_.assign(total, kInvalidNode);
+  for (NodeId v = 0; v < n_; ++v) {
+    if (parents[v] == kInvalidNode) continue;
+    parent_[v] = parents[v];
+    NodeId head = first_child_[parents[v]];
+    next_sibling_[v] = head;
+    if (head != kInvalidNode) prev_sibling_[head] = v;
+    first_child_[parents[v]] = v;
+  }
+  RecomputeDepths();
+}
+
+void SpanningTree::ContractPathInto(NodeId desc, NodeId anc,
+                                    std::vector<NodeId>* merged) {
+  assert(IsAncestor(anc, desc) && anc != desc);
+  const size_t first_merged = merged->size();
+  for (NodeId w = desc; w != anc; w = parent_[w]) {
+    assert(w != root());
+    merged->push_back(w);
+  }
+  // Detach all path nodes first so that child-list splicing below never
+  // re-attaches a node that is itself being contracted.
+  for (size_t i = first_merged; i < merged->size(); ++i) {
+    Detach((*merged)[i]);
+  }
+  for (size_t i = first_merged; i < merged->size(); ++i) {
+    SpliceChildrenTo((*merged)[i], anc);
+  }
+}
+
+uint64_t SpanningTree::SubtreeSize(NodeId v) const {
+  uint64_t count = 0;
+  ForEachInSubtree(v, [&count](NodeId) { ++count; });
+  return count;
+}
+
+void SpanningTree::RecomputeDepths() {
+  depth_[root()] = 0;
+  SetSubtreeDepths(root(), 0);
+}
+
+bool SpanningTree::CheckConsistency() const {
+  const NodeId r = root();
+  if (parent_[r] != kInvalidNode || depth_[r] != 0) return false;
+  // Every node that is attached (parent != invalid) must appear exactly
+  // once in its parent's child list, with a consistent depth.
+  std::vector<bool> seen(static_cast<size_t>(n_) + 1, false);
+  uint64_t visited = 0;
+  // Traverse from the root.
+  NodeId node = r;
+  while (true) {
+    if (seen[node]) return false;  // cycle in child links
+    seen[node] = true;
+    ++visited;
+    if (node != r) {
+      if (parent_[node] == kInvalidNode) return false;
+      if (depth_[node] != depth_[parent_[node]] + 1) return false;
+    }
+    if (first_child_[node] != kInvalidNode) {
+      NodeId c = first_child_[node];
+      if (parent_[c] != node || prev_sibling_[c] != kInvalidNode) {
+        return false;
+      }
+      node = c;
+      continue;
+    }
+    while (node != r && next_sibling_[node] == kInvalidNode) {
+      node = parent_[node];
+    }
+    if (node == r) break;
+    NodeId sib = next_sibling_[node];
+    if (prev_sibling_[sib] != node || parent_[sib] != parent_[node]) {
+      return false;
+    }
+    node = sib;
+  }
+  // Detached nodes (removed by early rejection) are allowed; attached node
+  // count must match what the traversal saw.
+  uint64_t attached = 1;  // root
+  for (NodeId v = 0; v < n_; ++v) {
+    if (parent_[v] != kInvalidNode) ++attached;
+  }
+  return attached == visited;
+}
+
+}  // namespace ioscc

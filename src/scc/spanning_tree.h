@@ -1,0 +1,126 @@
+// Rooted spanning-tree structure for the BR-Tree / BR+-Tree algorithms.
+//
+// The tree covers real nodes 0..n-1 plus a virtual root (id n). It starts
+// as the star rooted at the virtual root (the paper's initial spanning
+// tree for a possibly disconnected graph) and supports the reshaping
+// operations of Sections 5-7:
+//
+//   * Reparent / pushdown (⇓): cut the subtree at v, paste it under u, and
+//     update the depths of exactly the moved subtree — the locality win
+//     over DFS-tree reshaping that Fig. 3 illustrates.
+//   * Ancestor tests by climbing parent pointers with depth alignment.
+//   * Child-list splicing, used when a tree path is contracted into one
+//     node or when an early-rejected node is removed.
+//
+// Invariant maintained throughout: every non-root tree edge (parent(v), v)
+// corresponds to a real edge of G (virtual-root edges are the only fake
+// ones, and no contraction path can cross the root because no real edge
+// enters it). This is what makes "tree path + backward edge = cycle" sound.
+
+#ifndef IOSCC_SCC_SPANNING_TREE_H_
+#define IOSCC_SCC_SPANNING_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ioscc {
+
+class SpanningTree {
+ public:
+  // Builds the initial star: nodes 0..n-1 all children of the virtual root.
+  explicit SpanningTree(NodeId n);
+
+  NodeId real_node_count() const { return n_; }
+  NodeId root() const { return n_; }
+
+  NodeId parent(NodeId v) const { return parent_[v]; }
+  uint32_t depth(NodeId v) const { return depth_[v]; }
+  NodeId first_child(NodeId v) const { return first_child_[v]; }
+  NodeId next_sibling(NodeId v) const { return next_sibling_[v]; }
+
+  // True iff `anc` is an ancestor of `desc` (a node is its own ancestor).
+  // Cost: O(depth(desc) - depth(anc)) parent hops.
+  bool IsAncestor(NodeId anc, NodeId desc) const;
+
+  // Moves the subtree rooted at v under new parent u and updates the
+  // depths of the moved subtree. u must not be inside v's subtree.
+  // If `moved_max_depth` is non-null it receives the maximum depth in the
+  // moved subtree after the move (early rejection widens its drank_max
+  // bound with this; see one_phase.cc).
+  void Reparent(NodeId v, NodeId u, uint32_t* moved_max_depth = nullptr);
+
+  // Detaches every child of `from` and re-attaches it (with its subtree)
+  // under `to`, updating depths. Used by path contraction: the members of
+  // a contracted path donate their children to the surviving node.
+  void SpliceChildrenTo(NodeId from, NodeId to);
+
+  // Removes `v` from the tree: its children (with subtrees) are re-attached
+  // under parent(v) with updated depths, and v itself is unlinked. Used by
+  // early rejection. v must not be the root.
+  void Remove(NodeId v);
+
+  // Structural part of contracting the tree path from `desc` up to its
+  // ancestor `anc` (exclusive): every node strictly between anc and desc,
+  // and desc itself, is detached and its children re-attached under anc
+  // (depths updated). The detached path nodes are appended to `merged`;
+  // the caller is responsible for merging them into anc in its union-find.
+  void ContractPathInto(NodeId desc, NodeId anc,
+                        std::vector<NodeId>* merged);
+
+  // Replaces the whole tree structure: `parents[v]` is v's new parent
+  // (possibly the root) or kInvalidNode to leave v detached. Child lists
+  // and depths are rebuilt from scratch. Used by 1PB-SCC, which re-derives
+  // the BR-Tree from longest paths over each batch DAG.
+  void RebuildFromParents(const std::vector<NodeId>& parents);
+
+  // Calls fn(node) for every node in the subtree rooted at v (including v).
+  template <typename Fn>
+  void ForEachInSubtree(NodeId v, Fn fn) const {
+    NodeId node = v;
+    // Iterative pre-order traversal bounded to v's subtree.
+    while (true) {
+      fn(node);
+      if (first_child_[node] != kInvalidNode) {
+        node = first_child_[node];
+        continue;
+      }
+      while (node != v && next_sibling_[node] == kInvalidNode) {
+        node = parent_[node];
+      }
+      if (node == v) return;
+      node = next_sibling_[node];
+    }
+  }
+
+  // Number of nodes in v's subtree (O(subtree size)).
+  uint64_t SubtreeSize(NodeId v) const;
+
+  // Recomputes every depth from the parent structure (O(n)); used after
+  // bulk restructuring and by the self-check below.
+  void RecomputeDepths();
+
+  // Debug self-check: parent/child links are mutually consistent, depths
+  // match the parent chain, and every non-root node is reachable from the
+  // root. O(n). Returns false (and asserts in debug builds) on violation.
+  bool CheckConsistency() const;
+
+ private:
+  void Detach(NodeId v);
+  void Attach(NodeId v, NodeId parent);
+  // Assigns depths in v's subtree starting from base_depth; returns the
+  // maximum depth assigned.
+  uint32_t SetSubtreeDepths(NodeId v, uint32_t base_depth);
+
+  NodeId n_;
+  std::vector<NodeId> parent_;
+  std::vector<uint32_t> depth_;
+  std::vector<NodeId> first_child_;
+  std::vector<NodeId> next_sibling_;
+  std::vector<NodeId> prev_sibling_;
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_SPANNING_TREE_H_

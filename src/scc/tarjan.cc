@@ -1,0 +1,107 @@
+#include "scc/tarjan.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ioscc {
+namespace {
+
+constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
+
+// Iterative Tarjan. Emits, via `on_component`, each SCC as it completes
+// (reverse topological order of the condensation).
+template <typename OnComponent>
+void RunTarjan(const Digraph& graph, std::vector<NodeId>* component,
+               OnComponent on_component) {
+  const NodeId n = graph.node_count();
+  component->assign(n, kInvalidNode);
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;          // Tarjan's component stack
+  uint32_t next_index = 0;
+
+  struct Frame {
+    NodeId node;
+    size_t edge_pos;  // next out-neighbor to explore
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      NodeId u = frame.node;
+      auto neighbors = graph.OutNeighbors(u);
+      if (frame.edge_pos < neighbors.size()) {
+        NodeId v = neighbors[frame.edge_pos++];
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          dfs.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+        continue;
+      }
+      // u finished: pop a component if u is its root.
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        NodeId parent = dfs.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+      }
+      if (lowlink[u] == index[u]) {
+        // Pop u's component off the stack; use the smallest member id as
+        // the label so results come out normalized without a second pass.
+        size_t first = stack.size();
+        do {
+          --first;
+          on_stack[stack[first]] = false;
+        } while (stack[first] != u);
+        NodeId label = *std::min_element(stack.begin() + first, stack.end());
+        for (size_t i = first; i < stack.size(); ++i) {
+          (*component)[stack[i]] = label;
+        }
+        on_component(label,
+                     std::span<const NodeId>(stack.data() + first,
+                                             stack.size() - first));
+        stack.resize(first);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SccResult TarjanScc(const Digraph& graph) {
+  SccResult result;
+  RunTarjan(graph, &result.component,
+            [](NodeId, std::span<const NodeId>) {});
+  return result;
+}
+
+std::vector<Edge> CondensationOf(const Digraph& graph, SccResult* scc,
+                                 std::vector<NodeId>* order) {
+  order->clear();
+  RunTarjan(graph, &scc->component,
+            [&](NodeId label, std::span<const NodeId>) {
+              order->push_back(label);
+            });
+  std::vector<Edge> dag_edges;
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    NodeId cu = scc->component[u];
+    for (NodeId v : graph.OutNeighbors(u)) {
+      NodeId cv = scc->component[v];
+      if (cu != cv) dag_edges.push_back(Edge{cu, cv});
+    }
+  }
+  return dag_edges;
+}
+
+}  // namespace ioscc

@@ -1,0 +1,30 @@
+// Tarjan's in-memory SCC algorithm (iterative).
+//
+// Linear-time oracle for correctness tests and the in-memory kernel inside
+// 1PB-SCC (per-batch graphs) and EM-SCC (per-partition graphs).
+
+#ifndef IOSCC_SCC_TARJAN_H_
+#define IOSCC_SCC_TARJAN_H_
+
+#include "graph/digraph.h"
+#include "scc/scc_result.h"
+
+namespace ioscc {
+
+// Computes the SCC partition of `graph`. Labels are normalized.
+// Also usable as a condensation primitive: see CondensationOf below.
+SccResult TarjanScc(const Digraph& graph);
+
+// The condensation (DAG of SCCs) of `graph`:
+//   * `scc` receives the (normalized) partition,
+//   * `order` receives component representatives in a reverse topological
+//     order of the condensation (every edge goes from a component later in
+//     `order` to one earlier — Tarjan emits components in that order),
+//   * returns the condensation edges with components named by their
+//     canonical representative (self-loops removed, duplicates possible).
+std::vector<Edge> CondensationOf(const Digraph& graph, SccResult* scc,
+                                 std::vector<NodeId>* order);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_TARJAN_H_

@@ -1,0 +1,38 @@
+// 2P-SCC: the paper's two-phase single-tree algorithm (Section 6).
+//
+// Phase 1, Tree-Construction (Algorithm 4): starting from the star
+// spanning tree, repeatedly scan the edge stream and eliminate up-edges
+// (Definition 5.1, evaluated with exact drank/dlink) either by recording a
+// backward edge to dlink(v) when that node is an ancestor of u, or by the
+// pushdown reshaping T ⇓ (u, v). Stored backward edges are refreshed from
+// stream backward edges every scan (update-drank). The loop ends when a
+// full scan changes nothing; at most depth(G) iterations (Lemma 6.1).
+//
+// Phase 2, Tree-Search (Algorithm 5): scan the stream once and contract
+// the tree path v..u for every backward edge (u, v), starting with the
+// stored backward edges of the BR+-Tree. Each contracted set is one SCC.
+// We iterate the search scan to a fixpoint and report the scan count in
+// RunStats::search_scans; with the no-up-edge invariant established by
+// phase 1 the fixpoint is reached after the first scan (the second scan is
+// the emptiness check), matching the paper's single-scan claim.
+
+#ifndef IOSCC_SCC_TWO_PHASE_H_
+#define IOSCC_SCC_TWO_PHASE_H_
+
+#include <string>
+
+#include "scc/options.h"
+#include "scc/scc_result.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+// Computes all SCCs of the graph stored in `edge_file`. On success,
+// `result` holds the normalized partition and `stats` the I/O counts.
+Status TwoPhaseScc(const std::string& edge_file,
+                   const SemiExternalOptions& options, SccResult* result,
+                   RunStats* stats);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_TWO_PHASE_H_

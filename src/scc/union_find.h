@@ -1,0 +1,72 @@
+// Disjoint sets with path halving and union by size.
+//
+// The contraction substrate: when a tree path is contracted into one SCC
+// node (Tree-Search, early acceptance), the members are merged here and
+// exactly one representative keeps tree state (parent/depth).
+
+#ifndef IOSCC_SCC_UNION_FIND_H_
+#define IOSCC_SCC_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ioscc {
+
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n = 0) { Reset(n); }
+
+  void Reset(NodeId n) {
+    parent_.resize(n);
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+    size_.assign(n, 1);
+  }
+
+  NodeId size() const { return static_cast<NodeId>(parent_.size()); }
+
+  NodeId Find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool Same(NodeId a, NodeId b) { return Find(a) == Find(b); }
+
+  // Merges the sets of a and b and FORCES `into` (which must be Find(a) or
+  // Find(b)) to be the representative. Tree contraction needs to dictate
+  // which node keeps the tree state, so no union-by-size here; set sizes
+  // are still maintained.
+  void UnionInto(NodeId a, NodeId b, NodeId into) {
+    NodeId ra = Find(a), rb = Find(b);
+    if (ra == rb) return;
+    NodeId other = (into == ra) ? rb : ra;
+    parent_[other] = into;
+    size_[into] += size_[other];
+  }
+
+  // Standard union by size; returns the new representative.
+  NodeId Union(NodeId a, NodeId b) {
+    NodeId ra = Find(a), rb = Find(b);
+    if (ra == rb) return ra;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return ra;
+  }
+
+  // Size of x's set.
+  uint32_t SetSize(NodeId x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_UNION_FIND_H_

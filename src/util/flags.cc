@@ -1,0 +1,63 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace ioscc {
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.values_[arg] = "true";
+    } else {
+      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value
+                             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value
+                             : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> Flags::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!used_.count(name)) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace ioscc

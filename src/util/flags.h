@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Flags have the form --name=value or --name (boolean true). Unknown flags
+// are reported so that typos in sweep scripts fail loudly.
+
+#ifndef IOSCC_UTIL_FLAGS_H_
+#define IOSCC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ioscc {
+
+class Flags {
+ public:
+  // Parses argv; positional (non --) arguments are collected in order.
+  static Flags Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Names that were parsed but never read via a Get*; used by binaries to
+  // reject typos: call after all Get* calls.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_UTIL_FLAGS_H_

@@ -1,0 +1,15 @@
+#include "util/logging.h"
+
+namespace ioscc {
+namespace {
+LogLevel g_level = LogLevel::kQuiet;
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal_logging {
+void LogPrefix(const char* tag) { std::fprintf(stderr, "[%s] ", tag); }
+}  // namespace internal_logging
+
+}  // namespace ioscc

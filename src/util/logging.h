@@ -1,0 +1,42 @@
+// Tiny leveled logging to stderr, enabled per-binary.
+//
+// The library itself stays quiet by default; benches flip the level to see
+// per-iteration progress (iterations, prune counts) the way the paper's
+// Table 1 reports them.
+
+#ifndef IOSCC_UTIL_LOGGING_H_
+#define IOSCC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <utility>
+
+namespace ioscc {
+
+enum class LogLevel : int { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+void LogPrefix(const char* tag);
+}  // namespace internal_logging
+
+template <typename... Args>
+void LogInfo(const char* fmt, Args&&... args) {
+  if (GetLogLevel() < LogLevel::kInfo) return;
+  internal_logging::LogPrefix("INFO");
+  std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+  std::fputc('\n', stderr);
+}
+
+template <typename... Args>
+void LogDebug(const char* fmt, Args&&... args) {
+  if (GetLogLevel() < LogLevel::kDebug) return;
+  internal_logging::LogPrefix("DEBG");
+  std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace ioscc
+
+#endif  // IOSCC_UTIL_LOGGING_H_

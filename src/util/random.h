@@ -1,0 +1,88 @@
+// Deterministic, seedable pseudo-random generators used by the synthetic
+// graph generators and the property tests.
+//
+// We implement SplitMix64 (for seeding / hashing) and xoshiro256** (the
+// workhorse generator). Both are tiny, fast, and reproducible across
+// platforms, which matters because test expectations and benchmark datasets
+// are derived from fixed seeds.
+
+#ifndef IOSCC_UTIL_RANDOM_H_
+#define IOSCC_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace ioscc {
+
+// One step of the SplitMix64 sequence starting at `state`; advances `state`.
+inline uint64_t SplitMix64Next(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna. Seeded via SplitMix64 so that any
+// 64-bit seed (including 0) yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5ccc0de5ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    for (auto& word : s_) word = SplitMix64Next(seed);
+  }
+
+  uint64_t Next64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0. Uses Lemire's multiply-
+  // shift reduction with rejection to avoid modulo bias.
+  uint64_t Uniform(uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling on the top bits.
+    uint64_t x = Next64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with probability p.
+  bool OneIn(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_UTIL_RANDOM_H_

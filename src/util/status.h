@@ -1,0 +1,91 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Follows the RocksDB/LevelDB idiom: every fallible operation returns a
+// Status (or a StatusOr<T>); callers must check ok() before using results.
+// The library never throws.
+
+#ifndef IOSCC_UTIL_STATUS_H_
+#define IOSCC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ioscc {
+
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,
+    kIoError,
+    kOutOfMemoryBudget,
+    kIncomplete,   // algorithm hit an iteration/time cap before finishing
+    kInternal,
+  };
+
+  // Default-constructed Status is OK.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status OutOfMemoryBudget(std::string msg) {
+    return Status(Code::kOutOfMemoryBudget, std::move(msg));
+  }
+  static Status Incomplete(std::string msg) {
+    return Status(Code::kIncomplete, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsOutOfMemoryBudget() const {
+    return code_ == Code::kOutOfMemoryBudget;
+  }
+  bool IsIncomplete() const { return code_ == Code::kIncomplete; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  // "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+// Propagate a non-OK status to the caller.
+#define IOSCC_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::ioscc::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+}  // namespace ioscc
+
+#endif  // IOSCC_UTIL_STATUS_H_

@@ -1,0 +1,48 @@
+// Wall-clock timing for the benchmark harness.
+
+#ifndef IOSCC_UTIL_TIMER_H_
+#define IOSCC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ioscc {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// A soft deadline: algorithms poll Expired() between iterations and return
+// Status::Incomplete when the budget is gone (the paper's 5-hour cap,
+// reported as INF).
+class Deadline {
+ public:
+  // seconds <= 0 means "no deadline".
+  explicit Deadline(double seconds = 0) : seconds_(seconds) {}
+
+  bool Expired() const {
+    return seconds_ > 0 && timer_.ElapsedSeconds() >= seconds_;
+  }
+
+  double limit_seconds() const { return seconds_; }
+
+ private:
+  double seconds_;
+  Timer timer_;
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_UTIL_TIMER_H_

@@ -1,0 +1,244 @@
+// End-to-end correctness of every semi-external algorithm against the
+// in-memory oracle, across fixed cases and randomized property sweeps.
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "scc/algorithms.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::kPaperFigure1Nodes;
+using testing_util::OracleFor;
+using testing_util::PaperFigure1Edges;
+using testing_util::TempDirTest;
+
+// Algorithms that must terminate with the exact partition on every input.
+const SccAlgorithm kAlwaysTerminating[] = {
+    SccAlgorithm::kOnePhaseBatch,
+    SccAlgorithm::kOnePhase,
+    SccAlgorithm::kDfs,
+};
+
+// Runs `algorithm` and checks the outcome. 2P-SCC and EM-SCC are allowed
+// to return Incomplete (the paper reports both as INF on many inputs:
+// a Def. 5.1 fixpoint need not exist for 2P, and contraction can stall
+// for EM) — but when they do terminate the partition must be exact.
+void CheckAlgorithm(SccAlgorithm algorithm, const std::string& path,
+                    const SemiExternalOptions& options,
+                    const SccResult& oracle, const std::string& context) {
+  SccResult result;
+  RunStats stats;
+  Status st = RunScc(algorithm, path, options, &result, &stats);
+  const bool may_not_converge = algorithm == SccAlgorithm::kTwoPhase ||
+                                algorithm == SccAlgorithm::kEm;
+  if (may_not_converge && st.IsIncomplete()) return;
+  ASSERT_TRUE(st.ok()) << AlgorithmName(algorithm) << " " << context << ": "
+                       << st.ToString();
+  EXPECT_EQ(result, oracle) << AlgorithmName(algorithm) << " " << context;
+}
+
+SemiExternalOptions SmallOptions() {
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  options.memory_budget_bytes = 1 << 16;  // force multiple 1PB batches
+  return options;
+}
+
+class AlgorithmsFixedGraphTest : public TempDirTest {};
+
+TEST_F(AlgorithmsFixedGraphTest, PaperFigure1AllAlgorithms) {
+  const std::vector<Edge> edges = PaperFigure1Edges();
+  const SccResult oracle = OracleFor(kPaperFigure1Nodes, edges);
+  const std::string path = WriteGraph(kPaperFigure1Nodes, edges);
+  for (SccAlgorithm algorithm : AllAlgorithms()) {
+    SccResult result;
+    RunStats stats;
+    Status st = RunScc(algorithm, path, SmallOptions(), &result, &stats);
+    ASSERT_TRUE(st.ok()) << AlgorithmName(algorithm) << ": "
+                         << st.ToString();
+    EXPECT_EQ(result, oracle) << AlgorithmName(algorithm);
+  }
+}
+
+TEST_F(AlgorithmsFixedGraphTest, EmptyEdgeSet) {
+  const std::string path = WriteGraph(17, {});
+  const SccResult oracle = OracleFor(17, {});
+  for (SccAlgorithm algorithm : kAlwaysTerminating) {
+    SccResult result;
+    RunStats stats;
+    ASSERT_OK(RunScc(algorithm, path, SmallOptions(), &result, &stats));
+    EXPECT_EQ(result, oracle) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.ComponentCount(), 17u) << AlgorithmName(algorithm);
+  }
+  CheckAlgorithm(SccAlgorithm::kTwoPhase, path, SmallOptions(), oracle,
+                 "empty");
+}
+
+TEST_F(AlgorithmsFixedGraphTest, SelfLoopsAndParallelEdges) {
+  std::vector<Edge> edges = {{0, 0}, {0, 1}, {0, 1}, {1, 2},
+                             {2, 0}, {2, 0}, {3, 3}};
+  const SccResult oracle = OracleFor(4, edges);
+  const std::string path = WriteGraph(4, edges);
+  for (SccAlgorithm algorithm : kAlwaysTerminating) {
+    SccResult result;
+    RunStats stats;
+    ASSERT_OK(RunScc(algorithm, path, SmallOptions(), &result, &stats));
+    EXPECT_EQ(result, oracle) << AlgorithmName(algorithm);
+  }
+  CheckAlgorithm(SccAlgorithm::kTwoPhase, path, SmallOptions(), oracle,
+                 "selfloops");
+}
+
+TEST_F(AlgorithmsFixedGraphTest, SingleGiantCycle) {
+  std::vector<Edge> edges;
+  const NodeId n = 1000;
+  for (NodeId v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n});
+  const SccResult oracle = OracleFor(n, edges);
+  const std::string path = WriteGraph(n, edges);
+  for (SccAlgorithm algorithm : kAlwaysTerminating) {
+    SccResult result;
+    RunStats stats;
+    ASSERT_OK(RunScc(algorithm, path, SmallOptions(), &result, &stats));
+    EXPECT_EQ(result, oracle) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.ComponentCount(), 1u) << AlgorithmName(algorithm);
+  }
+  CheckAlgorithm(SccAlgorithm::kTwoPhase, path, SmallOptions(), oracle,
+                 "cycle");
+}
+
+TEST_F(AlgorithmsFixedGraphTest, PureDagHasOnlySingletons) {
+  std::vector<Edge> edges;
+  const NodeId n = 200;
+  Rng rng(7);
+  for (int i = 0; i < 800; ++i) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    if (a == b) continue;
+    edges.push_back({std::min(a, b), std::max(a, b)});
+  }
+  const SccResult oracle = OracleFor(n, edges);
+  const std::string path = WriteGraph(n, edges);
+  for (SccAlgorithm algorithm : kAlwaysTerminating) {
+    SccResult result;
+    RunStats stats;
+    ASSERT_OK(RunScc(algorithm, path, SmallOptions(), &result, &stats));
+    EXPECT_EQ(result, oracle) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.ComponentCount(), n) << AlgorithmName(algorithm);
+  }
+  CheckAlgorithm(SccAlgorithm::kTwoPhase, path, SmallOptions(), oracle,
+                 "dag");
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: uniform random graphs across seeds and densities.
+
+class AlgorithmsRandomTest
+    : public TempDirTest,
+      public ::testing::WithParamInterface<std::tuple<int, double>> {};
+
+TEST_P(AlgorithmsRandomTest, MatchesOracle) {
+  const int seed = std::get<0>(GetParam());
+  const double degree = std::get<1>(GetParam());
+  Rng rng(seed * 1000003ULL);
+  const NodeId n = static_cast<NodeId>(30 + rng.Uniform(400));
+  std::vector<Edge> edges;
+  ASSERT_OK(GenerateUniformEdges(n, static_cast<uint64_t>(n * degree),
+                                 seed * 31 + 7, &edges));
+  const SccResult oracle = OracleFor(n, edges);
+  const std::string path = WriteGraph(n, edges);
+  for (SccAlgorithm algorithm : kAlwaysTerminating) {
+    SccResult result;
+    RunStats stats;
+    Status st = RunScc(algorithm, path, SmallOptions(), &result, &stats);
+    ASSERT_TRUE(st.ok()) << AlgorithmName(algorithm) << " n=" << n
+                         << " degree=" << degree << " seed=" << seed << ": "
+                         << st.ToString();
+    EXPECT_EQ(result, oracle)
+        << AlgorithmName(algorithm) << " n=" << n << " degree=" << degree
+        << " seed=" << seed;
+  }
+  const std::string context =
+      "n=" + std::to_string(n) + " seed=" + std::to_string(seed);
+  CheckAlgorithm(SccAlgorithm::kTwoPhase, path, SmallOptions(), oracle,
+                 context);
+  CheckAlgorithm(SccAlgorithm::kEm, path, SmallOptions(), oracle, context);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlgorithmsRandomTest,
+    ::testing::Combine(::testing::Range(1, 21),
+                       ::testing::Values(0.5, 1.0, 1.5, 3.0, 6.0)));
+
+// Planted-SCC graphs: the generator plants components that must be
+// recovered exactly.
+class AlgorithmsPlantedTest : public TempDirTest,
+                              public ::testing::WithParamInterface<int> {};
+
+TEST_P(AlgorithmsPlantedTest, RecoversPlantedComponents) {
+  const int seed = GetParam();
+  PlantedSccSpec spec;
+  spec.node_count = 600;
+  spec.avg_degree = 4.0;
+  spec.components = {{40, 2}, {9, 10}, {2, 20}};
+  spec.seed = static_cast<uint64_t>(seed) * 99991;
+  std::vector<Edge> edges;
+  ASSERT_OK(GeneratePlantedSccEdges(spec, &edges));
+  const SccResult oracle =
+      OracleFor(static_cast<NodeId>(spec.node_count), edges);
+  const std::string path =
+      WriteGraph(static_cast<NodeId>(spec.node_count), edges);
+  for (SccAlgorithm algorithm : kAlwaysTerminating) {
+    SccResult result;
+    RunStats stats;
+    ASSERT_OK(RunScc(algorithm, path, SmallOptions(), &result, &stats));
+    EXPECT_EQ(result, oracle) << AlgorithmName(algorithm)
+                              << " seed=" << seed;
+  }
+  CheckAlgorithm(SccAlgorithm::kTwoPhase, path, SmallOptions(), oracle,
+                 "seed=" + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlgorithmsPlantedTest,
+                         ::testing::Range(1, 16));
+
+// EM-SCC terminates when memory is ample and reports Incomplete (not a
+// wrong answer, not an endless loop) when contraction cannot shrink a
+// too-large DAG (Case-2 of Section 4).
+class EmSccTest : public TempDirTest {};
+
+TEST_F(EmSccTest, CorrectWithAmpleMemory) {
+  const std::vector<Edge> edges = PaperFigure1Edges();
+  const SccResult oracle = OracleFor(kPaperFigure1Nodes, edges);
+  const std::string path = WriteGraph(kPaperFigure1Nodes, edges);
+  SemiExternalOptions options = SmallOptions();
+  options.memory_budget_bytes = 1 << 20;
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(RunScc(SccAlgorithm::kEm, path, options, &result, &stats));
+  EXPECT_EQ(result, oracle);
+}
+
+TEST_F(EmSccTest, ReportsIncompleteOnOversizedDag) {
+  // A long path (pure DAG) with a memory budget far below the edge count:
+  // contraction never fires, the graph never shrinks.
+  std::vector<Edge> edges;
+  const NodeId n = 20000;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  const std::string path = WriteGraph(n, edges);
+  SemiExternalOptions options = SmallOptions();
+  options.memory_budget_bytes = 1;  // floor of 1024 edges per chunk
+  SccResult result;
+  RunStats stats;
+  Status st = RunScc(SccAlgorithm::kEm, path, options, &result, &stats);
+  EXPECT_TRUE(st.IsIncomplete()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace ioscc

@@ -1,0 +1,171 @@
+// Direct verification of the BR+-Tree construction invariant (Section 6):
+// when the Tree-Construction fixpoint converges, every edge of G is
+// "handled" — ancestor-related, a down-edge by exact drank, or an up-edge
+// whose cycle information is already recorded as a stored backward edge
+// at least as shallow as dlink of its target. The construction loop here
+// mirrors two_phase.cc using the same public building blocks.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/digraph.h"
+#include "scc/drank.h"
+#include "scc/spanning_tree.h"
+#include "scc/tarjan.h"
+#include "scc/union_find.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::kPaperFigure1Nodes;
+using testing_util::PaperFigure1Edges;
+
+struct ConstructionResult {
+  SpanningTree tree;
+  std::vector<NodeId> backedge;
+  DrankResult dr;
+  bool converged = false;
+};
+
+ConstructionResult RunConstruction(NodeId n, const std::vector<Edge>& edges,
+                                   uint64_t max_iterations) {
+  ConstructionResult result{SpanningTree(n),
+                            std::vector<NodeId>(n, kInvalidNode),
+                            DrankResult{},
+                            false};
+  result.dr = ComputeDrank(result.tree, result.backedge);
+  for (uint64_t iteration = 0; iteration < max_iterations; ++iteration) {
+    bool updated = false;
+    for (const Edge& e : edges) {
+      const NodeId u = e.from, v = e.to;
+      if (u == v) continue;
+      if (result.tree.IsAncestor(v, u)) {
+        if (result.backedge[u] == kInvalidNode ||
+            result.tree.depth(v) <
+                result.tree.depth(result.backedge[u])) {
+          result.backedge[u] = v;
+          updated = true;
+        }
+        continue;
+      }
+      if (result.tree.IsAncestor(u, v)) continue;
+      if (result.dr.drank[u] < result.dr.drank[v]) continue;
+      const NodeId target = result.dr.dlink[v];
+      if (target != u && target < n &&
+          result.tree.IsAncestor(target, u)) {
+        if (result.backedge[u] == kInvalidNode ||
+            result.tree.depth(target) <
+                result.tree.depth(result.backedge[u])) {
+          result.backedge[u] = target;
+          updated = true;
+        }
+      } else {
+        result.tree.Reparent(v, u);
+        updated = true;
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (result.backedge[v] != kInvalidNode &&
+          !result.tree.IsAncestor(result.backedge[v], v)) {
+        result.backedge[v] = kInvalidNode;
+      }
+    }
+    result.dr = ComputeDrank(result.tree, result.backedge);
+    if (!updated) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+// Every edge must be handled at convergence.
+void ExpectNoUnhandledUpEdge(const ConstructionResult& c,
+                             const std::vector<Edge>& edges, NodeId n) {
+  for (const Edge& e : edges) {
+    const NodeId u = e.from, v = e.to;
+    if (u == v) continue;
+    if (c.tree.IsAncestor(v, u)) {
+      // Backward edge: a stored backward edge at least as shallow exists.
+      ASSERT_NE(c.backedge[u], kInvalidNode)
+          << "(" << u << "," << v << ")";
+      EXPECT_LE(c.tree.depth(c.backedge[u]), c.tree.depth(v));
+      continue;
+    }
+    if (c.tree.IsAncestor(u, v)) continue;
+    if (c.dr.drank[u] < c.dr.drank[v]) continue;  // down-edge
+    // Up-edge: must be the handled replace case.
+    const NodeId target = c.dr.dlink[v];
+    ASSERT_TRUE(target == u ||
+                (target < n && c.tree.IsAncestor(target, u)))
+        << "unhandled up-edge (" << u << "," << v << ")";
+    if (target != u) {
+      ASSERT_NE(c.backedge[u], kInvalidNode);
+      EXPECT_LE(c.tree.depth(c.backedge[u]), c.tree.depth(target));
+    }
+  }
+}
+
+TEST(BrPlusInvariantTest, PaperFigure1Converges) {
+  const std::vector<Edge> edges = PaperFigure1Edges();
+  ConstructionResult c =
+      RunConstruction(kPaperFigure1Nodes, edges, 100);
+  ASSERT_TRUE(c.converged);
+  ASSERT_TRUE(c.tree.CheckConsistency());
+  ExpectNoUnhandledUpEdge(c, edges, kPaperFigure1Nodes);
+  // Example 6.1's outcome: c (node 2) carries a stored backward edge to
+  // b (node 1), replacing the up-edge (c, e).
+  EXPECT_EQ(c.backedge[2], 1u);
+}
+
+class BrPlusFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BrPlusFuzzTest, ConvergedConstructionsSatisfyTheInvariant) {
+  const int seed = GetParam();
+  Rng rng(seed * 7927);
+  const NodeId n = static_cast<NodeId>(15 + rng.Uniform(120));
+  std::vector<Edge> edges;
+  ASSERT_OK(GenerateUniformEdges(n, 3ull * n, seed * 11 + 5, &edges));
+  ConstructionResult c = RunConstruction(n, edges, n + 16);
+  if (!c.converged) return;  // documented non-convergence cases
+  ASSERT_TRUE(c.tree.CheckConsistency());
+  ExpectNoUnhandledUpEdge(c, edges, n);
+
+  // And tree search over the converged BR+-Tree yields the exact SCCs.
+  UnionFind uf(n + 1);
+  std::vector<NodeId> scratch;
+  auto contract = [&](NodeId desc, NodeId anc) {
+    NodeId d = uf.Find(desc), a = uf.Find(anc);
+    if (d == a || !c.tree.IsAncestor(a, d)) return;
+    scratch.clear();
+    c.tree.ContractPathInto(d, a, &scratch);
+    for (NodeId w : scratch) uf.UnionInto(a, w, a);
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    if (c.backedge[v] != kInvalidNode) contract(v, c.backedge[v]);
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const Edge& e : edges) {
+      NodeId a = uf.Find(e.from), b = uf.Find(e.to);
+      if (a != b && c.tree.IsAncestor(b, a)) {
+        contract(a, b);
+        changed = true;
+      }
+    }
+  }
+  SccResult mine;
+  mine.component.resize(n);
+  for (NodeId v = 0; v < n; ++v) mine.component[v] = uf.Find(v);
+  mine.Normalize();
+  EXPECT_EQ(mine, TarjanScc(Digraph(n, edges))) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BrPlusFuzzTest, ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace ioscc

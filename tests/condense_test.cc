@@ -1,0 +1,96 @@
+// Tests for the condensation pipeline (DAG writing + topological levels).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scc/algorithms.h"
+#include "scc/condense.h"
+#include "io/edge_file.h"
+#include "tests/test_util.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::kPaperFigure1Nodes;
+using testing_util::OracleFor;
+using testing_util::PaperFigure1Edges;
+using testing_util::TempDirTest;
+
+class CondenseTest : public TempDirTest {};
+
+TEST_F(CondenseTest, PaperFigure1Condensation) {
+  const std::vector<Edge> edges = PaperFigure1Edges();
+  const std::string graph = WriteGraph(kPaperFigure1Nodes, edges);
+  const SccResult scc = OracleFor(kPaperFigure1Nodes, edges);
+
+  const std::string dag = NewPath(".dag");
+  CondensationStats stats;
+  ASSERT_OK(WriteCondensation(graph, scc, dag, &stats, nullptr));
+  EXPECT_EQ(stats.component_count, 6u);
+  // 18 edges total; intra-SCC edges of {b,c,d,e} (5: bc,bd,ce,de,eb) and
+  // {g,h,i,j} (5: gj,ji,ih,hg,gi) drop.
+  EXPECT_EQ(stats.dropped_intra, 10u);
+  EXPECT_EQ(stats.edge_count, 8u);
+
+  // Every written edge connects two distinct component labels.
+  std::vector<Edge> dag_edges;
+  ASSERT_OK(ReadAllEdges(dag, &dag_edges, nullptr, nullptr));
+  for (const Edge& e : dag_edges) {
+    EXPECT_NE(e.from, e.to);
+    EXPECT_EQ(scc.component[e.from], e.from);
+    EXPECT_EQ(scc.component[e.to], e.to);
+  }
+}
+
+TEST_F(CondenseTest, RejectsMismatchedPartition) {
+  const std::string graph = WriteGraph(5, {{0, 1}});
+  SccResult scc;
+  scc.component = {0, 1, 2};  // wrong size
+  CondensationStats stats;
+  EXPECT_TRUE(WriteCondensation(graph, scc, NewPath(".dag"), &stats,
+                                nullptr)
+                  .IsInvalidArgument());
+}
+
+TEST_F(CondenseTest, TopologicalLevelsOnChain) {
+  // 0 -> 1 -> 2 -> 3: levels 0,1,2,3 after depth+1 relaxation scans plus
+  // one confirming scan.
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}};
+  const std::string dag = WriteGraph(4, edges);
+  std::vector<uint32_t> levels;
+  uint64_t scans = 0;
+  ASSERT_OK(TopologicalLevels(dag, &levels, &scans, nullptr));
+  EXPECT_EQ(levels, (std::vector<uint32_t>{0, 1, 2, 3}));
+  EXPECT_GE(scans, 2u);
+}
+
+TEST_F(CondenseTest, TopologicalLevelsDetectsCycles) {
+  std::vector<Edge> edges = {{0, 1}, {1, 0}};
+  const std::string not_a_dag = WriteGraph(2, edges);
+  std::vector<uint32_t> levels;
+  EXPECT_TRUE(TopologicalLevels(not_a_dag, &levels, nullptr, nullptr)
+                  .IsInvalidArgument());
+}
+
+TEST_F(CondenseTest, EndToEndPipeline) {
+  // graph -> SCC -> condensation -> levels must respect every DAG edge.
+  const std::vector<Edge> edges = PaperFigure1Edges();
+  const std::string graph = WriteGraph(kPaperFigure1Nodes, edges);
+  SccResult scc;
+  RunStats run_stats;
+  ASSERT_OK(RunScc(SccAlgorithm::kOnePhaseBatch, graph,
+                   SemiExternalOptions(), &scc, &run_stats));
+  const std::string dag = NewPath(".dag");
+  ASSERT_OK(WriteCondensation(graph, scc, dag, nullptr, nullptr));
+  std::vector<uint32_t> levels;
+  ASSERT_OK(TopologicalLevels(dag, &levels, nullptr, nullptr));
+  std::vector<Edge> dag_edges;
+  ASSERT_OK(ReadAllEdges(dag, &dag_edges, nullptr, nullptr));
+  for (const Edge& e : dag_edges) {
+    EXPECT_LT(levels[e.from], levels[e.to]);
+  }
+}
+
+}  // namespace
+}  // namespace ioscc

@@ -1,0 +1,165 @@
+// Tests for the exact drank/dlink computation (Definition in Section 5):
+// fixed examples including the paper's Fig. 5 shape, plus a brute-force
+// reachability cross-check on random tree/backedge structures.
+
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scc/drank.h"
+#include "scc/spanning_tree.h"
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+// Brute force: BFS over (tree-down ∪ backedge) reachability from every
+// node; drank = min depth reached, dlink = smallest node attaining it
+// (ties broken toward the smaller id as in ComputeDrank).
+void BruteForceDrank(const SpanningTree& tree,
+                     const std::vector<NodeId>& backedge,
+                     std::vector<uint32_t>* drank,
+                     std::vector<NodeId>* dlink) {
+  const NodeId n = tree.real_node_count();
+  const NodeId total = n + 1;
+  std::vector<std::vector<NodeId>> adj(total);
+  for (NodeId v = 0; v < n; ++v) {
+    if (tree.parent(v) != kInvalidNode) adj[tree.parent(v)].push_back(v);
+    if (backedge[v] != kInvalidNode) adj[v].push_back(backedge[v]);
+  }
+  drank->assign(total, 0);
+  dlink->assign(total, kInvalidNode);
+  for (NodeId s = 0; s < total; ++s) {
+    std::vector<bool> seen(total, false);
+    std::queue<NodeId> queue;
+    queue.push(s);
+    seen[s] = true;
+    uint32_t best = tree.depth(s);
+    NodeId best_node = s;
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop();
+      if (tree.depth(u) < best ||
+          (tree.depth(u) == best && u < best_node)) {
+        best = tree.depth(u);
+        best_node = u;
+      }
+      for (NodeId w : adj[u]) {
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push(w);
+        }
+      }
+    }
+    (*drank)[s] = best;
+    (*dlink)[s] = best_node;
+  }
+}
+
+TEST(DrankTest, StarWithoutBackedges) {
+  SpanningTree tree(4);
+  std::vector<NodeId> backedge(4, kInvalidNode);
+  DrankResult dr = ComputeDrank(tree, backedge);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(dr.drank[v], 1u);
+    EXPECT_EQ(dr.dlink[v], v);
+  }
+  EXPECT_EQ(dr.drank[tree.root()], 0u);
+}
+
+TEST(DrankTest, ChainWithBackedgeToTop) {
+  // root -> 0 -> 1 -> 2 -> 3 with backedge 3 -> 0.
+  SpanningTree tree(4);
+  tree.Reparent(1, 0);
+  tree.Reparent(2, 1);
+  tree.Reparent(3, 2);
+  std::vector<NodeId> backedge(4, kInvalidNode);
+  backedge[3] = 0;
+  DrankResult dr = ComputeDrank(tree, backedge);
+  // Everyone reaches 0 (via descendants and the backedge): drank = 1.
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(dr.drank[v], 1u) << v;
+    EXPECT_EQ(dr.dlink[v], 0u) << v;
+  }
+}
+
+TEST(DrankTest, Figure5Shape) {
+  // The paper's Fig. 5: f's sibling subtree contains d whose region
+  // reaches b (depth 1); the refined up-edge definition relies on
+  // drank(d) being b's depth even though d is deeper elsewhere.
+  //
+  // Build: root -> b(0); b -> c(1), b -> e(2); e -> d(3); backedge d->b.
+  SpanningTree tree(4);
+  tree.Reparent(1, 0);  // c under b
+  tree.Reparent(2, 0);  // e under b
+  tree.Reparent(3, 2);  // d under e
+  std::vector<NodeId> backedge(4, kInvalidNode);
+  backedge[3] = 0;  // d -> b
+  DrankResult dr = ComputeDrank(tree, backedge);
+  EXPECT_EQ(dr.drank[3], tree.depth(0));  // d reaches b
+  EXPECT_EQ(dr.dlink[3], 0u);
+  EXPECT_EQ(dr.drank[2], tree.depth(0));  // e reaches b through d
+  EXPECT_EQ(dr.drank[1], tree.depth(1));  // c reaches only itself
+}
+
+TEST(DrankTest, CrossSubtreeJumpPropagates) {
+  // Backedge chains must propagate through other subtrees: x jumps to an
+  // ancestor a whose OTHER child's subtree jumps even higher.
+  // root -> a(0) -> {b(1) -> x(2), c(3) -> y(4)}; x->a via backedge,
+  // y->a via backedge... then from a you can re-descend everywhere.
+  SpanningTree tree(5);
+  tree.Reparent(1, 0);
+  tree.Reparent(2, 1);
+  tree.Reparent(3, 0);
+  tree.Reparent(4, 3);
+  std::vector<NodeId> backedge(5, kInvalidNode);
+  backedge[2] = 0;
+  backedge[4] = 3;
+  DrankResult dr = ComputeDrank(tree, backedge);
+  EXPECT_EQ(dr.drank[2], tree.depth(0));
+  EXPECT_EQ(dr.drank[4], tree.depth(3));
+  EXPECT_EQ(dr.drank[1], tree.depth(0));  // through x
+}
+
+class DrankFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DrankFuzzTest, MatchesBruteForce) {
+  Rng rng(GetParam() * 104729);
+  const NodeId n = 40;
+  SpanningTree tree(n);
+  // Random tree shape.
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    if (u != v && !tree.IsAncestor(v, u) && !tree.IsAncestor(u, v)) {
+      tree.Reparent(v, u);
+    }
+  }
+  // Random valid backedges (target = proper ancestor).
+  std::vector<NodeId> backedge(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!rng.OneIn(0.5)) continue;
+    NodeId anc = tree.parent(v);
+    uint64_t hops = rng.Uniform(3);
+    while (hops-- > 0 && anc != kInvalidNode && anc != tree.root() &&
+           tree.parent(anc) != tree.root() &&
+           tree.parent(anc) != kInvalidNode) {
+      anc = tree.parent(anc);
+    }
+    if (anc != kInvalidNode && anc != tree.root()) backedge[v] = anc;
+  }
+
+  DrankResult dr = ComputeDrank(tree, backedge);
+  std::vector<uint32_t> want_drank;
+  std::vector<NodeId> want_dlink;
+  BruteForceDrank(tree, backedge, &want_drank, &want_dlink);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(dr.drank[v], want_drank[v]) << "node " << v;
+    EXPECT_EQ(dr.dlink[v], want_dlink[v]) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DrankFuzzTest, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace ioscc

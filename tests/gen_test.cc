@@ -1,0 +1,190 @@
+// Generator property tests: planted components must be exactly the SCCs
+// of the output, citation graphs must be DAGs before noise, and
+// everything must be deterministic in the seed.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/digraph.h"
+#include "scc/tarjan.h"
+#include "tests/test_util.h"
+
+namespace ioscc {
+namespace {
+
+TEST(PlantedSccTest, SpecAccounting) {
+  PlantedSccSpec spec;
+  spec.node_count = 1000;
+  spec.avg_degree = 3.0;
+  spec.components = {{50, 2}, {10, 5}};
+  EXPECT_EQ(spec.PlantedNodes(), 150u);
+  EXPECT_EQ(spec.TargetEdges(), 3000u);
+}
+
+TEST(PlantedSccTest, RejectsOversizedComponents) {
+  PlantedSccSpec spec;
+  spec.node_count = 100;
+  spec.components = {{60, 2}};
+  std::vector<Edge> edges;
+  EXPECT_TRUE(GeneratePlantedSccEdges(spec, &edges).IsInvalidArgument());
+}
+
+TEST(PlantedSccTest, RejectsSizeOneComponents) {
+  PlantedSccSpec spec;
+  spec.node_count = 100;
+  spec.components = {{1, 3}};
+  std::vector<Edge> edges;
+  EXPECT_TRUE(GeneratePlantedSccEdges(spec, &edges).IsInvalidArgument());
+}
+
+TEST(PlantedSccTest, DeterministicInSeed) {
+  PlantedSccSpec spec;
+  spec.node_count = 500;
+  spec.avg_degree = 4.0;
+  spec.components = {{20, 3}};
+  spec.seed = 77;
+  std::vector<Edge> a, b;
+  ASSERT_OK(GeneratePlantedSccEdges(spec, &a));
+  ASSERT_OK(GeneratePlantedSccEdges(spec, &b));
+  EXPECT_EQ(a, b);
+  spec.seed = 78;
+  ASSERT_OK(GeneratePlantedSccEdges(spec, &b));
+  EXPECT_NE(a, b);
+}
+
+// The central generator property: the SCCs of the output are EXACTLY the
+// planted components (filler edges respect the hidden condensation order,
+// so they can never create or enlarge a component).
+class PlantedExactnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlantedExactnessTest, SccsAreExactlyThePlantedComponents) {
+  const int seed = GetParam();
+  PlantedSccSpec spec;
+  spec.node_count = 800;
+  spec.avg_degree = 5.0;
+  spec.components = {{64, 1}, {16, 4}, {4, 10}, {2, 15}};
+  spec.seed = static_cast<uint64_t>(seed) * 1299709;
+  std::vector<Edge> edges;
+  ASSERT_OK(GeneratePlantedSccEdges(spec, &edges));
+  EXPECT_EQ(edges.size(), spec.TargetEdges());
+
+  SccResult scc =
+      TarjanScc(Digraph(static_cast<NodeId>(spec.node_count), edges));
+  // Histogram of component sizes >= 2 must match the spec exactly.
+  std::map<uint32_t, uint32_t> histogram;
+  for (uint32_t size : scc.ComponentSizes()) {
+    if (size >= 2) ++histogram[size];
+  }
+  std::map<uint32_t, uint32_t> expected;
+  for (const PlantedComponent& c : spec.components) {
+    expected[static_cast<uint32_t>(c.size)] +=
+        static_cast<uint32_t>(c.count);
+  }
+  EXPECT_EQ(histogram, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PlantedExactnessTest,
+                         ::testing::Range(1, 21));
+
+TEST(CitationTest, NoNoiseMeansDag) {
+  CitationSpec spec;
+  spec.node_count = 2000;
+  spec.avg_degree = 4.0;
+  spec.noise_fraction = 0.0;
+  spec.seed = 5;
+  std::vector<Edge> edges;
+  ASSERT_OK(GenerateCitationEdges(spec, &edges));
+  // Every edge cites an earlier node.
+  for (const Edge& e : edges) EXPECT_LT(e.to, e.from);
+  SccResult scc =
+      TarjanScc(Digraph(static_cast<NodeId>(spec.node_count), edges));
+  EXPECT_EQ(scc.ComponentCount(), spec.node_count);
+}
+
+TEST(CitationTest, NoiseCreatesSccs) {
+  CitationSpec spec;
+  spec.node_count = 2000;
+  spec.avg_degree = 4.0;
+  spec.noise_fraction = 0.10;
+  spec.seed = 5;
+  std::vector<Edge> edges;
+  ASSERT_OK(GenerateCitationEdges(spec, &edges));
+  SccResult scc =
+      TarjanScc(Digraph(static_cast<NodeId>(spec.node_count), edges));
+  EXPECT_LT(scc.ComponentCount(), spec.node_count);
+  EXPECT_GT(scc.NodesInNontrivialSccs(), 0u);
+}
+
+TEST(UniformTest, EdgeCountAndBounds) {
+  std::vector<Edge> edges;
+  ASSERT_OK(GenerateUniformEdges(100, 500, 9, &edges));
+  EXPECT_EQ(edges.size(), 500u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.from, 100u);
+    EXPECT_LT(e.to, 100u);
+    EXPECT_NE(e.from, e.to);  // generator never emits self-loops
+  }
+}
+
+TEST(PowerLawTest, HeavyTailAndBounds) {
+  std::vector<Edge> edges;
+  ASSERT_OK(GeneratePowerLawEdges(5000, 40000, 2.1, 7, &edges));
+  EXPECT_EQ(edges.size(), 40000u);
+  std::vector<uint32_t> out_degree(5000, 0);
+  for (const Edge& e : edges) {
+    ASSERT_LT(e.from, 5000u);
+    ASSERT_LT(e.to, 5000u);
+    EXPECT_NE(e.from, e.to);
+    ++out_degree[e.from];
+  }
+  // Heavy tail: the heaviest hub (node 0) dwarfs the median node.
+  std::vector<uint32_t> sorted = out_degree;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(out_degree[0], 50u * std::max<uint32_t>(1, sorted[2500]));
+}
+
+TEST(PowerLawTest, RejectsBadExponent) {
+  std::vector<Edge> edges;
+  EXPECT_TRUE(
+      GeneratePowerLawEdges(100, 10, 1.0, 1, &edges).IsInvalidArgument());
+}
+
+TEST(PowerLawTest, DeterministicInSeed) {
+  std::vector<Edge> a, b;
+  ASSERT_OK(GeneratePowerLawEdges(500, 2000, 2.2, 9, &a));
+  ASSERT_OK(GeneratePowerLawEdges(500, 2000, 2.2, 9, &b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(WebspamSpecTest, CompositionMatchesTheRealGraph) {
+  PlantedSccSpec spec = WebspamSpec(1'000'000, 10.0, 3);
+  // Giant SCC ~64.8%, coverage ~80%.
+  ASSERT_FALSE(spec.components.empty());
+  EXPECT_NEAR(static_cast<double>(spec.components[0].size) /
+                  spec.node_count,
+              0.648, 0.001);
+  EXPECT_NEAR(static_cast<double>(spec.PlantedNodes()) / spec.node_count,
+              0.80, 0.02);
+  EXPECT_LE(spec.PlantedNodes(), spec.node_count);
+}
+
+TEST(Table2SpecsTest, FamiliesMatchPaperStructure) {
+  PlantedSccSpec massive = MassiveSccSpec(30000, 5.0, 400, 1);
+  ASSERT_EQ(massive.components.size(), 1u);
+  EXPECT_EQ(massive.components[0].size, 400u);
+  EXPECT_EQ(massive.components[0].count, 1u);
+
+  PlantedSccSpec large = LargeSccSpec(30000, 5.0, 80, 50, 1);
+  EXPECT_EQ(large.components[0].count, 50u);
+
+  PlantedSccSpec small = SmallSccSpec(30000, 5.0, 40, 100, 1);
+  EXPECT_EQ(small.components[0].size, 40u);
+  EXPECT_EQ(small.components[0].count, 100u);
+}
+
+}  // namespace
+}  // namespace ioscc

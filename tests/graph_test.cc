@@ -1,0 +1,122 @@
+// Unit tests for the in-memory CSR graph and graph I/O bridges.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/graph_io.h"
+#include "io/edge_file.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::TempDirTest;
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph graph(0, {});
+  EXPECT_EQ(graph.node_count(), 0u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(DigraphTest, CsrNeighborsGroupedBySource) {
+  Digraph graph(4, {{2, 1}, {0, 3}, {2, 0}, {0, 1}});
+  EXPECT_EQ(graph.edge_count(), 4u);
+  EXPECT_EQ(graph.OutDegree(0), 2u);
+  EXPECT_EQ(graph.OutDegree(1), 0u);
+  EXPECT_EQ(graph.OutDegree(2), 2u);
+  EXPECT_EQ(graph.OutDegree(3), 0u);
+  auto n0 = graph.OutNeighbors(0);
+  std::vector<NodeId> v0(n0.begin(), n0.end());
+  std::sort(v0.begin(), v0.end());
+  EXPECT_EQ(v0, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(DigraphTest, PreservesParallelEdgesAndSelfLoops) {
+  Digraph graph(2, {{0, 1}, {0, 1}, {1, 1}});
+  EXPECT_EQ(graph.edge_count(), 3u);
+  EXPECT_EQ(graph.OutDegree(0), 2u);
+  EXPECT_EQ(graph.OutDegree(1), 1u);
+}
+
+TEST(DigraphTest, ReversedFlipsEdges) {
+  Digraph graph(3, {{0, 1}, {1, 2}});
+  Digraph reversed = graph.Reversed();
+  EXPECT_EQ(reversed.edge_count(), 2u);
+  EXPECT_EQ(reversed.OutDegree(1), 1u);
+  EXPECT_EQ(reversed.OutNeighbors(1)[0], 0u);
+  EXPECT_EQ(reversed.OutNeighbors(2)[0], 1u);
+}
+
+TEST(DigraphTest, DoubleReverseIsIdentityAsEdgeMultiset) {
+  Rng rng(3);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 200; ++i) {
+    edges.push_back(Edge{static_cast<NodeId>(rng.Uniform(50)),
+                         static_cast<NodeId>(rng.Uniform(50))});
+  }
+  Digraph graph(50, edges);
+  std::vector<Edge> twice = graph.Reversed().Reversed().ToEdgeList();
+  std::vector<Edge> original = graph.ToEdgeList();
+  std::sort(twice.begin(), twice.end());
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(twice, original);
+}
+
+class GraphIoTest : public TempDirTest {};
+
+TEST_F(GraphIoTest, SaveLoadRoundTrip) {
+  Digraph graph(5, {{0, 1}, {1, 2}, {4, 0}, {2, 2}});
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(SaveDigraph(graph, path, 512, nullptr));
+  Digraph loaded;
+  ASSERT_OK(LoadDigraph(path, &loaded, nullptr));
+  EXPECT_EQ(loaded.node_count(), graph.node_count());
+  std::vector<Edge> a = graph.ToEdgeList();
+  std::vector<Edge> b = loaded.ToEdgeList();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(GraphIoTest, InduceSubgraphKeepsPrefixNodes) {
+  // Nodes 0..9; keep 50% -> nodes 0..4 and only edges among them.
+  std::vector<Edge> edges = {{0, 1}, {1, 4}, {4, 0}, {5, 1},
+                             {3, 7}, {8, 9}, {2, 3}};
+  const std::string in = NewPath(".edges");
+  const std::string out = NewPath(".sub");
+  ASSERT_OK(WriteEdgeFile(in, 10, edges, 512, nullptr));
+  ASSERT_OK(InduceSubgraphByNodePrefix(in, 0.5, out, nullptr));
+  std::vector<Edge> read;
+  uint64_t node_count = 0;
+  ASSERT_OK(ReadAllEdges(out, &read, &node_count, nullptr));
+  EXPECT_EQ(node_count, 5u);
+  const std::vector<Edge> expected = {{0, 1}, {1, 4}, {4, 0}, {2, 3}};
+  EXPECT_EQ(read, expected);
+}
+
+TEST_F(GraphIoTest, InduceFullFractionKeepsEverything) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  const std::string in = NewPath(".edges");
+  const std::string out = NewPath(".sub");
+  ASSERT_OK(WriteEdgeFile(in, 3, edges, 512, nullptr));
+  ASSERT_OK(InduceSubgraphByNodePrefix(in, 1.0, out, nullptr));
+  std::vector<Edge> read;
+  ASSERT_OK(ReadAllEdges(out, &read, nullptr, nullptr));
+  EXPECT_EQ(read, edges);
+}
+
+TEST_F(GraphIoTest, InduceRejectsBadFraction) {
+  const std::string in = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(in, 3, {}, 512, nullptr));
+  EXPECT_TRUE(InduceSubgraphByNodePrefix(in, 0.0, NewPath(".x"), nullptr)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(InduceSubgraphByNodePrefix(in, 1.5, NewPath(".x"), nullptr)
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ioscc

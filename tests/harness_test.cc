@@ -1,0 +1,123 @@
+// Tests for the bench harness: formatting, outcome cells, dataset builder
+// and the analytic I/O models.
+
+#include <gtest/gtest.h>
+
+#include "harness/datasets.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "harness/theory.h"
+#include "tests/test_util.h"
+
+namespace ioscc {
+namespace {
+
+TEST(FormatTest, FormatCount) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(50000), "50,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+  EXPECT_EQ(FormatCount(105895908), "105,895,908");
+}
+
+TEST(FormatTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(0.5), "0.500s");
+  EXPECT_EQ(FormatSeconds(12.34), "12.3s");
+  EXPECT_EQ(FormatSeconds(120), "120s");
+  EXPECT_EQ(FormatSeconds(7200), "2.00h");
+}
+
+TEST(FormatTest, FormatCompact) {
+  EXPECT_EQ(FormatCompact(999), "999");
+  EXPECT_EQ(FormatCompact(113000000), "113.0M");
+  EXPECT_EQ(FormatCompact(7600000), "7.6M");
+  EXPECT_EQ(FormatCompact(50000), "50.0K");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.0302), "3.02%");
+  EXPECT_EQ(FormatPercent(1.0), "100.00%");
+}
+
+TEST(RunnerCellsTest, IncompleteRendersAsInf) {
+  RunOutcome outcome;
+  outcome.status = Status::Incomplete("cap");
+  EXPECT_EQ(TimeCell(outcome), "INF");
+  EXPECT_EQ(IoCell(outcome), "INF");
+  outcome.status = Status::Internal("bug");
+  EXPECT_EQ(TimeCell(outcome), "ERR");
+  outcome.status = Status::OK();
+  outcome.stats.seconds = 1.5;
+  outcome.stats.io.blocks_read = 10;
+  outcome.stats.io.blocks_written = 5;
+  EXPECT_EQ(TimeCell(outcome), "1.5s");
+  EXPECT_EQ(IoCell(outcome), "15");
+}
+
+TEST(RunnerTest, PaperDefaultMemory) {
+  // M = 4 bytes * 3|V| + one block.
+  EXPECT_EQ(PaperDefaultMemoryBytes(1000, 65536), 12 * 1000 + 65536u);
+}
+
+TEST(RunnerTest, OracleMismatchSurfacesAsInternal) {
+  // Run a real algorithm but hand it a wrong "oracle": the runner must
+  // flag the disagreement instead of reporting success.
+  std::unique_ptr<TempDir> dir;
+  ASSERT_OK(TempDir::Create("ioscc-harness", &dir));
+  const std::string path = dir->FilePath("g.edges");
+  ASSERT_OK(WriteEdgeFile(path, 3, {{0, 1}, {1, 0}}, 512, nullptr));
+  SccResult bogus;
+  bogus.component = {0, 1, 2};  // wrong: 0 and 1 are one SCC
+  RunOutcome outcome = RunAlgorithmOnFile(
+      SccAlgorithm::kOnePhaseBatch, path, SemiExternalOptions(), &bogus);
+  EXPECT_TRUE(outcome.status.IsInternal()) << outcome.status.ToString();
+}
+
+TEST(DatasetBuilderTest, BuildsAndDescribesDatasets) {
+  std::unique_ptr<DatasetBuilder> builder;
+  ASSERT_OK(DatasetBuilder::Create(&builder));
+  std::string path;
+  ASSERT_OK(builder->CitPatentsSim(0.001, 1, &path));
+  DatasetStats stats;
+  ASSERT_OK(DatasetBuilder::Describe(path, &stats));
+  EXPECT_GE(stats.node_count, 1000u);
+  EXPECT_GT(stats.edge_count, stats.node_count);  // degree > 1
+
+  ASSERT_OK(builder->WebspamSim(20000, 8.0, 2, &path));
+  ASSERT_OK(DatasetBuilder::Describe(path, &stats));
+  EXPECT_EQ(stats.node_count, 20000u);
+  EXPECT_NEAR(static_cast<double>(stats.edge_count) / stats.node_count,
+              8.0, 0.5);
+}
+
+TEST(TheoryTest, BuchsbaumBoundDominatesOurScanBound) {
+  // At any realistic scale the theoretical DFS bound is orders of
+  // magnitude above depth(G) sequential scans — the Section 2 claim.
+  const uint64_t n = 1'000'000, m = 35'000'000;
+  const uint64_t buchsbaum =
+      TheoryBuchsbaumDfsIos(n, m, 1ull << 30, 65536);
+  const uint64_t ours = TheoryTwoPhaseIos(/*depth=*/21, m, 65536);
+  EXPECT_GT(buchsbaum, ours);
+}
+
+TEST(TheoryTest, PruningSavingsModel) {
+  // Section 7.4: the saving grows quadratically in the iteration count
+  // and linearly in the pruned volume.
+  const uint64_t base = TheoryPruningIoSavings(1000, 5000, 10, 65536);
+  EXPECT_GT(base, 0u);
+  EXPECT_GT(TheoryPruningIoSavings(1000, 5000, 20, 65536), 3 * base);
+  EXPECT_GT(TheoryPruningIoSavings(2000, 10000, 10, 65536), base);
+  // One iteration -> nothing to save in later iterations.
+  EXPECT_EQ(TheoryPruningIoSavings(1000, 5000, 1, 65536), 0u);
+  EXPECT_EQ(TheoryExtraBatchEdges(1000, 1), 0u);
+  EXPECT_EQ(TheoryExtraBatchEdges(1000, 5), 5000u);
+}
+
+TEST(TheoryTest, SortIosScaleWithInput) {
+  EXPECT_LT(TheorySortIos(1'000'000, 1 << 30, 65536),
+            TheorySortIos(100'000'000, 1 << 30, 65536));
+}
+
+}  // namespace
+}  // namespace ioscc

@@ -1,0 +1,423 @@
+// Unit tests for the I/O substrate: block files, edge files, I/O
+// accounting exactness, external sort, and corruption handling.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/block_file.h"
+#include "io/edge_file.h"
+#include "io/external_sort.h"
+#include "io/io_stats.h"
+#include "io/temp_dir.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::TempDirTest;
+
+class BlockFileTest : public TempDirTest {};
+
+TEST_F(BlockFileTest, WriteThenReadBlocks) {
+  const size_t block_size = 512;
+  const std::string path = NewPath(".blk");
+  IoStats stats;
+  {
+    std::unique_ptr<BlockFile> file;
+    ASSERT_OK(BlockFile::Open(path, BlockFile::Mode::kWrite, block_size,
+                              &stats, &file));
+    std::vector<char> block(block_size);
+    for (int i = 0; i < 5; ++i) {
+      std::fill(block.begin(), block.end(), static_cast<char>('a' + i));
+      ASSERT_OK(file->AppendBlock(block.data()));
+    }
+    ASSERT_OK(file->Flush());
+    EXPECT_EQ(file->block_count(), 5u);
+  }
+  EXPECT_EQ(stats.blocks_written, 5u);
+  EXPECT_EQ(stats.bytes_written, 5 * block_size);
+
+  std::unique_ptr<BlockFile> file;
+  ASSERT_OK(BlockFile::Open(path, BlockFile::Mode::kRead, block_size,
+                            &stats, &file));
+  EXPECT_EQ(file->block_count(), 5u);
+  std::vector<char> block(block_size);
+  // Random access: read block 3 then block 1.
+  ASSERT_OK(file->ReadBlock(3, block.data()));
+  EXPECT_EQ(block[0], 'd');
+  ASSERT_OK(file->ReadBlock(1, block.data()));
+  EXPECT_EQ(block[block_size - 1], 'b');
+  EXPECT_EQ(stats.blocks_read, 2u);
+}
+
+TEST_F(BlockFileTest, ReadPastEndFails) {
+  const std::string path = NewPath(".blk");
+  IoStats stats;
+  {
+    std::unique_ptr<BlockFile> file;
+    ASSERT_OK(BlockFile::Open(path, BlockFile::Mode::kWrite, 256, &stats,
+                              &file));
+    std::vector<char> block(256, 0);
+    ASSERT_OK(file->AppendBlock(block.data()));
+  }
+  std::unique_ptr<BlockFile> file;
+  ASSERT_OK(
+      BlockFile::Open(path, BlockFile::Mode::kRead, 256, &stats, &file));
+  std::vector<char> block(256);
+  EXPECT_TRUE(file->ReadBlock(1, block.data()).IsInvalidArgument());
+}
+
+TEST_F(BlockFileTest, NonBlockAlignedFileIsCorruption) {
+  const std::string path = NewPath(".blk");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("xyz", 1, 3, f);
+  std::fclose(f);
+  std::unique_ptr<BlockFile> file;
+  Status st = BlockFile::Open(path, BlockFile::Mode::kRead, 256, nullptr,
+                              &file);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(BlockFileTest, MissingFileIsIoError) {
+  std::unique_ptr<BlockFile> file;
+  Status st = BlockFile::Open(NewPath(".nope"), BlockFile::Mode::kRead, 256,
+                              nullptr, &file);
+  EXPECT_TRUE(st.IsIoError());
+}
+
+TEST_F(BlockFileTest, WrongModeOperationsFail) {
+  const std::string path = NewPath(".blk");
+  std::unique_ptr<BlockFile> writer;
+  ASSERT_OK(BlockFile::Open(path, BlockFile::Mode::kWrite, 256, nullptr,
+                            &writer));
+  std::vector<char> block(256, 0);
+  EXPECT_TRUE(writer->ReadBlock(0, block.data()).IsInvalidArgument());
+  ASSERT_OK(writer->AppendBlock(block.data()));
+  writer.reset();
+  std::unique_ptr<BlockFile> reader;
+  ASSERT_OK(BlockFile::Open(path, BlockFile::Mode::kRead, 256, nullptr,
+                            &reader));
+  EXPECT_TRUE(reader->AppendBlock(block.data()).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+
+class EdgeFileTest : public TempDirTest {};
+
+TEST_F(EdgeFileTest, RoundTripSmall) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}};
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 3, edges, 512, nullptr));
+
+  std::vector<Edge> read;
+  uint64_t node_count = 0;
+  ASSERT_OK(ReadAllEdges(path, &read, &node_count, nullptr));
+  EXPECT_EQ(node_count, 3u);
+  EXPECT_EQ(read, edges);
+}
+
+TEST_F(EdgeFileTest, RoundTripEmpty) {
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 9, {}, 512, nullptr));
+  std::vector<Edge> read;
+  uint64_t node_count = 0;
+  ASSERT_OK(ReadAllEdges(path, &read, &node_count, nullptr));
+  EXPECT_EQ(node_count, 9u);
+  EXPECT_TRUE(read.empty());
+}
+
+TEST_F(EdgeFileTest, RoundTripMultiBlock) {
+  // 512-byte blocks hold 64 edges; write 1000 edges -> 16 data blocks.
+  std::vector<Edge> edges;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    edges.push_back(Edge{static_cast<NodeId>(rng.Uniform(500)),
+                         static_cast<NodeId>(rng.Uniform(500))});
+  }
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 500, edges, 512, nullptr));
+  std::vector<Edge> read;
+  ASSERT_OK(ReadAllEdges(path, &read, nullptr, nullptr));
+  EXPECT_EQ(read, edges);
+}
+
+TEST_F(EdgeFileTest, HeaderInfoMatches) {
+  const std::string path = NewPath(".edges");
+  std::vector<Edge> edges(100, Edge{1, 2});
+  ASSERT_OK(WriteEdgeFile(path, 7, edges, 512, nullptr));
+  EdgeFileInfo info;
+  ASSERT_OK(ReadEdgeFileInfo(path, &info));
+  EXPECT_EQ(info.node_count, 7u);
+  EXPECT_EQ(info.edge_count, 100u);
+  EXPECT_EQ(info.block_size, 512u);
+  // 512-byte blocks hold 64 edges: 100 edges -> 2 data blocks + header.
+  EXPECT_EQ(info.TotalBlocks(), 3u);
+}
+
+TEST_F(EdgeFileTest, ScanIoCountIsExact) {
+  // One full scan must cost exactly TotalBlocks() block reads, and a
+  // second scan (Reset) costs the same again — this is the accounting the
+  // paper's "# of I/Os" columns rely on.
+  std::vector<Edge> edges(1000, Edge{1, 2});
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 3, edges, 512, nullptr));
+  EdgeFileInfo info;
+  ASSERT_OK(ReadEdgeFileInfo(path, &info));
+
+  IoStats stats;
+  std::unique_ptr<EdgeScanner> scanner;
+  ASSERT_OK(EdgeScanner::Open(path, &stats, &scanner));
+  EXPECT_EQ(stats.blocks_read, 1u);  // header
+  Edge edge;
+  uint64_t count = 0;
+  while (scanner->Next(&edge)) ++count;
+  ASSERT_OK(scanner->status());
+  EXPECT_EQ(count, 1000u);
+  EXPECT_EQ(stats.blocks_read, info.TotalBlocks());
+
+  scanner->Reset();
+  while (scanner->Next(&edge)) ++count;
+  EXPECT_EQ(count, 2000u);
+  EXPECT_EQ(stats.blocks_read, 2 * info.TotalBlocks() - 1);  // header once
+}
+
+TEST_F(EdgeFileTest, WriterCountsBlockWrites) {
+  IoStats stats;
+  std::unique_ptr<EdgeWriter> writer;
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(EdgeWriter::Create(path, 10, 512, &stats, &writer));
+  for (int i = 0; i < 130; ++i) {
+    ASSERT_OK(writer->Add(Edge{0, 1}));  // 64 edges per 512-byte block
+  }
+  ASSERT_OK(writer->Finish());
+  // header + 3 data blocks (64+64+2) + final header rewrite.
+  EXPECT_EQ(stats.blocks_written, 5u);
+}
+
+TEST_F(EdgeFileTest, AddAfterFinishFails) {
+  std::unique_ptr<EdgeWriter> writer;
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(EdgeWriter::Create(path, 2, 512, nullptr, &writer));
+  ASSERT_OK(writer->Add(Edge{0, 1}));
+  ASSERT_OK(writer->Finish());
+  EXPECT_TRUE(writer->Add(Edge{1, 0}).IsInvalidArgument());
+}
+
+TEST_F(EdgeFileTest, BadMagicIsCorruption) {
+  const std::string path = NewPath(".edges");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::vector<char> junk(1024, 'J');
+  std::fwrite(junk.data(), 1, junk.size(), f);
+  std::fclose(f);
+  std::unique_ptr<EdgeScanner> scanner;
+  Status st = EdgeScanner::Open(path, nullptr, &scanner);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(EdgeFileTest, TruncatedFileIsCorruption) {
+  const std::string path = NewPath(".edges");
+  std::vector<Edge> edges(1000, Edge{1, 2});
+  ASSERT_OK(WriteEdgeFile(path, 3, edges, 512, nullptr));
+  // Chop off the last data block (keep block alignment so only the
+  // header/edge-count consistency check can catch it).
+  std::filesystem::resize_file(path, 512 * 2);
+  std::unique_ptr<EdgeScanner> scanner;
+  Status st = EdgeScanner::Open(path, nullptr, &scanner);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(EdgeFileTest, TruncatedHeaderIsCorruption) {
+  const std::string path = NewPath(".edges");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("IOSCC", 1, 5, f);
+  std::fclose(f);
+  EdgeFileInfo info;
+  EXPECT_TRUE(ReadEdgeFileInfo(path, &info).IsCorruption());
+}
+
+TEST_F(EdgeFileTest, VariousBlockSizesRoundTrip) {
+  std::vector<Edge> edges;
+  Rng rng(23);
+  for (int i = 0; i < 700; ++i) {
+    edges.push_back(Edge{static_cast<NodeId>(rng.Uniform(100)),
+                         static_cast<NodeId>(rng.Uniform(100))});
+  }
+  for (size_t block_size : {64u, 512u, 4096u, 65536u}) {
+    const std::string path = NewPath(".edges");
+    ASSERT_OK(WriteEdgeFile(path, 100, edges, block_size, nullptr));
+    EdgeFileInfo info;
+    ASSERT_OK(ReadEdgeFileInfo(path, &info));
+    EXPECT_EQ(info.block_size, block_size);
+    std::vector<Edge> read;
+    ASSERT_OK(ReadAllEdges(path, &read, nullptr, nullptr));
+    EXPECT_EQ(read, edges) << "block size " << block_size;
+  }
+}
+
+TEST_F(EdgeFileTest, ResetMidScanRestartsFromTheTop) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < 200; ++v) edges.push_back({v, (v + 1) % 200});
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 200, edges, 512, nullptr));
+  std::unique_ptr<EdgeScanner> scanner;
+  ASSERT_OK(EdgeScanner::Open(path, nullptr, &scanner));
+  Edge edge;
+  for (int i = 0; i < 37; ++i) ASSERT_TRUE(scanner->Next(&edge));
+  scanner->Reset();
+  std::vector<Edge> read;
+  while (scanner->Next(&edge)) read.push_back(edge);
+  ASSERT_OK(scanner->status());
+  EXPECT_EQ(read, edges);
+}
+
+TEST_F(EdgeFileTest, OutOfRangeEndpointIsCorruption) {
+  // Algorithms size per-node arrays from the header; a payload edge whose
+  // endpoint exceeds node_count must be rejected at scan time, not crash.
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 3, {{0, 1}, {7, 2}}, 512, nullptr));
+  std::unique_ptr<EdgeScanner> scanner;
+  ASSERT_OK(EdgeScanner::Open(path, nullptr, &scanner));
+  Edge edge;
+  EXPECT_TRUE(scanner->Next(&edge));  // (0, 1) is fine
+  EXPECT_FALSE(scanner->Next(&edge));
+  EXPECT_TRUE(scanner->status().IsCorruption())
+      << scanner->status().ToString();
+}
+
+TEST_F(EdgeFileTest, ReverseFlipsEveryEdge) {
+  const std::vector<Edge> edges = {{0, 1}, {2, 3}, {1, 0}};
+  const std::string path = NewPath(".edges");
+  const std::string reversed = NewPath(".rev");
+  ASSERT_OK(WriteEdgeFile(path, 4, edges, 512, nullptr));
+  ASSERT_OK(ReverseEdgeFile(path, reversed, nullptr));
+  std::vector<Edge> read;
+  ASSERT_OK(ReadAllEdges(reversed, &read, nullptr, nullptr));
+  ASSERT_EQ(read.size(), edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(read[i].from, edges[i].to);
+    EXPECT_EQ(read[i].to, edges[i].from);
+  }
+}
+
+TEST_F(EdgeFileTest, RejectsBadBlockSize) {
+  std::unique_ptr<EdgeWriter> writer;
+  EXPECT_TRUE(EdgeWriter::Create(NewPath(".edges"), 1, 7, nullptr, &writer)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      EdgeWriter::Create(NewPath(".edges"), 1, 16, nullptr, &writer)
+          .IsInvalidArgument());  // too small for the header
+}
+
+// ---------------------------------------------------------------------------
+
+class ExternalSortTest : public TempDirTest {};
+
+TEST_F(ExternalSortTest, SortsBySourceAcrossManyRuns) {
+  std::vector<Edge> edges;
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    edges.push_back(Edge{static_cast<NodeId>(rng.Uniform(1000)),
+                         static_cast<NodeId>(rng.Uniform(1000))});
+  }
+  const std::string in = NewPath(".edges");
+  const std::string out = NewPath(".sorted");
+  ASSERT_OK(WriteEdgeFile(in, 1000, edges, 512, nullptr));
+
+  ExternalSortOptions options;
+  options.memory_budget_bytes = 256 * sizeof(Edge);  // ~20 runs
+  ASSERT_OK(SortEdgeFile(in, out, options, dir_.get(), nullptr));
+
+  std::vector<Edge> sorted;
+  ASSERT_OK(ReadAllEdges(out, &sorted, nullptr, nullptr));
+  std::vector<Edge> expected = edges;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST_F(ExternalSortTest, SortsByTarget) {
+  std::vector<Edge> edges = {{5, 0}, {1, 3}, {2, 0}, {0, 9}};
+  const std::string in = NewPath(".edges");
+  const std::string out = NewPath(".sorted");
+  ASSERT_OK(WriteEdgeFile(in, 10, edges, 512, nullptr));
+  ExternalSortOptions options;
+  options.order = EdgeOrder::kByTarget;
+  ASSERT_OK(SortEdgeFile(in, out, options, dir_.get(), nullptr));
+  std::vector<Edge> sorted;
+  ASSERT_OK(ReadAllEdges(out, &sorted, nullptr, nullptr));
+  std::vector<Edge> expected = edges;
+  std::sort(expected.begin(), expected.end(), OrderEdgeByTarget());
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST_F(ExternalSortTest, DedupAndSelfLoopFilters) {
+  std::vector<Edge> edges = {{1, 2}, {1, 2}, {3, 3}, {0, 1}, {1, 2}};
+  const std::string in = NewPath(".edges");
+  const std::string out = NewPath(".sorted");
+  ASSERT_OK(WriteEdgeFile(in, 4, edges, 512, nullptr));
+  ExternalSortOptions options;
+  options.dedup = true;
+  options.drop_self_loops = true;
+  ASSERT_OK(SortEdgeFile(in, out, options, dir_.get(), nullptr));
+  std::vector<Edge> sorted;
+  ASSERT_OK(ReadAllEdges(out, &sorted, nullptr, nullptr));
+  const std::vector<Edge> expected = {{0, 1}, {1, 2}};
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST_F(ExternalSortTest, SingleRunWhenBudgetCoversInput) {
+  std::vector<Edge> edges = {{3, 1}, {0, 2}, {3, 0}, {1, 1}};
+  const std::string in = NewPath(".edges");
+  const std::string out = NewPath(".sorted");
+  ASSERT_OK(WriteEdgeFile(in, 4, edges, 512, nullptr));
+  ExternalSortOptions options;  // default 64 MiB budget: one run
+  ASSERT_OK(SortEdgeFile(in, out, options, dir_.get(), nullptr));
+  std::vector<Edge> sorted;
+  ASSERT_OK(ReadAllEdges(out, &sorted, nullptr, nullptr));
+  std::vector<Edge> expected = edges;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST_F(ExternalSortTest, EmptyInput) {
+  const std::string in = NewPath(".edges");
+  const std::string out = NewPath(".sorted");
+  ASSERT_OK(WriteEdgeFile(in, 5, {}, 512, nullptr));
+  ASSERT_OK(SortEdgeFile(in, out, ExternalSortOptions(), dir_.get(),
+                         nullptr));
+  std::vector<Edge> sorted;
+  uint64_t node_count = 0;
+  ASSERT_OK(ReadAllEdges(out, &sorted, &node_count, nullptr));
+  EXPECT_TRUE(sorted.empty());
+  EXPECT_EQ(node_count, 5u);
+}
+
+class TempDirLifecycleTest : public ::testing::Test {};
+
+TEST_F(TempDirLifecycleTest, RemovesContentsOnDestruction) {
+  std::string kept_path;
+  {
+    std::unique_ptr<TempDir> dir;
+    ASSERT_OK(TempDir::Create("ioscc-lifecycle", &dir));
+    kept_path = dir->path();
+    std::FILE* f = std::fopen(dir->FilePath("junk").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    EXPECT_TRUE(std::filesystem::exists(kept_path));
+  }
+  EXPECT_FALSE(std::filesystem::exists(kept_path));
+}
+
+TEST_F(TempDirLifecycleTest, NewFilePathsAreUnique) {
+  std::unique_ptr<TempDir> dir;
+  ASSERT_OK(TempDir::Create("ioscc-unique", &dir));
+  EXPECT_NE(dir->NewFilePath(".a"), dir->NewFilePath(".a"));
+}
+
+}  // namespace
+}  // namespace ioscc

@@ -1,0 +1,255 @@
+// Behavioural tests for 1P-SCC and 1PB-SCC: option handling (tau,
+// rejection cadence, strict vs loose bounds, memory budget), statistics
+// coherence, and graph-reduction invariants.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "scc/one_phase.h"
+#include "scc/one_phase_batch.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::OracleFor;
+using testing_util::TempDirTest;
+
+class OnePhaseOptionsTest : public TempDirTest {
+ protected:
+  // A planted workload with a dominant SCC (early acceptance fires), small
+  // SCCs and DAG tail (early rejection fires).
+  std::string MakeWorkload(uint64_t seed, NodeId* n_out,
+                           SccResult* oracle) {
+    PlantedSccSpec spec;
+    spec.node_count = 2000;
+    spec.avg_degree = 5.0;
+    spec.components = {{500, 1}, {20, 10}, {2, 50}};
+    spec.seed = seed;
+    std::vector<Edge> edges;
+    Status st = GeneratePlantedSccEdges(spec, &edges);
+    EXPECT_TRUE(st.ok());
+    *n_out = static_cast<NodeId>(spec.node_count);
+    *oracle = OracleFor(*n_out, edges);
+    return WriteGraph(*n_out, edges);
+  }
+};
+
+TEST_F(OnePhaseOptionsTest, StrictAndLooseRejectionAgree) {
+  NodeId n;
+  SccResult oracle;
+  const std::string path = MakeWorkload(1, &n, &oracle);
+  for (uint32_t interval : {1u, 2u, 5u}) {
+    for (bool strict : {false, true}) {
+      SemiExternalOptions options;
+      options.scratch_block_size = 4096;
+      options.reject_interval = interval;
+      options.strict_rejection = strict;
+      SccResult result;
+      RunStats stats;
+      ASSERT_OK(OnePhaseScc(path, options, &result, &stats));
+      EXPECT_EQ(result, oracle)
+          << "interval=" << interval << " strict=" << strict;
+    }
+  }
+}
+
+TEST_F(OnePhaseOptionsTest, RejectionDisabledStillCorrect) {
+  NodeId n;
+  SccResult oracle;
+  const std::string path = MakeWorkload(2, &n, &oracle);
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  options.reject_interval = 0;
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(OnePhaseScc(path, options, &result, &stats));
+  EXPECT_EQ(result, oracle);
+  EXPECT_EQ(stats.nodes_rejected, 0u);
+}
+
+TEST_F(OnePhaseOptionsTest, AcceptanceDisabledStillCorrect) {
+  NodeId n;
+  SccResult oracle;
+  const std::string path = MakeWorkload(3, &n, &oracle);
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  options.tau_fraction = -1.0;  // never rewrite for acceptance
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(OnePhaseScc(path, options, &result, &stats));
+  EXPECT_EQ(result, oracle);
+}
+
+TEST_F(OnePhaseOptionsTest, RejectionPrunesDagTail) {
+  NodeId n;
+  SccResult oracle;
+  const std::string path = MakeWorkload(4, &n, &oracle);
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  options.reject_interval = 1;
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(OnePhaseScc(path, options, &result, &stats));
+  EXPECT_EQ(result, oracle);
+  // The workload has ~900 nodes outside any SCC; rejection must fire.
+  EXPECT_GT(stats.nodes_rejected, 0u);
+}
+
+TEST_F(OnePhaseOptionsTest, AggressiveAcceptanceShrinksTheStream) {
+  NodeId n;
+  SccResult oracle;
+  const std::string path = MakeWorkload(5, &n, &oracle);
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  options.tau_fraction = 0.0;  // rewrite on any contraction
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(OnePhaseScc(path, options, &result, &stats));
+  EXPECT_EQ(result, oracle);
+  ASSERT_FALSE(stats.per_iteration.empty());
+  // The giant planted SCC (25% of nodes) guarantees big edge reductions.
+  uint64_t reduced = 0;
+  for (const auto& it : stats.per_iteration) reduced += it.edges_reduced;
+  EXPECT_GT(reduced, 0u);
+  EXPECT_LT(stats.per_iteration.back().live_edges,
+            stats.per_iteration.front().live_edges + 1);
+}
+
+TEST_F(OnePhaseOptionsTest, StatsAreCoherent) {
+  NodeId n;
+  SccResult oracle;
+  const std::string path = MakeWorkload(6, &n, &oracle);
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(OnePhaseScc(path, options, &result, &stats));
+  EXPECT_EQ(stats.per_iteration.size(), stats.iterations);
+  EXPECT_GT(stats.iterations, 0u);
+  EXPECT_GT(stats.io.blocks_read, 0u);
+  // Accepted + rejected never exceeds n.
+  EXPECT_LE(stats.nodes_accepted + stats.nodes_rejected, n);
+  // contractions == nodes merged away == nodes_accepted.
+  EXPECT_EQ(stats.contractions, stats.nodes_accepted);
+}
+
+TEST_F(OnePhaseOptionsTest, TimeLimitReturnsIncomplete) {
+  NodeId n;
+  SccResult oracle;
+  const std::string path = MakeWorkload(7, &n, &oracle);
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  options.time_limit_seconds = 1e-9;
+  SccResult result;
+  RunStats stats;
+  Status st = OnePhaseScc(path, options, &result, &stats);
+  EXPECT_TRUE(st.IsIncomplete()) << st.ToString();
+}
+
+TEST_F(OnePhaseOptionsTest, IterationCapReturnsIncomplete) {
+  NodeId n;
+  SccResult oracle;
+  const std::string path = MakeWorkload(8, &n, &oracle);
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  options.max_iterations = 1;  // cannot converge in one scan
+  SccResult result;
+  RunStats stats;
+  Status st = OnePhaseScc(path, options, &result, &stats);
+  EXPECT_TRUE(st.IsIncomplete()) << st.ToString();
+}
+
+// ---------------------------------------------------------------------------
+
+class OnePhaseBatchOptionsTest : public OnePhaseOptionsTest {};
+
+TEST_F(OnePhaseBatchOptionsTest, CorrectAcrossBatchSizes) {
+  NodeId n;
+  SccResult oracle;
+  const std::string path = MakeWorkload(9, &n, &oracle);
+  for (uint64_t budget : {1ull, 1ull << 14, 1ull << 18, 1ull << 26}) {
+    SemiExternalOptions options;
+    options.scratch_block_size = 4096;
+    options.memory_budget_bytes = budget;  // floor = 1024 edges per batch
+    SccResult result;
+    RunStats stats;
+    ASSERT_OK(OnePhaseBatchScc(path, options, &result, &stats));
+    EXPECT_EQ(result, oracle) << "budget=" << budget;
+  }
+}
+
+TEST_F(OnePhaseBatchOptionsTest, MoreMemoryNeverMoreIterations) {
+  NodeId n;
+  SccResult oracle;
+  const std::string path = MakeWorkload(10, &n, &oracle);
+  uint64_t small_iters = 0, big_iters = 0;
+  {
+    SemiExternalOptions options;
+    options.scratch_block_size = 4096;
+    options.memory_budget_bytes = 1;  // 1024-edge batches
+    SccResult result;
+    RunStats stats;
+    ASSERT_OK(OnePhaseBatchScc(path, options, &result, &stats));
+    small_iters = stats.iterations;
+  }
+  {
+    SemiExternalOptions options;
+    options.scratch_block_size = 4096;
+    options.memory_budget_bytes = 1ull << 26;  // whole graph per batch
+    SccResult result;
+    RunStats stats;
+    ASSERT_OK(OnePhaseBatchScc(path, options, &result, &stats));
+    big_iters = stats.iterations;
+  }
+  EXPECT_LE(big_iters, small_iters);
+}
+
+TEST_F(OnePhaseBatchOptionsTest, KosarajuKernelMatchesTarjanKernel) {
+  NodeId n;
+  SccResult oracle;
+  const std::string path = MakeWorkload(13, &n, &oracle);
+  for (BatchKernel kernel : {BatchKernel::kTarjan, BatchKernel::kKosaraju}) {
+    SemiExternalOptions options;
+    options.scratch_block_size = 4096;
+    options.memory_budget_bytes = 1 << 14;
+    options.batch_kernel = kernel;
+    SccResult result;
+    RunStats stats;
+    ASSERT_OK(OnePhaseBatchScc(path, options, &result, &stats));
+    EXPECT_EQ(result, oracle);
+  }
+}
+
+TEST_F(OnePhaseBatchOptionsTest, BatchStatsCoherent) {
+  NodeId n;
+  SccResult oracle;
+  const std::string path = MakeWorkload(11, &n, &oracle);
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  options.memory_budget_bytes = 1 << 14;
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(OnePhaseBatchScc(path, options, &result, &stats));
+  EXPECT_EQ(stats.per_iteration.size(), stats.iterations);
+  EXPECT_LE(stats.nodes_accepted + stats.nodes_rejected, n);
+}
+
+TEST_F(OnePhaseBatchOptionsTest, TimeLimitReturnsIncomplete) {
+  NodeId n;
+  SccResult oracle;
+  const std::string path = MakeWorkload(12, &n, &oracle);
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  options.time_limit_seconds = 1e-9;
+  SccResult result;
+  RunStats stats;
+  Status st = OnePhaseBatchScc(path, options, &result, &stats);
+  EXPECT_TRUE(st.IsIncomplete()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace ioscc

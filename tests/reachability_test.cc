@@ -1,0 +1,163 @@
+// Tests for the GRAIL-style reachability index and the end-to-end
+// oracle: exactness against BFS ground truth, filter soundness (no false
+// negatives), and pruning effectiveness.
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/digraph.h"
+#include "scc/reachability.h"
+#include "scc/tarjan.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::kPaperFigure1Nodes;
+using testing_util::PaperFigure1Edges;
+
+bool BfsReaches(const Digraph& graph, NodeId from, NodeId to) {
+  if (from == to) return true;
+  std::vector<bool> seen(graph.node_count(), false);
+  std::vector<NodeId> stack = {from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (v == to) return true;
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+TEST(GrailIndexTest, FilterIsSoundOnAChain) {
+  // 0 -> 1 -> 2 -> 3.
+  Digraph dag(4, {{0, 1}, {1, 2}, {2, 3}});
+  GrailIndex index(dag, 2, 7);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u <= v) {
+        EXPECT_TRUE(index.MayReach(u, v)) << u << "->" << v;
+        EXPECT_TRUE(index.Reaches(dag, u, v));
+      } else {
+        EXPECT_FALSE(index.Reaches(dag, u, v));
+      }
+    }
+  }
+}
+
+TEST(GrailIndexTest, DisconnectedNodesAreUnreachable) {
+  Digraph dag(4, {{0, 1}});
+  GrailIndex index(dag, 3, 9);
+  EXPECT_FALSE(index.Reaches(dag, 0, 2));
+  EXPECT_FALSE(index.Reaches(dag, 2, 3));
+  EXPECT_TRUE(index.Reaches(dag, 2, 2));
+}
+
+class GrailFuzzTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GrailFuzzTest, ExactOnRandomDags) {
+  const int seed = std::get<0>(GetParam());
+  const int num_labelings = std::get<1>(GetParam());
+  Rng rng(seed * 40009);
+  const NodeId n = static_cast<NodeId>(30 + rng.Uniform(150));
+  // Random DAG: edges point from smaller to larger id.
+  std::vector<Edge> edges;
+  for (uint64_t e = 0; e < 4ull * n; ++e) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    if (a == b) continue;
+    edges.push_back(Edge{std::min(a, b), std::max(a, b)});
+  }
+  Digraph dag(n, edges);
+  GrailIndex index(dag, num_labelings, seed);
+  for (int q = 0; q < 400; ++q) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    NodeId v = static_cast<NodeId>(rng.Uniform(n));
+    const bool truth = BfsReaches(dag, u, v);
+    EXPECT_EQ(index.Reaches(dag, u, v), truth)
+        << u << "->" << v << " seed=" << seed;
+    if (truth) {
+      // Filter soundness: never a false negative.
+      EXPECT_TRUE(index.MayReach(u, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GrailFuzzTest,
+                         ::testing::Combine(::testing::Range(1, 9),
+                                            ::testing::Values(1, 2, 4)));
+
+TEST(ReachabilityOracleTest, PaperFigure1) {
+  Digraph graph(kPaperFigure1Nodes, PaperFigure1Edges());
+  SccResult scc = TarjanScc(graph);
+  ReachabilityOracle oracle(graph, scc, 2, 3);
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+      EXPECT_EQ(oracle.Reaches(u, v), BfsReaches(graph, u, v))
+          << u << "->" << v;
+    }
+  }
+}
+
+class ReachabilityOracleFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReachabilityOracleFuzzTest, ExactOnCyclicGraphs) {
+  const int seed = GetParam();
+  Rng rng(seed * 31337);
+  const NodeId n = static_cast<NodeId>(40 + rng.Uniform(150));
+  std::vector<Edge> edges;
+  ASSERT_OK(GenerateUniformEdges(n, 3ull * n, seed * 5 + 2, &edges));
+  Digraph graph(n, edges);
+  SccResult scc = TarjanScc(graph);
+  ReachabilityOracle oracle(graph, scc, 2, seed);
+  for (int q = 0; q < 300; ++q) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    NodeId v = static_cast<NodeId>(rng.Uniform(n));
+    EXPECT_EQ(oracle.Reaches(u, v), BfsReaches(graph, u, v))
+        << u << "->" << v << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReachabilityOracleFuzzTest,
+                         ::testing::Range(1, 11));
+
+TEST(GrailIndexTest, MoreLabelingsNeverPruneLess) {
+  // Filter acceptance with k labelings is the intersection over
+  // labelings, so acceptance count is non-increasing in k (same seed
+  // prefix => first labelings identical).
+  Rng rng(777);
+  const NodeId n = 120;
+  std::vector<Edge> edges;
+  for (int e = 0; e < 500; ++e) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    if (a == b) continue;
+    edges.push_back(Edge{std::min(a, b), std::max(a, b)});
+  }
+  Digraph dag(n, edges);
+  GrailIndex one(dag, 1, 42);
+  GrailIndex four(dag, 4, 42);
+  int accept_one = 0, accept_four = 0;
+  Rng qrng(99);
+  for (int q = 0; q < 2000; ++q) {
+    NodeId u = static_cast<NodeId>(qrng.Uniform(n));
+    NodeId v = static_cast<NodeId>(qrng.Uniform(n));
+    accept_one += one.MayReach(u, v);
+    accept_four += four.MayReach(u, v);
+  }
+  EXPECT_LE(accept_four, accept_one);
+}
+
+}  // namespace
+}  // namespace ioscc

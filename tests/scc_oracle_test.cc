@@ -1,0 +1,148 @@
+// In-memory oracle tests: Tarjan and Kosaraju on fixed and random graphs.
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/digraph.h"
+#include "scc/kosaraju.h"
+#include "scc/scc_result.h"
+#include "scc/tarjan.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::kPaperFigure1Nodes;
+using testing_util::PaperFigure1Edges;
+
+TEST(TarjanTest, EmptyGraph) {
+  SccResult result = TarjanScc(Digraph(0, {}));
+  EXPECT_EQ(result.ComponentCount(), 0u);
+}
+
+TEST(TarjanTest, SingleNodeNoEdges) {
+  SccResult result = TarjanScc(Digraph(1, {}));
+  EXPECT_EQ(result.ComponentCount(), 1u);
+  EXPECT_EQ(result.component[0], 0u);
+}
+
+TEST(TarjanTest, SelfLoopIsSingletonComponent) {
+  SccResult result = TarjanScc(Digraph(2, {{0, 0}, {0, 1}}));
+  EXPECT_EQ(result.ComponentCount(), 2u);
+}
+
+TEST(TarjanTest, TwoNodeCycle) {
+  SccResult result = TarjanScc(Digraph(2, {{0, 1}, {1, 0}}));
+  EXPECT_EQ(result.ComponentCount(), 1u);
+  EXPECT_EQ(result.component[0], result.component[1]);
+}
+
+TEST(TarjanTest, ChainIsAllSingletons) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < 100; ++v) edges.push_back({v, v + 1});
+  SccResult result = TarjanScc(Digraph(100, edges));
+  EXPECT_EQ(result.ComponentCount(), 100u);
+}
+
+TEST(TarjanTest, FullCycle) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < 100; ++v) edges.push_back({v, (v + 1) % 100});
+  SccResult result = TarjanScc(Digraph(100, edges));
+  EXPECT_EQ(result.ComponentCount(), 1u);
+  EXPECT_EQ(result.LargestComponentSize(), 100u);
+}
+
+TEST(TarjanTest, PaperFigure1HasSixComponents) {
+  SccResult result =
+      TarjanScc(Digraph(kPaperFigure1Nodes, PaperFigure1Edges()));
+  // {a}, {b,c,d,e}, {f}, {g,h,i,j}, {k}, {l}.
+  EXPECT_EQ(result.ComponentCount(), 6u);
+  EXPECT_EQ(result.LargestComponentSize(), 4u);
+  EXPECT_EQ(result.NodesInNontrivialSccs(), 8u);
+  // b,c,d,e share a component; g,h,i,j share another; both labeled by
+  // their smallest member.
+  EXPECT_EQ(result.component[1], 1u);
+  EXPECT_EQ(result.component[2], 1u);
+  EXPECT_EQ(result.component[3], 1u);
+  EXPECT_EQ(result.component[4], 1u);
+  EXPECT_EQ(result.component[6], 6u);
+  EXPECT_EQ(result.component[7], 6u);
+  EXPECT_EQ(result.component[8], 6u);
+  EXPECT_EQ(result.component[9], 6u);
+}
+
+TEST(KosarajuTest, MatchesTarjanOnPaperFigure1) {
+  Digraph graph(kPaperFigure1Nodes, PaperFigure1Edges());
+  EXPECT_EQ(KosarajuScc(graph), TarjanScc(graph));
+}
+
+TEST(CondensationTest, KosarajuMatchesTarjanCondensation) {
+  // Both condensation kernels must produce the same partition and a
+  // valid reverse-topological emission order on random graphs.
+  Rng rng(5150);
+  for (int round = 0; round < 30; ++round) {
+    const NodeId n = static_cast<NodeId>(10 + rng.Uniform(120));
+    std::vector<Edge> edges;
+    ASSERT_OK(GenerateUniformEdges(n, 3ull * n, round * 17 + 3, &edges));
+    Digraph graph(n, edges);
+
+    SccResult scc_t, scc_k;
+    std::vector<NodeId> order_t, order_k;
+    std::vector<Edge> dag_t = CondensationOf(graph, &scc_t, &order_t);
+    std::vector<Edge> dag_k =
+        CondensationOfKosaraju(graph, &scc_k, &order_k);
+    EXPECT_EQ(scc_t, scc_k) << "round " << round;
+    EXPECT_EQ(order_t.size(), order_k.size());
+
+    // Kosaraju's order must also satisfy the reverse-topological
+    // property: every DAG edge goes from later-emitted to earlier.
+    std::vector<int> pos(n, -1);
+    for (size_t i = 0; i < order_k.size(); ++i) pos[order_k[i]] = int(i);
+    for (const Edge& e : dag_k) {
+      EXPECT_GT(pos[e.from], pos[e.to]) << "round " << round;
+    }
+  }
+}
+
+TEST(CondensationTest, EmitsReverseTopologicalOrder) {
+  // 0 -> 1 -> 2 with a cycle {1, 3}.
+  Digraph graph(4, {{0, 1}, {1, 2}, {1, 3}, {3, 1}});
+  SccResult scc;
+  std::vector<NodeId> order;
+  std::vector<Edge> dag = CondensationOf(graph, &scc, &order);
+  EXPECT_EQ(order.size(), 3u);  // {0}, {1,3}, {2}
+  // Every DAG edge must point from a later-emitted component to an
+  // earlier-emitted one.
+  std::vector<int> emit_pos(4, -1);
+  for (size_t i = 0; i < order.size(); ++i) emit_pos[order[i]] = int(i);
+  for (const Edge& e : dag) {
+    EXPECT_GT(emit_pos[e.from], emit_pos[e.to])
+        << e.from << "->" << e.to;
+  }
+}
+
+// Property sweep: Kosaraju and Tarjan agree on random graphs across
+// densities.
+class OracleAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(OracleAgreementTest, KosarajuMatchesTarjan) {
+  const int seed = std::get<0>(GetParam());
+  const double degree = std::get<1>(GetParam());
+  Rng rng(seed);
+  const NodeId n = static_cast<NodeId>(20 + rng.Uniform(300));
+  std::vector<Edge> edges;
+  ASSERT_OK(GenerateUniformEdges(
+      n, static_cast<uint64_t>(n * degree), seed * 977 + 13, &edges));
+  Digraph graph(n, edges);
+  EXPECT_EQ(KosarajuScc(graph), TarjanScc(graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OracleAgreementTest,
+    ::testing::Combine(::testing::Range(1, 26),
+                       ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0)));
+
+}  // namespace
+}  // namespace ioscc

@@ -1,0 +1,64 @@
+// Tests for the SccResult partition helpers.
+
+#include <gtest/gtest.h>
+
+#include "scc/scc_result.h"
+
+namespace ioscc {
+namespace {
+
+TEST(SccResultTest, NormalizeRewritesToMinMember) {
+  SccResult result;
+  result.component = {3, 3, 2, 3, 2};  // {0,1,3} labeled 3, {2,4} labeled 2
+  result.Normalize();
+  EXPECT_EQ(result.component, (std::vector<NodeId>{0, 0, 2, 0, 2}));
+}
+
+TEST(SccResultTest, NormalizeIsIdempotent) {
+  SccResult result;
+  result.component = {1, 1, 1, 3, 3};
+  result.Normalize();
+  SccResult again = result;
+  again.Normalize();
+  EXPECT_EQ(result, again);
+}
+
+TEST(SccResultTest, CountsAndSizes) {
+  SccResult result;
+  result.component = {0, 0, 2, 0, 2, 5};
+  result.Normalize();
+  EXPECT_EQ(result.ComponentCount(), 3u);
+  std::vector<uint32_t> sizes = result.ComponentSizes();
+  EXPECT_EQ(sizes[0], 3u);
+  EXPECT_EQ(sizes[2], 2u);
+  EXPECT_EQ(sizes[5], 1u);
+  EXPECT_EQ(result.LargestComponentSize(), 3u);
+  EXPECT_EQ(result.NodesInNontrivialSccs(), 5u);
+}
+
+TEST(SccResultTest, EmptyPartition) {
+  SccResult result;
+  EXPECT_EQ(result.ComponentCount(), 0u);
+  EXPECT_EQ(result.LargestComponentSize(), 0u);
+  EXPECT_EQ(result.NodesInNontrivialSccs(), 0u);
+}
+
+TEST(SccResultTest, AllSingletons) {
+  SccResult result;
+  result.component = {0, 1, 2, 3};
+  EXPECT_EQ(result.ComponentCount(), 4u);
+  EXPECT_EQ(result.NodesInNontrivialSccs(), 0u);
+  EXPECT_EQ(result.LargestComponentSize(), 1u);
+}
+
+TEST(SccResultTest, EqualityIsContentBased) {
+  SccResult a, b;
+  a.component = {0, 0, 2};
+  b.component = {0, 0, 2};
+  EXPECT_TRUE(a == b);
+  b.component = {0, 1, 2};
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace ioscc

@@ -1,0 +1,198 @@
+// Direct tests of the semi-external DFS-tree primitive: the fixpoint
+// invariant (no forward-cross edges), DFS-order validity of the derived
+// postorder, priority handling, and batch-size independence.
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "scc/semi_external_dfs.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::kPaperFigure1Nodes;
+using testing_util::PaperFigure1Edges;
+using testing_util::TempDirTest;
+
+class SemiExternalDfsTest : public TempDirTest {
+ protected:
+  std::unique_ptr<DfsForest> Build(const std::string& path, NodeId n,
+                                   uint64_t batch_bytes = 1 << 14) {
+    std::vector<NodeId> priority(n);
+    std::iota(priority.begin(), priority.end(), NodeId{0});
+    SemiExternalOptions options;
+    options.memory_budget_bytes = batch_bytes;
+    RunStats stats;
+    std::unique_ptr<DfsForest> tree;
+    Status st = BuildSemiExternalDfsTree(path, priority, options,
+                                         Deadline(), &stats, &tree);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return tree;
+  }
+
+  // The classical DFS-tree characterization: no forward-cross edges.
+  // For every edge (u, v): ancestor-related or pre(u) > pre(v).
+  void ExpectNoForwardCross(const DfsForest& tree,
+                            const std::vector<Edge>& edges) {
+    std::vector<uint32_t> pre = tree.Preorder();
+    // pre_end via traversal: subtree interval end.
+    std::vector<uint32_t> pre_end(tree.n + 1, 0);
+    uint32_t counter = 0;
+    tree.Traverse([&](NodeId v, bool entering) {
+      if (entering) {
+        ++counter;
+      } else {
+        pre_end[v] = counter;
+      }
+    });
+    auto is_ancestor = [&](NodeId a, NodeId d) {
+      return pre[a] <= pre[d] && pre[d] < pre_end[a];
+    };
+    for (const Edge& e : edges) {
+      if (e.from == e.to) continue;
+      bool related = is_ancestor(e.from, e.to) || is_ancestor(e.to, e.from);
+      EXPECT_TRUE(related || pre[e.from] > pre[e.to])
+          << "forward-cross edge (" << e.from << "," << e.to << ")";
+    }
+  }
+};
+
+TEST_F(SemiExternalDfsTest, SpanningAndWellFormed) {
+  const std::vector<Edge> edges = PaperFigure1Edges();
+  const std::string path = WriteGraph(kPaperFigure1Nodes, edges);
+  std::unique_ptr<DfsForest> tree = Build(path, kPaperFigure1Nodes);
+  ASSERT_NE(tree, nullptr);
+  // Every real node has a parent and is reachable from the root.
+  uint64_t visited = 0;
+  tree->Traverse([&](NodeId, bool entering) {
+    if (entering) ++visited;
+  });
+  EXPECT_EQ(visited, kPaperFigure1Nodes + 1u);
+  for (NodeId v = 0; v < kPaperFigure1Nodes; ++v) {
+    EXPECT_NE(tree->parent[v], kInvalidNode);
+  }
+}
+
+TEST_F(SemiExternalDfsTest, FixpointHasNoForwardCrossEdges) {
+  const std::vector<Edge> edges = PaperFigure1Edges();
+  const std::string path = WriteGraph(kPaperFigure1Nodes, edges);
+  std::unique_ptr<DfsForest> tree = Build(path, kPaperFigure1Nodes);
+  ASSERT_NE(tree, nullptr);
+  ExpectNoForwardCross(*tree, edges);
+}
+
+TEST_F(SemiExternalDfsTest, PostorderIsAValidDfsFinishOrder) {
+  // DFS property used by Kosaraju: for any edge (u, v), post(u) < post(v)
+  // implies v is an ancestor of u (a back edge). Equivalently: v's
+  // position in DECREASING postorder before u's, unless back edge.
+  const std::vector<Edge> edges = PaperFigure1Edges();
+  const std::string path = WriteGraph(kPaperFigure1Nodes, edges);
+  std::unique_ptr<DfsForest> tree = Build(path, kPaperFigure1Nodes);
+  ASSERT_NE(tree, nullptr);
+  std::vector<NodeId> dec_post = tree->DecreasingPostorder();
+  std::vector<uint32_t> post_rank(kPaperFigure1Nodes, 0);
+  for (size_t i = 0; i < dec_post.size(); ++i) {
+    post_rank[dec_post[i]] = static_cast<uint32_t>(i);  // smaller = later
+  }
+  std::vector<uint32_t> pre = tree->Preorder();
+  for (const Edge& e : edges) {
+    if (e.from == e.to) continue;
+    if (post_rank[e.from] > post_rank[e.to]) {
+      // post(u) < post(v): must be a back edge (v ancestor of u), which
+      // in preorder terms means pre(v) < pre(u).
+      EXPECT_LT(pre[e.to], pre[e.from])
+          << "(" << e.from << "," << e.to << ")";
+    }
+  }
+}
+
+TEST_F(SemiExternalDfsTest, RootChildrenRespectPriority) {
+  // Disconnected graph: 3 isolated cycles; with priority (reversed ids),
+  // root children must appear in that order.
+  std::vector<Edge> edges = {{0, 1}, {1, 0}, {2, 3}, {3, 2}, {4, 5},
+                             {5, 4}};
+  const NodeId n = 6;
+  const std::string path = WriteGraph(n, edges);
+  std::vector<NodeId> priority = {5, 3, 1, 0, 2, 4};
+  SemiExternalOptions options;
+  RunStats stats;
+  std::unique_ptr<DfsForest> tree;
+  ASSERT_OK(BuildSemiExternalDfsTree(path, priority, options, Deadline(),
+                                     &stats, &tree));
+  // First root child must be 5 (highest priority); 4 was reachable from 5
+  // so the remaining root children keep relative priority order.
+  ASSERT_FALSE(tree->children[n].empty());
+  EXPECT_EQ(tree->children[n][0], 5u);
+  std::vector<uint32_t> rank(n, 0);
+  for (size_t i = 0; i < priority.size(); ++i) rank[priority[i]] = i;
+  for (size_t i = 1; i < tree->children[n].size(); ++i) {
+    EXPECT_LT(rank[tree->children[n][i - 1]], rank[tree->children[n][i]]);
+  }
+}
+
+TEST_F(SemiExternalDfsTest, RejectsBadPriority) {
+  const std::string path = WriteGraph(4, {{0, 1}});
+  std::vector<NodeId> priority = {0, 1};  // too short
+  SemiExternalOptions options;
+  RunStats stats;
+  std::unique_ptr<DfsForest> tree;
+  EXPECT_TRUE(BuildSemiExternalDfsTree(path, priority, options, Deadline(),
+                                       &stats, &tree)
+                  .IsInvalidArgument());
+}
+
+class DfsFixpointFuzzTest
+    : public TempDirTest,
+      public ::testing::WithParamInterface<std::tuple<int, int>> {};
+
+TEST_P(DfsFixpointFuzzTest, NoForwardCrossAtFixpointAnyBatchSize) {
+  const int seed = std::get<0>(GetParam());
+  const int batch_kb = std::get<1>(GetParam());
+  Rng rng(seed * 65537);
+  const NodeId n = static_cast<NodeId>(20 + rng.Uniform(200));
+  std::vector<Edge> edges;
+  ASSERT_OK(GenerateUniformEdges(n, 4ull * n, seed * 13 + 1, &edges));
+  const std::string path = WriteGraph(n, edges);
+
+  std::vector<NodeId> priority(n);
+  std::iota(priority.begin(), priority.end(), NodeId{0});
+  SemiExternalOptions options;
+  options.memory_budget_bytes = static_cast<uint64_t>(batch_kb) * 1024;
+  RunStats stats;
+  std::unique_ptr<DfsForest> tree;
+  ASSERT_OK(BuildSemiExternalDfsTree(path, priority, options, Deadline(),
+                                     &stats, &tree));
+
+  std::vector<uint32_t> pre = tree->Preorder();
+  std::vector<uint32_t> pre_end(static_cast<size_t>(n) + 1, 0);
+  uint32_t counter = 0;
+  tree->Traverse([&](NodeId v, bool entering) {
+    if (entering) {
+      ++counter;
+    } else {
+      pre_end[v] = counter;
+    }
+  });
+  auto is_ancestor = [&](NodeId a, NodeId d) {
+    return pre[a] <= pre[d] && pre[d] < pre_end[a];
+  };
+  for (const Edge& e : edges) {
+    if (e.from == e.to) continue;
+    bool related = is_ancestor(e.from, e.to) || is_ancestor(e.to, e.from);
+    EXPECT_TRUE(related || pre[e.from] > pre[e.to])
+        << "forward-cross (" << e.from << "," << e.to << ") seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DfsFixpointFuzzTest,
+                         ::testing::Combine(::testing::Range(1, 9),
+                                            ::testing::Values(8, 64)));
+
+}  // namespace
+}  // namespace ioscc

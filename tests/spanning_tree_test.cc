@@ -1,0 +1,202 @@
+// Unit tests for the BR-Tree substrate: star construction, pushdown,
+// ancestor checks, path contraction, removal, rebuilds and the structural
+// self-check after randomized operation sequences.
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scc/spanning_tree.h"
+#include "scc/union_find.h"
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+TEST(SpanningTreeTest, StarInitialization) {
+  SpanningTree tree(4);
+  EXPECT_EQ(tree.root(), 4u);
+  EXPECT_EQ(tree.depth(tree.root()), 0u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(tree.parent(v), tree.root());
+    EXPECT_EQ(tree.depth(v), 1u);
+    EXPECT_TRUE(tree.IsAncestor(tree.root(), v));
+  }
+  EXPECT_TRUE(tree.CheckConsistency());
+}
+
+TEST(SpanningTreeTest, AncestorSemantics) {
+  SpanningTree tree(5);
+  tree.Reparent(1, 0);
+  tree.Reparent(2, 1);
+  // root -> 0 -> 1 -> 2; 3, 4 remain root children.
+  EXPECT_TRUE(tree.IsAncestor(0, 2));
+  EXPECT_TRUE(tree.IsAncestor(0, 0));  // reflexive
+  EXPECT_FALSE(tree.IsAncestor(2, 0));
+  EXPECT_FALSE(tree.IsAncestor(3, 2));
+  EXPECT_FALSE(tree.IsAncestor(2, 3));
+  EXPECT_EQ(tree.depth(2), 3u);
+  EXPECT_TRUE(tree.CheckConsistency());
+}
+
+TEST(SpanningTreeTest, ReparentUpdatesSubtreeDepthsAndReportsMax) {
+  SpanningTree tree(6);
+  tree.Reparent(1, 0);
+  tree.Reparent(2, 1);
+  tree.Reparent(3, 2);  // chain 0-1-2-3
+  uint32_t moved_max = 0;
+  tree.Reparent(1, 4, &moved_max);  // move the 1-2-3 chain under 4
+  EXPECT_EQ(tree.depth(1), 2u);
+  EXPECT_EQ(tree.depth(2), 3u);
+  EXPECT_EQ(tree.depth(3), 4u);
+  EXPECT_EQ(moved_max, 4u);
+  EXPECT_TRUE(tree.CheckConsistency());
+}
+
+TEST(SpanningTreeTest, SubtreeIterationAndSize) {
+  SpanningTree tree(6);
+  tree.Reparent(1, 0);
+  tree.Reparent(2, 0);
+  tree.Reparent(3, 1);
+  std::set<NodeId> seen;
+  tree.ForEachInSubtree(0, [&](NodeId v) { seen.insert(v); });
+  EXPECT_EQ(seen, (std::set<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(tree.SubtreeSize(0), 4u);
+  EXPECT_EQ(tree.SubtreeSize(4), 1u);
+}
+
+TEST(SpanningTreeTest, ContractPathMergesAndSplicesChildren) {
+  SpanningTree tree(7);
+  tree.Reparent(1, 0);
+  tree.Reparent(2, 1);
+  tree.Reparent(3, 2);
+  tree.Reparent(4, 1);  // hangs off the path
+  tree.Reparent(5, 2);  // hangs off the path
+  // Contract the path 0..3 (descendant 3 up to ancestor 0).
+  std::vector<NodeId> merged;
+  tree.ContractPathInto(3, 0, &merged);
+  EXPECT_EQ(std::set<NodeId>(merged.begin(), merged.end()),
+            (std::set<NodeId>{1, 2, 3}));
+  // The hanging subtrees must now be children of 0 at depth 2.
+  EXPECT_EQ(tree.parent(4), 0u);
+  EXPECT_EQ(tree.parent(5), 0u);
+  EXPECT_EQ(tree.depth(4), 2u);
+  EXPECT_EQ(tree.depth(5), 2u);
+  EXPECT_TRUE(tree.CheckConsistency());
+}
+
+TEST(SpanningTreeTest, RemoveSplicesChildrenToGrandparent) {
+  SpanningTree tree(5);
+  tree.Reparent(1, 0);
+  tree.Reparent(2, 1);
+  tree.Reparent(3, 1);
+  tree.Remove(1);
+  EXPECT_EQ(tree.parent(2), 0u);
+  EXPECT_EQ(tree.parent(3), 0u);
+  EXPECT_EQ(tree.depth(2), 2u);
+  EXPECT_EQ(tree.parent(1), kInvalidNode);  // detached
+  EXPECT_TRUE(tree.CheckConsistency());
+}
+
+TEST(SpanningTreeTest, RebuildFromParents) {
+  SpanningTree tree(5);
+  std::vector<NodeId> parents = {tree.root(), 0, 1, kInvalidNode, 0};
+  tree.RebuildFromParents(parents);
+  EXPECT_EQ(tree.depth(0), 1u);
+  EXPECT_EQ(tree.depth(1), 2u);
+  EXPECT_EQ(tree.depth(2), 3u);
+  EXPECT_EQ(tree.parent(3), kInvalidNode);
+  EXPECT_EQ(tree.depth(4), 2u);
+  EXPECT_TRUE(tree.CheckConsistency());
+}
+
+TEST(SpanningTreeTest, RecomputeDepthsFixesEverything) {
+  SpanningTree tree(4);
+  tree.Reparent(1, 0);
+  tree.Reparent(2, 1);
+  tree.RecomputeDepths();
+  EXPECT_EQ(tree.depth(0), 1u);
+  EXPECT_EQ(tree.depth(1), 2u);
+  EXPECT_EQ(tree.depth(2), 3u);
+  EXPECT_EQ(tree.depth(3), 1u);
+}
+
+// Randomized operation sequences keep the structure consistent.
+class SpanningTreeFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpanningTreeFuzzTest, RandomOperationsPreserveInvariants) {
+  Rng rng(GetParam() * 7919);
+  const NodeId n = 60;
+  SpanningTree tree(n);
+  UnionFind uf(n + 1);
+  std::vector<bool> removed(n, false);
+
+  auto alive = [&](NodeId v) { return !removed[v] && uf.Find(v) == v; };
+
+  for (int op = 0; op < 400; ++op) {
+    NodeId a = uf.Find(static_cast<NodeId>(rng.Uniform(n)));
+    NodeId b = uf.Find(static_cast<NodeId>(rng.Uniform(n)));
+    if (!alive(a) || !alive(b) || a == b) continue;
+    switch (rng.Uniform(3)) {
+      case 0:  // pushdown b under a when legal
+        if (!tree.IsAncestor(a, b) && !tree.IsAncestor(b, a)) {
+          tree.Reparent(b, a);
+        }
+        break;
+      case 1:  // contract path when related
+        if (tree.IsAncestor(b, a)) {
+          std::vector<NodeId> merged;
+          tree.ContractPathInto(a, b, &merged);
+          for (NodeId w : merged) uf.UnionInto(b, w, b);
+        }
+        break;
+      case 2:  // remove
+        removed[a] = true;
+        tree.Remove(a);
+        break;
+    }
+    ASSERT_TRUE(tree.CheckConsistency()) << "op " << op;
+  }
+  // Depths must equal parent depth + 1 for all attached nodes.
+  for (NodeId v = 0; v < n; ++v) {
+    if (tree.parent(v) != kInvalidNode) {
+      EXPECT_EQ(tree.depth(v), tree.depth(tree.parent(v)) + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpanningTreeFuzzTest,
+                         ::testing::Range(1, 11));
+
+TEST(UnionFindTest, BasicUnionAndFind) {
+  UnionFind uf(5);
+  EXPECT_NE(uf.Find(0), uf.Find(1));
+  uf.Union(0, 1);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_EQ(uf.SetSize(0), 2u);
+  EXPECT_EQ(uf.SetSize(2), 1u);
+}
+
+TEST(UnionFindTest, UnionIntoForcesRepresentative) {
+  UnionFind uf(5);
+  uf.UnionInto(3, 1, 3);
+  EXPECT_EQ(uf.Find(1), 3u);
+  uf.UnionInto(3, 2, 3);
+  EXPECT_EQ(uf.Find(2), 3u);
+  EXPECT_EQ(uf.SetSize(3), 3u);
+  // Idempotent on same-set arguments.
+  uf.UnionInto(3, 1, 3);
+  EXPECT_EQ(uf.SetSize(3), 3u);
+}
+
+TEST(UnionFindTest, TransitiveMergesResolve) {
+  UnionFind uf(100);
+  for (NodeId v = 1; v < 100; ++v) uf.UnionInto(v - 1, v, uf.Find(v - 1));
+  NodeId rep = uf.Find(0);
+  for (NodeId v = 0; v < 100; ++v) EXPECT_EQ(uf.Find(v), rep);
+  EXPECT_EQ(uf.SetSize(50), 100u);
+}
+
+}  // namespace
+}  // namespace ioscc

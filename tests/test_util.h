@@ -1,0 +1,81 @@
+// Shared helpers for the test suite.
+
+#ifndef IOSCC_TESTS_TEST_UTIL_H_
+#define IOSCC_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+#include "io/edge_file.h"
+#include "io/temp_dir.h"
+#include "scc/scc_result.h"
+#include "scc/tarjan.h"
+#include "util/status.h"
+
+namespace ioscc {
+namespace testing_util {
+
+#define ASSERT_OK(expr)                                       \
+  do {                                                        \
+    ::ioscc::Status _st = (expr);                             \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+#define EXPECT_OK(expr)                                       \
+  do {                                                        \
+    ::ioscc::Status _st = (expr);                             \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+// A gtest fixture owning a scratch directory.
+class TempDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Status st = TempDir::Create("ioscc-test", &dir_);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  std::string NewPath(const std::string& suffix) {
+    return dir_->NewFilePath(suffix);
+  }
+
+  // Writes `edges` over `n` nodes into a fresh edge file and returns its
+  // path. Small block size keeps multi-block paths exercised.
+  std::string WriteGraph(NodeId n, const std::vector<Edge>& edges,
+                         size_t block_size = 4096) {
+    std::string path = NewPath(".edges");
+    Status st = WriteEdgeFile(path, n, edges, block_size, nullptr);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return path;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+// The running example of the paper (Fig. 1): 12 nodes a..l = 0..11,
+// 18 edges, two non-trivial SCCs {b,c,d,e} and {g,h,i,j}.
+inline std::vector<Edge> PaperFigure1Edges() {
+  constexpr NodeId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5, g = 6, h = 7,
+                   i = 8, j = 9, k = 10, l = 11;
+  return {
+      {a, b}, {a, g}, {a, h}, {b, c}, {b, d}, {c, e}, {d, e},
+      {e, b}, {f, g}, {c, f}, {g, j}, {j, i}, {i, h}, {h, g},
+      {g, i}, {i, k}, {j, l}, {l, k},
+  };
+}
+constexpr NodeId kPaperFigure1Nodes = 12;
+
+// Oracle partition via Tarjan on an in-memory copy.
+inline SccResult OracleFor(NodeId n, const std::vector<Edge>& edges) {
+  return TarjanScc(Digraph(n, edges));
+}
+
+}  // namespace testing_util
+}  // namespace ioscc
+
+#endif  // IOSCC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,133 @@
+// Tests for text edge-list import/export.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/edge_file.h"
+#include "io/text_import.h"
+#include "tests/test_util.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::TempDirTest;
+
+class TextImportTest : public TempDirTest {
+ protected:
+  std::string WriteText(const std::string& content) {
+    std::string path = NewPath(".txt");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    EXPECT_NE(f, nullptr);
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return path;
+  }
+};
+
+TEST_F(TextImportTest, BasicSnapFormat) {
+  const std::string text = WriteText(
+      "# Directed graph\n"
+      "# FromNodeId\tToNodeId\n"
+      "0\t1\n"
+      "1\t2\n"
+      "2\t0\n");
+  const std::string edges = NewPath(".edges");
+  TextImportResult result;
+  TextImportOptions options;
+  options.densify = false;
+  ASSERT_OK(ImportTextEdges(text, edges, options, &result, nullptr));
+  EXPECT_EQ(result.node_count, 3u);
+  EXPECT_EQ(result.edge_count, 3u);
+  EXPECT_EQ(result.comment_lines, 2u);
+
+  std::vector<Edge> read;
+  ASSERT_OK(ReadAllEdges(edges, &read, nullptr, nullptr));
+  EXPECT_EQ(read, (std::vector<Edge>{{0, 1}, {1, 2}, {2, 0}}));
+}
+
+TEST_F(TextImportTest, DensifiesSparseIds) {
+  const std::string text = WriteText(
+      "1000000000000 5\n"
+      "5 42\n"
+      "42 1000000000000\n");
+  const std::string edges = NewPath(".edges");
+  TextImportResult result;
+  ASSERT_OK(ImportTextEdges(text, edges, TextImportOptions(), &result,
+                            nullptr));
+  EXPECT_EQ(result.node_count, 3u);  // three distinct raw ids
+  std::vector<Edge> read;
+  ASSERT_OK(ReadAllEdges(edges, &read, nullptr, nullptr));
+  // First-seen order: 1000000000000 -> 0, 5 -> 1, 42 -> 2.
+  EXPECT_EQ(read, (std::vector<Edge>{{0, 1}, {1, 2}, {2, 0}}));
+}
+
+TEST_F(TextImportTest, RejectsHugeIdsWithoutDensify) {
+  const std::string text = WriteText("1000000000000 5\n");
+  TextImportOptions options;
+  options.densify = false;
+  TextImportResult result;
+  EXPECT_TRUE(ImportTextEdges(text, NewPath(".edges"), options, &result,
+                              nullptr)
+                  .IsInvalidArgument());
+}
+
+TEST_F(TextImportTest, SelfLoopFilter) {
+  const std::string text = WriteText("0 0\n0 1\n1 1\n");
+  TextImportOptions options;
+  options.densify = false;
+  options.drop_self_loops = true;
+  TextImportResult result;
+  ASSERT_OK(ImportTextEdges(text, NewPath(".edges"), options, &result,
+                            nullptr));
+  EXPECT_EQ(result.edge_count, 1u);
+  EXPECT_EQ(result.dropped_self_loops, 2u);
+}
+
+TEST_F(TextImportTest, MalformedLineIsCorruption) {
+  const std::string text = WriteText("0 1\nhello world\n");
+  TextImportResult result;
+  Status st = ImportTextEdges(text, NewPath(".edges"), TextImportOptions(),
+                              &result, nullptr);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(TextImportTest, MissingSecondColumnIsCorruption) {
+  const std::string text = WriteText("0\n");
+  TextImportResult result;
+  EXPECT_TRUE(ImportTextEdges(text, NewPath(".edges"),
+                              TextImportOptions(), &result, nullptr)
+                  .IsCorruption());
+}
+
+TEST_F(TextImportTest, EmptyFileIsEmptyGraph) {
+  const std::string text = WriteText("# nothing here\n\n");
+  const std::string edges = NewPath(".edges");
+  TextImportResult result;
+  ASSERT_OK(ImportTextEdges(text, edges, TextImportOptions(), &result,
+                            nullptr));
+  EXPECT_EQ(result.node_count, 0u);
+  EXPECT_EQ(result.edge_count, 0u);
+}
+
+TEST_F(TextImportTest, RoundTripThroughExport) {
+  const std::vector<Edge> original = {{0, 1}, {2, 3}, {1, 0}, {3, 3}};
+  const std::string edges = WriteGraph(4, original);
+  const std::string text = NewPath(".txt");
+  ASSERT_OK(ExportTextEdges(edges, text, nullptr));
+  const std::string edges2 = NewPath(".edges");
+  TextImportOptions options;
+  options.densify = false;
+  TextImportResult result;
+  ASSERT_OK(ImportTextEdges(text, edges2, options, &result, nullptr));
+  std::vector<Edge> read;
+  uint64_t node_count = 0;
+  ASSERT_OK(ReadAllEdges(edges2, &read, &node_count, nullptr));
+  EXPECT_EQ(read, original);
+  EXPECT_EQ(node_count, 4u);
+}
+
+}  // namespace
+}  // namespace ioscc

@@ -1,0 +1,142 @@
+// Behavioural tests for 2P-SCC and DFS-SCC: phase statistics, known
+// convergent/non-convergent inputs, and the I/O profile (bounded number
+// of sequential scans).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/edge_file.h"
+#include "scc/dfs_scc.h"
+#include "scc/two_phase.h"
+#include "tests/test_util.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::kPaperFigure1Nodes;
+using testing_util::OracleFor;
+using testing_util::PaperFigure1Edges;
+using testing_util::TempDirTest;
+
+class TwoPhaseTest : public TempDirTest {};
+
+TEST_F(TwoPhaseTest, PaperFigure1ConvergesWithPhaseStats) {
+  const std::vector<Edge> edges = PaperFigure1Edges();
+  const std::string path = WriteGraph(kPaperFigure1Nodes, edges);
+  SccResult result;
+  RunStats stats;
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  ASSERT_OK(TwoPhaseScc(path, options, &result, &stats));
+  EXPECT_EQ(result, OracleFor(kPaperFigure1Nodes, edges));
+  EXPECT_GE(stats.iterations, 2u);       // at least one fixpoint check
+  EXPECT_GE(stats.search_scans, 1u);     // tree search ran
+  EXPECT_GT(stats.contractions, 0u);     // the two SCCs contracted
+}
+
+TEST_F(TwoPhaseTest, IoIsBoundedScansOfTheStream) {
+  // 2P-SCC never rewrites the input: total reads must be exactly
+  // (construction iterations + search scans) * data blocks + header.
+  const std::vector<Edge> edges = PaperFigure1Edges();
+  const std::string path = WriteGraph(kPaperFigure1Nodes, edges);
+  EdgeFileInfo info;
+  ASSERT_OK(ReadEdgeFileInfo(path, &info));
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(TwoPhaseScc(path, SemiExternalOptions(), &result, &stats));
+  const uint64_t data_blocks = info.TotalBlocks() - 1;
+  EXPECT_EQ(stats.io.blocks_read,
+            1 + (stats.iterations + stats.search_scans) * data_blocks);
+  EXPECT_EQ(stats.io.blocks_written, 0u);
+}
+
+TEST_F(TwoPhaseTest, KnownOscillatorReportsIncomplete) {
+  // Two sibling SCCs tied on drank pull node 3 back and forth forever:
+  // a Definition 5.1 fixpoint does not exist (see two_phase.cc). The
+  // algorithm must detect this and return Incomplete, not a wrong split.
+  const std::vector<Edge> edges = {{2, 0}, {0, 3}, {5, 3}, {5, 3},
+                                   {3, 1}, {0, 2}, {1, 5}, {2, 3},
+                                   {2, 4}, {4, 2}, {1, 3}, {5, 3}};
+  const std::string path = WriteGraph(6, edges);
+  SccResult result;
+  RunStats stats;
+  SemiExternalOptions options;
+  options.max_iterations = 100;
+  Status st = TwoPhaseScc(path, options, &result, &stats);
+  EXPECT_TRUE(st.IsIncomplete()) << st.ToString();
+}
+
+TEST_F(TwoPhaseTest, DagNeedsNoSecondConstructionPass) {
+  // On a DAG in topological id order every edge goes "down" from the
+  // star tree's perspective after one round of pushdowns; construction
+  // converges and search finds only singletons.
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < 50; ++v) edges.push_back({v, v + 1});
+  const std::string path = WriteGraph(50, edges);
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(TwoPhaseScc(path, SemiExternalOptions(), &result, &stats));
+  EXPECT_EQ(result.ComponentCount(), 50u);
+  EXPECT_EQ(stats.contractions, 0u);
+}
+
+TEST_F(TwoPhaseTest, TimeLimitReturnsIncomplete) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < 2000; ++v) edges.push_back({v, (v + 1) % 2000});
+  const std::string path = WriteGraph(2000, edges);
+  SemiExternalOptions options;
+  options.time_limit_seconds = 1e-9;
+  SccResult result;
+  RunStats stats;
+  EXPECT_TRUE(
+      TwoPhaseScc(path, options, &result, &stats).IsIncomplete());
+}
+
+class DfsSccTest : public TempDirTest {};
+
+TEST_F(DfsSccTest, PaperFigure1) {
+  const std::vector<Edge> edges = PaperFigure1Edges();
+  const std::string path = WriteGraph(kPaperFigure1Nodes, edges);
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(DfsScc(path, SemiExternalOptions(), &result, &stats));
+  EXPECT_EQ(result, OracleFor(kPaperFigure1Nodes, edges));
+  // Two DFS fixpoints ran: iterations counts scans of both.
+  EXPECT_GE(stats.iterations, 2u);
+}
+
+TEST_F(DfsSccTest, WritesTheReversedGraphOnce) {
+  const std::vector<Edge> edges = PaperFigure1Edges();
+  const std::string path = WriteGraph(kPaperFigure1Nodes, edges);
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(DfsScc(path, SemiExternalOptions(), &result, &stats));
+  // DFS-SCC's only writes are the reversed edge file (Algorithm 2 line 3).
+  EXPECT_GT(stats.io.blocks_written, 0u);
+}
+
+TEST_F(DfsSccTest, DisconnectedComponentsViaVirtualRoot) {
+  // Two disjoint cycles and an isolated node.
+  std::vector<Edge> edges = {{0, 1}, {1, 0}, {2, 3}, {3, 4}, {4, 2}};
+  const std::string path = WriteGraph(6, edges);
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(DfsScc(path, SemiExternalOptions(), &result, &stats));
+  EXPECT_EQ(result, OracleFor(6, edges));
+  EXPECT_EQ(result.ComponentCount(), 3u);
+}
+
+TEST_F(DfsSccTest, TimeLimitReturnsIncomplete) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < 5000; ++v) edges.push_back({v, (v + 1) % 5000});
+  const std::string path = WriteGraph(5000, edges);
+  SemiExternalOptions options;
+  options.time_limit_seconds = 1e-9;
+  SccResult result;
+  RunStats stats;
+  EXPECT_TRUE(DfsScc(path, options, &result, &stats).IsIncomplete());
+}
+
+}  // namespace
+}  // namespace ioscc

@@ -1,0 +1,167 @@
+// Unit tests for the util layer: Status, Rng, Flags, Timer/Deadline.
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace ioscc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  Status st = Status::IoError("disk on fire");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIoError());
+  EXPECT_FALSE(st.IsCorruption());
+  EXPECT_EQ(st.message(), "disk on fire");
+  EXPECT_EQ(st.ToString(), "IoError: disk on fire");
+}
+
+TEST(StatusTest, AllCodesRoundTrip) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::OutOfMemoryBudget("x").IsOutOfMemoryBudget());
+  EXPECT_TRUE(Status::Incomplete("x").IsIncomplete());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::IoError("a"), Status::IoError("b"));
+  EXPECT_FALSE(Status::IoError("a") == Status::Corruption("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::NotFound("gone"); };
+  auto outer = [&]() -> Status {
+    IOSCC_RETURN_IF_ERROR(inner());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.Uniform(0), 0u);
+  EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t x = rng.UniformRange(5, 9);
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 9u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, SeedZeroIsWellMixed) {
+  Rng rng(0);
+  // SplitMix seeding must not produce the all-zero degenerate state.
+  EXPECT_NE(rng.Next64(), 0u);
+  EXPECT_NE(rng.Next64(), rng.Next64());
+}
+
+TEST(FlagsTest, ParsesKeyValueAndBooleans) {
+  const char* argv[] = {"prog", "--alpha=3",   "--name=x",
+                        "--on", "--off=false", "pos1"};
+  Flags flags = Flags::Parse(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_EQ(flags.GetString("name", ""), "x");
+  EXPECT_TRUE(flags.GetBool("on", false));
+  EXPECT_FALSE(flags.GetBool("off", true));
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  const char* argv[] = {"prog", "--scale=0.25"};
+  Flags flags = Flags::Parse(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.25);
+}
+
+TEST(FlagsTest, UnusedFlagsDetectsTypos) {
+  const char* argv[] = {"prog", "--sclae=0.25", "--seed=1"};
+  Flags flags = Flags::Parse(3, const_cast<char**>(argv));
+  (void)flags.GetInt("seed", 0);
+  std::vector<std::string> unused = flags.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "sclae");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
+}
+
+TEST(DeadlineTest, ZeroMeansNoDeadline) {
+  Deadline deadline(0);
+  EXPECT_FALSE(deadline.Expired());
+}
+
+TEST(DeadlineTest, NegativeMeansNoDeadline) {
+  Deadline deadline(-1);
+  EXPECT_FALSE(deadline.Expired());
+}
+
+TEST(DeadlineTest, TinyDeadlineExpires) {
+  Deadline deadline(1e-9);
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_TRUE(deadline.Expired());
+}
+
+}  // namespace
+}  // namespace ioscc

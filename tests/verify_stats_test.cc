@@ -1,0 +1,193 @@
+// Tests for VerifyEdgeFile fingerprints, ComputeGraphStats, the progress
+// callback, and a deterministic fuzz loop feeding random bytes to the
+// edge-file reader (no crash, no false acceptance).
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "io/edge_file.h"
+#include "io/external_sort.h"
+#include "io/verify_file.h"
+#include "scc/algorithms.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::TempDirTest;
+
+class VerifyFileTest : public TempDirTest {};
+
+TEST_F(VerifyFileTest, CleanFileVerifies) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}};
+  const std::string path = WriteGraph(3, edges);
+  EdgeFileFingerprint fp;
+  ASSERT_OK(VerifyEdgeFile(path, &fp, nullptr));
+  EXPECT_EQ(fp.node_count, 3u);
+  EXPECT_EQ(fp.edge_count, 3u);
+  EXPECT_NE(fp.stream_digest, 0u);
+}
+
+TEST_F(VerifyFileTest, IdenticalContentSameFingerprint) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}};
+  // Different block sizes, same logical content.
+  const std::string a = WriteGraph(3, edges, 512);
+  const std::string b = WriteGraph(3, edges, 4096);
+  EdgeFileFingerprint fa, fb;
+  ASSERT_OK(VerifyEdgeFile(a, &fa, nullptr));
+  ASSERT_OK(VerifyEdgeFile(b, &fb, nullptr));
+  EXPECT_EQ(fa, fb);
+}
+
+TEST_F(VerifyFileTest, ReorderKeepsMultisetDigestOnly) {
+  std::vector<Edge> edges;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(64));
+    NodeId b = static_cast<NodeId>(rng.Uniform(64));
+    if (a != b) edges.push_back({a, b});
+  }
+  const std::string original = WriteGraph(64, edges, 512);
+  const std::string sorted = NewPath(".sorted");
+  ASSERT_OK(SortEdgeFile(original, sorted, ExternalSortOptions(),
+                         dir_.get(), nullptr));
+  EdgeFileFingerprint fo, fs;
+  ASSERT_OK(VerifyEdgeFile(original, &fo, nullptr));
+  ASSERT_OK(VerifyEdgeFile(sorted, &fs, nullptr));
+  EXPECT_EQ(fo.multiset_digest, fs.multiset_digest);
+  EXPECT_NE(fo.stream_digest, fs.stream_digest);  // order changed
+}
+
+TEST_F(VerifyFileTest, ContentChangeChangesDigest) {
+  const std::string a = WriteGraph(4, {{0, 1}, {1, 2}});
+  const std::string b = WriteGraph(4, {{0, 1}, {1, 3}});
+  EdgeFileFingerprint fa, fb;
+  ASSERT_OK(VerifyEdgeFile(a, &fa, nullptr));
+  ASSERT_OK(VerifyEdgeFile(b, &fb, nullptr));
+  EXPECT_NE(fa.stream_digest, fb.stream_digest);
+  EXPECT_NE(fa.multiset_digest, fb.multiset_digest);
+}
+
+TEST_F(VerifyFileTest, DetectsCorruptPayload) {
+  const std::string path = WriteGraph(3, {{0, 1}, {1, 2}});
+  // Claim 2 nodes instead -> endpoint 2 is out of range.
+  const std::string rogue = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(rogue, 2, {{0, 1}, {1, 2}}, 4096, nullptr));
+  EXPECT_TRUE(VerifyEdgeFile(rogue, nullptr, nullptr).IsCorruption());
+  EXPECT_OK(VerifyEdgeFile(path, nullptr, nullptr));
+}
+
+// Deterministic fuzz: random byte blobs must never crash the reader and
+// must never be accepted as a valid edge file unless they genuinely parse.
+TEST_F(VerifyFileTest, FuzzRandomBlobsNeverCrash) {
+  Rng rng(0xF022);
+  for (int round = 0; round < 200; ++round) {
+    const size_t size = 1 + rng.Uniform(4096);
+    std::vector<char> blob(size);
+    for (char& c : blob) c = static_cast<char>(rng.Next64());
+    // Half the rounds get a valid-looking magic prefix to push deeper.
+    if (round % 2 == 0 && size >= 8) {
+      std::memcpy(blob.data(), "IOSCCEDG", 8);
+    }
+    const std::string path = NewPath(".fuzz");
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(blob.data(), 1, blob.size(), f);
+    std::fclose(f);
+    EdgeFileFingerprint fp;
+    Status st = VerifyEdgeFile(path, &fp, nullptr);
+    EXPECT_FALSE(st.ok()) << "round " << round << " size " << size;
+  }
+}
+
+class GraphStatsTest : public TempDirTest {};
+
+TEST_F(GraphStatsTest, CountsEverything) {
+  // 0->1, 0->2, 1->1 (self loop), node 3 isolated, node 2 sink, 0 source.
+  const std::string path = WriteGraph(4, {{0, 1}, {0, 2}, {1, 1}});
+  GraphStats stats;
+  ASSERT_OK(ComputeGraphStats(path, &stats, nullptr));
+  EXPECT_EQ(stats.node_count, 4u);
+  EXPECT_EQ(stats.edge_count, 3u);
+  EXPECT_EQ(stats.self_loops, 1u);
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_EQ(stats.max_in_degree, 2u);  // node 1: from 0 and its self-loop
+  EXPECT_EQ(stats.sources, 1u);   // node 0
+  EXPECT_EQ(stats.sinks, 1u);     // node 2
+  EXPECT_EQ(stats.isolated, 1u);  // node 3
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 0.75);
+  // Histogram: node 3 in bucket 0; nodes 1,2... node 1 out-degree 1
+  // (bucket 1), node 0 out-degree 2 (bucket 2), node 2 and 3 degree 0.
+  EXPECT_EQ(stats.out_degree_histogram[0], 2u);
+  EXPECT_EQ(stats.out_degree_histogram[1], 1u);
+  EXPECT_EQ(stats.out_degree_histogram[2], 1u);
+}
+
+TEST_F(GraphStatsTest, EmptyGraph) {
+  const std::string path = WriteGraph(0, {});
+  GraphStats stats;
+  ASSERT_OK(ComputeGraphStats(path, &stats, nullptr));
+  EXPECT_EQ(stats.node_count, 0u);
+  EXPECT_EQ(stats.edge_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 0.0);
+}
+
+class ProgressTest : public TempDirTest {};
+
+TEST_F(ProgressTest, CallbackSeesEveryIteration) {
+  PlantedSccSpec spec;
+  spec.node_count = 1000;
+  spec.avg_degree = 4.0;
+  spec.components = {{100, 1}, {5, 10}};
+  spec.seed = 5;
+  std::vector<Edge> edges;
+  ASSERT_OK(GeneratePlantedSccEdges(spec, &edges));
+  const std::string path = WriteGraph(1000, edges);
+
+  for (SccAlgorithm algorithm :
+       {SccAlgorithm::kOnePhaseBatch, SccAlgorithm::kOnePhase}) {
+    SemiExternalOptions options;
+    options.scratch_block_size = 4096;
+    uint64_t calls = 0;
+    options.progress = [&](uint64_t iteration, const IterationStats&) {
+      EXPECT_EQ(iteration, calls + 1);
+      ++calls;
+      return true;
+    };
+    SccResult result;
+    RunStats stats;
+    ASSERT_OK(RunScc(algorithm, path, options, &result, &stats));
+    EXPECT_EQ(calls, stats.iterations) << AlgorithmName(algorithm);
+  }
+}
+
+TEST_F(ProgressTest, ReturningFalseCancels) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < 500; ++v) edges.push_back({v, (v + 1) % 500});
+  const std::string path = WriteGraph(500, edges);
+  for (SccAlgorithm algorithm : AllAlgorithms()) {
+    SemiExternalOptions options;
+    options.scratch_block_size = 4096;
+    options.progress = [](uint64_t, const IterationStats&) {
+      return false;  // cancel immediately
+    };
+    SccResult result;
+    RunStats stats;
+    Status st = RunScc(algorithm, path, options, &result, &stats);
+    // EM-SCC may finish before its first full iteration when the graph
+    // fits in memory; everyone else must report the cancellation.
+    if (algorithm == SccAlgorithm::kEm && st.ok()) continue;
+    EXPECT_TRUE(st.IsIncomplete())
+        << AlgorithmName(algorithm) << ": " << st.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ioscc
