@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_real.dir/bench_table3_real.cpp.o"
+  "CMakeFiles/bench_table3_real.dir/bench_table3_real.cpp.o.d"
+  "bench_table3_real"
+  "bench_table3_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_tool.dir/scc_tool.cpp.o"
+  "CMakeFiles/scc_tool.dir/scc_tool.cpp.o.d"
+  "scc_tool"
+  "scc_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

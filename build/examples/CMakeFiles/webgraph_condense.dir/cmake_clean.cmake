@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webgraph_condense.dir/webgraph_condense.cpp.o"
+  "CMakeFiles/webgraph_condense.dir/webgraph_condense.cpp.o.d"
+  "webgraph_condense"
+  "webgraph_condense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webgraph_condense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

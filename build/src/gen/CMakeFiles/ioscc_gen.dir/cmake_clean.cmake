@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioscc_gen.dir/generators.cc.o"
+  "CMakeFiles/ioscc_gen.dir/generators.cc.o.d"
+  "libioscc_gen.a"
+  "libioscc_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioscc_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioscc_graph.dir/digraph.cc.o"
+  "CMakeFiles/ioscc_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/ioscc_graph.dir/graph_io.cc.o"
+  "CMakeFiles/ioscc_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/ioscc_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/ioscc_graph.dir/graph_stats.cc.o.d"
+  "libioscc_graph.a"
+  "libioscc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioscc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

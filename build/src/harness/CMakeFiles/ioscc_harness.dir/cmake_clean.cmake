@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioscc_harness.dir/datasets.cc.o"
+  "CMakeFiles/ioscc_harness.dir/datasets.cc.o.d"
+  "CMakeFiles/ioscc_harness.dir/runner.cc.o"
+  "CMakeFiles/ioscc_harness.dir/runner.cc.o.d"
+  "CMakeFiles/ioscc_harness.dir/table.cc.o"
+  "CMakeFiles/ioscc_harness.dir/table.cc.o.d"
+  "libioscc_harness.a"
+  "libioscc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioscc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

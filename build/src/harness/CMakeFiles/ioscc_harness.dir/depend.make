@@ -1,0 +1,2 @@
+# Empty dependencies file for ioscc_harness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/block_file.cc" "src/io/CMakeFiles/ioscc_io.dir/block_file.cc.o" "gcc" "src/io/CMakeFiles/ioscc_io.dir/block_file.cc.o.d"
+  "/root/repo/src/io/edge_file.cc" "src/io/CMakeFiles/ioscc_io.dir/edge_file.cc.o" "gcc" "src/io/CMakeFiles/ioscc_io.dir/edge_file.cc.o.d"
+  "/root/repo/src/io/external_sort.cc" "src/io/CMakeFiles/ioscc_io.dir/external_sort.cc.o" "gcc" "src/io/CMakeFiles/ioscc_io.dir/external_sort.cc.o.d"
+  "/root/repo/src/io/temp_dir.cc" "src/io/CMakeFiles/ioscc_io.dir/temp_dir.cc.o" "gcc" "src/io/CMakeFiles/ioscc_io.dir/temp_dir.cc.o.d"
+  "/root/repo/src/io/text_import.cc" "src/io/CMakeFiles/ioscc_io.dir/text_import.cc.o" "gcc" "src/io/CMakeFiles/ioscc_io.dir/text_import.cc.o.d"
+  "/root/repo/src/io/verify_file.cc" "src/io/CMakeFiles/ioscc_io.dir/verify_file.cc.o" "gcc" "src/io/CMakeFiles/ioscc_io.dir/verify_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ioscc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioscc_io.dir/block_file.cc.o"
+  "CMakeFiles/ioscc_io.dir/block_file.cc.o.d"
+  "CMakeFiles/ioscc_io.dir/edge_file.cc.o"
+  "CMakeFiles/ioscc_io.dir/edge_file.cc.o.d"
+  "CMakeFiles/ioscc_io.dir/external_sort.cc.o"
+  "CMakeFiles/ioscc_io.dir/external_sort.cc.o.d"
+  "CMakeFiles/ioscc_io.dir/temp_dir.cc.o"
+  "CMakeFiles/ioscc_io.dir/temp_dir.cc.o.d"
+  "CMakeFiles/ioscc_io.dir/text_import.cc.o"
+  "CMakeFiles/ioscc_io.dir/text_import.cc.o.d"
+  "CMakeFiles/ioscc_io.dir/verify_file.cc.o"
+  "CMakeFiles/ioscc_io.dir/verify_file.cc.o.d"
+  "libioscc_io.a"
+  "libioscc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioscc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

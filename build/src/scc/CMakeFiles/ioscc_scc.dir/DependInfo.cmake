@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scc/algorithms.cc" "src/scc/CMakeFiles/ioscc_scc.dir/algorithms.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/algorithms.cc.o.d"
+  "/root/repo/src/scc/condense.cc" "src/scc/CMakeFiles/ioscc_scc.dir/condense.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/condense.cc.o.d"
+  "/root/repo/src/scc/dfs_scc.cc" "src/scc/CMakeFiles/ioscc_scc.dir/dfs_scc.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/dfs_scc.cc.o.d"
+  "/root/repo/src/scc/drank.cc" "src/scc/CMakeFiles/ioscc_scc.dir/drank.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/drank.cc.o.d"
+  "/root/repo/src/scc/em_scc.cc" "src/scc/CMakeFiles/ioscc_scc.dir/em_scc.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/em_scc.cc.o.d"
+  "/root/repo/src/scc/kosaraju.cc" "src/scc/CMakeFiles/ioscc_scc.dir/kosaraju.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/kosaraju.cc.o.d"
+  "/root/repo/src/scc/one_phase.cc" "src/scc/CMakeFiles/ioscc_scc.dir/one_phase.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/one_phase.cc.o.d"
+  "/root/repo/src/scc/one_phase_batch.cc" "src/scc/CMakeFiles/ioscc_scc.dir/one_phase_batch.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/one_phase_batch.cc.o.d"
+  "/root/repo/src/scc/reachability.cc" "src/scc/CMakeFiles/ioscc_scc.dir/reachability.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/reachability.cc.o.d"
+  "/root/repo/src/scc/scc_result.cc" "src/scc/CMakeFiles/ioscc_scc.dir/scc_result.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/scc_result.cc.o.d"
+  "/root/repo/src/scc/semi_external_dfs.cc" "src/scc/CMakeFiles/ioscc_scc.dir/semi_external_dfs.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/semi_external_dfs.cc.o.d"
+  "/root/repo/src/scc/spanning_tree.cc" "src/scc/CMakeFiles/ioscc_scc.dir/spanning_tree.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/spanning_tree.cc.o.d"
+  "/root/repo/src/scc/tarjan.cc" "src/scc/CMakeFiles/ioscc_scc.dir/tarjan.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/tarjan.cc.o.d"
+  "/root/repo/src/scc/two_phase.cc" "src/scc/CMakeFiles/ioscc_scc.dir/two_phase.cc.o" "gcc" "src/scc/CMakeFiles/ioscc_scc.dir/two_phase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ioscc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ioscc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ioscc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

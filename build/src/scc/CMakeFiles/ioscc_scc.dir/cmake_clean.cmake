@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioscc_scc.dir/algorithms.cc.o"
+  "CMakeFiles/ioscc_scc.dir/algorithms.cc.o.d"
+  "CMakeFiles/ioscc_scc.dir/condense.cc.o"
+  "CMakeFiles/ioscc_scc.dir/condense.cc.o.d"
+  "CMakeFiles/ioscc_scc.dir/dfs_scc.cc.o"
+  "CMakeFiles/ioscc_scc.dir/dfs_scc.cc.o.d"
+  "CMakeFiles/ioscc_scc.dir/drank.cc.o"
+  "CMakeFiles/ioscc_scc.dir/drank.cc.o.d"
+  "CMakeFiles/ioscc_scc.dir/em_scc.cc.o"
+  "CMakeFiles/ioscc_scc.dir/em_scc.cc.o.d"
+  "CMakeFiles/ioscc_scc.dir/kosaraju.cc.o"
+  "CMakeFiles/ioscc_scc.dir/kosaraju.cc.o.d"
+  "CMakeFiles/ioscc_scc.dir/one_phase.cc.o"
+  "CMakeFiles/ioscc_scc.dir/one_phase.cc.o.d"
+  "CMakeFiles/ioscc_scc.dir/one_phase_batch.cc.o"
+  "CMakeFiles/ioscc_scc.dir/one_phase_batch.cc.o.d"
+  "CMakeFiles/ioscc_scc.dir/reachability.cc.o"
+  "CMakeFiles/ioscc_scc.dir/reachability.cc.o.d"
+  "CMakeFiles/ioscc_scc.dir/scc_result.cc.o"
+  "CMakeFiles/ioscc_scc.dir/scc_result.cc.o.d"
+  "CMakeFiles/ioscc_scc.dir/semi_external_dfs.cc.o"
+  "CMakeFiles/ioscc_scc.dir/semi_external_dfs.cc.o.d"
+  "CMakeFiles/ioscc_scc.dir/spanning_tree.cc.o"
+  "CMakeFiles/ioscc_scc.dir/spanning_tree.cc.o.d"
+  "CMakeFiles/ioscc_scc.dir/tarjan.cc.o"
+  "CMakeFiles/ioscc_scc.dir/tarjan.cc.o.d"
+  "CMakeFiles/ioscc_scc.dir/two_phase.cc.o"
+  "CMakeFiles/ioscc_scc.dir/two_phase.cc.o.d"
+  "libioscc_scc.a"
+  "libioscc_scc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioscc_scc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libioscc_scc.a"
+)

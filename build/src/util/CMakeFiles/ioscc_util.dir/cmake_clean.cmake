@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioscc_util.dir/flags.cc.o"
+  "CMakeFiles/ioscc_util.dir/flags.cc.o.d"
+  "CMakeFiles/ioscc_util.dir/logging.cc.o"
+  "CMakeFiles/ioscc_util.dir/logging.cc.o.d"
+  "CMakeFiles/ioscc_util.dir/status.cc.o"
+  "CMakeFiles/ioscc_util.dir/status.cc.o.d"
+  "libioscc_util.a"
+  "libioscc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioscc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

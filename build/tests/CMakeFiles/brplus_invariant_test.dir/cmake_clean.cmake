@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brplus_invariant_test.dir/brplus_invariant_test.cc.o"
+  "CMakeFiles/brplus_invariant_test.dir/brplus_invariant_test.cc.o.d"
+  "brplus_invariant_test"
+  "brplus_invariant_test.pdb"
+  "brplus_invariant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brplus_invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condense_test.dir/condense_test.cc.o"
+  "CMakeFiles/condense_test.dir/condense_test.cc.o.d"
+  "condense_test"
+  "condense_test.pdb"
+  "condense_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drank_test.dir/drank_test.cc.o"
+  "CMakeFiles/drank_test.dir/drank_test.cc.o.d"
+  "drank_test"
+  "drank_test.pdb"
+  "drank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

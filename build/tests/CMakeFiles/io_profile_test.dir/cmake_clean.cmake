@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_profile_test.dir/io_profile_test.cc.o"
+  "CMakeFiles/io_profile_test.dir/io_profile_test.cc.o.d"
+  "io_profile_test"
+  "io_profile_test.pdb"
+  "io_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

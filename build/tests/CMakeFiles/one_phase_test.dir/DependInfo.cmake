@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/one_phase_test.cc" "tests/CMakeFiles/one_phase_test.dir/one_phase_test.cc.o" "gcc" "tests/CMakeFiles/one_phase_test.dir/one_phase_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ioscc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/scc/CMakeFiles/ioscc_scc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/ioscc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ioscc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ioscc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ioscc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

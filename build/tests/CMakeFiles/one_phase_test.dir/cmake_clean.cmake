@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_phase_test.dir/one_phase_test.cc.o"
+  "CMakeFiles/one_phase_test.dir/one_phase_test.cc.o.d"
+  "one_phase_test"
+  "one_phase_test.pdb"
+  "one_phase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_phase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_oracle_test.dir/scc_oracle_test.cc.o"
+  "CMakeFiles/scc_oracle_test.dir/scc_oracle_test.cc.o.d"
+  "scc_oracle_test"
+  "scc_oracle_test.pdb"
+  "scc_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

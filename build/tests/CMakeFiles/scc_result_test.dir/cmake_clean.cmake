@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_result_test.dir/scc_result_test.cc.o"
+  "CMakeFiles/scc_result_test.dir/scc_result_test.cc.o.d"
+  "scc_result_test"
+  "scc_result_test.pdb"
+  "scc_result_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_import_test.dir/text_import_test.cc.o"
+  "CMakeFiles/text_import_test.dir/text_import_test.cc.o.d"
+  "text_import_test"
+  "text_import_test.pdb"
+  "text_import_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

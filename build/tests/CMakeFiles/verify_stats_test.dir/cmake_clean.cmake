@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_stats_test.dir/verify_stats_test.cc.o"
+  "CMakeFiles/verify_stats_test.dir/verify_stats_test.cc.o.d"
+  "verify_stats_test"
+  "verify_stats_test.pdb"
+  "verify_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/text_import_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/scc_result_test[1]_include.cmake")
+include("/root/repo/build/tests/spanning_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/drank_test[1]_include.cmake")
+include("/root/repo/build/tests/scc_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/one_phase_test[1]_include.cmake")
+include("/root/repo/build/tests/two_phase_test[1]_include.cmake")
+include("/root/repo/build/tests/brplus_invariant_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/condense_test[1]_include.cmake")
+include("/root/repo/build/tests/reachability_test[1]_include.cmake")
+include("/root/repo/build/tests/io_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/semi_external_dfs_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
