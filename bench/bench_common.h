@@ -8,6 +8,11 @@
 //   --verify           cross-check every finished run against the
 //                      in-memory oracle (slower; loads the graph once)
 //   --verbose          per-iteration progress on stderr
+//   --trace=FILE       write a Chrome trace_event JSON of every span
+//                      (open in chrome://tracing or ui.perfetto.dev)
+//   --report=FILE      write a JSONL run report: one "run" record per
+//                      algorithm execution + a final "metrics" snapshot
+//                      (schema in docs/OBSERVABILITY.md)
 
 #ifndef IOSCC_BENCH_BENCH_COMMON_H_
 #define IOSCC_BENCH_BENCH_COMMON_H_
@@ -24,6 +29,9 @@
 #include "harness/datasets.h"
 #include "harness/runner.h"
 #include "harness/table.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "scc/algorithms.h"
 #include "scc/tarjan.h"
 #include "util/flags.h"
@@ -37,10 +45,31 @@ struct BenchContext {
   uint64_t seed = 42;
   double time_limit = 60.0;
   bool verify = false;
+  std::string name;  // bench binary name; labels report entries
   std::unique_ptr<DatasetBuilder> datasets;
   // Optional machine-readable sink (--csv=FILE): every sweep table is
   // appended as CSV alongside the human-readable output.
   std::FILE* csv = nullptr;
+  // Optional observability sinks (--trace=FILE / --report=FILE).
+  std::unique_ptr<Tracer> tracer;
+  std::string trace_path;
+  std::unique_ptr<RunReportWriter> report;
+
+  ~BenchContext() {
+    // Finalize sinks when the bench returns from Main.
+    if (report != nullptr) {
+      (void)report->AppendMetricsSnapshot();
+      (void)report->Flush();
+    }
+    if (tracer != nullptr) {
+      SetTracer(nullptr);
+      Status st = tracer->WriteChromeTrace(trace_path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "trace: %s\n", st.ToString().c_str());
+      }
+    }
+    if (csv != nullptr) std::fclose(csv);
+  }
 
   // The paper's default memory grant M = 4 bytes * 3|V| + one block.
   SemiExternalOptions Options(uint64_t node_count) const {
@@ -55,6 +84,11 @@ struct BenchContext {
 inline bool InitBench(int argc, char** argv, BenchContext* ctx,
                       Flags* flags_out = nullptr) {
   Flags flags = Flags::Parse(argc, argv);
+  if (argc > 0) {
+    ctx->name = argv[0];
+    const size_t slash = ctx->name.find_last_of('/');
+    if (slash != std::string::npos) ctx->name = ctx->name.substr(slash + 1);
+  }
   ctx->scale = flags.GetDouble("scale", ctx->scale);
   ctx->seed = static_cast<uint64_t>(flags.GetInt("seed", ctx->seed));
   ctx->time_limit = flags.GetDouble("time-limit", ctx->time_limit);
@@ -67,6 +101,23 @@ inline bool InitBench(int argc, char** argv, BenchContext* ctx,
       std::fprintf(stderr, "cannot open --csv file %s\n", csv_path.c_str());
       return false;
     }
+  }
+  ctx->trace_path = flags.GetString("trace", "");
+  if (!ctx->trace_path.empty()) {
+    ctx->tracer = std::make_unique<Tracer>();
+    SetTracer(ctx->tracer.get());
+  }
+  const std::string report_path = flags.GetString("report", "");
+  if (!report_path.empty()) {
+    Status st = RunReportWriter::Open(report_path, &ctx->report);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return false;
+    }
+  }
+  if (ctx->tracer != nullptr || ctx->report != nullptr) {
+    // A sink is watching: turn on the costlier sampled metrics too.
+    SetMetricsEnabled(true);
   }
   Status st = DatasetBuilder::Create(&ctx->datasets);
   if (!st.ok()) {
@@ -92,9 +143,16 @@ inline RunOutcome Run(const BenchContext& ctx, SccAlgorithm algorithm,
                AlgorithmName(algorithm), path.c_str());
   RunOutcome outcome = RunAlgorithmOnFile(
       algorithm, path, options, oracle ? &*oracle : nullptr);
-  std::fprintf(stderr, "  %-8s: %s, %s I/Os (%s)\n",
-               AlgorithmName(algorithm), TimeCell(outcome).c_str(),
-               IoCell(outcome).c_str(), outcome.status.ToString().c_str());
+  std::fprintf(stderr, "  %-8s: %s, %s (%s)\n", AlgorithmName(algorithm),
+               TimeCell(outcome).c_str(), outcome.stats.io.Format().c_str(),
+               outcome.status.ToString().c_str());
+  if (ctx.report != nullptr) {
+    Status st = ctx.report->Append(
+        MakeReportEntry(ctx.name, algorithm, path, outcome));
+    if (!st.ok()) {
+      std::fprintf(stderr, "report: %s\n", st.ToString().c_str());
+    }
+  }
   return outcome;
 }
 

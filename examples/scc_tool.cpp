@@ -30,7 +30,11 @@
 #include "gen/generators.h"
 #include "graph/digraph.h"
 #include "graph/graph_io.h"
+#include "harness/runner.h"
 #include "harness/table.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "io/edge_file.h"
 #include "io/text_import.h"
 #include "io/verify_file.h"
@@ -49,7 +53,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: scc_tool generate --kind=... --out=FILE [options]\n"
                "       scc_tool run FILE [--algorithm=1PB|1P|2P|DFS|EM] "
-               "[--verify] [--time-limit=SECONDS]\n"
+               "[--verify] [--time-limit=SECONDS] [--report] "
+               "[--trace=FILE]\n"
                "       scc_tool info FILE\n"
                "       scc_tool import TEXT FILE [--densify=false]\n"
                "       scc_tool export FILE TEXT\n"
@@ -141,41 +146,69 @@ int RunOn(const std::string& path, const Flags& flags) {
   SemiExternalOptions options;
   options.time_limit_seconds = flags.GetDouble("time-limit", 0);
   if (flags.GetBool("verbose", false)) SetLogLevel(LogLevel::kDebug);
+  const bool report = flags.GetBool("report", false);
+  const std::string trace_path = flags.GetString("trace", "");
+  std::unique_ptr<Tracer> tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<Tracer>();
+    SetTracer(tracer.get());
+  }
+  if (report || tracer != nullptr) SetMetricsEnabled(true);
 
-  SccResult result;
-  RunStats stats;
-  st = RunScc(algorithm, path, options, &result, &stats);
-  if (!st.ok()) {
+  RunOutcome outcome = RunAlgorithmOnFile(algorithm, path, options);
+  if (tracer != nullptr) {
+    SetTracer(nullptr);
+    Status trace_st = tracer->WriteChromeTrace(trace_path);
+    if (!trace_st.ok()) {
+      std::fprintf(stderr, "trace: %s\n", trace_st.ToString().c_str());
+    }
+  }
+  if (report) {
+    // Machine-readable run report on stdout (JSONL: run + metrics line).
+    std::printf("%s\n",
+                RunReportEntryToJson(
+                    MakeReportEntry("scc_tool", algorithm, path, outcome))
+                    .c_str());
+    std::printf(
+        "%s\n",
+        MetricsSnapshotToJson(MetricsRegistry::Global().Snapshot()).c_str());
+  }
+  if (!outcome.status.ok()) {
     std::fprintf(stderr, "%s: %s\n", AlgorithmName(algorithm),
-                 st.ToString().c_str());
+                 outcome.status.ToString().c_str());
     return 1;
   }
-  std::printf("%s: %s SCCs, largest %s nodes, %s nodes in non-trivial "
-              "SCCs\n",
-              AlgorithmName(algorithm),
-              FormatCount(result.ComponentCount()).c_str(),
-              FormatCount(result.LargestComponentSize()).c_str(),
-              FormatCount(result.NodesInNontrivialSccs()).c_str());
-  std::printf("%s block I/Os, %llu iterations, %s\n",
-              FormatCount(stats.io.TotalBlockIos()).c_str(),
-              static_cast<unsigned long long>(stats.iterations),
-              FormatSeconds(stats.seconds).c_str());
+  const SccResult& result = outcome.result;
+  const RunStats& stats = outcome.stats;
+  if (!report) {
+    std::printf("%s: %s SCCs, largest %s nodes, %s nodes in non-trivial "
+                "SCCs\n",
+                AlgorithmName(algorithm),
+                FormatCount(result.ComponentCount()).c_str(),
+                FormatCount(result.LargestComponentSize()).c_str(),
+                FormatCount(result.NodesInNontrivialSccs()).c_str());
+    std::printf("%s, %llu iterations, %s\n", stats.io.Format().c_str(),
+                static_cast<unsigned long long>(stats.iterations),
+                FormatSeconds(stats.seconds).c_str());
+  }
 
-  // Component-size histogram (log2 buckets).
-  std::map<int, uint64_t> histogram;
-  for (uint32_t size : result.ComponentSizes()) {
-    if (size == 0) continue;
-    int bucket = 0;
-    while ((1u << (bucket + 1)) <= size) ++bucket;
-    ++histogram[bucket];
+  if (!report) {
+    // Component-size histogram (log2 buckets).
+    std::map<int, uint64_t> histogram;
+    for (uint32_t size : result.ComponentSizes()) {
+      if (size == 0) continue;
+      int bucket = 0;
+      while ((1u << (bucket + 1)) <= size) ++bucket;
+      ++histogram[bucket];
+    }
+    Table table({"SCC size", "# SCCs"});
+    for (const auto& [bucket, count] : histogram) {
+      std::string label = FormatCount(1ull << bucket) + ".." +
+                          FormatCount((2ull << bucket) - 1);
+      table.AddRow({label, FormatCount(count)});
+    }
+    table.Print();
   }
-  Table table({"SCC size", "# SCCs"});
-  for (const auto& [bucket, count] : histogram) {
-    std::string label = FormatCount(1ull << bucket) + ".." +
-                        FormatCount((2ull << bucket) - 1);
-    table.AddRow({label, FormatCount(count)});
-  }
-  table.Print();
 
   if (flags.GetBool("verify", false)) {
     Digraph graph;
@@ -185,10 +218,12 @@ int RunOn(const std::string& path, const Flags& flags) {
       return 1;
     }
     SccResult oracle = TarjanScc(graph);
+    // With --report, stdout carries only JSON; route the verdict around it.
+    std::FILE* out = report ? stderr : stdout;
     if (result == oracle) {
-      std::printf("verify: OK (matches in-memory Tarjan)\n");
+      std::fprintf(out, "verify: OK (matches in-memory Tarjan)\n");
     } else {
-      std::printf("verify: MISMATCH against in-memory Tarjan!\n");
+      std::fprintf(out, "verify: MISMATCH against in-memory Tarjan!\n");
       return 1;
     }
   }

@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
 # Runs every table/figure bench sequentially and tees the output.
 #
-#   scripts/run_all_benches.sh [build-dir] [output-file]
+#   scripts/run_all_benches.sh [build-dir] [output-file] [report-dir]
 #
 # Pass-through flags for individual binaries (scale, seeds, time limits)
 # are documented in bench/bench_common.h; this script uses the defaults,
 # which regenerate every paper artifact at ~1/100-1/200 scale in well
 # under an hour.
+#
+# Each bench additionally writes its machine-readable artifacts into
+# report-dir (default: bench_reports/): <bench>.jsonl (run report, schema
+# in docs/OBSERVABILITY.md) and <bench>.trace.json (Chrome trace_event —
+# open in chrome://tracing or https://ui.perfetto.dev). bench_micro is a
+# google-benchmark binary and uses its own --benchmark_* flags instead.
 
 set -u
 BUILD_DIR="${1:-build}"
 OUT="${2:-bench_output.txt}"
+REPORT_DIR="${3:-bench_reports}"
 
+mkdir -p "$REPORT_DIR"
 : > "$OUT"
 for b in \
   bench_table1_reduction \
@@ -25,7 +33,18 @@ for b in \
   bench_ablation \
   bench_micro; do
   echo "===== $b =====" | tee -a "$OUT"
-  "$BUILD_DIR/bench/$b" 2>/dev/null | tee -a "$OUT"
+  case "$b" in
+    bench_micro)
+      "$BUILD_DIR/bench/$b" \
+        "--benchmark_out=$REPORT_DIR/$b.json" \
+        --benchmark_out_format=json 2>/dev/null | tee -a "$OUT"
+      ;;
+    *)
+      "$BUILD_DIR/bench/$b" \
+        "--report=$REPORT_DIR/$b.jsonl" \
+        "--trace=$REPORT_DIR/$b.trace.json" 2>/dev/null | tee -a "$OUT"
+      ;;
+  esac
   echo | tee -a "$OUT"
 done
-echo "full output in $OUT"
+echo "full output in $OUT; per-bench reports in $REPORT_DIR/"

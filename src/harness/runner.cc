@@ -1,6 +1,7 @@
 #include "harness/runner.h"
 
 #include "harness/table.h"
+#include "obs/trace.h"
 
 namespace ioscc {
 
@@ -8,8 +9,13 @@ RunOutcome RunAlgorithmOnFile(SccAlgorithm algorithm, const std::string& path,
                               const SemiExternalOptions& options,
                               const SccResult* oracle) {
   RunOutcome outcome;
-  outcome.status =
-      RunScc(algorithm, path, options, &outcome.result, &outcome.stats);
+  {
+    // Top-level span: one per algorithm execution, holding the whole
+    // run's I/O delta (phase spans nest underneath).
+    TraceSpan span(AlgorithmName(algorithm), &outcome.stats.io);
+    outcome.status =
+        RunScc(algorithm, path, options, &outcome.result, &outcome.stats);
+  }
   if (outcome.status.ok() && oracle != nullptr &&
       !(outcome.result == *oracle)) {
     outcome.status = Status::Internal(
@@ -29,6 +35,26 @@ std::string IoCell(const RunOutcome& outcome) {
   if (outcome.TimedOut()) return "INF";
   if (!outcome.status.ok()) return "ERR";
   return FormatCount(outcome.stats.io.TotalBlockIos());
+}
+
+RunReportEntry MakeReportEntry(const std::string& experiment,
+                               SccAlgorithm algorithm,
+                               const std::string& dataset,
+                               const RunOutcome& outcome) {
+  RunReportEntry entry;
+  entry.experiment = experiment;
+  entry.algorithm = AlgorithmName(algorithm);
+  entry.dataset = dataset;
+  entry.status = outcome.status.ToString();
+  entry.finished = outcome.Finished();
+  entry.timed_out = outcome.TimedOut();
+  entry.stats = outcome.stats;
+  if (outcome.Finished()) {
+    entry.component_count = outcome.result.ComponentCount();
+    entry.largest_component = outcome.result.LargestComponentSize();
+    entry.nodes_in_nontrivial_sccs = outcome.result.NodesInNontrivialSccs();
+  }
+  return entry;
 }
 
 uint64_t PaperDefaultMemoryBytes(uint64_t node_count, size_t block_size) {

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "obs/run_report.h"
 #include "scc/algorithms.h"
 #include "scc/options.h"
 #include "scc/scc_result.h"
@@ -33,6 +34,13 @@ RunOutcome RunAlgorithmOnFile(SccAlgorithm algorithm, const std::string& path,
 std::string TimeCell(const RunOutcome& outcome);
 // "4,096" / "INF" / "ERR".
 std::string IoCell(const RunOutcome& outcome);
+
+// Packages an outcome as a run-report record (obs/run_report.h).
+// `experiment` labels the producing bench/tool.
+RunReportEntry MakeReportEntry(const std::string& experiment,
+                               SccAlgorithm algorithm,
+                               const std::string& dataset,
+                               const RunOutcome& outcome);
 
 // The paper's default memory grant: 4 bytes * 3|V| + one block, i.e. the
 // three per-node words the BR+-Tree needs plus a single I/O buffer.

@@ -5,7 +5,28 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "util/timer.h"
+
 namespace ioscc {
+namespace {
+
+// Latency histograms are sampled only while metrics are enabled (two clock
+// reads per block otherwise tax the hot scan path for nothing). The
+// handles are cached: registry lookups happen once per process.
+Histogram* ReadLatencyHistogram() {
+  static Histogram* h =
+      MetricsRegistry::Global().GetHistogram("io.block_read_us");
+  return h;
+}
+
+Histogram* WriteLatencyHistogram() {
+  static Histogram* h =
+      MetricsRegistry::Global().GetHistogram("io.block_write_us");
+  return h;
+}
+
+}  // namespace
 
 Status BlockFile::Open(const std::string& path, Mode mode, size_t block_size,
                        IoStats* stats, std::unique_ptr<BlockFile>* out) {
@@ -47,7 +68,14 @@ Status BlockFile::AppendBlock(const void* data) {
   if (mode_ != Mode::kWrite) {
     return Status::InvalidArgument("AppendBlock on read-only file");
   }
-  if (std::fwrite(data, 1, block_size_, file_) != block_size_) {
+  if (MetricsEnabled()) {
+    Timer timer;
+    if (std::fwrite(data, 1, block_size_, file_) != block_size_) {
+      return Status::IoError("short write to " + path_);
+    }
+    WriteLatencyHistogram()->Record(
+        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
+  } else if (std::fwrite(data, 1, block_size_, file_) != block_size_) {
     return Status::IoError("short write to " + path_);
   }
   ++block_count_;
@@ -72,7 +100,14 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
       return Status::IoError("seek in " + path_);
     }
   }
-  if (std::fread(data, 1, block_size_, file_) != block_size_) {
+  if (MetricsEnabled()) {
+    Timer timer;
+    if (std::fread(data, 1, block_size_, file_) != block_size_) {
+      return Status::IoError("short read from " + path_);
+    }
+    ReadLatencyHistogram()->Record(
+        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
+  } else if (std::fread(data, 1, block_size_, file_) != block_size_) {
     return Status::IoError("short read from " + path_);
   }
   read_cursor_ = index + 1;

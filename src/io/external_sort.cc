@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "io/edge_file.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ioscc {
 namespace {
@@ -43,6 +45,9 @@ Status SortEdgeFile(const std::string& input, const std::string& output,
       std::max<size_t>(1, options.memory_budget_bytes / sizeof(Edge));
 
   // Stage 1: run formation.
+  TraceSpan formation_span("sort.run_formation", stats);
+  Histogram* run_length_hist =
+      MetricsRegistry::Global().GetHistogram("sort.run_edges");
   std::vector<std::string> run_paths;
   std::vector<Edge> run;
   run.reserve(std::min<size_t>(run_capacity, 1 << 22));
@@ -59,15 +64,22 @@ Status SortEdgeFile(const std::string& input, const std::string& output,
     std::sort(run.begin(), run.end(), [&](const Edge& a, const Edge& b) {
       return Less(options.order, a, b);
     });
+    run_length_hist->Record(run.size());
     std::string run_path = scratch->NewFilePath(".run");
     IOSCC_RETURN_IF_ERROR(
         WriteEdgeFile(run_path, node_count, run, block_size, stats));
     run_paths.push_back(std::move(run_path));
   }
   scanner.reset();
+  formation_span.Close();
 
   // Stage 2: k-way merge. A single pass suffices for every workload we
   // generate (runs = m / budget is small); this keeps the code simple.
+  TraceSpan merge_span("sort.merge", stats);
+  MetricsRegistry::Global().GetCounter("sort.sorts")->Increment();
+  MetricsRegistry::Global()
+      .GetHistogram("sort.merge_fanin")
+      ->Record(run_paths.size());
   std::unique_ptr<EdgeWriter> writer;
   IOSCC_RETURN_IF_ERROR(
       EdgeWriter::Create(output, node_count, block_size, stats, &writer));

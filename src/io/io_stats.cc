@@ -1,0 +1,32 @@
+#include "io/io_stats.h"
+
+#include <cstdio>
+
+namespace ioscc {
+namespace {
+
+std::string Grouped(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  size_t leading = digits.size() % 3;
+  if (leading == 0) leading = 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i >= leading && (i - leading) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string IoStats::Format() const {
+  const double mib = static_cast<double>(bytes_read + bytes_written) /
+                     (1024.0 * 1024.0);
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), "w, %.1f MiB)", mib);
+  return Grouped(TotalBlockIos()) + " I/Os (" + Grouped(blocks_read) +
+         "r + " + Grouped(blocks_written) + suffix;
+}
+
+}  // namespace ioscc

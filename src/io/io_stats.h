@@ -8,6 +8,7 @@
 #define IOSCC_IO_IO_STATS_H_
 
 #include <cstdint>
+#include <string>
 
 namespace ioscc {
 
@@ -31,6 +32,32 @@ struct IoStats {
     bytes_written += other.bytes_written;
     return *this;
   }
+
+  // Delta between two snapshots of the same (monotone) counter set, e.g.
+  // span exit minus span entry. Saturates at zero per field so a stale
+  // pair never underflows into astronomic counts.
+  friend IoStats operator-(const IoStats& a, const IoStats& b) {
+    auto sub = [](uint64_t x, uint64_t y) { return x > y ? x - y : 0; };
+    IoStats delta;
+    delta.blocks_read = sub(a.blocks_read, b.blocks_read);
+    delta.blocks_written = sub(a.blocks_written, b.blocks_written);
+    delta.bytes_read = sub(a.bytes_read, b.bytes_read);
+    delta.bytes_written = sub(a.bytes_written, b.bytes_written);
+    return delta;
+  }
+
+  friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
+
+  friend bool operator==(const IoStats& a, const IoStats& b) {
+    return a.blocks_read == b.blocks_read &&
+           a.blocks_written == b.blocks_written &&
+           a.bytes_read == b.bytes_read &&
+           a.bytes_written == b.bytes_written;
+  }
+
+  // "12,288 I/Os (12,000r + 288w, 768.0 MiB)" — the way benches and tools
+  // print block-I/O totals.
+  std::string Format() const;
 };
 
 }  // namespace ioscc

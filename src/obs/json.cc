@@ -1,0 +1,131 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ioscc {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::MaybeComma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (has_value_.back()) out_ += ',';
+  has_value_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  has_value_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  has_value_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  MaybeComma();
+  out_ += '"';
+  out_ += JsonEscape(name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::Take() {
+  std::string result = std::move(out_);
+  out_.clear();
+  has_value_.assign(1, false);
+  after_key_ = false;
+  return result;
+}
+
+}  // namespace ioscc

@@ -1,0 +1,50 @@
+// Minimal streaming JSON writer for the observability sinks (trace files,
+// run reports). Produces compact one-line-friendly JSON; the writer owns
+// the comma/nesting bookkeeping so call sites read like the schema.
+
+#ifndef IOSCC_OBS_JSON_H_
+#define IOSCC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ioscc {
+
+// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+std::string JsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Object member key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+
+  // The accumulated JSON text; the writer is reusable after Take.
+  std::string Take();
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // True once a value has been emitted at the current nesting level (i.e.
+  // the next sibling needs a leading comma).
+  std::vector<bool> has_value_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_OBS_JSON_H_

@@ -1,0 +1,96 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace ioscc {
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  return 64 - std::countl_zero(value);
+}
+
+uint64_t Histogram::BucketLowerBound(int index) {
+  if (index <= 0) return 0;
+  return 1ull << (index - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // Racy CAS-free min/max would lose updates under contention; a CAS loop
+  // keeps them exact and the histograms are far from contended.
+  uint64_t observed = min_.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !min_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+  observed = max_.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !max_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    if (counter->value() != 0) snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    if (histogram->count() == 0) continue;
+    HistogramSnapshot h;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.min = histogram->min();
+    h.max = histogram->max();
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      const uint64_t n = histogram->bucket(i);
+      if (n != 0) h.buckets.emplace_back(Histogram::BucketLowerBound(i), n);
+    }
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
+}
+
+}  // namespace ioscc

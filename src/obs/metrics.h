@@ -1,0 +1,129 @@
+// Process-wide metrics: named monotonic counters and log-scale histograms.
+//
+// Hot paths cache the Counter*/Histogram* returned by the registry (the
+// pointers are stable for the process lifetime — Reset() zeroes values in
+// place, it never invalidates a handle) and update it with a relaxed
+// atomic. Expensive-to-sample metrics (block I/O latency needs two clock
+// reads per block) additionally gate on MetricsEnabled(), which is flipped
+// on by the bench harness when a --trace/--report sink is installed and
+// stays off otherwise.
+//
+// Histograms use power-of-two buckets: bucket 0 holds the value 0 and
+// bucket i (i >= 1) holds [2^(i-1), 2^i). That is exact enough for the
+// quantities we care about (latencies in microseconds, sort run lengths,
+// merge fan-ins) and makes recording a single bit-scan.
+
+#ifndef IOSCC_OBS_METRICS_H_
+#define IOSCC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ioscc {
+
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr int kBucketCount = 65;  // value 0 + one per bit of u64
+
+  // 0 -> 0; v >= 1 -> floor(log2(v)) + 1.
+  static int BucketIndex(uint64_t value);
+  // Smallest value that lands in bucket `index` (0 for bucket 0).
+  static uint64_t BucketLowerBound(int index);
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Min/max over recorded values; min() == UINT64_MAX when empty.
+  uint64_t min() const { return min_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int index) const {
+    return buckets_[static_cast<size_t>(index)].load(
+        std::memory_order_relaxed);
+  }
+
+  double Mean() const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Point-in-time copy of one histogram, for reports.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // 0 when empty
+  uint64_t max = 0;
+  // (bucket lower bound, count) for every non-empty bucket, ascending.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Returns the named metric, creating it on first use. The pointer stays
+  // valid for the registry's lifetime; cache it in hot paths.
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Zeroes every registered metric in place (handles stay valid).
+  void Reset();
+
+  // Copies current values; includes only metrics with a non-zero count so
+  // reports stay small.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+namespace internal_metrics {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace internal_metrics
+
+// Gate for metrics whose *sampling* is costly (e.g. clock reads around
+// every block transfer). Cheap counter bumps need not check this.
+inline bool MetricsEnabled() {
+  return internal_metrics::g_enabled.load(std::memory_order_relaxed);
+}
+
+inline void SetMetricsEnabled(bool enabled) {
+  internal_metrics::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace ioscc
+
+#endif  // IOSCC_OBS_METRICS_H_

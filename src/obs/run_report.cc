@@ -1,0 +1,129 @@
+#include "obs/run_report.h"
+
+#include "obs/json.h"
+
+namespace ioscc {
+namespace {
+
+void WriteIoStats(JsonWriter* json, const IoStats& io) {
+  json->BeginObject();
+  json->Key("blocks_read").UInt(io.blocks_read);
+  json->Key("blocks_written").UInt(io.blocks_written);
+  json->Key("bytes_read").UInt(io.bytes_read);
+  json->Key("bytes_written").UInt(io.bytes_written);
+  json->Key("block_ios").UInt(io.TotalBlockIos());
+  json->EndObject();
+}
+
+}  // namespace
+
+std::string RunReportEntryToJson(const RunReportEntry& entry) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("type").String("run");
+  json.Key("experiment").String(entry.experiment);
+  json.Key("algorithm").String(entry.algorithm);
+  json.Key("dataset").String(entry.dataset);
+  json.Key("status").String(entry.status);
+  json.Key("finished").Bool(entry.finished);
+  json.Key("timed_out").Bool(entry.timed_out);
+  json.Key("seconds").Double(entry.stats.seconds);
+  json.Key("io");
+  WriteIoStats(&json, entry.stats.io);
+  json.Key("iterations").UInt(entry.stats.iterations);
+  json.Key("search_scans").UInt(entry.stats.search_scans);
+  json.Key("nodes_accepted").UInt(entry.stats.nodes_accepted);
+  json.Key("nodes_rejected").UInt(entry.stats.nodes_rejected);
+  json.Key("pushdowns").UInt(entry.stats.pushdowns);
+  json.Key("contractions").UInt(entry.stats.contractions);
+  if (entry.finished) {
+    json.Key("result").BeginObject();
+    json.Key("component_count").UInt(entry.component_count);
+    json.Key("largest_component").UInt(entry.largest_component);
+    json.Key("nodes_in_nontrivial_sccs")
+        .UInt(entry.nodes_in_nontrivial_sccs);
+    json.EndObject();
+  }
+  json.Key("per_iteration").BeginArray();
+  for (const IterationStats& iter : entry.stats.per_iteration) {
+    json.BeginObject();
+    json.Key("nodes_reduced").UInt(iter.nodes_reduced);
+    json.Key("edges_reduced").UInt(iter.edges_reduced);
+    json.Key("live_nodes").UInt(iter.live_nodes);
+    json.Key("live_edges").UInt(iter.live_edges);
+    json.Key("io");
+    WriteIoStats(&json, iter.io);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.Take();
+}
+
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("type").String("metrics");
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    json.Key(name).UInt(value);
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, h] : snapshot.histograms) {
+    json.Key(name).BeginObject();
+    json.Key("count").UInt(h.count);
+    json.Key("sum").UInt(h.sum);
+    json.Key("min").UInt(h.min);
+    json.Key("max").UInt(h.max);
+    json.Key("buckets").BeginArray();
+    for (const auto& [lower_bound, count] : h.buckets) {
+      json.BeginArray().UInt(lower_bound).UInt(count).EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.Take();
+}
+
+Status RunReportWriter::Open(const std::string& path,
+                             std::unique_ptr<RunReportWriter>* out) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open report file " + path);
+  }
+  out->reset(new RunReportWriter(path, file));
+  return Status::OK();
+}
+
+RunReportWriter::~RunReportWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status RunReportWriter::WriteLine(const std::string& json) {
+  if (std::fwrite(json.data(), 1, json.size(), file_) != json.size() ||
+      std::fputc('\n', file_) == EOF) {
+    return Status::IoError("short write to report file " + path_);
+  }
+  return Status::OK();
+}
+
+Status RunReportWriter::Append(const RunReportEntry& entry) {
+  return WriteLine(RunReportEntryToJson(entry));
+}
+
+Status RunReportWriter::AppendMetricsSnapshot() {
+  return WriteLine(
+      MetricsSnapshotToJson(MetricsRegistry::Global().Snapshot()));
+}
+
+Status RunReportWriter::Flush() {
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("flush report file " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace ioscc

@@ -1,0 +1,78 @@
+// Machine-readable run reports (JSONL).
+//
+// One line per record, each a self-contained JSON object with a "type"
+// tag:
+//   {"type":"run", ...}      — one algorithm execution: outcome, RunStats,
+//                              per-iteration reduction + I/O deltas
+//   {"type":"metrics", ...}  — snapshot of the global metrics registry
+//
+// The schema is documented in docs/OBSERVABILITY.md. The entry struct is
+// deliberately plain data (names and numbers) so this layer depends on
+// nothing above the header-only stats types; harness/runner provides the
+// RunOutcome -> RunReportEntry conversion.
+
+#ifndef IOSCC_OBS_RUN_REPORT_H_
+#define IOSCC_OBS_RUN_REPORT_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "scc/options.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+struct RunReportEntry {
+  std::string experiment;  // bench/tool name, free-form
+  std::string algorithm;   // "1PB-SCC", ...
+  std::string dataset;     // edge-file path or label
+  std::string status;      // Status::ToString()
+  bool finished = false;
+  bool timed_out = false;
+
+  RunStats stats;
+
+  // Result summary; meaningful only when finished.
+  uint64_t component_count = 0;
+  uint64_t largest_component = 0;
+  uint64_t nodes_in_nontrivial_sccs = 0;
+};
+
+// JSON (single line, no trailing newline) for one record.
+std::string RunReportEntryToJson(const RunReportEntry& entry);
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot);
+
+// Appends JSONL records to a file. Create once per binary invocation.
+class RunReportWriter {
+ public:
+  static Status Open(const std::string& path,
+                     std::unique_ptr<RunReportWriter>* out);
+
+  ~RunReportWriter();
+
+  RunReportWriter(const RunReportWriter&) = delete;
+  RunReportWriter& operator=(const RunReportWriter&) = delete;
+
+  Status Append(const RunReportEntry& entry);
+  // Writes a {"type":"metrics"} record with the current global registry
+  // contents; typically called once, right before closing.
+  Status AppendMetricsSnapshot();
+
+  Status Flush();
+  const std::string& path() const { return path_; }
+
+ private:
+  RunReportWriter(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  Status WriteLine(const std::string& json);
+
+  std::string path_;
+  std::FILE* file_;
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_OBS_RUN_REPORT_H_

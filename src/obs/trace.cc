@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace ioscc {
+
+namespace internal_trace {
+thread_local uint32_t tls_depth = 0;
+}  // namespace internal_trace
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<TraceEvent> snapshot = events();
+  JsonWriter json;
+  json.BeginObject().Key("traceEvents").BeginArray();
+  for (const TraceEvent& event : snapshot) {
+    json.BeginObject();
+    json.Key("name").String(event.name);
+    json.Key("ph").String("X");
+    json.Key("pid").Int(1);
+    json.Key("tid").Int(1);
+    json.Key("ts").UInt(event.start_us);
+    json.Key("dur").UInt(event.dur_us);
+    json.Key("args").BeginObject();
+    json.Key("depth").UInt(event.depth);
+    if (event.has_io) {
+      json.Key("blocks_read").UInt(event.io_delta.blocks_read);
+      json.Key("blocks_written").UInt(event.io_delta.blocks_written);
+      json.Key("bytes_read").UInt(event.io_delta.bytes_read);
+      json.Key("bytes_written").UInt(event.io_delta.bytes_written);
+      json.Key("block_ios").UInt(event.io_delta.TotalBlockIos());
+    }
+    json.EndObject();  // args
+    json.EndObject();  // event
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit").String("ms");
+  json.EndObject();
+  return json.Take();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open trace file " + path);
+  }
+  const std::string json = ToChromeTraceJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) ==
+                  json.size();
+  std::fclose(file);
+  if (!ok) return Status::IoError("short write to trace file " + path);
+  return Status::OK();
+}
+
+void TraceSpan::Enter(const char* name, const IoStats* io) {
+  name_ = name;
+  io_ = io;
+  if (io != nullptr) enter_io_ = *io;
+  start_us_ = tracer_->NowMicros();
+  depth_ = internal_trace::tls_depth++;
+}
+
+void TraceSpan::Finish() {
+  TraceEvent event;
+  event.name = name_;
+  event.start_us = start_us_;
+  const uint64_t end_us = tracer_->NowMicros();
+  event.dur_us = end_us > start_us_ ? end_us - start_us_ : 0;
+  event.depth = depth_;
+  if (io_ != nullptr) {
+    event.has_io = true;
+    event.io_delta = *io_ - enter_io_;
+  }
+  --internal_trace::tls_depth;
+  tracer_->Record(std::move(event));
+  tracer_ = nullptr;
+}
+
+}  // namespace ioscc

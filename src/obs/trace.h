@@ -1,0 +1,132 @@
+// Scoped span tracing with logical-I/O attribution.
+//
+// A TraceSpan marks one phase of work (a tree-construction pass, a sort
+// merge, a whole algorithm run). On entry it snapshots the wall clock and,
+// optionally, an IoStats counter; on exit it records the deltas into the
+// process-wide Tracer, so a run decomposes into nested spans that each own
+// their share of the block I/Os — the per-phase cost attribution the
+// paper's tables are built from.
+//
+// When no Tracer is installed (the default) every TraceSpan constructor
+// inlines to a single relaxed atomic load and the destructor to a null
+// check: algorithm hot loops pay nothing for being instrumented. Span
+// names must be string literals (or otherwise outlive the span); they are
+// only copied when a sink is installed.
+//
+// The recorded events export to the Chrome trace_event JSON format, so a
+// trace file opens directly in chrome://tracing or https://ui.perfetto.dev
+// (see docs/OBSERVABILITY.md for the span-naming conventions).
+
+#ifndef IOSCC_OBS_TRACE_H_
+#define IOSCC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+// One completed span. Events are recorded at span *exit*, so the vector is
+// ordered by end time; nesting is recoverable from [start_us, start_us +
+// dur_us) containment or from `depth`.
+struct TraceEvent {
+  std::string name;
+  uint64_t start_us = 0;  // microseconds since the tracer's epoch
+  uint64_t dur_us = 0;
+  uint32_t depth = 0;     // 0 = top-level span
+  bool has_io = false;    // io_delta is meaningful
+  IoStats io_delta;       // I/O performed while the span was open
+};
+
+// Collects spans for one process (or one benchmark binary). Install with
+// SetTracer(); the tracer must outlive every span opened while installed.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  // Microseconds since this tracer was created.
+  uint64_t NowMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  void Record(TraceEvent event);
+
+  size_t event_count() const;
+  // Snapshot of the recorded events (copy; safe while spans are open).
+  std::vector<TraceEvent> events() const;
+
+  // Chrome trace_event JSON ({"traceEvents":[...]}): complete ("X") events
+  // with the I/O delta in args.
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+namespace internal_trace {
+inline std::atomic<Tracer*> g_tracer{nullptr};
+// Current span nesting depth of this thread.
+extern thread_local uint32_t tls_depth;
+}  // namespace internal_trace
+
+// Installs `tracer` as the process-wide sink (nullptr disables tracing).
+// Not synchronized against open spans: install before starting work.
+inline void SetTracer(Tracer* tracer) {
+  internal_trace::g_tracer.store(tracer, std::memory_order_release);
+}
+
+inline Tracer* GetTracer() {
+  return internal_trace::g_tracer.load(std::memory_order_relaxed);
+}
+
+// RAII span. `name` must outlive the span (use string literals). When `io`
+// is non-null the span attributes *io's growth between entry and exit to
+// itself.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const IoStats* io = nullptr)
+      : tracer_(GetTracer()) {
+    if (tracer_ == nullptr) return;  // no sink installed: no-op span
+    Enter(name, io);
+  }
+
+  ~TraceSpan() {
+    if (tracer_ != nullptr) Finish();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Ends the span now (idempotent; the destructor becomes a no-op).
+  void Close() {
+    if (tracer_ != nullptr) Finish();
+    tracer_ = nullptr;
+  }
+
+ private:
+  void Enter(const char* name, const IoStats* io);
+  void Finish();
+
+  Tracer* tracer_;
+  const char* name_ = nullptr;
+  const IoStats* io_ = nullptr;
+  IoStats enter_io_;
+  uint64_t start_us_ = 0;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_OBS_TRACE_H_

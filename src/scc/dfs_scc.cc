@@ -6,6 +6,7 @@
 
 #include "io/edge_file.h"
 #include "io/temp_dir.h"
+#include "obs/trace.h"
 #include "scc/semi_external_dfs.h"
 #include "util/timer.h"
 
@@ -35,19 +36,28 @@ Status DfsScc(const std::string& edge_file,
   std::vector<NodeId> priority(n);
   std::iota(priority.begin(), priority.end(), NodeId{0});
   std::unique_ptr<DfsForest> first_tree;
-  IOSCC_RETURN_IF_ERROR(BuildSemiExternalDfsTree(
-      edge_file, priority, options, deadline, stats, &first_tree));
+  {
+    TraceSpan span("dfs.first_tree", &stats->io);
+    IOSCC_RETURN_IF_ERROR(BuildSemiExternalDfsTree(
+        edge_file, priority, options, deadline, stats, &first_tree));
+  }
   std::vector<NodeId> decreasing_post = first_tree->DecreasingPostorder();
   first_tree.reset();
 
   std::unique_ptr<TempDir> scratch;
   IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-dfs", &scratch));
   const std::string reversed = scratch->NewFilePath(".rev");
-  IOSCC_RETURN_IF_ERROR(ReverseEdgeFile(edge_file, reversed, &stats->io));
+  {
+    TraceSpan span("dfs.reverse", &stats->io);
+    IOSCC_RETURN_IF_ERROR(ReverseEdgeFile(edge_file, reversed, &stats->io));
+  }
 
   std::unique_ptr<DfsForest> second_tree;
-  IOSCC_RETURN_IF_ERROR(BuildSemiExternalDfsTree(
-      reversed, decreasing_post, options, deadline, stats, &second_tree));
+  {
+    TraceSpan span("dfs.second_tree", &stats->io);
+    IOSCC_RETURN_IF_ERROR(BuildSemiExternalDfsTree(
+        reversed, decreasing_post, options, deadline, stats, &second_tree));
+  }
 
   second_tree->LabelRootSubtrees(&result->component);
   result->Normalize();

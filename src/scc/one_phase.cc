@@ -6,6 +6,8 @@
 
 #include "io/edge_file.h"
 #include "io/temp_dir.h"
+#include "obs/trace.h"
+#include "scc/pass_metrics.h"
 #include "scc/spanning_tree.h"
 #include "scc/union_find.h"
 #include "util/logging.h"
@@ -158,6 +160,7 @@ Status OnePhaseRunner::Iterate(bool* updated) {
 }
 
 Status OnePhaseRunner::RejectFrozenScan(RejectBounds* bounds) {
+  TraceSpan span("1p.reject_scan", &stats_->io);
   scanner_->Reset();
   Edge edge;
   while (scanner_->Next(&edge)) {
@@ -197,6 +200,10 @@ Status OnePhaseRunner::Run() {
   Timer timer;
   deadline_ = Deadline(options_.time_limit_seconds);
 
+  // Baseline for per-iteration I/O deltas; the first iteration also
+  // absorbs the setup I/O below so the deltas sum to the run total.
+  IoStats io_mark = stats_->io;
+
   IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-1p", &scratch_));
   current_path_ = input_path_;
   IOSCC_RETURN_IF_ERROR(
@@ -231,6 +238,7 @@ Status OnePhaseRunner::Run() {
     rejected_this_iter_ = 0;
     loose_bounds_ = RejectBounds();
 
+    TraceSpan pass_span("1p.pass", &stats_->io);
     const uint64_t edges_before = live_edges_;
     IOSCC_RETURN_IF_ERROR(Iterate(&updated));
 
@@ -243,7 +251,14 @@ Status OnePhaseRunner::Run() {
       }
       ApplyRejection(bounds);
     }
+    pass_span.Close();
     stats_->nodes_accepted += merged_this_iter_;
+
+    const PassCounters& counters = PassCounters::Get();
+    counters.passes->Increment();
+    counters.nodes_accepted->Add(merged_this_iter_);
+    counters.nodes_rejected->Add(rejected_this_iter_);
+    counters.contractions->Add(merged_this_iter_);
 
     IterationStats iter_stats;
     iter_stats.nodes_reduced = merged_this_iter_ + rejected_this_iter_;
@@ -253,6 +268,8 @@ Status OnePhaseRunner::Run() {
     iter_stats.live_nodes =
         n_ - stats_->nodes_rejected -
         (stats_->contractions /* merged members no longer count */);
+    iter_stats.io = stats_->io - io_mark;
+    io_mark = stats_->io;
     stats_->per_iteration.push_back(iter_stats);
     if (options_.progress &&
         !options_.progress(stats_->iterations, iter_stats)) {

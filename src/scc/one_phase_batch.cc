@@ -7,7 +7,9 @@
 #include "graph/digraph.h"
 #include "io/edge_file.h"
 #include "io/temp_dir.h"
+#include "obs/trace.h"
 #include "scc/kosaraju.h"
+#include "scc/pass_metrics.h"
 #include "scc/spanning_tree.h"
 #include "scc/tarjan.h"
 #include "scc/union_find.h"
@@ -59,6 +61,7 @@ class OnePhaseBatchRunner {
 
 void OnePhaseBatchRunner::ProcessBatch(std::vector<Edge>* batch,
                                        bool* updated) {
+  TraceSpan span("1pb.batch_kernel");  // in-memory: no I/O to attribute
   const NodeId total = n_ + 1;  // + virtual root
 
   // G'' = T ∪ B_i over current representatives.
@@ -217,6 +220,7 @@ Status OnePhaseBatchRunner::Iterate(bool* updated) {
 }
 
 Status OnePhaseBatchRunner::RejectFrozenScan() {
+  TraceSpan span("1pb.reject_scan", &stats_->io);
   uint32_t drank_min = UINT32_MAX;
   uint32_t drank_max = 0;
   scanner_->Reset();
@@ -259,6 +263,10 @@ Status OnePhaseBatchRunner::Run() {
   Timer timer;
   deadline_ = Deadline(options_.time_limit_seconds);
 
+  // Baseline for per-iteration I/O deltas; the first iteration also
+  // absorbs the setup I/O below so the deltas sum to the run total.
+  IoStats io_mark = stats_->io;
+
   IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-1pb", &scratch_));
   current_path_ = input_path_;
   IOSCC_RETURN_IF_ERROR(
@@ -294,6 +302,7 @@ Status OnePhaseBatchRunner::Run() {
     merged_this_iter_ = 0;
     rejected_this_iter_ = 0;
 
+    TraceSpan pass_span("1pb.pass", &stats_->io);
     const uint64_t edges_before = live_edges_;
     IOSCC_RETURN_IF_ERROR(Iterate(&updated));
 
@@ -301,7 +310,14 @@ Status OnePhaseBatchRunner::Run() {
         stats_->iterations % options_.reject_interval == 0) {
       IOSCC_RETURN_IF_ERROR(RejectFrozenScan());
     }
+    pass_span.Close();
     stats_->nodes_accepted += merged_this_iter_;
+
+    const PassCounters& counters = PassCounters::Get();
+    counters.passes->Increment();
+    counters.nodes_accepted->Add(merged_this_iter_);
+    counters.nodes_rejected->Add(rejected_this_iter_);
+    counters.contractions->Add(merged_this_iter_);
 
     IterationStats iter_stats;
     iter_stats.nodes_reduced = merged_this_iter_ + rejected_this_iter_;
@@ -310,6 +326,8 @@ Status OnePhaseBatchRunner::Run() {
     iter_stats.live_edges = live_edges_;
     iter_stats.live_nodes =
         n_ - stats_->nodes_rejected - stats_->contractions;
+    iter_stats.io = stats_->io - io_mark;
+    io_mark = stats_->io;
     stats_->per_iteration.push_back(iter_stats);
     if (options_.progress &&
         !options_.progress(stats_->iterations, iter_stats)) {

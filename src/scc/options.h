@@ -18,6 +18,11 @@ struct IterationStats {
   uint64_t edges_reduced = 0;   // edges dropped from the stream
   uint64_t live_nodes = 0;      // remaining after the iteration
   uint64_t live_edges = 0;
+  // Block I/O performed by this iteration. The first iteration also
+  // carries the setup I/O (opening the stream, reading the header), so
+  // summing `io` over per_iteration reproduces RunStats.io exactly —
+  // tests/run_report_test.cc asserts this identity.
+  IoStats io;
 };
 
 // In-memory SCC kernel used by 1PB-SCC on each batch graph. The paper

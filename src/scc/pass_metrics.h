@@ -1,0 +1,34 @@
+// Shared per-pass reduction counters for the semi-external drivers.
+//
+// Every driver bumps the same registry counters at each pass boundary, so
+// a run report's metrics snapshot shows the aggregate reduction work
+// (nodes accepted / rejected / contracted) regardless of which algorithm
+// produced it. Handles are cached once per process; bumping is a relaxed
+// atomic add.
+
+#ifndef IOSCC_SCC_PASS_METRICS_H_
+#define IOSCC_SCC_PASS_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace ioscc {
+
+struct PassCounters {
+  Counter* passes;
+  Counter* nodes_accepted;
+  Counter* nodes_rejected;
+  Counter* contractions;
+
+  static const PassCounters& Get() {
+    static PassCounters counters{
+        MetricsRegistry::Global().GetCounter("scc.passes"),
+        MetricsRegistry::Global().GetCounter("scc.nodes_accepted"),
+        MetricsRegistry::Global().GetCounter("scc.nodes_rejected"),
+        MetricsRegistry::Global().GetCounter("scc.contractions")};
+    return counters;
+  }
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_PASS_METRICS_H_

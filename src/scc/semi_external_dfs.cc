@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "io/edge_file.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ioscc {
@@ -155,6 +156,7 @@ Status BuildSemiExternalDfsTree(const std::string& path,
     updated = false;
     ++iterations;
     ++stats->iterations;
+    TraceSpan scan_span("dfs.tree_scan", &stats->io);
     scanner->Reset();
     std::vector<Edge> batch;
     batch.reserve(batch_capacity);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "io/edge_file.h"
+#include "obs/trace.h"
 #include "scc/drank.h"
 #include "scc/spanning_tree.h"
 #include "scc/union_find.h"
@@ -39,6 +40,10 @@ Status TwoPhaseScc(const std::string& edge_file,
   Timer timer;
   Deadline deadline(options.time_limit_seconds);
 
+  // Baseline for per-pass I/O deltas; the first pass also absorbs the
+  // setup I/O (header read) so the deltas sum to the run total.
+  IoStats io_mark = stats->io;
+
   std::unique_ptr<EdgeScanner> scanner;
   IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(edge_file, &stats->io, &scanner));
   const NodeId n = static_cast<NodeId>(scanner->node_count());
@@ -52,6 +57,7 @@ Status TwoPhaseScc(const std::string& edge_file,
                                  : static_cast<uint64_t>(n) + 16;
 
   // ---- Phase 1: Tree-Construction (Algorithm 4) ----
+  TraceSpan construction_span("2p.construction", &stats->io);
   bool updated = true;
   while (updated) {
     if (stats->iterations >= max_iterations) {
@@ -64,6 +70,7 @@ Status TwoPhaseScc(const std::string& edge_file,
     }
     updated = false;
     ++stats->iterations;
+    TraceSpan pass_span("2p.construction.pass", &stats->io);
     scanner->Reset();
 
     Edge edge;
@@ -123,15 +130,24 @@ Status TwoPhaseScc(const std::string& edge_file,
       }
     }
     dr = ComputeDrank(tree, backedge);
+
+    IterationStats iter_stats;  // 2P never reduces the graph
+    iter_stats.live_nodes = n;
+    iter_stats.live_edges = scanner->edge_count();
+    iter_stats.io = stats->io - io_mark;
+    io_mark = stats->io;
+    stats->per_iteration.push_back(iter_stats);
     if (options.progress &&
-        !options.progress(stats->iterations, IterationStats())) {
+        !options.progress(stats->iterations, iter_stats)) {
       return Status::Incomplete("2P-SCC cancelled by progress callback");
     }
     LogDebug("2P construction iteration %llu done",
              static_cast<unsigned long long>(stats->iterations));
   }
+  construction_span.Close();
 
   // ---- Phase 2: Tree-Search (Algorithm 5) ----
+  TraceSpan search_span("2p.search", &stats->io);
   UnionFind uf(n + 1);
   std::vector<NodeId> scratch;
   // Stored backward edges of the BR+-Tree are in memory: contract first.
@@ -148,6 +164,7 @@ Status TwoPhaseScc(const std::string& edge_file,
     }
     changed = false;
     ++stats->search_scans;
+    TraceSpan scan_span("2p.search.scan", &stats->io);
     scanner->Reset();
     Edge edge;
     uint64_t scanned = 0;
@@ -164,7 +181,18 @@ Status TwoPhaseScc(const std::string& edge_file,
       }
     }
     IOSCC_RETURN_IF_ERROR(scanner->status());
+    scan_span.Close();
+
+    // Search scans are passes over the stream too: record their I/O so
+    // per_iteration deltas still sum to the run total.
+    IterationStats iter_stats;
+    iter_stats.live_nodes = n;
+    iter_stats.live_edges = scanner->edge_count();
+    iter_stats.io = stats->io - io_mark;
+    io_mark = stats->io;
+    stats->per_iteration.push_back(iter_stats);
   }
+  search_span.Close();
 
   result->component.resize(n);
   for (NodeId v = 0; v < n; ++v) result->component[v] = uf.Find(v);

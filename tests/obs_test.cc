@@ -1,0 +1,246 @@
+// Tests for the observability layer: JSON writer, metrics registry,
+// histogram bucketing, span tracing with I/O attribution and the Chrome
+// trace export.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/io_stats.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tests/json_test_util.h"
+#include "util/timer.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::JsonValue;
+using testing_util::ParseJson;
+
+TEST(JsonWriterTest, NestedStructure) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("name").String("run")
+      .Key("n").Int(-3)
+      .Key("u").UInt(18446744073709551615ull)
+      .Key("ok").Bool(true)
+      .Key("list").BeginArray().Int(1).Int(2).EndArray()
+      .Key("nested").BeginObject().Key("x").Double(0.5).EndObject()
+      .EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"run\",\"n\":-3,\"u\":18446744073709551615,"
+            "\"ok\":true,\"list\":[1,2],\"nested\":{\"x\":0.5}}");
+  JsonValue parsed;
+  ASSERT_TRUE(ParseJson(w.Take(), &parsed));
+  EXPECT_EQ(parsed["name"].string_value, "run");
+  EXPECT_EQ(parsed["list"].array.size(), 2u);
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  // Control characters become \u00XX.
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  JsonWriter w;
+  w.BeginObject().Key("k\"ey").String("v\nv").EndObject();
+  JsonValue parsed;
+  ASSERT_TRUE(ParseJson(w.Take(), &parsed));
+  EXPECT_EQ(parsed["k\"ey"].string_value, "v\nv");
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds the value 0; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 64);
+
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(2), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(3), 4u);
+  EXPECT_EQ(Histogram::BucketLowerBound(64), 1ull << 63);
+
+  // Every bucket's lower bound maps back to that bucket.
+  for (int i = 0; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(i)), i)
+        << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, RecordAndStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), UINT64_MAX);  // empty sentinel
+  h.Record(0);
+  h.Record(5);
+  h.Record(5);
+  h.Record(100);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 110u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 27.5);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(0)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(5)), 2u);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(100)), 1u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), UINT64_MAX);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(5)), 0u);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAcrossReset) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* c = registry.GetCounter("test.obs_counter");
+  Histogram* h = registry.GetHistogram("test.obs_hist");
+  ASSERT_EQ(registry.GetCounter("test.obs_counter"), c);
+  ASSERT_EQ(registry.GetHistogram("test.obs_hist"), h);
+
+  c->Add(7);
+  h->Record(16);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("test.obs_counter"), 7u);
+  ASSERT_EQ(snap.histograms.count("test.obs_hist"), 1u);
+  EXPECT_EQ(snap.histograms.at("test.obs_hist").count, 1u);
+  EXPECT_EQ(snap.histograms.at("test.obs_hist").min, 16u);
+  ASSERT_EQ(snap.histograms.at("test.obs_hist").buckets.size(), 1u);
+  EXPECT_EQ(snap.histograms.at("test.obs_hist").buckets[0].first, 16u);
+  EXPECT_EQ(snap.histograms.at("test.obs_hist").buckets[0].second, 1u);
+
+  registry.Reset();
+  // Same pointers, zeroed values; zero-count metrics leave the snapshot.
+  EXPECT_EQ(registry.GetCounter("test.obs_counter"), c);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  MetricsSnapshot after = registry.Snapshot();
+  EXPECT_EQ(after.counters.count("test.obs_counter"), 0u);
+  EXPECT_EQ(after.histograms.count("test.obs_hist"), 0u);
+}
+
+TEST(IoStatsTest, DifferenceAndFormat) {
+  IoStats a;
+  a.blocks_read = 100;
+  a.blocks_written = 20;
+  a.bytes_read = 100 * 4096;
+  a.bytes_written = 20 * 4096;
+  IoStats b;
+  b.blocks_read = 60;
+  b.blocks_written = 5;
+  b.bytes_read = 60 * 4096;
+  b.bytes_written = 5 * 4096;
+  IoStats d = a - b;
+  EXPECT_EQ(d.blocks_read, 40u);
+  EXPECT_EQ(d.blocks_written, 15u);
+  EXPECT_EQ(d.TotalBlockIos(), 55u);
+  EXPECT_EQ(b + d, a);
+  // Subtraction saturates instead of wrapping.
+  IoStats neg = b - a;
+  EXPECT_EQ(neg.blocks_read, 0u);
+  EXPECT_EQ(neg.bytes_written, 0u);
+
+  std::string s = a.Format();
+  EXPECT_NE(s.find("120 I/Os"), std::string::npos) << s;
+  EXPECT_NE(s.find("100r"), std::string::npos) << s;
+  EXPECT_NE(s.find("20w"), std::string::npos) << s;
+}
+
+TEST(TraceTest, NoSinkSpansAreNoOps) {
+  ASSERT_EQ(GetTracer(), nullptr);
+  IoStats io;
+  {
+    TraceSpan outer("outer", &io);
+    TraceSpan inner("inner");
+  }  // must not crash or record anywhere
+  // Smoke-check the disabled cost: a span is a couple of nanoseconds, so
+  // a million of them must be far under a (generous) second.
+  Timer timer;
+  for (int i = 0; i < 1000000; ++i) {
+    TraceSpan span("hot");
+  }
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+TEST(TraceTest, NestedSpansAttributeIoDeltas) {
+  Tracer tracer;
+  SetTracer(&tracer);
+  IoStats io;
+  {
+    TraceSpan outer("phase", &io);
+    {
+      TraceSpan inner("pass", &io);
+      io.blocks_read += 10;
+      io.bytes_read += 10 * 4096;
+    }
+    {
+      TraceSpan inner("pass", &io);
+      io.blocks_read += 5;
+      io.blocks_written += 2;
+    }
+    TraceSpan no_io("cpu_only");
+    no_io.Close();
+    no_io.Close();  // idempotent
+  }
+  SetTracer(nullptr);
+
+  std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Recorded at exit: the two passes first, then cpu_only, then the phase.
+  EXPECT_EQ(events[0].name, "pass");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_TRUE(events[0].has_io);
+  EXPECT_EQ(events[0].io_delta.blocks_read, 10u);
+  EXPECT_EQ(events[0].io_delta.blocks_written, 0u);
+  EXPECT_EQ(events[1].name, "pass");
+  EXPECT_EQ(events[1].io_delta.blocks_read, 5u);
+  EXPECT_EQ(events[1].io_delta.blocks_written, 2u);
+  EXPECT_EQ(events[2].name, "cpu_only");
+  EXPECT_FALSE(events[2].has_io);
+  EXPECT_EQ(events[3].name, "phase");
+  EXPECT_EQ(events[3].depth, 0u);
+  // The outer span owns everything its children did.
+  EXPECT_EQ(events[3].io_delta.blocks_read, 15u);
+  EXPECT_EQ(events[3].io_delta.blocks_written, 2u);
+  // Children nest inside the parent's time range.
+  EXPECT_GE(events[0].start_us, events[3].start_us);
+  EXPECT_LE(events[0].start_us + events[0].dur_us,
+            events[3].start_us + events[3].dur_us);
+}
+
+TEST(TraceTest, ChromeTraceJsonParsesBack) {
+  Tracer tracer;
+  SetTracer(&tracer);
+  IoStats io;
+  {
+    TraceSpan span("sort \"quoted\"", &io);
+    io.blocks_written += 3;
+    io.bytes_written += 3 * 4096;
+  }
+  SetTracer(nullptr);
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(tracer.ToChromeTraceJson(), &doc));
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue& events = doc["traceEvents"];
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.array.size(), 1u);
+  const JsonValue& e = events.array[0];
+  EXPECT_EQ(e["name"].string_value, "sort \"quoted\"");
+  EXPECT_EQ(e["ph"].string_value, "X");  // complete event
+  EXPECT_TRUE(e["ts"].is_number());
+  EXPECT_TRUE(e["dur"].is_number());
+  EXPECT_EQ(e["args"]["blocks_written"].number, 3.0);
+  EXPECT_EQ(e["args"]["bytes_written"].number, 3.0 * 4096);
+}
+
+}  // namespace
+}  // namespace ioscc

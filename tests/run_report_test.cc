@@ -1,0 +1,197 @@
+// End-to-end tests for the observability wiring: the per-iteration I/O
+// identity (sum of IterationStats.io == RunStats.io), the top-level trace
+// span's I/O attribution, and the JSONL run report round-trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "scc/algorithms.h"
+#include "tests/json_test_util.h"
+#include "tests/test_util.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::JsonValue;
+using testing_util::ParseJson;
+using testing_util::PaperFigure1Edges;
+using testing_util::kPaperFigure1Nodes;
+
+class RunReportTest : public testing_util::TempDirTest {
+ protected:
+  // Small blocks force multi-block scans, so the identity test sees real
+  // per-iteration I/O rather than a single cached block.
+  std::string PaperGraph() {
+    return WriteGraph(kPaperFigure1Nodes, PaperFigure1Edges(), 512);
+  }
+
+  SemiExternalOptions Options() {
+    SemiExternalOptions options;
+    options.scratch_dir = dir_->path();
+    options.scratch_block_size = 512;
+    return options;
+  }
+
+  static std::vector<std::string> ReadLines(const std::string& path) {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+  }
+};
+
+// The regression guard for the identity documented in scc/options.h: every
+// reducing algorithm's per-iteration I/O deltas must sum to the run total
+// (the first iteration absorbs setup I/O such as the header read).
+TEST_F(RunReportTest, PerIterationIoSumsToRunTotal) {
+  const std::string path = PaperGraph();
+  for (SccAlgorithm algorithm :
+       {SccAlgorithm::kOnePhase, SccAlgorithm::kOnePhaseBatch,
+        SccAlgorithm::kTwoPhase}) {
+    RunOutcome outcome = RunAlgorithmOnFile(algorithm, path, Options());
+    ASSERT_TRUE(outcome.Finished())
+        << AlgorithmName(algorithm) << ": " << outcome.status.ToString();
+    ASSERT_FALSE(outcome.stats.per_iteration.empty())
+        << AlgorithmName(algorithm);
+    EXPECT_GT(outcome.stats.io.TotalBlockIos(), 0u);
+    IoStats sum;
+    for (const IterationStats& iter : outcome.stats.per_iteration) {
+      sum += iter.io;
+    }
+    EXPECT_EQ(sum, outcome.stats.io)
+        << AlgorithmName(algorithm) << ": per-iteration I/O sums to "
+        << sum.Format() << " but the run counted "
+        << outcome.stats.io.Format();
+  }
+}
+
+TEST_F(RunReportTest, TopLevelTraceSpanCarriesRunIo) {
+  const std::string path = PaperGraph();
+  Tracer tracer;
+  SetTracer(&tracer);
+  RunOutcome outcome =
+      RunAlgorithmOnFile(SccAlgorithm::kOnePhaseBatch, path, Options());
+  SetTracer(nullptr);
+  ASSERT_TRUE(outcome.Finished()) << outcome.status.ToString();
+
+  // The runner wraps the whole run in a span named after the algorithm;
+  // its I/O delta must equal the run's total.
+  const TraceEvent* top = nullptr;
+  for (const TraceEvent& event : tracer.events()) {
+    if (event.name == AlgorithmName(SccAlgorithm::kOnePhaseBatch)) {
+      top = &event;
+    }
+  }
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->depth, 0u);
+  EXPECT_TRUE(top->has_io);
+  EXPECT_EQ(top->io_delta, outcome.stats.io);
+  // Nested pass spans exist and stay within the top-level span.
+  bool saw_pass = false;
+  for (const TraceEvent& event : tracer.events()) {
+    if (event.name == std::string("1pb.pass")) {
+      saw_pass = true;
+      EXPECT_GE(event.depth, 1u);
+      EXPECT_GE(event.start_us, top->start_us);
+    }
+  }
+  EXPECT_TRUE(saw_pass);
+}
+
+TEST_F(RunReportTest, ReportJsonlRoundTrips) {
+  const std::string path = PaperGraph();
+  const std::string report_path = NewPath(".jsonl");
+
+  MetricsRegistry::Global().Reset();
+  SetMetricsEnabled(true);
+  RunOutcome outcome =
+      RunAlgorithmOnFile(SccAlgorithm::kOnePhaseBatch, path, Options());
+  SetMetricsEnabled(false);
+  ASSERT_TRUE(outcome.Finished()) << outcome.status.ToString();
+
+  std::unique_ptr<RunReportWriter> writer;
+  ASSERT_OK(RunReportWriter::Open(report_path, &writer));
+  ASSERT_OK(writer->Append(
+      MakeReportEntry("run_report_test", SccAlgorithm::kOnePhaseBatch, path,
+                      outcome)));
+  ASSERT_OK(writer->AppendMetricsSnapshot());
+  writer.reset();
+
+  std::vector<std::string> lines = ReadLines(report_path);
+  ASSERT_EQ(lines.size(), 2u);
+
+  JsonValue run;
+  ASSERT_TRUE(ParseJson(lines[0], &run)) << lines[0];
+  EXPECT_EQ(run["type"].string_value, "run");
+  EXPECT_EQ(run["experiment"].string_value, "run_report_test");
+  EXPECT_EQ(run["algorithm"].string_value, "1PB-SCC");
+  EXPECT_EQ(run["dataset"].string_value, path);
+  EXPECT_TRUE(run["finished"].bool_value);
+  EXPECT_EQ(run["io"]["blocks_read"].number,
+            static_cast<double>(outcome.stats.io.blocks_read));
+  EXPECT_EQ(run["io"]["blocks_written"].number,
+            static_cast<double>(outcome.stats.io.blocks_written));
+  EXPECT_EQ(run["io"]["block_ios"].number,
+            static_cast<double>(outcome.stats.io.TotalBlockIos()));
+  EXPECT_EQ(run["iterations"].number,
+            static_cast<double>(outcome.stats.iterations));
+  // The paper graph has SCCs {b,c,d,e} and {g,h,i,j} plus 4 singletons.
+  EXPECT_EQ(run["result"]["component_count"].number, 6.0);
+  EXPECT_EQ(run["result"]["largest_component"].number, 4.0);
+  // Per-iteration records are present and their I/O sums to the total.
+  const JsonValue& iterations = run["per_iteration"];
+  ASSERT_TRUE(iterations.is_array());
+  ASSERT_EQ(iterations.array.size(), outcome.stats.per_iteration.size());
+  double block_io_sum = 0;
+  for (const JsonValue& iter : iterations.array) {
+    block_io_sum += iter["io"]["block_ios"].number;
+  }
+  EXPECT_EQ(block_io_sum,
+            static_cast<double>(outcome.stats.io.TotalBlockIos()));
+
+  JsonValue metrics;
+  ASSERT_TRUE(ParseJson(lines[1], &metrics)) << lines[1];
+  EXPECT_EQ(metrics["type"].string_value, "metrics");
+  // The run above bumped the pass counter and sampled block latencies.
+  EXPECT_TRUE(metrics["counters"]["scc.passes"].is_number());
+  EXPECT_GE(metrics["counters"]["scc.passes"].number, 1.0);
+  const JsonValue& latency = metrics["histograms"]["io.block_read_us"];
+  ASSERT_TRUE(latency.is_object());
+  EXPECT_GE(latency["count"].number, 1.0);
+  ASSERT_TRUE(latency["buckets"].is_array());
+  MetricsRegistry::Global().Reset();
+}
+
+// An unfinished run must serialize without a result summary.
+TEST_F(RunReportTest, UnfinishedRunHasNoResult) {
+  const std::string path = PaperGraph();
+  SemiExternalOptions options = Options();
+  options.max_iterations = 1;  // force Incomplete
+  RunOutcome outcome =
+      RunAlgorithmOnFile(SccAlgorithm::kOnePhase, path, options);
+  ASSERT_TRUE(outcome.TimedOut()) << outcome.status.ToString();
+
+  RunReportEntry entry = MakeReportEntry("run_report_test",
+                                         SccAlgorithm::kOnePhase, path,
+                                         outcome);
+  JsonValue run;
+  ASSERT_TRUE(ParseJson(RunReportEntryToJson(entry), &run));
+  EXPECT_FALSE(run["finished"].bool_value);
+  EXPECT_TRUE(run["timed_out"].bool_value);
+  EXPECT_FALSE(run["result"].is_object());
+}
+
+}  // namespace
+}  // namespace ioscc
