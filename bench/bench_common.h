@@ -13,6 +13,9 @@
 //   --report=FILE      write a JSONL run report: one "run" record per
 //                      algorithm execution + a final "metrics" snapshot
 //                      (schema in docs/OBSERVABILITY.md)
+//   --audit=FILE       record every logical block access and write an
+//                      audit log (inspect with examples/io_audit_tool);
+//                      each run's I/O-budget verdict rides along in it
 
 #ifndef IOSCC_BENCH_BENCH_COMMON_H_
 #define IOSCC_BENCH_BENCH_COMMON_H_
@@ -27,7 +30,9 @@
 #include "graph/digraph.h"
 #include "graph/graph_io.h"
 #include "harness/datasets.h"
+#include "harness/io_budget.h"
 #include "harness/runner.h"
+#include "io/block_file.h"
 #include "harness/table.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
@@ -50,13 +55,23 @@ struct BenchContext {
   // Optional machine-readable sink (--csv=FILE): every sweep table is
   // appended as CSV alongside the human-readable output.
   std::FILE* csv = nullptr;
-  // Optional observability sinks (--trace=FILE / --report=FILE).
+  // Optional observability sinks (--trace=FILE / --report=FILE /
+  // --audit=FILE).
   std::unique_ptr<Tracer> tracer;
   std::string trace_path;
   std::unique_ptr<RunReportWriter> report;
+  std::unique_ptr<BlockAccessLog> audit;
+  std::string audit_path;
 
   ~BenchContext() {
     // Finalize sinks when the bench returns from Main.
+    if (audit != nullptr) {
+      SetBlockAccessLog(nullptr);
+      Status st = audit->WriteTo(audit_path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "audit: %s\n", st.ToString().c_str());
+      }
+    }
     if (report != nullptr) {
       (void)report->AppendMetricsSnapshot();
       (void)report->Flush();
@@ -115,6 +130,13 @@ inline bool InitBench(int argc, char** argv, BenchContext* ctx,
       return false;
     }
   }
+  ctx->audit_path = flags.GetString("audit", "");
+  if (!ctx->audit_path.empty()) {
+    // Installed before any dataset is built so generator writes are
+    // audited too; budget verdicts are appended per run in Run().
+    ctx->audit = std::make_unique<BlockAccessLog>();
+    SetBlockAccessLog(ctx->audit.get());
+  }
   if (ctx->tracer != nullptr || ctx->report != nullptr) {
     // A sink is watching: turn on the costlier sampled metrics too.
     SetMetricsEnabled(true);
@@ -146,6 +168,14 @@ inline RunOutcome Run(const BenchContext& ctx, SccAlgorithm algorithm,
   std::fprintf(stderr, "  %-8s: %s, %s (%s)\n", AlgorithmName(algorithm),
                TimeCell(outcome).c_str(), outcome.stats.io.Format().c_str(),
                outcome.status.ToString().c_str());
+  if (outcome.io_budget.has_value()) {
+    std::fprintf(stderr, "  %-8s: io-budget %s\n", AlgorithmName(algorithm),
+                 outcome.io_budget->Format().c_str());
+    if (ctx.audit != nullptr) {
+      ctx.audit->AddBudget(
+          ToAuditBudgetRecord(*outcome.io_budget, algorithm, path));
+    }
+  }
   if (ctx.report != nullptr) {
     Status st = ctx.report->Append(
         MakeReportEntry(ctx.name, algorithm, path, outcome));

@@ -1,0 +1,131 @@
+// io_audit_tool: explains a run's block I/O from a recorded access log.
+//
+//   $ scc_tool run g.edges --algorithm=1PB --audit=run.audit
+//   $ io_audit_tool run.audit [--budgets=16,64,256,1024]
+//
+// (Benches write the same format via --audit=FILE; see
+// docs/OBSERVABILITY.md.) Prints three views:
+//   1. per-file access patterns — sequential runs vs random jumps,
+//      distinct blocks vs total accesses, re-read ratio;
+//   2. a cache-savings curve — how many reads an LRU block cache of c
+//      blocks would have absorbed, replayed at each --budgets point;
+//   3. the I/O-budget verdicts recorded by the harness — measured I/O
+//      vs the analytic theory.h bound, PASS/FAIL per run.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/table.h"
+#include "obs/io_audit.h"
+#include "util/flags.h"
+
+using namespace ioscc;  // examples only
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: io_audit_tool AUDITFILE [--budgets=N,N,...]\n"
+               "  AUDITFILE comes from --audit=FILE on scc_tool run or "
+               "any bench binary\n");
+  return 2;
+}
+
+std::vector<uint64_t> ParseBudgets(const std::string& spec) {
+  std::vector<uint64_t> budgets;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    if (!token.empty()) {
+      budgets.push_back(std::strtoull(token.c_str(), nullptr, 10));
+    }
+    pos = comma + 1;
+  }
+  return budgets;
+}
+
+std::string Percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  if (flags.positional().size() != 1) return Usage();
+  const std::string path = flags.positional()[0];
+  const std::vector<uint64_t> budgets =
+      ParseBudgets(flags.GetString("budgets", "16,64,256,1024"));
+
+  AuditLogData log;
+  Status st = LoadAuditLog(path, &log);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  uint64_t reads = 0, writes = 0;
+  for (const BlockAccessRecord& a : log.accesses) {
+    (a.is_write ? writes : reads) += 1;
+  }
+  std::printf("%s: %s files, %s accesses (%s reads, %s writes)\n",
+              path.c_str(), FormatCount(log.files.size()).c_str(),
+              FormatCount(log.accesses.size()).c_str(),
+              FormatCount(reads).c_str(), FormatCount(writes).c_str());
+
+  std::printf("\n== per-file access patterns ==\n");
+  Table patterns({"file", "reads", "writes", "distinct", "seq runs",
+                  "jumps", "longest run", "re-reads", "re-read %"});
+  for (const FileAccessPattern& p : AnalyzeAccessPatterns(log)) {
+    std::string label = p.path.empty() ? "#" + std::to_string(p.file_id)
+                                       : p.path;
+    // Keep the table narrow: basename only (paths live in the header).
+    const size_t slash = label.find_last_of('/');
+    if (slash != std::string::npos) label = label.substr(slash + 1);
+    patterns.AddRow({label, FormatCount(p.reads), FormatCount(p.writes),
+                     FormatCount(p.distinct_blocks),
+                     FormatCount(p.sequential_runs),
+                     FormatCount(p.random_jumps),
+                     FormatCount(p.longest_run), FormatCount(p.re_reads),
+                     Percent(p.ReReadRatio())});
+  }
+  patterns.Print();
+
+  std::printf("\n== LRU cache savings (would-be read hits) ==\n");
+  Table curve({"cache blocks", "hits", "misses", "hit %"});
+  for (const CacheSimPoint& point : CacheSavingsCurve(log, budgets)) {
+    curve.AddRow({FormatCount(point.budget_blocks),
+                  FormatCount(point.hits), FormatCount(point.misses),
+                  Percent(point.HitRatio())});
+  }
+  curve.Print();
+
+  if (!log.budgets.empty()) {
+    std::printf("\n== I/O budget verdicts ==\n");
+    Table verdicts({"algorithm", "model", "measured I/Os", "bound I/Os",
+                    "ratio", "verdict"});
+    bool all_pass = true;
+    for (const AuditBudgetRecord& b : log.budgets) {
+      char ratio_buf[32];
+      std::snprintf(ratio_buf, sizeof ratio_buf, "%.2f", b.ratio);
+      verdicts.AddRow({b.algorithm, b.model, FormatCount(b.measured_ios),
+                       FormatCount(b.bound_ios), ratio_buf,
+                       b.pass ? "PASS" : "FAIL"});
+      all_pass = all_pass && b.pass;
+    }
+    verdicts.Print();
+    if (!all_pass) {
+      std::fprintf(stderr,
+                   "io_audit_tool: at least one run exceeded its analytic "
+                   "I/O bound\n");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -30,7 +30,10 @@
 #include "gen/generators.h"
 #include "graph/digraph.h"
 #include "graph/graph_io.h"
+#include "harness/io_budget.h"
 #include "harness/runner.h"
+#include "io/block_file.h"
+#include "util/timer.h"
 #include "harness/table.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
@@ -54,7 +57,7 @@ int Usage() {
                "usage: scc_tool generate --kind=... --out=FILE [options]\n"
                "       scc_tool run FILE [--algorithm=1PB|1P|2P|DFS|EM] "
                "[--verify] [--time-limit=SECONDS] [--report] "
-               "[--trace=FILE]\n"
+               "[--trace=FILE] [--audit=FILE] [--progress]\n"
                "       scc_tool info FILE\n"
                "       scc_tool import TEXT FILE [--densify=false]\n"
                "       scc_tool export FILE TEXT\n"
@@ -154,8 +157,52 @@ int RunOn(const std::string& path, const Flags& flags) {
     SetTracer(tracer.get());
   }
   if (report || tracer != nullptr) SetMetricsEnabled(true);
+  const std::string audit_path = flags.GetString("audit", "");
+  std::unique_ptr<BlockAccessLog> audit;
+  if (!audit_path.empty()) {
+    audit = std::make_unique<BlockAccessLog>();
+    SetBlockAccessLog(audit.get());
+  }
+  if (flags.GetBool("progress", false)) {
+    // Live heartbeat: one updating status line per edge-stream pass on
+    // stderr (iteration, nodes remaining, cumulative I/O, I/O rate).
+    options.progress = [timer = Timer(), cumulative = IoStats()](
+                           uint64_t iteration,
+                           const IterationStats& iter) mutable {
+      cumulative += iter.io;
+      const double seconds = timer.ElapsedSeconds();
+      const double mib_per_s =
+          seconds > 0
+              ? static_cast<double>(cumulative.bytes_read +
+                                    cumulative.bytes_written) /
+                    (1024.0 * 1024.0) / seconds
+              : 0.0;
+      std::fprintf(stderr,
+                   "\r\x1b[Kiter %llu: %s nodes / %s edges live, %s I/Os, "
+                   "%.1f MiB/s",
+                   static_cast<unsigned long long>(iteration),
+                   FormatCount(iter.live_nodes).c_str(),
+                   FormatCount(iter.live_edges).c_str(),
+                   FormatCount(cumulative.TotalBlockIos()).c_str(),
+                   mib_per_s);
+      std::fflush(stderr);
+      return true;
+    };
+  }
 
   RunOutcome outcome = RunAlgorithmOnFile(algorithm, path, options);
+  if (options.progress) std::fputc('\n', stderr);
+  if (audit != nullptr) {
+    SetBlockAccessLog(nullptr);
+    if (outcome.io_budget.has_value()) {
+      audit->AddBudget(
+          ToAuditBudgetRecord(*outcome.io_budget, algorithm, path));
+    }
+    Status audit_st = audit->WriteTo(audit_path);
+    if (!audit_st.ok()) {
+      std::fprintf(stderr, "audit: %s\n", audit_st.ToString().c_str());
+    }
+  }
   if (tracer != nullptr) {
     SetTracer(nullptr);
     Status trace_st = tracer->WriteChromeTrace(trace_path);
@@ -190,6 +237,9 @@ int RunOn(const std::string& path, const Flags& flags) {
     std::printf("%s, %llu iterations, %s\n", stats.io.Format().c_str(),
                 static_cast<unsigned long long>(stats.iterations),
                 FormatSeconds(stats.seconds).c_str());
+    if (outcome.io_budget.has_value()) {
+      std::printf("io budget: %s\n", outcome.io_budget->Format().c_str());
+    }
   }
 
   if (!report) {

@@ -10,14 +10,23 @@
 #
 # Each bench additionally writes its machine-readable artifacts into
 # report-dir (default: bench_reports/): <bench>.jsonl (run report, schema
-# in docs/OBSERVABILITY.md) and <bench>.trace.json (Chrome trace_event —
-# open in chrome://tracing or https://ui.perfetto.dev). bench_micro is a
-# google-benchmark binary and uses its own --benchmark_* flags instead.
+# in docs/OBSERVABILITY.md), <bench>.trace.json (Chrome trace_event —
+# open in chrome://tracing or https://ui.perfetto.dev), and
+# <bench>.audit (block-access log — inspect with
+# build/examples/io_audit_tool). bench_micro is a google-benchmark binary
+# and uses its own --benchmark_* flags instead.
 
-set -u
+set -euo pipefail
+
 BUILD_DIR="${1:-build}"
 OUT="${2:-bench_output.txt}"
 REPORT_DIR="${3:-bench_reports}"
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: '$BUILD_DIR/bench' does not exist — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
 
 mkdir -p "$REPORT_DIR"
 : > "$OUT"
@@ -32,6 +41,10 @@ for b in \
   bench_fig17_vary_scc_count \
   bench_ablation \
   bench_micro; do
+  if [[ ! -x "$BUILD_DIR/bench/$b" ]]; then
+    echo "error: missing bench binary '$BUILD_DIR/bench/$b'" >&2
+    exit 1
+  fi
   echo "===== $b =====" | tee -a "$OUT"
   case "$b" in
     bench_micro)
@@ -42,9 +55,10 @@ for b in \
     *)
       "$BUILD_DIR/bench/$b" \
         "--report=$REPORT_DIR/$b.jsonl" \
-        "--trace=$REPORT_DIR/$b.trace.json" 2>/dev/null | tee -a "$OUT"
+        "--trace=$REPORT_DIR/$b.trace.json" \
+        "--audit=$REPORT_DIR/$b.audit" 2>/dev/null | tee -a "$OUT"
       ;;
   esac
   echo | tee -a "$OUT"
 done
-echo "full output in $OUT; per-bench reports in $REPORT_DIR/"
+echo "full output in $OUT; per-bench reports, traces and audit logs in $REPORT_DIR/"

@@ -1,0 +1,96 @@
+#include "harness/io_budget.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "harness/table.h"
+#include "harness/theory.h"
+
+namespace ioscc {
+
+std::string IoBudgetVerdict::Format() const {
+  char ratio_buf[32];
+  std::snprintf(ratio_buf, sizeof ratio_buf, "%.2f", ratio);
+  return std::string(pass ? "PASS" : "FAIL") + " " + ratio_buf + " (" +
+         FormatCount(measured_ios) + " / " + FormatCount(bound_ios) +
+         " I/Os, " + model + ")";
+}
+
+const char* IoBudgetModelName(SccAlgorithm algorithm) {
+  switch (algorithm) {
+    case SccAlgorithm::kOnePhaseBatch:
+    case SccAlgorithm::kOnePhase:
+      return "3-scans-per-iter";
+    case SccAlgorithm::kTwoPhase:
+      return "depth-passes+search";
+    case SccAlgorithm::kDfs:
+      return "tree-scans+reverse";
+    case SccAlgorithm::kEm:
+      return "contract+rewrite";
+  }
+  return "unknown";
+}
+
+uint64_t IoBudgetBoundIos(SccAlgorithm algorithm, uint64_t edge_count,
+                          uint64_t block_bytes, const RunStats& stats) {
+  const uint64_t scan = TheoryScanBlocks(edge_count, block_bytes);
+  switch (algorithm) {
+    case SccAlgorithm::kOnePhaseBatch:
+    case SccAlgorithm::kOnePhase:
+      // Mutating scan + rejection scan + stream rewrite, each at most one
+      // full scan of the (monotonically shrinking) stream.
+      return (3 * stats.iterations + 1) * scan;
+    case SccAlgorithm::kTwoPhase:
+      // One read-only pass per construction iteration and per search scan
+      // — 2P never rewrites the stream.
+      return (stats.iterations + stats.search_scans + 1) * scan;
+    case SccAlgorithm::kDfs:
+      // stats.iterations counts tree-repair scans over both G and
+      // reverse(G); the reversal itself is one read plus one write scan.
+      return (stats.iterations + 4) * scan;
+    case SccAlgorithm::kEm:
+      // Each contraction pass reads the stream and rewrites at most all
+      // of it; the final in-memory pass is one more read scan.
+      return (2 * stats.iterations + 2) * scan;
+  }
+  return 0;
+}
+
+IoBudgetVerdict CheckIoBudget(SccAlgorithm algorithm,
+                              const EdgeFileInfo& info,
+                              const SemiExternalOptions& options,
+                              const RunStats& stats) {
+  // Scratch rewrites may use a smaller block size than the input; bound
+  // with the finer granularity so every write pass stays covered.
+  const uint64_t block_bytes = std::min<uint64_t>(
+      info.block_size, options.scratch_block_size > 0
+                           ? options.scratch_block_size
+                           : info.block_size);
+  IoBudgetVerdict verdict;
+  verdict.model = IoBudgetModelName(algorithm);
+  verdict.bound_ios =
+      IoBudgetBoundIos(algorithm, info.edge_count, block_bytes, stats);
+  verdict.measured_ios = stats.io.TotalBlockIos();
+  verdict.ratio = verdict.bound_ios == 0
+                      ? (verdict.measured_ios == 0 ? 0.0 : 1e9)
+                      : static_cast<double>(verdict.measured_ios) /
+                            static_cast<double>(verdict.bound_ios);
+  verdict.pass = verdict.measured_ios <= verdict.bound_ios;
+  return verdict;
+}
+
+AuditBudgetRecord ToAuditBudgetRecord(const IoBudgetVerdict& verdict,
+                                      SccAlgorithm algorithm,
+                                      const std::string& dataset) {
+  AuditBudgetRecord record;
+  record.algorithm = AlgorithmName(algorithm);
+  record.model = verdict.model;
+  record.bound_ios = verdict.bound_ios;
+  record.measured_ios = verdict.measured_ios;
+  record.ratio = verdict.ratio;
+  record.pass = verdict.pass;
+  record.dataset = dataset;
+  return record;
+}
+
+}  // namespace ioscc

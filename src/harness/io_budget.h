@@ -1,0 +1,73 @@
+// I/O cost-model conformance: checks a run's measured block I/O against
+// the analytic per-pass bounds of harness/theory.h.
+//
+// Each driver has a structural cost model — so many full scans of the
+// edge stream per recorded iteration — built from TheoryScanBlocks. The
+// verdict compares the measured RunStats.io total against that bound:
+// measured <= bound is PASS, and the measured/bound ratio quantifies the
+// headroom (pruning and early termination typically push it well under
+// 1). A FAIL means the implementation performs I/O the Section 2/6
+// analysis does not account for — a regression the benches and CI surface
+// instead of silently absorbing.
+
+#ifndef IOSCC_HARNESS_IO_BUDGET_H_
+#define IOSCC_HARNESS_IO_BUDGET_H_
+
+#include <string>
+
+#include "io/edge_file.h"
+#include "obs/io_audit.h"
+#include "scc/algorithms.h"
+#include "scc/options.h"
+
+namespace ioscc {
+
+struct IoBudgetVerdict {
+  std::string model;          // cost model used, e.g. "3-scans-per-iter"
+  uint64_t bound_ios = 0;     // analytic upper bound, block I/Os
+  uint64_t measured_ios = 0;  // RunStats.io.TotalBlockIos()
+  double ratio = 0;           // measured / bound
+  bool pass = false;          // measured <= bound
+
+  // One-line human rendering: "PASS 0.42 (5,120 / 12,288 I/Os, model)".
+  std::string Format() const;
+};
+
+// The analytic block-I/O bound for one driver on an m-edge input, given
+// the run's observed pass structure (iterations, search scans). Exposed
+// separately from CheckIoBudget so benches can print budgets up front.
+//
+// Models (scan = TheoryScanBlocks(m, B), B = the smaller of the input and
+// scratch block sizes so rewrites at a finer granularity stay covered):
+//   1P-SCC / 1PB-SCC  (3 * iterations + 1) * scan   — each iteration is at
+//                     most a mutating scan, a rejection scan, and a
+//                     rewrite of at most the full stream
+//   2P-SCC            (iterations + search_scans + 1) * scan — Section
+//                     6's depth(G)-passes construction plus search scans
+//   DFS-SCC           (iterations + 4) * scan — tree-repair scans over
+//                     G and reverse(G) plus the external reversal
+//   EM-SCC            (2 * iterations + 2) * scan — each contraction pass
+//                     reads the stream and rewrites the survivor edges
+// The trailing "+ scan" slack absorbs per-open header reads.
+uint64_t IoBudgetBoundIos(SccAlgorithm algorithm, uint64_t edge_count,
+                          uint64_t block_bytes, const RunStats& stats);
+
+// Short name of the model backing IoBudgetBoundIos for `algorithm`.
+const char* IoBudgetModelName(SccAlgorithm algorithm);
+
+// Packages the bound-vs-measured comparison for one finished (or
+// partial) run of `algorithm` on the edge file described by `info`.
+IoBudgetVerdict CheckIoBudget(SccAlgorithm algorithm,
+                              const EdgeFileInfo& info,
+                              const SemiExternalOptions& options,
+                              const RunStats& stats);
+
+// The audit-file form of a verdict (obs/io_audit.h), labeled with the
+// producing algorithm and dataset.
+AuditBudgetRecord ToAuditBudgetRecord(const IoBudgetVerdict& verdict,
+                                      SccAlgorithm algorithm,
+                                      const std::string& dataset);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_HARNESS_IO_BUDGET_H_

@@ -1,6 +1,7 @@
 #include "harness/runner.h"
 
 #include "harness/table.h"
+#include "io/edge_file.h"
 #include "obs/trace.h"
 
 namespace ioscc {
@@ -21,6 +22,13 @@ RunOutcome RunAlgorithmOnFile(SccAlgorithm algorithm, const std::string& path,
     outcome.status = Status::Internal(
         std::string(AlgorithmName(algorithm)) +
         " produced a partition that disagrees with the oracle");
+  }
+  // Conformance verdict vs the analytic bound: computed even for partial
+  // runs (the bound scales with the iterations actually performed).
+  EdgeFileInfo info;
+  if (ReadEdgeFileInfo(path, &info).ok()) {
+    outcome.io_budget =
+        CheckIoBudget(algorithm, info, options, outcome.stats);
   }
   return outcome;
 }
@@ -49,6 +57,14 @@ RunReportEntry MakeReportEntry(const std::string& experiment,
   entry.finished = outcome.Finished();
   entry.timed_out = outcome.TimedOut();
   entry.stats = outcome.stats;
+  if (outcome.io_budget.has_value()) {
+    entry.has_io_budget = true;
+    entry.io_budget_model = outcome.io_budget->model;
+    entry.io_budget_bound_ios = outcome.io_budget->bound_ios;
+    entry.io_budget_measured_ios = outcome.io_budget->measured_ios;
+    entry.io_budget_ratio = outcome.io_budget->ratio;
+    entry.io_budget_pass = outcome.io_budget->pass;
+  }
   if (outcome.Finished()) {
     entry.component_count = outcome.result.ComponentCount();
     entry.largest_component = outcome.result.LargestComponentSize();

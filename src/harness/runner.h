@@ -4,8 +4,10 @@
 #ifndef IOSCC_HARNESS_RUNNER_H_
 #define IOSCC_HARNESS_RUNNER_H_
 
+#include <optional>
 #include <string>
 
+#include "harness/io_budget.h"
 #include "obs/run_report.h"
 #include "scc/algorithms.h"
 #include "scc/options.h"
@@ -18,6 +20,10 @@ struct RunOutcome {
   Status status;
   SccResult result;
   RunStats stats;
+
+  // Cost-model conformance for this run (absent only when the input
+  // header could not be read back). Report entries carry it into JSONL.
+  std::optional<IoBudgetVerdict> io_budget;
 
   bool Finished() const { return status.ok(); }
   bool TimedOut() const { return status.IsIncomplete(); }

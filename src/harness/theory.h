@@ -1,6 +1,11 @@
 // Analytic I/O-cost models from Section 2, printed alongside measured
 // counts so the paper's "1,566,000,000 I/Os for one DFS vs ~4,000,000 for
 // ours" comparison can be regenerated at any scale.
+//
+// All byte-per-record terms derive from the on-disk record widths in
+// io/edge_file.h (kEdgeRecordBytes, kNodeIdRecordBytes) rather than
+// hardcoded numerals, so the bounds stay correct if the edge format
+// changes.
 
 #ifndef IOSCC_HARNESS_THEORY_H_
 #define IOSCC_HARNESS_THEORY_H_
@@ -8,30 +13,43 @@
 #include <cmath>
 #include <cstdint>
 
+#include "io/edge_file.h"
+
 namespace ioscc {
+
+// Blocks one full sequential scan of an m-edge file reads: the data
+// blocks (rounded up) plus the header block. This is the unit every
+// per-pass bound below is measured in.
+inline uint64_t TheoryScanBlocks(uint64_t m, uint64_t block_bytes) {
+  return (kEdgeRecordBytes * m + block_bytes - 1) / block_bytes + 1;
+}
 
 // sort(m) = (m/B) * ceil(log_{M/B}(m/B)) block I/Os (merge-sort bound).
 inline uint64_t TheorySortIos(uint64_t m, uint64_t memory_bytes,
                               uint64_t block_bytes) {
-  const double runs = std::max<double>(1.0, 8.0 * m / block_bytes);
+  const double edge_bytes = static_cast<double>(kEdgeRecordBytes);
+  const double runs = std::max<double>(1.0, edge_bytes * m / block_bytes);
   const double fanout = std::max<double>(2.0,
                                          static_cast<double>(memory_bytes) /
                                              block_bytes);
   const double passes = std::max(1.0, std::ceil(std::log(runs) /
                                                 std::log(fanout)));
-  return static_cast<uint64_t>(8.0 * m / block_bytes * passes);
+  return static_cast<uint64_t>(edge_bytes * m / block_bytes * passes);
 }
 
 // Buchsbaum et al. DFS bound: (|V| + |E|/B) * log2(|V|/B) + sort(|E|).
 inline uint64_t TheoryBuchsbaumDfsIos(uint64_t n, uint64_t m,
                                       uint64_t memory_bytes,
                                       uint64_t block_bytes) {
+  // A node's frontier entry is a node-id pair (node, parent).
+  const double pair_bytes = 2.0 * kNodeIdRecordBytes;
   const double log_term =
       std::max(1.0, std::log2(static_cast<double>(n) / block_bytes *
-                              8.0 /* bytes per node id pair */));
-  const double traversal = (static_cast<double>(n) +
-                            8.0 * m / block_bytes) *
-                           log_term;
+                              pair_bytes));
+  const double traversal =
+      (static_cast<double>(n) +
+       static_cast<double>(kEdgeRecordBytes) * m / block_bytes) *
+      log_term;
   return static_cast<uint64_t>(traversal) +
          TheorySortIos(m, memory_bytes, block_bytes);
 }
@@ -40,7 +58,7 @@ inline uint64_t TheoryBuchsbaumDfsIos(uint64_t n, uint64_t m,
 // plus one scan for the search (Section 6).
 inline uint64_t TheoryTwoPhaseIos(uint64_t depth, uint64_t m,
                                   uint64_t block_bytes) {
-  const uint64_t scan = 8 * m / block_bytes + 1;
+  const uint64_t scan = kEdgeRecordBytes * m / block_bytes + 1;
   return (depth + 1) * scan;
 }
 
@@ -53,7 +71,7 @@ inline uint64_t TheoryPruningIoSavings(uint64_t pruned_nodes_per_iter,
                                        uint64_t pruned_edges_per_iter,
                                        uint64_t iterations,
                                        uint64_t block_bytes) {
-  const double b = 4.0;  // bytes per node id
+  const double b = static_cast<double>(kNodeIdRecordBytes);
   const double p = static_cast<double>(pruned_nodes_per_iter);
   const double q = static_cast<double>(pruned_edges_per_iter);
   const double l = static_cast<double>(iterations);

@@ -28,6 +28,45 @@ Histogram* WriteLatencyHistogram() {
 
 }  // namespace
 
+uint32_t BlockAccessLog::RegisterFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t id = 0; id < data_.files.size(); ++id) {
+    if (data_.files[id] == path) return static_cast<uint32_t>(id);
+  }
+  data_.files.push_back(path);
+  return static_cast<uint32_t>(data_.files.size() - 1);
+}
+
+void BlockAccessLog::Record(uint32_t file_id, uint64_t block,
+                            bool is_write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BlockAccessRecord access;
+  access.file_id = file_id;
+  access.block = block;
+  access.is_write = is_write;
+  access.seq = data_.accesses.size();
+  data_.accesses.push_back(access);
+}
+
+void BlockAccessLog::AddBudget(const AuditBudgetRecord& budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.budgets.push_back(budget);
+}
+
+uint64_t BlockAccessLog::access_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.accesses.size();
+}
+
+AuditLogData BlockAccessLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+Status BlockAccessLog::WriteTo(const std::string& path) const {
+  return WriteAuditLog(Snapshot(), path);
+}
+
 Status BlockFile::Open(const std::string& path, Mode mode, size_t block_size,
                        IoStats* stats, std::unique_ptr<BlockFile>* out) {
   if (block_size == 0) {
@@ -55,8 +94,13 @@ Status BlockFile::Open(const std::string& path, Mode mode, size_t block_size,
     block_count = static_cast<uint64_t>(st.st_size) / block_size;
   }
 
-  out->reset(
-      new BlockFile(path, file, mode, block_size, block_count, stats));
+  // Capture the audit sink once per open (the TraceSpan pattern): when no
+  // log is installed the per-access hook below is a plain null check.
+  BlockAccessLog* audit = GetBlockAccessLog();
+  const uint32_t audit_file_id =
+      audit != nullptr ? audit->RegisterFile(path) : 0;
+  out->reset(new BlockFile(path, file, mode, block_size, block_count, stats,
+                           audit, audit_file_id));
   return Status::OK();
 }
 
@@ -79,6 +123,9 @@ Status BlockFile::AppendBlock(const void* data) {
     return Status::IoError("short write to " + path_);
   }
   ++block_count_;
+  if (audit_ != nullptr) {
+    audit_->Record(audit_file_id_, block_count_ - 1, /*is_write=*/true);
+  }
   if (stats_ != nullptr) {
     ++stats_->blocks_written;
     stats_->bytes_written += block_size_;
@@ -111,6 +158,9 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
     return Status::IoError("short read from " + path_);
   }
   read_cursor_ = index + 1;
+  if (audit_ != nullptr) {
+    audit_->Record(audit_file_id_, index, /*is_write=*/false);
+  }
   if (stats_ != nullptr) {
     ++stats_->blocks_read;
     stats_->bytes_read += block_size_;

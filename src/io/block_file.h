@@ -8,14 +8,66 @@
 #ifndef IOSCC_IO_BLOCK_FILE_H_
 #define IOSCC_IO_BLOCK_FILE_H_
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "io/io_stats.h"
+#include "obs/io_audit.h"
 #include "util/status.h"
 
 namespace ioscc {
+
+// Records every logical block access crossing the BlockFile boundary as
+// (file_id, block, op, seq) — the raw material for obs/io_audit.h's
+// pattern analysis and cache simulation.
+//
+// Install with SetBlockAccessLog() *before* opening the files to audit:
+// BlockFile captures the sink once at Open (the same single-relaxed-load
+// pattern as TraceSpan), so with no log installed the per-access cost is
+// one null check on a plain member and the I/O counters are byte-
+// identical to an uninstrumented run (tests/io_audit_test.cc pins this
+// down). The log must outlive every BlockFile opened while installed.
+class BlockAccessLog {
+ public:
+  // Interns `path`, returning its stable file id. The same path opened
+  // twice gets the same id, so re-opens (scanner Reset-after-rewrite,
+  // reverse passes) stay attributable to one file.
+  uint32_t RegisterFile(const std::string& path);
+
+  void Record(uint32_t file_id, uint64_t block, bool is_write);
+
+  // Budget verdicts ride along in the audit file (harness/io_budget.h).
+  void AddBudget(const AuditBudgetRecord& budget);
+
+  uint64_t access_count() const;
+
+  // Consistent copy of everything recorded so far.
+  AuditLogData Snapshot() const;
+
+  // Convenience: Snapshot() + WriteAuditLog().
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  AuditLogData data_;
+};
+
+namespace internal_io {
+inline std::atomic<BlockAccessLog*> g_block_access_log{nullptr};
+}  // namespace internal_io
+
+// Installs `log` as the process-wide sink (nullptr disables auditing).
+// Not synchronized against open BlockFiles: install before opening them.
+inline void SetBlockAccessLog(BlockAccessLog* log) {
+  internal_io::g_block_access_log.store(log, std::memory_order_release);
+}
+
+inline BlockAccessLog* GetBlockAccessLog() {
+  return internal_io::g_block_access_log.load(std::memory_order_relaxed);
+}
 
 class BlockFile {
  public:
@@ -48,13 +100,16 @@ class BlockFile {
 
  private:
   BlockFile(std::string path, std::FILE* file, Mode mode, size_t block_size,
-            uint64_t block_count, IoStats* stats)
+            uint64_t block_count, IoStats* stats, BlockAccessLog* audit,
+            uint32_t audit_file_id)
       : path_(std::move(path)),
         file_(file),
         mode_(mode),
         block_size_(block_size),
         block_count_(block_count),
-        stats_(stats) {}
+        stats_(stats),
+        audit_(audit),
+        audit_file_id_(audit_file_id) {}
 
   std::string path_;
   std::FILE* file_;
@@ -63,6 +118,8 @@ class BlockFile {
   uint64_t block_count_;
   uint64_t read_cursor_ = static_cast<uint64_t>(-1);  // last block read + 1
   IoStats* stats_;
+  BlockAccessLog* audit_;   // captured at Open; null when uninstalled
+  uint32_t audit_file_id_;  // meaningful only when audit_ != nullptr
 };
 
 }  // namespace ioscc

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "io/block_file.h"
+
 namespace ioscc {
 namespace {
 
@@ -152,6 +154,13 @@ Status EdgeWriter::Finish() {
   if (stats_ != nullptr) {
     ++stats_->blocks_written;
     stats_->bytes_written += block_size_;
+  }
+  // Mirror the counted write into the audit log: every block I/O that
+  // lands in IoStats must be visible to the auditor (tests assert
+  // access_count == TotalBlockIos), and this bypasses BlockFile.
+  BlockAccessLog* audit = GetBlockAccessLog();
+  if (audit != nullptr) {
+    audit->Record(audit->RegisterFile(path_), 0, /*is_write=*/true);
   }
   return Status::OK();
 }

@@ -25,6 +25,14 @@
 
 namespace ioscc {
 
+// On-disk record widths. Every analytic byte-per-record term (the cost
+// models in harness/theory.h, the I/O budgets in harness/io_budget.h)
+// derives from these so the bounds track the format if it ever changes.
+inline constexpr size_t kEdgeRecordBytes = sizeof(Edge);
+inline constexpr size_t kNodeIdRecordBytes = sizeof(NodeId);
+static_assert(kEdgeRecordBytes == 2 * kNodeIdRecordBytes,
+              "an edge record is exactly two node ids");
+
 // Parsed header of an edge file.
 struct EdgeFileInfo {
   uint64_t node_count = 0;

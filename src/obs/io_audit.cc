@@ -1,0 +1,244 @@
+#include "obs/io_audit.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ioscc {
+namespace {
+
+// Audit-file grammar (one record per line, space-separated):
+//   ioscc-audit v1
+//   file <id> <path...>
+//   a <r|w> <file_id> <block>
+//   budget <algorithm> <model> <bound> <measured> <ratio> <PASS|FAIL>
+//          <dataset...>
+// Access seq numbers are implicit (line order); <path...>/<dataset...>
+// run to end-of-line so paths with spaces survive the round trip.
+constexpr char kMagicLine[] = "ioscc-audit v1";
+
+// (file_id, block) -> one 64-bit cache/set key. Block files are bounded
+// by file size / block size; 2^40 blocks at the 64 KiB default is 64 EiB
+// per file, far beyond anything this system addresses.
+inline uint64_t BlockKey(uint32_t file_id, uint64_t block) {
+  return (static_cast<uint64_t>(file_id) << 40) | block;
+}
+
+}  // namespace
+
+Status WriteAuditLog(const AuditLogData& log, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open audit file " + path + ": " +
+                           std::strerror(errno));
+  }
+  bool ok = std::fprintf(file, "%s\n", kMagicLine) > 0;
+  for (size_t id = 0; ok && id < log.files.size(); ++id) {
+    ok = std::fprintf(file, "file %zu %s\n", id, log.files[id].c_str()) > 0;
+  }
+  for (const BlockAccessRecord& a : log.accesses) {
+    if (!ok) break;
+    ok = std::fprintf(file, "a %c %" PRIu32 " %" PRIu64 "\n",
+                      a.is_write ? 'w' : 'r', a.file_id, a.block) > 0;
+  }
+  for (const AuditBudgetRecord& b : log.budgets) {
+    if (!ok) break;
+    ok = std::fprintf(file, "budget %s %s %" PRIu64 " %" PRIu64 " %.6f %s %s\n",
+                      b.algorithm.c_str(), b.model.c_str(), b.bound_ios,
+                      b.measured_ios, b.ratio, b.pass ? "PASS" : "FAIL",
+                      b.dataset.c_str()) > 0;
+  }
+  if (std::fclose(file) != 0) ok = false;
+  if (!ok) return Status::IoError("short write to audit file " + path);
+  return Status::OK();
+}
+
+Status LoadAuditLog(const std::string& path, AuditLogData* log) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::IoError("cannot open audit file " + path + ": " +
+                           std::strerror(errno));
+  }
+  *log = AuditLogData();
+  char line[4096];
+  uint64_t line_no = 0;
+  uint64_t next_seq = 0;
+  Status status = Status::OK();
+  auto corrupt = [&](const char* what) {
+    return Status::Corruption(path + ":" + std::to_string(line_no) + ": " +
+                              what);
+  };
+  while (status.ok() && std::fgets(line, sizeof line, file) != nullptr) {
+    ++line_no;
+    size_t len = std::strlen(line);
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+      line[--len] = '\0';
+    }
+    if (line_no == 1) {
+      if (std::strcmp(line, kMagicLine) != 0) {
+        status = corrupt("not an ioscc audit log (bad magic line)");
+      }
+      continue;
+    }
+    if (len == 0) continue;
+    if (std::strncmp(line, "file ", 5) == 0) {
+      char* end = nullptr;
+      const unsigned long long id = std::strtoull(line + 5, &end, 10);
+      if (end == line + 5 || *end != ' ') {
+        status = corrupt("malformed file record");
+        continue;
+      }
+      if (id != log->files.size()) {
+        status = corrupt("file ids must be dense and ascending");
+        continue;
+      }
+      log->files.emplace_back(end + 1);
+    } else if (std::strncmp(line, "a ", 2) == 0) {
+      BlockAccessRecord a;
+      char op = '\0';
+      if (std::sscanf(line, "a %c %" SCNu32 " %" SCNu64, &op, &a.file_id,
+                      &a.block) != 3 ||
+          (op != 'r' && op != 'w')) {
+        status = corrupt("malformed access record");
+        continue;
+      }
+      a.is_write = op == 'w';
+      a.seq = next_seq++;
+      log->accesses.push_back(a);
+    } else if (std::strncmp(line, "budget ", 7) == 0) {
+      // Fixed-width prefix, free-form dataset tail.
+      char algorithm[256], model[256], verdict[16];
+      AuditBudgetRecord b;
+      int consumed = 0;
+      if (std::sscanf(line, "budget %255s %255s %" SCNu64 " %" SCNu64
+                      " %lf %15s %n",
+                      algorithm, model, &b.bound_ios, &b.measured_ios,
+                      &b.ratio, verdict, &consumed) != 6) {
+        status = corrupt("malformed budget record");
+        continue;
+      }
+      b.algorithm = algorithm;
+      b.model = model;
+      b.pass = std::strcmp(verdict, "PASS") == 0;
+      if (consumed > 0 && static_cast<size_t>(consumed) <= len) {
+        b.dataset = line + consumed;
+      }
+      log->budgets.push_back(std::move(b));
+    } else {
+      status = corrupt("unknown record type");
+    }
+  }
+  std::fclose(file);
+  if (status.ok() && line_no == 0) {
+    status = Status::Corruption(path + ": empty audit file");
+  }
+  return status;
+}
+
+std::vector<FileAccessPattern> AnalyzeAccessPatterns(
+    const AuditLogData& log) {
+  struct FileState {
+    FileAccessPattern pattern;
+    bool any_access = false;
+    uint64_t prev_block = 0;
+    uint64_t run_length = 0;
+    std::unordered_set<uint64_t> touched;
+    std::unordered_set<uint64_t> read_before;
+  };
+  std::unordered_map<uint32_t, FileState> states;
+
+  for (const BlockAccessRecord& a : log.accesses) {
+    FileState& s = states[a.file_id];
+    FileAccessPattern& p = s.pattern;
+    p.file_id = a.file_id;
+    if (a.is_write) {
+      ++p.writes;
+    } else {
+      ++p.reads;
+      if (!s.read_before.insert(a.block).second) ++p.re_reads;
+    }
+    s.touched.insert(a.block);
+
+    if (!s.any_access) {
+      s.any_access = true;
+      p.sequential_runs = 1;
+      s.run_length = 1;
+    } else if (a.block == s.prev_block + 1) {
+      ++p.sequential_accesses;
+      ++s.run_length;
+    } else {
+      ++p.random_jumps;
+      ++p.sequential_runs;
+      p.longest_run = std::max(p.longest_run, s.run_length);
+      s.run_length = 1;
+    }
+    s.prev_block = a.block;
+  }
+
+  std::vector<FileAccessPattern> patterns;
+  patterns.reserve(states.size());
+  for (auto& [id, s] : states) {
+    s.pattern.longest_run = std::max(s.pattern.longest_run, s.run_length);
+    s.pattern.distinct_blocks = s.touched.size();
+    if (id < log.files.size()) s.pattern.path = log.files[id];
+    patterns.push_back(std::move(s.pattern));
+  }
+  std::sort(patterns.begin(), patterns.end(),
+            [](const FileAccessPattern& a, const FileAccessPattern& b) {
+              return a.file_id < b.file_id;
+            });
+  return patterns;
+}
+
+CacheSimPoint SimulateLruCache(const AuditLogData& log,
+                               uint64_t budget_blocks) {
+  CacheSimPoint point;
+  point.budget_blocks = budget_blocks;
+  if (budget_blocks == 0) {
+    for (const BlockAccessRecord& a : log.accesses) {
+      if (!a.is_write) ++point.misses;
+    }
+    return point;
+  }
+
+  // MRU at the front. The map holds list iterators for O(1) promotion.
+  std::list<uint64_t> lru;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> resident;
+  resident.reserve(budget_blocks * 2);
+
+  for (const BlockAccessRecord& a : log.accesses) {
+    const uint64_t key = BlockKey(a.file_id, a.block);
+    auto it = resident.find(key);
+    if (it != resident.end()) {
+      if (!a.is_write) ++point.hits;
+      lru.splice(lru.begin(), lru, it->second);  // promote to MRU
+      continue;
+    }
+    if (!a.is_write) ++point.misses;
+    lru.push_front(key);
+    resident[key] = lru.begin();
+    if (resident.size() > budget_blocks) {
+      resident.erase(lru.back());
+      lru.pop_back();
+    }
+  }
+  return point;
+}
+
+std::vector<CacheSimPoint> CacheSavingsCurve(
+    const AuditLogData& log, const std::vector<uint64_t>& budgets) {
+  std::vector<CacheSimPoint> curve;
+  curve.reserve(budgets.size());
+  for (uint64_t budget : budgets) {
+    if (budget == 0) continue;
+    curve.push_back(SimulateLruCache(log, budget));
+  }
+  return curve;
+}
+
+}  // namespace ioscc

@@ -1,0 +1,124 @@
+// Block-access auditing: access-pattern analysis over a recorded log of
+// logical block transfers.
+//
+// The io layer's BlockAccessLog (io/block_file.h) records every logical
+// block access as (file_id, block, op, seq). This header defines the
+// *plain-data* side of that pipeline so it can live below the io layer in
+// the dependency order: the serialized audit-log format, per-file
+// access-pattern analysis (sequential runs vs random jumps, re-read
+// accounting), and an LRU block-cache simulator that replays the log at a
+// given budget to report how many reads a c-block cache would have
+// absorbed.
+//
+// The analysis is what turns the paper's headline "# of block I/Os" into
+// an explanation: a semi-external scan shows up as one long sequential
+// run per pass (jumps == passes - 1), re-reads quantify how much traffic
+// repeated passes cost, and the cache-savings curve shows whether buying
+// memory would have bought back I/Os.
+
+#ifndef IOSCC_OBS_IO_AUDIT_H_
+#define IOSCC_OBS_IO_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ioscc {
+
+// One logical block access. `seq` is the process-global order of the
+// access across all files (0-based), so interleavings between files are
+// recoverable.
+struct BlockAccessRecord {
+  uint32_t file_id = 0;
+  uint64_t block = 0;
+  bool is_write = false;
+  uint64_t seq = 0;
+};
+
+// One cost-model conformance verdict (harness/io_budget.h produces these;
+// they ride along in the audit file so io_audit_tool can print them
+// without re-running anything).
+struct AuditBudgetRecord {
+  std::string algorithm;  // "1PB-SCC", ...
+  std::string model;      // bound used, e.g. "3-scans-per-iteration"
+  uint64_t bound_ios = 0;
+  uint64_t measured_ios = 0;
+  double ratio = 0;       // measured / bound
+  bool pass = false;      // measured <= bound
+  std::string dataset;    // edge-file path (kept last: may contain spaces)
+};
+
+// A full audit log: the file table, the access stream (ascending seq),
+// and any budget verdicts appended by the harness.
+struct AuditLogData {
+  std::vector<std::string> files;  // index == file_id
+  std::vector<BlockAccessRecord> accesses;
+  std::vector<AuditBudgetRecord> budgets;
+};
+
+// Text serialization ("ioscc-audit v1" header; one record per line).
+// The format is line-based and documented in docs/OBSERVABILITY.md.
+Status WriteAuditLog(const AuditLogData& log, const std::string& path);
+Status LoadAuditLog(const std::string& path, AuditLogData* log);
+
+// Per-file access-pattern summary.
+//
+// Classification walks each file's accesses in seq order: an access to
+// block b directly after an access to block b-1 of the same file extends
+// the current sequential run; anything else starts a new run and counts
+// as one random jump (the file's very first access opens run #1 and is
+// neither sequential nor a jump). A *re-read* is a read of a block this
+// file has already read before — the traffic a block cache could have
+// absorbed.
+struct FileAccessPattern {
+  uint32_t file_id = 0;
+  std::string path;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t distinct_blocks = 0;     // distinct blocks touched (any op)
+  uint64_t sequential_accesses = 0; // accesses that extended a run
+  uint64_t random_jumps = 0;        // run breaks after the first access
+  uint64_t sequential_runs = 0;     // maximal runs (jumps + 1 if nonempty)
+  uint64_t longest_run = 0;         // accesses in the longest run
+  uint64_t re_reads = 0;            // reads of an already-read block
+
+  double ReReadRatio() const {
+    return reads == 0 ? 0.0
+                      : static_cast<double>(re_reads) /
+                            static_cast<double>(reads);
+  }
+};
+
+// One pattern per file id present in the log, ascending by file id.
+std::vector<FileAccessPattern> AnalyzeAccessPatterns(const AuditLogData& log);
+
+// Result of replaying the log's *reads* through an LRU cache of
+// `budget_blocks` blocks (writes install the block but are never counted
+// as hits: every logical write still reaches disk in our model). `misses`
+// is the read I/O a c-block cache would still have performed; `hits` is
+// what it would have absorbed.
+struct CacheSimPoint {
+  uint64_t budget_blocks = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  double HitRatio() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+};
+
+CacheSimPoint SimulateLruCache(const AuditLogData& log,
+                               uint64_t budget_blocks);
+
+// Replays once per budget; budgets of zero are skipped.
+std::vector<CacheSimPoint> CacheSavingsCurve(
+    const AuditLogData& log, const std::vector<uint64_t>& budgets);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_OBS_IO_AUDIT_H_

@@ -36,6 +36,15 @@ std::string RunReportEntryToJson(const RunReportEntry& entry) {
   json.Key("nodes_rejected").UInt(entry.stats.nodes_rejected);
   json.Key("pushdowns").UInt(entry.stats.pushdowns);
   json.Key("contractions").UInt(entry.stats.contractions);
+  if (entry.has_io_budget) {
+    json.Key("io_budget").BeginObject();
+    json.Key("model").String(entry.io_budget_model);
+    json.Key("bound_ios").UInt(entry.io_budget_bound_ios);
+    json.Key("measured_ios").UInt(entry.io_budget_measured_ios);
+    json.Key("ratio").Double(entry.io_budget_ratio);
+    json.Key("pass").Bool(entry.io_budget_pass);
+    json.EndObject();
+  }
   if (entry.finished) {
     json.Key("result").BeginObject();
     json.Key("component_count").UInt(entry.component_count);

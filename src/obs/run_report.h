@@ -34,6 +34,15 @@ struct RunReportEntry {
 
   RunStats stats;
 
+  // I/O budget conformance (harness/io_budget.h), flattened to plain
+  // data; emitted as an "io_budget" object when has_io_budget is set.
+  bool has_io_budget = false;
+  std::string io_budget_model;
+  uint64_t io_budget_bound_ios = 0;
+  uint64_t io_budget_measured_ios = 0;
+  double io_budget_ratio = 0;
+  bool io_budget_pass = false;
+
   // Result summary; meaningful only when finished.
   uint64_t component_count = 0;
   uint64_t largest_component = 0;

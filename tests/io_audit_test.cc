@@ -1,0 +1,302 @@
+// Block-access auditing: pattern classification, re-read accounting, the
+// LRU cache simulator, audit-file round trips, the BlockFile recording
+// hook, and the strictly-opt-in guarantee (no sink installed => block-I/O
+// counters byte-identical to an uninstrumented run).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "io/block_file.h"
+#include "io/edge_file.h"
+#include "obs/io_audit.h"
+#include "scc/algorithms.h"
+#include "tests/test_util.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::TempDirTest;
+
+// Appends read (or write) accesses for `blocks` of `file_id`, assigning
+// ascending seq numbers.
+void Append(AuditLogData* log, uint32_t file_id,
+            std::initializer_list<uint64_t> blocks, bool is_write = false) {
+  for (uint64_t block : blocks) {
+    BlockAccessRecord a;
+    a.file_id = file_id;
+    a.block = block;
+    a.is_write = is_write;
+    a.seq = log->accesses.size();
+    log->accesses.push_back(a);
+  }
+}
+
+TEST(IoAuditAnalysisTest, SequentialScanIsOneRun) {
+  AuditLogData log;
+  log.files = {"scan.edges"};
+  Append(&log, 0, {0, 1, 2, 3, 4, 5});
+  auto patterns = AnalyzeAccessPatterns(log);
+  ASSERT_EQ(patterns.size(), 1u);
+  const FileAccessPattern& p = patterns[0];
+  EXPECT_EQ(p.path, "scan.edges");
+  EXPECT_EQ(p.reads, 6u);
+  EXPECT_EQ(p.writes, 0u);
+  EXPECT_EQ(p.sequential_runs, 1u);
+  EXPECT_EQ(p.random_jumps, 0u);
+  EXPECT_EQ(p.sequential_accesses, 5u);  // first access opens the run
+  EXPECT_EQ(p.longest_run, 6u);
+  EXPECT_EQ(p.distinct_blocks, 6u);
+  EXPECT_EQ(p.re_reads, 0u);
+}
+
+TEST(IoAuditAnalysisTest, MultiPassScanCountsOneJumpPerReset) {
+  // Three passes over blocks 0..3: the pattern every semi-external
+  // algorithm produces (jump back to the start on each Reset).
+  AuditLogData log;
+  log.files = {"g.edges"};
+  for (int pass = 0; pass < 3; ++pass) Append(&log, 0, {0, 1, 2, 3});
+  auto patterns = AnalyzeAccessPatterns(log);
+  ASSERT_EQ(patterns.size(), 1u);
+  const FileAccessPattern& p = patterns[0];
+  EXPECT_EQ(p.reads, 12u);
+  EXPECT_EQ(p.sequential_runs, 3u);
+  EXPECT_EQ(p.random_jumps, 2u);
+  EXPECT_EQ(p.longest_run, 4u);
+  EXPECT_EQ(p.distinct_blocks, 4u);
+  EXPECT_EQ(p.re_reads, 8u);  // passes 2 and 3 re-read everything
+  EXPECT_DOUBLE_EQ(p.ReReadRatio(), 8.0 / 12.0);
+}
+
+TEST(IoAuditAnalysisTest, RandomAccessClassification) {
+  AuditLogData log;
+  log.files = {"tree.blocks"};
+  // 7, 3, 4, 5, 0, 1: two jumps after the opening access (7->3, 5->0),
+  // runs {7}, {3,4,5}, {0,1}.
+  Append(&log, 0, {7, 3, 4, 5, 0, 1});
+  auto patterns = AnalyzeAccessPatterns(log);
+  ASSERT_EQ(patterns.size(), 1u);
+  const FileAccessPattern& p = patterns[0];
+  EXPECT_EQ(p.sequential_runs, 3u);
+  EXPECT_EQ(p.random_jumps, 2u);
+  EXPECT_EQ(p.sequential_accesses, 3u);  // 4, 5, 1
+  EXPECT_EQ(p.longest_run, 3u);
+  EXPECT_EQ(p.re_reads, 0u);
+}
+
+TEST(IoAuditAnalysisTest, FilesAreTrackedIndependently) {
+  AuditLogData log;
+  log.files = {"a.edges", "b.edges"};
+  // Interleave two sequential scans; neither should see jumps.
+  for (uint64_t b = 0; b < 4; ++b) {
+    Append(&log, 0, {b});
+    Append(&log, 1, {b});
+  }
+  Append(&log, 1, {0, 1}, /*is_write=*/true);
+  auto patterns = AnalyzeAccessPatterns(log);
+  ASSERT_EQ(patterns.size(), 2u);
+  EXPECT_EQ(patterns[0].file_id, 0u);
+  EXPECT_EQ(patterns[0].random_jumps, 0u);
+  EXPECT_EQ(patterns[0].sequential_runs, 1u);
+  EXPECT_EQ(patterns[1].file_id, 1u);
+  EXPECT_EQ(patterns[1].reads, 4u);
+  EXPECT_EQ(patterns[1].writes, 2u);
+  // The write stream jumps 3 -> 0 once (read cursor at 3, write starts 0).
+  EXPECT_EQ(patterns[1].random_jumps, 1u);
+}
+
+TEST(IoAuditLruTest, CyclicScanThrashesSmallCacheAndFitsLargeOne) {
+  AuditLogData log;
+  log.files = {"g.edges"};
+  for (int pass = 0; pass < 2; ++pass) Append(&log, 0, {0, 1, 2});
+  // Capacity 2 < working set 3: the cyclic scan evicts each block just
+  // before its next use — the classic LRU worst case, zero hits.
+  CacheSimPoint small = SimulateLruCache(log, 2);
+  EXPECT_EQ(small.budget_blocks, 2u);
+  EXPECT_EQ(small.hits, 0u);
+  EXPECT_EQ(small.misses, 6u);
+  // Capacity 3 holds the whole file: second pass is free.
+  CacheSimPoint large = SimulateLruCache(log, 3);
+  EXPECT_EQ(large.hits, 3u);
+  EXPECT_EQ(large.misses, 3u);
+  EXPECT_DOUBLE_EQ(large.HitRatio(), 0.5);
+}
+
+TEST(IoAuditLruTest, LruEvictsLeastRecentlyUsed) {
+  AuditLogData log;
+  log.files = {"f"};
+  // 0,1,0,2,1: at capacity 2 the access to 2 evicts 1 (LRU), so the final
+  // 1 misses; the middle 0 hits.
+  Append(&log, 0, {0, 1, 0, 2, 1});
+  CacheSimPoint point = SimulateLruCache(log, 2);
+  EXPECT_EQ(point.hits, 1u);
+  EXPECT_EQ(point.misses, 4u);
+}
+
+TEST(IoAuditLruTest, WritesInstallBlocksButNeverCountAsHits) {
+  AuditLogData log;
+  log.files = {"f"};
+  Append(&log, 0, {0, 1}, /*is_write=*/true);
+  Append(&log, 0, {0, 1});  // reads served by the just-written blocks
+  CacheSimPoint point = SimulateLruCache(log, 4);
+  EXPECT_EQ(point.hits, 2u);
+  EXPECT_EQ(point.misses, 0u);
+}
+
+TEST(IoAuditLruTest, CurveSkipsZeroBudgetsAndIsMonotone) {
+  AuditLogData log;
+  log.files = {"g"};
+  for (int pass = 0; pass < 3; ++pass) Append(&log, 0, {0, 1, 2, 3});
+  auto curve = CacheSavingsCurve(log, {0, 1, 2, 4, 8});
+  ASSERT_EQ(curve.size(), 4u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].hits, curve[i - 1].hits);
+  }
+  EXPECT_EQ(curve.back().hits, 8u);  // everything after pass 1 is cached
+}
+
+class IoAuditFileTest : public TempDirTest {};
+
+TEST_F(IoAuditFileTest, WriteLoadRoundTrip) {
+  AuditLogData log;
+  log.files = {"/tmp/with space/g.edges", "/tmp/plain.edges"};
+  Append(&log, 0, {0, 1, 2});
+  Append(&log, 1, {5}, /*is_write=*/true);
+  AuditBudgetRecord budget;
+  budget.algorithm = "1PB-SCC";
+  budget.model = "3-scans-per-iter";
+  budget.bound_ios = 1000;
+  budget.measured_ios = 250;
+  budget.ratio = 0.25;
+  budget.pass = true;
+  budget.dataset = "/tmp/with space/g.edges";
+  log.budgets.push_back(budget);
+
+  const std::string path = NewPath(".audit");
+  ASSERT_OK(WriteAuditLog(log, path));
+  AuditLogData loaded;
+  ASSERT_OK(LoadAuditLog(path, &loaded));
+
+  ASSERT_EQ(loaded.files.size(), 2u);
+  EXPECT_EQ(loaded.files[0], "/tmp/with space/g.edges");
+  ASSERT_EQ(loaded.accesses.size(), 4u);
+  EXPECT_EQ(loaded.accesses[0].file_id, 0u);
+  EXPECT_EQ(loaded.accesses[3].file_id, 1u);
+  EXPECT_EQ(loaded.accesses[3].block, 5u);
+  EXPECT_TRUE(loaded.accesses[3].is_write);
+  EXPECT_EQ(loaded.accesses[2].seq, 2u);
+  ASSERT_EQ(loaded.budgets.size(), 1u);
+  EXPECT_EQ(loaded.budgets[0].algorithm, "1PB-SCC");
+  EXPECT_EQ(loaded.budgets[0].model, "3-scans-per-iter");
+  EXPECT_EQ(loaded.budgets[0].bound_ios, 1000u);
+  EXPECT_EQ(loaded.budgets[0].measured_ios, 250u);
+  EXPECT_NEAR(loaded.budgets[0].ratio, 0.25, 1e-9);
+  EXPECT_TRUE(loaded.budgets[0].pass);
+  EXPECT_EQ(loaded.budgets[0].dataset, "/tmp/with space/g.edges");
+}
+
+TEST_F(IoAuditFileTest, LoadRejectsGarbage) {
+  const std::string path = NewPath(".audit");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not an audit log\n", f);
+  std::fclose(f);
+  AuditLogData log;
+  EXPECT_TRUE(LoadAuditLog(path, &log).IsCorruption());
+  EXPECT_TRUE(LoadAuditLog(NewPath(".missing"), &log).IsIoError());
+}
+
+class BlockAccessLogTest : public TempDirTest {};
+
+TEST_F(BlockAccessLogTest, BlockFileRecordsAccessesWhenInstalled) {
+  const size_t block_size = 512;
+  const std::string path = NewPath(".blk");
+  BlockAccessLog log;
+  SetBlockAccessLog(&log);
+  std::vector<char> block(block_size, 'x');
+  {
+    std::unique_ptr<BlockFile> file;
+    ASSERT_OK(BlockFile::Open(path, BlockFile::Mode::kWrite, block_size,
+                              nullptr, &file));
+    for (int i = 0; i < 3; ++i) ASSERT_OK(file->AppendBlock(block.data()));
+  }
+  {
+    std::unique_ptr<BlockFile> file;
+    ASSERT_OK(BlockFile::Open(path, BlockFile::Mode::kRead, block_size,
+                              nullptr, &file));
+    ASSERT_OK(file->ReadBlock(2, block.data()));
+    ASSERT_OK(file->ReadBlock(0, block.data()));
+  }
+  SetBlockAccessLog(nullptr);
+
+  AuditLogData data = log.Snapshot();
+  ASSERT_EQ(data.files.size(), 1u);  // same path interned once per mode
+  EXPECT_EQ(data.files[0], path);
+  ASSERT_EQ(data.accesses.size(), 5u);
+  EXPECT_TRUE(data.accesses[0].is_write);
+  EXPECT_EQ(data.accesses[1].block, 1u);
+  EXPECT_FALSE(data.accesses[3].is_write);
+  EXPECT_EQ(data.accesses[3].block, 2u);
+  EXPECT_EQ(data.accesses[4].block, 0u);
+  for (uint64_t i = 0; i < data.accesses.size(); ++i) {
+    EXPECT_EQ(data.accesses[i].seq, i);
+  }
+}
+
+TEST_F(BlockAccessLogTest, CapturedAtOpenNotPerAccess) {
+  // A file opened before the log is installed never reports into it.
+  const size_t block_size = 256;
+  const std::string path = NewPath(".blk");
+  std::vector<char> block(block_size, 'y');
+  {
+    std::unique_ptr<BlockFile> file;
+    ASSERT_OK(BlockFile::Open(path, BlockFile::Mode::kWrite, block_size,
+                              nullptr, &file));
+    BlockAccessLog log;
+    SetBlockAccessLog(&log);
+    ASSERT_OK(file->AppendBlock(block.data()));
+    SetBlockAccessLog(nullptr);
+    EXPECT_EQ(log.access_count(), 0u);
+  }
+}
+
+TEST_F(BlockAccessLogTest, AuditIsStrictlyOptIn) {
+  // The headline guarantee: running with the sink installed changes no
+  // I/O counter, and running without it records nothing.
+  PlantedSccSpec spec;
+  spec.node_count = 800;
+  spec.avg_degree = 4.0;
+  spec.components = {{50, 2}, {10, 6}};
+  spec.seed = 7;
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(GeneratePlantedSccFile(spec, path, 4096, nullptr));
+
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+
+  SccResult bare_result;
+  RunStats bare;
+  ASSERT_EQ(GetBlockAccessLog(), nullptr);
+  ASSERT_OK(RunScc(SccAlgorithm::kOnePhaseBatch, path, options,
+                   &bare_result, &bare));
+
+  BlockAccessLog log;
+  SetBlockAccessLog(&log);
+  SccResult audited_result;
+  RunStats audited;
+  Status st = RunScc(SccAlgorithm::kOnePhaseBatch, path, options,
+                     &audited_result, &audited);
+  SetBlockAccessLog(nullptr);
+  ASSERT_OK(st);
+
+  EXPECT_TRUE(bare.io == audited.io)
+      << "audited: " << audited.io.Format()
+      << " bare: " << bare.io.Format();
+  EXPECT_TRUE(bare_result == audited_result);
+  // And the log saw exactly the run's block traffic.
+  EXPECT_EQ(log.access_count(), audited.io.TotalBlockIos());
+}
+
+}  // namespace
+}  // namespace ioscc

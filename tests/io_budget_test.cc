@@ -1,0 +1,126 @@
+// Cost-model conformance: every driver's measured block I/O must stay
+// within its analytic theory.h-derived bound, the harness must surface the
+// verdict on RunOutcome and in the JSONL run report, and the bound math
+// itself must be exercised on hand-computed cases.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "harness/io_budget.h"
+#include "harness/runner.h"
+#include "harness/theory.h"
+#include "io/edge_file.h"
+#include "obs/run_report.h"
+#include "scc/algorithms.h"
+#include "tests/test_util.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::TempDirTest;
+
+TEST(IoBudgetMathTest, ScanBlocksMatchesOnDiskLayout) {
+  // 1000 edges * kEdgeRecordBytes at 4 KiB blocks: ceil(8000/4096) = 2
+  // data blocks + 1 header.
+  EXPECT_EQ(TheoryScanBlocks(1000, 4096),
+            (kEdgeRecordBytes * 1000 + 4095) / 4096 + 1);
+  EXPECT_EQ(TheoryScanBlocks(0, 4096), 1u);  // header only
+}
+
+TEST(IoBudgetMathTest, BoundScalesWithIterations) {
+  RunStats one_iter;
+  one_iter.iterations = 1;
+  RunStats five_iter;
+  five_iter.iterations = 5;
+  const uint64_t m = 10000, block = 4096;
+  for (SccAlgorithm algorithm : AllAlgorithms()) {
+    const uint64_t b1 = IoBudgetBoundIos(algorithm, m, block, one_iter);
+    const uint64_t b5 = IoBudgetBoundIos(algorithm, m, block, five_iter);
+    EXPECT_GT(b5, b1) << AlgorithmName(algorithm);
+    EXPECT_GT(b1, 0u) << AlgorithmName(algorithm);
+    EXPECT_NE(IoBudgetModelName(algorithm), nullptr);
+  }
+}
+
+class IoBudgetConformanceTest : public TempDirTest {};
+
+TEST_F(IoBudgetConformanceTest, EveryAlgorithmStaysWithinItsBound) {
+  // Same planted workload as IntegrationTest.GeneratorToDiskToAllAlgorithms
+  // so the non-convergence carve-outs below stay in sync with it.
+  PlantedSccSpec spec;
+  spec.node_count = 1500;
+  spec.avg_degree = 4.0;
+  spec.components = {{100, 2}, {10, 12}};
+  spec.seed = 2024;
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(GeneratePlantedSccFile(spec, path, 4096, nullptr));
+
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  options.memory_budget_bytes = 1 << 16;
+
+  for (SccAlgorithm algorithm : AllAlgorithms()) {
+    SCOPED_TRACE(AlgorithmName(algorithm));
+    RunOutcome outcome = RunAlgorithmOnFile(algorithm, path, options);
+    if (outcome.status.IsIncomplete() &&
+        (algorithm == SccAlgorithm::kTwoPhase ||
+         algorithm == SccAlgorithm::kEm)) {
+      continue;  // documented non-convergence cases (see integration_test)
+    }
+    ASSERT_OK(outcome.status);
+    ASSERT_TRUE(outcome.io_budget.has_value());
+    const IoBudgetVerdict& v = *outcome.io_budget;
+    EXPECT_TRUE(v.pass) << v.Format();
+    EXPECT_LE(v.ratio, 1.0) << v.Format();
+    EXPECT_LE(v.measured_ios, v.bound_ios) << v.Format();
+    EXPECT_EQ(v.measured_ios, outcome.stats.io.TotalBlockIos());
+    EXPECT_FALSE(v.model.empty());
+  }
+}
+
+TEST_F(IoBudgetConformanceTest, VerdictFlowsIntoJsonReport) {
+  PlantedSccSpec spec;
+  spec.node_count = 500;
+  spec.components = {{25, 4}};
+  spec.seed = 3;
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(GeneratePlantedSccFile(spec, path, 4096, nullptr));
+
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  RunOutcome outcome =
+      RunAlgorithmOnFile(SccAlgorithm::kOnePhaseBatch, path, options);
+  ASSERT_OK(outcome.status);
+  ASSERT_TRUE(outcome.io_budget.has_value());
+
+  RunReportEntry entry = MakeReportEntry("test", SccAlgorithm::kOnePhaseBatch,
+                                         path, outcome);
+  EXPECT_TRUE(entry.has_io_budget);
+  EXPECT_EQ(entry.io_budget_measured_ios, outcome.io_budget->measured_ios);
+  const std::string json = RunReportEntryToJson(entry);
+  EXPECT_NE(json.find("\"io_budget\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"model\":\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pass\":true"), std::string::npos) << json;
+}
+
+TEST_F(IoBudgetConformanceTest, VerdictConvertsToAuditRecord) {
+  IoBudgetVerdict v;
+  v.model = "3-scans-per-iter";
+  v.bound_ios = 100;
+  v.measured_ios = 40;
+  v.ratio = 0.4;
+  v.pass = true;
+  AuditBudgetRecord rec =
+      ToAuditBudgetRecord(v, SccAlgorithm::kOnePhaseBatch, "g.edges");
+  EXPECT_EQ(rec.algorithm, AlgorithmName(SccAlgorithm::kOnePhaseBatch));
+  EXPECT_EQ(rec.model, v.model);
+  EXPECT_EQ(rec.bound_ios, 100u);
+  EXPECT_EQ(rec.measured_ios, 40u);
+  EXPECT_TRUE(rec.pass);
+  EXPECT_EQ(rec.dataset, "g.edges");
+}
+
+}  // namespace
+}  // namespace ioscc
