@@ -61,11 +61,21 @@ IoBudgetVerdict CheckIoBudget(SccAlgorithm algorithm,
                               const SemiExternalOptions& options,
                               const RunStats& stats) {
   // Scratch rewrites may use a smaller block size than the input; bound
-  // with the finer granularity so every write pass stays covered.
-  const uint64_t block_bytes = std::min<uint64_t>(
-      info.block_size, options.scratch_block_size > 0
-                           ? options.scratch_block_size
-                           : info.block_size);
+  // with the finer granularity so every write pass stays covered. Both
+  // terms are *payload* bytes per block: a v2 block carries 4 fewer
+  // bytes of edges than its raw size (checksum trailer), so a v2 file
+  // spans slightly more blocks per scan and the bound must track that.
+  // Scratch files are written at the process-default version; under the
+  // default (v1, no injector) this reduces to min(block sizes) exactly
+  // as before.
+  const uint64_t input_payload =
+      EdgePayloadBytesPerBlock(info.version, info.block_size);
+  const uint64_t scratch_payload = EdgePayloadBytesPerBlock(
+      DefaultEdgeFileVersion(), options.scratch_block_size > 0
+                                    ? options.scratch_block_size
+                                    : info.block_size);
+  const uint64_t block_bytes =
+      std::min<uint64_t>(input_payload, scratch_payload);
   IoBudgetVerdict verdict;
   verdict.model = IoBudgetModelName(algorithm);
   verdict.bound_ios =

@@ -38,7 +38,9 @@ struct IoBudgetVerdict {
 // separately from CheckIoBudget so benches can print budgets up front.
 //
 // Models (scan = TheoryScanBlocks(m, B), B = the smaller of the input and
-// scratch block sizes so rewrites at a finer granularity stay covered):
+// scratch per-block *payloads* — raw block size for v1 files, minus the
+// checksum trailer for v2 — so rewrites at a finer granularity or with
+// checksums enabled stay covered):
 //   1P-SCC / 1PB-SCC  (3 * iterations + 1) * scan   — each iteration is at
 //                     most a mutating scan, a rejection scan, and a
 //                     rewrite of at most the full stream

@@ -16,6 +16,12 @@
 
 namespace ioscc {
 
+// A failed run is a *value*, not an exception: storage faults (IOError
+// after retries, Corruption from a checksum mismatch) land here as a
+// non-ok status whose message names the file/block, the table cells
+// render "ERR", and MakeReportEntry carries the full error string into
+// the JSONL report — so a sweep continues past a poisoned dataset
+// instead of dying on it.
 struct RunOutcome {
   Status status;
   SccResult result;

@@ -20,6 +20,12 @@ namespace ioscc {
 // Blocks one full sequential scan of an m-edge file reads: the data
 // blocks (rounded up) plus the header block. This is the unit every
 // per-pass bound below is measured in.
+//
+// `block_bytes` is the *payload* bytes one block carries — equal to the
+// raw block size for format v1, and block_size minus the checksum
+// trailer (floored to whole edge records) for v2; callers convert via
+// EdgePayloadBytesPerBlock. Under v1 the two readings coincide, so the
+// classic TheoryScanBlocks(m, block_size) call sites stay exact.
 inline uint64_t TheoryScanBlocks(uint64_t m, uint64_t block_bytes) {
   return (kEdgeRecordBytes * m + block_bytes - 1) / block_bytes + 1;
 }

@@ -1,9 +1,13 @@
 #include "io/block_file.h"
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "util/timer.h"
@@ -24,6 +28,21 @@ Histogram* WriteLatencyHistogram() {
   static Histogram* h =
       MetricsRegistry::Global().GetHistogram("io.block_write_us");
   return h;
+}
+
+bool ErrnoIsRetryable(int err) {
+  return err == EINTR || err == EAGAIN || err == EIO;
+}
+
+std::string ErrnoText(int err) { return std::strerror(err); }
+
+// Honors the backoff schedule between attempt `attempt` - 1 and `attempt`
+// (1-based retries).
+void Backoff(const IoRetryPolicy& policy, int attempt) {
+  if (policy.backoff_initial_us <= 0) return;
+  const int64_t us =
+      static_cast<int64_t>(policy.backoff_initial_us) << (attempt - 1);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 
 }  // namespace
@@ -68,22 +87,24 @@ Status BlockAccessLog::WriteTo(const std::string& path) const {
 }
 
 Status BlockFile::Open(const std::string& path, Mode mode, size_t block_size,
-                       IoStats* stats, std::unique_ptr<BlockFile>* out) {
+                       IoStats* stats, std::unique_ptr<BlockFile>* out,
+                       const std::string& logical_path) {
   if (block_size == 0) {
     return Status::InvalidArgument("block_size must be positive");
   }
   const char* fmode = mode == Mode::kRead ? "rb" : "wb";
   std::FILE* file = std::fopen(path.c_str(), fmode);
   if (file == nullptr) {
-    return Status::IoError("open " + path + ": " + std::strerror(errno));
+    return Status::IoError("open " + path + ": " + ErrnoText(errno));
   }
 
   uint64_t block_count = 0;
   if (mode == Mode::kRead) {
     struct stat st;
     if (::stat(path.c_str(), &st) != 0) {
+      const int err = errno;
       std::fclose(file);
-      return Status::IoError("stat " + path + ": " + std::strerror(errno));
+      return Status::IoError("stat " + path + ": " + ErrnoText(err));
     }
     if (st.st_size % static_cast<off_t>(block_size) != 0) {
       std::fclose(file);
@@ -94,13 +115,15 @@ Status BlockFile::Open(const std::string& path, Mode mode, size_t block_size,
     block_count = static_cast<uint64_t>(st.st_size) / block_size;
   }
 
-  // Capture the audit sink once per open (the TraceSpan pattern): when no
-  // log is installed the per-access hook below is a plain null check.
+  const std::string& known_as = logical_path.empty() ? path : logical_path;
+  // Capture the opt-in seams once per open (the TraceSpan pattern): when
+  // neither is installed the per-access hooks below are plain null checks.
   BlockAccessLog* audit = GetBlockAccessLog();
   const uint32_t audit_file_id =
-      audit != nullptr ? audit->RegisterFile(path) : 0;
-  out->reset(new BlockFile(path, file, mode, block_size, block_count, stats,
-                           audit, audit_file_id));
+      audit != nullptr ? audit->RegisterFile(known_as) : 0;
+  FaultInjector* fault = GetFaultInjector();
+  out->reset(new BlockFile(path, known_as, file, mode, block_size,
+                           block_count, stats, audit, audit_file_id, fault));
   return Status::OK();
 }
 
@@ -108,29 +131,81 @@ BlockFile::~BlockFile() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-Status BlockFile::AppendBlock(const void* data) {
-  if (mode_ != Mode::kWrite) {
-    return Status::InvalidArgument("AppendBlock on read-only file");
-  }
-  if (MetricsEnabled()) {
-    Timer timer;
-    if (std::fwrite(data, 1, block_size_, file_) != block_size_) {
-      return Status::IoError("short write to " + path_);
+Status BlockFile::ReadAttempt(uint64_t index, void* data, bool need_seek,
+                              bool* retryable) {
+  *retryable = false;
+  if (need_seek) {
+    if (std::fseek(file_, static_cast<long>(index * block_size_),
+                   SEEK_SET) != 0) {
+      *retryable = ErrnoIsRetryable(errno);
+      return Status::IoError("seek in " + path_ + ": " + ErrnoText(errno));
     }
-    WriteLatencyHistogram()->Record(
-        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
-  } else if (std::fwrite(data, 1, block_size_, file_) != block_size_) {
-    return Status::IoError("short write to " + path_);
   }
-  ++block_count_;
-  if (audit_ != nullptr) {
-    audit_->Record(audit_file_id_, block_count_ - 1, /*is_write=*/true);
+
+  FaultAction action;
+  if (fault_ != nullptr) {
+    action = fault_->OnAccess(logical_path_, index, FaultOp::kRead,
+                              block_size_);
   }
-  if (stats_ != nullptr) {
-    ++stats_->blocks_written;
-    stats_->bytes_written += block_size_;
+  switch (action.kind) {
+    case FaultKind::kEintr:
+      *retryable = true;
+      return Status::IoError("read block " + std::to_string(index) +
+                             " of " + path_ + ": " + ErrnoText(EINTR) +
+                             " (injected)");
+    case FaultKind::kTransientEio:
+    case FaultKind::kPermanentEio:
+      *retryable = true;
+      return Status::IoError("read block " + std::to_string(index) +
+                             " of " + path_ + ": " + ErrnoText(EIO) +
+                             " (injected)");
+    case FaultKind::kShortRead: {
+      // The transfer happens, but the kernel reports fewer bytes.
+      (void)std::fread(data, 1, block_size_, file_);
+      *retryable = true;
+      return Status::IoError(
+          "short read from " + path_ + ": got " +
+          std::to_string(action.param) + " of " +
+          std::to_string(block_size_) + " bytes (injected)");
+    }
+    default:
+      break;
+  }
+
+  const size_t got = std::fread(data, 1, block_size_, file_);
+  if (got != block_size_) {
+    const int err = std::ferror(file_) ? errno : 0;
+    std::clearerr(file_);
+    *retryable = err == 0 || ErrnoIsRetryable(err);
+    std::string detail =
+        err != 0 ? ErrnoText(err)
+                 : "got " + std::to_string(got) + " of " +
+                       std::to_string(block_size_) + " bytes";
+    return Status::IoError("short read from " + path_ + ": " + detail);
+  }
+  if (action.kind == FaultKind::kBitFlip) {
+    const uint64_t bit = action.param % (block_size_ * 8);
+    static_cast<unsigned char*>(data)[bit / 8] ^=
+        static_cast<unsigned char>(1u << (bit % 8));
   }
   return Status::OK();
+}
+
+Status BlockFile::RetryRead(uint64_t index, void* data, Status first,
+                            bool retryable) {
+  const IoRetryPolicy policy = GetIoRetryPolicy();
+  Status st = std::move(first);
+  for (int attempt = 1; retryable && attempt < policy.max_attempts;
+       ++attempt) {
+    Backoff(policy, attempt);
+    if (stats_ != nullptr) ++stats_->read_retries;
+    st = ReadAttempt(index, data, /*need_seek=*/true, &retryable);
+    if (st.ok()) return st;
+  }
+  if (!retryable) return st;  // permanent failure class: report as-is
+  return Status::IoError(st.message() + " (gave up after " +
+                         std::to_string(policy.max_attempts) +
+                         " attempts)");
 }
 
 Status BlockFile::ReadBlock(uint64_t index, void* data) {
@@ -140,22 +215,23 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
   if (index >= block_count_) {
     return Status::InvalidArgument("block index out of range in " + path_);
   }
+  const bool sample_latency = MetricsEnabled();
+  Timer timer;
   // Avoid a redundant fseek for the common sequential-scan pattern.
-  if (index != read_cursor_) {
-    if (std::fseek(file_,
-                   static_cast<long>(index * block_size_), SEEK_SET) != 0) {
-      return Status::IoError("seek in " + path_);
+  bool retryable = false;
+  Status st =
+      ReadAttempt(index, data, /*need_seek=*/index != read_cursor_,
+                  &retryable);
+  if (!st.ok()) {
+    st = RetryRead(index, data, std::move(st), retryable);
+    if (!st.ok()) {
+      read_cursor_ = static_cast<uint64_t>(-1);  // position now unknown
+      return st;
     }
   }
-  if (MetricsEnabled()) {
-    Timer timer;
-    if (std::fread(data, 1, block_size_, file_) != block_size_) {
-      return Status::IoError("short read from " + path_);
-    }
+  if (sample_latency) {
     ReadLatencyHistogram()->Record(
         static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
-  } else if (std::fread(data, 1, block_size_, file_) != block_size_) {
-    return Status::IoError("short read from " + path_);
   }
   read_cursor_ = index + 1;
   if (audit_ != nullptr) {
@@ -168,10 +244,208 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
   return Status::OK();
 }
 
+Status BlockFile::WriteAttempt(uint64_t index, const void* data,
+                               bool need_seek, bool* retryable) {
+  *retryable = false;
+  if (need_seek) {
+    if (std::fseek(file_, static_cast<long>(index * block_size_),
+                   SEEK_SET) != 0) {
+      *retryable = ErrnoIsRetryable(errno);
+      return Status::IoError("seek in " + path_ + ": " + ErrnoText(errno));
+    }
+  }
+
+  FaultAction action;
+  if (fault_ != nullptr) {
+    action = fault_->OnAccess(logical_path_, index, FaultOp::kWrite,
+                              block_size_);
+  }
+  const char* bytes = static_cast<const char*>(data);
+  switch (action.kind) {
+    case FaultKind::kEintr:
+      *retryable = true;
+      return Status::IoError("write block " + std::to_string(index) +
+                             " of " + path_ + ": " + ErrnoText(EINTR) +
+                             " (injected)");
+    case FaultKind::kTransientEio:
+    case FaultKind::kPermanentEio:
+      *retryable = true;
+      return Status::IoError("write block " + std::to_string(index) +
+                             " of " + path_ + ": " + ErrnoText(EIO) +
+                             " (injected)");
+    case FaultKind::kEnospc:
+      return Status::IoError("write block " + std::to_string(index) +
+                             " of " + path_ + ": " + ErrnoText(ENOSPC) +
+                             " (injected)");
+    case FaultKind::kShortWrite:
+      // A prefix lands; a retry rewrites the block from its start.
+      (void)std::fwrite(bytes, 1, static_cast<size_t>(action.param), file_);
+      *retryable = true;
+      return Status::IoError(
+          "short write to " + path_ + ": wrote " +
+          std::to_string(action.param) + " of " +
+          std::to_string(block_size_) + " bytes (injected)");
+    case FaultKind::kTornWrite:
+      // Crash-style failure: a partial block lands and the device is
+      // gone. Not retryable — recovery is the writer's temp-then-rename.
+      (void)std::fwrite(bytes, 1, static_cast<size_t>(action.param), file_);
+      return Status::IoError("torn write to " + path_ + ": " +
+                             std::to_string(action.param) + " of " +
+                             std::to_string(block_size_) +
+                             " bytes hit disk (injected)");
+    case FaultKind::kBitFlip: {
+      std::vector<char> corrupted(bytes, bytes + block_size_);
+      const uint64_t bit = action.param % (block_size_ * 8);
+      corrupted[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+      if (std::fwrite(corrupted.data(), 1, block_size_, file_) !=
+          block_size_) {
+        *retryable = true;
+        return Status::IoError("short write to " + path_ + ": " +
+                               ErrnoText(errno));
+      }
+      return Status::OK();
+    }
+    default:
+      break;
+  }
+
+  const size_t wrote = std::fwrite(bytes, 1, block_size_, file_);
+  if (wrote != block_size_) {
+    const int err = std::ferror(file_) ? errno : 0;
+    std::clearerr(file_);
+    *retryable = err == 0 || ErrnoIsRetryable(err);
+    std::string detail =
+        err != 0 ? ErrnoText(err)
+                 : "wrote " + std::to_string(wrote) + " of " +
+                       std::to_string(block_size_) + " bytes";
+    return Status::IoError("short write to " + path_ + ": " + detail);
+  }
+  return Status::OK();
+}
+
+Status BlockFile::RetryWrite(uint64_t index, const void* data, Status first,
+                             bool retryable) {
+  const IoRetryPolicy policy = GetIoRetryPolicy();
+  Status st = std::move(first);
+  for (int attempt = 1; retryable && attempt < policy.max_attempts;
+       ++attempt) {
+    Backoff(policy, attempt);
+    if (stats_ != nullptr) ++stats_->write_retries;
+    st = WriteAttempt(index, data, /*need_seek=*/true, &retryable);
+    if (st.ok()) return st;
+  }
+  if (!retryable) return st;  // permanent failure class: report as-is
+  return Status::IoError(st.message() + " (gave up after " +
+                         std::to_string(policy.max_attempts) +
+                         " attempts)");
+}
+
+Status BlockFile::AppendBlock(const void* data) {
+  if (mode_ != Mode::kWrite) {
+    return Status::InvalidArgument("AppendBlock on read-only file");
+  }
+  const bool sample_latency = MetricsEnabled();
+  Timer timer;
+  bool retryable = false;
+  Status st =
+      WriteAttempt(block_count_, data, /*need_seek=*/false, &retryable);
+  if (!st.ok()) {
+    st = RetryWrite(block_count_, data, std::move(st), retryable);
+    if (!st.ok()) return st;
+  }
+  if (sample_latency) {
+    WriteLatencyHistogram()->Record(
+        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
+  }
+  ++block_count_;
+  if (audit_ != nullptr) {
+    audit_->Record(audit_file_id_, block_count_ - 1, /*is_write=*/true);
+  }
+  if (stats_ != nullptr) {
+    ++stats_->blocks_written;
+    stats_->bytes_written += block_size_;
+  }
+  return Status::OK();
+}
+
+Status BlockFile::WriteBlockAt(uint64_t index, const void* data) {
+  if (mode_ != Mode::kWrite) {
+    return Status::InvalidArgument("WriteBlockAt on read-only file");
+  }
+  if (index > block_count_) {
+    return Status::InvalidArgument("WriteBlockAt past end of " + path_);
+  }
+  bool retryable = false;
+  Status st = WriteAttempt(index, data, /*need_seek=*/true, &retryable);
+  if (!st.ok()) {
+    st = RetryWrite(index, data, std::move(st), retryable);
+    if (!st.ok()) return st;
+  }
+  // Restore the append position for any subsequent AppendBlock.
+  if (std::fseek(file_, static_cast<long>(block_count_ * block_size_),
+                 SEEK_SET) != 0) {
+    return Status::IoError("seek in " + path_ + ": " + ErrnoText(errno));
+  }
+  if (audit_ != nullptr) {
+    audit_->Record(audit_file_id_, index, /*is_write=*/true);
+  }
+  if (stats_ != nullptr) {
+    ++stats_->blocks_written;
+    stats_->bytes_written += block_size_;
+  }
+  return Status::OK();
+}
+
+Status BlockFile::FlushAttempt(bool* retryable) {
+  *retryable = false;
+  FaultAction action;
+  if (fault_ != nullptr) {
+    action = fault_->OnAccess(logical_path_, block_count_, FaultOp::kFlush,
+                              block_size_);
+  }
+  switch (action.kind) {
+    case FaultKind::kEintr:
+    case FaultKind::kTransientEio:
+    case FaultKind::kPermanentEio:
+      *retryable = true;
+      return Status::IoError(
+          "flush " + path_ + ": " +
+          ErrnoText(action.kind == FaultKind::kEintr ? EINTR : EIO) +
+          " (injected)");
+    case FaultKind::kEnospc:
+      return Status::IoError("flush " + path_ + ": " + ErrnoText(ENOSPC) +
+                             " (injected)");
+    default:
+      break;
+  }
+  if (std::fflush(file_) != 0) {
+    *retryable = ErrnoIsRetryable(errno);
+    return Status::IoError("flush " + path_ + ": " + ErrnoText(errno));
+  }
+  return Status::OK();
+}
+
 Status BlockFile::Flush() {
   if (mode_ != Mode::kWrite) return Status::OK();
-  if (std::fflush(file_) != 0) {
-    return Status::IoError("flush " + path_);
+  bool retryable = false;
+  Status st = FlushAttempt(&retryable);
+  if (st.ok()) return st;
+  const IoRetryPolicy policy = GetIoRetryPolicy();
+  for (int attempt = 1; retryable && attempt < policy.max_attempts;
+       ++attempt) {
+    Backoff(policy, attempt);
+    if (stats_ != nullptr) ++stats_->write_retries;
+    st = FlushAttempt(&retryable);
+    if (st.ok()) return st;
+  }
+  return st;
+}
+
+Status BlockFile::SyncToDisk() {
+  if (mode_ != Mode::kWrite) return Status::OK();
+  IOSCC_RETURN_IF_ERROR(Flush());
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IoError("fsync " + path_ + ": " + ErrnoText(errno));
   }
   return Status::OK();
 }

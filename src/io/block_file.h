@@ -4,6 +4,15 @@
 // through fixed-size blocks, and every block transfer increments IoStats.
 // Files written through BlockFile are always a whole number of blocks long
 // (writers pad the tail block).
+//
+// Robustness: every physical read/write/flush attempt flows through two
+// opt-in seams captured once at Open — the BlockAccessLog auditor and the
+// FaultInjector (io/fault_env.h). Retryable failures (EINTR, EIO, short
+// transfers — real or injected) are retried with bounded exponential
+// backoff (IoRetryPolicy); the retry count lands in IoStats so run
+// reports show how hard the storage fought back. With neither seam
+// installed the hot path is two null checks and the I/O counters are
+// byte-identical to an uninstrumented run.
 
 #ifndef IOSCC_IO_BLOCK_FILE_H_
 #define IOSCC_IO_BLOCK_FILE_H_
@@ -14,6 +23,7 @@
 #include <mutex>
 #include <string>
 
+#include "io/fault_env.h"
 #include "io/io_stats.h"
 #include "obs/io_audit.h"
 #include "util/status.h"
@@ -75,8 +85,15 @@ class BlockFile {
 
   // Opens `path` for reading or (over)writing. `stats` may be null (no
   // accounting); otherwise it must outlive the BlockFile.
+  //
+  // `logical_path`, when nonempty, is the name the file is *known as* to
+  // the audit log and the fault injector — writers that stage output in
+  // a temp file (EdgeWriter's write-temp-then-rename) pass the final
+  // path here so access patterns and fault schedules stay keyed to one
+  // stable name. Error messages always name the physical path.
   static Status Open(const std::string& path, Mode mode, size_t block_size,
-                     IoStats* stats, std::unique_ptr<BlockFile>* out);
+                     IoStats* stats, std::unique_ptr<BlockFile>* out,
+                     const std::string& logical_path = std::string());
 
   ~BlockFile();
 
@@ -86,6 +103,11 @@ class BlockFile {
   // Appends one full block (block_size bytes). Write mode only.
   Status AppendBlock(const void* data);
 
+  // Overwrites block `index` (which must already exist or be the next
+  // append slot) in place. Write mode only; used for header rewrites so
+  // that metadata maintenance stays inside the counted/faultable seam.
+  Status WriteBlockAt(uint64_t index, const void* data);
+
   // Reads block `index` (0-based) into `data` (block_size bytes).
   // Read mode only.
   Status ReadBlock(uint64_t index, void* data);
@@ -93,25 +115,47 @@ class BlockFile {
   // Flushes buffered writes to the OS. Write mode only.
   Status Flush();
 
+  // Flush() + fsync(): the data is durable on return. Write mode only.
+  Status SyncToDisk();
+
   // Number of complete blocks currently in the file.
   uint64_t block_count() const { return block_count_; }
   size_t block_size() const { return block_size_; }
   const std::string& path() const { return path_; }
 
  private:
-  BlockFile(std::string path, std::FILE* file, Mode mode, size_t block_size,
-            uint64_t block_count, IoStats* stats, BlockAccessLog* audit,
-            uint32_t audit_file_id)
+  BlockFile(std::string path, std::string logical_path, std::FILE* file,
+            Mode mode, size_t block_size, uint64_t block_count,
+            IoStats* stats, BlockAccessLog* audit, uint32_t audit_file_id,
+            FaultInjector* fault)
       : path_(std::move(path)),
+        logical_path_(std::move(logical_path)),
         file_(file),
         mode_(mode),
         block_size_(block_size),
         block_count_(block_count),
         stats_(stats),
         audit_(audit),
-        audit_file_id_(audit_file_id) {}
+        audit_file_id_(audit_file_id),
+        fault_(fault) {}
+
+  // One physical attempt. `*retryable` reports whether the failure class
+  // is worth retrying (EINTR/EIO/short transfer yes; ENOSPC/torn no).
+  Status ReadAttempt(uint64_t index, void* data, bool need_seek,
+                     bool* retryable);
+  Status WriteAttempt(uint64_t index, const void* data, bool need_seek,
+                      bool* retryable);
+  Status FlushAttempt(bool* retryable);
+
+  // Slow path: bounded retry with exponential backoff; counts each extra
+  // attempt into IoStats. `first` is the failed first attempt's status.
+  Status RetryRead(uint64_t index, void* data, Status first,
+                   bool retryable);
+  Status RetryWrite(uint64_t index, const void* data, Status first,
+                    bool retryable);
 
   std::string path_;
+  std::string logical_path_;  // == path_ unless the caller aliased it
   std::FILE* file_;
   Mode mode_;
   size_t block_size_;
@@ -120,6 +164,7 @@ class BlockFile {
   IoStats* stats_;
   BlockAccessLog* audit_;   // captured at Open; null when uninstalled
   uint32_t audit_file_id_;  // meaningful only when audit_ != nullptr
+  FaultInjector* fault_;    // captured at Open; null when uninstalled
 };
 
 }  // namespace ioscc

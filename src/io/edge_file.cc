@@ -1,15 +1,16 @@
 #include "io/edge_file.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "io/block_file.h"
+#include "util/crc32c.h"
 
 namespace ioscc {
 namespace {
 
 constexpr char kMagic[8] = {'I', 'O', 'S', 'C', 'C', 'E', 'D', 'G'};
-constexpr uint32_t kVersion = 1;
 
 struct HeaderLayout {
   char magic[8];
@@ -20,32 +21,77 @@ struct HeaderLayout {
 };
 static_assert(sizeof(HeaderLayout) == 32, "header layout drifted");
 
+// Stamps the masked CRC32C of block[0, block_size - 4) into the last
+// four bytes. v2 blocks only.
+void StampBlockChecksum(char* block, size_t block_size) {
+  const uint32_t crc = crc32c::Mask(
+      crc32c::Value(block, block_size - kEdgeBlockTrailerBytes));
+  std::memcpy(block + block_size - kEdgeBlockTrailerBytes, &crc,
+              kEdgeBlockTrailerBytes);
+}
+
+}  // namespace
+
+// Verifies a v2 block's trailer; `block_index` and the derived byte
+// offset give the Corruption status enough context to locate the damage.
+Status VerifyEdgeBlockChecksum(const std::string& path, uint64_t block_index,
+                               const void* block, size_t block_size) {
+  const char* bytes = static_cast<const char*>(block);
+  uint32_t stored = 0;
+  std::memcpy(&stored, bytes + block_size - kEdgeBlockTrailerBytes,
+              kEdgeBlockTrailerBytes);
+  const uint32_t computed = crc32c::Mask(
+      crc32c::Value(bytes, block_size - kEdgeBlockTrailerBytes));
+  if (stored != computed) {
+    char hex[64];
+    std::snprintf(hex, sizeof hex, "stored %08x, computed %08x", stored,
+                  computed);
+    return Status::Corruption(
+        path + ": block " + std::to_string(block_index) + " (offset " +
+        std::to_string(block_index * block_size) +
+        "): checksum mismatch (" + hex + ")");
+  }
+  return Status::OK();
+}
+
+namespace {
+
 void EncodeHeader(const EdgeFileInfo& info, std::vector<char>* block) {
   block->assign(info.block_size, 0);
   HeaderLayout header;
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
-  header.version = kVersion;
+  header.version = info.version;
   header.block_size = static_cast<uint32_t>(info.block_size);
   header.node_count = info.node_count;
   header.edge_count = info.edge_count;
   std::memcpy(block->data(), &header, sizeof(header));
+  if (info.version >= kEdgeFormatV2) {
+    StampBlockChecksum(block->data(), info.block_size);
+  }
 }
 
-Status DecodeHeader(const char* data, size_t file_block_size,
-                    EdgeFileInfo* info) {
+// Decodes and validates a whole header block (including the v2 header
+// checksum, which covers the entire block).
+Status DecodeHeader(const std::string& path, const char* data,
+                    size_t file_block_size, EdgeFileInfo* info) {
   HeaderLayout header;
   std::memcpy(&header, data, sizeof(header));
   if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("bad edge-file magic");
+    return Status::Corruption(path + ": bad edge-file magic");
   }
-  if (header.version != kVersion) {
-    return Status::Corruption("unsupported edge-file version " +
+  if (header.version != kEdgeFormatV1 && header.version != kEdgeFormatV2) {
+    return Status::Corruption(path + ": unsupported edge-file version " +
                               std::to_string(header.version));
   }
   if (header.block_size != file_block_size) {
-    return Status::Corruption("header block size mismatch");
+    return Status::Corruption(path + ": header block size mismatch");
+  }
+  if (header.version >= kEdgeFormatV2) {
+    IOSCC_RETURN_IF_ERROR(
+        VerifyEdgeBlockChecksum(path, 0, data, file_block_size));
   }
   info->block_size = header.block_size;
+  info->version = header.version;
   info->node_count = header.node_count;
   info->edge_count = header.edge_count;
   return Status::OK();
@@ -55,7 +101,9 @@ Status DecodeHeader(const char* data, size_t file_block_size,
 // record their own block size, so scanners need no external configuration.
 Status ProbeBlockSize(const std::string& path, size_t* block_size) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return Status::IoError("open " + path);
+  if (file == nullptr) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
   HeaderLayout header;
   size_t got = std::fread(&header, 1, sizeof(header), file);
   std::fclose(file);
@@ -73,6 +121,10 @@ Status ProbeBlockSize(const std::string& path, size_t* block_size) {
   return Status::OK();
 }
 
+uint32_t ResolveVersion(uint32_t requested) {
+  return requested == 0 ? DefaultEdgeFileVersion() : requested;
+}
+
 }  // namespace
 
 Status ReadEdgeFileInfo(const std::string& path, EdgeFileInfo* info) {
@@ -84,7 +136,7 @@ Status ReadEdgeFileInfo(const std::string& path, EdgeFileInfo* info) {
                       /*stats=*/nullptr, &file));
   std::vector<char> block(block_size);
   IOSCC_RETURN_IF_ERROR(file->ReadBlock(0, block.data()));
-  IOSCC_RETURN_IF_ERROR(DecodeHeader(block.data(), block_size, info));
+  IOSCC_RETURN_IF_ERROR(DecodeHeader(path, block.data(), block_size, info));
   // Validate that the payload is consistent with the edge count.
   if (file->block_count() < info->TotalBlocks()) {
     return Status::Corruption(path + ": file shorter than header claims");
@@ -97,32 +149,59 @@ Status ReadEdgeFileInfo(const std::string& path, EdgeFileInfo* info) {
 
 Status EdgeWriter::Create(const std::string& path, uint64_t node_count,
                           size_t block_size, IoStats* stats,
-                          std::unique_ptr<EdgeWriter>* out) {
+                          std::unique_ptr<EdgeWriter>* out,
+                          uint32_t format_version) {
   if (block_size < sizeof(HeaderLayout) || block_size % sizeof(Edge) != 0) {
     return Status::InvalidArgument(
         "block size must be a multiple of 8 and hold the header");
   }
+  const uint32_t version = ResolveVersion(format_version);
+  if (version != kEdgeFormatV1 && version != kEdgeFormatV2) {
+    return Status::InvalidArgument("unsupported edge-file version " +
+                                   std::to_string(version));
+  }
   std::unique_ptr<EdgeWriter> writer(
-      new EdgeWriter(path, node_count, block_size, stats));
-  IOSCC_RETURN_IF_ERROR(BlockFile::Open(path, BlockFile::Mode::kWrite,
-                                        block_size, stats, &writer->file_));
+      new EdgeWriter(path, node_count, block_size, version, stats));
+  // Stage in <path>.tmp; the BlockFile is *known as* the final path to
+  // the audit log and fault injector so schedules key on a stable name.
+  IOSCC_RETURN_IF_ERROR(BlockFile::Open(writer->tmp_path_,
+                                        BlockFile::Mode::kWrite, block_size,
+                                        stats, &writer->file_,
+                                        /*logical_path=*/path));
   // Reserve the header block; rewritten with real counts in Finish().
   std::vector<char> header;
-  EdgeFileInfo info{node_count, 0, block_size};
+  EdgeFileInfo info{node_count, 0, block_size, version};
   EncodeHeader(info, &header);
-  IOSCC_RETURN_IF_ERROR(writer->file_->AppendBlock(header.data()));
-  writer->buffer_.reserve(block_size / sizeof(Edge));
+  Status st = writer->file_->AppendBlock(header.data());
+  if (!st.ok()) {
+    writer->Abandon();
+    return st;
+  }
+  writer->buffer_.reserve(
+      EdgePayloadBytesPerBlock(version, block_size) / sizeof(Edge));
   *out = std::move(writer);
   return Status::OK();
 }
 
-EdgeWriter::~EdgeWriter() = default;
+EdgeWriter::~EdgeWriter() {
+  // An unfinished writer (error path or abandoned mid-stream) must not
+  // leave its staging file behind.
+  if (!finished_) Abandon();
+}
+
+void EdgeWriter::Abandon() {
+  file_.reset();  // close before unlinking
+  std::remove(tmp_path_.c_str());
+  finished_ = true;
+}
 
 Status EdgeWriter::Add(Edge edge) {
   if (finished_) return Status::InvalidArgument("Add after Finish");
   buffer_.push_back(edge);
   ++edge_count_;
-  if (buffer_.size() * sizeof(Edge) == block_size_) return FlushBlock();
+  const size_t edges_per_block =
+      EdgePayloadBytesPerBlock(version_, block_size_) / sizeof(Edge);
+  if (buffer_.size() == edges_per_block) return FlushBlock();
   return Status::OK();
 }
 
@@ -130,37 +209,44 @@ Status EdgeWriter::FlushBlock() {
   std::vector<char> block(block_size_, 0);
   std::memcpy(block.data(), buffer_.data(), buffer_.size() * sizeof(Edge));
   buffer_.clear();
-  return file_->AppendBlock(block.data());
+  if (version_ >= kEdgeFormatV2) {
+    StampBlockChecksum(block.data(), block_size_);
+  }
+  Status st = file_->AppendBlock(block.data());
+  if (!st.ok()) Abandon();
+  return st;
 }
 
 Status EdgeWriter::Finish() {
   if (finished_) return Status::InvalidArgument("double Finish");
+  if (!buffer_.empty()) {
+    Status st = FlushBlock();
+    if (!st.ok()) return st;  // FlushBlock already abandoned
+  }
   finished_ = true;
-  if (!buffer_.empty()) IOSCC_RETURN_IF_ERROR(FlushBlock());
-  IOSCC_RETURN_IF_ERROR(file_->Flush());
-  file_.reset();  // close
 
   // Rewrite the header in place with the final counts. This is metadata
   // maintenance, not part of the algorithmic edge traffic, but we still
-  // count it as one block write for honesty.
-  std::FILE* f = std::fopen(path_.c_str(), "rb+");
-  if (f == nullptr) return Status::IoError("reopen " + path_);
+  // count it as one block write for honesty (WriteBlockAt records it).
   std::vector<char> header;
-  EdgeFileInfo info{node_count_, edge_count_, block_size_};
+  EdgeFileInfo info{node_count_, edge_count_, block_size_, version_};
   EncodeHeader(info, &header);
-  size_t wrote = std::fwrite(header.data(), 1, block_size_, f);
-  std::fclose(f);
-  if (wrote != block_size_) return Status::IoError("header rewrite " + path_);
-  if (stats_ != nullptr) {
-    ++stats_->blocks_written;
-    stats_->bytes_written += block_size_;
+  Status st = file_->WriteBlockAt(0, header.data());
+  // Durability point: everything (tail, header) reaches disk before the
+  // rename publishes the file under its final name.
+  if (st.ok()) st = file_->SyncToDisk();
+  if (!st.ok()) {
+    finished_ = false;  // so Abandon() runs its cleanup
+    Abandon();
+    return st;
   }
-  // Mirror the counted write into the audit log: every block I/O that
-  // lands in IoStats must be visible to the auditor (tests assert
-  // access_count == TotalBlockIos), and this bypasses BlockFile.
-  BlockAccessLog* audit = GetBlockAccessLog();
-  if (audit != nullptr) {
-    audit->Record(audit->RegisterFile(path_), 0, /*is_write=*/true);
+  file_.reset();  // close
+
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    Status rename_st = Status::IoError("rename " + tmp_path_ + " -> " +
+                                       path_ + ": " + std::strerror(errno));
+    std::remove(tmp_path_.c_str());
+    return rename_st;
   }
   return Status::OK();
 }
@@ -179,7 +265,8 @@ Status EdgeScanner::Open(const std::string& path, IoStats* stats,
   std::vector<char> header(block_size);
   IOSCC_RETURN_IF_ERROR(file->ReadBlock(0, header.data()));
   EdgeFileInfo info;
-  IOSCC_RETURN_IF_ERROR(DecodeHeader(header.data(), block_size, &info));
+  IOSCC_RETURN_IF_ERROR(
+      DecodeHeader(path, header.data(), block_size, &info));
   if (file->block_count() < info.TotalBlocks()) {
     return Status::Corruption(path + ": file shorter than header claims");
   }
@@ -193,11 +280,16 @@ bool EdgeScanner::Next(Edge* edge) {
   if (pos_in_block_ == valid_in_block_) {
     status_ = file_->ReadBlock(next_block_, block_.data());
     if (!status_.ok()) return false;
+    if (info_.version >= kEdgeFormatV2) {
+      status_ = VerifyEdgeBlockChecksum(file_->path(), next_block_,
+                                        block_.data(), info_.block_size);
+      if (!status_.ok()) return false;
+    }
     ++next_block_;
     pos_in_block_ = 0;
     uint64_t remaining = info_.edge_count - edges_emitted_;
     valid_in_block_ = static_cast<size_t>(
-        std::min<uint64_t>(remaining, block_.size()));
+        std::min<uint64_t>(remaining, info_.EdgesPerBlock()));
   }
   *edge = block_[pos_in_block_++];
   ++edges_emitted_;
@@ -226,10 +318,10 @@ void EdgeScanner::Reset() {
 
 Status WriteEdgeFile(const std::string& path, uint64_t node_count,
                      const std::vector<Edge>& edges, size_t block_size,
-                     IoStats* stats) {
+                     IoStats* stats, uint32_t format_version) {
   std::unique_ptr<EdgeWriter> writer;
-  IOSCC_RETURN_IF_ERROR(
-      EdgeWriter::Create(path, node_count, block_size, stats, &writer));
+  IOSCC_RETURN_IF_ERROR(EdgeWriter::Create(path, node_count, block_size,
+                                           stats, &writer, format_version));
   for (const Edge& edge : edges) {
     IOSCC_RETURN_IF_ERROR(writer->Add(edge));
   }
@@ -255,7 +347,8 @@ Status ReverseEdgeFile(const std::string& input, const std::string& output,
   std::unique_ptr<EdgeWriter> writer;
   IOSCC_RETURN_IF_ERROR(EdgeWriter::Create(output, scanner->node_count(),
                                            scanner->info().block_size, stats,
-                                           &writer));
+                                           &writer,
+                                           scanner->info().version));
   Edge edge;
   while (scanner->Next(&edge)) {
     IOSCC_RETURN_IF_ERROR(writer->Add(Edge{edge.to, edge.from}));

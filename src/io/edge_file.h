@@ -7,6 +7,21 @@
 // 1 + ceil(m / edges_per_block) blocks, and one sequential scan costs
 // exactly that many block reads — the quantity the paper counts.
 //
+// Two format versions coexist (docs/FORMATS.md has the byte layout):
+//   v1  bit-faithful to the paper's raw-block model; a block is pure
+//       payload and corruption is only caught structurally.
+//   v2  every block (header included) ends in a 4-byte masked CRC32C
+//       trailer over the rest of the block, so a flipped bit anywhere is
+//       detected at read time as Status::Corruption naming the file,
+//       block, and byte offset — instead of propagating into SCC output.
+// Readers handle both transparently (the header self-describes); writers
+// default to the process-wide version (SetDefaultEdgeFileVersion), which
+// starts at v1 so checksums are strictly opt-in.
+//
+// Durability: EdgeWriter stages output in `<path>.tmp` and renames it
+// over `path` only after the header rewrite and an fsync succeed, so an
+// interrupted write never leaves a half-valid file under the final name.
+//
 // Semi-external algorithms only ever touch edges through EdgeScanner
 // (repeated sequential scans) and EdgeWriter (rewriting a reduced graph),
 // so IoStats gives a faithful I/O count.
@@ -14,6 +29,7 @@
 #ifndef IOSCC_IO_EDGE_FILE_H_
 #define IOSCC_IO_EDGE_FILE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,15 +49,54 @@ inline constexpr size_t kNodeIdRecordBytes = sizeof(NodeId);
 static_assert(kEdgeRecordBytes == 2 * kNodeIdRecordBytes,
               "an edge record is exactly two node ids");
 
+// Format versions and the v2 per-block checksum trailer width.
+inline constexpr uint32_t kEdgeFormatV1 = 1;
+inline constexpr uint32_t kEdgeFormatV2 = 2;
+inline constexpr size_t kEdgeBlockTrailerBytes = sizeof(uint32_t);
+
+// Payload bytes a data block of `block_size` carries under `version`:
+// the whole block for v1, the block minus the checksum trailer (floored
+// to whole edge records) for v2. Budget bounds use this instead of the
+// raw block size so they track the reduced v2 payload.
+inline constexpr size_t EdgePayloadBytesPerBlock(uint32_t version,
+                                                 size_t block_size) {
+  const size_t usable = version >= kEdgeFormatV2
+                            ? block_size - kEdgeBlockTrailerBytes
+                            : block_size;
+  return usable / kEdgeRecordBytes * kEdgeRecordBytes;
+}
+
+namespace internal_io {
+inline std::atomic<uint32_t> g_default_edge_version{kEdgeFormatV1};
+}  // namespace internal_io
+
+// Process-wide format version for newly written edge files (generators,
+// graph rewrites, sort runs). Defaults to v1: enabling v2 checksums is
+// an explicit opt-in because it shrinks the per-block payload and thus
+// changes block counts.
+inline void SetDefaultEdgeFileVersion(uint32_t version) {
+  internal_io::g_default_edge_version.store(version,
+                                            std::memory_order_release);
+}
+
+inline uint32_t DefaultEdgeFileVersion() {
+  return internal_io::g_default_edge_version.load(std::memory_order_relaxed);
+}
+
 // Parsed header of an edge file.
 struct EdgeFileInfo {
   uint64_t node_count = 0;
   uint64_t edge_count = 0;
   size_t block_size = kDefaultBlockSize;
+  uint32_t version = kEdgeFormatV1;
+
+  size_t EdgesPerBlock() const {
+    return EdgePayloadBytesPerBlock(version, block_size) / kEdgeRecordBytes;
+  }
 
   // Blocks a full sequential scan reads (header + data).
   uint64_t TotalBlocks() const {
-    size_t per_block = block_size / sizeof(Edge);
+    const size_t per_block = EdgesPerBlock();
     return 1 + (edge_count + per_block - 1) / per_block;
   }
 };
@@ -49,14 +104,31 @@ struct EdgeFileInfo {
 // Reads and validates only the header of `path`.
 Status ReadEdgeFileInfo(const std::string& path, EdgeFileInfo* info);
 
+// Validates the CRC32C trailer of one v2 block (header or data blocks
+// alike — every v2 block is checksummed the same way). On mismatch the
+// Corruption status names `path`, the block index, and its byte offset.
+// Exposed for io/verify_file.cc's physical fsck pass; EdgeScanner runs
+// the same check on every block it reads.
+Status VerifyEdgeBlockChecksum(const std::string& path, uint64_t block_index,
+                               const void* block, size_t block_size);
+
 // Appends edges to a new edge file. Not thread-safe.
+//
+// Output is staged in `<path>.tmp` until Finish() has flushed the tail,
+// rewritten the header, and fsynced; only then is it renamed to `path`.
+// On any failure (and on destruction without Finish) the temp file is
+// removed, so crashes and injected faults leave neither a torn `path`
+// nor an orphaned `.tmp`.
 class EdgeWriter {
  public:
   // Creates/overwrites `path`. `node_count` may be adjusted later via
   // set_node_count (e.g. generators that discover n while emitting).
+  // `format_version` 0 means the process default
+  // (DefaultEdgeFileVersion()).
   static Status Create(const std::string& path, uint64_t node_count,
                        size_t block_size, IoStats* stats,
-                       std::unique_ptr<EdgeWriter>* out);
+                       std::unique_ptr<EdgeWriter>* out,
+                       uint32_t format_version = 0);
 
   ~EdgeWriter();
 
@@ -67,24 +139,32 @@ class EdgeWriter {
 
   void set_node_count(uint64_t node_count) { node_count_ = node_count; }
   uint64_t edge_count() const { return edge_count_; }
+  uint32_t format_version() const { return version_; }
 
-  // Flushes the tail block and rewrites the header. Must be called exactly
-  // once; no Add() after Finish().
+  // Flushes the tail block, rewrites the header, fsyncs, and renames the
+  // temp file into place. Must be called exactly once; no Add() after
+  // Finish().
   Status Finish();
 
  private:
   EdgeWriter(std::string path, uint64_t node_count, size_t block_size,
-             IoStats* stats)
+             uint32_t version, IoStats* stats)
       : path_(std::move(path)),
+        tmp_path_(path_ + ".tmp"),
         node_count_(node_count),
         block_size_(block_size),
+        version_(version),
         stats_(stats) {}
 
   Status FlushBlock();
+  // Closes and deletes the staging file after a failure.
+  void Abandon();
 
   std::string path_;
+  std::string tmp_path_;
   uint64_t node_count_;
   size_t block_size_;
+  uint32_t version_;
   IoStats* stats_;
   std::unique_ptr<BlockFile> file_;
   std::vector<Edge> buffer_;
@@ -93,6 +173,8 @@ class EdgeWriter {
 };
 
 // Sequentially scans an edge file, possibly multiple times (Reset()).
+// For v2 files every block's checksum is verified as it is read; a
+// mismatch surfaces as Status::Corruption naming the block.
 class EdgeScanner {
  public:
   static Status Open(const std::string& path, IoStats* stats,
@@ -133,13 +215,14 @@ class EdgeScanner {
 // Convenience: writes `edges` (n = node_count) to `path`.
 Status WriteEdgeFile(const std::string& path, uint64_t node_count,
                      const std::vector<Edge>& edges, size_t block_size,
-                     IoStats* stats);
+                     IoStats* stats, uint32_t format_version = 0);
 
 // Convenience: reads every edge into memory (tests / small graphs only).
 Status ReadAllEdges(const std::string& path, std::vector<Edge>* edges,
                     uint64_t* node_count, IoStats* stats);
 
 // Streams `input` to `output` with every edge reversed (v,u for u,v).
+// The output keeps the input's format version.
 Status ReverseEdgeFile(const std::string& input, const std::string& output,
                        IoStats* stats);
 

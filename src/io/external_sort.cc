@@ -44,7 +44,11 @@ Status SortEdgeFile(const std::string& input, const std::string& output,
   const size_t run_capacity =
       std::max<size_t>(1, options.memory_budget_bytes / sizeof(Edge));
 
-  // Stage 1: run formation.
+  // Stage 1: run formation. Run files (and the final output below) go
+  // through EdgeWriter's write-temp-then-rename: an I/O failure or crash
+  // mid-sort leaves only complete `.run` files plus scratch temp files
+  // that EdgeWriter unlinks on the error path, never a torn file that a
+  // resumed merge could read as valid.
   TraceSpan formation_span("sort.run_formation", stats);
   Histogram* run_length_hist =
       MetricsRegistry::Global().GetHistogram("sort.run_edges");

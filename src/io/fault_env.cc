@@ -1,0 +1,180 @@
+#include "io/fault_env.h"
+
+namespace ioscc {
+namespace {
+
+std::mutex g_retry_policy_mu;
+IoRetryPolicy g_retry_policy;
+
+}  // namespace
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kFlush:
+      return "flush";
+  }
+  return "?";
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kShortRead:
+      return "short-read";
+    case FaultKind::kShortWrite:
+      return "short-write";
+    case FaultKind::kEintr:
+      return "eintr";
+    case FaultKind::kTransientEio:
+      return "transient-eio";
+    case FaultKind::kPermanentEio:
+      return "permanent-eio";
+    case FaultKind::kEnospc:
+      return "enospc";
+    case FaultKind::kTornWrite:
+      return "torn-write";
+    case FaultKind::kBitFlip:
+      return "bit-flip";
+  }
+  return "?";
+}
+
+void FaultInjector::AddRule(const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(rule);
+}
+
+FaultRule FaultInjector::TransientAt(std::string path_contains,
+                                     uint64_t block, FaultOp op,
+                                     FaultKind kind) {
+  FaultRule rule;
+  rule.path_contains = std::move(path_contains);
+  rule.block = block;
+  rule.op = op;
+  rule.any_op = false;
+  rule.kind = kind;
+  rule.fires_remaining = 1;
+  return rule;
+}
+
+FaultRule FaultInjector::PermanentAt(std::string path_contains,
+                                     uint64_t block, FaultOp op,
+                                     FaultKind kind) {
+  FaultRule rule = TransientAt(std::move(path_contains), block, op, kind);
+  rule.fires_remaining = 0;  // unlimited
+  return rule;
+}
+
+FaultRule FaultInjector::AtSeq(uint64_t seq, FaultKind kind) {
+  FaultRule rule;
+  rule.at_seq = seq;
+  rule.kind = kind;
+  rule.fires_remaining = 1;
+  return rule;
+}
+
+FaultRule FaultInjector::EveryKth(uint64_t k, FaultOp op, FaultKind kind,
+                                  uint64_t fires) {
+  FaultRule rule;
+  rule.op = op;
+  rule.any_op = false;
+  rule.every_kth = k;
+  rule.kind = kind;
+  rule.fires_remaining = fires;
+  return rule;
+}
+
+FaultAction FaultInjector::OnAccess(const std::string& path, uint64_t block,
+                                    FaultOp op, size_t block_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t seq = seq_++;
+  FaultAction action;
+  for (FaultRule& rule : rules_) {
+    if (rule.kind == FaultKind::kNone) continue;  // burned out
+    if (!rule.path_contains.empty() &&
+        path.find(rule.path_contains) == std::string::npos) {
+      continue;
+    }
+    if (rule.block != kAnyBlock && rule.block != block) continue;
+    if (!rule.any_op && rule.op != op) continue;
+    if (rule.at_seq != kAnySeq && rule.at_seq != seq) continue;
+    ++rule.matched;
+    if (rule.every_kth != 0 && rule.matched % rule.every_kth != 0) continue;
+    action.kind = rule.kind;
+    if (rule.fires_remaining != 0 && --rule.fires_remaining == 0) {
+      rule.kind = FaultKind::kNone;
+    }
+    break;  // first matching rule wins
+  }
+  if (action.kind == FaultKind::kNone) return action;
+  ++injected_[static_cast<int>(action.kind)];
+  switch (action.kind) {
+    case FaultKind::kBitFlip:
+      action.param = rng_.Uniform(block_size * 8);
+      break;
+    case FaultKind::kShortRead:
+    case FaultKind::kShortWrite:
+    case FaultKind::kTornWrite:
+      // A strict prefix of the block transfers.
+      action.param = rng_.Uniform(block_size);
+      break;
+    default:
+      break;
+  }
+  return action;
+}
+
+uint64_t FaultInjector::attempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+uint64_t FaultInjector::injected_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (uint64_t count : injected_) total += count;
+  return total;
+}
+
+uint64_t FaultInjector::injected_count(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_[static_cast<int>(kind)];
+}
+
+std::string FaultInjector::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (uint64_t count : injected_) total += count;
+  std::string out = std::to_string(total) + " faults over " +
+                    std::to_string(seq_) + " attempts";
+  if (total > 0) {
+    out += " (";
+    bool first = true;
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+      if (injected_[k] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += std::to_string(injected_[k]) + " " +
+             FaultKindName(static_cast<FaultKind>(k));
+    }
+    out += ")";
+  }
+  return out;
+}
+
+void SetIoRetryPolicy(const IoRetryPolicy& policy) {
+  std::lock_guard<std::mutex> lock(g_retry_policy_mu);
+  g_retry_policy = policy;
+}
+
+IoRetryPolicy GetIoRetryPolicy() {
+  std::lock_guard<std::mutex> lock(g_retry_policy_mu);
+  return g_retry_policy;
+}
+
+}  // namespace ioscc

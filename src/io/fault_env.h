@@ -1,0 +1,158 @@
+// Deterministic fault injection for the block-I/O layer.
+//
+// A FaultInjector is a process-wide seam in BlockFile (the same
+// capture-at-open, null-check-when-absent pattern as BlockAccessLog):
+// every physical I/O attempt — each read, write, or flush syscall,
+// including retries — consults the injector, which may order a failure.
+// With no injector installed the per-attempt cost is one null check on a
+// plain member, and the I/O path is byte-identical to an uninstrumented
+// run.
+//
+// Faults are scheduled by rules that match on (file, block, op) plus
+// either an absolute attempt sequence number or an every-k-th-match
+// cadence, so a failure point is a pure function of the rule set, the
+// seed, and the workload's I/O sequence: the same run reproduces the
+// same failure, bit for bit. The seedable RNG (util/random.h) only
+// chooses fault *parameters* — which bit flips, how many bytes a torn
+// write lands — never whether a fault fires.
+//
+// Fault semantics (what BlockFile does when a rule fires):
+//   kEintr          attempt fails with EINTR            retried
+//   kTransientEio   attempt fails with EIO              retried
+//   kPermanentEio   attempt fails with EIO              retries exhaust
+//   kEnospc         write/flush fails with ENOSPC       not retried
+//   kShortRead      fread returns a partial block       retried
+//   kShortWrite     fwrite reports a partial block      retried
+//   kTornWrite      a random prefix of the block lands
+//                   on disk, then the attempt fails     retries exhaust
+//   kBitFlip        the attempt *succeeds* but one bit
+//                   of the returned block is flipped    caught by v2
+//                                                       checksums only
+// Transient rules (fires_remaining == 1 by default) burn out after
+// firing, so the retry succeeds; permanent rules (fires_remaining == 0,
+// i.e. unlimited) keep failing until BlockFile gives up with IOError.
+
+#ifndef IOSCC_IO_FAULT_ENV_H_
+#define IOSCC_IO_FAULT_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ioscc {
+
+enum class FaultOp { kRead, kWrite, kFlush };
+
+enum class FaultKind {
+  kNone = 0,
+  kShortRead,
+  kShortWrite,
+  kEintr,
+  kTransientEio,
+  kPermanentEio,
+  kEnospc,
+  kTornWrite,
+  kBitFlip,
+};
+inline constexpr int kNumFaultKinds = 9;
+
+const char* FaultOpName(FaultOp op);
+const char* FaultKindName(FaultKind kind);
+
+// Wildcards for FaultRule match fields.
+inline constexpr uint64_t kAnyBlock = ~0ull;
+inline constexpr uint64_t kAnySeq = ~0ull;
+
+// One scheduled fault. An attempt matches when every non-wildcard field
+// agrees; `every_kth` (when nonzero) additionally requires the attempt
+// to be the k-th, 2k-th, ... match of this rule.
+struct FaultRule {
+  std::string path_contains;     // substring of the logical path; "" = any
+  uint64_t block = kAnyBlock;    // block index, or kAnyBlock
+  FaultOp op = FaultOp::kRead;   // consulted only when any_op is false
+  bool any_op = true;
+  uint64_t at_seq = kAnySeq;     // absolute attempt seq, or kAnySeq
+  uint64_t every_kth = 0;        // 0 = every match is eligible
+  uint64_t fires_remaining = 1;  // 0 = unlimited (a permanent fault)
+  FaultKind kind = FaultKind::kNone;
+
+  uint64_t matched = 0;  // internal: matches seen so far (for every_kth)
+};
+
+// What BlockFile is ordered to do for one attempt. `param` carries the
+// RNG-drawn fault parameter: the bit index for kBitFlip, the byte count
+// transferred for short/torn transfers.
+struct FaultAction {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t param = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0x5ccc0de5ULL) : rng_(seed) {}
+
+  void AddRule(const FaultRule& rule);
+
+  // Rule builders. Transient* fires once; Permanent* fires on every
+  // matching attempt until the injector is removed.
+  static FaultRule TransientAt(std::string path_contains, uint64_t block,
+                               FaultOp op, FaultKind kind);
+  static FaultRule PermanentAt(std::string path_contains, uint64_t block,
+                               FaultOp op, FaultKind kind);
+  static FaultRule AtSeq(uint64_t seq, FaultKind kind);
+  static FaultRule EveryKth(uint64_t k, FaultOp op, FaultKind kind,
+                            uint64_t fires = 0);
+
+  // Called by BlockFile for every physical attempt. Thread-safe; the
+  // global attempt counter advances whether or not a rule fires.
+  FaultAction OnAccess(const std::string& path, uint64_t block, FaultOp op,
+                       size_t block_size);
+
+  uint64_t attempts() const;
+  uint64_t injected_total() const;
+  uint64_t injected_count(FaultKind kind) const;
+
+  // "3 faults over 120 attempts (2 transient-eio, 1 bit-flip)".
+  std::string Summary() const;
+
+ private:
+  mutable std::mutex mu_;
+  Rng rng_;
+  uint64_t seq_ = 0;
+  uint64_t injected_[kNumFaultKinds] = {};
+  std::vector<FaultRule> rules_;
+};
+
+namespace internal_io {
+inline std::atomic<FaultInjector*> g_fault_injector{nullptr};
+}  // namespace internal_io
+
+// Installs `injector` as the process-wide fault source (nullptr removes
+// it). Not synchronized against open BlockFiles: install before opening
+// the files to torture; the injector must outlive them.
+inline void SetFaultInjector(FaultInjector* injector) {
+  internal_io::g_fault_injector.store(injector, std::memory_order_release);
+}
+
+inline FaultInjector* GetFaultInjector() {
+  return internal_io::g_fault_injector.load(std::memory_order_relaxed);
+}
+
+// Bounded-retry policy BlockFile applies to retryable failures (EINTR,
+// EIO, short transfers). Exposed so tests and the torture harness can
+// shrink the backoff; the defaults add at most ~3 ms per failed op.
+struct IoRetryPolicy {
+  int max_attempts = 5;          // total attempts, including the first
+  int backoff_initial_us = 200;  // doubles per retry
+};
+
+void SetIoRetryPolicy(const IoRetryPolicy& policy);
+IoRetryPolicy GetIoRetryPolicy();
+
+}  // namespace ioscc
+
+#endif  // IOSCC_IO_FAULT_ENV_H_

@@ -25,8 +25,14 @@ std::string IoStats::Format() const {
                      (1024.0 * 1024.0);
   char suffix[64];
   std::snprintf(suffix, sizeof(suffix), "w, %.1f MiB)", mib);
-  return Grouped(TotalBlockIos()) + " I/Os (" + Grouped(blocks_read) +
-         "r + " + Grouped(blocks_written) + suffix;
+  std::string out = Grouped(TotalBlockIos()) + " I/Os (" +
+                    Grouped(blocks_read) + "r + " + Grouped(blocks_written) +
+                    suffix;
+  // Retries are rare enough that the clean-run rendering stays unchanged.
+  if (TotalRetries() > 0) {
+    out += " + " + Grouped(TotalRetries()) + " retries";
+  }
+  return out;
 }
 
 }  // namespace ioscc

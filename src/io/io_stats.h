@@ -20,8 +20,14 @@ struct IoStats {
   uint64_t blocks_written = 0;
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
+  // Physical attempts repeated after a retryable failure (EINTR, EIO,
+  // short transfer — real or injected by io/fault_env.h). Zero on healthy
+  // storage; successful retried blocks are still counted once above.
+  uint64_t read_retries = 0;
+  uint64_t write_retries = 0;
 
   uint64_t TotalBlockIos() const { return blocks_read + blocks_written; }
+  uint64_t TotalRetries() const { return read_retries + write_retries; }
 
   void Reset() { *this = IoStats(); }
 
@@ -30,6 +36,8 @@ struct IoStats {
     blocks_written += other.blocks_written;
     bytes_read += other.bytes_read;
     bytes_written += other.bytes_written;
+    read_retries += other.read_retries;
+    write_retries += other.write_retries;
     return *this;
   }
 
@@ -43,6 +51,8 @@ struct IoStats {
     delta.blocks_written = sub(a.blocks_written, b.blocks_written);
     delta.bytes_read = sub(a.bytes_read, b.bytes_read);
     delta.bytes_written = sub(a.bytes_written, b.bytes_written);
+    delta.read_retries = sub(a.read_retries, b.read_retries);
+    delta.write_retries = sub(a.write_retries, b.write_retries);
     return delta;
   }
 
@@ -52,7 +62,9 @@ struct IoStats {
     return a.blocks_read == b.blocks_read &&
            a.blocks_written == b.blocks_written &&
            a.bytes_read == b.bytes_read &&
-           a.bytes_written == b.bytes_written;
+           a.bytes_written == b.bytes_written &&
+           a.read_retries == b.read_retries &&
+           a.write_retries == b.write_retries;
   }
 
   // "12,288 I/Os (12,000r + 288w, 768.0 MiB)" — the way benches and tools

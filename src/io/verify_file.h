@@ -1,11 +1,14 @@
 // Offline integrity verification for edge files.
 //
-// The edge-file format has no per-block checksums (the paper's I/O model
-// counts raw block transfers, and we keep the format bit-faithful to
-// that), so VerifyEdgeFile provides the integrity story instead: a full
-// structural scan — header sanity, payload length, endpoint ranges — plus
-// a content fingerprint that is stable across block sizes and can be
-// compared between copies of a graph.
+// Format v1 blocks carry no per-block checksums (bit-faithful to the
+// paper's raw-block I/O model), so for v1 files VerifyEdgeFile's full
+// structural scan — header sanity, payload length, endpoint ranges — is
+// the whole integrity story. Format v2 files additionally end every
+// block with a CRC32C trailer (see io/edge_file.h and docs/FORMATS.md),
+// which the scan validates block by block; a flipped bit surfaces as
+// Status::Corruption naming the damaged block. Both versions get a
+// content fingerprint that is stable across block sizes and format
+// versions and can be compared between copies of a graph.
 
 #ifndef IOSCC_IO_VERIFY_FILE_H_
 #define IOSCC_IO_VERIFY_FILE_H_
@@ -37,10 +40,32 @@ struct EdgeFileFingerprint {
 };
 
 // Scans the whole file; returns Corruption for structural damage
-// (bad magic, truncation, out-of-range endpoints). On success fills
-// `fingerprint` (may be null).
+// (bad magic, truncation, out-of-range endpoints) and, on v2 files, for
+// any per-block checksum mismatch. On success fills `fingerprint`
+// (may be null).
 Status VerifyEdgeFile(const std::string& path,
                       EdgeFileFingerprint* fingerprint, IoStats* io);
+
+// Everything `scc_tool fsck` reports about one file.
+struct FsckReport {
+  uint32_t version = 0;
+  uint64_t block_count = 0;   // blocks the header says the file spans
+  uint64_t blocks_checked = 0;
+  // Index of the first block whose v2 checksum failed, or -1 if the
+  // physical pass was clean (always -1 for v1 files, which have no
+  // checksums to check).
+  int64_t first_bad_block = -1;
+  EdgeFileFingerprint fingerprint;
+};
+
+// Two-pass check: a physical pass that reads every block the header
+// claims and (for v2) validates each block's checksum trailer, then the
+// logical VerifyEdgeFile scan. Unlike the scanner — which stops at the
+// first damaged block — the physical pass visits all blocks, so `report`
+// is filled as far as possible even when the return status is
+// Corruption. `report` and `io` may be null.
+Status FsckEdgeFile(const std::string& path, FsckReport* report,
+                    IoStats* io);
 
 }  // namespace ioscc
 

@@ -12,6 +12,8 @@ void WriteIoStats(JsonWriter* json, const IoStats& io) {
   json->Key("bytes_read").UInt(io.bytes_read);
   json->Key("bytes_written").UInt(io.bytes_written);
   json->Key("block_ios").UInt(io.TotalBlockIos());
+  json->Key("read_retries").UInt(io.read_retries);
+  json->Key("write_retries").UInt(io.write_retries);
   json->EndObject();
 }
 

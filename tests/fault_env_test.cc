@@ -1,0 +1,439 @@
+// Unit tests for the fault-injection seam, the retry policy, checksummed
+// (v2) edge files, and the temp-then-rename durability contract.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/block_file.h"
+#include "io/edge_file.h"
+#include "io/fault_env.h"
+#include "io/verify_file.h"
+#include "tests/test_util.h"
+#include "util/crc32c.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::TempDirTest;
+
+// RAII: installs a fault injector and a fast retry policy for one test,
+// restoring the clean defaults on exit so tests cannot leak faults into
+// each other through the process-wide seams.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultInjector* injector) {
+    SetFaultInjector(injector);
+    IoRetryPolicy fast;
+    fast.max_attempts = 3;
+    fast.backoff_initial_us = 0;  // no sleeping in unit tests
+    SetIoRetryPolicy(fast);
+  }
+  ~FaultScope() {
+    SetFaultInjector(nullptr);
+    SetIoRetryPolicy(IoRetryPolicy());
+  }
+};
+
+std::vector<Edge> ChainEdges(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return edges;
+}
+
+class FaultEnvTest : public TempDirTest {};
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vectors for CRC32C (Castagnoli).
+  const char check[] = "123456789";
+  EXPECT_EQ(crc32c::Value(check, 9), 0xE3069283u);
+  std::vector<char> zeros(32, 0);
+  EXPECT_EQ(crc32c::Value(zeros.data(), zeros.size()), 0x8A9136AAu);
+  // Extend over a split buffer equals the one-shot value.
+  uint32_t split = crc32c::Extend(crc32c::Value(check, 4), check + 4, 5);
+  EXPECT_EQ(split, 0xE3069283u);
+  // Mask/Unmask round-trips and actually changes the value.
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(0xE3069283u)), 0xE3069283u);
+  EXPECT_NE(crc32c::Mask(0xE3069283u), 0xE3069283u);
+}
+
+TEST(FaultInjectorTest, RulesMatchAndBurnOut) {
+  FaultInjector injector(/*seed=*/7);
+  injector.AddRule(FaultInjector::TransientAt("target", 2, FaultOp::kRead,
+                                              FaultKind::kTransientEio));
+  // Wrong file, wrong block, wrong op: no fault.
+  EXPECT_EQ(injector.OnAccess("other", 2, FaultOp::kRead, 512).kind,
+            FaultKind::kNone);
+  EXPECT_EQ(injector.OnAccess("a/target", 1, FaultOp::kRead, 512).kind,
+            FaultKind::kNone);
+  EXPECT_EQ(injector.OnAccess("a/target", 2, FaultOp::kWrite, 512).kind,
+            FaultKind::kNone);
+  // Exact match fires once, then the transient rule burns out.
+  EXPECT_EQ(injector.OnAccess("a/target", 2, FaultOp::kRead, 512).kind,
+            FaultKind::kTransientEio);
+  EXPECT_EQ(injector.OnAccess("a/target", 2, FaultOp::kRead, 512).kind,
+            FaultKind::kNone);
+  EXPECT_EQ(injector.attempts(), 5u);
+  EXPECT_EQ(injector.injected_total(), 1u);
+  EXPECT_EQ(injector.injected_count(FaultKind::kTransientEio), 1u);
+  EXPECT_NE(injector.Summary().find("1 transient-eio"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, AtSeqAndEveryKth) {
+  FaultInjector injector;
+  injector.AddRule(FaultInjector::AtSeq(3, FaultKind::kEintr));
+  injector.AddRule(FaultInjector::EveryKth(4, FaultOp::kWrite,
+                                           FaultKind::kShortWrite));
+  std::vector<FaultKind> fired;
+  for (int i = 0; i < 12; ++i) {
+    fired.push_back(
+        injector.OnAccess("f", 0, FaultOp::kWrite, 256).kind);
+  }
+  // Seq 3 is the EINTR. First matching rule wins and claims the attempt,
+  // so the every-4th counter only sees the other 11 attempts and the
+  // short write fires on its 4th and 8th match.
+  EXPECT_EQ(fired[3], FaultKind::kEintr);
+  int short_writes = 0;
+  for (FaultKind kind : fired) {
+    if (kind == FaultKind::kShortWrite) ++short_writes;
+  }
+  EXPECT_EQ(short_writes, 2);
+}
+
+TEST(FaultInjectorTest, SameSeedSameParameters) {
+  // The RNG draws fault parameters; the same seed must reproduce the
+  // exact same draw sequence.
+  std::vector<uint64_t> draws[2];
+  for (int round = 0; round < 2; ++round) {
+    FaultInjector injector(/*seed=*/0xfeedULL);
+    injector.AddRule(
+        FaultInjector::EveryKth(1, FaultOp::kRead, FaultKind::kBitFlip));
+    for (int i = 0; i < 16; ++i) {
+      draws[round].push_back(
+          injector.OnAccess("f", i, FaultOp::kRead, 4096).param);
+    }
+  }
+  EXPECT_EQ(draws[0], draws[1]);
+}
+
+TEST_F(FaultEnvTest, TransientEioIsRetriedAndCounted) {
+  const std::string path = WriteGraph(16, ChainEdges(16), 512);
+  FaultInjector injector;
+  injector.AddRule(FaultInjector::TransientAt("", 1, FaultOp::kRead,
+                                              FaultKind::kTransientEio));
+  FaultScope scope(&injector);
+  IoStats stats;
+  std::vector<Edge> edges;
+  uint64_t n = 0;
+  ASSERT_OK(ReadAllEdges(path, &edges, &n, &stats));
+  EXPECT_EQ(edges.size(), 15u);
+  EXPECT_EQ(stats.read_retries, 1u);
+  // The block still counts once: retries are attempts, not extra I/Os.
+  EXPECT_EQ(stats.blocks_read, 2u);  // header + one data block
+}
+
+TEST_F(FaultEnvTest, PermanentEioExhaustsRetriesIntoIoError) {
+  const std::string path = WriteGraph(16, ChainEdges(16), 512);
+  FaultInjector injector;
+  injector.AddRule(FaultInjector::PermanentAt("", 1, FaultOp::kRead,
+                                              FaultKind::kPermanentEio));
+  FaultScope scope(&injector);
+  IoStats stats;
+  std::vector<Edge> edges;
+  Status st = ReadAllEdges(path, &edges, nullptr, &stats);
+  ASSERT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_NE(st.ToString().find("gave up after 3 attempts"),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(stats.read_retries, 2u);  // max_attempts=3: 1 first + 2 retries
+}
+
+TEST_F(FaultEnvTest, SameSeedSameFailurePoint) {
+  // Determinism end to end: the same schedule against the same workload
+  // fails at the same point with the same message, run after run.
+  std::vector<std::string> messages;
+  std::vector<IoStats> stats_log;
+  for (int round = 0; round < 2; ++round) {
+    const std::string path =
+        WriteGraph(300, ChainEdges(300), 512);
+    FaultInjector injector(/*seed=*/42);
+    injector.AddRule(FaultInjector::EveryKth(3, FaultOp::kRead,
+                                             FaultKind::kTransientEio));
+    injector.AddRule(FaultInjector::PermanentAt("", 3, FaultOp::kRead,
+                                                FaultKind::kPermanentEio));
+    FaultScope scope(&injector);
+    IoStats stats;
+    std::vector<Edge> edges;
+    Status st = ReadAllEdges(path, &edges, nullptr, &stats);
+    ASSERT_TRUE(st.IsIoError());
+    // Strip the path (differs per temp dir); keep the failure shape.
+    std::string msg = st.ToString();
+    messages.push_back(msg.substr(msg.rfind(':')));
+    stats_log.push_back(stats);
+  }
+  EXPECT_EQ(messages[0], messages[1]);
+  EXPECT_TRUE(stats_log[0] == stats_log[1]);
+}
+
+TEST_F(FaultEnvTest, EnospcFailsWritesWithoutRetry) {
+  FaultInjector injector;
+  injector.AddRule(FaultInjector::PermanentAt("", kAnyBlock, FaultOp::kWrite,
+                                              FaultKind::kEnospc));
+  FaultScope scope(&injector);
+  IoStats stats;
+  const std::string path = NewPath(".edges");
+  Status st = WriteEdgeFile(path, 16, ChainEdges(16), 512, &stats);
+  ASSERT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_NE(st.ToString().find("No space left"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(stats.write_retries, 0u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(FaultEnvTest, TornWriteLeavesNeitherFileNorOrphanTmp) {
+  FaultInjector injector;
+  injector.AddRule(FaultInjector::TransientAt("", 1, FaultOp::kWrite,
+                                              FaultKind::kTornWrite));
+  FaultScope scope(&injector);
+  const std::string path = NewPath(".edges");
+  Status st = WriteEdgeFile(path, 128, ChainEdges(128), 512, nullptr);
+  ASSERT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_NE(st.ToString().find("torn write"), std::string::npos);
+  // The crash-consistency contract: no torn file under the final name,
+  // no orphaned staging file either.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(FaultEnvTest, ShortWriteIsRetriedToSuccess) {
+  FaultInjector injector;
+  injector.AddRule(FaultInjector::TransientAt("", 2, FaultOp::kWrite,
+                                              FaultKind::kShortWrite));
+  FaultScope scope(&injector);
+  IoStats stats;
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 256, ChainEdges(256), 512, &stats));
+  EXPECT_EQ(stats.write_retries, 1u);
+  // The rewritten block must be intact.
+  std::vector<Edge> edges;
+  ASSERT_OK(ReadAllEdges(path, &edges, nullptr, nullptr));
+  EXPECT_EQ(edges.size(), 255u);
+}
+
+TEST_F(FaultEnvTest, BitFlipOnV1ReadIsSilent) {
+  // The uncheckable case the v2 format exists for: a flipped bit in a v1
+  // data block sails through (only endpoint validation could catch it,
+  // and bit 0 of a small id stays in range).
+  const std::string path = WriteGraph(16, ChainEdges(16), 512);
+  FaultInjector injector(/*seed=*/1);
+  injector.AddRule(FaultInjector::TransientAt("", 1, FaultOp::kRead,
+                                              FaultKind::kBitFlip));
+  FaultScope scope(&injector);
+  std::vector<Edge> edges;
+  Status st = ReadAllEdges(path, &edges, nullptr, nullptr);
+  // Either the flip hit an endpoint and pushed it out of range
+  // (Corruption via endpoint validation) or it silently altered an edge;
+  // it must never be an I/O error or crash.
+  if (!st.ok()) {
+    EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  } else {
+    EXPECT_EQ(edges.size(), 15u);
+  }
+}
+
+TEST_F(FaultEnvTest, BitFlipOnV2ReadIsCorruption) {
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 16, ChainEdges(16), 512, nullptr,
+                          kEdgeFormatV2));
+  FaultInjector injector(/*seed=*/1);
+  injector.AddRule(FaultInjector::TransientAt("", 1, FaultOp::kRead,
+                                              FaultKind::kBitFlip));
+  FaultScope scope(&injector);
+  std::vector<Edge> edges;
+  Status st = ReadAllEdges(path, &edges, nullptr, nullptr);
+  ASSERT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.ToString().find("block 1"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.ToString().find("checksum mismatch"), std::string::npos);
+}
+
+TEST_F(FaultEnvTest, FlushFaultSurfacesThroughFinish) {
+  FaultInjector injector;
+  injector.AddRule(FaultInjector::PermanentAt("", kAnyBlock,
+                                              FaultOp::kFlush,
+                                              FaultKind::kEnospc));
+  FaultScope scope(&injector);
+  const std::string path = NewPath(".edges");
+  Status st = WriteEdgeFile(path, 16, ChainEdges(16), 512, nullptr);
+  ASSERT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(FaultEnvTest, NoInjectorMeansByteIdenticalStats) {
+  // The acceptance bar for the whole seam: with no injector installed the
+  // counters match a pre-seam run exactly.
+  const std::vector<Edge> edges = ChainEdges(130);
+  const std::string a = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(a, 130, edges, 512, nullptr));
+  IoStats with_scope;
+  {
+    FaultInjector injector;  // installed but with zero rules
+    FaultScope scope(&injector);
+    std::vector<Edge> out;
+    ASSERT_OK(ReadAllEdges(a, &out, nullptr, &with_scope));
+  }
+  IoStats without;
+  std::vector<Edge> out;
+  ASSERT_OK(ReadAllEdges(a, &out, nullptr, &without));
+  EXPECT_TRUE(with_scope == without);
+  EXPECT_EQ(without.read_retries, 0u);
+}
+
+class FormatV2Test : public TempDirTest {};
+
+TEST_F(FormatV2Test, RoundTripAndHeaderMetadata) {
+  const std::string path = NewPath(".edges");
+  const std::vector<Edge> edges = ChainEdges(200);
+  ASSERT_OK(WriteEdgeFile(path, 200, edges, 512, nullptr, kEdgeFormatV2));
+  EdgeFileInfo info;
+  ASSERT_OK(ReadEdgeFileInfo(path, &info));
+  EXPECT_EQ(info.version, kEdgeFormatV2);
+  // 512-byte v2 block carries (512-4)/8 = 63 edges.
+  EXPECT_EQ(info.EdgesPerBlock(), 63u);
+  std::vector<Edge> back;
+  uint64_t n = 0;
+  ASSERT_OK(ReadAllEdges(path, &back, &n, nullptr));
+  EXPECT_EQ(n, 200u);
+  EXPECT_EQ(back, edges);
+}
+
+TEST_F(FormatV2Test, V1FilesStillReadUnderV2Default) {
+  // Compatibility both ways: a v1 file written before the flag flip reads
+  // fine while the process default is v2, and vice versa.
+  const std::vector<Edge> edges = ChainEdges(100);
+  const std::string v1 = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(v1, 100, edges, 512, nullptr, kEdgeFormatV1));
+  SetDefaultEdgeFileVersion(kEdgeFormatV2);
+  const std::string v2 = NewPath(".edges");
+  Status st = WriteEdgeFile(v2, 100, edges, 512, nullptr);
+  SetDefaultEdgeFileVersion(kEdgeFormatV1);
+  ASSERT_OK(st);
+
+  EdgeFileInfo info;
+  ASSERT_OK(ReadEdgeFileInfo(v2, &info));
+  EXPECT_EQ(info.version, kEdgeFormatV2);  // default was honored
+  for (const std::string& path : {v1, v2}) {
+    std::vector<Edge> back;
+    ASSERT_OK(ReadAllEdges(path, &back, nullptr, nullptr));
+    EXPECT_EQ(back, edges) << path;
+  }
+}
+
+TEST_F(FormatV2Test, FlippedBitAnywhereIsNamedCorruption) {
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 500, ChainEdges(500), 512, nullptr,
+                          kEdgeFormatV2));
+  const auto file_size = std::filesystem::file_size(path);
+  // Flip one bit in every block in turn; every single one must be caught
+  // and attributed to the right block.
+  for (uint64_t block = 0; block * 512 < file_size; ++block) {
+    const uint64_t offset = block * 512 + 100;  // mid-block byte
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    std::fputc(byte ^ 0x10, f);
+    std::fclose(f);
+
+    std::vector<Edge> edges;
+    Status st = ReadAllEdges(path, &edges, nullptr, nullptr);
+    ASSERT_TRUE(st.IsCorruption()) << "block " << block << ": "
+                                   << st.ToString();
+    EXPECT_NE(st.ToString().find("block " + std::to_string(block)),
+              std::string::npos)
+        << st.ToString();
+
+    // Un-flip for the next round.
+    f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    std::fputc(byte, f);
+    std::fclose(f);
+  }
+  // Restored file is clean again.
+  std::vector<Edge> edges;
+  ASSERT_OK(ReadAllEdges(path, &edges, nullptr, nullptr));
+}
+
+TEST_F(FormatV2Test, FsckReportsFirstCorruptBlock) {
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 500, ChainEdges(500), 512, nullptr,
+                          kEdgeFormatV2));
+  FsckReport clean;
+  ASSERT_OK(FsckEdgeFile(path, &clean, nullptr));
+  EXPECT_EQ(clean.version, kEdgeFormatV2);
+  EXPECT_EQ(clean.first_bad_block, -1);
+  EXPECT_EQ(clean.blocks_checked, clean.block_count);
+
+  // Damage blocks 3 and 5; fsck must name 3 (the *first*).
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  for (long block : {3, 5}) {
+    ASSERT_EQ(std::fseek(f, block * 512 + 17, SEEK_SET), 0);
+    std::fputc(0x7f, f);
+  }
+  std::fclose(f);
+
+  FsckReport report;
+  Status st = FsckEdgeFile(path, &report, nullptr);
+  ASSERT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_EQ(report.first_bad_block, 3);
+  EXPECT_EQ(report.blocks_checked, report.block_count - 2);
+}
+
+TEST_F(FormatV2Test, ReverseKeepsFormatVersion) {
+  const std::string in = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(in, 64, ChainEdges(64), 512, nullptr,
+                          kEdgeFormatV2));
+  const std::string out = NewPath(".edges");
+  ASSERT_OK(ReverseEdgeFile(in, out, nullptr));
+  EdgeFileInfo info;
+  ASSERT_OK(ReadEdgeFileInfo(out, &info));
+  EXPECT_EQ(info.version, kEdgeFormatV2);
+}
+
+TEST_F(FormatV2Test, FinishedFileAppearsAtomically) {
+  // While the writer is mid-stream only the .tmp exists; after Finish
+  // only the final file does.
+  const std::string path = NewPath(".edges");
+  std::unique_ptr<EdgeWriter> writer;
+  ASSERT_OK(EdgeWriter::Create(path, 300, 512, nullptr, &writer));
+  for (const Edge& e : ChainEdges(300)) ASSERT_OK(writer->Add(e));
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".tmp"));
+  ASSERT_OK(writer->Finish());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(FormatV2Test, AbandonedWriterRemovesTmp) {
+  const std::string path = NewPath(".edges");
+  {
+    std::unique_ptr<EdgeWriter> writer;
+    ASSERT_OK(EdgeWriter::Create(path, 300, 512, nullptr, &writer));
+    for (const Edge& e : ChainEdges(300)) ASSERT_OK(writer->Add(e));
+    // Destroyed without Finish: simulated abort.
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+}  // namespace
+}  // namespace ioscc

@@ -1,0 +1,235 @@
+// LevelDB-style fault-torture harness: run every driver under escalating
+// fault schedules and assert the robustness trichotomy — each run ends in
+// exactly one of
+//   1. a correct SCC partition (bit-identical to the in-memory oracle),
+//   2. a clean Status::Corruption (a checksum caught damaged data), or
+//   3. a clean Status::IoError (the storage failed after bounded retries)
+// — never a wrong answer, never a crash. 2P-SCC may additionally return
+// its documented Status::Incomplete (no Def. 5.1 fixpoint), which the
+// paper reports as INF and is unrelated to faults.
+//
+// The whole schedule is deterministic: rules fire as a pure function of
+// the I/O sequence, and the RNG (seeded from IOSCC_TORTURE_SEED, default
+// below) only draws fault parameters. A failing seed reproduces exactly:
+//   IOSCC_TORTURE_SEED=1234 ./fault_torture_test
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "io/edge_file.h"
+#include "io/fault_env.h"
+#include "scc/algorithms.h"
+#include "tests/test_util.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::OracleFor;
+using testing_util::TempDirTest;
+
+uint64_t TortureSeed() {
+  const char* env = std::getenv("IOSCC_TORTURE_SEED");
+  if (env != nullptr && env[0] != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0x70e77e5eedULL;
+}
+
+// The drivers under torture (the paper's four semi-external algorithms;
+// EM-SCC is excluded because its contraction can stall for reasons
+// unrelated to storage faults).
+const SccAlgorithm kDrivers[] = {
+    SccAlgorithm::kTwoPhase,
+    SccAlgorithm::kOnePhase,
+    SccAlgorithm::kOnePhaseBatch,
+    SccAlgorithm::kDfs,
+};
+
+// One named fault schedule; `install` adds its rules to a fresh injector.
+struct Schedule {
+  const char* name;
+  void (*install)(FaultInjector*);
+};
+
+// Escalating severity: recoverable noise first, then silent corruption,
+// then unrecoverable device failures.
+const Schedule kSchedules[] = {
+    {"clean", [](FaultInjector*) {}},
+    {"transient-read-noise",
+     [](FaultInjector* f) {
+       f->AddRule(FaultInjector::EveryKth(17, FaultOp::kRead,
+                                          FaultKind::kTransientEio));
+       f->AddRule(
+           FaultInjector::EveryKth(13, FaultOp::kRead, FaultKind::kEintr));
+     }},
+    {"transient-write-noise",
+     [](FaultInjector* f) {
+       f->AddRule(FaultInjector::EveryKth(7, FaultOp::kWrite,
+                                          FaultKind::kShortWrite));
+       f->AddRule(
+           FaultInjector::EveryKth(9, FaultOp::kFlush, FaultKind::kEintr));
+     }},
+    {"bit-flip-reads",
+     [](FaultInjector* f) {
+       f->AddRule(FaultInjector::EveryKth(23, FaultOp::kRead,
+                                          FaultKind::kBitFlip));
+     }},
+    {"bit-flip-writes",
+     [](FaultInjector* f) {
+       f->AddRule(FaultInjector::EveryKth(19, FaultOp::kWrite,
+                                          FaultKind::kBitFlip));
+     }},
+    {"enospc-mid-run",
+     [](FaultInjector* f) {
+       f->AddRule(FaultInjector::EveryKth(40, FaultOp::kWrite,
+                                          FaultKind::kEnospc,
+                                          /*fires=*/1));
+     }},
+    {"torn-write-crash",
+     [](FaultInjector* f) {
+       f->AddRule(FaultInjector::EveryKth(30, FaultOp::kWrite,
+                                          FaultKind::kTornWrite,
+                                          /*fires=*/1));
+     }},
+    {"dying-disk",
+     [](FaultInjector* f) {
+       // Scratch reads start failing permanently partway in.
+       f->AddRule(FaultInjector::PermanentAt("", 2, FaultOp::kRead,
+                                             FaultKind::kPermanentEio));
+     }},
+};
+
+class FaultTortureTest : public TempDirTest {
+ protected:
+  int correct_runs_ = 0;
+  int corruption_runs_ = 0;
+  int io_error_runs_ = 0;
+
+  // Checks the trichotomy for one (driver, schedule) cell.
+  void Torture(SccAlgorithm algorithm, const Schedule& schedule,
+               const std::string& path, const SccResult& oracle) {
+    SCOPED_TRACE(std::string(AlgorithmName(algorithm)) + " under " +
+                 schedule.name + " (seed " + std::to_string(TortureSeed()) +
+                 ")");
+    FaultInjector injector(TortureSeed());
+    schedule.install(&injector);
+    SetFaultInjector(&injector);
+
+    SemiExternalOptions options;
+    options.scratch_block_size = 4096;
+    options.memory_budget_bytes = 1 << 16;  // force batching + rewrites
+    SccResult result;
+    RunStats stats;
+    Status st = RunScc(algorithm, path, options, &result, &stats);
+    SetFaultInjector(nullptr);
+
+    if (st.ok()) {
+      // Outcome 1: the answer must be exactly right — a fault schedule
+      // may slow a run down, never skew it.
+      EXPECT_EQ(result, oracle) << "survived faults with a WRONG answer; "
+                                << injector.Summary();
+      ++correct_runs_;
+    } else if (algorithm == SccAlgorithm::kTwoPhase && st.IsIncomplete()) {
+      // 2P's documented no-fixpoint outcome, allowed fault or no fault.
+    } else {
+      // Outcomes 2 and 3: a clean, typed error — anything else (Internal,
+      // InvalidArgument, a crash before we got here) is a robustness bug.
+      EXPECT_TRUE(st.IsCorruption() || st.IsIoError())
+          << "untyped failure: " << st.ToString() << "; "
+          << injector.Summary();
+      if (st.IsCorruption()) ++corruption_runs_;
+      if (st.IsIoError()) ++io_error_runs_;
+    }
+
+    // Recovery hygiene: whatever happened, no half-written file may be
+    // left under a final name and no staging orphan may survive.
+    for (const auto& entry :
+         std::filesystem::directory_iterator(
+             std::filesystem::path(path).parent_path())) {
+      EXPECT_NE(entry.path().extension(), ".tmp")
+          << "orphaned staging file: " << entry.path();
+    }
+  }
+};
+
+TEST_F(FaultTortureTest, TrichotomyAcrossDriversAndSchedules) {
+  // A graph with planted structure (cycles of several sizes plus uniform
+  // noise) so every driver does real multi-iteration work: scans,
+  // scratch rewrites, reversals.
+  std::vector<Edge> edges;
+  ASSERT_OK(GenerateUniformEdges(600, 2400, /*seed=*/5, &edges));
+  for (NodeId v = 0; v < 100; ++v) {  // one big cycle → one big SCC
+    edges.push_back({v, (v + 1) % 100});
+  }
+  for (NodeId v = 200; v < 280; v += 4) {  // many small cycles
+    edges.push_back({v, v + 1});
+    edges.push_back({v + 1, v + 2});
+    edges.push_back({v + 2, v});
+  }
+  const SccResult oracle = OracleFor(600, edges);
+
+  // Checksummed files everywhere: the input is written as v2 and the
+  // process default makes every scratch rewrite v2 too, so bit flips in
+  // intermediate files surface as Corruption instead of silent damage.
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 600, edges, 4096, nullptr, kEdgeFormatV2));
+  SetDefaultEdgeFileVersion(kEdgeFormatV2);
+  IoRetryPolicy fast;
+  fast.max_attempts = 4;
+  fast.backoff_initial_us = 0;  // determinism is by sequence, not timing
+  SetIoRetryPolicy(fast);
+
+  for (const Schedule& schedule : kSchedules) {
+    for (SccAlgorithm algorithm : kDrivers) {
+      Torture(algorithm, schedule, path, oracle);
+      if (HasFatalFailure()) break;
+    }
+  }
+
+  SetDefaultEdgeFileVersion(kEdgeFormatV1);
+  SetIoRetryPolicy(IoRetryPolicy());
+
+  // The matrix must actually exercise all three trichotomy arms — a
+  // schedule set where nothing fires (or everything dies) would make the
+  // assertions above vacuous.
+  EXPECT_GT(correct_runs_, 0) << "no run survived its schedule";
+  EXPECT_GT(corruption_runs_, 0) << "no run hit a checksum mismatch";
+  EXPECT_GT(io_error_runs_, 0) << "no run exhausted retries";
+}
+
+TEST_F(FaultTortureTest, CleanScheduleStillSucceedsEverywhere) {
+  // Control cell: with the injector installed but no rules, every driver
+  // must finish with the exact partition — the torture harness itself
+  // must not perturb results.
+  std::vector<Edge> edges;
+  ASSERT_OK(GenerateUniformEdges(300, 1200, /*seed=*/9, &edges));
+  for (NodeId v = 0; v < 50; ++v) edges.push_back({v, (v + 1) % 50});
+  const SccResult oracle = OracleFor(300, edges);
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 300, edges, 4096, nullptr, kEdgeFormatV2));
+  SetDefaultEdgeFileVersion(kEdgeFormatV2);
+
+  FaultInjector injector(TortureSeed());
+  SetFaultInjector(&injector);
+  for (SccAlgorithm algorithm : kDrivers) {
+    SemiExternalOptions options;
+    options.scratch_block_size = 4096;
+    SccResult result;
+    RunStats stats;
+    Status st = RunScc(algorithm, path, options, &result, &stats);
+    if (algorithm == SccAlgorithm::kTwoPhase && st.IsIncomplete()) continue;
+    ASSERT_TRUE(st.ok()) << AlgorithmName(algorithm) << ": "
+                         << st.ToString();
+    EXPECT_EQ(result, oracle) << AlgorithmName(algorithm);
+  }
+  SetFaultInjector(nullptr);
+  SetDefaultEdgeFileVersion(kEdgeFormatV1);
+}
+
+}  // namespace
+}  // namespace ioscc

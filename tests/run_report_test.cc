@@ -174,6 +174,32 @@ TEST_F(RunReportTest, ReportJsonlRoundTrips) {
   MetricsRegistry::Global().Reset();
 }
 
+// Retry counters (io/fault_env.h recovery path) ride along in every io
+// object so run reports show how hard the storage fought back.
+TEST_F(RunReportTest, RetryCountersAppearInJson) {
+  RunReportEntry entry;
+  entry.experiment = "run_report_test";
+  entry.algorithm = "1PB-SCC";
+  entry.dataset = "synthetic";
+  entry.status = "OK";
+  entry.finished = true;
+  entry.stats.io.blocks_read = 10;
+  entry.stats.io.read_retries = 3;
+  entry.stats.io.write_retries = 2;
+  JsonValue run;
+  ASSERT_TRUE(ParseJson(RunReportEntryToJson(entry), &run));
+  EXPECT_EQ(run["io"]["read_retries"].number, 3.0);
+  EXPECT_EQ(run["io"]["write_retries"].number, 2.0);
+
+  // A clean run serializes explicit zeros (consumers need not probe for
+  // the keys).
+  RunReportEntry clean;
+  JsonValue clean_run;
+  ASSERT_TRUE(ParseJson(RunReportEntryToJson(clean), &clean_run));
+  EXPECT_EQ(clean_run["io"]["read_retries"].number, 0.0);
+  EXPECT_EQ(clean_run["io"]["write_retries"].number, 0.0);
+}
+
 // An unfinished run must serialize without a result summary.
 TEST_F(RunReportTest, UnfinishedRunHasNoResult) {
   const std::string path = PaperGraph();
