@@ -80,7 +80,10 @@ IoBudgetVerdict CheckIoBudget(SccAlgorithm algorithm,
   verdict.model = IoBudgetModelName(algorithm);
   verdict.bound_ios =
       IoBudgetBoundIos(algorithm, info.edge_count, block_bytes, stats);
-  verdict.measured_ios = stats.io.TotalBlockIos();
+  // Budgets bound what the disk actually saw: with a block cache
+  // installed, absorbed re-reads don't count against the model (with no
+  // cache, physical == logical and this is the historical total).
+  verdict.measured_ios = stats.io.TotalPhysicalBlockIos();
   verdict.ratio = verdict.bound_ios == 0
                       ? (verdict.measured_ios == 0 ? 0.0 : 1e9)
                       : static_cast<double>(verdict.measured_ios) /

@@ -3,12 +3,15 @@
 //
 // Each driver has a structural cost model — so many full scans of the
 // edge stream per recorded iteration — built from TheoryScanBlocks. The
-// verdict compares the measured RunStats.io total against that bound:
-// measured <= bound is PASS, and the measured/bound ratio quantifies the
-// headroom (pruning and early termination typically push it well under
-// 1). A FAIL means the implementation performs I/O the Section 2/6
-// analysis does not account for — a regression the benches and CI surface
-// instead of silently absorbing.
+// verdict compares the measured *physical* I/O total
+// (TotalPhysicalBlockIos: blocks that actually crossed the disk
+// boundary) against that bound: measured <= bound is PASS, and the
+// measured/bound ratio quantifies the headroom (pruning, early
+// termination, and the block cache typically push it well under 1).
+// With no cache installed physical == logical, so cache-less verdicts
+// are unchanged. A FAIL means the implementation performs I/O the
+// Section 2/6 analysis does not account for — a regression the benches
+// and CI surface instead of silently absorbing.
 
 #ifndef IOSCC_HARNESS_IO_BUDGET_H_
 #define IOSCC_HARNESS_IO_BUDGET_H_
@@ -25,7 +28,7 @@ namespace ioscc {
 struct IoBudgetVerdict {
   std::string model;          // cost model used, e.g. "3-scans-per-iter"
   uint64_t bound_ios = 0;     // analytic upper bound, block I/Os
-  uint64_t measured_ios = 0;  // RunStats.io.TotalBlockIos()
+  uint64_t measured_ios = 0;  // RunStats.io.TotalPhysicalBlockIos()
   double ratio = 0;           // measured / bound
   bool pass = false;          // measured <= bound
 

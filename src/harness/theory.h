@@ -93,6 +93,18 @@ inline uint64_t TheoryExtraBatchEdges(uint64_t pruned_nodes_per_iter,
   return pruned_nodes_per_iter * (iterations - 1) * iterations / 4;
 }
 
+// Memory the semi-external model charges for a c-block LRU cache
+// (io/block_cache.h): c resident blocks of B bytes. The paper's grant is
+// O(|V|) words *plus a constant number of blocks* (Section 2 — the same
+// constant PaperDefaultMemoryBytes spends on the scan buffer); a cache of
+// c blocks simply spends c such constants. Reported alongside the
+// algorithm's own grant, never subtracted from it, so enabling the cache
+// cannot change batch sizes or results — only physical I/O.
+inline uint64_t TheoryCacheMemoryBytes(uint64_t cache_blocks,
+                                       uint64_t block_bytes) {
+  return cache_blocks * block_bytes;
+}
+
 }  // namespace ioscc
 
 #endif  // IOSCC_HARNESS_THEORY_H_

@@ -1,0 +1,141 @@
+#include "io/block_cache.h"
+
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace ioscc {
+namespace {
+
+// Counter handles are process-lifetime-stable; look them up once.
+Counter* HitCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("cache.hits");
+  return c;
+}
+Counter* MissCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("cache.misses");
+  return c;
+}
+Counter* PrefetchHitCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("cache.prefetch_hits");
+  return c;
+}
+Counter* PrefetchedCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("cache.prefetched_blocks");
+  return c;
+}
+Counter* EvictionCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("cache.evictions");
+  return c;
+}
+
+}  // namespace
+
+BlockCache::BlockCache(uint64_t budget_blocks, bool read_ahead)
+    : budget_blocks_(budget_blocks), read_ahead_(read_ahead) {}
+
+uint32_t BlockCache::RegisterFile(const std::string& logical_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t id = 0; id < files_.size(); ++id) {
+    if (files_[id] == logical_path) return static_cast<uint32_t>(id);
+  }
+  files_.push_back(logical_path);
+  return static_cast<uint32_t>(files_.size() - 1);
+}
+
+bool BlockCache::Lookup(uint32_t file_id, uint64_t block, void* data,
+                        size_t block_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = resident_.find(Key(file_id, block));
+  if (it == resident_.end()) return false;
+  if (it->second.data.size() != block_size) {
+    // A path re-registered at a different block size (nothing in this
+    // codebase does that — scratch rewrites get fresh names). Treat the
+    // stale entry as a miss; the install after the read replaces it.
+    lru_.erase(it->second.lru_pos);
+    resident_.erase(it);
+    return false;
+  }
+  std::memcpy(data, it->second.data.data(), block_size);
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);  // promote
+  ++stats_.hits;
+  HitCounter()->Increment();
+  return true;
+}
+
+void BlockCache::Install(uint32_t file_id, uint64_t block, const void* data,
+                         size_t block_size, bool is_write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t key = Key(file_id, block);
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    // Writes refresh content in place and promote; the simulator's
+    // resident-write step. (A read install can only land here under
+    // concurrent access to the same block; refreshing is still right.)
+    it->second.data.assign(static_cast<const char*>(data),
+                           static_cast<const char*>(data) + block_size);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    if (!is_write) {
+      ++stats_.misses;
+      MissCounter()->Increment();
+    }
+    return;
+  }
+  if (!is_write) {
+    ++stats_.misses;
+    MissCounter()->Increment();
+  }
+  lru_.push_front(key);
+  Entry& entry = resident_[key];
+  entry.lru_pos = lru_.begin();
+  entry.data.assign(static_cast<const char*>(data),
+                    static_cast<const char*>(data) + block_size);
+  EvictIfOverBudget();
+}
+
+bool BlockCache::Contains(uint32_t file_id, uint64_t block) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_.find(Key(file_id, block)) != resident_.end();
+}
+
+void BlockCache::CountPrefetch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.prefetched_blocks;
+  PrefetchedCounter()->Increment();
+}
+
+void BlockCache::CountPrefetchHit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.prefetch_hits;
+  PrefetchHitCounter()->Increment();
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t BlockCache::resident_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_.size();
+}
+
+uint64_t BlockCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes = 0;
+  for (const auto& [key, entry] : resident_) bytes += entry.data.size();
+  return bytes;
+}
+
+void BlockCache::EvictIfOverBudget() {
+  while (resident_.size() > budget_blocks_) {
+    resident_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+    EvictionCounter()->Increment();
+  }
+}
+
+}  // namespace ioscc

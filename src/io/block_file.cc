@@ -122,8 +122,12 @@ Status BlockFile::Open(const std::string& path, Mode mode, size_t block_size,
   const uint32_t audit_file_id =
       audit != nullptr ? audit->RegisterFile(known_as) : 0;
   FaultInjector* fault = GetFaultInjector();
+  BlockCache* cache = GetBlockCache();
+  const uint32_t cache_file_id =
+      cache != nullptr ? cache->RegisterFile(known_as) : 0;
   out->reset(new BlockFile(path, known_as, file, mode, block_size,
-                           block_count, stats, audit, audit_file_id, fault));
+                           block_count, stats, audit, audit_file_id, fault,
+                           cache, cache_file_id));
   return Status::OK();
 }
 
@@ -215,25 +219,59 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
   if (index >= block_count_) {
     return Status::InvalidArgument("block index out of range in " + path_);
   }
-  const bool sample_latency = MetricsEnabled();
-  Timer timer;
-  // Avoid a redundant fseek for the common sequential-scan pattern.
-  bool retryable = false;
-  Status st =
-      ReadAttempt(index, data, /*need_seek=*/index != read_cursor_,
-                  &retryable);
-  if (!st.ok()) {
-    st = RetryRead(index, data, std::move(st), retryable);
+  const bool sequential = index == 0 || index == last_logical_read_ + 1;
+  bool disk_was_touched = false;  // demand read or prefetch consume
+  if (cache_ != nullptr &&
+      cache_->Lookup(cache_file_id_, index, data, block_size_)) {
+    // LRU hit: served from memory, the disk head stays where it was.
+    if (stats_ != nullptr) ++stats_->cache_hits;
+  } else if (cache_ != nullptr && prefetch_block_ == index) {
+    // Read-ahead hit: an LRU miss whose physical read was already paid
+    // by the prefetcher. Installs like any miss, so hit/miss accounting
+    // stays in lockstep with SimulateLruCache.
+    std::memcpy(data, prefetch_buffer_.data(), block_size_);
+    prefetch_block_ = kNoBlock;
+    cache_->CountPrefetchHit();
+    cache_->Install(cache_file_id_, index, data, block_size_,
+                    /*is_write=*/false);
+    disk_was_touched = true;
+    if (stats_ != nullptr) ++stats_->prefetch_hits;
+  } else {
+    const bool sample_latency = MetricsEnabled();
+    Timer timer;
+    // Avoid a redundant fseek for the common sequential-scan pattern.
+    bool retryable = false;
+    Status st =
+        ReadAttempt(index, data, /*need_seek=*/index != read_cursor_,
+                    &retryable);
     if (!st.ok()) {
-      read_cursor_ = static_cast<uint64_t>(-1);  // position now unknown
-      return st;
+      st = RetryRead(index, data, std::move(st), retryable);
+      if (!st.ok()) {
+        read_cursor_ = kNoBlock;  // position now unknown
+        return st;
+      }
+    }
+    if (sample_latency) {
+      ReadLatencyHistogram()->Record(
+          static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
+    }
+    read_cursor_ = index + 1;
+    disk_was_touched = true;
+    if (stats_ != nullptr) ++stats_->physical_blocks_read;
+    if (cache_ != nullptr) {
+      cache_->Install(cache_file_id_, index, data, block_size_,
+                      /*is_write=*/false);
     }
   }
-  if (sample_latency) {
-    ReadLatencyHistogram()->Record(
-        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
+  // Double-buffered read-ahead: while the head sits just past a
+  // sequentially-demanded block, pull the next one. Chains across
+  // prefetch consumes so a steady scan alternates buffers; skipped on
+  // LRU hits (the disk was never involved).
+  if (cache_ != nullptr && cache_->read_ahead() && sequential &&
+      disk_was_touched) {
+    Prefetch(index + 1);
   }
-  read_cursor_ = index + 1;
+  last_logical_read_ = index;
   if (audit_ != nullptr) {
     audit_->Record(audit_file_id_, index, /*is_write=*/false);
   }
@@ -242,6 +280,35 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
     stats_->bytes_read += block_size_;
   }
   return Status::OK();
+}
+
+void BlockFile::Prefetch(uint64_t index) {
+  if (index >= block_count_) return;
+  if (prefetch_block_ == index) return;
+  // Non-promoting probe: a block the LRU would serve anyway must not be
+  // re-read (that would inflate physical I/O) nor promoted (that would
+  // desync the LRU order from the simulator's).
+  if (cache_->Contains(cache_file_id_, index)) return;
+  if (prefetch_buffer_.size() != block_size_) {
+    prefetch_buffer_.resize(block_size_);
+  }
+  bool retryable = false;
+  Status st = ReadAttempt(index, prefetch_buffer_.data(),
+                          /*need_seek=*/index != read_cursor_, &retryable);
+  if (!st.ok()) {
+    // Opportunistic read: drop it without retrying. If the block is
+    // really wanted later, the demand read retries and reports.
+    prefetch_block_ = kNoBlock;
+    read_cursor_ = kNoBlock;
+    return;
+  }
+  read_cursor_ = index + 1;
+  prefetch_block_ = index;
+  cache_->CountPrefetch();
+  if (stats_ != nullptr) {
+    ++stats_->physical_blocks_read;
+    ++stats_->prefetched_blocks;
+  }
 }
 
 Status BlockFile::WriteAttempt(uint64_t index, const void* data,
@@ -358,6 +425,10 @@ Status BlockFile::AppendBlock(const void* data) {
         static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
   }
   ++block_count_;
+  if (cache_ != nullptr) {
+    cache_->Install(cache_file_id_, block_count_ - 1, data, block_size_,
+                    /*is_write=*/true);
+  }
   if (audit_ != nullptr) {
     audit_->Record(audit_file_id_, block_count_ - 1, /*is_write=*/true);
   }
@@ -385,6 +456,10 @@ Status BlockFile::WriteBlockAt(uint64_t index, const void* data) {
   if (std::fseek(file_, static_cast<long>(block_count_ * block_size_),
                  SEEK_SET) != 0) {
     return Status::IoError("seek in " + path_ + ": " + ErrnoText(errno));
+  }
+  if (cache_ != nullptr) {
+    cache_->Install(cache_file_id_, index, data, block_size_,
+                    /*is_write=*/true);
   }
   if (audit_ != nullptr) {
     audit_->Record(audit_file_id_, index, /*is_write=*/true);

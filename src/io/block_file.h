@@ -5,9 +5,14 @@
 // Files written through BlockFile are always a whole number of blocks long
 // (writers pad the tail block).
 //
-// Robustness: every physical read/write/flush attempt flows through two
-// opt-in seams captured once at Open — the BlockAccessLog auditor and the
-// FaultInjector (io/fault_env.h). Retryable failures (EINTR, EIO, short
+// Robustness: every physical read/write/flush attempt flows through three
+// opt-in seams captured once at Open — the BlockAccessLog auditor, the
+// BlockCache (io/block_cache.h, which also drives the per-file read-ahead
+// buffer), and the FaultInjector (io/fault_env.h). The audit log records
+// *logical* accesses (what the algorithm asked for); IoStats counts both
+// logical and physical reads, which diverge exactly when the cache or
+// prefetcher serves a block without touching the disk.
+// Retryable failures (EINTR, EIO, short
 // transfers — real or injected) are retried with bounded exponential
 // backoff (IoRetryPolicy); the retry count lands in IoStats so run
 // reports show how hard the storage fought back. With neither seam
@@ -22,7 +27,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "io/block_cache.h"
 #include "io/fault_env.h"
 #include "io/io_stats.h"
 #include "obs/io_audit.h"
@@ -124,10 +131,12 @@ class BlockFile {
   const std::string& path() const { return path_; }
 
  private:
+  static constexpr uint64_t kNoBlock = static_cast<uint64_t>(-1);
+
   BlockFile(std::string path, std::string logical_path, std::FILE* file,
             Mode mode, size_t block_size, uint64_t block_count,
             IoStats* stats, BlockAccessLog* audit, uint32_t audit_file_id,
-            FaultInjector* fault)
+            FaultInjector* fault, BlockCache* cache, uint32_t cache_file_id)
       : path_(std::move(path)),
         logical_path_(std::move(logical_path)),
         file_(file),
@@ -137,7 +146,9 @@ class BlockFile {
         stats_(stats),
         audit_(audit),
         audit_file_id_(audit_file_id),
-        fault_(fault) {}
+        fault_(fault),
+        cache_(cache),
+        cache_file_id_(cache_file_id) {}
 
   // One physical attempt. `*retryable` reports whether the failure class
   // is worth retrying (EINTR/EIO/short transfer yes; ENOSPC/torn no).
@@ -154,17 +165,32 @@ class BlockFile {
   Status RetryWrite(uint64_t index, const void* data, Status first,
                     bool retryable);
 
+  // Opportunistic read-ahead of block `index` into the double buffer.
+  // Failures are dropped silently (no retry, no status): the demand read
+  // that eventually wants the block retries and reports as usual.
+  void Prefetch(uint64_t index);
+
   std::string path_;
   std::string logical_path_;  // == path_ unless the caller aliased it
   std::FILE* file_;
   Mode mode_;
   size_t block_size_;
   uint64_t block_count_;
-  uint64_t read_cursor_ = static_cast<uint64_t>(-1);  // last block read + 1
+  // Physical position of the FILE* in blocks (next block a seek-free read
+  // would deliver), advanced only by physical reads — cache hits leave
+  // the disk head where it was. kNoBlock after a failure or at open.
+  uint64_t read_cursor_ = kNoBlock;
+  // Last block delivered to the caller, for sequential-scan detection.
+  uint64_t last_logical_read_ = kNoBlock;
   IoStats* stats_;
   BlockAccessLog* audit_;   // captured at Open; null when uninstalled
   uint32_t audit_file_id_;  // meaningful only when audit_ != nullptr
   FaultInjector* fault_;    // captured at Open; null when uninstalled
+  BlockCache* cache_;       // captured at Open; null when uninstalled
+  uint32_t cache_file_id_;  // meaningful only when cache_ != nullptr
+  // Read-ahead double buffer (outside the cache's block budget).
+  std::vector<char> prefetch_buffer_;
+  uint64_t prefetch_block_ = kNoBlock;  // block resident in the buffer
 };
 
 }  // namespace ioscc

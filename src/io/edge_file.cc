@@ -86,6 +86,12 @@ Status DecodeHeader(const std::string& path, const char* data,
   if (header.block_size != file_block_size) {
     return Status::Corruption(path + ": header block size mismatch");
   }
+  if (EdgePayloadBytesPerBlock(header.version, header.block_size) == 0) {
+    return Status::InvalidArgument(
+        path + ": block size " + std::to_string(header.block_size) +
+        " holds no edge payload under version " +
+        std::to_string(header.version));
+  }
   if (header.version >= kEdgeFormatV2) {
     IOSCC_RETURN_IF_ERROR(
         VerifyEdgeBlockChecksum(path, 0, data, file_block_size));
@@ -159,6 +165,14 @@ Status EdgeWriter::Create(const std::string& path, uint64_t node_count,
   if (version != kEdgeFormatV1 && version != kEdgeFormatV2) {
     return Status::InvalidArgument("unsupported edge-file version " +
                                    std::to_string(version));
+  }
+  // A block must carry at least one edge record after the version's
+  // trailer; EdgePayloadBytesPerBlock returns 0 (not a wrapped size_t)
+  // for degenerate sizes, and EdgesPerBlock()/TotalBlocks() divide by it.
+  if (EdgePayloadBytesPerBlock(version, block_size) == 0) {
+    return Status::InvalidArgument(
+        "block size " + std::to_string(block_size) +
+        " holds no edge payload under version " + std::to_string(version));
   }
   std::unique_ptr<EdgeWriter> writer(
       new EdgeWriter(path, node_count, block_size, version, stats));

@@ -58,11 +58,18 @@ inline constexpr size_t kEdgeBlockTrailerBytes = sizeof(uint32_t);
 // the whole block for v1, the block minus the checksum trailer (floored
 // to whole edge records) for v2. Budget bounds use this instead of the
 // raw block size so they track the reduced v2 payload.
+//
+// Returns 0 when the block is too small to carry even one record (in
+// particular a v2 block of block_size <= kEdgeBlockTrailerBytes, which
+// would otherwise underflow the subtraction and wrap to a huge size_t).
+// EdgeWriter::Create and header validation reject such block sizes with
+// InvalidArgument before any file carries them.
 inline constexpr size_t EdgePayloadBytesPerBlock(uint32_t version,
                                                  size_t block_size) {
-  const size_t usable = version >= kEdgeFormatV2
-                            ? block_size - kEdgeBlockTrailerBytes
-                            : block_size;
+  const size_t trailer =
+      version >= kEdgeFormatV2 ? kEdgeBlockTrailerBytes : 0;
+  if (block_size <= trailer) return 0;
+  const size_t usable = block_size - trailer;
   return usable / kEdgeRecordBytes * kEdgeRecordBytes;
 }
 

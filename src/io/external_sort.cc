@@ -23,9 +23,16 @@ struct MergeSource {
   Edge head;
   bool has_head = false;
 
+  // Pulls the next edge of this run. EdgeScanner::Next returns false
+  // both at clean end-of-run and on a failed scan; only the scanner's
+  // sticky status tells the two apart. The merge must check it whenever
+  // Next declines — treating every false as exhaustion would silently
+  // truncate the merged output on a mid-run read failure
+  // (tests/fault_env_test.cc MergeSurfacesRunReadFailure pins this down).
   Status Advance() {
     has_head = scanner->Next(&head);
-    return scanner->status();
+    if (has_head) return Status::OK();
+    return scanner->status();  // OK at EOF; the read error otherwise
   }
 };
 

@@ -28,6 +28,16 @@ std::string IoStats::Format() const {
   std::string out = Grouped(TotalBlockIos()) + " I/Os (" +
                     Grouped(blocks_read) + "r + " + Grouped(blocks_written) +
                     suffix;
+  // Cache-less runs keep the historical rendering; with a BlockCache
+  // installed the physical count is what the disk actually saw.
+  if (cache_hits > 0 || prefetch_hits > 0 || prefetched_blocks > 0 ||
+      physical_blocks_read != blocks_read) {
+    out += ", " + Grouped(physical_blocks_read) + " physical r";
+    if (cache_hits > 0) out += ", " + Grouped(cache_hits) + " cached";
+    if (prefetch_hits > 0) {
+      out += ", " + Grouped(prefetch_hits) + " prefetched";
+    }
+  }
   // Retries are rare enough that the clean-run rendering stays unchanged.
   if (TotalRetries() > 0) {
     out += " + " + Grouped(TotalRetries()) + " retries";

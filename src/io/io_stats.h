@@ -16,6 +16,9 @@ namespace ioscc {
 inline constexpr size_t kDefaultBlockSize = 64 * 1024;
 
 struct IoStats {
+  // Logical counters: every block the algorithm asked for, whether it was
+  // served from disk or from the block cache. The paper's "# of I/Os" is
+  // the logical count — it is byte-identical across cache budgets.
   uint64_t blocks_read = 0;
   uint64_t blocks_written = 0;
   uint64_t bytes_read = 0;
@@ -25,8 +28,21 @@ struct IoStats {
   // storage; successful retried blocks are still counted once above.
   uint64_t read_retries = 0;
   uint64_t write_retries = 0;
+  // Physical counters: blocks that actually crossed the disk boundary.
+  // With no BlockCache installed, physical_blocks_read == blocks_read.
+  // With a cache, cache_hits logical reads cost no disk read,
+  // prefetch_hits were paid early by the read-ahead buffer, and
+  // prefetched_blocks counts the read-ahead disk reads themselves (they
+  // are physical but not logical — nobody asked for them yet).
+  uint64_t physical_blocks_read = 0;
+  uint64_t cache_hits = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetched_blocks = 0;
 
   uint64_t TotalBlockIos() const { return blocks_read + blocks_written; }
+  uint64_t TotalPhysicalBlockIos() const {
+    return physical_blocks_read + blocks_written;
+  }
   uint64_t TotalRetries() const { return read_retries + write_retries; }
 
   void Reset() { *this = IoStats(); }
@@ -38,6 +54,10 @@ struct IoStats {
     bytes_written += other.bytes_written;
     read_retries += other.read_retries;
     write_retries += other.write_retries;
+    physical_blocks_read += other.physical_blocks_read;
+    cache_hits += other.cache_hits;
+    prefetch_hits += other.prefetch_hits;
+    prefetched_blocks += other.prefetched_blocks;
     return *this;
   }
 
@@ -53,6 +73,11 @@ struct IoStats {
     delta.bytes_written = sub(a.bytes_written, b.bytes_written);
     delta.read_retries = sub(a.read_retries, b.read_retries);
     delta.write_retries = sub(a.write_retries, b.write_retries);
+    delta.physical_blocks_read =
+        sub(a.physical_blocks_read, b.physical_blocks_read);
+    delta.cache_hits = sub(a.cache_hits, b.cache_hits);
+    delta.prefetch_hits = sub(a.prefetch_hits, b.prefetch_hits);
+    delta.prefetched_blocks = sub(a.prefetched_blocks, b.prefetched_blocks);
     return delta;
   }
 
@@ -64,7 +89,11 @@ struct IoStats {
            a.bytes_read == b.bytes_read &&
            a.bytes_written == b.bytes_written &&
            a.read_retries == b.read_retries &&
-           a.write_retries == b.write_retries;
+           a.write_retries == b.write_retries &&
+           a.physical_blocks_read == b.physical_blocks_read &&
+           a.cache_hits == b.cache_hits &&
+           a.prefetch_hits == b.prefetch_hits &&
+           a.prefetched_blocks == b.prefetched_blocks;
   }
 
   // "12,288 I/Os (12,000r + 288w, 768.0 MiB)" — the way benches and tools

@@ -14,6 +14,13 @@ void WriteIoStats(JsonWriter* json, const IoStats& io) {
   json->Key("block_ios").UInt(io.TotalBlockIos());
   json->Key("read_retries").UInt(io.read_retries);
   json->Key("write_retries").UInt(io.write_retries);
+  // Physical side of the logical/physical split (io/block_cache.h):
+  // explicit zeros on cache-less runs, like the retry counters.
+  json->Key("physical_blocks_read").UInt(io.physical_blocks_read);
+  json->Key("physical_block_ios").UInt(io.TotalPhysicalBlockIos());
+  json->Key("cache_hits").UInt(io.cache_hits);
+  json->Key("prefetch_hits").UInt(io.prefetch_hits);
+  json->Key("prefetched_blocks").UInt(io.prefetched_blocks);
   json->EndObject();
 }
 
@@ -45,6 +52,12 @@ std::string RunReportEntryToJson(const RunReportEntry& entry) {
     json.Key("measured_ios").UInt(entry.io_budget_measured_ios);
     json.Key("ratio").Double(entry.io_budget_ratio);
     json.Key("pass").Bool(entry.io_budget_pass);
+    json.EndObject();
+  }
+  if (entry.cache_blocks > 0) {
+    json.Key("cache").BeginObject();
+    json.Key("budget_blocks").UInt(entry.cache_blocks);
+    json.Key("memory_bytes").UInt(entry.cache_memory_bytes);
     json.EndObject();
   }
   if (entry.finished) {

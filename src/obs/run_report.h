@@ -43,6 +43,13 @@ struct RunReportEntry {
   double io_budget_ratio = 0;
   bool io_budget_pass = false;
 
+  // Block-cache configuration (io/block_cache.h), set by the caller that
+  // installed the cache; emitted as a "cache" object when cache_blocks
+  // is nonzero. cache_memory_bytes is the semi-external memory charge
+  // (harness/theory.h TheoryCacheMemoryBytes).
+  uint64_t cache_blocks = 0;
+  uint64_t cache_memory_bytes = 0;
+
   // Result summary; meaningful only when finished.
   uint64_t component_count = 0;
   uint64_t largest_component = 0;

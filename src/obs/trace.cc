@@ -45,6 +45,13 @@ std::string Tracer::ToChromeTraceJson() const {
       json.Key("bytes_read").UInt(event.io_delta.bytes_read);
       json.Key("bytes_written").UInt(event.io_delta.bytes_written);
       json.Key("block_ios").UInt(event.io_delta.TotalBlockIos());
+      // Physical/cache attribution: which span's re-reads the block
+      // cache absorbed. Zero (physical == logical) on cache-less runs.
+      json.Key("physical_blocks_read")
+          .UInt(event.io_delta.physical_blocks_read);
+      json.Key("cache_hits").UInt(event.io_delta.cache_hits);
+      json.Key("prefetch_hits").UInt(event.io_delta.prefetch_hits);
+      json.Key("prefetched_blocks").UInt(event.io_delta.prefetched_blocks);
     }
     json.EndObject();  // args
     json.EndObject();  // event

@@ -1,8 +1,24 @@
 #include "util/flags.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace ioscc {
+namespace {
+
+// Malformed numeric values are hard errors: a sweep script that passes
+// --cache-blocks= or --scale=0.0x must fail loudly, not silently run at
+// the default and publish numbers for a configuration nobody asked for.
+[[noreturn]] void DieBadFlagValue(const std::string& name,
+                                  const std::string& value,
+                                  const char* expected) {
+  std::fprintf(stderr, "error: invalid value for --%s: '%s' (expected %s)\n",
+               name.c_str(), value.c_str(), expected);
+  std::exit(2);
+}
+
+}  // namespace
 
 Flags Flags::Parse(int argc, char** argv) {
   Flags flags;
@@ -33,15 +49,31 @@ std::string Flags::GetString(const std::string& name,
 int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
   used_[name] = true;
   auto it = values_.find(name);
-  return it == values_.end() ? default_value
-                             : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == values_.end()) return default_value;
+  const std::string& value = it->second;
+  if (value.empty()) DieBadFlagValue(name, value, "an integer");
+  errno = 0;
+  char* end = nullptr;
+  const int64_t parsed = std::strtoll(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    DieBadFlagValue(name, value, "an integer");
+  }
+  return parsed;
 }
 
 double Flags::GetDouble(const std::string& name, double default_value) const {
   used_[name] = true;
   auto it = values_.find(name);
-  return it == values_.end() ? default_value
-                             : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return default_value;
+  const std::string& value = it->second;
+  if (value.empty()) DieBadFlagValue(name, value, "a number");
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    DieBadFlagValue(name, value, "a number");
+  }
+  return parsed;
 }
 
 bool Flags::GetBool(const std::string& name, bool default_value) const {

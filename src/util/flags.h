@@ -26,6 +26,10 @@ class Flags {
 
   std::string GetString(const std::string& name,
                         const std::string& default_value) const;
+  // Numeric getters exit(2) with a clear message on an empty value
+  // (--cache-blocks=) or trailing garbage (--scale=0.0x): silently
+  // running at the default would publish numbers for a configuration
+  // nobody asked for.
   int64_t GetInt(const std::string& name, int64_t default_value) const;
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;

@@ -10,6 +10,7 @@
 
 #include "io/block_file.h"
 #include "io/edge_file.h"
+#include "io/external_sort.h"
 #include "io/fault_env.h"
 #include "io/verify_file.h"
 #include "tests/test_util.h"
@@ -421,6 +422,41 @@ TEST_F(FormatV2Test, FinishedFileAppearsAtomically) {
   ASSERT_OK(writer->Finish());
   EXPECT_TRUE(std::filesystem::exists(path));
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+// Regression for the k-way merge's EOF-vs-error distinction
+// (MergeSource::Advance in external_sort.cc): EdgeScanner::Next returns
+// false both at clean end-of-run and on a failed read, and only the
+// scanner's sticky status tells them apart. A merge that treated every
+// false as exhaustion would drop the rest of the failed run and finish
+// "successfully" with a truncated output. A mid-run read failure must
+// instead surface as IOError and leave no output file behind.
+TEST_F(FaultEnvTest, MergeSurfacesRunReadFailure) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < 2000; ++v) {
+    edges.push_back({v, static_cast<NodeId>((v * 7 + 1) % 2000)});
+  }
+  const std::string in = NewPath(".edges");
+  const std::string out = NewPath(".sorted");
+  ASSERT_OK(WriteEdgeFile(in, 2000, edges, 512, nullptr));
+
+  FaultInjector injector;
+  // Data block 2 of every .run file fails on every read attempt. The
+  // header and block 1 stay readable, so the merge starts cleanly and
+  // hits the fault mid-run — exactly where a conflated Advance would
+  // mistake the failure for end-of-run.
+  injector.AddRule(FaultInjector::PermanentAt(".run", 2, FaultOp::kRead,
+                                              FaultKind::kPermanentEio));
+  FaultScope scope(&injector);
+
+  ExternalSortOptions options;
+  options.memory_budget_bytes = 256 * sizeof(Edge);  // several runs
+  Status st = SortEdgeFile(in, out, options, dir_.get(), nullptr);
+  ASSERT_FALSE(st.ok()) << "merge swallowed a mid-run read failure";
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  // The abandoned writer must have cleaned up: no torn/truncated output.
+  EXPECT_FALSE(std::filesystem::exists(out));
+  EXPECT_FALSE(std::filesystem::exists(out + ".tmp"));
 }
 
 TEST_F(FormatV2Test, AbandonedWriterRemovesTmp) {

@@ -314,6 +314,44 @@ TEST_F(EdgeFileTest, RejectsBadBlockSize) {
           .IsInvalidArgument());  // too small for the header
 }
 
+// EdgePayloadBytesPerBlock must never wrap: a v2 block no bigger than the
+// checksum trailer carries zero payload, not a huge size_t, and writers
+// reject such sizes outright rather than dividing by a zero
+// EdgesPerBlock() downstream.
+TEST_F(EdgeFileTest, DegenerateBlockSizesCarryNoPayload) {
+  // At or below the v2 trailer: the old code computed
+  // block_size - kEdgeBlockTrailerBytes on size_t and wrapped.
+  EXPECT_EQ(EdgePayloadBytesPerBlock(kEdgeFormatV2, 0), 0u);
+  EXPECT_EQ(EdgePayloadBytesPerBlock(kEdgeFormatV2,
+                                     kEdgeBlockTrailerBytes),
+            0u);
+  EXPECT_EQ(EdgePayloadBytesPerBlock(kEdgeFormatV2,
+                                     kEdgeBlockTrailerBytes - 1),
+            0u);
+  // Above the trailer but below one record: still zero, not wrapped.
+  EXPECT_EQ(EdgePayloadBytesPerBlock(kEdgeFormatV2,
+                                     kEdgeBlockTrailerBytes + 1),
+            0u);
+  EXPECT_EQ(EdgePayloadBytesPerBlock(kEdgeFormatV1, 0), 0u);
+  EXPECT_EQ(EdgePayloadBytesPerBlock(kEdgeFormatV1, kEdgeRecordBytes - 1),
+            0u);
+  // Sanity: healthy sizes are unchanged.
+  EXPECT_EQ(EdgePayloadBytesPerBlock(kEdgeFormatV1, 512), 512u);
+  EXPECT_EQ(EdgePayloadBytesPerBlock(kEdgeFormatV2, 512),
+            (512 - kEdgeBlockTrailerBytes) / kEdgeRecordBytes *
+                kEdgeRecordBytes);
+
+  // Writers refuse block sizes with no payload under the version.
+  std::unique_ptr<EdgeWriter> writer;
+  EXPECT_TRUE(EdgeWriter::Create(NewPath(".edges"), 1,
+                                 kEdgeBlockTrailerBytes, nullptr, &writer)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(EdgeWriter::Create(NewPath(".edges"), 1,
+                                 kEdgeBlockTrailerBytes, nullptr, &writer,
+                                 kEdgeFormatV2)
+                  .IsInvalidArgument());
+}
+
 // ---------------------------------------------------------------------------
 
 class ExternalSortTest : public TempDirTest {};

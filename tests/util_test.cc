@@ -129,6 +129,44 @@ TEST(FlagsTest, DoubleParsing) {
   EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.25);
 }
 
+// Malformed numeric flag values are hard errors (exit 2), never a silent
+// fallback to the default: --cache-blocks= running an uncached sweep and
+// publishing its numbers is exactly the failure mode this forbids.
+TEST(FlagsDeathTest, EmptyNumericValueIsFatal) {
+  const char* argv[] = {"prog", "--cache-blocks="};
+  Flags flags = Flags::Parse(2, const_cast<char**>(argv));
+  EXPECT_EXIT((void)flags.GetInt("cache-blocks", 0),
+              ::testing::ExitedWithCode(2), "invalid value");
+  EXPECT_EXIT((void)flags.GetDouble("cache-blocks", 0.0),
+              ::testing::ExitedWithCode(2), "invalid value");
+}
+
+TEST(FlagsDeathTest, MalformedNumericValueIsFatal) {
+  const char* argv[] = {"prog", "--alpha=12x", "--scale=0.2.5",
+                        "--beta=  ", "--gamma=1e999"};
+  Flags flags = Flags::Parse(5, const_cast<char**>(argv));
+  EXPECT_EXIT((void)flags.GetInt("alpha", 0),
+              ::testing::ExitedWithCode(2), "invalid value for --alpha");
+  EXPECT_EXIT((void)flags.GetDouble("scale", 1.0),
+              ::testing::ExitedWithCode(2), "invalid value for --scale");
+  EXPECT_EXIT((void)flags.GetInt("beta", 0),
+              ::testing::ExitedWithCode(2), "expected an integer");
+  // Out-of-range (strtod sets ERANGE) is malformed too.
+  EXPECT_EXIT((void)flags.GetDouble("gamma", 1.0),
+              ::testing::ExitedWithCode(2), "expected a number");
+}
+
+TEST(FlagsTest, WellFormedNumericValuesStillParse) {
+  const char* argv[] = {"prog", "--a=-7", "--b=0", "--c=2.5", "--d=1e3"};
+  Flags flags = Flags::Parse(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("a", 0), -7);
+  EXPECT_EQ(flags.GetInt("b", 9), 0);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("c", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d", 0.0), 1000.0);
+  // Absent flags still fall back to the default without dying.
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+}
+
 TEST(FlagsTest, UnusedFlagsDetectsTypos) {
   const char* argv[] = {"prog", "--sclae=0.25", "--seed=1"};
   Flags flags = Flags::Parse(3, const_cast<char**>(argv));
