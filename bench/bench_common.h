@@ -21,6 +21,16 @@
 //                      Logical I/O counts and results are byte-identical
 //                      at every N; only physical reads drop. 0 (default)
 //                      = no cache, exactly the historical behavior
+//   --threads=N        install an N-worker I/O thread pool (async block
+//                      prefetch, parallel run sorting). 0 (default) =
+//                      no pool, fully serial. Results, logical I/O and
+//                      the audit log are byte-identical at every N
+//                      (docs/PERFORMANCE.md)
+//   --prefetch-depth=N read-ahead pipeline depth: 0 = none, 1 (default)
+//                      = the classic synchronous double buffer, >= 2 =
+//                      async N-deep window (needs --threads >= 1).
+//                      Implies a cache seam: with --cache-blocks=0 a
+//                      budget-0 cache is installed to carry the setting
 
 #ifndef IOSCC_BENCH_BENCH_COMMON_H_
 #define IOSCC_BENCH_BENCH_COMMON_H_
@@ -48,6 +58,7 @@
 #include "scc/tarjan.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace ioscc {
 namespace bench {
@@ -71,9 +82,16 @@ struct BenchContext {
   std::string audit_path;
   // Real block cache (--cache-blocks=N, N > 0); see io/block_cache.h.
   std::unique_ptr<BlockCache> cache;
+  // I/O worker pool (--threads=N, N > 0); see util/thread_pool.h.
+  std::unique_ptr<ThreadPool> pool;
+  int io_threads = 0;
+  int prefetch_depth = 1;
 
   ~BenchContext() {
-    // Finalize sinks when the bench returns from Main.
+    // Finalize sinks when the bench returns from Main. The pool is
+    // uninstalled first (every BlockFile is closed by now) and joined
+    // when the member is destroyed after this body.
+    if (pool != nullptr) SetIoThreadPool(nullptr);
     if (cache != nullptr) {
       SetBlockCache(nullptr);
       const BlockCache::Stats cs = cache->stats();
@@ -163,6 +181,27 @@ inline bool InitBench(int argc, char** argv, BenchContext* ctx,
     std::fprintf(stderr, "--cache-blocks must be >= 0\n");
     return false;
   }
+  const int64_t threads = flags.GetInt("threads", 0);
+  const int64_t prefetch_depth = flags.GetInt("prefetch-depth", 1);
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return false;
+  }
+  if (prefetch_depth < 0) {
+    std::fprintf(stderr, "--prefetch-depth must be >= 0\n");
+    return false;
+  }
+  ctx->io_threads = static_cast<int>(threads);
+  ctx->prefetch_depth = static_cast<int>(prefetch_depth);
+  if (threads > 0) {
+    ctx->pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+    SetIoThreadPool(ctx->pool.get());
+  } else if (prefetch_depth >= 2) {
+    std::fprintf(stderr,
+                 "--prefetch-depth=%lld without --threads: falling back "
+                 "to the synchronous double buffer\n",
+                 static_cast<long long>(prefetch_depth));
+  }
   if (cache_blocks > 0) {
     // Installed alongside the audit log so a run's audit replay through
     // SimulateLruCache sees the exact access stream the cache saw. The
@@ -179,6 +218,17 @@ inline bool InitBench(int argc, char** argv, BenchContext* ctx,
                      static_cast<uint64_t>(cache_blocks),
                      kDefaultBlockSize)) /
                      (1024.0 * 1024.0));
+  }
+  if (ctx->cache == nullptr && ctx->prefetch_depth >= 2 &&
+      ctx->pool != nullptr) {
+    // The read-ahead setting rides on the cache seam; a budget-0 cache
+    // caches nothing (every read misses, installs drop — same logical
+    // I/O and results as no cache) and just carries the pipeline depth.
+    ctx->cache = std::make_unique<BlockCache>(0);
+    SetBlockCache(ctx->cache.get());
+  }
+  if (ctx->cache != nullptr) {
+    ctx->cache->set_prefetch_depth(ctx->prefetch_depth);
   }
   if (ctx->tracer != nullptr || ctx->report != nullptr) {
     // A sink is watching: turn on the costlier sampled metrics too.
@@ -226,6 +276,11 @@ inline RunOutcome Run(const BenchContext& ctx, SccAlgorithm algorithm,
       entry.cache_memory_bytes =
           TheoryCacheMemoryBytes(ctx.cache->budget_blocks(),
                                  kDefaultBlockSize);
+      entry.prefetch_depth =
+          static_cast<uint64_t>(ctx.cache->prefetch_depth());
+    }
+    if (ctx.pool != nullptr) {
+      entry.io_threads = static_cast<uint64_t>(ctx.pool->num_threads());
     }
     Status st = ctx.report->Append(entry);
     if (!st.ok()) {

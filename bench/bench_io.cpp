@@ -1,0 +1,221 @@
+// bench_io: throughput of the threaded I/O pipeline, swept over
+// --threads and --prefetch-depth (docs/PERFORMANCE.md).
+//
+// Two workloads per sweep point, on one generated uniform edge file:
+//   scan   sequential EdgeScanner pass (decode + checksum every edge)
+//   sort   SortEdgeFile under a small memory budget (run formation +
+//          k-way merge)
+//
+// Reported per point: wall-clock MB/s and read_stall_micros — the time
+// the consuming thread spent blocked on the disk (demand reads,
+// synchronous read-ahead, waits for in-flight prefetch fills). Logical
+// block I/O is byte-identical across the whole sweep; only the stall
+// time and physical scheduling change. CI asserts the scan stall is
+// monotonically non-increasing in prefetch depth (within tolerance).
+//
+//   bench_io [--edges=N] [--seed=N] [--threads=0,2] [--depths=0,1,4,16]
+//            [--budget-mib=M] [--report=FILE]
+//
+// --report writes the standard JSONL run report (docs/OBSERVABILITY.md),
+// one "run" record per (workload, threads, depth) point with the cache
+// object carrying prefetch_depth / io_threads.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/generators.h"
+#include "harness/table.h"
+#include "io/block_cache.h"
+#include "io/edge_file.h"
+#include "io/external_sort.h"
+#include "io/temp_dir.h"
+#include "obs/run_report.h"
+#include "util/flags.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace ioscc;  // bench binaries only
+
+namespace {
+
+std::vector<int> ParseIntList(const std::string& csv,
+                              const std::vector<int>& fallback) {
+  if (csv.empty()) return fallback;
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    out.push_back(std::atoi(csv.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct PointResult {
+  double seconds = 0;
+  IoStats io;
+};
+
+// One measured workload run under an installed (pool, cache) pair.
+PointResult MeasureScan(const std::string& path) {
+  PointResult r;
+  Timer timer;
+  std::unique_ptr<EdgeScanner> scanner;
+  Status st = EdgeScanner::Open(path, &r.io, &scanner);
+  if (!st.ok()) {
+    std::fprintf(stderr, "scan open: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  Edge edge;
+  uint64_t checksum = 0;
+  while (scanner->Next(&edge)) checksum += edge.from ^ edge.to;
+  if (!scanner->status().ok()) {
+    std::fprintf(stderr, "scan: %s\n", scanner->status().ToString().c_str());
+    std::exit(1);
+  }
+  r.seconds = timer.ElapsedSeconds();
+  // Keep the decode loop honest against dead-code elimination.
+  if (checksum == 0xdeadbeef) std::fprintf(stderr, "\n");
+  return r;
+}
+
+PointResult MeasureSort(const std::string& path, TempDir* scratch,
+                        size_t budget_bytes) {
+  PointResult r;
+  Timer timer;
+  ExternalSortOptions options;
+  options.memory_budget_bytes = budget_bytes;
+  std::string out_path = scratch->NewFilePath(".sorted");
+  Status st = SortEdgeFile(path, out_path, options, scratch, &r.io);
+  if (!st.ok()) {
+    std::fprintf(stderr, "sort: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  r.seconds = timer.ElapsedSeconds();
+  std::remove(out_path.c_str());
+  return r;
+}
+
+void Report(RunReportWriter* report, const char* workload,
+            const std::string& path, int threads, int depth,
+            const PointResult& r) {
+  if (report == nullptr) return;
+  RunReportEntry entry;
+  entry.experiment = "bench_io";
+  entry.algorithm = workload;
+  entry.dataset = path;
+  entry.status = Status::OK().ToString();
+  entry.finished = true;
+  entry.stats.io = r.io;
+  entry.stats.seconds = r.seconds;
+  entry.prefetch_depth = static_cast<uint64_t>(depth);
+  entry.io_threads = static_cast<uint64_t>(threads);
+  Status st = report->Append(entry);
+  if (!st.ok()) {
+    std::fprintf(stderr, "report: %s\n", st.ToString().c_str());
+  }
+}
+
+std::string MbPerSec(const PointResult& r) {
+  const double mb =
+      static_cast<double>(r.io.bytes_read + r.io.bytes_written) / 1e6;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                r.seconds > 0 ? mb / r.seconds : 0.0);
+  return buf;
+}
+
+std::string StallMs(const PointResult& r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f",
+                static_cast<double>(r.io.read_stall_micros) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const uint64_t edge_count = flags.GetInt("edges", 2'000'000);
+  const uint64_t seed = flags.GetInt("seed", 42);
+  const std::vector<int> threads_list =
+      ParseIntList(flags.GetString("threads", ""), {0, 2});
+  const std::vector<int> depth_list =
+      ParseIntList(flags.GetString("depths", ""), {0, 1, 4, 16});
+  const size_t budget_bytes =
+      static_cast<size_t>(flags.GetDouble("budget-mib", 4.0) * 1024 * 1024);
+
+  std::unique_ptr<RunReportWriter> report;
+  const std::string report_path = flags.GetString("report", "");
+  if (!report_path.empty()) {
+    Status st = RunReportWriter::Open(report_path, &report);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::unique_ptr<TempDir> scratch;
+  Status st = TempDir::Create("bench_io", &scratch);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const uint64_t node_count = std::max<uint64_t>(16, edge_count / 4);
+  std::vector<Edge> edges;
+  st = GenerateUniformEdges(node_count, edge_count, seed, &edges);
+  const std::string path = scratch->FilePath("input.edges");
+  if (st.ok()) {
+    st = WriteEdgeFile(path, node_count, edges, kDefaultBlockSize, nullptr);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  edges.clear();
+  edges.shrink_to_fit();
+  std::printf("bench_io: %llu edges (%.1f MB), sort budget %.1f MiB\n",
+              static_cast<unsigned long long>(edge_count),
+              static_cast<double>(edge_count * sizeof(Edge)) / 1e6,
+              static_cast<double>(budget_bytes) / (1024.0 * 1024.0));
+
+  Table table({"threads", "depth", "scan MB/s", "scan stall ms",
+               "sort MB/s", "sort stall ms"});
+  for (int threads : threads_list) {
+    for (int depth : depth_list) {
+      // Fresh pool + carrier cache per point, installed before any file
+      // opens and torn down after the last one closes. The budget-0
+      // cache holds no blocks; it only carries the read-ahead setting.
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 0) {
+        pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+        SetIoThreadPool(pool.get());
+      }
+      BlockCache cache(0);
+      cache.set_prefetch_depth(depth);
+      SetBlockCache(&cache);
+
+      PointResult scan = MeasureScan(path);
+      PointResult sort = MeasureSort(path, scratch.get(), budget_bytes);
+
+      SetBlockCache(nullptr);
+      if (pool != nullptr) SetIoThreadPool(nullptr);
+
+      Report(report.get(), "scan", path, threads, depth, scan);
+      Report(report.get(), "sort", path, threads, depth, sort);
+      table.AddRow({std::to_string(threads), std::to_string(depth),
+                    MbPerSec(scan), StallMs(scan), MbPerSec(sort),
+                    StallMs(sort)});
+    }
+  }
+  table.Print();
+  if (report != nullptr) {
+    (void)report->AppendMetricsSnapshot();
+    (void)report->Flush();
+  }
+  return 0;
+}

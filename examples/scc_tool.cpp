@@ -51,6 +51,7 @@
 #include "scc/tarjan.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 using namespace ioscc;  // examples only
 
@@ -62,7 +63,7 @@ int Usage() {
                "       scc_tool run FILE [--algorithm=1PB|1P|2P|DFS|EM] "
                "[--verify] [--time-limit=SECONDS] [--report] "
                "[--trace=FILE] [--audit=FILE] [--cache-blocks=N] "
-               "[--progress]\n"
+               "[--threads=N] [--prefetch-depth=N] [--progress]\n"
                "       scc_tool info FILE\n"
                "       scc_tool import TEXT FILE [--densify=false]\n"
                "       scc_tool export FILE TEXT\n"
@@ -187,6 +188,21 @@ int RunOn(const std::string& path, const Flags& flags) {
     std::fprintf(stderr, "--cache-blocks must be >= 0\n");
     return 2;
   }
+  const int64_t threads = flags.GetInt("threads", 0);
+  const int64_t prefetch_depth = flags.GetInt("prefetch-depth", 1);
+  if (threads < 0 || prefetch_depth < 0) {
+    std::fprintf(stderr, "--threads and --prefetch-depth must be >= 0\n");
+    return 2;
+  }
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) {
+    pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+    SetIoThreadPool(pool.get());
+  } else if (prefetch_depth >= 2) {
+    std::fprintf(stderr,
+                 "--prefetch-depth without --threads: falling back to the "
+                 "synchronous double buffer\n");
+  }
   std::unique_ptr<BlockCache> cache;
   if (cache_blocks > 0) {
     // Real LRU block cache + read-ahead (io/block_cache.h). Logical I/O
@@ -194,6 +210,14 @@ int RunOn(const std::string& path, const Flags& flags) {
     // physical reads drop.
     cache = std::make_unique<BlockCache>(static_cast<uint64_t>(cache_blocks));
     SetBlockCache(cache.get());
+  } else if (prefetch_depth >= 2 && pool != nullptr) {
+    // The read-ahead setting rides on the cache seam; a budget-0 cache
+    // caches nothing and just carries the pipeline depth.
+    cache = std::make_unique<BlockCache>(0);
+    SetBlockCache(cache.get());
+  }
+  if (cache != nullptr) {
+    cache->set_prefetch_depth(static_cast<int>(prefetch_depth));
   }
   if (flags.GetBool("progress", false)) {
     // Live heartbeat: one updating status line per edge-stream pass on
@@ -224,6 +248,7 @@ int RunOn(const std::string& path, const Flags& flags) {
 
   RunOutcome outcome = RunAlgorithmOnFile(algorithm, path, options);
   if (options.progress) std::fputc('\n', stderr);
+  if (pool != nullptr) SetIoThreadPool(nullptr);
   if (cache != nullptr) {
     SetBlockCache(nullptr);
     const BlockCache::Stats cs = cache->stats();
@@ -264,6 +289,12 @@ int RunOn(const std::string& path, const Flags& flags) {
       entry.cache_blocks = static_cast<uint64_t>(cache_blocks);
       entry.cache_memory_bytes = TheoryCacheMemoryBytes(
           entry.cache_blocks, kDefaultBlockSize);
+    }
+    if (cache != nullptr) {
+      entry.prefetch_depth = static_cast<uint64_t>(cache->prefetch_depth());
+    }
+    if (pool != nullptr) {
+      entry.io_threads = static_cast<uint64_t>(pool->num_threads());
     }
     std::printf("%s\n", RunReportEntryToJson(entry).c_str());
     std::printf(

@@ -40,6 +40,7 @@ for b in \
   bench_fig16_vary_scc_size \
   bench_fig17_vary_scc_count \
   bench_ablation \
+  bench_io \
   bench_micro; do
   if [[ ! -x "$BUILD_DIR/bench/$b" ]]; then
     echo "error: missing bench binary '$BUILD_DIR/bench/$b'" >&2
@@ -47,6 +48,12 @@ for b in \
   fi
   echo "===== $b =====" | tee -a "$OUT"
   case "$b" in
+    bench_io)
+      # Threaded-I/O pipeline sweep (scan + sort over threads x depth);
+      # takes only --report of the standard sinks.
+      "$BUILD_DIR/bench/$b" \
+        "--report=$REPORT_DIR/$b.jsonl" 2>/dev/null | tee -a "$OUT"
+      ;;
     bench_micro)
       "$BUILD_DIR/bench/$b" \
         "--benchmark_out=$REPORT_DIR/$b.json" \

@@ -30,14 +30,17 @@ inline uint64_t TheoryScanBlocks(uint64_t m, uint64_t block_bytes) {
   return (kEdgeRecordBytes * m + block_bytes - 1) / block_bytes + 1;
 }
 
-// sort(m) = (m/B) * ceil(log_{M/B}(m/B)) block I/Os (merge-sort bound).
+// sort(m) = (m/B) * ceil(log_{M/B - 1}(m/B)) block I/Os (merge-sort
+// bound). The merge fan-out is M/B minus one: io/external_sort.cc
+// charges the output writer's block buffer against the same budget as
+// the per-run input buffers (a k-way merge holds k + 1 blocks), so the
+// analytic bound mirrors the implementation's real fan-in cap.
 inline uint64_t TheorySortIos(uint64_t m, uint64_t memory_bytes,
                               uint64_t block_bytes) {
   const double edge_bytes = static_cast<double>(kEdgeRecordBytes);
   const double runs = std::max<double>(1.0, edge_bytes * m / block_bytes);
-  const double fanout = std::max<double>(2.0,
-                                         static_cast<double>(memory_bytes) /
-                                             block_bytes);
+  const double fanout = std::max<double>(
+      2.0, static_cast<double>(memory_bytes) / block_bytes - 1.0);
   const double passes = std::max(1.0, std::ceil(std::log(runs) /
                                                 std::log(fanout)));
   return static_cast<uint64_t>(edge_bytes * m / block_bytes * passes);

@@ -96,6 +96,23 @@ class BlockCache {
   uint64_t budget_blocks() const { return budget_blocks_; }
   bool read_ahead() const { return read_ahead_; }
 
+  // Read-ahead pipeline depth, captured by BlockFile at Open:
+  //   0          no read-ahead (same as read_ahead == false)
+  //   1          the synchronous one-block double buffer (default —
+  //              today's behavior, no threads involved)
+  //   N >= 2     asynchronous N-deep prefetch window, serviced by the
+  //              process-wide ThreadPool (SetIoThreadPool); falls back
+  //              to the synchronous buffer when no pool is installed.
+  // Set before opening files, like the budget (not synchronized against
+  // open BlockFiles).
+  void set_prefetch_depth(int depth) {
+    prefetch_depth_.store(depth < 0 ? 0 : depth, std::memory_order_release);
+  }
+  int prefetch_depth() const {
+    return read_ahead_ ? prefetch_depth_.load(std::memory_order_relaxed)
+                       : 0;
+  }
+
   Stats stats() const;
   uint64_t resident_blocks() const;
   uint64_t resident_bytes() const;
@@ -116,6 +133,7 @@ class BlockCache {
 
   const uint64_t budget_blocks_;
   const bool read_ahead_;
+  std::atomic<int> prefetch_depth_{1};
 
   mutable std::mutex mu_;
   std::vector<std::string> files_;          // id -> logical path

@@ -30,6 +30,21 @@ Histogram* WriteLatencyHistogram() {
   return h;
 }
 
+// Pool activity as seen from the I/O layer (the pool itself lives in
+// util and cannot depend on obs): filler tasks kicked, and the pool
+// queue depth at each kick.
+Counter* PoolTaskCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("pool.prefetch_tasks");
+  return c;
+}
+
+Histogram* PoolQueueDepthHistogram() {
+  static Histogram* h =
+      MetricsRegistry::Global().GetHistogram("pool.queue_depth");
+  return h;
+}
+
 bool ErrnoIsRetryable(int err) {
   return err == EINTR || err == EAGAIN || err == EIO;
 }
@@ -125,13 +140,25 @@ Status BlockFile::Open(const std::string& path, Mode mode, size_t block_size,
   BlockCache* cache = GetBlockCache();
   const uint32_t cache_file_id =
       cache != nullptr ? cache->RegisterFile(known_as) : 0;
+  ThreadPool* pool = GetIoThreadPool();
+  // Resolve the effective read-ahead mode once: an async depth without a
+  // pool to service it degrades to the synchronous double buffer, so
+  // `prefetch_depth_ >= 2` always implies a live pool.
+  int depth = cache != nullptr ? cache->prefetch_depth() : 0;
+  if (depth >= 2 && pool == nullptr) depth = 1;
+  if (mode != Mode::kRead) depth = 0;  // writers never read ahead
+  if (stats != nullptr && mode == Mode::kRead && cache != nullptr) {
+    stats->prefetch_depth_used = std::max<uint64_t>(
+        stats->prefetch_depth_used, static_cast<uint64_t>(depth));
+  }
   out->reset(new BlockFile(path, known_as, file, mode, block_size,
                            block_count, stats, audit, audit_file_id, fault,
-                           cache, cache_file_id));
+                           cache, cache_file_id, pool, depth));
   return Status::OK();
 }
 
 BlockFile::~BlockFile() {
+  ShutdownPrefetcher();
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -221,41 +248,92 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
   }
   const bool sequential = index == 0 || index == last_logical_read_ + 1;
   bool disk_was_touched = false;  // demand read or prefetch consume
+  bool served = false;
   if (cache_ != nullptr &&
       cache_->Lookup(cache_file_id_, index, data, block_size_)) {
     // LRU hit: served from memory, the disk head stays where it was.
     if (stats_ != nullptr) ++stats_->cache_hits;
-  } else if (cache_ != nullptr && prefetch_block_ == index) {
-    // Read-ahead hit: an LRU miss whose physical read was already paid
-    // by the prefetcher. Installs like any miss, so hit/miss accounting
-    // stays in lockstep with SimulateLruCache.
+    served = true;
+  } else if (async_prefetch()) {
+    PrefetchSlot slot;
+    if (TakeSlot(index, &slot)) {
+      if (slot.ok_read) {
+        // Async read-ahead hit: an LRU miss whose physical read was
+        // already paid by the filler. Every counter moves here, on the
+        // consuming thread, so the ledger and the cache's hit/miss
+        // sequence stay in lockstep with SimulateLruCache.
+        std::memcpy(data, slot.data.data(), block_size_);
+        cache_->CountPrefetch();
+        cache_->CountPrefetchHit();
+        cache_->Install(cache_file_id_, index, data, block_size_,
+                        /*is_write=*/false);
+        if (stats_ != nullptr) {
+          ++stats_->physical_blocks_read;
+          ++stats_->prefetched_blocks;
+          ++stats_->prefetch_hits;
+        }
+        disk_was_touched = true;
+        served = true;
+      } else if (!slot.status.ok()) {
+        // Deferred fault: the filler's failed attempt stands in for this
+        // logical read's first attempt. Retries happen here and count
+        // into read_retries, so the surfaced Status and the retry ledger
+        // are identical to the unthreaded demand path.
+        Timer timer;
+        Status st;
+        {
+          std::lock_guard<std::mutex> lock(file_mu_);
+          st = RetryRead(index, data, std::move(slot.status),
+                         slot.retryable);
+          read_cursor_ = st.ok() ? index + 1 : kNoBlock;
+        }
+        if (stats_ != nullptr) {
+          stats_->read_stall_micros +=
+              static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+        }
+        if (!st.ok()) return st;
+        cache_->Install(cache_file_id_, index, data, block_size_,
+                        /*is_write=*/false);
+        if (stats_ != nullptr) ++stats_->physical_blocks_read;
+        disk_was_touched = true;
+        served = true;
+      }
+      // Otherwise the filler skipped the block (LRU-resident when
+      // probed, evicted since): fall through to a demand read.
+    }
+  } else if (prefetch_depth_ == 1 && prefetch_block_ == index) {
+    // Synchronous read-ahead hit: an LRU miss whose physical read was
+    // already paid by the prefetcher. Installs like any miss, so
+    // hit/miss accounting stays in lockstep with SimulateLruCache.
     std::memcpy(data, prefetch_buffer_.data(), block_size_);
     prefetch_block_ = kNoBlock;
     cache_->CountPrefetchHit();
     cache_->Install(cache_file_id_, index, data, block_size_,
                     /*is_write=*/false);
     disk_was_touched = true;
+    served = true;
     if (stats_ != nullptr) ++stats_->prefetch_hits;
-  } else {
+  }
+  if (!served) {
     const bool sample_latency = MetricsEnabled();
     Timer timer;
-    // Avoid a redundant fseek for the common sequential-scan pattern.
     bool retryable = false;
-    Status st =
-        ReadAttempt(index, data, /*need_seek=*/index != read_cursor_,
-                    &retryable);
-    if (!st.ok()) {
-      st = RetryRead(index, data, std::move(st), retryable);
+    Status st;
+    {
+      std::lock_guard<std::mutex> lock(file_mu_);
+      // Avoid a redundant fseek for the common sequential-scan pattern.
+      st = ReadAttempt(index, data, /*need_seek=*/index != read_cursor_,
+                       &retryable);
       if (!st.ok()) {
-        read_cursor_ = kNoBlock;  // position now unknown
-        return st;
+        st = RetryRead(index, data, std::move(st), retryable);
       }
+      read_cursor_ = st.ok() ? index + 1 : kNoBlock;
     }
-    if (sample_latency) {
-      ReadLatencyHistogram()->Record(
-          static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
-    }
-    read_cursor_ = index + 1;
+    const uint64_t micros =
+        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+    if (stats_ != nullptr) stats_->read_stall_micros += micros;
+    if (!st.ok()) return st;
+    if (sample_latency) ReadLatencyHistogram()->Record(micros);
     disk_was_touched = true;
     if (stats_ != nullptr) ++stats_->physical_blocks_read;
     if (cache_ != nullptr) {
@@ -263,13 +341,17 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
                       /*is_write=*/false);
     }
   }
-  // Double-buffered read-ahead: while the head sits just past a
-  // sequentially-demanded block, pull the next one. Chains across
-  // prefetch consumes so a steady scan alternates buffers; skipped on
-  // LRU hits (the disk was never involved).
-  if (cache_ != nullptr && cache_->read_ahead() && sequential &&
-      disk_was_touched) {
-    Prefetch(index + 1);
+  // Read-ahead: while the head sits just past a sequentially-demanded
+  // block, pull the next one (synchronous double buffer) or top the
+  // async window back up to prefetch_depth_ blocks. Chains across
+  // prefetch consumes so a steady scan stays ahead; skipped on LRU hits
+  // (the disk was never involved).
+  if (sequential && disk_was_touched) {
+    if (async_prefetch()) {
+      ScheduleAsyncPrefetch(index);
+    } else if (prefetch_depth_ == 1) {
+      Prefetch(index + 1);
+    }
   }
   last_logical_read_ = index;
   if (audit_ != nullptr) {
@@ -293,8 +375,16 @@ void BlockFile::Prefetch(uint64_t index) {
     prefetch_buffer_.resize(block_size_);
   }
   bool retryable = false;
+  Timer timer;
   Status st = ReadAttempt(index, prefetch_buffer_.data(),
                           /*need_seek=*/index != read_cursor_, &retryable);
+  // The synchronous read-ahead blocks the consumer just like a demand
+  // read — it only moves the wait earlier — so it counts as stall. The
+  // async pipeline exists to take exactly this term off the clock.
+  if (stats_ != nullptr) {
+    stats_->read_stall_micros +=
+        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+  }
   if (!st.ok()) {
     // Opportunistic read: drop it without retrying. If the block is
     // really wanted later, the demand read retries and reports.
@@ -308,6 +398,175 @@ void BlockFile::Prefetch(uint64_t index) {
   if (stats_ != nullptr) {
     ++stats_->physical_blocks_read;
     ++stats_->prefetched_blocks;
+  }
+}
+
+void BlockFile::ScheduleAsyncPrefetch(uint64_t after) {
+  const uint64_t first = after + 1;
+  if (first >= block_count_) return;  // clean EOF: the window drains
+  const uint64_t last = std::min<uint64_t>(
+      block_count_ - 1, after + static_cast<uint64_t>(prefetch_depth_));
+  bool kick = false;
+  {
+    std::lock_guard<std::mutex> lock(pf_mu_);
+    if (pf_shutdown_) return;
+    uint64_t next = first;
+    if (!pf_queue_.empty()) {
+      const uint64_t window_first = pf_queue_.front().block;
+      const uint64_t window_last = pf_queue_.back().block;
+      if (first < window_first || first > window_last + 1) {
+        // The live window is disjoint from the new position (a Reset or
+        // a jump). Leave it: the consume path drains it — or reaches it,
+        // if the scan is walking back up to where the window starts.
+        return;
+      }
+      next = window_last + 1;
+    }
+    if (next > last) return;  // window already covers the target depth
+    for (uint64_t b = next; b <= last; ++b) {
+      PrefetchSlot slot;
+      slot.block = b;
+      pf_queue_.push_back(std::move(slot));
+    }
+    if (!pf_filler_active_) {
+      pf_filler_active_ = true;
+      kick = true;
+    }
+  }
+  if (!kick) return;
+  PoolTaskCounter()->Increment();
+  if (MetricsEnabled()) {
+    PoolQueueDepthHistogram()->Record(pool_->queue_depth());
+  }
+  if (!pool_->Submit([this] { FillerLoop(); })) {
+    // The pool is already shutting down — a broken uninstall-before-
+    // destroy ordering. Degrade gracefully: mark everything unfilled as
+    // ready-and-empty so no consumer waits on a fill that never comes.
+    std::lock_guard<std::mutex> lock(pf_mu_);
+    pf_filler_active_ = false;
+    for (PrefetchSlot& slot : pf_queue_) slot.ready = true;
+    pf_cv_.notify_all();
+  }
+}
+
+void BlockFile::FillerLoop() {
+  for (;;) {
+    PrefetchSlot* slot = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(pf_mu_);
+      if (!pf_shutdown_) {
+        // Fills proceed strictly front to back, so unfilled slots are a
+        // suffix and every slot ahead of this one is already ready.
+        for (PrefetchSlot& s : pf_queue_) {
+          if (!s.ready) {
+            slot = &s;
+            break;
+          }
+        }
+      }
+      if (slot == nullptr) {
+        pf_filler_active_ = false;
+        pf_cv_.notify_all();  // ShutdownPrefetcher may be waiting
+        return;
+      }
+    }
+    // Fill outside pf_mu_. The pointer stays valid: the consumer never
+    // pops a slot that is not ready, and deque ops at the ends do not
+    // move other elements.
+    if (cache_->Contains(cache_file_id_, slot->block)) {
+      // The LRU would serve it; reading it again would inflate physical
+      // I/O. The consumer falls back to a demand read in the (rare)
+      // event the block is evicted before it is wanted.
+      slot->cache_resident = true;
+    } else {
+      slot->data.resize(block_size_);
+      bool retryable = false;
+      std::lock_guard<std::mutex> lock(file_mu_);
+      Status st = ReadAttempt(slot->block, slot->data.data(),
+                              /*need_seek=*/slot->block != read_cursor_,
+                              &retryable);
+      read_cursor_ = st.ok() ? slot->block + 1 : kNoBlock;
+      // A failure is carried to the consuming logical read *unretried*
+      // and unaccounted: it stands in for that read's first attempt, so
+      // Status and retry counts match the unthreaded path exactly.
+      slot->ok_read = st.ok();
+      slot->status = std::move(st);
+      slot->retryable = retryable;
+    }
+    {
+      std::lock_guard<std::mutex> lock(pf_mu_);
+      slot->ready = true;
+    }
+    pf_cv_.notify_all();
+  }
+}
+
+void BlockFile::WaitForFrontReady(std::unique_lock<std::mutex>* lock) {
+  Timer timer;
+  pf_cv_.wait(*lock, [this] { return pf_queue_.front().ready; });
+  // Time spent waiting on an in-flight fill is the async pipeline's
+  // residual stall: the consumer outran the filler.
+  if (stats_ != nullptr) {
+    stats_->read_stall_micros +=
+        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+  }
+}
+
+bool BlockFile::TakeSlot(uint64_t index, PrefetchSlot* out) {
+  std::unique_lock<std::mutex> lock(pf_mu_);
+  if (pf_queue_.empty() || index < pf_queue_.front().block) {
+    // Window empty or strictly ahead of the new position. A rewound
+    // scan (EdgeScanner::Reset) will walk back up to it, so keep it.
+    return false;
+  }
+  if (index > pf_queue_.back().block) {
+    // The whole window is behind the new position: drop it, booking the
+    // filler's completed reads so physical I/O stays truthful.
+    while (!pf_queue_.empty()) {
+      if (!pf_queue_.front().ready) {
+        WaitForFrontReady(&lock);
+        continue;
+      }
+      AccountDroppedSlot(pf_queue_.front());
+      pf_queue_.pop_front();
+    }
+    return false;
+  }
+  for (;;) {
+    if (!pf_queue_.front().ready) {
+      WaitForFrontReady(&lock);
+      continue;
+    }
+    PrefetchSlot& front = pf_queue_.front();
+    if (front.block == index) {
+      *out = std::move(front);
+      pf_queue_.pop_front();
+      return true;
+    }
+    AccountDroppedSlot(front);
+    pf_queue_.pop_front();
+  }
+}
+
+void BlockFile::AccountDroppedSlot(const PrefetchSlot& slot) {
+  if (!slot.ok_read) return;  // skipped, failed, or never filled
+  cache_->CountPrefetch();
+  if (stats_ != nullptr) {
+    ++stats_->physical_blocks_read;
+    ++stats_->prefetched_blocks;
+  }
+}
+
+void BlockFile::ShutdownPrefetcher() {
+  if (!async_prefetch()) return;
+  std::unique_lock<std::mutex> lock(pf_mu_);
+  pf_shutdown_ = true;
+  pf_cv_.wait(lock, [this] { return !pf_filler_active_; });
+  // Book reads the filler completed but nobody consumed, so the
+  // physical ledger reflects what actually hit the disk.
+  while (!pf_queue_.empty()) {
+    AccountDroppedSlot(pf_queue_.front());
+    pf_queue_.pop_front();
   }
 }
 

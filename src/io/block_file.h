@@ -5,25 +5,39 @@
 // Files written through BlockFile are always a whole number of blocks long
 // (writers pad the tail block).
 //
-// Robustness: every physical read/write/flush attempt flows through three
+// Robustness: every physical read/write/flush attempt flows through
 // opt-in seams captured once at Open — the BlockAccessLog auditor, the
 // BlockCache (io/block_cache.h, which also drives the per-file read-ahead
-// buffer), and the FaultInjector (io/fault_env.h). The audit log records
-// *logical* accesses (what the algorithm asked for); IoStats counts both
-// logical and physical reads, which diverge exactly when the cache or
-// prefetcher serves a block without touching the disk.
+// buffer), the FaultInjector (io/fault_env.h), and the ThreadPool
+// (util/thread_pool.h, which upgrades the read-ahead to an async N-deep
+// pipeline). The audit log records *logical* accesses (what the algorithm
+// asked for); IoStats counts both logical and physical reads, which
+// diverge exactly when the cache or prefetcher serves a block without
+// touching the disk.
 // Retryable failures (EINTR, EIO, short
 // transfers — real or injected) are retried with bounded exponential
 // backoff (IoRetryPolicy); the retry count lands in IoStats so run
 // reports show how hard the storage fought back. With neither seam
 // installed the hot path is two null checks and the I/O counters are
 // byte-identical to an uninstrumented run.
+//
+// Threading discipline (docs/PERFORMANCE.md): background filler tasks
+// perform *only* the physical read into a pinned slot. All logical
+// accounting — IoStats, the audit log, cache hit/miss transitions —
+// happens on the consuming thread, in program order, when the logical
+// read arrives. That keeps the logical ledger and audit log
+// byte-identical at every thread count and prefetch depth, and makes an
+// injected fault on an in-flight prefetch surface on the logical access
+// that consumes it (with the same Status and retry counts as an
+// unthreaded run), never on a background thread.
 
 #ifndef IOSCC_IO_BLOCK_FILE_H_
 #define IOSCC_IO_BLOCK_FILE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +48,7 @@
 #include "io/io_stats.h"
 #include "obs/io_audit.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ioscc {
 
@@ -136,7 +151,8 @@ class BlockFile {
   BlockFile(std::string path, std::string logical_path, std::FILE* file,
             Mode mode, size_t block_size, uint64_t block_count,
             IoStats* stats, BlockAccessLog* audit, uint32_t audit_file_id,
-            FaultInjector* fault, BlockCache* cache, uint32_t cache_file_id)
+            FaultInjector* fault, BlockCache* cache, uint32_t cache_file_id,
+            ThreadPool* pool, int prefetch_depth)
       : path_(std::move(path)),
         logical_path_(std::move(logical_path)),
         file_(file),
@@ -148,7 +164,9 @@ class BlockFile {
         audit_file_id_(audit_file_id),
         fault_(fault),
         cache_(cache),
-        cache_file_id_(cache_file_id) {}
+        cache_file_id_(cache_file_id),
+        pool_(pool),
+        prefetch_depth_(prefetch_depth) {}
 
   // One physical attempt. `*retryable` reports whether the failure class
   // is worth retrying (EINTR/EIO/short transfer yes; ENOSPC/torn no).
@@ -170,6 +188,48 @@ class BlockFile {
   // that eventually wants the block retries and reports as usual.
   void Prefetch(uint64_t index);
 
+  // --- Async prefetch pipeline (prefetch_depth_ >= 2; implies pool_).
+  //
+  // pf_queue_ holds slots for a contiguous ascending range of blocks.
+  // One filler task at a time pulls the front-most unfilled slot and
+  // performs its physical read (under file_mu_, which serializes the
+  // FILE* and read_cursor_ against demand reads). The consumer pops only
+  // ready slots; a failed fill is carried to the consuming logical read
+  // unretried, so retries, retry counters, and the surfaced Status are
+  // identical to the unthreaded path.
+  struct PrefetchSlot {
+    uint64_t block = 0;
+    std::vector<char> data;
+    Status status;                // the filler's single attempt
+    bool retryable = false;
+    bool ready = false;           // filler is done with this slot
+    bool cache_resident = false;  // skipped: the LRU already held it
+    bool ok_read = false;         // data holds the block's contents
+  };
+
+  bool async_prefetch() const { return prefetch_depth_ >= 2; }
+
+  // Extends the window to cover (after, after + prefetch_depth_] and
+  // wakes the filler if idle. Call without pf_mu_ held.
+  void ScheduleAsyncPrefetch(uint64_t after);
+  // The background task: fills unfilled slots front to back until none
+  // remain or shutdown. Touches no IoStats and no audit log.
+  void FillerLoop();
+  // Pops the slot for `index` if the window holds it, draining (and
+  // accounting) stale slots in front of it. Waits for in-flight fills;
+  // the wait is charged to read_stall_micros. Returns false when the
+  // window does not cover `index`.
+  bool TakeSlot(uint64_t index, PrefetchSlot* out);
+  // Blocks until the front slot is ready, charging the wait to
+  // read_stall_micros. `lock` must hold pf_mu_ and the queue must be
+  // non-empty.
+  void WaitForFrontReady(std::unique_lock<std::mutex>* lock);
+  // Books the physical read of a slot that was drained unconsumed.
+  // Consumer thread only (it touches stats_). pf_mu_ may be held.
+  void AccountDroppedSlot(const PrefetchSlot& slot);
+  // Stops the filler, waits it out, and drains the queue. Idempotent.
+  void ShutdownPrefetcher();
+
   std::string path_;
   std::string logical_path_;  // == path_ unless the caller aliased it
   std::FILE* file_;
@@ -179,8 +239,10 @@ class BlockFile {
   // Physical position of the FILE* in blocks (next block a seek-free read
   // would deliver), advanced only by physical reads — cache hits leave
   // the disk head where it was. kNoBlock after a failure or at open.
+  // Guarded by file_mu_ when a filler can run (async_prefetch()).
   uint64_t read_cursor_ = kNoBlock;
   // Last block delivered to the caller, for sequential-scan detection.
+  // Consumer thread only.
   uint64_t last_logical_read_ = kNoBlock;
   IoStats* stats_;
   BlockAccessLog* audit_;   // captured at Open; null when uninstalled
@@ -188,9 +250,27 @@ class BlockFile {
   FaultInjector* fault_;    // captured at Open; null when uninstalled
   BlockCache* cache_;       // captured at Open; null when uninstalled
   uint32_t cache_file_id_;  // meaningful only when cache_ != nullptr
-  // Read-ahead double buffer (outside the cache's block budget).
+  ThreadPool* pool_;        // captured at Open; null when uninstalled
+  // Effective read-ahead mode after Open's fallback: 0 = none, 1 = the
+  // synchronous double buffer, >= 2 = async window (pool_ != nullptr).
+  int prefetch_depth_;
+  // Read-ahead double buffer (outside the cache's block budget), used
+  // only in synchronous mode (prefetch_depth_ == 1).
   std::vector<char> prefetch_buffer_;
   uint64_t prefetch_block_ = kNoBlock;  // block resident in the buffer
+  // Serializes the FILE* + read_cursor_ between the consumer's demand
+  // reads and the filler's read-ahead. Uncontended (and the filler
+  // nonexistent) outside async mode.
+  std::mutex file_mu_;
+  // Async window state; pf_mu_ guards all of it. Slots are appended by
+  // the consumer, filled front-to-back by the filler, popped (ready
+  // slots only) by the consumer — so a slot address is stable for the
+  // duration of its fill.
+  std::mutex pf_mu_;
+  std::condition_variable pf_cv_;
+  std::deque<PrefetchSlot> pf_queue_;
+  bool pf_filler_active_ = false;
+  bool pf_shutdown_ = false;
 };
 
 }  // namespace ioscc

@@ -1,7 +1,9 @@
 #include "io/external_sort.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -16,6 +18,76 @@ bool Less(EdgeOrder order, const Edge& a, const Edge& b) {
   if (order == EdgeOrder::kBySource) return a < b;
   return OrderEdgeByTarget()(a, b);
 }
+
+// Below this many edges a chunk is not worth a task dispatch.
+constexpr size_t kMinSortChunk = 4096;
+// Diminishing returns past this many chunks (the merge cascade is
+// serial), and it bounds task bookkeeping.
+constexpr size_t kMaxSortChunks = 16;
+
+// An in-memory sort of one run, split across pool workers: the
+// constructor carves the run into chunks and submits one std::sort task
+// per chunk; Finish() waits and merges the sorted chunks in place on
+// the calling thread.
+//
+// The result is byte-identical to a single serial std::sort: both edge
+// orders compare every field, so "equal" elements are bitwise identical
+// and any permutation of them serializes the same.
+//
+// With a null pool the chunk sorts run inline in the constructor
+// (TaskGroup's contract) — same code path, same answer, no overlap.
+class PendingSort {
+ public:
+  PendingSort(ThreadPool* pool, std::vector<Edge>* run, EdgeOrder order)
+      : group_(pool), run_(run), order_(order) {
+    const size_t n = run->size();
+    size_t chunks = 1;
+    if (pool != nullptr && n >= 2 * kMinSortChunk) {
+      chunks = std::min<size_t>(
+          {static_cast<size_t>(pool->num_threads()), n / kMinSortChunk,
+           kMaxSortChunks});
+      chunks = std::max<size_t>(1, chunks);
+    }
+    bounds_.reserve(chunks + 1);
+    for (size_t i = 0; i <= chunks; ++i) bounds_.push_back(n * i / chunks);
+    for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+      Edge* begin = run->data() + bounds_[i];
+      Edge* end = run->data() + bounds_[i + 1];
+      const EdgeOrder o = order;
+      group_.Run([begin, end, o] {
+        std::sort(begin, end,
+                  [o](const Edge& a, const Edge& b) { return Less(o, a, b); });
+      });
+    }
+  }
+
+  // Waits out the chunk sorts, then runs the inplace_merge cascade.
+  // Must be called before the run vector is touched again.
+  void Finish() {
+    group_.Wait();
+    std::vector<size_t> b = bounds_;
+    const EdgeOrder o = order_;
+    auto less = [o](const Edge& x, const Edge& y) { return Less(o, x, y); };
+    while (b.size() > 2) {
+      std::vector<size_t> next;
+      next.push_back(b.front());
+      size_t i = 0;
+      for (; i + 2 < b.size(); i += 2) {
+        std::inplace_merge(run_->begin() + b[i], run_->begin() + b[i + 1],
+                           run_->begin() + b[i + 2], less);
+        next.push_back(b[i + 2]);
+      }
+      if (next.back() != b.back()) next.push_back(b.back());
+      b = std::move(next);
+    }
+  }
+
+ private:
+  TaskGroup group_;  // its destructor waits, so tasks never outlive run_
+  std::vector<Edge>* run_;
+  EdgeOrder order_;
+  std::vector<size_t> bounds_;
+};
 
 // One source in the k-way merge.
 struct MergeSource {
@@ -36,69 +108,25 @@ struct MergeSource {
   }
 };
 
-}  // namespace
-
-Status SortEdgeFile(const std::string& input, const std::string& output,
-                    const ExternalSortOptions& options, TempDir* scratch,
+// Heap-merges `inputs` into a new edge file at `out_path`, applying the
+// dedup/self-loop filters. The filters are idempotent, so applying them
+// on every pass of a multi-pass merge is safe (and shrinks intermediate
+// runs). Used for intermediate passes and the final output alike.
+Status MergeOnePass(const std::vector<std::string>& inputs,
+                    const std::string& out_path, uint64_t node_count,
+                    size_t block_size, const ExternalSortOptions& options,
                     IoStats* stats) {
-  if (options.memory_budget_bytes < sizeof(Edge)) {
-    return Status::InvalidArgument("memory budget below one edge");
-  }
-  std::unique_ptr<EdgeScanner> scanner;
-  IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(input, stats, &scanner));
-  const uint64_t node_count = scanner->node_count();
-  const size_t block_size = scanner->info().block_size;
-  const size_t run_capacity =
-      std::max<size_t>(1, options.memory_budget_bytes / sizeof(Edge));
-
-  // Stage 1: run formation. Run files (and the final output below) go
-  // through EdgeWriter's write-temp-then-rename: an I/O failure or crash
-  // mid-sort leaves only complete `.run` files plus scratch temp files
-  // that EdgeWriter unlinks on the error path, never a torn file that a
-  // resumed merge could read as valid.
-  TraceSpan formation_span("sort.run_formation", stats);
-  Histogram* run_length_hist =
-      MetricsRegistry::Global().GetHistogram("sort.run_edges");
-  std::vector<std::string> run_paths;
-  std::vector<Edge> run;
-  run.reserve(std::min<size_t>(run_capacity, 1 << 22));
-  bool eof = false;
-  while (!eof) {
-    run.clear();
-    Edge edge;
-    while (run.size() < run_capacity && scanner->Next(&edge)) {
-      run.push_back(edge);
-    }
-    IOSCC_RETURN_IF_ERROR(scanner->status());
-    if (run.empty()) break;
-    eof = run.size() < run_capacity;
-    std::sort(run.begin(), run.end(), [&](const Edge& a, const Edge& b) {
-      return Less(options.order, a, b);
-    });
-    run_length_hist->Record(run.size());
-    std::string run_path = scratch->NewFilePath(".run");
-    IOSCC_RETURN_IF_ERROR(
-        WriteEdgeFile(run_path, node_count, run, block_size, stats));
-    run_paths.push_back(std::move(run_path));
-  }
-  scanner.reset();
-  formation_span.Close();
-
-  // Stage 2: k-way merge. A single pass suffices for every workload we
-  // generate (runs = m / budget is small); this keeps the code simple.
-  TraceSpan merge_span("sort.merge", stats);
-  MetricsRegistry::Global().GetCounter("sort.sorts")->Increment();
   MetricsRegistry::Global()
       .GetHistogram("sort.merge_fanin")
-      ->Record(run_paths.size());
+      ->Record(inputs.size());
   std::unique_ptr<EdgeWriter> writer;
   IOSCC_RETURN_IF_ERROR(
-      EdgeWriter::Create(output, node_count, block_size, stats, &writer));
+      EdgeWriter::Create(out_path, node_count, block_size, stats, &writer));
 
-  std::vector<MergeSource> sources(run_paths.size());
-  for (size_t i = 0; i < run_paths.size(); ++i) {
+  std::vector<MergeSource> sources(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
     IOSCC_RETURN_IF_ERROR(
-        EdgeScanner::Open(run_paths[i], stats, &sources[i].scanner));
+        EdgeScanner::Open(inputs[i], stats, &sources[i].scanner));
     IOSCC_RETURN_IF_ERROR(sources[i].Advance());
   }
 
@@ -127,6 +155,135 @@ Status SortEdgeFile(const std::string& input, const std::string& output,
     IOSCC_RETURN_IF_ERROR(writer->Add(edge));
   }
   return writer->Finish();
+}
+
+// Reads up to `capacity` edges into `out`; the caller checks
+// scanner->status() to tell a short chunk from a failed one.
+void ReadChunk(EdgeScanner* scanner, size_t capacity,
+               std::vector<Edge>* out) {
+  out->clear();
+  Edge edge;
+  while (out->size() < capacity && scanner->Next(&edge)) {
+    out->push_back(edge);
+  }
+}
+
+}  // namespace
+
+Status SortEdgeFile(const std::string& input, const std::string& output,
+                    const ExternalSortOptions& options, TempDir* scratch,
+                    IoStats* stats) {
+  if (options.memory_budget_bytes < sizeof(Edge)) {
+    return Status::InvalidArgument("memory budget below one edge");
+  }
+  ThreadPool* pool =
+      options.pool != nullptr ? options.pool : GetIoThreadPool();
+  std::unique_ptr<EdgeScanner> scanner;
+  IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(input, stats, &scanner));
+  const uint64_t node_count = scanner->node_count();
+  const size_t block_size = scanner->info().block_size;
+  // Charge the real working set against the budget, not just edge
+  // payloads: the scanner and the run writer each hold a block buffer,
+  // and formation keeps TWO chunk buffers alive (read-ahead of chunk
+  // k+1 overlaps the sort of chunk k — the same schedule runs with or
+  // without a pool so the audit log is identical at every thread count;
+  // without one it simply doesn't overlap anything).
+  const size_t fixed_bytes = 2 * block_size;
+  const size_t payload_bytes =
+      options.memory_budget_bytes > fixed_bytes
+          ? options.memory_budget_bytes - fixed_bytes
+          : 0;
+  const size_t run_capacity =
+      std::max<size_t>(1, payload_bytes / 2 / sizeof(Edge));
+
+  // Stage 1: pipelined run formation. Run files (and the final output
+  // below) go through EdgeWriter's write-temp-then-rename: an I/O
+  // failure or crash mid-sort leaves only complete `.run` files plus
+  // scratch temp files that EdgeWriter unlinks on the error path, never
+  // a torn file that a resumed merge could read as valid.
+  //
+  // Schedule per iteration (chunk k): read chunk k+1, finish sorting
+  // chunk k, start sorting chunk k+1, spill run k. Logical I/O thus
+  // stays on this thread in the fixed program order R(c0) R(c1) W(r0)
+  // R(c2) W(r1) ... regardless of worker timing.
+  TraceSpan formation_span("sort.run_formation", stats);
+  Histogram* run_length_hist =
+      MetricsRegistry::Global().GetHistogram("sort.run_edges");
+  std::vector<std::string> run_paths;
+  std::vector<Edge> bufs[2];
+  bufs[0].reserve(std::min<size_t>(run_capacity, 1 << 22));
+  bufs[1].reserve(std::min<size_t>(run_capacity, 1 << 22));
+  int cur = 0;
+  ReadChunk(scanner.get(), run_capacity, &bufs[cur]);
+  IOSCC_RETURN_IF_ERROR(scanner->status());
+  std::optional<PendingSort> pending;
+  if (!bufs[cur].empty()) {
+    pending.emplace(pool, &bufs[cur], options.order);
+  }
+  while (pending.has_value()) {
+    const bool maybe_more = bufs[cur].size() == run_capacity;
+    const int nxt = 1 - cur;
+    bufs[nxt].clear();
+    if (maybe_more) ReadChunk(scanner.get(), run_capacity, &bufs[nxt]);
+    Status read_status = scanner->status();
+    // Wait for the chunk sorts even when the read failed: the tasks
+    // hold pointers into bufs.
+    pending->Finish();
+    pending.reset();
+    IOSCC_RETURN_IF_ERROR(read_status);
+    if (!bufs[nxt].empty()) {
+      pending.emplace(pool, &bufs[nxt], options.order);
+    }
+    run_length_hist->Record(bufs[cur].size());
+    std::string run_path = scratch->NewFilePath(".run");
+    IOSCC_RETURN_IF_ERROR(WriteEdgeFile(run_path, node_count, bufs[cur],
+                                        block_size, stats));
+    run_paths.push_back(std::move(run_path));
+    cur = nxt;
+  }
+  scanner.reset();
+  formation_span.Close();
+
+  // Stage 2: k-way merge, in as many passes as the fan-in cap demands.
+  // A merge pass holds one block buffer per open run plus the output
+  // writer's block, so the budget affords M/B - 1 open runs; max_fanin
+  // can cap it further (tests force multi-pass merges with it).
+  TraceSpan merge_span("sort.merge", stats);
+  MetricsRegistry::Global().GetCounter("sort.sorts")->Increment();
+  size_t fanin = std::max<size_t>(
+      2, options.memory_budget_bytes / block_size > 0
+             ? options.memory_budget_bytes / block_size - 1
+             : 0);
+  if (options.max_fanin > 0) {
+    fanin = std::min(fanin, std::max<size_t>(2, options.max_fanin));
+  }
+
+  uint64_t passes = 1;  // the final pass below always runs
+  while (run_paths.size() > fanin) {
+    ++passes;
+    std::vector<std::string> next_runs;
+    for (size_t start = 0; start < run_paths.size(); start += fanin) {
+      const size_t end = std::min(run_paths.size(), start + fanin);
+      if (end - start == 1) {
+        // A lone straggler run passes through untouched.
+        next_runs.push_back(run_paths[start]);
+        continue;
+      }
+      std::vector<std::string> group(run_paths.begin() + start,
+                                     run_paths.begin() + end);
+      std::string merged_path = scratch->NewFilePath(".run");
+      IOSCC_RETURN_IF_ERROR(MergeOnePass(group, merged_path, node_count,
+                                         block_size, options, stats));
+      for (const std::string& used : group) std::remove(used.c_str());
+      next_runs.push_back(std::move(merged_path));
+    }
+    run_paths = std::move(next_runs);
+  }
+  MetricsRegistry::Global()
+      .GetHistogram("sort.merge_passes")
+      ->Record(passes);
+  return MergeOnePass(run_paths, output, node_count, block_size, options,
+                      stats);
 }
 
 }  // namespace ioscc

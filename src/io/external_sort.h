@@ -2,9 +2,21 @@
 //
 // Classic two-stage sort under a memory budget: (1) run formation — read as
 // many edges as fit in memory, sort, spill a sorted run; (2) k-way merge of
-// the runs with a loser-tree-style heap, one block buffer per run. All disk
-// traffic goes through the edge-file layer and is counted in IoStats, so a
-// sort costs the textbook sort(m) ≈ (m/B)·(1 + ceil(log_k(runs))) block I/Os.
+// the runs with a loser-tree-style heap, one block buffer per run. The
+// fan-in of a merge pass is capped (by the memory budget, and optionally
+// max_fanin), falling back to multiple merge passes when there are more
+// runs than open buffers — so the sort costs the textbook
+// sort(m) ≈ (m/B)·(1 + ceil(log_k(runs))) block I/Os with k = M/B - 1.
+//
+// With a ThreadPool available (options.pool, or the process-wide
+// SetIoThreadPool), run formation is pipelined: while pool workers sort
+// chunk k, the calling thread reads chunk k+1 and spills run k-1. All
+// *logical* I/O (scanner reads, run spills) stays on the calling thread
+// in program order, so the IoStats ledger and the audit log are
+// byte-identical at every thread count (docs/PERFORMANCE.md); only the
+// wall clock changes. The merge pass gets its overlap for free from the
+// BlockFile async prefetcher, which keeps each run's next blocks in
+// flight.
 //
 // Used to reverse/normalize graphs (DFS-SCC's second pass needs the reversed
 // edge set) and by generators to produce deduplicated edge files.
@@ -19,6 +31,7 @@
 #include "io/io_stats.h"
 #include "io/temp_dir.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ioscc {
 
@@ -28,13 +41,24 @@ enum class EdgeOrder {
 };
 
 struct ExternalSortOptions {
-  // Bytes of main memory the sort may use for edge payloads.
+  // Bytes of main memory the sort may use. The whole working set is
+  // charged against this: edge payloads, the double buffer pipelined
+  // run formation keeps in flight, and one block buffer per open file
+  // during a merge pass (fan-in + 1 of them) — not just the edges.
   size_t memory_budget_bytes = 64 * 1024 * 1024;
   EdgeOrder order = EdgeOrder::kBySource;
   // Drop exact duplicate edges while merging.
   bool dedup = false;
   // Drop self-loops (u,u) while merging.
   bool drop_self_loops = false;
+  // Cap on runs merged at once. 0 derives the cap from the memory
+  // budget (M/B - 1 block buffers); a nonzero value lowers it further.
+  // Merges above the cap fall back to multiple passes over scratch.
+  size_t max_fanin = 0;
+  // Worker pool for pipelined formation and parallel in-memory sorting.
+  // nullptr uses the process-wide pool (SetIoThreadPool), which may
+  // itself be absent — then the sort runs serially, as before.
+  ThreadPool* pool = nullptr;
 };
 
 // Sorts the edge file `input` into a new edge file `output`.

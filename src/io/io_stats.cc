@@ -42,6 +42,12 @@ std::string IoStats::Format() const {
   if (TotalRetries() > 0) {
     out += " + " + Grouped(TotalRetries()) + " retries";
   }
+  if (read_stall_micros > 0) {
+    char stall[48];
+    std::snprintf(stall, sizeof(stall), ", %.1f ms stalled",
+                  static_cast<double>(read_stall_micros) / 1e3);
+    out += stall;
+  }
   return out;
 }
 

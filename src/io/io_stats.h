@@ -7,6 +7,7 @@
 #ifndef IOSCC_IO_IO_STATS_H_
 #define IOSCC_IO_IO_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -38,6 +39,20 @@ struct IoStats {
   uint64_t cache_hits = 0;
   uint64_t prefetch_hits = 0;
   uint64_t prefetched_blocks = 0;
+  // Timing counters (wall clock, not I/O counts). read_stall_micros is
+  // the time the *consumer* spent blocked on the disk: demand reads,
+  // synchronous read-ahead, and waits for an in-flight async prefetch.
+  // It shrinks as the prefetch pipeline deepens while every logical and
+  // physical count above stays put — the whole point of the async
+  // prefetcher. prefetch_depth_used is a gauge: the deepest prefetch
+  // window in effect while these stats were collected (0 = no
+  // read-ahead, 1 = the synchronous double buffer, N>=2 = async).
+  //
+  // Both are excluded from operator== — equality means "the same I/O
+  // happened", and wall-clock timing differs between identical runs —
+  // but flow through +=/- so trace spans and reports carry them.
+  uint64_t read_stall_micros = 0;
+  uint64_t prefetch_depth_used = 0;
 
   uint64_t TotalBlockIos() const { return blocks_read + blocks_written; }
   uint64_t TotalPhysicalBlockIos() const {
@@ -58,6 +73,9 @@ struct IoStats {
     cache_hits += other.cache_hits;
     prefetch_hits += other.prefetch_hits;
     prefetched_blocks += other.prefetched_blocks;
+    read_stall_micros += other.read_stall_micros;
+    prefetch_depth_used = std::max(prefetch_depth_used,
+                                   other.prefetch_depth_used);
     return *this;
   }
 
@@ -78,11 +96,18 @@ struct IoStats {
     delta.cache_hits = sub(a.cache_hits, b.cache_hits);
     delta.prefetch_hits = sub(a.prefetch_hits, b.prefetch_hits);
     delta.prefetched_blocks = sub(a.prefetched_blocks, b.prefetched_blocks);
+    delta.read_stall_micros = sub(a.read_stall_micros, b.read_stall_micros);
+    // A gauge, not a counter: the depth in effect over the interval.
+    delta.prefetch_depth_used = a.prefetch_depth_used;
     return delta;
   }
 
   friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
 
+  // Compares the I/O *counts* only. The timing fields are deliberately
+  // left out: two runs that did identical I/O are equal even though
+  // their stall clocks differ (tests compare cached/audited/threaded
+  // runs against bare ones this way).
   friend bool operator==(const IoStats& a, const IoStats& b) {
     return a.blocks_read == b.blocks_read &&
            a.blocks_written == b.blocks_written &&

@@ -21,6 +21,10 @@ void WriteIoStats(JsonWriter* json, const IoStats& io) {
   json->Key("cache_hits").UInt(io.cache_hits);
   json->Key("prefetch_hits").UInt(io.prefetch_hits);
   json->Key("prefetched_blocks").UInt(io.prefetched_blocks);
+  // Timing, not I/O counts: how long the consumer was blocked on disk
+  // and the prefetch window that was in effect (io/io_stats.h).
+  json->Key("read_stall_micros").UInt(io.read_stall_micros);
+  json->Key("prefetch_depth_used").UInt(io.prefetch_depth_used);
   json->EndObject();
 }
 
@@ -54,10 +58,13 @@ std::string RunReportEntryToJson(const RunReportEntry& entry) {
     json.Key("pass").Bool(entry.io_budget_pass);
     json.EndObject();
   }
-  if (entry.cache_blocks > 0) {
+  if (entry.cache_blocks > 0 || entry.prefetch_depth > 0 ||
+      entry.io_threads > 0) {
     json.Key("cache").BeginObject();
     json.Key("budget_blocks").UInt(entry.cache_blocks);
     json.Key("memory_bytes").UInt(entry.cache_memory_bytes);
+    json.Key("prefetch_depth").UInt(entry.prefetch_depth);
+    json.Key("io_threads").UInt(entry.io_threads);
     json.EndObject();
   }
   if (entry.finished) {

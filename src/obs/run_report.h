@@ -49,6 +49,11 @@ struct RunReportEntry {
   // (harness/theory.h TheoryCacheMemoryBytes).
   uint64_t cache_blocks = 0;
   uint64_t cache_memory_bytes = 0;
+  // Threaded I/O pipeline configuration (docs/PERFORMANCE.md): the
+  // prefetch window and worker-pool size in effect. Ride along in the
+  // "cache" object, which is emitted whenever any of the three is set.
+  uint64_t prefetch_depth = 0;
+  uint64_t io_threads = 0;
 
   // Result summary; meaningful only when finished.
   uint64_t component_count = 0;

@@ -52,6 +52,12 @@ std::string Tracer::ToChromeTraceJson() const {
       json.Key("cache_hits").UInt(event.io_delta.cache_hits);
       json.Key("prefetch_hits").UInt(event.io_delta.prefetch_hits);
       json.Key("prefetched_blocks").UInt(event.io_delta.prefetched_blocks);
+      // How much of this span's duration the consumer spent blocked on
+      // the disk — dur minus this is compute that overlapped I/O.
+      json.Key("read_stall_micros")
+          .UInt(event.io_delta.read_stall_micros);
+      json.Key("prefetch_depth_used")
+          .UInt(event.io_delta.prefetch_depth_used);
     }
     json.EndObject();  // args
     json.EndObject();  // event

@@ -1,0 +1,117 @@
+// A small fixed-size worker pool for overlapping I/O with compute.
+//
+// The pool is deliberately minimal: Submit() enqueues a task, workers
+// drain the queue FIFO, the destructor finishes every queued task before
+// joining. There is no work stealing, no priorities, no futures — the
+// two users (the BlockFile async prefetcher and the pipelined external
+// sort) only need "run this soon on another thread" plus a way to wait
+// for a batch (TaskGroup).
+//
+// Threading discipline for the I/O layer is built on top of this pool,
+// not inside it: tasks must never touch an IoStats ledger or the audit
+// log (those stay consumer-thread-only so logical accounting is
+// deterministic; docs/PERFORMANCE.md spells out the contract).
+//
+// Like the other opt-in seams (SetBlockAccessLog, SetBlockCache,
+// SetFaultInjector), a process-wide pool is installed with
+// SetIoThreadPool() before opening files and captured once at
+// BlockFile::Open; with none installed everything runs synchronously and
+// the hot paths are unchanged.
+
+#ifndef IOSCC_UTIL_THREAD_POOL_H_
+#define IOSCC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ioscc {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  // Runs every task already queued, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task` for execution on some worker and returns true.
+  // Returns false (task dropped) only once the destructor has begun —
+  // callers own the shutdown ordering, exactly like the other seams.
+  bool Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Instantaneous queue depth (tasks waiting, not running). Exposed so
+  // the io layer can publish pool.* metrics without util depending on
+  // obs.
+  size_t queue_depth() const;
+
+  uint64_t tasks_submitted() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  uint64_t tasks_submitted_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+// Tracks a batch of tasks submitted to a pool; Wait() blocks until every
+// one of them has finished running. Reusable after Wait(). The
+// destructor waits too, so a TaskGroup going out of scope can never
+// leave a task running against freed state.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool);
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Submits `task` to the pool and counts it as outstanding. With a null
+  // pool the task runs inline on the calling thread (callers then need
+  // no separate serial code path).
+  void Run(std::function<void()> task);
+
+  void Wait();
+
+ private:
+  // Shared with the completion callback of every in-flight task, so a
+  // task finishing after the group is gone touches live state.
+  struct State;
+  ThreadPool* pool_;
+  std::shared_ptr<State> state_;
+};
+
+namespace internal_util {
+inline std::atomic<ThreadPool*> g_io_thread_pool{nullptr};
+}  // namespace internal_util
+
+// Installs `pool` as the process-wide I/O worker pool (nullptr disables
+// threading). Not synchronized against open BlockFiles: install before
+// opening them, uninstall (and only then destroy the pool) after closing
+// them — the same contract as SetBlockCache.
+inline void SetIoThreadPool(ThreadPool* pool) {
+  internal_util::g_io_thread_pool.store(pool, std::memory_order_release);
+}
+
+inline ThreadPool* GetIoThreadPool() {
+  return internal_util::g_io_thread_pool.load(std::memory_order_relaxed);
+}
+
+}  // namespace ioscc
+
+#endif  // IOSCC_UTIL_THREAD_POOL_H_

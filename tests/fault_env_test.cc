@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "io/block_cache.h"
 #include "io/block_file.h"
 #include "io/edge_file.h"
 #include "io/external_sort.h"
@@ -15,6 +16,7 @@
 #include "io/verify_file.h"
 #include "tests/test_util.h"
 #include "util/crc32c.h"
+#include "util/thread_pool.h"
 
 namespace ioscc {
 namespace {
@@ -469,6 +471,122 @@ TEST_F(FormatV2Test, AbandonedWriterRemovesTmp) {
   }
   EXPECT_FALSE(std::filesystem::exists(path));
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+// Faults x the async prefetcher (io/block_file.h): a fault injected on a
+// background fill is carried to the consuming logical read unretried, so
+// the surfaced Status, the retry counters and the logical ledger are
+// identical to an unthreaded run of the same schedule. The filler's
+// failed attempt IS the demand path's first attempt, just taken early.
+class ThreadedFaultTest : public TempDirTest {
+ protected:
+  struct ScanRun {
+    Status status;
+    IoStats stats;
+    std::vector<Edge> edges;
+  };
+
+  // Scans `path` under a fresh injector built by `add_rules`; when
+  // `threaded`, a 2-worker pool and an async depth-4 window cover every
+  // data block, so each injected read fault lands on an in-flight
+  // prefetch instead of a demand read.
+  template <typename AddRules>
+  ScanRun Scan(const std::string& path, bool threaded,
+               const AddRules& add_rules, uint64_t seed = 7) {
+    ScanRun run;
+    std::unique_ptr<ThreadPool> pool;
+    std::unique_ptr<BlockCache> cache;
+    if (threaded) {
+      pool = std::make_unique<ThreadPool>(2);
+      SetIoThreadPool(pool.get());
+      cache = std::make_unique<BlockCache>(0);  // carries the depth only
+      cache->set_prefetch_depth(4);
+      SetBlockCache(cache.get());
+    }
+    FaultInjector injector(seed);
+    add_rules(&injector);
+    {
+      FaultScope scope(&injector);
+      run.status = ReadAllEdges(path, &run.edges, nullptr, &run.stats);
+    }
+    SetBlockCache(nullptr);
+    SetIoThreadPool(nullptr);
+    return run;
+  }
+
+  static void ExpectSameOutcome(const ScanRun& threaded,
+                                const ScanRun& serial) {
+    EXPECT_EQ(threaded.status.ok(), serial.status.ok());
+    EXPECT_EQ(threaded.status.ToString(), serial.status.ToString());
+    EXPECT_EQ(threaded.stats.read_retries, serial.stats.read_retries);
+    EXPECT_EQ(threaded.stats.blocks_read, serial.stats.blocks_read);
+    EXPECT_EQ(threaded.stats.bytes_read, serial.stats.bytes_read);
+    EXPECT_EQ(threaded.edges, serial.edges);
+  }
+};
+
+TEST_F(ThreadedFaultTest, TransientEioOnPrefetchedBlockMatchesUnthreaded) {
+  const std::string path = WriteGraph(300, ChainEdges(300), 512);
+  auto rules = [](FaultInjector* injector) {
+    injector->AddRule(FaultInjector::TransientAt("", 3, FaultOp::kRead,
+                                                 FaultKind::kTransientEio));
+  };
+  ScanRun serial = Scan(path, /*threaded=*/false, rules);
+  ScanRun threaded = Scan(path, /*threaded=*/true, rules);
+  ASSERT_OK(serial.status);
+  EXPECT_EQ(serial.stats.read_retries, 1u);
+  // The filler's single failed attempt surfaced on the consuming read,
+  // which retried exactly like a failed demand read would.
+  ExpectSameOutcome(threaded, serial);
+  EXPECT_GT(threaded.stats.prefetched_blocks, 0u);
+}
+
+TEST_F(ThreadedFaultTest, PermanentEioOnPrefetchedBlockMatchesUnthreaded) {
+  const std::string path = WriteGraph(300, ChainEdges(300), 512);
+  auto rules = [](FaultInjector* injector) {
+    injector->AddRule(FaultInjector::PermanentAt("", 2, FaultOp::kRead,
+                                                 FaultKind::kPermanentEio));
+  };
+  ScanRun serial = Scan(path, false, rules);
+  ScanRun threaded = Scan(path, true, rules);
+  ASSERT_TRUE(serial.status.IsIoError()) << serial.status.ToString();
+  EXPECT_NE(serial.status.ToString().find("gave up after 3 attempts"),
+            std::string::npos);
+  EXPECT_EQ(serial.stats.read_retries, 2u);  // max_attempts=3 via FaultScope
+  ExpectSameOutcome(threaded, serial);
+}
+
+TEST_F(ThreadedFaultTest, ShortReadOnPrefetchedBlockIsRetriedToSuccess) {
+  const std::string path = WriteGraph(300, ChainEdges(300), 512);
+  auto rules = [](FaultInjector* injector) {
+    injector->AddRule(FaultInjector::TransientAt("", 4, FaultOp::kRead,
+                                                 FaultKind::kShortRead));
+  };
+  ScanRun serial = Scan(path, false, rules);
+  ScanRun threaded = Scan(path, true, rules);
+  ASSERT_OK(serial.status);
+  EXPECT_EQ(serial.stats.read_retries, 1u);
+  ExpectSameOutcome(threaded, serial);
+}
+
+TEST_F(ThreadedFaultTest, BitFlipOnPrefetchedBlockSurfacesOnConsumingRead) {
+  // v2 checksums: the flipped bits ride inside the prefetched slot and
+  // the Corruption verdict fires when the *logical* read consumes the
+  // block — same block named, same message as the unthreaded run (the
+  // same seed draws the same bit for the first fault fired).
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 300, ChainEdges(300), 512, nullptr,
+                          kEdgeFormatV2));
+  auto rules = [](FaultInjector* injector) {
+    injector->AddRule(FaultInjector::TransientAt("", 2, FaultOp::kRead,
+                                                 FaultKind::kBitFlip));
+  };
+  ScanRun serial = Scan(path, false, rules, /*seed=*/1);
+  ScanRun threaded = Scan(path, true, rules, /*seed=*/1);
+  ASSERT_TRUE(serial.status.IsCorruption()) << serial.status.ToString();
+  EXPECT_NE(serial.status.ToString().find("block 2"), std::string::npos);
+  EXPECT_EQ(threaded.status.ToString(), serial.status.ToString());
+  EXPECT_EQ(threaded.stats.read_retries, serial.stats.read_retries);
 }
 
 }  // namespace

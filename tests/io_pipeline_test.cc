@@ -1,0 +1,373 @@
+// The threaded I/O pipeline (util/thread_pool.h + the async prefetcher
+// in io/block_file.cc + pipelined external sort): the headline invariant
+// is that threading changes *when* physical work happens, never *what*
+// the ledger says happened — logical IoStats, the audit-log access
+// stream, cache/simulator conformance, and every algorithm result are
+// byte-identical at any thread count and prefetch depth
+// (docs/PERFORMANCE.md).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/block_cache.h"
+#include "io/block_file.h"
+#include "io/edge_file.h"
+#include "io/external_sort.h"
+#include "obs/io_audit.h"
+#include "scc/algorithms.h"
+#include "tests/test_util.h"
+#include "util/thread_pool.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::TempDirTest;
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> ran{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_GE(pool.tasks_submitted(), 100u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTest, TaskGroupRunsInlineWithoutPool) {
+  // The null-pool contract the pipelined sort depends on: tasks execute
+  // immediately on the calling thread, Wait is a no-op.
+  TaskGroup group(nullptr);
+  int ran = 0;
+  group.Run([&ran] { ++ran; });
+  EXPECT_EQ(ran, 1);  // already ran, before Wait
+  group.Wait();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_TRUE(
+          pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+    }
+  }
+  // A queued task may be one a TaskGroup::Wait blocks on, so shutdown
+  // runs the backlog instead of dropping it.
+  EXPECT_EQ(ran.load(), 32);
+}
+
+class IoPipelineTest : public TempDirTest {
+ protected:
+  // Installs pool + a depth-carrying cache, scans `path`, tears down.
+  struct ScanRun {
+    Status status;
+    IoStats stats;
+    std::vector<Edge> edges;
+  };
+
+  ScanRun Scan(const std::string& path, int threads, int depth,
+               uint64_t cache_budget = 0) {
+    ScanRun run;
+    std::unique_ptr<ThreadPool> pool;
+    std::unique_ptr<BlockCache> cache;
+    if (threads > 0) {
+      pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+      SetIoThreadPool(pool.get());
+    }
+    if (threads > 0 || cache_budget > 0) {
+      cache = std::make_unique<BlockCache>(cache_budget);
+      cache->set_prefetch_depth(depth);
+      SetBlockCache(cache.get());
+    }
+    run.status = ReadAllEdges(path, &run.edges, nullptr, &run.stats);
+    SetBlockCache(nullptr);
+    SetIoThreadPool(nullptr);
+    return run;
+  }
+
+  static void ExpectLogicalEq(const IoStats& a, const IoStats& b) {
+    EXPECT_EQ(a.blocks_read, b.blocks_read);
+    EXPECT_EQ(a.blocks_written, b.blocks_written);
+    EXPECT_EQ(a.bytes_read, b.bytes_read);
+    EXPECT_EQ(a.bytes_written, b.bytes_written);
+    EXPECT_EQ(a.read_retries, b.read_retries);
+    EXPECT_EQ(a.write_retries, b.write_retries);
+  }
+
+  std::vector<Edge> ManyEdges(NodeId n, size_t count) {
+    // Deterministic pseudo-random multigraph (duplicates included, so
+    // dedup filters have work to do).
+    std::vector<Edge> edges;
+    uint64_t x = 0x9e3779b97f4a7c15ULL;
+    for (size_t i = 0; i < count; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      edges.push_back({static_cast<NodeId>(x % n),
+                       static_cast<NodeId>((x >> 32) % n)});
+    }
+    return edges;
+  }
+};
+
+TEST_F(IoPipelineTest, AsyncScanLedgerMatchesBareScan) {
+  // 16 KiB of edges at 512-byte blocks: a 33-block sequential scan.
+  const std::vector<Edge> edges = ManyEdges(1000, 2048);
+  const std::string path = WriteGraph(1000, edges, 512);
+
+  ScanRun bare = Scan(path, /*threads=*/0, /*depth=*/0);
+  ASSERT_OK(bare.status);
+  ASSERT_EQ(bare.edges.size(), edges.size());
+  EXPECT_EQ(bare.stats.physical_blocks_read, bare.stats.blocks_read);
+
+  struct Config {
+    int threads;
+    int depth;
+  };
+  for (const Config& c : {Config{2, 4}, Config{4, 16}, Config{2, 0},
+                          Config{1, 2}, Config{2, 1}}) {
+    SCOPED_TRACE("threads=" + std::to_string(c.threads) +
+                 " depth=" + std::to_string(c.depth));
+    ScanRun run = Scan(path, c.threads, c.depth);
+    ASSERT_OK(run.status);
+    EXPECT_EQ(run.edges, bare.edges);
+    ExpectLogicalEq(run.stats, bare.stats);
+    // Every block still crossed the disk exactly once, whoever read it.
+    EXPECT_EQ(run.stats.physical_blocks_read, bare.stats.physical_blocks_read);
+    if (c.depth >= 2) {
+      // The async window really served the scan.
+      EXPECT_GT(run.stats.prefetched_blocks, 0u);
+      EXPECT_EQ(run.stats.prefetch_hits, run.stats.prefetched_blocks);
+      EXPECT_EQ(run.stats.prefetch_depth_used, static_cast<uint64_t>(c.depth));
+    }
+  }
+}
+
+TEST_F(IoPipelineTest, AsyncPrefetchStaysInLockstepWithSimulator) {
+  const std::vector<Edge> edges = ManyEdges(500, 1024);
+  const std::string path = WriteGraph(500, edges, 512);
+
+  const uint64_t kBudget = 64;  // whole file fits
+  BlockAccessLog log;
+  ThreadPool pool(2);
+  BlockCache cache(kBudget);
+  cache.set_prefetch_depth(8);
+  SetBlockAccessLog(&log);
+  SetIoThreadPool(&pool);
+  SetBlockCache(&cache);
+  IoStats stats;
+  std::vector<Edge> out;
+  Status st = ReadAllEdges(path, &out, nullptr, &stats);  // cold: misses
+  if (st.ok()) st = ReadAllEdges(path, &out, nullptr, &stats);  // warm: hits
+  SetBlockCache(nullptr);
+  SetIoThreadPool(nullptr);
+  SetBlockAccessLog(nullptr);
+  ASSERT_OK(st);
+
+  // The simulator is the spec, threaded or not: prefetch-served reads
+  // are LRU misses that install, so replaying this run's own audit log
+  // reproduces the cache's hit/miss counts exactly.
+  CacheSimPoint sim = SimulateLruCache(log.Snapshot(), kBudget);
+  EXPECT_EQ(cache.stats().hits, sim.hits);
+  EXPECT_EQ(cache.stats().misses, sim.misses);
+  EXPECT_EQ(stats.cache_hits, sim.hits);
+  EXPECT_GT(stats.cache_hits, 0u);      // warm pass was served by the LRU
+  EXPECT_GT(stats.prefetched_blocks, 0u);  // cold pass used the window
+}
+
+TEST_F(IoPipelineTest, SccRunIdenticalAcrossThreadsAndDepths) {
+  // 20 disjoint copies of the paper's Fig. 1 graph, 512-byte blocks —
+  // a full 2P-SCC run with scratch files, reversals and re-scans.
+  const std::vector<Edge> tile = testing_util::PaperFigure1Edges();
+  std::vector<Edge> edges;
+  const NodeId n = 20 * testing_util::kPaperFigure1Nodes;
+  for (NodeId copy = 0; copy < 20; ++copy) {
+    const NodeId base = copy * testing_util::kPaperFigure1Nodes;
+    for (const Edge& e : tile) edges.push_back({e.from + base, e.to + base});
+  }
+  const std::string path = WriteGraph(n, edges, 512);
+
+  struct Outcome {
+    SccResult result;
+    RunStats stats;
+    AuditLogData log;
+  };
+  auto run_at = [&](int threads, int depth, Outcome* out) {
+    SemiExternalOptions options;
+    options.scratch_block_size = 512;
+    BlockAccessLog log;
+    std::unique_ptr<ThreadPool> pool;
+    std::unique_ptr<BlockCache> cache;
+    SetBlockAccessLog(&log);
+    if (threads > 0) {
+      pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+      SetIoThreadPool(pool.get());
+      cache = std::make_unique<BlockCache>(0);
+      cache->set_prefetch_depth(depth);
+      SetBlockCache(cache.get());
+    }
+    Status st = RunScc(SccAlgorithm::kTwoPhase, path, options, &out->result,
+                       &out->stats);
+    SetBlockCache(nullptr);
+    SetIoThreadPool(nullptr);
+    SetBlockAccessLog(nullptr);
+    ASSERT_OK(st);
+    out->log = log.Snapshot();
+  };
+
+  Outcome baseline;
+  run_at(0, 0, &baseline);
+  ASSERT_GT(baseline.log.accesses.size(), 0u);
+
+  struct Config {
+    int threads;
+    int depth;
+  };
+  for (const Config& c : {Config{2, 4}, Config{4, 16}, Config{2, 0}}) {
+    SCOPED_TRACE("threads=" + std::to_string(c.threads) +
+                 " depth=" + std::to_string(c.depth));
+    Outcome run;
+    run_at(c.threads, c.depth, &run);
+    EXPECT_TRUE(run.result == baseline.result);
+    ExpectLogicalEq(run.stats.io, baseline.stats.io);
+    EXPECT_EQ(run.stats.iterations, baseline.stats.iterations);
+
+    // The audit log records the *logical* access stream; background
+    // fills never touch it, so the sequence — not just the totals — is
+    // identical record for record. (File ids intern in first-access
+    // order, so they agree too even though scratch paths differ.)
+    ASSERT_EQ(run.log.accesses.size(), baseline.log.accesses.size());
+    for (size_t i = 0; i < run.log.accesses.size(); ++i) {
+      const BlockAccessRecord& a = run.log.accesses[i];
+      const BlockAccessRecord& b = baseline.log.accesses[i];
+      ASSERT_TRUE(a.file_id == b.file_id && a.block == b.block &&
+                  a.is_write == b.is_write && a.seq == b.seq)
+          << "access " << i << " diverged: file " << a.file_id << " block "
+          << a.block << (a.is_write ? " W" : " R") << " vs file "
+          << b.file_id << " block " << b.block << (b.is_write ? " W" : " R");
+    }
+  }
+}
+
+class SortPipelineTest : public IoPipelineTest {
+ protected:
+  static std::string Slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+};
+
+TEST_F(SortPipelineTest, ParallelSortByteIdenticalToSerial) {
+  // Enough edges that the pool actually carves chunks (>= 2 * 4096 per
+  // run) and several runs spill.
+  const std::vector<Edge> edges = ManyEdges(5000, 60'000);
+  const std::string input = WriteGraph(5000, edges, 4096);
+
+  auto sort_with = [&](ThreadPool* pool, IoStats* stats, std::string* out) {
+    ExternalSortOptions options;
+    options.memory_budget_bytes = 256 * 1024;  // ~16K edges per buffer
+    options.pool = pool;
+    *out = NewPath(".sorted");
+    ASSERT_OK(SortEdgeFile(input, *out, options, dir_.get(), stats));
+  };
+
+  IoStats serial_stats;
+  std::string serial_out;
+  sort_with(nullptr, &serial_stats, &serial_out);
+
+  for (size_t threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    IoStats stats;
+    std::string out;
+    sort_with(&pool, &stats, &out);
+    // Byte-identical output file: equal elements are bitwise identical,
+    // so chunked sort + merge cascade reproduces the serial permutation.
+    EXPECT_EQ(Slurp(out), Slurp(serial_out));
+    // And the identical logical + physical ledger: the schedule (read
+    // chunk k+1, sort k, spill k) is the same with or without workers.
+    EXPECT_TRUE(stats == serial_stats)
+        << "parallel: " << stats.Format()
+        << " serial: " << serial_stats.Format();
+  }
+}
+
+TEST_F(SortPipelineTest, FaninCapForcesMultipassMergeSameOutput) {
+  // 2 KiB budget at 512-byte blocks: 64-edge runs, so 2000 edges form
+  // ~32 runs; max_fanin=2 then needs 5 intermediate merge passes where
+  // the uncapped sort needs none.
+  const NodeId n = 64;  // small id space => plenty of duplicate edges
+  const std::vector<Edge> edges = ManyEdges(n, 2000);
+  const std::string input = WriteGraph(n, edges, 512);
+
+  auto sort_with = [&](size_t budget, size_t max_fanin, IoStats* stats,
+                       std::string* out) {
+    ExternalSortOptions options;
+    options.memory_budget_bytes = budget;
+    options.max_fanin = max_fanin;
+    options.dedup = true;
+    *out = NewPath(".sorted");
+    ASSERT_OK(SortEdgeFile(input, *out, options, dir_.get(), stats));
+  };
+
+  IoStats onepass_stats;
+  std::string onepass_out;
+  sort_with(1 << 20, 0, &onepass_stats, &onepass_out);
+
+  IoStats multipass_stats;
+  std::string multipass_out;
+  sort_with(2048, 2, &multipass_stats, &multipass_out);
+
+  // Same sorted, deduplicated output, pass count notwithstanding.
+  EXPECT_EQ(Slurp(multipass_out), Slurp(onepass_out));
+  std::vector<Edge> sorted;
+  ASSERT_OK(ReadAllEdges(multipass_out, &sorted, nullptr, nullptr));
+  std::vector<Edge> expected = edges;
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  EXPECT_EQ(sorted, expected);
+
+  // The extra passes cost real I/O: every intermediate pass re-reads and
+  // re-writes the surviving data, so the capped sort moves well over
+  // twice the blocks of the single-pass sort.
+  EXPECT_GT(multipass_stats.blocks_written, 2 * onepass_stats.blocks_written);
+  EXPECT_GT(multipass_stats.blocks_read, 2 * onepass_stats.blocks_read);
+}
+
+TEST_F(SortPipelineTest, MaxFaninIgnoredWhenRunsFit) {
+  // A cap above the run count changes nothing: single merge pass, same
+  // I/O as the uncapped sort.
+  const std::vector<Edge> edges = ManyEdges(200, 500);
+  const std::string input = WriteGraph(200, edges, 512);
+  auto sort_with = [&](size_t max_fanin, IoStats* stats, std::string* out) {
+    ExternalSortOptions options;
+    options.memory_budget_bytes = 1 << 20;
+    options.max_fanin = max_fanin;
+    *out = NewPath(".sorted");
+    ASSERT_OK(SortEdgeFile(input, *out, options, dir_.get(), stats));
+  };
+  IoStats uncapped, capped;
+  std::string out_a, out_b;
+  sort_with(0, &uncapped, &out_a);
+  sort_with(64, &capped, &out_b);
+  EXPECT_EQ(Slurp(out_a), Slurp(out_b));
+  EXPECT_TRUE(uncapped == capped);
+}
+
+}  // namespace
+}  // namespace ioscc
