@@ -78,6 +78,11 @@ struct BenchContext {
   std::unique_ptr<Tracer> tracer;
   std::string trace_path;
   std::unique_ptr<RunReportWriter> report;
+  // Per-phase resource profiler (obs/phase_profiler.h), installed
+  // whenever a trace or report sink is: spans then also sample CPU time
+  // and peak RSS, runs gain a "phases" array, and the report ends with a
+  // whole-process {"type":"phases"} record.
+  std::unique_ptr<PhaseProfiler> profiler;
   std::unique_ptr<BlockAccessLog> audit;
   std::string audit_path;
   // Real block cache (--cache-blocks=N, N > 0); see io/block_cache.h.
@@ -109,6 +114,12 @@ struct BenchContext {
       Status st = audit->WriteTo(audit_path);
       if (!st.ok()) {
         std::fprintf(stderr, "audit: %s\n", st.ToString().c_str());
+      }
+    }
+    if (profiler != nullptr) {
+      SetPhaseProfiler(nullptr);
+      if (report != nullptr) {
+        (void)report->AppendPhaseProfiles(profiler->Snapshot());
       }
     }
     if (report != nullptr) {
@@ -231,8 +242,11 @@ inline bool InitBench(int argc, char** argv, BenchContext* ctx,
     ctx->cache->set_prefetch_depth(ctx->prefetch_depth);
   }
   if (ctx->tracer != nullptr || ctx->report != nullptr) {
-    // A sink is watching: turn on the costlier sampled metrics too.
+    // A sink is watching: turn on the costlier sampled metrics too, and
+    // profile per-phase CPU/RSS/I/O alongside the spans.
     SetMetricsEnabled(true);
+    ctx->profiler = std::make_unique<PhaseProfiler>();
+    SetPhaseProfiler(ctx->profiler.get());
   }
   Status st = DatasetBuilder::Create(&ctx->datasets);
   if (!st.ok()) {

@@ -33,6 +33,7 @@
 #include "io/external_sort.h"
 #include "io/temp_dir.h"
 #include "obs/run_report.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -58,12 +59,14 @@ std::vector<int> ParseIntList(const std::string& csv,
 struct PointResult {
   double seconds = 0;
   IoStats io;
+  std::vector<PhaseProfile> phases;
 };
 
 // One measured workload run under an installed (pool, cache) pair.
 PointResult MeasureScan(const std::string& path) {
   PointResult r;
   Timer timer;
+  TraceSpan span("io.scan", &r.io);
   std::unique_ptr<EdgeScanner> scanner;
   Status st = EdgeScanner::Open(path, &r.io, &scanner);
   if (!st.ok()) {
@@ -87,6 +90,7 @@ PointResult MeasureSort(const std::string& path, TempDir* scratch,
                         size_t budget_bytes) {
   PointResult r;
   Timer timer;
+  TraceSpan span("io.sort", &r.io);
   ExternalSortOptions options;
   options.memory_budget_bytes = budget_bytes;
   std::string out_path = scratch->NewFilePath(".sorted");
@@ -114,6 +118,7 @@ void Report(RunReportWriter* report, const char* workload,
   entry.stats.seconds = r.seconds;
   entry.prefetch_depth = static_cast<uint64_t>(depth);
   entry.io_threads = static_cast<uint64_t>(threads);
+  entry.phases = r.phases;
   Status st = report->Append(entry);
   if (!st.ok()) {
     std::fprintf(stderr, "report: %s\n", st.ToString().c_str());
@@ -150,6 +155,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetDouble("budget-mib", 4.0) * 1024 * 1024);
 
   std::unique_ptr<RunReportWriter> report;
+  std::unique_ptr<PhaseProfiler> profiler;
   const std::string report_path = flags.GetString("report", "");
   if (!report_path.empty()) {
     Status st = RunReportWriter::Open(report_path, &report);
@@ -157,6 +163,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
+    // Profile the io.scan/io.sort spans (wall/CPU/RSS per point) and
+    // turn on the sampled metrics, same as the bench_common sinks.
+    SetMetricsEnabled(true);
+    profiler = std::make_unique<PhaseProfiler>();
+    SetPhaseProfiler(profiler.get());
   }
 
   std::unique_ptr<TempDir> scratch;
@@ -199,8 +210,18 @@ int main(int argc, char** argv) {
       cache.set_prefetch_depth(depth);
       SetBlockCache(&cache);
 
+      std::vector<PhaseProfile> mark;
+      if (profiler != nullptr) mark = profiler->Snapshot();
       PointResult scan = MeasureScan(path);
+      if (profiler != nullptr) {
+        std::vector<PhaseProfile> now = profiler->Snapshot();
+        scan.phases = PhaseProfiler::Delta(mark, now);
+        mark = std::move(now);
+      }
       PointResult sort = MeasureSort(path, scratch.get(), budget_bytes);
+      if (profiler != nullptr) {
+        sort.phases = PhaseProfiler::Delta(mark, profiler->Snapshot());
+      }
 
       SetBlockCache(nullptr);
       if (pool != nullptr) SetIoThreadPool(nullptr);
@@ -213,6 +234,12 @@ int main(int argc, char** argv) {
     }
   }
   table.Print();
+  if (profiler != nullptr) {
+    SetPhaseProfiler(nullptr);
+    if (report != nullptr) {
+      (void)report->AppendPhaseProfiles(profiler->Snapshot());
+    }
+  }
   if (report != nullptr) {
     (void)report->AppendMetricsSnapshot();
     (void)report->Flush();

@@ -1,0 +1,55 @@
+// bench_compare: gates a fresh BENCH_*.json against a committed baseline.
+//
+//   bench_compare [--time-tolerance=0.5] [--stall-tolerance=2.0]
+//                 baseline.json fresh.json
+//
+// Hard failures (non-zero exit) on any deterministic drift the baseline
+// covers: logical block/byte counts, SCC results, iteration counts,
+// budget verdicts — and, when the two environment blocks match, the
+// physical-I/O ledger too. Wall-clock and read-stall numbers are checked
+// softly: only a regression beyond the tolerance prints a warning, and
+// warnings never change the exit code (shared CI runners are noisy).
+// A deterministic-only baseline simply has no timing fields, so those
+// checks are skipped.
+//
+// Exit code: 0 = pass (warnings allowed), 1 = hard failure, 2 = usage /
+// unreadable or malformed input.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/bench_report.h"
+#include "util/flags.h"
+
+using namespace ioscc;  // example binaries only
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  BenchCompareOptions options;
+  options.time_tolerance = flags.GetDouble("time-tolerance", 0.5);
+  options.stall_tolerance = flags.GetDouble("stall-tolerance", 2.0);
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare [--time-tolerance=F] "
+                 "[--stall-tolerance=F] baseline.json fresh.json\n");
+    return 2;
+  }
+  for (const std::string& unused : flags.UnusedFlags()) {
+    std::fprintf(stderr, "unknown flag --%s\n", unused.c_str());
+    return 2;
+  }
+
+  std::string baseline, fresh;
+  Status st = ReadFileToString(flags.positional()[0], &baseline);
+  if (st.ok()) st = ReadFileToString(flags.positional()[1], &fresh);
+  BenchCompareResult result;
+  if (st.ok()) {
+    st = CompareBenchReports(baseline, fresh, options, &result);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench_compare: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  std::fputs(result.Format().c_str(), stdout);
+  return result.pass() ? 0 : 1;
+}

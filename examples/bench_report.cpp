@@ -1,0 +1,81 @@
+// bench_report: folds JSONL run reports into one canonical BENCH_*.json.
+//
+//   bench_report [--tag=NAME] [--out=FILE] [--deterministic-only]
+//                [--build-type=STR] [--threads=N] [--prefetch-depth=N]
+//                [--cache-blocks=N] report1.jsonl [report2.jsonl ...]
+//
+// Each positional argument is one bench's JSONL run report
+// (docs/OBSERVABILITY.md); its basename minus ".jsonl" becomes the bench
+// name in the output. A file named bench_io.jsonl additionally feeds the
+// threads x depth sweep / speedup section. The --build-type/--threads/
+// --prefetch-depth/--cache-blocks values are recorded verbatim in the
+// environment block (they describe how the benches were run; the
+// comparator gates physical-I/O fields only between matching
+// environments). --deterministic-only drops every timing-dependent field
+// so the output is byte-reproducible — the mode committed baselines use.
+//
+// Output goes to --out=FILE, default BENCH_<tag>.json. Schema:
+// docs/PERFORMANCE.md, "Perf trajectory".
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.h"
+#include "util/flags.h"
+
+using namespace ioscc;  // example binaries only
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  BenchReportOptions options;
+  options.tag = flags.GetString("tag", "local");
+  options.deterministic_only = flags.GetBool("deterministic-only", false);
+  options.build_type = flags.GetString("build-type", "");
+  options.threads = flags.GetInt("threads", 0);
+  options.prefetch_depth = flags.GetInt("prefetch-depth", 1);
+  options.cache_blocks =
+      static_cast<uint64_t>(flags.GetInt("cache-blocks", 0));
+  const std::string out_path =
+      flags.GetString("out", "BENCH_" + options.tag + ".json");
+
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_report [--tag=NAME] [--out=FILE] "
+                 "[--deterministic-only] [--build-type=STR] [--threads=N] "
+                 "[--prefetch-depth=N] [--cache-blocks=N] "
+                 "report1.jsonl [report2.jsonl ...]\n");
+    return 2;
+  }
+  for (const std::string& unused : flags.UnusedFlags()) {
+    std::fprintf(stderr, "unknown flag --%s\n", unused.c_str());
+    return 2;
+  }
+
+  std::string json;
+  Status st =
+      AggregateBenchReportFiles(flags.positional(), options, &json);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench_report: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), out) == json.size();
+  std::fclose(out);
+  if (!ok) {
+    std::fprintf(stderr, "bench_report: short write to %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("bench_report: %zu file(s) -> %s (%zu bytes%s)\n",
+              flags.positional().size(), out_path.c_str(), json.size(),
+              options.deterministic_only ? ", deterministic fields only"
+                                         : "");
+  return 0;
+}

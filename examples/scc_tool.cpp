@@ -40,6 +40,7 @@
 #include "util/timer.h"
 #include "harness/table.h"
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "io/edge_file.h"
@@ -177,6 +178,14 @@ int RunOn(const std::string& path, const Flags& flags) {
     SetTracer(tracer.get());
   }
   if (report || tracer != nullptr) SetMetricsEnabled(true);
+  // Like the benches: a report or trace sink brings the phase profiler,
+  // so run records carry per-phase wall/CPU/RSS and trace args carry
+  // the resource samples.
+  std::unique_ptr<PhaseProfiler> profiler;
+  if (report || tracer != nullptr) {
+    profiler = std::make_unique<PhaseProfiler>();
+    SetPhaseProfiler(profiler.get());
+  }
   const std::string audit_path = flags.GetString("audit", "");
   std::unique_ptr<BlockAccessLog> audit;
   if (!audit_path.empty()) {
@@ -274,6 +283,7 @@ int RunOn(const std::string& path, const Flags& flags) {
       std::fprintf(stderr, "audit: %s\n", audit_st.ToString().c_str());
     }
   }
+  if (profiler != nullptr) SetPhaseProfiler(nullptr);
   if (tracer != nullptr) {
     SetTracer(nullptr);
     Status trace_st = tracer->WriteChromeTrace(trace_path);

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# Runs every table/figure bench sequentially and tees the output.
+# Runs every table/figure bench sequentially, tees the output, and folds
+# the JSONL run reports into one canonical BENCH_<tag>.json.
 #
-#   scripts/run_all_benches.sh [build-dir] [output-file] [report-dir]
+#   scripts/run_all_benches.sh [build-dir] [output-file] [report-dir] \
+#       [--threads=N] [--prefetch-depth=N] [--cache-blocks=N] [--tag=NAME]
 #
 # Pass-through flags for individual binaries (scale, seeds, time limits)
 # are documented in bench/bench_common.h; this script uses the defaults,
 # which regenerate every paper artifact at ~1/100-1/200 scale in well
-# under an hour.
+# under an hour. --threads/--prefetch-depth/--cache-blocks configure the
+# threaded I/O pipeline on every bench (bench_io sweeps 0 and the given
+# thread count across its depth list) and are recorded in the BENCH json
+# environment block so bench_compare knows which fields to gate.
 #
 # Each bench additionally writes its machine-readable artifacts into
 # report-dir (default: bench_reports/): <bench>.jsonl (run report, schema
@@ -14,13 +19,46 @@
 # open in chrome://tracing or https://ui.perfetto.dev), and
 # <bench>.audit (block-access log — inspect with
 # build/examples/io_audit_tool). bench_micro is a google-benchmark binary
-# and uses its own --benchmark_* flags instead.
+# and uses its own --benchmark_* flags instead. Finally,
+# build/examples/bench_report aggregates every .jsonl into
+# BENCH_<tag>.json (schema: docs/PERFORMANCE.md, "Perf trajectory");
+# gate it with build/examples/bench_compare against a committed baseline.
 
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
-OUT="${2:-bench_output.txt}"
-REPORT_DIR="${3:-bench_reports}"
+BUILD_DIR="build"
+OUT="bench_output.txt"
+REPORT_DIR="bench_reports"
+THREADS=0
+PREFETCH_DEPTH=1
+CACHE_BLOCKS=0
+TAG="local"
+
+positional=0
+for arg in "$@"; do
+  case "$arg" in
+    --threads=*) THREADS="${arg#*=}" ;;
+    --prefetch-depth=*) PREFETCH_DEPTH="${arg#*=}" ;;
+    --cache-blocks=*) CACHE_BLOCKS="${arg#*=}" ;;
+    --tag=*) TAG="${arg#*=}" ;;
+    --*)
+      echo "error: unknown flag '$arg'" >&2
+      exit 2
+      ;;
+    *)
+      case $positional in
+        0) BUILD_DIR="$arg" ;;
+        1) OUT="$arg" ;;
+        2) REPORT_DIR="$arg" ;;
+        *)
+          echo "error: too many positional arguments ('$arg')" >&2
+          exit 2
+          ;;
+      esac
+      positional=$((positional + 1))
+      ;;
+  esac
+done
 
 if [[ ! -d "$BUILD_DIR/bench" ]]; then
   echo "error: '$BUILD_DIR/bench' does not exist — build first:" >&2
@@ -28,8 +66,20 @@ if [[ ! -d "$BUILD_DIR/bench" ]]; then
   exit 1
 fi
 
+# Pipeline flags forwarded to every standard bench (bench_common.h).
+PIPELINE_FLAGS=("--threads=$THREADS" "--prefetch-depth=$PREFETCH_DEPTH"
+                "--cache-blocks=$CACHE_BLOCKS")
+# bench_io sweeps threads itself: always include the serial baseline
+# point so the speedup curve has a denominator.
+if [[ "$THREADS" -gt 0 ]]; then
+  IO_THREAD_LIST="0,$THREADS"
+else
+  IO_THREAD_LIST="0,2"
+fi
+
 mkdir -p "$REPORT_DIR"
 : > "$OUT"
+REPORT_FILES=()
 for b in \
   bench_table1_reduction \
   bench_table3_real \
@@ -50,9 +100,11 @@ for b in \
   case "$b" in
     bench_io)
       # Threaded-I/O pipeline sweep (scan + sort over threads x depth);
-      # takes only --report of the standard sinks.
+      # takes --report and its own sweep lists of the standard sinks.
       "$BUILD_DIR/bench/$b" \
+        "--threads=$IO_THREAD_LIST" \
         "--report=$REPORT_DIR/$b.jsonl" 2>/dev/null | tee -a "$OUT"
+      REPORT_FILES+=("$REPORT_DIR/$b.jsonl")
       ;;
     bench_micro)
       "$BUILD_DIR/bench/$b" \
@@ -61,11 +113,30 @@ for b in \
       ;;
     *)
       "$BUILD_DIR/bench/$b" \
+        "${PIPELINE_FLAGS[@]}" \
         "--report=$REPORT_DIR/$b.jsonl" \
         "--trace=$REPORT_DIR/$b.trace.json" \
         "--audit=$REPORT_DIR/$b.audit" 2>/dev/null | tee -a "$OUT"
+      REPORT_FILES+=("$REPORT_DIR/$b.jsonl")
       ;;
   esac
   echo | tee -a "$OUT"
 done
+
+# Fold the run reports into the canonical perf-trajectory record.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "$BUILD_DIR/CMakeCache.txt" 2>/dev/null | head -n1)"
+if [[ -x "$BUILD_DIR/examples/bench_report" ]]; then
+  "$BUILD_DIR/examples/bench_report" \
+    "--tag=$TAG" \
+    "--out=BENCH_$TAG.json" \
+    "--build-type=${BUILD_TYPE:-unknown}" \
+    "--threads=$THREADS" \
+    "--prefetch-depth=$PREFETCH_DEPTH" \
+    "--cache-blocks=$CACHE_BLOCKS" \
+    "${REPORT_FILES[@]}" | tee -a "$OUT"
+else
+  echo "warning: $BUILD_DIR/examples/bench_report not built;" \
+       "skipping BENCH_$TAG.json" >&2
+fi
 echo "full output in $OUT; per-bench reports, traces and audit logs in $REPORT_DIR/"

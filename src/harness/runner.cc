@@ -10,12 +10,21 @@ RunOutcome RunAlgorithmOnFile(SccAlgorithm algorithm, const std::string& path,
                               const SemiExternalOptions& options,
                               const SccResult* oracle) {
   RunOutcome outcome;
+  // With a PhaseProfiler installed, bracket the run so its report entry
+  // carries just this run's per-phase delta (the profiler itself keeps
+  // accumulating across runs for the shutdown-time process profile).
+  PhaseProfiler* profiler = GetPhaseProfiler();
+  std::vector<PhaseProfile> before;
+  if (profiler != nullptr) before = profiler->Snapshot();
   {
     // Top-level span: one per algorithm execution, holding the whole
     // run's I/O delta (phase spans nest underneath).
     TraceSpan span(AlgorithmName(algorithm), &outcome.stats.io);
     outcome.status =
         RunScc(algorithm, path, options, &outcome.result, &outcome.stats);
+  }
+  if (profiler != nullptr) {
+    outcome.phases = PhaseProfiler::Delta(before, profiler->Snapshot());
   }
   if (outcome.status.ok() && oracle != nullptr &&
       !(outcome.result == *oracle)) {
@@ -70,6 +79,7 @@ RunReportEntry MakeReportEntry(const std::string& experiment,
     entry.largest_component = outcome.result.LargestComponentSize();
     entry.nodes_in_nontrivial_sccs = outcome.result.NodesInNontrivialSccs();
   }
+  entry.phases = outcome.phases;
   return entry;
 }
 

@@ -6,8 +6,10 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "harness/io_budget.h"
+#include "obs/phase_profiler.h"
 #include "obs/run_report.h"
 #include "scc/algorithms.h"
 #include "scc/options.h"
@@ -30,6 +32,11 @@ struct RunOutcome {
   // Cost-model conformance for this run (absent only when the input
   // header could not be read back). Report entries carry it into JSONL.
   std::optional<IoBudgetVerdict> io_budget;
+
+  // Per-phase wall/CPU/RSS/I/O profile of this run, captured when a
+  // PhaseProfiler is installed (empty otherwise); report entries carry
+  // it into JSONL as the "phases" array.
+  std::vector<PhaseProfile> phases;
 
   bool Finished() const { return status.ok(); }
   bool TimedOut() const { return status.IsIncomplete(); }

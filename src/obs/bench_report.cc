@@ -1,0 +1,669 @@
+#include "obs/bench_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/json_value.h"
+#include "obs/metrics.h"
+
+namespace ioscc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Field classification for the canonicalizer and the comparator. Keyed by
+// the run-report field names (obs/run_report.cc WriteIoStats).
+
+// Logical I/O ledger: byte-identical across cache/thread configurations
+// (io/io_stats.h), so these are unconditionally hard-gated.
+constexpr const char* kLogicalIoFields[] = {
+    "blocks_read",  "blocks_written", "bytes_read",    "bytes_written",
+    "block_ios",    "read_retries",   "write_retries",
+};
+
+// Physical ledger + pipeline accounting: deterministic for a fixed
+// (threads, prefetch depth, cache budget) configuration, so hard-gated
+// only when the two environment blocks match.
+constexpr const char* kPhysicalIoFields[] = {
+    "physical_blocks_read", "physical_block_ios", "cache_hits",
+    "prefetch_hits",        "prefetched_blocks",  "prefetch_depth_used",
+};
+
+// Timing: never deterministic; soft-gated (read_stall_micros) or ignored.
+constexpr const char* kTimingIoFields[] = {"read_stall_micros"};
+
+bool Contains(const char* const* begin, const char* const* end,
+              const std::string& name) {
+  for (const char* const* it = begin; it != end; ++it) {
+    if (name == *it) return true;
+  }
+  return false;
+}
+
+bool IsLogicalIoField(const std::string& name) {
+  return Contains(std::begin(kLogicalIoFields), std::end(kLogicalIoFields),
+                  name);
+}
+bool IsPhysicalIoField(const std::string& name) {
+  return Contains(std::begin(kPhysicalIoFields), std::end(kPhysicalIoFields),
+                  name);
+}
+bool IsTimingIoField(const std::string& name) {
+  return Contains(std::begin(kTimingIoFields), std::end(kTimingIoFields),
+                  name);
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string FmtUInt(uint64_t v) { return std::to_string(v); }
+
+// Generic re-serializer. JsonValue objects are std::map-backed, so keys
+// come out sorted — two aggregations of the same inputs are byte-equal.
+void WriteJsonValue(JsonWriter* json, const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull:
+      json->Null();
+      break;
+    case JsonValue::Type::kBool:
+      json->Bool(v.bool_value);
+      break;
+    case JsonValue::Type::kNumber:
+      if (v.is_uint) {
+        json->UInt(v.uint_value);
+      } else {
+        json->Double(v.number);
+      }
+      break;
+    case JsonValue::Type::kString:
+      json->String(v.string_value);
+      break;
+    case JsonValue::Type::kArray:
+      json->BeginArray();
+      for (const JsonValue& item : v.array) WriteJsonValue(json, item);
+      json->EndArray();
+      break;
+    case JsonValue::Type::kObject:
+      json->BeginObject();
+      for (const auto& [key, value] : v.object) {
+        json->Key(key);
+        WriteJsonValue(json, value);
+      }
+      json->EndObject();
+      break;
+  }
+}
+
+// Strips members that are not byte-reproducible across machines from a
+// run object in place, recursing into nested io objects: wall/CPU/RSS
+// timing, the per-phase profiles, and the physical I/O ledger (with the
+// async prefetcher installed, prefetch_hits et al. are race outcomes;
+// only the logical ledger is machine-independent).
+void StripNondeterministic(JsonValue* v) {
+  if (!v->is_object()) return;
+  v->object.erase("seconds");
+  v->object.erase("wall_micros");
+  v->object.erase("cpu_user_micros");
+  v->object.erase("cpu_sys_micros");
+  v->object.erase("max_rss_kb");
+  v->object.erase("phases");
+  for (const char* field : kTimingIoFields) v->object.erase(field);
+  for (const char* field : kPhysicalIoFields) v->object.erase(field);
+  for (auto& [key, value] : v->object) {
+    (void)key;
+    StripNondeterministic(&value);
+  }
+}
+
+// One parsed JSONL run-report file.
+struct BenchFile {
+  std::string name;  // basename minus .jsonl
+  std::vector<JsonValue> runs;
+  std::vector<JsonValue> metrics;   // {"type":"metrics"} records
+  std::vector<JsonValue> profiles;  // {"type":"phases"} records
+};
+
+Status ParseBenchFile(const std::string& path, BenchFile* out) {
+  std::string text;
+  IOSCC_RETURN_IF_ERROR(ReadFileToString(path, &text));
+  std::string base = Basename(path);
+  const size_t dot = base.rfind(".jsonl");
+  if (dot != std::string::npos && dot == base.size() - 6) {
+    base = base.substr(0, dot);
+  }
+  out->name = base;
+
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    ++line_no;
+    std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    JsonValue record;
+    std::string error;
+    if (!ParseJson(line, &record, &error)) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) + ": " +
+                                error);
+    }
+    const std::string& type = record["type"].AsString();
+    if (type == "run") {
+      out->runs.push_back(std::move(record));
+    } else if (type == "metrics") {
+      out->metrics.push_back(std::move(record));
+    } else if (type == "phases") {
+      out->profiles.push_back(std::move(record));
+    }
+    // Unknown record types are skipped: the JSONL schema is append-only.
+  }
+  return Status::OK();
+}
+
+// Rebuilds a HistogramSnapshot from a parsed {"type":"metrics"} histogram
+// so percentile extraction goes through the one shared implementation.
+HistogramSnapshot SnapshotFromJson(const JsonValue& h) {
+  HistogramSnapshot snap;
+  snap.count = h["count"].AsUInt();
+  snap.sum = h["sum"].AsUInt();
+  snap.min = h["min"].AsUInt();
+  snap.max = h["max"].AsUInt();
+  if (h["buckets"].is_array()) {
+    for (const JsonValue& pair : h["buckets"].array) {
+      if (pair.is_array() && pair.array.size() == 2) {
+        snap.buckets.emplace_back(pair.array[0].AsUInt(),
+                                  pair.array[1].AsUInt());
+      }
+    }
+  }
+  return snap;
+}
+
+void WriteHistograms(JsonWriter* json, const BenchFile& bench) {
+  // Last metrics record wins (benches snapshot once at shutdown).
+  if (bench.metrics.empty()) return;
+  const JsonValue& histograms = bench.metrics.back()["histograms"];
+  if (!histograms.is_object() || histograms.object.empty()) return;
+  json->Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms.object) {
+    const HistogramSnapshot snap = SnapshotFromJson(h);
+    json->Key(name).BeginObject();
+    json->Key("count").UInt(snap.count);
+    json->Key("sum").UInt(snap.sum);
+    json->Key("min").UInt(snap.min);
+    json->Key("max").UInt(snap.max);
+    json->Key("mean").Double(snap.Mean());
+    json->Key("p50").Double(snap.Percentile(50));
+    json->Key("p90").Double(snap.Percentile(90));
+    json->Key("p99").Double(snap.Percentile(99));
+    json->EndObject();
+  }
+  json->EndObject();
+}
+
+// A bench_io sweep point: one (workload, threads, depth) run record.
+struct SweepKey {
+  std::string workload;
+  uint64_t io_threads = 0;
+  uint64_t prefetch_depth = 0;
+
+  bool operator<(const SweepKey& other) const {
+    if (workload != other.workload) return workload < other.workload;
+    if (io_threads != other.io_threads) return io_threads < other.io_threads;
+    return prefetch_depth < other.prefetch_depth;
+  }
+};
+
+SweepKey SweepKeyFromRun(const JsonValue& run) {
+  SweepKey key;
+  key.workload = run["algorithm"].AsString();
+  // bench_io omits the cache object at the (threads=0, depth=0) baseline
+  // point (run_report.cc emits it only when a field is nonzero).
+  key.io_threads = run["cache"]["io_threads"].AsUInt();
+  key.prefetch_depth = run["cache"]["prefetch_depth"].AsUInt();
+  return key;
+}
+
+void WriteBenchIoSection(JsonWriter* json, const BenchFile& bench,
+                         bool deterministic_only) {
+  std::map<SweepKey, const JsonValue*> points;
+  for (const JsonValue& run : bench.runs) {
+    points[SweepKeyFromRun(run)] = &run;  // last run per point wins
+  }
+  json->Key("bench_io").BeginObject();
+  json->Key("sweep").BeginArray();
+  for (const auto& [key, run] : points) {
+    const JsonValue& io = (*run)["io"];
+    json->BeginObject();
+    json->Key("workload").String(key.workload);
+    json->Key("io_threads").UInt(key.io_threads);
+    json->Key("prefetch_depth").UInt(key.prefetch_depth);
+    json->Key("io").BeginObject();
+    for (const auto& [field, value] : io.object) {
+      if (deterministic_only &&
+          (IsTimingIoField(field) || IsPhysicalIoField(field))) {
+        continue;
+      }
+      json->Key(field);
+      WriteJsonValue(json, value);
+    }
+    json->EndObject();
+    if (!deterministic_only) {
+      const double seconds = (*run)["seconds"].AsDouble();
+      const double mb = static_cast<double>(io["bytes_read"].AsUInt() +
+                                            io["bytes_written"].AsUInt()) /
+                        1e6;
+      json->Key("seconds").Double(seconds);
+      json->Key("mb_per_sec").Double(seconds > 0 ? mb / seconds : 0.0);
+      json->Key("read_stall_micros").UInt(io["read_stall_micros"].AsUInt());
+    }
+    json->EndObject();
+  }
+  json->EndArray();
+  if (!deterministic_only) {
+    // Speedup curve: each point's throughput relative to the unthreaded
+    // (threads=0, depth=0) point of the same workload.
+    json->Key("speedup").BeginArray();
+    for (const auto& [key, run] : points) {
+      SweepKey base_key{key.workload, 0, 0};
+      auto base_it = points.find(base_key);
+      if (base_it == points.end()) continue;
+      const double base_seconds = (*base_it->second)["seconds"].AsDouble();
+      const double seconds = (*run)["seconds"].AsDouble();
+      json->BeginObject();
+      json->Key("workload").String(key.workload);
+      json->Key("io_threads").UInt(key.io_threads);
+      json->Key("prefetch_depth").UInt(key.prefetch_depth);
+      json->Key("speedup").Double(seconds > 0 ? base_seconds / seconds : 0.0);
+      json->EndObject();
+    }
+    json->EndArray();
+  }
+  json->EndObject();
+}
+
+void WriteBenchSection(JsonWriter* json, const BenchFile& bench,
+                       bool deterministic_only) {
+  json->Key(bench.name).BeginObject();
+  json->Key("runs").BeginArray();
+  for (const JsonValue& original : bench.runs) {
+    if (deterministic_only && !original["finished"].AsBool()) {
+      // A timed-out run's whole ledger records where the clock cut it
+      // off — nothing about it is reproducible. Dropping it here means
+      // the comparator (whose scope is baseline-defined) never gates it.
+      continue;
+    }
+    JsonValue run = original;  // canonicalized copy
+    run.object.erase("type");
+    run.object.erase("experiment");  // redundant with the bench name
+    // Per-iteration deltas stay in the JSONL report; the canonical record
+    // keeps the summary ledgers (totals + iteration count are gated).
+    run.object.erase("per_iteration");
+    auto ds = run.object.find("dataset");
+    if (ds != run.object.end() && ds->second.is_string()) {
+      // Scratch directories are per-invocation; basenames are stable.
+      ds->second.string_value = Basename(ds->second.string_value);
+    }
+    if (deterministic_only) StripNondeterministic(&run);
+    WriteJsonValue(json, run);
+  }
+  json->EndArray();
+  if (!deterministic_only) WriteHistograms(json, bench);
+  json->EndObject();
+}
+
+// ---------------------------------------------------------------------------
+// Comparator.
+
+struct CompareContext {
+  const BenchCompareOptions* options;
+  BenchCompareResult* result;
+  bool environments_match = false;
+
+  void Hard(std::string where, std::string message) {
+    result->issues.push_back(
+        {true, std::move(where) + ": " + std::move(message)});
+  }
+  void Soft(std::string where, std::string message) {
+    result->issues.push_back(
+        {false, std::move(where) + ": " + std::move(message)});
+  }
+};
+
+// Exact comparison of two scalar JSON values (hard gate).
+void CompareScalarHard(CompareContext* ctx, const std::string& where,
+                       const JsonValue& base, const JsonValue& fresh) {
+  ++ctx->result->deterministic_checks;
+  if (base.is_number() && fresh.is_number()) {
+    if (base.is_uint && fresh.is_uint) {
+      if (base.uint_value != fresh.uint_value) {
+        ctx->Hard(where, "baseline " + FmtUInt(base.uint_value) + " fresh " +
+                             FmtUInt(fresh.uint_value));
+      }
+    } else if (base.number != fresh.number) {
+      ctx->Hard(where, "baseline " + FmtDouble(base.number) + " fresh " +
+                           FmtDouble(fresh.number));
+    }
+    return;
+  }
+  if (base.is_bool() && fresh.is_bool()) {
+    if (base.bool_value != fresh.bool_value) {
+      ctx->Hard(where, std::string("baseline ") +
+                           (base.bool_value ? "true" : "false") + " fresh " +
+                           (fresh.bool_value ? "true" : "false"));
+    }
+    return;
+  }
+  if (base.is_string() && fresh.is_string()) {
+    if (base.string_value != fresh.string_value) {
+      ctx->Hard(where, "baseline \"" + base.string_value + "\" fresh \"" +
+                           fresh.string_value + "\"");
+    }
+    return;
+  }
+  if (base.type != fresh.type) {
+    ctx->Hard(where, "type mismatch (field missing or re-typed)");
+  }
+}
+
+// Soft tolerance check: fails only when fresh exceeds baseline by more
+// than (1 + tolerance) plus the absolute grace. Regressions only — a
+// faster fresh run never raises an issue.
+void CompareSoft(CompareContext* ctx, const std::string& where, double base,
+                 double fresh, double tolerance, double absolute_grace,
+                 const char* unit) {
+  ++ctx->result->timing_checks;
+  const double limit = base * (1.0 + tolerance) + absolute_grace;
+  if (fresh > limit) {
+    ctx->Soft(where, "baseline " + FmtDouble(base) + unit + " fresh " +
+                         FmtDouble(fresh) + unit + " (limit " +
+                         FmtDouble(limit) + unit + ")");
+  }
+}
+
+void CompareIoObjects(CompareContext* ctx, const std::string& where,
+                      const JsonValue& base, const JsonValue& fresh) {
+  if (!base.is_object()) return;
+  for (const auto& [field, base_value] : base.object) {
+    const std::string field_where = where + "." + field;
+    if (IsLogicalIoField(field)) {
+      CompareScalarHard(ctx, field_where, base_value, fresh[field]);
+    } else if (IsPhysicalIoField(field)) {
+      if (ctx->environments_match) {
+        CompareScalarHard(ctx, field_where, base_value, fresh[field]);
+      }
+    } else if (IsTimingIoField(field)) {
+      if (fresh.has(field)) {
+        CompareSoft(ctx, field_where, base_value.AsDouble(),
+                    fresh[field].AsDouble(), ctx->options->stall_tolerance,
+                    1e4, "us");
+      }
+    }
+    // Unknown fields (future schema additions) are not gated.
+  }
+}
+
+void CompareRuns(CompareContext* ctx, const std::string& where,
+                 const JsonValue& base, const JsonValue& fresh) {
+  // Deterministic outcome fields, exact.
+  for (const char* field :
+       {"status", "finished", "timed_out", "iterations"}) {
+    if (base.has(field)) {
+      CompareScalarHard(ctx, where + "." + field, base[field], fresh[field]);
+    }
+  }
+  // SCC results: any drift is a correctness failure.
+  if (base.has("result")) {
+    for (const auto& [field, value] : base["result"].object) {
+      CompareScalarHard(ctx, where + ".result." + field, value,
+                        fresh["result"][field]);
+    }
+  }
+  // Analytic I/O budget: the model, bound, and verdict are deterministic;
+  // measured_ios and ratio follow the physical ledger, so they are gated
+  // only under a matching environment.
+  if (base.has("io_budget")) {
+    const JsonValue& bb = base["io_budget"];
+    const JsonValue& fb = fresh["io_budget"];
+    for (const char* field : {"model", "bound_ios", "pass"}) {
+      if (bb.has(field)) {
+        CompareScalarHard(ctx, where + ".io_budget." + field, bb[field],
+                          fb[field]);
+      }
+    }
+    if (ctx->environments_match) {
+      for (const char* field : {"measured_ios", "ratio"}) {
+        if (bb.has(field)) {
+          CompareScalarHard(ctx, where + ".io_budget." + field, bb[field],
+                            fb[field]);
+        }
+      }
+    }
+  }
+  if (base.has("io")) {
+    CompareIoObjects(ctx, where + ".io", base["io"], fresh["io"]);
+  }
+  // Wall clock, tolerance-gated; skipped when either side omitted it
+  // (deterministic_only records carry no timing).
+  if (base.has("seconds") && fresh.has("seconds")) {
+    CompareSoft(ctx, where + ".seconds", base["seconds"].AsDouble(),
+                fresh["seconds"].AsDouble(), ctx->options->time_tolerance,
+                0.1, "s");
+  }
+}
+
+// Sweep benches (bench_io) repeat the same (algorithm, dataset) pair at
+// every configuration point, so the run identity includes the cache
+// object's threads/depth; runs without one contribute "/t0/d0".
+std::string RunKey(const JsonValue& run) {
+  return run["algorithm"].AsString() + " @ " + run["dataset"].AsString() +
+         "/t" + FmtUInt(run["cache"]["io_threads"].AsUInt()) + "/d" +
+         FmtUInt(run["cache"]["prefetch_depth"].AsUInt());
+}
+
+std::string PointKey(const JsonValue& point) {
+  return point["workload"].AsString() + "/t" +
+         FmtUInt(point["io_threads"].AsUInt()) + "/d" +
+         FmtUInt(point["prefetch_depth"].AsUInt());
+}
+
+}  // namespace
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path);
+  }
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    out->append(buf, n);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return Status::IoError("read " + path);
+  return Status::OK();
+}
+
+Status AggregateBenchReportFiles(const std::vector<std::string>& jsonl_paths,
+                                 const BenchReportOptions& options,
+                                 std::string* json_out) {
+  std::vector<BenchFile> benches;
+  for (const std::string& path : jsonl_paths) {
+    BenchFile bench;
+    IOSCC_RETURN_IF_ERROR(ParseBenchFile(path, &bench));
+    benches.push_back(std::move(bench));
+  }
+  std::sort(benches.begin(), benches.end(),
+            [](const BenchFile& a, const BenchFile& b) {
+              return a.name < b.name;
+            });
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema").String(kBenchReportSchema);
+  json.Key("tag").String(options.tag);
+  json.Key("deterministic_only").Bool(options.deterministic_only);
+  json.Key("environment").BeginObject();
+  json.Key("build_type").String(options.build_type);
+  json.Key("threads").Int(options.threads);
+  json.Key("prefetch_depth").Int(options.prefetch_depth);
+  json.Key("cache_blocks").UInt(options.cache_blocks);
+  json.EndObject();
+  json.Key("benches").BeginObject();
+  for (const BenchFile& bench : benches) {
+    WriteBenchSection(&json, bench, options.deterministic_only);
+  }
+  json.EndObject();
+  for (const BenchFile& bench : benches) {
+    if (bench.name == "bench_io") {
+      WriteBenchIoSection(&json, bench, options.deterministic_only);
+      break;
+    }
+  }
+  json.EndObject();
+  *json_out = json.Take();
+  json_out->push_back('\n');
+  return Status::OK();
+}
+
+size_t BenchCompareResult::hard_failures() const {
+  size_t n = 0;
+  for (const BenchCompareIssue& issue : issues) {
+    if (issue.hard) ++n;
+  }
+  return n;
+}
+
+size_t BenchCompareResult::soft_failures() const {
+  return issues.size() - hard_failures();
+}
+
+std::string BenchCompareResult::Format() const {
+  std::string out;
+  for (const BenchCompareIssue& issue : issues) {
+    out += issue.hard ? "FAIL " : "warn ";
+    out += issue.message;
+    out += '\n';
+  }
+  out += "bench_compare: " + std::to_string(deterministic_checks) +
+         " deterministic checks, " + std::to_string(timing_checks) +
+         " timing checks, " + std::to_string(hard_failures()) +
+         " hard failure(s), " + std::to_string(soft_failures()) +
+         " warning(s) -> " + (pass() ? "PASS" : "FAIL") + "\n";
+  return out;
+}
+
+Status CompareBenchReports(const std::string& baseline_json,
+                           const std::string& fresh_json,
+                           const BenchCompareOptions& options,
+                           BenchCompareResult* out) {
+  *out = BenchCompareResult();
+  JsonValue base, fresh;
+  std::string error;
+  if (!ParseJson(baseline_json, &base, &error)) {
+    return Status::Corruption("baseline: " + error);
+  }
+  if (!ParseJson(fresh_json, &fresh, &error)) {
+    return Status::Corruption("fresh: " + error);
+  }
+  CompareContext ctx;
+  ctx.options = &options;
+  ctx.result = out;
+
+  if (base["schema"].AsString() != kBenchReportSchema) {
+    ctx.Hard("schema", "baseline is not " + std::string(kBenchReportSchema));
+    return Status::OK();
+  }
+  if (fresh["schema"].AsString() != kBenchReportSchema) {
+    ctx.Hard("schema", "fresh is not " + std::string(kBenchReportSchema));
+    return Status::OK();
+  }
+
+  const JsonValue& base_env = base["environment"];
+  const JsonValue& fresh_env = fresh["environment"];
+  ctx.environments_match = true;
+  for (const char* field :
+       {"threads", "prefetch_depth", "cache_blocks", "build_type"}) {
+    const JsonValue& a = base_env[field];
+    const JsonValue& b = fresh_env[field];
+    const bool equal =
+        (a.is_number() && b.is_number() && a.number == b.number) ||
+        (a.is_string() && b.is_string() && a.string_value == b.string_value);
+    if (!equal) ctx.environments_match = false;
+  }
+
+  // The baseline defines the gate scope: iterate its benches/runs and
+  // require each in the fresh record. Extra fresh entries are ignored.
+  for (const auto& [bench_name, base_bench] : base["benches"].object) {
+    if (!fresh["benches"].has(bench_name)) {
+      ctx.Hard(bench_name, "bench missing from fresh report");
+      continue;
+    }
+    const JsonValue& fresh_bench = fresh["benches"][bench_name];
+    // Index fresh runs by key; last record per key wins, matching the
+    // aggregator's sweep handling.
+    std::map<std::string, const JsonValue*> fresh_runs;
+    if (fresh_bench["runs"].is_array()) {
+      for (const JsonValue& run : fresh_bench["runs"].array) {
+        fresh_runs[RunKey(run)] = &run;
+      }
+    }
+    if (base_bench["runs"].is_array()) {
+      for (const JsonValue& run : base_bench["runs"].array) {
+        const std::string key = RunKey(run);
+        const std::string where = bench_name + ": " + key;
+        auto it = fresh_runs.find(key);
+        if (it == fresh_runs.end()) {
+          ctx.Hard(where, "run missing from fresh report");
+          continue;
+        }
+        CompareRuns(&ctx, where, run, *it->second);
+      }
+    }
+  }
+
+  // bench_io sweep: every baseline point must exist with the same logical
+  // ledger; stalls are soft.
+  if (base.has("bench_io")) {
+    if (!fresh.has("bench_io")) {
+      ctx.Hard("bench_io", "sweep missing from fresh report");
+    } else {
+      std::map<std::string, const JsonValue*> fresh_points;
+      for (const JsonValue& point : fresh["bench_io"]["sweep"].array) {
+        fresh_points[PointKey(point)] = &point;
+      }
+      for (const JsonValue& point : base["bench_io"]["sweep"].array) {
+        const std::string key = PointKey(point);
+        const std::string where = "bench_io: " + key;
+        auto it = fresh_points.find(key);
+        if (it == fresh_points.end()) {
+          ctx.Hard(where, "sweep point missing from fresh report");
+          continue;
+        }
+        CompareIoObjects(&ctx, where + ".io", point["io"],
+                         (*it->second)["io"]);
+        if (point.has("seconds") && it->second->has("seconds")) {
+          CompareSoft(&ctx, where + ".seconds", point["seconds"].AsDouble(),
+                      (*it->second)["seconds"].AsDouble(),
+                      options.time_tolerance, 0.1, "s");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ioscc

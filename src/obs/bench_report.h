@@ -1,0 +1,104 @@
+// The canonical perf-trajectory record and its regression gate.
+//
+// AggregateBenchReportFiles folds the per-bench JSONL run reports
+// (obs/run_report.h) written by scripts/run_all_benches.sh into one
+// schema-versioned BENCH_<tag>.json: an environment block (threads,
+// prefetch depth, cache budget, build type), per-bench run series with
+// the logical/physical I/O ledgers, per-run phase profiles, histogram
+// percentiles, and the bench_io threads x depth sweep rendered as a
+// speedup curve.
+//
+// CompareBenchReports diffs a fresh record against a baseline:
+//   - HARD gates (exit-code failures) on everything deterministic —
+//     logical I/O counts, SCC results, iteration counts, budget
+//     verdicts, and (when the two environments match) the physical
+//     ledger. Two aggregations of the same tree must produce zero hard
+//     or soft diffs.
+//   - SOFT, tolerance-gated checks on the timing side (wall seconds,
+//     read stalls) so the gate stays stable on shared runners. Timing
+//     checks are skipped wherever either side omitted the field (e.g. a
+//     baseline recorded with deterministic_only).
+//
+// The baseline defines the gate's scope: benches or runs present only
+// in the fresh record are ignored, so a small committed baseline can
+// gate a superset run. Schema documented in docs/PERFORMANCE.md
+// ("Perf trajectory").
+
+#ifndef IOSCC_OBS_BENCH_REPORT_H_
+#define IOSCC_OBS_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ioscc {
+
+inline constexpr char kBenchReportSchema[] = "ioscc-bench/v1";
+
+struct BenchReportOptions {
+  std::string tag = "local";
+  // Omit everything that is not byte-reproducible across machines:
+  // timing (wall seconds, stalls, phase profiles, histograms, speedups),
+  // the physical I/O ledger (an async prefetcher's hit counts are race
+  // outcomes), and whole runs that hit the time limit (a timed-out
+  // ledger records where the clock cut it off). The mode committed
+  // baselines are recorded in.
+  bool deterministic_only = false;
+  // Environment block, recorded verbatim for the comparator's
+  // same-environment check.
+  std::string build_type;
+  int64_t threads = 0;
+  int64_t prefetch_depth = 1;
+  uint64_t cache_blocks = 0;
+};
+
+// Folds JSONL run-report files into one canonical BENCH json document.
+// Each file contributes one bench, named by its basename minus ".jsonl";
+// a file named bench_io.jsonl additionally feeds the threads x depth
+// sweep/speedup section. Dataset paths are reduced to basenames (scratch
+// directories are per-invocation; the file names inside are stable).
+Status AggregateBenchReportFiles(const std::vector<std::string>& jsonl_paths,
+                                 const BenchReportOptions& options,
+                                 std::string* json_out);
+
+struct BenchCompareOptions {
+  // Soft gate: fresh wall time may exceed baseline by this fraction
+  // (plus a 100 ms absolute grace) before a soft issue is raised.
+  double time_tolerance = 0.5;
+  // Soft gate for read_stall_micros, same shape (10 ms absolute grace).
+  double stall_tolerance = 2.0;
+};
+
+struct BenchCompareIssue {
+  bool hard = false;
+  std::string message;
+};
+
+struct BenchCompareResult {
+  std::vector<BenchCompareIssue> issues;
+  uint64_t deterministic_checks = 0;  // hard comparisons performed
+  uint64_t timing_checks = 0;         // soft comparisons performed
+
+  size_t hard_failures() const;
+  size_t soft_failures() const;
+  // True when no hard gate fired (soft issues alone do not fail).
+  bool pass() const { return hard_failures() == 0; }
+  // Multi-line human-readable verdict.
+  std::string Format() const;
+};
+
+// Compares two BENCH json documents (baseline defines the gate scope).
+// Returns non-OK only for malformed input; gate verdicts land in *out.
+Status CompareBenchReports(const std::string& baseline_json,
+                           const std::string& fresh_json,
+                           const BenchCompareOptions& options,
+                           BenchCompareResult* out);
+
+// File-reading convenience wrappers for the example tools.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_OBS_BENCH_REPORT_H_

@@ -120,6 +120,12 @@ JsonWriter& JsonWriter::Bool(bool value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+  return *this;
+}
+
 std::string JsonWriter::Take() {
   std::string result = std::move(out_);
   out_.clear();

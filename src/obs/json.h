@@ -30,6 +30,7 @@ class JsonWriter {
   JsonWriter& UInt(uint64_t value);
   JsonWriter& Double(double value);
   JsonWriter& Bool(bool value);
+  JsonWriter& Null();
 
   // The accumulated JSON text; the writer is reusable after Take.
   std::string Take();

@@ -1,0 +1,219 @@
+#include "obs/json_value.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ioscc {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    pos_ = 0;
+    if (!ParseValue(out)) return Fail(error);
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail(error);
+    return true;
+  }
+
+ private:
+  bool Fail(std::string* error) {
+    if (error != nullptr) {
+      *error = "JSON parse error at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return false;
+          }
+          // The writers in obs/json.cc only escape control characters;
+          // keep the decoded code point one byte.
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return false;
+    out->type = JsonValue::Type::kNumber;
+    const std::string literal(text_.substr(start, pos_ - start));
+    out->number = std::strtod(literal.c_str(), nullptr);
+    if (integral && literal[0] != '-') {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(literal.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        out->is_uint = true;
+        out->uint_value = static_cast<uint64_t>(v);
+      }
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue& JsonValue::operator[](const std::string& key) const {
+  static const JsonValue kNullValue;
+  auto it = object.find(key);
+  return it == object.end() ? kNullValue : it->second;
+}
+
+uint64_t JsonValue::AsUInt(uint64_t default_value) const {
+  if (!is_number()) return default_value;
+  if (is_uint) return uint_value;
+  return number >= 0 ? static_cast<uint64_t>(number) : default_value;
+}
+
+double JsonValue::AsDouble(double default_value) const {
+  return is_number() ? number : default_value;
+}
+
+bool JsonValue::AsBool(bool default_value) const {
+  return is_bool() ? bool_value : default_value;
+}
+
+const std::string& JsonValue::AsString() const {
+  static const std::string kEmpty;
+  return is_string() ? string_value : kEmpty;
+}
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  return Parser(text).Parse(out, error);
+}
+
+}  // namespace ioscc

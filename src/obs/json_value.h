@@ -1,0 +1,63 @@
+// Parsed JSON document model for the observability consumers (the
+// bench_report aggregator and bench_compare comparator read back the
+// JSONL run reports and canonical BENCH_*.json files this repo writes).
+//
+// Strict JSON only, no comments. Numbers are kept as doubles *and*, when
+// the literal is a plain non-negative integer, as an exact uint64 — the
+// comparator gates on logical block counts, which must round-trip
+// exactly. This is the production sibling of tests/json_test_util.h.
+
+#ifndef IOSCC_OBS_JSON_VALUE_H_
+#define IOSCC_OBS_JSON_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ioscc {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  // Exact value when the literal was a plain non-negative integer that
+  // fits uint64 (is_uint); `number` is always populated.
+  uint64_t uint_value = 0;
+  bool is_uint = false;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  bool has(const std::string& key) const {
+    return is_object() && object.count(key) != 0;
+  }
+
+  // Object member access; returns a shared null value when absent so
+  // lookups chain without crashing (callers then check the type).
+  const JsonValue& operator[](const std::string& key) const;
+
+  // Typed accessors with defaults for absent/mistyped values.
+  uint64_t AsUInt(uint64_t default_value = 0) const;
+  double AsDouble(double default_value = 0.0) const;
+  bool AsBool(bool default_value = false) const;
+  const std::string& AsString() const;  // empty when not a string
+};
+
+// Parses exactly one JSON document (no trailing garbage). On failure
+// returns false and, when `error` is non-null, a byte-offset message.
+bool ParseJson(std::string_view text, JsonValue* out,
+               std::string* error = nullptr);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_OBS_JSON_VALUE_H_

@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
+#include <cstdio>
 
 namespace ioscc {
 
@@ -36,6 +38,69 @@ void Histogram::Record(uint64_t value) {
 double Histogram::Mean() const {
   const uint64_t n = count();
   return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::Percentile(double p) const {
+  return TakeSnapshot().Percentile(p);
+}
+
+HistogramSnapshot Histogram::TakeSnapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count();
+  if (snapshot.count == 0) return snapshot;  // min stays 0, not the sentinel
+  snapshot.sum = sum();
+  snapshot.min = min();
+  snapshot.max = max();
+  for (int i = 0; i < kBucketCount; ++i) {
+    const uint64_t n = bucket(i);
+    if (n != 0) snapshot.buckets.emplace_back(BucketLowerBound(i), n);
+  }
+  return snapshot;
+}
+
+std::string Histogram::Format() const { return TakeSnapshot().Format(); }
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the percentile sample, 1-based: the smallest value with at
+  // least ceil(p% * count) samples at or below it.
+  const double target = std::max(1.0, (p / 100.0) * static_cast<double>(count));
+  uint64_t cumulative = 0;
+  for (const auto& [lower, n] : buckets) {
+    if (static_cast<double>(cumulative + n) >= target) {
+      // Bucket 0 holds only the value 0: exact, no interpolation.
+      if (lower == 0) return 0.0;
+      // Bucket range [lo, hi), tightened by the recorded min/max so
+      // single-valued histograms and the outermost buckets stay exact.
+      const double bucket_lo = static_cast<double>(lower);
+      const double bucket_hi =
+          lower == 0 ? 1.0 : 2.0 * static_cast<double>(lower);
+      const double lo = std::max(bucket_lo, static_cast<double>(min));
+      const double hi =
+          std::min(bucket_hi, static_cast<double>(max) + 1.0);
+      const double fraction =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(n);
+      const double value = lo + fraction * (hi - lo);
+      return std::clamp(value, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    cumulative += n;
+  }
+  return static_cast<double>(max);
+}
+
+std::string HistogramSnapshot::Format() const {
+  if (count == 0) return "empty";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f min=%llu p50=%.0f p90=%.0f p99=%.0f "
+                "max=%llu",
+                static_cast<unsigned long long>(count), Mean(),
+                static_cast<unsigned long long>(min), Percentile(50),
+                Percentile(90), Percentile(99),
+                static_cast<unsigned long long>(max));
+  return buf;
 }
 
 void Histogram::Reset() {
@@ -78,17 +143,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     if (counter->value() != 0) snapshot.counters[name] = counter->value();
   }
   for (const auto& [name, histogram] : histograms_) {
-    if (histogram->count() == 0) continue;
-    HistogramSnapshot h;
-    h.count = histogram->count();
-    h.sum = histogram->sum();
-    h.min = histogram->min();
-    h.max = histogram->max();
-    for (int i = 0; i < Histogram::kBucketCount; ++i) {
-      const uint64_t n = histogram->bucket(i);
-      if (n != 0) h.buckets.emplace_back(Histogram::BucketLowerBound(i), n);
-    }
-    snapshot.histograms[name] = std::move(h);
+    // Empty histograms leave the snapshot entirely; TakeSnapshot would
+    // also report them cleanly (count 0, min 0) but reports stay small.
+    if (histogram->empty()) continue;
+    snapshot.histograms[name] = histogram->TakeSnapshot();
   }
   return snapshot;
 }

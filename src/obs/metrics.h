@@ -12,6 +12,15 @@
 // bucket i (i >= 1) holds [2^(i-1), 2^i). That is exact enough for the
 // quantities we care about (latencies in microseconds, sort run lengths,
 // merge fan-ins) and makes recording a single bit-scan.
+//
+// Percentiles (p50/p90/p99 in the snapshot records) are extracted by
+// linear interpolation inside the target bucket, with the bucket range
+// tightened by the recorded min/max. Error bound: the estimate and the
+// true percentile lie in the same [2^(i-1), 2^i) bucket, so the estimate
+// is within a factor of 2 of the true value (relative error < 100%), and
+// always inside [min, max]; a histogram whose samples all share one
+// value reports that value exactly. tests/obs_test.cc holds this bound
+// on randomized inputs.
 
 #ifndef IOSCC_OBS_METRICS_H_
 #define IOSCC_OBS_METRICS_H_
@@ -52,8 +61,10 @@ class Histogram {
   void Record(uint64_t value);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  bool empty() const { return count() == 0; }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
-  // Min/max over recorded values; min() == UINT64_MAX when empty.
+  // Min/max over recorded values; min() == UINT64_MAX when empty. Prefer
+  // empty() over probing for that sentinel.
   uint64_t min() const { return min_.load(std::memory_order_relaxed); }
   uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   uint64_t bucket(int index) const {
@@ -62,6 +73,17 @@ class Histogram {
   }
 
   double Mean() const;
+  // Estimated value at percentile p (0..100); 0 when empty. See the
+  // header comment for the interpolation error bound.
+  double Percentile(double p) const;
+
+  // Point-in-time copy for reports. Handles the empty case explicitly:
+  // an empty histogram snapshots with count == 0 and min == 0 (never the
+  // UINT64_MAX sentinel).
+  struct HistogramSnapshot TakeSnapshot() const;
+
+  // "count=4 mean=27.5 min=0 p50=5 p90=100 p99=100 max=100", or "empty".
+  std::string Format() const;
 
   void Reset();
 
@@ -81,6 +103,19 @@ struct HistogramSnapshot {
   uint64_t max = 0;
   // (bucket lower bound, count) for every non-empty bucket, ascending.
   std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+  bool empty() const { return count == 0; }
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  // Estimated value at percentile p (0..100); 0 when empty. Same
+  // interpolation and factor-of-2 error bound as Histogram::Percentile —
+  // this is the shared implementation, so the bench_report aggregator
+  // extracts identical percentiles from parsed snapshot records.
+  double Percentile(double p) const;
+  // Human-readable one-liner; "empty" for an empty snapshot.
+  std::string Format() const;
 };
 
 struct MetricsSnapshot {

@@ -1,0 +1,95 @@
+#include "obs/phase_profiler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define IOSCC_HAVE_GETRUSAGE 1
+#endif
+
+namespace ioscc {
+
+ResourceSample SampleResourceUsage() {
+  ResourceSample sample;
+#ifdef IOSCC_HAVE_GETRUSAGE
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    auto micros = [](const struct timeval& tv) {
+      return static_cast<uint64_t>(tv.tv_sec) * 1000000ull +
+             static_cast<uint64_t>(tv.tv_usec);
+    };
+    sample.cpu_user_micros = micros(usage.ru_utime);
+    sample.cpu_sys_micros = micros(usage.ru_stime);
+#if defined(__APPLE__)
+    // ru_maxrss is bytes on Darwin, kilobytes on Linux/BSD.
+    sample.max_rss_kb = static_cast<uint64_t>(usage.ru_maxrss) / 1024;
+#else
+    sample.max_rss_kb = static_cast<uint64_t>(usage.ru_maxrss);
+#endif
+  }
+#endif
+  return sample;
+}
+
+uint64_t ProcessMonotonicMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void PhaseProfiler::RecordSpan(const char* name, uint64_t wall_micros,
+                               uint64_t cpu_user_micros,
+                               uint64_t cpu_sys_micros, uint64_t max_rss_kb,
+                               bool has_io, const IoStats& io_delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseProfile& phase = phases_[name];
+  if (phase.name.empty()) phase.name = name;
+  phase.spans += 1;
+  phase.wall_micros += wall_micros;
+  phase.cpu_user_micros += cpu_user_micros;
+  phase.cpu_sys_micros += cpu_sys_micros;
+  phase.max_rss_kb = std::max(phase.max_rss_kb, max_rss_kb);
+  if (has_io) {
+    phase.has_io = true;
+    phase.io += io_delta;
+  }
+}
+
+std::vector<PhaseProfile> PhaseProfiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PhaseProfile> out;
+  out.reserve(phases_.size());
+  for (const auto& [name, phase] : phases_) out.push_back(phase);
+  return out;  // map iteration order: already sorted by name
+}
+
+std::vector<PhaseProfile> PhaseProfiler::Delta(
+    const std::vector<PhaseProfile>& before,
+    const std::vector<PhaseProfile>& after) {
+  auto sub = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
+  std::vector<PhaseProfile> out;
+  for (const PhaseProfile& now : after) {
+    const PhaseProfile* prev = nullptr;
+    for (const PhaseProfile& p : before) {
+      if (p.name == now.name) {
+        prev = &p;
+        break;
+      }
+    }
+    PhaseProfile delta = now;
+    if (prev != nullptr) {
+      delta.spans = sub(now.spans, prev->spans);
+      delta.wall_micros = sub(now.wall_micros, prev->wall_micros);
+      delta.cpu_user_micros = sub(now.cpu_user_micros, prev->cpu_user_micros);
+      delta.cpu_sys_micros = sub(now.cpu_sys_micros, prev->cpu_sys_micros);
+      delta.io = now.io - prev->io;
+      // max_rss_kb stays `now`'s value: the high-water mark is monotone.
+    }
+    if (delta.spans > 0) out.push_back(std::move(delta));
+  }
+  return out;
+}
+
+}  // namespace ioscc

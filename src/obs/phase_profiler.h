@@ -1,0 +1,100 @@
+// Per-phase resource profiling on top of the trace-span spine.
+//
+// A PhaseProfiler aggregates, keyed by span name, what every TraceSpan
+// cost while it was open: wall time, user/sys CPU time and peak RSS
+// (sampled via getrusage at span entry/exit), plus the span's logical
+// I/O delta. Install with SetPhaseProfiler(); from then on every
+// TraceSpan — with or without a Tracer also installed — feeds the
+// profiler on exit, so a run decomposes into the per-phase
+// wall/CPU/RSS/I/O profile the perf-trajectory reports are built from
+// (docs/PERFORMANCE.md, "Perf trajectory").
+//
+// Same zero-cost contract as the tracer: with no profiler installed a
+// TraceSpan pays one extra relaxed atomic load; the getrusage syscalls
+// happen only while a profiler is watching, and spans fire per
+// pass/scan, not per block, so the sampling cost is negligible.
+//
+// Note on peak RSS: getrusage reports the *process* high-water mark, so
+// a phase's max_rss_kb is the process peak observed at that phase's
+// exit — monotone over the run, attributing a peak to the first phase
+// that reached it.
+
+#ifndef IOSCC_OBS_PHASE_PROFILER_H_
+#define IOSCC_OBS_PHASE_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/io_stats.h"
+
+namespace ioscc {
+
+// Point-in-time process resource usage (getrusage(RUSAGE_SELF)).
+// All-zero on platforms without getrusage.
+struct ResourceSample {
+  uint64_t cpu_user_micros = 0;
+  uint64_t cpu_sys_micros = 0;
+  uint64_t max_rss_kb = 0;  // process peak resident set, kilobytes
+};
+
+ResourceSample SampleResourceUsage();
+
+// Monotonic clock for profiler-only spans (no Tracer epoch available).
+uint64_t ProcessMonotonicMicros();
+
+// Aggregated cost of every span that carried one phase name.
+struct PhaseProfile {
+  std::string name;
+  uint64_t spans = 0;             // spans recorded under this name
+  uint64_t wall_micros = 0;       // summed span durations
+  uint64_t cpu_user_micros = 0;   // summed user-CPU deltas
+  uint64_t cpu_sys_micros = 0;    // summed system-CPU deltas
+  uint64_t max_rss_kb = 0;        // process peak RSS at last span exit
+  bool has_io = false;            // io is meaningful
+  IoStats io;                     // summed per-span I/O deltas
+};
+
+// Thread-safe per-phase aggregator. Install with SetPhaseProfiler(); the
+// profiler must outlive every span opened while installed.
+class PhaseProfiler {
+ public:
+  void RecordSpan(const char* name, uint64_t wall_micros,
+                  uint64_t cpu_user_micros, uint64_t cpu_sys_micros,
+                  uint64_t max_rss_kb, bool has_io, const IoStats& io_delta);
+
+  // Copy of the per-phase aggregates, sorted by phase name.
+  std::vector<PhaseProfile> Snapshot() const;
+
+  // What happened between two Snapshot() calls: counters and sums are
+  // subtracted per phase; max_rss_kb keeps `after`'s value (the process
+  // high-water mark is monotone). Phases with no new spans are dropped.
+  static std::vector<PhaseProfile> Delta(
+      const std::vector<PhaseProfile>& before,
+      const std::vector<PhaseProfile>& after);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, PhaseProfile> phases_;
+};
+
+namespace internal_profiler {
+inline std::atomic<PhaseProfiler*> g_profiler{nullptr};
+}  // namespace internal_profiler
+
+// Installs `profiler` as the process-wide sink (nullptr disables). Not
+// synchronized against open spans: install before starting work.
+inline void SetPhaseProfiler(PhaseProfiler* profiler) {
+  internal_profiler::g_profiler.store(profiler, std::memory_order_release);
+}
+
+inline PhaseProfiler* GetPhaseProfiler() {
+  return internal_profiler::g_profiler.load(std::memory_order_relaxed);
+}
+
+}  // namespace ioscc
+
+#endif  // IOSCC_OBS_PHASE_PROFILER_H_

@@ -28,6 +28,21 @@ void WriteIoStats(JsonWriter* json, const IoStats& io) {
   json->EndObject();
 }
 
+void WritePhaseProfile(JsonWriter* json, const PhaseProfile& phase) {
+  json->BeginObject();
+  json->Key("name").String(phase.name);
+  json->Key("spans").UInt(phase.spans);
+  json->Key("wall_micros").UInt(phase.wall_micros);
+  json->Key("cpu_user_micros").UInt(phase.cpu_user_micros);
+  json->Key("cpu_sys_micros").UInt(phase.cpu_sys_micros);
+  json->Key("max_rss_kb").UInt(phase.max_rss_kb);
+  if (phase.has_io) {
+    json->Key("io");
+    WriteIoStats(json, phase.io);
+  }
+  json->EndObject();
+}
+
 }  // namespace
 
 std::string RunReportEntryToJson(const RunReportEntry& entry) {
@@ -75,6 +90,13 @@ std::string RunReportEntryToJson(const RunReportEntry& entry) {
         .UInt(entry.nodes_in_nontrivial_sccs);
     json.EndObject();
   }
+  if (!entry.phases.empty()) {
+    json.Key("phases").BeginArray();
+    for (const PhaseProfile& phase : entry.phases) {
+      WritePhaseProfile(&json, phase);
+    }
+    json.EndArray();
+  }
   json.Key("per_iteration").BeginArray();
   for (const IterationStats& iter : entry.stats.per_iteration) {
     json.BeginObject();
@@ -85,6 +107,19 @@ std::string RunReportEntryToJson(const RunReportEntry& entry) {
     json.Key("io");
     WriteIoStats(&json, iter.io);
     json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.Take();
+}
+
+std::string PhaseProfilesToJson(const std::vector<PhaseProfile>& profiles) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("type").String("phases");
+  json.Key("profiles").BeginArray();
+  for (const PhaseProfile& phase : profiles) {
+    WritePhaseProfile(&json, phase);
   }
   json.EndArray();
   json.EndObject();
@@ -107,6 +142,13 @@ std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
     json.Key("sum").UInt(h.sum);
     json.Key("min").UInt(h.min);
     json.Key("max").UInt(h.max);
+    // First-class latency percentiles (pow2-bucket interpolation, error
+    // bound documented in obs/metrics.h); the buckets follow for
+    // consumers that want a different quantile.
+    json.Key("mean").Double(h.Mean());
+    json.Key("p50").Double(h.Percentile(50));
+    json.Key("p90").Double(h.Percentile(90));
+    json.Key("p99").Double(h.Percentile(99));
     json.Key("buckets").BeginArray();
     for (const auto& [lower_bound, count] : h.buckets) {
       json.BeginArray().UInt(lower_bound).UInt(count).EndArray();
@@ -148,6 +190,11 @@ Status RunReportWriter::Append(const RunReportEntry& entry) {
 Status RunReportWriter::AppendMetricsSnapshot() {
   return WriteLine(
       MetricsSnapshotToJson(MetricsRegistry::Global().Snapshot()));
+}
+
+Status RunReportWriter::AppendPhaseProfiles(
+    const std::vector<PhaseProfile>& profiles) {
+  return WriteLine(PhaseProfilesToJson(profiles));
 }
 
 Status RunReportWriter::Flush() {

@@ -3,8 +3,13 @@
 // One line per record, each a self-contained JSON object with a "type"
 // tag:
 //   {"type":"run", ...}      — one algorithm execution: outcome, RunStats,
-//                              per-iteration reduction + I/O deltas
+//                              per-iteration reduction + I/O deltas, and
+//                              (with a PhaseProfiler installed) the run's
+//                              per-phase wall/CPU/RSS/I/O profile
 //   {"type":"metrics", ...}  — snapshot of the global metrics registry
+//                              (histograms carry mean + p50/p90/p99)
+//   {"type":"phases", ...}   — whole-process per-phase profile, appended
+//                              once at shutdown like the metrics snapshot
 //
 // The schema is documented in docs/OBSERVABILITY.md. The entry struct is
 // deliberately plain data (names and numbers) so this layer depends on
@@ -18,7 +23,10 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "scc/options.h"
 #include "util/status.h"
 
@@ -59,11 +67,17 @@ struct RunReportEntry {
   uint64_t component_count = 0;
   uint64_t largest_component = 0;
   uint64_t nodes_in_nontrivial_sccs = 0;
+
+  // Per-phase wall/CPU/RSS/I/O profile for this run (obs/phase_profiler.h
+  // delta captured by the harness); emitted as a "phases" array when
+  // non-empty.
+  std::vector<PhaseProfile> phases;
 };
 
 // JSON (single line, no trailing newline) for one record.
 std::string RunReportEntryToJson(const RunReportEntry& entry);
 std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot);
+std::string PhaseProfilesToJson(const std::vector<PhaseProfile>& profiles);
 
 // Appends JSONL records to a file. Create once per binary invocation.
 class RunReportWriter {
@@ -80,6 +94,10 @@ class RunReportWriter {
   // Writes a {"type":"metrics"} record with the current global registry
   // contents; typically called once, right before closing.
   Status AppendMetricsSnapshot();
+  // Writes a {"type":"phases"} record with a whole-process per-phase
+  // profile (PhaseProfiler::Snapshot()); rides next to the metrics
+  // snapshot at shutdown.
+  Status AppendPhaseProfiles(const std::vector<PhaseProfile>& profiles);
 
   Status Flush();
   const std::string& path() const { return path_; }

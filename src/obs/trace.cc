@@ -59,6 +59,13 @@ std::string Tracer::ToChromeTraceJson() const {
       json.Key("prefetch_depth_used")
           .UInt(event.io_delta.prefetch_depth_used);
     }
+    if (event.has_resources) {
+      // Sampled via getrusage while a PhaseProfiler was installed: CPU
+      // consumed during the span and the process peak RSS at its exit.
+      json.Key("cpu_user_micros").UInt(event.cpu_user_micros);
+      json.Key("cpu_sys_micros").UInt(event.cpu_sys_micros);
+      json.Key("max_rss_kb").UInt(event.max_rss_kb);
+    }
     json.EndObject();  // args
     json.EndObject();  // event
   }
@@ -82,27 +89,52 @@ Status Tracer::WriteChromeTrace(const std::string& path) const {
 }
 
 void TraceSpan::Enter(const char* name, const IoStats* io) {
+  active_ = true;
   name_ = name;
   io_ = io;
   if (io != nullptr) enter_io_ = *io;
-  start_us_ = tracer_->NowMicros();
+  if (profiler_ != nullptr) enter_res_ = SampleResourceUsage();
+  start_us_ =
+      tracer_ != nullptr ? tracer_->NowMicros() : ProcessMonotonicMicros();
   depth_ = internal_trace::tls_depth++;
 }
 
 void TraceSpan::Finish() {
-  TraceEvent event;
-  event.name = name_;
-  event.start_us = start_us_;
-  const uint64_t end_us = tracer_->NowMicros();
-  event.dur_us = end_us > start_us_ ? end_us - start_us_ : 0;
-  event.depth = depth_;
-  if (io_ != nullptr) {
-    event.has_io = true;
-    event.io_delta = *io_ - enter_io_;
-  }
+  const uint64_t end_us =
+      tracer_ != nullptr ? tracer_->NowMicros() : ProcessMonotonicMicros();
+  const uint64_t dur_us = end_us > start_us_ ? end_us - start_us_ : 0;
+  const bool has_io = io_ != nullptr;
+  IoStats io_delta;
+  if (has_io) io_delta = *io_ - enter_io_;
+  ResourceSample exit_res;
+  auto sub = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
+  if (profiler_ != nullptr) exit_res = SampleResourceUsage();
   --internal_trace::tls_depth;
-  tracer_->Record(std::move(event));
-  tracer_ = nullptr;
+  if (profiler_ != nullptr) {
+    profiler_->RecordSpan(
+        name_, dur_us, sub(exit_res.cpu_user_micros, enter_res_.cpu_user_micros),
+        sub(exit_res.cpu_sys_micros, enter_res_.cpu_sys_micros),
+        exit_res.max_rss_kb, has_io, io_delta);
+  }
+  if (tracer_ != nullptr) {
+    TraceEvent event;
+    event.name = name_;
+    event.start_us = start_us_;
+    event.dur_us = dur_us;
+    event.depth = depth_;
+    event.has_io = has_io;
+    event.io_delta = io_delta;
+    if (profiler_ != nullptr) {
+      event.has_resources = true;
+      event.cpu_user_micros =
+          sub(exit_res.cpu_user_micros, enter_res_.cpu_user_micros);
+      event.cpu_sys_micros =
+          sub(exit_res.cpu_sys_micros, enter_res_.cpu_sys_micros);
+      event.max_rss_kb = exit_res.max_rss_kb;
+    }
+    tracer_->Record(std::move(event));
+  }
+  active_ = false;
 }
 
 }  // namespace ioscc

@@ -7,11 +7,14 @@
 // their share of the block I/Os — the per-phase cost attribution the
 // paper's tables are built from.
 //
-// When no Tracer is installed (the default) every TraceSpan constructor
-// inlines to a single relaxed atomic load and the destructor to a null
-// check: algorithm hot loops pay nothing for being instrumented. Span
-// names must be string literals (or otherwise outlive the span); they are
-// only copied when a sink is installed.
+// When no Tracer (and no PhaseProfiler, obs/phase_profiler.h) is
+// installed — the default — every TraceSpan constructor inlines to two
+// relaxed atomic loads and the destructor to a flag check: algorithm hot
+// loops pay nothing for being instrumented. Span names must be string
+// literals (or otherwise outlive the span); they are only copied when a
+// sink is installed. With a PhaseProfiler installed, each span
+// additionally samples getrusage at entry/exit and reports its wall/CPU/
+// peak-RSS deltas both to the profiler and into the trace args.
 //
 // The recorded events export to the Chrome trace_event JSON format, so a
 // trace file opens directly in chrome://tracing or https://ui.perfetto.dev
@@ -28,6 +31,7 @@
 #include <vector>
 
 #include "io/io_stats.h"
+#include "obs/phase_profiler.h"
 #include "util/status.h"
 
 namespace ioscc {
@@ -42,6 +46,13 @@ struct TraceEvent {
   uint32_t depth = 0;     // 0 = top-level span
   bool has_io = false;    // io_delta is meaningful
   IoStats io_delta;       // I/O performed while the span was open
+  // Resource deltas, present only when a PhaseProfiler was installed
+  // (obs/phase_profiler.h): CPU time consumed while the span was open
+  // and the process peak RSS at span exit.
+  bool has_resources = false;
+  uint64_t cpu_user_micros = 0;
+  uint64_t cpu_sys_micros = 0;
+  uint64_t max_rss_kb = 0;
 };
 
 // Collects spans for one process (or one benchmark binary). Install with
@@ -93,17 +104,20 @@ inline Tracer* GetTracer() {
 
 // RAII span. `name` must outlive the span (use string literals). When `io`
 // is non-null the span attributes *io's growth between entry and exit to
-// itself.
+// itself. Active when a Tracer and/or a PhaseProfiler is installed; each
+// installed sink receives the span on exit.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const IoStats* io = nullptr)
-      : tracer_(GetTracer()) {
-    if (tracer_ == nullptr) return;  // no sink installed: no-op span
+      : tracer_(GetTracer()), profiler_(GetPhaseProfiler()) {
+    if (tracer_ == nullptr && profiler_ == nullptr) {
+      return;  // no sink installed: no-op span
+    }
     Enter(name, io);
   }
 
   ~TraceSpan() {
-    if (tracer_ != nullptr) Finish();
+    if (active_) Finish();
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -111,8 +125,7 @@ class TraceSpan {
 
   // Ends the span now (idempotent; the destructor becomes a no-op).
   void Close() {
-    if (tracer_ != nullptr) Finish();
-    tracer_ = nullptr;
+    if (active_) Finish();
   }
 
  private:
@@ -120,9 +133,12 @@ class TraceSpan {
   void Finish();
 
   Tracer* tracer_;
+  PhaseProfiler* profiler_;
+  bool active_ = false;
   const char* name_ = nullptr;
   const IoStats* io_ = nullptr;
   IoStats enter_io_;
+  ResourceSample enter_res_;
   uint64_t start_us_ = 0;
   uint32_t depth_ = 0;
 };

@@ -1,0 +1,353 @@
+// Tests for the perf-trajectory pipeline (obs/bench_report.h): JSONL ->
+// canonical BENCH json aggregation (schema, determinism, percentile and
+// sweep extraction) and the bench_compare gate semantics (hard on
+// logical-I/O / result drift, soft on timing, baseline-scoped).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.h"
+#include "obs/json_value.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "tests/test_util.h"
+
+namespace ioscc {
+namespace {
+
+class BenchReportTest : public testing_util::TempDirTest {
+ protected:
+  // One synthetic SCC-bench run record, dataset under `dir` (the
+  // aggregator must reduce it to the basename).
+  static RunReportEntry SccRun(const std::string& algo,
+                               const std::string& dir, uint64_t blocks_read,
+                               double seconds, uint64_t components) {
+    RunReportEntry entry;
+    entry.experiment = "bench_alpha";
+    entry.algorithm = algo;
+    entry.dataset = dir + "/f1.edges";
+    entry.status = "OK";
+    entry.finished = true;
+    entry.stats.seconds = seconds;
+    entry.stats.iterations = 3;
+    entry.stats.io.blocks_read = blocks_read;
+    entry.stats.io.blocks_written = blocks_read / 2;
+    entry.stats.io.bytes_read = blocks_read * 4096;
+    entry.stats.io.read_stall_micros = 1000;
+    entry.has_io_budget = true;
+    entry.io_budget_model = "1p";
+    entry.io_budget_bound_ios = 10 * blocks_read;
+    entry.io_budget_measured_ios = blocks_read + blocks_read / 2;
+    entry.io_budget_ratio = 0.15;
+    entry.io_budget_pass = true;
+    entry.component_count = components;
+    entry.largest_component = 4;
+    entry.nodes_in_nontrivial_sccs = 8;
+    return entry;
+  }
+
+  // One bench_io sweep-point record (threads/depth ride in the cache
+  // object; the (0,0) point has none, mirroring bench_io itself).
+  static RunReportEntry IoRun(const std::string& workload, uint64_t threads,
+                              uint64_t depth, uint64_t blocks_read,
+                              double seconds) {
+    RunReportEntry entry;
+    entry.experiment = "bench_io";
+    entry.algorithm = workload;
+    entry.dataset = "/scratch/bench_io/input.edges";
+    entry.status = "OK";
+    entry.finished = true;
+    entry.stats.seconds = seconds;
+    entry.stats.io.blocks_read = blocks_read;
+    entry.stats.io.bytes_read = blocks_read * 4096;
+    entry.stats.io.read_stall_micros = threads > 0 ? 50 : 5000;
+    entry.io_threads = threads;
+    entry.prefetch_depth = depth;
+    return entry;
+  }
+
+  // Writes `entries` (plus a metrics snapshot with one histogram) as a
+  // JSONL run report. The aggregator derives the bench name from the
+  // basename, so each report gets its own scratch directory and the file
+  // is named exactly <bench>.jsonl.
+  std::string WriteReport(const std::string& bench,
+                          const std::vector<RunReportEntry>& entries) {
+    std::unique_ptr<TempDir> report_dir;
+    EXPECT_TRUE(TempDir::Create("bench-report-test", &report_dir).ok());
+    const std::string file = report_dir->FilePath(bench + ".jsonl");
+    report_dirs_.push_back(std::move(report_dir));
+    std::unique_ptr<RunReportWriter> writer;
+    EXPECT_TRUE(RunReportWriter::Open(file, &writer).ok());
+    for (const RunReportEntry& entry : entries) {
+      EXPECT_TRUE(writer->Append(entry).ok());
+    }
+    MetricsRegistry::Global().Reset();
+    Histogram* h = MetricsRegistry::Global().GetHistogram("test.latency_us");
+    for (uint64_t v : {3u, 5u, 5u, 90u, 200u}) h->Record(v);
+    EXPECT_TRUE(writer->AppendMetricsSnapshot().ok());
+    MetricsRegistry::Global().Reset();
+    return file;
+  }
+
+  std::string Aggregate(const std::vector<std::string>& files,
+                        bool deterministic_only = false,
+                        const std::string& tag = "test") {
+    BenchReportOptions options;
+    options.tag = tag;
+    options.deterministic_only = deterministic_only;
+    options.build_type = "Release";
+    options.threads = 2;
+    options.prefetch_depth = 4;
+    options.cache_blocks = 0;
+    std::string json;
+    EXPECT_TRUE(AggregateBenchReportFiles(files, options, &json).ok());
+    return json;
+  }
+
+  std::vector<std::unique_ptr<TempDir>> report_dirs_;
+};
+
+TEST_F(BenchReportTest, AggregateIsDeterministicAndSchemaComplete) {
+  const std::string alpha = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/tmp/run1", 100, 1.5, 6),
+                      SccRun("2P-SCC", "/tmp/run1", 140, 2.5, 6)});
+  const std::string io = WriteReport(
+      "bench_io", {IoRun("scan", 0, 0, 500, 2.0), IoRun("scan", 2, 4, 500, 1.0),
+                   IoRun("sort", 0, 0, 800, 4.0), IoRun("sort", 2, 4, 800, 2.0)});
+
+  const std::string first = Aggregate({alpha, io});
+  const std::string second = Aggregate({io, alpha});  // order-independent
+  EXPECT_EQ(first, second);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(first, &doc, &error)) << error;
+  EXPECT_EQ(doc["schema"].AsString(), kBenchReportSchema);
+  EXPECT_EQ(doc["tag"].AsString(), "test");
+  EXPECT_FALSE(doc["deterministic_only"].AsBool(true));
+  EXPECT_EQ(doc["environment"]["build_type"].AsString(), "Release");
+  EXPECT_EQ(doc["environment"]["threads"].AsUInt(), 2u);
+  EXPECT_EQ(doc["environment"]["prefetch_depth"].AsUInt(), 4u);
+
+  // Per-bench runs: datasets reduced to basenames, ledgers intact.
+  const JsonValue& runs = doc["benches"]["bench_alpha"]["runs"];
+  ASSERT_TRUE(runs.is_array());
+  ASSERT_EQ(runs.array.size(), 2u);
+  EXPECT_EQ(runs.array[0]["dataset"].AsString(), "f1.edges");
+  EXPECT_EQ(runs.array[0]["io"]["blocks_read"].AsUInt(), 100u);
+  EXPECT_EQ(runs.array[0]["result"]["component_count"].AsUInt(), 6u);
+  EXPECT_EQ(runs.array[0]["io_budget"]["bound_ios"].AsUInt(), 1000u);
+  EXPECT_FALSE(runs.array[0].has("per_iteration"));
+  EXPECT_FALSE(runs.array[0].has("experiment"));
+
+  // Histogram percentiles come from the shared snapshot implementation:
+  // 5 samples {3,5,5,90,200} -> the true p50 is 5, so the pow2-bucket
+  // estimate stays inside its [4, 8) bucket; p99 clamps to <= 200.
+  const JsonValue& hist =
+      doc["benches"]["bench_alpha"]["histograms"]["test.latency_us"];
+  ASSERT_TRUE(hist.is_object());
+  EXPECT_EQ(hist["count"].AsUInt(), 5u);
+  EXPECT_GE(hist["p50"].AsDouble(), 4.0);
+  EXPECT_LE(hist["p50"].AsDouble(), 8.0);
+  EXPECT_LE(hist["p99"].AsDouble(), 200.0);
+  EXPECT_GE(hist["p99"].AsDouble(), 100.0);
+
+  // bench_io sweep + speedup: the threaded scan point halved the wall
+  // time, so its speedup over the (0,0) point is 2x.
+  ASSERT_TRUE(doc["bench_io"]["sweep"].is_array());
+  EXPECT_EQ(doc["bench_io"]["sweep"].array.size(), 4u);
+  const JsonValue& speedup = doc["bench_io"]["speedup"];
+  ASSERT_TRUE(speedup.is_array());
+  bool saw_threaded_scan = false;
+  for (const JsonValue& point : speedup.array) {
+    if (point["workload"].AsString() == "scan" &&
+        point["io_threads"].AsUInt() == 2) {
+      saw_threaded_scan = true;
+      EXPECT_NEAR(point["speedup"].AsDouble(), 2.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(saw_threaded_scan);
+}
+
+TEST_F(BenchReportTest, DeterministicOnlyDropsTimingFields) {
+  const std::string io = WriteReport(
+      "bench_io", {IoRun("scan", 0, 0, 500, 2.0), IoRun("scan", 2, 4, 500, 1.0)});
+  RunReportEntry timed_out = SccRun("2P-SCC", "/tmp/x", 77, 60.0, 0);
+  timed_out.status = "Incomplete: hit the time limit";
+  timed_out.finished = false;
+  timed_out.timed_out = true;
+  const std::string alpha = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/tmp/x", 100, 1.5, 6), timed_out});
+  const std::string json = Aggregate({alpha, io}, /*deterministic_only=*/true);
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(json, &doc));
+  EXPECT_TRUE(doc["deterministic_only"].AsBool());
+  // The timed-out run is dropped wholesale: its ledger records where the
+  // clock cut it off, which no other machine reproduces.
+  ASSERT_EQ(doc["benches"]["bench_alpha"]["runs"].array.size(), 1u);
+  const JsonValue& run = doc["benches"]["bench_alpha"]["runs"].array[0];
+  EXPECT_FALSE(run.has("seconds"));
+  EXPECT_FALSE(run["io"].has("read_stall_micros"));
+  // Physical/pipeline counters are race outcomes under the async
+  // prefetcher; only the logical ledger survives.
+  EXPECT_FALSE(run["io"].has("prefetch_hits"));
+  EXPECT_FALSE(run["io"].has("physical_blocks_read"));
+  EXPECT_TRUE(run["io"].has("blocks_read"));
+  EXPECT_TRUE(run["io"].has("block_ios"));
+  EXPECT_FALSE(doc["benches"]["bench_alpha"].has("histograms"));
+  EXPECT_FALSE(doc["bench_io"].has("speedup"));
+  const JsonValue& point = doc["bench_io"]["sweep"].array[0];
+  EXPECT_FALSE(point.has("seconds"));
+  EXPECT_FALSE(point["io"].has("read_stall_micros"));
+}
+
+TEST_F(BenchReportTest, CompareIdenticalReportsPasses) {
+  const std::string alpha = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/tmp/base", 100, 1.5, 6)});
+  const std::string io =
+      WriteReport("bench_io", {IoRun("scan", 0, 0, 500, 2.0)});
+  const std::string json = Aggregate({alpha, io});
+  BenchCompareResult result;
+  ASSERT_TRUE(
+      CompareBenchReports(json, json, BenchCompareOptions(), &result).ok());
+  EXPECT_TRUE(result.pass());
+  EXPECT_TRUE(result.issues.empty()) << result.Format();
+  EXPECT_GT(result.deterministic_checks, 0u);
+  EXPECT_GT(result.timing_checks, 0u);
+}
+
+TEST_F(BenchReportTest, DatasetBasenameMatchesAcrossScratchDirs) {
+  // Same run, different per-invocation scratch directories: the gate must
+  // still line the runs up (and find zero diffs).
+  const std::string base_file = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/scratch/run-A", 100, 1.5, 6)});
+  const std::string fresh_file = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/scratch/run-B", 100, 1.5, 6)});
+  BenchCompareResult result;
+  ASSERT_TRUE(CompareBenchReports(Aggregate({base_file}),
+                                  Aggregate({fresh_file}),
+                                  BenchCompareOptions(), &result)
+                  .ok());
+  EXPECT_TRUE(result.issues.empty()) << result.Format();
+}
+
+TEST_F(BenchReportTest, PerturbedLogicalIoCountHardFails) {
+  const std::string base_file = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/tmp/x", 100, 1.5, 6)});
+  RunReportEntry drifted = SccRun("1P-SCC", "/tmp/x", 101, 1.5, 6);
+  const std::string fresh_file = WriteReport("bench_alpha", {drifted});
+  BenchCompareResult result;
+  ASSERT_TRUE(CompareBenchReports(Aggregate({base_file}),
+                                  Aggregate({fresh_file}),
+                                  BenchCompareOptions(), &result)
+                  .ok());
+  EXPECT_FALSE(result.pass());
+  EXPECT_GE(result.hard_failures(), 1u);
+  EXPECT_NE(result.Format().find("blocks_read"), std::string::npos)
+      << result.Format();
+}
+
+TEST_F(BenchReportTest, ChangedSccResultHardFails) {
+  const std::string base_file = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/tmp/x", 100, 1.5, 6)});
+  const std::string fresh_file = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/tmp/x", 100, 1.5, 7)});
+  BenchCompareResult result;
+  ASSERT_TRUE(CompareBenchReports(Aggregate({base_file}),
+                                  Aggregate({fresh_file}),
+                                  BenchCompareOptions(), &result)
+                  .ok());
+  EXPECT_FALSE(result.pass());
+  EXPECT_NE(result.Format().find("component_count"), std::string::npos)
+      << result.Format();
+}
+
+TEST_F(BenchReportTest, SlowWallClockIsOnlyAWarning) {
+  const std::string base_file = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/tmp/x", 100, 1.0, 6)});
+  const std::string fresh_file = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/tmp/x", 100, 10.0, 6)});
+  BenchCompareResult result;
+  ASSERT_TRUE(CompareBenchReports(Aggregate({base_file}),
+                                  Aggregate({fresh_file}),
+                                  BenchCompareOptions(), &result)
+                  .ok());
+  // 10x slower trips the default 50% tolerance — but only as a warning.
+  EXPECT_TRUE(result.pass()) << result.Format();
+  EXPECT_GE(result.soft_failures(), 1u);
+  EXPECT_NE(result.Format().find("seconds"), std::string::npos);
+  EXPECT_NE(result.Format().find("PASS"), std::string::npos);
+
+  // A faster fresh run raises nothing.
+  BenchCompareResult faster;
+  ASSERT_TRUE(CompareBenchReports(Aggregate({fresh_file}),
+                                  Aggregate({base_file}),
+                                  BenchCompareOptions(), &faster)
+                  .ok());
+  EXPECT_TRUE(faster.issues.empty()) << faster.Format();
+}
+
+TEST_F(BenchReportTest, MissingBenchOrRunIsHard) {
+  const std::string alpha = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/tmp/x", 100, 1.5, 6),
+                      SccRun("2P-SCC", "/tmp/x", 140, 2.5, 6)});
+  const std::string io =
+      WriteReport("bench_io", {IoRun("scan", 0, 0, 500, 2.0)});
+  const std::string baseline = Aggregate({alpha, io});
+
+  // Fresh is missing bench_io entirely and one of the two runs.
+  const std::string partial = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/tmp/x", 100, 1.5, 6)});
+  BenchCompareResult result;
+  ASSERT_TRUE(CompareBenchReports(baseline, Aggregate({partial}),
+                                  BenchCompareOptions(), &result)
+                  .ok());
+  EXPECT_FALSE(result.pass());
+  EXPECT_GE(result.hard_failures(), 2u) << result.Format();
+
+  // The reverse direction is fine: extra fresh coverage is not gated.
+  BenchCompareResult reverse;
+  ASSERT_TRUE(CompareBenchReports(Aggregate({partial}), baseline,
+                                  BenchCompareOptions(), &reverse)
+                  .ok());
+  EXPECT_TRUE(reverse.pass()) << reverse.Format();
+  EXPECT_TRUE(reverse.issues.empty()) << reverse.Format();
+}
+
+TEST_F(BenchReportTest, DeterministicOnlyBaselineSkipsTimingChecks) {
+  const std::string base_file = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/tmp/x", 100, 1.0, 6)});
+  const std::string fresh_file = WriteReport(
+      "bench_alpha", {SccRun("1P-SCC", "/tmp/x", 100, 99.0, 6)});
+  // Baseline recorded deterministic-only: the 99x wall-clock blowup in
+  // the full fresh record has nothing to compare against.
+  BenchCompareResult result;
+  ASSERT_TRUE(
+      CompareBenchReports(Aggregate({base_file}, /*deterministic_only=*/true),
+                          Aggregate({fresh_file}), BenchCompareOptions(),
+                          &result)
+          .ok());
+  EXPECT_TRUE(result.pass()) << result.Format();
+  EXPECT_TRUE(result.issues.empty()) << result.Format();
+  EXPECT_EQ(result.timing_checks, 0u);
+  EXPECT_GT(result.deterministic_checks, 0u);
+}
+
+TEST_F(BenchReportTest, MalformedInputIsAnErrorNotAVerdict) {
+  BenchCompareResult result;
+  EXPECT_FALSE(
+      CompareBenchReports("{not json", "{}", BenchCompareOptions(), &result)
+          .ok());
+  // A wrong schema is a verdict (hard), not a parse error.
+  ASSERT_TRUE(CompareBenchReports("{\"schema\":\"other/v0\"}", "{}",
+                                  BenchCompareOptions(), &result)
+                  .ok());
+  EXPECT_FALSE(result.pass());
+}
+
+}  // namespace
+}  // namespace ioscc

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -11,8 +13,10 @@
 #include "io/io_stats.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "obs/trace.h"
 #include "tests/json_test_util.h"
+#include "util/random.h"
 #include "util/timer.h"
 
 namespace ioscc {
@@ -97,6 +101,107 @@ TEST(HistogramTest, RecordAndStats) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.min(), UINT64_MAX);
   EXPECT_EQ(h.bucket(Histogram::BucketIndex(5)), 0u);
+}
+
+TEST(HistogramTest, EmptyAccessorAndFormat) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.Format(), "empty");
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  // The snapshot of an empty histogram is explicit about emptiness: count
+  // 0 and min 0, never the internal UINT64_MAX sentinel.
+  HistogramSnapshot snap = h.TakeSnapshot();
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.Format(), "empty");
+  h.Record(7);
+  EXPECT_FALSE(h.empty());
+  EXPECT_FALSE(h.TakeSnapshot().empty());
+}
+
+TEST(HistogramTest, PercentileExactWhenBucketIsASingleValue) {
+  // All samples share one value: every percentile reports it exactly
+  // (the bucket range is tightened to [min, max + 1)).
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(48);
+  for (double p : {1.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 48.0) << "p" << p;
+  }
+  // Zero is bucket 0, also a single-value bucket.
+  Histogram z;
+  z.Record(0);
+  z.Record(0);
+  EXPECT_DOUBLE_EQ(z.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(z.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, PercentileAtBucketBoundaries) {
+  // 10 samples of 1 and 10 of 1024: p50 must stay in the low bucket and
+  // p90/p99 in the high one; estimates always lie inside [min, max].
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Record(1);
+  for (int i = 0; i < 10; ++i) h.Record(1024);
+  // p50 lands in the low bucket [1, 2); the estimate stays inside it.
+  const double p50 = h.Percentile(50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  const double p90 = h.Percentile(90);
+  EXPECT_GE(p90, 1024.0);  // high bucket tightened to [1024, 1025)
+  EXPECT_LE(p90, 1024.0 + 1.0);
+  EXPECT_LE(h.Percentile(100), 1024.0);
+  EXPECT_GE(h.Percentile(0), 1.0);
+}
+
+// The documented pow2-bucket error bound: the interpolated estimate lies
+// in the same [2^(i-1), 2^i) bucket as the true percentile, so it is
+// within a factor of 2 of the true value and always inside [min, max].
+TEST(HistogramTest, PercentileRandomizedErrorBound) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 20; ++trial) {
+    Histogram h;
+    std::vector<uint64_t> values;
+    const int n = 100 + static_cast<int>(rng.Uniform(900));
+    for (int i = 0; i < n; ++i) {
+      // Spread over ~6 decades so many buckets are populated.
+      const uint64_t v = rng.Uniform(1u << (1 + rng.Uniform(20)));
+      values.push_back(v);
+      h.Record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (double p : {50.0, 90.0, 99.0}) {
+      // True percentile by the same nearest-rank rule the histogram
+      // targets: rank = ceil(max(1, p/100 * n)).
+      const size_t rank = static_cast<size_t>(
+          std::ceil(std::max(1.0, (p / 100.0) * static_cast<double>(n))));
+      const uint64_t truth = values[rank - 1];
+      const double estimate = h.Percentile(p);
+      EXPECT_GE(estimate, static_cast<double>(values.front()));
+      EXPECT_LE(estimate, static_cast<double>(values.back()));
+      if (truth > 0) {
+        EXPECT_LE(estimate, static_cast<double>(truth) * 2.0)
+            << "trial " << trial << " p" << p << " truth " << truth;
+        EXPECT_GE(estimate, static_cast<double>(truth) / 2.0)
+            << "trial " << trial << " p" << p << " truth " << truth;
+      } else {
+        // truth == 0 lives in bucket 0, which holds only zeros: the
+        // estimate must be exact.
+        EXPECT_DOUBLE_EQ(estimate, 0.0) << "trial " << trial << " p" << p;
+      }
+    }
+  }
+}
+
+TEST(HistogramTest, FormatCarriesPercentiles) {
+  Histogram h;
+  h.Record(0);
+  h.Record(5);
+  h.Record(5);
+  h.Record(100);
+  const std::string s = h.Format();
+  EXPECT_NE(s.find("count=4"), std::string::npos) << s;
+  EXPECT_NE(s.find("mean=27.5"), std::string::npos) << s;
+  EXPECT_NE(s.find("p50="), std::string::npos) << s;
+  EXPECT_NE(s.find("p99="), std::string::npos) << s;
 }
 
 TEST(MetricsRegistryTest, HandlesAreStableAcrossReset) {
@@ -240,6 +345,118 @@ TEST(TraceTest, ChromeTraceJsonParsesBack) {
   EXPECT_TRUE(e["dur"].is_number());
   EXPECT_EQ(e["args"]["blocks_written"].number, 3.0);
   EXPECT_EQ(e["args"]["bytes_written"].number, 3.0 * 4096);
+}
+
+TEST(PhaseProfilerTest, AggregatesSpansByName) {
+  PhaseProfiler profiler;
+  SetPhaseProfiler(&profiler);
+  ASSERT_EQ(GetTracer(), nullptr);  // profiler-only mode must work
+  IoStats io;
+  {
+    TraceSpan span("zeta.phase", &io);
+    io.blocks_read += 4;
+  }
+  {
+    TraceSpan span("zeta.phase", &io);
+    io.blocks_read += 6;
+    io.blocks_written += 1;
+  }
+  { TraceSpan span("alpha.phase"); }
+  SetPhaseProfiler(nullptr);
+
+  std::vector<PhaseProfile> phases = profiler.Snapshot();
+  ASSERT_EQ(phases.size(), 2u);
+  // Sorted by name.
+  EXPECT_EQ(phases[0].name, "alpha.phase");
+  EXPECT_EQ(phases[0].spans, 1u);
+  EXPECT_FALSE(phases[0].has_io);
+  EXPECT_EQ(phases[1].name, "zeta.phase");
+  EXPECT_EQ(phases[1].spans, 2u);
+  EXPECT_TRUE(phases[1].has_io);
+  EXPECT_EQ(phases[1].io.blocks_read, 10u);
+  EXPECT_EQ(phases[1].io.blocks_written, 1u);
+}
+
+TEST(PhaseProfilerTest, DeltaIsolatesOneRun) {
+  PhaseProfiler profiler;
+  SetPhaseProfiler(&profiler);
+  IoStats io;
+  {
+    TraceSpan span("run.phase", &io);
+    io.blocks_read += 3;
+  }
+  std::vector<PhaseProfile> mark = profiler.Snapshot();
+  {
+    TraceSpan span("run.phase", &io);
+    io.blocks_read += 7;
+  }
+  { TraceSpan span("late.phase"); }
+  SetPhaseProfiler(nullptr);
+
+  std::vector<PhaseProfile> delta =
+      PhaseProfiler::Delta(mark, profiler.Snapshot());
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0].name, "late.phase");
+  EXPECT_EQ(delta[1].name, "run.phase");
+  // Only the second span's contribution survives the subtraction.
+  EXPECT_EQ(delta[1].spans, 1u);
+  EXPECT_EQ(delta[1].io.blocks_read, 7u);
+  // A no-new-spans phase would be dropped entirely.
+  std::vector<PhaseProfile> none =
+      PhaseProfiler::Delta(profiler.Snapshot(), profiler.Snapshot());
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(PhaseProfilerTest, SamplesCpuAndRss) {
+  // getrusage-backed platforms report a nonzero process peak RSS; the
+  // CPU deltas are plausibly tiny, so only sanity-check monotonicity.
+  const ResourceSample a = SampleResourceUsage();
+  // Burn a little CPU so user time moves on fast clocks.
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < 2'000'000; ++i) sink = sink + i * i;
+  const ResourceSample b = SampleResourceUsage();
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(b.max_rss_kb, 0u);
+#endif
+  EXPECT_GE(b.cpu_user_micros + b.cpu_sys_micros,
+            a.cpu_user_micros + a.cpu_sys_micros);
+  EXPECT_GE(b.max_rss_kb, a.max_rss_kb);
+}
+
+TEST(PhaseProfilerTest, TraceEventsCarryResourceArgs) {
+  // With both sinks installed, the Chrome trace args gain the CPU/RSS
+  // fields next to the I/O delta.
+  Tracer tracer;
+  PhaseProfiler profiler;
+  SetTracer(&tracer);
+  SetPhaseProfiler(&profiler);
+  IoStats io;
+  {
+    TraceSpan span("profiled.phase", &io);
+    io.blocks_read += 2;
+  }
+  SetPhaseProfiler(nullptr);
+  SetTracer(nullptr);
+
+  std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].has_resources);
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(tracer.ToChromeTraceJson(), &doc));
+  const JsonValue& args = doc["traceEvents"].array[0]["args"];
+  EXPECT_TRUE(args["cpu_user_micros"].is_number());
+  EXPECT_TRUE(args["cpu_sys_micros"].is_number());
+  EXPECT_TRUE(args["max_rss_kb"].is_number());
+  EXPECT_EQ(args["blocks_read"].number, 2.0);
+
+  // Without a profiler the args stay exactly as before (no resource keys).
+  Tracer plain;
+  SetTracer(&plain);
+  { TraceSpan span("plain.phase"); }
+  SetTracer(nullptr);
+  ASSERT_EQ(plain.events().size(), 1u);
+  EXPECT_FALSE(plain.events()[0].has_resources);
 }
 
 }  // namespace

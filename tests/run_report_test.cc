@@ -200,6 +200,71 @@ TEST_F(RunReportTest, RetryCountersAppearInJson) {
   EXPECT_EQ(clean_run["io"]["write_retries"].number, 0.0);
 }
 
+// With a PhaseProfiler installed the run entry gains a "phases" array
+// whose I/O attribution matches the run total, and the writer can append
+// a whole-process {"type":"phases"} record.
+TEST_F(RunReportTest, PhaseProfilesRoundTripThroughJsonl) {
+  const std::string path = PaperGraph();
+  const std::string report_path = NewPath(".jsonl");
+
+  PhaseProfiler profiler;
+  SetPhaseProfiler(&profiler);
+  RunOutcome outcome =
+      RunAlgorithmOnFile(SccAlgorithm::kOnePhaseBatch, path, Options());
+  SetPhaseProfiler(nullptr);
+  ASSERT_TRUE(outcome.Finished()) << outcome.status.ToString();
+  ASSERT_FALSE(outcome.phases.empty());
+
+  std::unique_ptr<RunReportWriter> writer;
+  ASSERT_OK(RunReportWriter::Open(report_path, &writer));
+  ASSERT_OK(writer->Append(
+      MakeReportEntry("run_report_test", SccAlgorithm::kOnePhaseBatch, path,
+                      outcome)));
+  ASSERT_OK(writer->AppendPhaseProfiles(profiler.Snapshot()));
+  writer.reset();
+
+  std::vector<std::string> lines = ReadLines(report_path);
+  ASSERT_EQ(lines.size(), 2u);
+
+  JsonValue run;
+  ASSERT_TRUE(ParseJson(lines[0], &run)) << lines[0];
+  const JsonValue& phases = run["phases"];
+  ASSERT_TRUE(phases.is_array());
+  ASSERT_EQ(phases.array.size(), outcome.phases.size());
+  // The top-level phase is named after the algorithm and owns the whole
+  // run's I/O.
+  bool saw_top = false;
+  for (const JsonValue& phase : phases.array) {
+    EXPECT_TRUE(phase["wall_micros"].is_number());
+    EXPECT_TRUE(phase["cpu_user_micros"].is_number());
+    EXPECT_TRUE(phase["max_rss_kb"].is_number());
+    if (phase["name"].string_value == "1PB-SCC") {
+      saw_top = true;
+      EXPECT_EQ(phase["spans"].number, 1.0);
+      EXPECT_EQ(phase["io"]["block_ios"].number,
+                static_cast<double>(outcome.stats.io.TotalBlockIos()));
+    }
+  }
+  EXPECT_TRUE(saw_top);
+
+  JsonValue process;
+  ASSERT_TRUE(ParseJson(lines[1], &process)) << lines[1];
+  EXPECT_EQ(process["type"].string_value, "phases");
+  ASSERT_TRUE(process["profiles"].is_array());
+  EXPECT_EQ(process["profiles"].array.size(), outcome.phases.size());
+
+  // Without a profiler the run entry carries no phases key at all.
+  RunOutcome bare =
+      RunAlgorithmOnFile(SccAlgorithm::kOnePhaseBatch, path, Options());
+  JsonValue bare_run;
+  ASSERT_TRUE(ParseJson(
+      RunReportEntryToJson(MakeReportEntry("run_report_test",
+                                           SccAlgorithm::kOnePhaseBatch,
+                                           path, bare)),
+      &bare_run));
+  EXPECT_FALSE(bare_run["phases"].is_array());
+}
+
 // An unfinished run must serialize without a result summary.
 TEST_F(RunReportTest, UnfinishedRunHasNoResult) {
   const std::string path = PaperGraph();
