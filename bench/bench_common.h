@@ -31,11 +31,22 @@
 //                      async N-deep window (needs --threads >= 1).
 //                      Implies a cache seam: with --cache-blocks=0 a
 //                      budget-0 cache is installed to carry the setting
+//   --progress         live telemetry status line on stderr (TTY: one
+//                      updating line; non-TTY: throttled newline records)
+//   --telemetry-interval-ms=N   sampler cadence (default 200)
+//   --watchdog-ms=N    arm the stall watchdog: dump a diagnostic when
+//                      logical I/O and the iteration gauge both freeze
+//                      for N ms (obs/telemetry.h). 0 (default) = off
+//   --full-iterations  emit the exact per_iteration array in the report
+//                      instead of the stride-downsampled default
+//   --version          print build provenance (git SHA, compiler, build
+//                      type) and exit
 
 #ifndef IOSCC_BENCH_BENCH_COMMON_H_
 #define IOSCC_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -53,9 +64,11 @@
 #include "harness/table.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "scc/algorithms.h"
 #include "scc/tarjan.h"
+#include "util/build_info.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -91,12 +104,27 @@ struct BenchContext {
   std::unique_ptr<ThreadPool> pool;
   int io_threads = 0;
   int prefetch_depth = 1;
+  // Live telemetry engine (obs/telemetry.h), installed whenever a report
+  // sink, --progress, or --watchdog-ms asks for it. Declared after the
+  // pool so its destructor joins the sampler thread before the pool it
+  // observes is torn down.
+  std::unique_ptr<Telemetry> telemetry;
+  bool full_iterations = false;
+  // Cumulative watchdog count already attributed to earlier run entries.
+  mutable uint64_t watchdog_fires_seen = 0;
 
   ~BenchContext() {
     // Finalize sinks when the bench returns from Main. The pool is
     // uninstalled first (every BlockFile is closed by now) and joined
     // when the member is destroyed after this body.
     if (pool != nullptr) SetIoThreadPool(nullptr);
+    if (telemetry != nullptr) {
+      SetTelemetry(nullptr);
+      if (report != nullptr) {
+        (void)report->AppendRecordJson(telemetry->TimeseriesToJson());
+        (void)report->AppendRecordJson(telemetry->WatchdogReportJson());
+      }
+    }
     if (cache != nullptr) {
       SetBlockCache(nullptr);
       const BlockCache::Stats cs = cache->stats();
@@ -153,6 +181,10 @@ inline bool InitBench(int argc, char** argv, BenchContext* ctx,
     ctx->name = argv[0];
     const size_t slash = ctx->name.find_last_of('/');
     if (slash != std::string::npos) ctx->name = ctx->name.substr(slash + 1);
+  }
+  if (flags.GetBool("version", false)) {
+    std::printf("%s\n", BuildVersionLine(ctx->name).c_str());
+    std::exit(0);
   }
   ctx->scale = flags.GetDouble("scale", ctx->scale);
   ctx->seed = static_cast<uint64_t>(flags.GetInt("seed", ctx->seed));
@@ -248,6 +280,23 @@ inline bool InitBench(int argc, char** argv, BenchContext* ctx,
     ctx->profiler = std::make_unique<PhaseProfiler>();
     SetPhaseProfiler(ctx->profiler.get());
   }
+  ctx->full_iterations = flags.GetBool("full-iterations", false);
+  const bool progress = flags.GetBool("progress", false);
+  const int64_t watchdog_ms = flags.GetInt("watchdog-ms", 0);
+  const int64_t telemetry_interval =
+      flags.GetInt("telemetry-interval-ms", 200);
+  if (progress || watchdog_ms > 0 || ctx->report != nullptr) {
+    TelemetryOptions topts;
+    topts.sample_interval_ms =
+        telemetry_interval > 0 ? static_cast<uint64_t>(telemetry_interval)
+                               : 200;
+    if (watchdog_ms > 0) {
+      topts.watchdog_window_ms = static_cast<uint64_t>(watchdog_ms);
+    }
+    topts.render_status = progress;
+    ctx->telemetry = std::make_unique<Telemetry>(topts);
+    SetTelemetry(ctx->telemetry.get());
+  }
   Status st = DatasetBuilder::Create(&ctx->datasets);
   if (!st.ok()) {
     std::fprintf(stderr, "dataset scratch dir: %s\n", st.ToString().c_str());
@@ -285,6 +334,14 @@ inline RunOutcome Run(const BenchContext& ctx, SccAlgorithm algorithm,
   }
   if (ctx.report != nullptr) {
     RunReportEntry entry = MakeReportEntry(ctx.name, algorithm, path, outcome);
+    entry.full_iterations = ctx.full_iterations;
+    if (ctx.telemetry != nullptr) {
+      // Attribute only the fires this run added (the engine's count is
+      // cumulative across the whole bench).
+      const uint64_t fires = ctx.telemetry->watchdog_fires();
+      entry.watchdog_fires = fires - ctx.watchdog_fires_seen;
+      ctx.watchdog_fires_seen = fires;
+    }
     if (ctx.cache != nullptr) {
       entry.cache_blocks = ctx.cache->budget_blocks();
       entry.cache_memory_bytes =

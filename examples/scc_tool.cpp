@@ -42,7 +42,9 @@
 #include "obs/metrics.h"
 #include "obs/phase_profiler.h"
 #include "obs/run_report.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "util/build_info.h"
 #include "io/edge_file.h"
 #include "io/text_import.h"
 #include "io/verify_file.h"
@@ -64,7 +66,9 @@ int Usage() {
                "       scc_tool run FILE [--algorithm=1PB|1P|2P|DFS|EM] "
                "[--verify] [--time-limit=SECONDS] [--report] "
                "[--trace=FILE] [--audit=FILE] [--cache-blocks=N] "
-               "[--threads=N] [--prefetch-depth=N] [--progress]\n"
+               "[--threads=N] [--prefetch-depth=N] [--progress] "
+               "[--telemetry-interval-ms=N] [--watchdog-ms=N] "
+               "[--full-iterations]\n"
                "       scc_tool info FILE\n"
                "       scc_tool import TEXT FILE [--densify=false]\n"
                "       scc_tool export FILE TEXT\n"
@@ -228,35 +232,33 @@ int RunOn(const std::string& path, const Flags& flags) {
   if (cache != nullptr) {
     cache->set_prefetch_depth(static_cast<int>(prefetch_depth));
   }
-  if (flags.GetBool("progress", false)) {
-    // Live heartbeat: one updating status line per edge-stream pass on
-    // stderr (iteration, nodes remaining, cumulative I/O, I/O rate).
-    options.progress = [timer = Timer(), cumulative = IoStats()](
-                           uint64_t iteration,
-                           const IterationStats& iter) mutable {
-      cumulative += iter.io;
-      const double seconds = timer.ElapsedSeconds();
-      const double mib_per_s =
-          seconds > 0
-              ? static_cast<double>(cumulative.bytes_read +
-                                    cumulative.bytes_written) /
-                    (1024.0 * 1024.0) / seconds
-              : 0.0;
-      std::fprintf(stderr,
-                   "\r\x1b[Kiter %llu: %s nodes / %s edges live, %s I/Os, "
-                   "%.1f MiB/s",
-                   static_cast<unsigned long long>(iteration),
-                   FormatCount(iter.live_nodes).c_str(),
-                   FormatCount(iter.live_edges).c_str(),
-                   FormatCount(cumulative.TotalBlockIos()).c_str(),
-                   mib_per_s);
-      std::fflush(stderr);
-      return true;
-    };
+  // Live telemetry engine (obs/telemetry.h): the sampler thread replaces
+  // the old per-iteration \r-rewriting progress lambda. --progress turns
+  // on the status renderer (TTY: one updating line; non-TTY: throttled
+  // newline records); --watchdog-ms arms the stall watchdog; --report
+  // rides along so the JSONL output carries the timeseries record.
+  // Declared after the pool/cache so its destructor joins the sampler
+  // before the pool it observes is torn down.
+  const bool progress = flags.GetBool("progress", false);
+  const int64_t watchdog_ms = flags.GetInt("watchdog-ms", 0);
+  const int64_t telemetry_interval =
+      flags.GetInt("telemetry-interval-ms", 200);
+  std::unique_ptr<Telemetry> telemetry;
+  if (progress || watchdog_ms > 0 || report) {
+    TelemetryOptions topts;
+    topts.sample_interval_ms =
+        telemetry_interval > 0 ? static_cast<uint64_t>(telemetry_interval)
+                               : 200;
+    if (watchdog_ms > 0) {
+      topts.watchdog_window_ms = static_cast<uint64_t>(watchdog_ms);
+    }
+    topts.render_status = progress;
+    telemetry = std::make_unique<Telemetry>(topts);
+    SetTelemetry(telemetry.get());
   }
 
   RunOutcome outcome = RunAlgorithmOnFile(algorithm, path, options);
-  if (options.progress) std::fputc('\n', stderr);
+  if (telemetry != nullptr) SetTelemetry(nullptr);
   if (pool != nullptr) SetIoThreadPool(nullptr);
   if (cache != nullptr) {
     SetBlockCache(nullptr);
@@ -295,6 +297,10 @@ int RunOn(const std::string& path, const Flags& flags) {
     // Machine-readable run report on stdout (JSONL: run + metrics line).
     RunReportEntry entry = MakeReportEntry("scc_tool", algorithm, path,
                                            outcome);
+    entry.full_iterations = flags.GetBool("full-iterations", false);
+    if (telemetry != nullptr) {
+      entry.watchdog_fires = telemetry->watchdog_fires();
+    }
     if (cache_blocks > 0) {
       entry.cache_blocks = static_cast<uint64_t>(cache_blocks);
       entry.cache_memory_bytes = TheoryCacheMemoryBytes(
@@ -310,6 +316,13 @@ int RunOn(const std::string& path, const Flags& flags) {
     std::printf(
         "%s\n",
         MetricsSnapshotToJson(MetricsRegistry::Global().Snapshot()).c_str());
+    if (telemetry != nullptr) {
+      std::printf("%s\n", telemetry->TimeseriesToJson().c_str());
+      const std::string watchdog_record = telemetry->WatchdogReportJson();
+      if (!watchdog_record.empty()) {
+        std::printf("%s\n", watchdog_record.c_str());
+      }
+    }
   }
   if (!outcome.status.ok()) {
     std::fprintf(stderr, "%s: %s\n", AlgorithmName(algorithm),
@@ -526,6 +539,10 @@ int Condense(const std::string& graph, const std::string& dag,
 
 int main(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
+  if (flags.GetBool("version", false)) {
+    std::printf("%s\n", BuildVersionLine("scc_tool").c_str());
+    return 0;
+  }
   const auto& positional = flags.positional();
   if (positional.empty()) return Usage();
   const std::string& command = positional[0];

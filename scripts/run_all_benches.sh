@@ -3,7 +3,8 @@
 # the JSONL run reports into one canonical BENCH_<tag>.json.
 #
 #   scripts/run_all_benches.sh [build-dir] [output-file] [report-dir] \
-#       [--threads=N] [--prefetch-depth=N] [--cache-blocks=N] [--tag=NAME]
+#       [--threads=N] [--prefetch-depth=N] [--cache-blocks=N] [--tag=NAME] \
+#       [--telemetry-interval-ms=N] [--watchdog-ms=N]
 #
 # Pass-through flags for individual binaries (scale, seeds, time limits)
 # are documented in bench/bench_common.h; this script uses the defaults,
@@ -33,6 +34,8 @@ THREADS=0
 PREFETCH_DEPTH=1
 CACHE_BLOCKS=0
 TAG="local"
+TELEMETRY_INTERVAL_MS=200
+WATCHDOG_MS=0
 
 positional=0
 for arg in "$@"; do
@@ -41,6 +44,8 @@ for arg in "$@"; do
     --prefetch-depth=*) PREFETCH_DEPTH="${arg#*=}" ;;
     --cache-blocks=*) CACHE_BLOCKS="${arg#*=}" ;;
     --tag=*) TAG="${arg#*=}" ;;
+    --telemetry-interval-ms=*) TELEMETRY_INTERVAL_MS="${arg#*=}" ;;
+    --watchdog-ms=*) WATCHDOG_MS="${arg#*=}" ;;
     --*)
       echo "error: unknown flag '$arg'" >&2
       exit 2
@@ -67,8 +72,15 @@ if [[ ! -d "$BUILD_DIR/bench" ]]; then
 fi
 
 # Pipeline flags forwarded to every standard bench (bench_common.h).
+# The telemetry sampler cadence and stall-watchdog window ride along so a
+# long bench session gets timeseries records and stall diagnostics in its
+# JSONL reports (obs/telemetry.h).
 PIPELINE_FLAGS=("--threads=$THREADS" "--prefetch-depth=$PREFETCH_DEPTH"
-                "--cache-blocks=$CACHE_BLOCKS")
+                "--cache-blocks=$CACHE_BLOCKS"
+                "--telemetry-interval-ms=$TELEMETRY_INTERVAL_MS")
+if [[ "$WATCHDOG_MS" -gt 0 ]]; then
+  PIPELINE_FLAGS+=("--watchdog-ms=$WATCHDOG_MS")
+fi
 # bench_io sweeps threads itself: always include the serial baseline
 # point so the speedup curve has a denominator.
 if [[ "$THREADS" -gt 0 ]]; then

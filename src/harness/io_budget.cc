@@ -92,6 +92,56 @@ IoBudgetVerdict CheckIoBudget(SccAlgorithm algorithm,
   return verdict;
 }
 
+TelemetryRunInfo MakeTelemetryRunInfo(SccAlgorithm algorithm,
+                                      const std::string& dataset,
+                                      const EdgeFileInfo& info,
+                                      const SemiExternalOptions& options) {
+  // Same payload resolution as CheckIoBudget: bound with the finer of
+  // the input and scratch per-block payloads.
+  const uint64_t input_payload =
+      EdgePayloadBytesPerBlock(info.version, info.block_size);
+  const uint64_t scratch_payload = EdgePayloadBytesPerBlock(
+      DefaultEdgeFileVersion(), options.scratch_block_size > 0
+                                    ? options.scratch_block_size
+                                    : info.block_size);
+  const uint64_t block_bytes =
+      std::min<uint64_t>(input_payload, scratch_payload);
+  const uint64_t scan =
+      block_bytes > 0 ? TheoryScanBlocks(info.edge_count, block_bytes) : 0;
+
+  TelemetryRunInfo run;
+  run.algorithm = AlgorithmName(algorithm);
+  run.dataset = dataset;
+  run.total_nodes = info.node_count;
+  run.total_edges = info.edge_count;
+  switch (algorithm) {
+    case SccAlgorithm::kOnePhaseBatch:
+    case SccAlgorithm::kOnePhase:
+      run.fixed_blocks = scan;
+      run.blocks_per_iteration = 3 * scan;
+      break;
+    case SccAlgorithm::kTwoPhase:
+      // Construction pass plus at most one search scan per iteration.
+      run.fixed_blocks = scan;
+      run.blocks_per_iteration = 2 * scan;
+      break;
+    case SccAlgorithm::kDfs:
+      run.fixed_blocks = 4 * scan;
+      run.blocks_per_iteration = scan;
+      break;
+    case SccAlgorithm::kEm:
+      run.fixed_blocks = 2 * scan;
+      run.blocks_per_iteration = 2 * scan;
+      break;
+  }
+  // Anchor iterations: a hard cap when the caller set one, otherwise a
+  // small structural default — the paper's drivers converge in a handful
+  // of passes, and the anchor self-corrects upward as iterations mount.
+  run.anticipated_iterations =
+      options.max_iterations > 0 ? options.max_iterations : 8;
+  return run;
+}
+
 AuditBudgetRecord ToAuditBudgetRecord(const IoBudgetVerdict& verdict,
                                       SccAlgorithm algorithm,
                                       const std::string& dataset) {

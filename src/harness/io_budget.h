@@ -20,6 +20,7 @@
 
 #include "io/edge_file.h"
 #include "obs/io_audit.h"
+#include "obs/telemetry.h"
 #include "scc/algorithms.h"
 #include "scc/options.h"
 
@@ -72,6 +73,20 @@ IoBudgetVerdict CheckIoBudget(SccAlgorithm algorithm,
 AuditBudgetRecord ToAuditBudgetRecord(const IoBudgetVerdict& verdict,
                                       SccAlgorithm algorithm,
                                       const std::string& dataset);
+
+// The linear form of IoBudgetBoundIos for the live telemetry estimator:
+// bound(iterations) = fixed_blocks + blocks_per_iteration * iterations,
+// with the same scan unit and payload handling as CheckIoBudget. 2P's
+// search scans (bounded by its construction passes) fold into the
+// per-iteration slope so the anchor stays a single linear model.
+// `anticipated_iterations` seeds the estimator's anchor: the caller's
+// max_iterations cap when set, a small structural default otherwise;
+// obs/telemetry.h grows the anchor past it as the run's real iteration
+// count overtakes it.
+TelemetryRunInfo MakeTelemetryRunInfo(SccAlgorithm algorithm,
+                                      const std::string& dataset,
+                                      const EdgeFileInfo& info,
+                                      const SemiExternalOptions& options);
 
 }  // namespace ioscc
 

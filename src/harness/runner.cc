@@ -10,6 +10,17 @@ RunOutcome RunAlgorithmOnFile(SccAlgorithm algorithm, const std::string& path,
                               const SemiExternalOptions& options,
                               const SccResult* oracle) {
   RunOutcome outcome;
+  // Input header, read up front *unconditionally*: the telemetry
+  // estimator needs the edge count before the run, the budget verdict
+  // needs it after, and doing the read whether or not an engine is
+  // installed keeps the audit stream byte-identical telemetry on vs off.
+  EdgeFileInfo info;
+  const bool have_info = ReadEdgeFileInfo(path, &info).ok();
+  Telemetry* telemetry = GetTelemetry();
+  if (telemetry != nullptr && have_info) {
+    telemetry->BeginRun(
+        MakeTelemetryRunInfo(algorithm, path, info, options));
+  }
   // With a PhaseProfiler installed, bracket the run so its report entry
   // carries just this run's per-phase delta (the profiler itself keeps
   // accumulating across runs for the shutdown-time process profile).
@@ -23,6 +34,7 @@ RunOutcome RunAlgorithmOnFile(SccAlgorithm algorithm, const std::string& path,
     outcome.status =
         RunScc(algorithm, path, options, &outcome.result, &outcome.stats);
   }
+  if (telemetry != nullptr) telemetry->EndRun();
   if (profiler != nullptr) {
     outcome.phases = PhaseProfiler::Delta(before, profiler->Snapshot());
   }
@@ -34,8 +46,7 @@ RunOutcome RunAlgorithmOnFile(SccAlgorithm algorithm, const std::string& path,
   }
   // Conformance verdict vs the analytic bound: computed even for partial
   // runs (the bound scales with the iterations actually performed).
-  EdgeFileInfo info;
-  if (ReadEdgeFileInfo(path, &info).ok()) {
+  if (have_info) {
     outcome.io_budget =
         CheckIoBudget(algorithm, info, options, outcome.stats);
   }

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "io/io_counters.h"
 #include "obs/metrics.h"
 #include "util/timer.h"
 
@@ -151,6 +152,9 @@ Status BlockFile::Open(const std::string& path, Mode mode, size_t block_size,
     stats->prefetch_depth_used = std::max<uint64_t>(
         stats->prefetch_depth_used, static_cast<uint64_t>(depth));
   }
+  if (mode == Mode::kRead && cache != nullptr) {
+    IoCounters().NotePrefetchDepth(static_cast<uint64_t>(depth));
+  }
   out->reset(new BlockFile(path, known_as, file, mode, block_size,
                            block_count, stats, audit, audit_file_id, fault,
                            cache, cache_file_id, pool, depth));
@@ -253,6 +257,7 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
       cache_->Lookup(cache_file_id_, index, data, block_size_)) {
     // LRU hit: served from memory, the disk head stays where it was.
     if (stats_ != nullptr) ++stats_->cache_hits;
+    IoCounters().BumpCacheHit();
     served = true;
   } else if (async_prefetch()) {
     PrefetchSlot slot;
@@ -272,6 +277,9 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
           ++stats_->prefetched_blocks;
           ++stats_->prefetch_hits;
         }
+        IoCounters().BumpPhysicalRead();
+        IoCounters().BumpPrefetched();
+        IoCounters().BumpPrefetchHit();
         disk_was_touched = true;
         served = true;
       } else if (!slot.status.ok()) {
@@ -287,14 +295,15 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
                          slot.retryable);
           read_cursor_ = st.ok() ? index + 1 : kNoBlock;
         }
-        if (stats_ != nullptr) {
-          stats_->read_stall_micros +=
-              static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
-        }
+        const uint64_t stalled =
+            static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+        if (stats_ != nullptr) stats_->read_stall_micros += stalled;
+        IoCounters().BumpReadStall(stalled);
         if (!st.ok()) return st;
         cache_->Install(cache_file_id_, index, data, block_size_,
                         /*is_write=*/false);
         if (stats_ != nullptr) ++stats_->physical_blocks_read;
+        IoCounters().BumpPhysicalRead();
         disk_was_touched = true;
         served = true;
       }
@@ -313,6 +322,7 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
     disk_was_touched = true;
     served = true;
     if (stats_ != nullptr) ++stats_->prefetch_hits;
+    IoCounters().BumpPrefetchHit();
   }
   if (!served) {
     const bool sample_latency = MetricsEnabled();
@@ -332,10 +342,12 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
     const uint64_t micros =
         static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
     if (stats_ != nullptr) stats_->read_stall_micros += micros;
+    IoCounters().BumpReadStall(micros);
     if (!st.ok()) return st;
     if (sample_latency) ReadLatencyHistogram()->Record(micros);
     disk_was_touched = true;
     if (stats_ != nullptr) ++stats_->physical_blocks_read;
+    IoCounters().BumpPhysicalRead();
     if (cache_ != nullptr) {
       cache_->Install(cache_file_id_, index, data, block_size_,
                       /*is_write=*/false);
@@ -361,6 +373,7 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
     ++stats_->blocks_read;
     stats_->bytes_read += block_size_;
   }
+  IoCounters().BumpRead(block_size_);
   return Status::OK();
 }
 
@@ -381,9 +394,11 @@ void BlockFile::Prefetch(uint64_t index) {
   // The synchronous read-ahead blocks the consumer just like a demand
   // read — it only moves the wait earlier — so it counts as stall. The
   // async pipeline exists to take exactly this term off the clock.
-  if (stats_ != nullptr) {
-    stats_->read_stall_micros +=
+  {
+    const uint64_t stalled =
         static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+    if (stats_ != nullptr) stats_->read_stall_micros += stalled;
+    IoCounters().BumpReadStall(stalled);
   }
   if (!st.ok()) {
     // Opportunistic read: drop it without retrying. If the block is
@@ -399,6 +414,8 @@ void BlockFile::Prefetch(uint64_t index) {
     ++stats_->physical_blocks_read;
     ++stats_->prefetched_blocks;
   }
+  IoCounters().BumpPhysicalRead();
+  IoCounters().BumpPrefetched();
 }
 
 void BlockFile::ScheduleAsyncPrefetch(uint64_t after) {
@@ -506,10 +523,10 @@ void BlockFile::WaitForFrontReady(std::unique_lock<std::mutex>* lock) {
   pf_cv_.wait(*lock, [this] { return pf_queue_.front().ready; });
   // Time spent waiting on an in-flight fill is the async pipeline's
   // residual stall: the consumer outran the filler.
-  if (stats_ != nullptr) {
-    stats_->read_stall_micros +=
-        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
-  }
+  const uint64_t stalled =
+      static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+  if (stats_ != nullptr) stats_->read_stall_micros += stalled;
+  IoCounters().BumpReadStall(stalled);
 }
 
 bool BlockFile::TakeSlot(uint64_t index, PrefetchSlot* out) {
@@ -555,6 +572,8 @@ void BlockFile::AccountDroppedSlot(const PrefetchSlot& slot) {
     ++stats_->physical_blocks_read;
     ++stats_->prefetched_blocks;
   }
+  IoCounters().BumpPhysicalRead();
+  IoCounters().BumpPrefetched();
 }
 
 void BlockFile::ShutdownPrefetcher() {
@@ -695,6 +714,7 @@ Status BlockFile::AppendBlock(const void* data) {
     ++stats_->blocks_written;
     stats_->bytes_written += block_size_;
   }
+  IoCounters().BumpWrite(block_size_);
   return Status::OK();
 }
 
@@ -727,6 +747,7 @@ Status BlockFile::WriteBlockAt(uint64_t index, const void* data) {
     ++stats_->blocks_written;
     stats_->bytes_written += block_size_;
   }
+  IoCounters().BumpWrite(block_size_);
   return Status::OK();
 }
 

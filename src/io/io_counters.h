@@ -1,0 +1,128 @@
+// Process-wide monotone I/O rate counters for live observation.
+//
+// Every per-run ledger in the system (IoStats) is consumer-thread-only by
+// design, so a background sampler cannot read it without racing. These
+// counters are the observation-side mirror: relaxed atomics bumped at the
+// same sites io/block_file.cc bumps the ledger, summed across every open
+// file and every run in the process. They exist *only* to be read — the
+// telemetry sampler (obs/telemetry.h) snapshots them at its cadence to
+// compute rates, progress, and stall detection. Nothing in the I/O or
+// algorithm layer ever reads them back, so they cannot influence the
+// logical ledger, the audit stream, or SCC results.
+//
+// Header-only on purpose: obs/ sits below io/ in the link order
+// (io links obs for metrics and the audit log), so the telemetry engine
+// reads these through this header without a library dependency — the same
+// arrangement io_stats.h already uses.
+//
+// All loads and stores are memory_order_relaxed. A sampler may observe a
+// torn *set* (blocks from one instant, bytes from the next); each
+// individual counter is always a valid monotone value, which is all a
+// time-series needs.
+
+#ifndef IOSCC_IO_IO_COUNTERS_H_
+#define IOSCC_IO_IO_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace ioscc {
+
+struct GlobalIoCounters {
+  // Logical side: blocks the algorithms asked for (cache hits included).
+  std::atomic<uint64_t> logical_blocks_read{0};
+  std::atomic<uint64_t> logical_blocks_written{0};
+  std::atomic<uint64_t> logical_bytes_read{0};
+  std::atomic<uint64_t> logical_bytes_written{0};
+  // Physical side: blocks that actually crossed the disk boundary.
+  std::atomic<uint64_t> physical_blocks_read{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> prefetch_hits{0};
+  std::atomic<uint64_t> prefetched_blocks{0};
+  // Cumulative consumer-blocked-on-disk time, microseconds.
+  std::atomic<uint64_t> read_stall_micros{0};
+  // Gauge: the deepest prefetch window in effect so far (0 = none,
+  // 1 = synchronous double buffer, N>=2 = async pipeline).
+  std::atomic<uint64_t> prefetch_depth_used{0};
+
+  void BumpRead(uint64_t bytes) {
+    logical_blocks_read.fetch_add(1, std::memory_order_relaxed);
+    logical_bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void BumpWrite(uint64_t bytes) {
+    logical_blocks_written.fetch_add(1, std::memory_order_relaxed);
+    logical_bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void BumpPhysicalRead() {
+    physical_blocks_read.fetch_add(1, std::memory_order_relaxed);
+  }
+  void BumpCacheHit() { cache_hits.fetch_add(1, std::memory_order_relaxed); }
+  void BumpPrefetchHit() {
+    prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  void BumpPrefetched() {
+    prefetched_blocks.fetch_add(1, std::memory_order_relaxed);
+  }
+  void BumpReadStall(uint64_t micros) {
+    read_stall_micros.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void NotePrefetchDepth(uint64_t depth) {
+    uint64_t prev = prefetch_depth_used.load(std::memory_order_relaxed);
+    while (prev < depth && !prefetch_depth_used.compare_exchange_weak(
+                               prev, depth, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+namespace internal_io {
+inline GlobalIoCounters g_io_counters;
+}  // namespace internal_io
+
+inline GlobalIoCounters& IoCounters() {
+  return internal_io::g_io_counters;
+}
+
+// Plain-data point-in-time copy, safe to hold across samples.
+struct IoCountersSnapshot {
+  uint64_t logical_blocks_read = 0;
+  uint64_t logical_blocks_written = 0;
+  uint64_t logical_bytes_read = 0;
+  uint64_t logical_bytes_written = 0;
+  uint64_t physical_blocks_read = 0;
+  uint64_t cache_hits = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetched_blocks = 0;
+  uint64_t read_stall_micros = 0;
+  uint64_t prefetch_depth_used = 0;
+
+  uint64_t TotalLogicalBlocks() const {
+    return logical_blocks_read + logical_blocks_written;
+  }
+  uint64_t TotalLogicalBytes() const {
+    return logical_bytes_read + logical_bytes_written;
+  }
+};
+
+inline IoCountersSnapshot SnapshotIoCounters() {
+  const GlobalIoCounters& c = IoCounters();
+  IoCountersSnapshot s;
+  s.logical_blocks_read = c.logical_blocks_read.load(std::memory_order_relaxed);
+  s.logical_blocks_written =
+      c.logical_blocks_written.load(std::memory_order_relaxed);
+  s.logical_bytes_read = c.logical_bytes_read.load(std::memory_order_relaxed);
+  s.logical_bytes_written =
+      c.logical_bytes_written.load(std::memory_order_relaxed);
+  s.physical_blocks_read =
+      c.physical_blocks_read.load(std::memory_order_relaxed);
+  s.cache_hits = c.cache_hits.load(std::memory_order_relaxed);
+  s.prefetch_hits = c.prefetch_hits.load(std::memory_order_relaxed);
+  s.prefetched_blocks = c.prefetched_blocks.load(std::memory_order_relaxed);
+  s.read_stall_micros = c.read_stall_micros.load(std::memory_order_relaxed);
+  s.prefetch_depth_used =
+      c.prefetch_depth_used.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ioscc
+
+#endif  // IOSCC_IO_IO_COUNTERS_H_

@@ -8,6 +8,7 @@
 #include "obs/json.h"
 #include "obs/json_value.h"
 #include "obs/metrics.h"
+#include "util/build_info.h"
 
 namespace ioscc {
 namespace {
@@ -129,8 +130,10 @@ void StripNondeterministic(JsonValue* v) {
 struct BenchFile {
   std::string name;  // basename minus .jsonl
   std::vector<JsonValue> runs;
-  std::vector<JsonValue> metrics;   // {"type":"metrics"} records
-  std::vector<JsonValue> profiles;  // {"type":"phases"} records
+  std::vector<JsonValue> metrics;     // {"type":"metrics"} records
+  std::vector<JsonValue> profiles;    // {"type":"phases"} records
+  std::vector<JsonValue> timeseries;  // {"type":"timeseries"} records
+  std::vector<JsonValue> watchdogs;   // {"type":"watchdog"} records
 };
 
 Status ParseBenchFile(const std::string& path, BenchFile* out) {
@@ -165,6 +168,10 @@ Status ParseBenchFile(const std::string& path, BenchFile* out) {
       out->metrics.push_back(std::move(record));
     } else if (type == "phases") {
       out->profiles.push_back(std::move(record));
+    } else if (type == "timeseries") {
+      out->timeseries.push_back(std::move(record));
+    } else if (type == "watchdog") {
+      out->watchdogs.push_back(std::move(record));
     }
     // Unknown record types are skipped: the JSONL schema is append-only.
   }
@@ -310,6 +317,8 @@ void WriteBenchSection(JsonWriter* json, const BenchFile& bench,
     // Per-iteration deltas stay in the JSONL report; the canonical record
     // keeps the summary ledgers (totals + iteration count are gated).
     run.object.erase("per_iteration");
+    run.object.erase("per_iteration_total");
+    run.object.erase("per_iteration_stride");
     auto ds = run.object.find("dataset");
     if (ds != run.object.end() && ds->second.is_string()) {
       // Scratch directories are per-invocation; basenames are stable.
@@ -320,6 +329,26 @@ void WriteBenchSection(JsonWriter* json, const BenchFile& bench,
   }
   json->EndArray();
   if (!deterministic_only) WriteHistograms(json, bench);
+  // Live-telemetry records are sampled on a wall-clock cadence, so both
+  // the timeseries and the watchdog verdicts are machine-dependent:
+  // stripped entirely under deterministic_only, summarized otherwise
+  // (the full rings stay in the JSONL report).
+  if (!deterministic_only && !bench.timeseries.empty()) {
+    json->Key("timeseries").BeginArray();
+    for (const JsonValue& ts : bench.timeseries) {
+      json->BeginObject();
+      json->Key("algorithm").String(ts["algorithm"].AsString());
+      json->Key("dataset").String(Basename(ts["dataset"].AsString()));
+      json->Key("interval_ms").UInt(ts["interval_ms"].AsUInt());
+      json->Key("samples").UInt(
+          ts["samples"].is_array() ? ts["samples"].array.size() : 0);
+      json->EndObject();
+    }
+    json->EndArray();
+  }
+  if (!deterministic_only && !bench.watchdogs.empty()) {
+    json->Key("watchdog_fires").UInt(bench.watchdogs.size());
+  }
   json->EndObject();
 }
 
@@ -521,6 +550,12 @@ Status AggregateBenchReportFiles(const std::vector<std::string>& jsonl_paths,
   json.Key("threads").Int(options.threads);
   json.Key("prefetch_depth").Int(options.prefetch_depth);
   json.Key("cache_blocks").UInt(options.cache_blocks);
+  // Build provenance (util/build_info.h). Informational: the comparator's
+  // same-environment check stays on the four fields above, so a baseline
+  // recorded at another commit still gates the logical ledger.
+  json.Key("git_sha").String(BuildGitSha());
+  json.Key("compiler").String(BuildCompiler());
+  json.Key("cxx_flags").String(BuildCxxFlags());
   json.EndObject();
   json.Key("benches").BeginObject();
   for (const BenchFile& bench : benches) {

@@ -97,9 +97,30 @@ std::string RunReportEntryToJson(const RunReportEntry& entry) {
     }
     json.EndArray();
   }
+  if (entry.watchdog_fires > 0) {
+    json.Key("watchdog").BeginObject();
+    json.Key("fires").UInt(entry.watchdog_fires);
+    json.EndObject();
+  }
+  // Stride-based downsampling: emit every stride-th record (always
+  // including the last) so a million-iteration run stays bounded at
+  // kMaxPerIterationEntries. stride == 1 — the exact array — whenever the
+  // run is short or the caller opted into --full-iterations. Consumers
+  // see the stride and the true length, so nothing is silently lossy.
+  const std::vector<IterationStats>& iters = entry.stats.per_iteration;
+  size_t stride = 1;
+  if (!entry.full_iterations && iters.size() > kMaxPerIterationEntries) {
+    stride = (iters.size() + kMaxPerIterationEntries - 1) /
+             kMaxPerIterationEntries;
+  }
+  json.Key("per_iteration_total").UInt(iters.size());
+  json.Key("per_iteration_stride").UInt(stride);
   json.Key("per_iteration").BeginArray();
-  for (const IterationStats& iter : entry.stats.per_iteration) {
+  for (size_t i = 0; i < iters.size(); ++i) {
+    if (stride > 1 && i % stride != 0 && i + 1 != iters.size()) continue;
+    const IterationStats& iter = iters[i];
     json.BeginObject();
+    if (stride > 1) json.Key("iteration").UInt(i + 1);
     json.Key("nodes_reduced").UInt(iter.nodes_reduced);
     json.Key("edges_reduced").UInt(iter.edges_reduced);
     json.Key("live_nodes").UInt(iter.live_nodes);
@@ -195,6 +216,11 @@ Status RunReportWriter::AppendMetricsSnapshot() {
 Status RunReportWriter::AppendPhaseProfiles(
     const std::vector<PhaseProfile>& profiles) {
   return WriteLine(PhaseProfilesToJson(profiles));
+}
+
+Status RunReportWriter::AppendRecordJson(const std::string& json) {
+  if (json.empty()) return Status::OK();
+  return WriteLine(json);
 }
 
 Status RunReportWriter::Flush() {

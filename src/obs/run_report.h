@@ -10,6 +10,8 @@
 //                              (histograms carry mean + p50/p90/p99)
 //   {"type":"phases", ...}   — whole-process per-phase profile, appended
 //                              once at shutdown like the metrics snapshot
+//   {"type":"timeseries",...} — live-telemetry ring buffer (obs/telemetry.h)
+//   {"type":"watchdog", ...}  — one-shot stall-watchdog diagnostic
 //
 // The schema is documented in docs/OBSERVABILITY.md. The entry struct is
 // deliberately plain data (names and numbers) so this layer depends on
@@ -72,7 +74,21 @@ struct RunReportEntry {
   // delta captured by the harness); emitted as a "phases" array when
   // non-empty.
   std::vector<PhaseProfile> phases;
+
+  // Emit the exact per_iteration array no matter how long it is. The
+  // default caps it at kMaxPerIterationEntries via stride-based
+  // downsampling (the JSON records the stride and the true total), so a
+  // million-iteration DFS run cannot produce a multi-GB report line.
+  // Binaries expose this as --full-iterations.
+  bool full_iterations = false;
+
+  // Stall-watchdog outcome for this run (obs/telemetry.h): how many times
+  // it fired; emitted as a "watchdog" object when nonzero.
+  uint64_t watchdog_fires = 0;
 };
+
+// Downsampling cap for the per_iteration array (see full_iterations).
+inline constexpr size_t kMaxPerIterationEntries = 512;
 
 // JSON (single line, no trailing newline) for one record.
 std::string RunReportEntryToJson(const RunReportEntry& entry);
@@ -98,6 +114,11 @@ class RunReportWriter {
   // profile (PhaseProfiler::Snapshot()); rides next to the metrics
   // snapshot at shutdown.
   Status AppendPhaseProfiles(const std::vector<PhaseProfile>& profiles);
+  // Appends one pre-serialized record (a single-line JSON object with a
+  // "type" tag) verbatim: the telemetry timeseries and watchdog records
+  // come through here. Empty input is a no-op so callers can pass
+  // Telemetry::WatchdogReportJson() unconditionally.
+  Status AppendRecordJson(const std::string& json);
 
   Status Flush();
   const std::string& path() const { return path_; }

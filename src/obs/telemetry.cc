@@ -1,0 +1,373 @@
+#include "obs/telemetry.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstddef>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/phase_profiler.h"
+#include "obs/run_report.h"
+#include "util/thread_pool.h"
+
+namespace ioscc {
+namespace {
+
+void WriteSample(JsonWriter* json, const TelemetrySample& s) {
+  json->BeginObject();
+  json->Key("elapsed_micros").UInt(s.elapsed_micros);
+  json->Key("logical_blocks").UInt(s.logical_blocks);
+  json->Key("logical_bytes").UInt(s.logical_bytes);
+  json->Key("physical_blocks_read").UInt(s.physical_blocks_read);
+  json->Key("cache_hits").UInt(s.cache_hits);
+  json->Key("prefetch_hits").UInt(s.prefetch_hits);
+  json->Key("prefetched_blocks").UInt(s.prefetched_blocks);
+  json->Key("read_stall_micros").UInt(s.read_stall_micros);
+  json->Key("prefetch_depth").UInt(s.prefetch_depth);
+  json->Key("pool_queue_depth").UInt(s.pool_queue_depth);
+  json->Key("max_rss_kb").UInt(s.max_rss_kb);
+  json->Key("iteration").UInt(s.iteration);
+  json->Key("live_nodes").UInt(s.live_nodes);
+  json->Key("live_edges").UInt(s.live_edges);
+  json->Key("progress").Double(s.progress);
+  json->Key("eta_seconds").Double(s.eta_seconds);
+  json->EndObject();
+}
+
+std::string SamplesToJsonArray(const std::vector<TelemetrySample>& samples) {
+  JsonWriter json;
+  json.BeginArray();
+  for (const TelemetrySample& s : samples) WriteSample(&json, s);
+  json.EndArray();
+  return json.Take();
+}
+
+// "12.3 MB/s" / "972 kB/s" — rate over the render interval.
+std::string FormatRate(uint64_t bytes, uint64_t micros) {
+  if (micros == 0) return "-";
+  const double mbps = static_cast<double>(bytes) / micros;  // bytes/us == MB/s
+  char buf[32];
+  if (mbps >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f MB/s", mbps);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f kB/s", mbps * 1000.0);
+  }
+  return buf;
+}
+
+std::string FormatEta(double seconds) {
+  if (seconds < 0) return "-";
+  char buf[32];
+  if (seconds >= 3600) {
+    std::snprintf(buf, sizeof buf, "%.1fh", seconds / 3600.0);
+  } else if (seconds >= 60) {
+    std::snprintf(buf, sizeof buf, "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Telemetry::Telemetry(const TelemetryOptions& options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  if (options_.assume_tty) {
+    stderr_is_tty_ = true;
+  } else if (options_.assume_not_tty) {
+    stderr_is_tty_ = false;
+  } else {
+    stderr_is_tty_ = ::isatty(::fileno(stderr)) != 0;
+  }
+  if (options_.sample_interval_ms > 0) {
+    sampler_ = std::thread([this] { SamplerLoop(); });
+  }
+}
+
+Telemetry::~Telemetry() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+  // Never leave a half-drawn \r line under the next shell prompt.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rendered_line_open_) {
+    std::fputc('\n', stderr);
+    rendered_line_open_ = false;
+  }
+}
+
+uint64_t Telemetry::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Telemetry::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  for (;;) {
+    stop_cv_.wait_for(lock,
+                      std::chrono::milliseconds(options_.sample_interval_ms),
+                      [this] { return stop_; });
+    if (stop_) return;
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+void Telemetry::BeginRun(const TelemetryRunInfo& info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_info_ = info;
+  run_start_micros_ = NowMicros();
+  run_start_logical_blocks_ = SnapshotIoCounters().TotalLogicalBlocks();
+  wd_last_logical_ = run_start_logical_blocks_;
+  wd_last_iteration_ = 0;
+  wd_stalled_micros_ = 0;
+  wd_fired_this_run_ = false;
+  iteration_.store(0, std::memory_order_relaxed);
+  live_nodes_.store(info.total_nodes, std::memory_order_relaxed);
+  live_edges_.store(info.total_edges, std::memory_order_relaxed);
+  run_active_.store(true, std::memory_order_release);
+}
+
+void Telemetry::EndRun() {
+  run_active_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rendered_line_open_) {
+    std::fputc('\n', stderr);
+    rendered_line_open_ = false;
+  }
+}
+
+TelemetrySample Telemetry::SampleNow() {
+  TelemetrySample s;
+  s.elapsed_micros = NowMicros();
+  const IoCountersSnapshot io = SnapshotIoCounters();
+  s.logical_blocks = io.TotalLogicalBlocks();
+  s.logical_bytes = io.TotalLogicalBytes();
+  s.physical_blocks_read = io.physical_blocks_read;
+  s.cache_hits = io.cache_hits;
+  s.prefetch_hits = io.prefetch_hits;
+  s.prefetched_blocks = io.prefetched_blocks;
+  s.read_stall_micros = io.read_stall_micros;
+  s.prefetch_depth = io.prefetch_depth_used;
+  if (ThreadPool* pool = GetIoThreadPool()) {
+    s.pool_queue_depth = pool->queue_depth();
+  }
+  s.max_rss_kb = SampleResourceUsage().max_rss_kb;
+  s.iteration = iteration_.load(std::memory_order_relaxed);
+  s.live_nodes = live_nodes_.load(std::memory_order_relaxed);
+  s.live_edges = live_edges_.load(std::memory_order_relaxed);
+
+  uint64_t interval_micros = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ring_.empty()) {
+      const uint64_t prev = ring_.back().elapsed_micros;
+      interval_micros = s.elapsed_micros > prev ? s.elapsed_micros - prev : 0;
+    }
+    if (run_active_.load(std::memory_order_acquire)) {
+      const uint64_t per_iter = run_info_.blocks_per_iteration;
+      if (per_iter > 0 || run_info_.fixed_blocks > 0) {
+        // Budget anchor: the analytic bound at max(anticipated, current+1)
+        // iterations. Grows monotonically when the run outlives the
+        // anticipated count, so progress never overshoots backwards.
+        const uint64_t anchor_iters =
+            std::max<uint64_t>(run_info_.anticipated_iterations,
+                               s.iteration + 1);
+        const uint64_t bound =
+            run_info_.fixed_blocks + per_iter * anchor_iters;
+        const uint64_t measured =
+            s.logical_blocks > run_start_logical_blocks_
+                ? s.logical_blocks - run_start_logical_blocks_
+                : 0;
+        if (bound > 0) {
+          s.progress = std::min(
+              1.0, static_cast<double>(measured) / static_cast<double>(bound));
+          const double run_elapsed =
+              (s.elapsed_micros > run_start_micros_
+                   ? s.elapsed_micros - run_start_micros_
+                   : 0) *
+              1e-6;
+          if (s.progress > 1e-9) {
+            s.eta_seconds = run_elapsed * (1.0 - s.progress) / s.progress;
+          }
+        }
+      }
+    }
+    ring_.push_back(s);
+    while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+  }
+  if (options_.watchdog_window_ms > 0) CheckWatchdog(s, interval_micros);
+  if (options_.render_status) RenderStatus(s);
+  return s;
+}
+
+void Telemetry::CheckWatchdog(const TelemetrySample& sample,
+                              uint64_t interval_micros) {
+  if (!run_active_.load(std::memory_order_acquire)) return;
+  uint64_t stalled_ms = 0;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sample.logical_blocks == wd_last_logical_ &&
+        sample.iteration == wd_last_iteration_) {
+      wd_stalled_micros_ += interval_micros;
+    } else {
+      wd_last_logical_ = sample.logical_blocks;
+      wd_last_iteration_ = sample.iteration;
+      wd_stalled_micros_ = 0;
+    }
+    stalled_ms = wd_stalled_micros_ / 1000;
+    if (stalled_ms >= options_.watchdog_window_ms && !wd_fired_this_run_) {
+      wd_fired_this_run_ = true;
+      fire = true;
+    }
+  }
+  if (fire) FireWatchdog(sample, stalled_ms);
+}
+
+void Telemetry::FireWatchdog(const TelemetrySample& sample,
+                             uint64_t stalled_ms) {
+  watchdog_fires_.fetch_add(1, std::memory_order_relaxed);
+
+  // One-shot diagnostic: metrics registry + per-span phase profile + the
+  // ring tail, assembled into a single {"type":"watchdog"} record. The
+  // metrics/phases sub-objects reuse the standalone record serializers
+  // (they are complete JSON objects, legal as embedded values).
+  std::vector<TelemetrySample> tail;
+  std::string algorithm, dataset;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    algorithm = run_info_.algorithm;
+    dataset = run_info_.dataset;
+    const size_t n = std::min(options_.watchdog_tail_samples, ring_.size());
+    tail.assign(ring_.end() - static_cast<ptrdiff_t>(n), ring_.end());
+  }
+  std::string metrics_json =
+      MetricsSnapshotToJson(MetricsRegistry::Global().Snapshot());
+  std::string phases_json;
+  if (PhaseProfiler* profiler = GetPhaseProfiler()) {
+    phases_json = PhaseProfilesToJson(profiler->Snapshot());
+  } else {
+    phases_json = "{\"type\":\"phases\",\"profiles\":[]}";
+  }
+
+  JsonWriter head;
+  head.BeginObject();
+  head.Key("type").String("watchdog");
+  head.Key("algorithm").String(algorithm);
+  head.Key("dataset").String(dataset);
+  head.Key("stalled_ms").UInt(stalled_ms);
+  head.Key("iteration").UInt(sample.iteration);
+  head.Key("logical_blocks").UInt(sample.logical_blocks);
+  head.EndObject();
+  std::string record = head.Take();
+  record.pop_back();  // reopen the object to splice the sub-records in
+  record += ",\"metrics\":" + metrics_json;
+  record += ",\"phases\":" + phases_json;
+  record += ",\"samples\":" + SamplesToJsonArray(tail);
+  record += "}";
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    watchdog_report_ = record;
+    if (rendered_line_open_) {
+      std::fputc('\n', stderr);
+      rendered_line_open_ = false;
+    }
+  }
+  std::fprintf(stderr,
+               "[telemetry] watchdog: %s on %s stalled for %" PRIu64
+               " ms (iteration %" PRIu64 ", %" PRIu64
+               " logical blocks); diagnostic snapshot follows\n%s\n",
+               algorithm.c_str(), dataset.c_str(), stalled_ms,
+               sample.iteration, sample.logical_blocks, record.c_str());
+  std::fflush(stderr);
+}
+
+std::string Telemetry::WatchdogReportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watchdog_report_;
+}
+
+void Telemetry::RenderStatus(const TelemetrySample& sample) {
+  if (!run_active_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t since_render = sample.elapsed_micros > last_render_micros_
+                                    ? sample.elapsed_micros - last_render_micros_
+                                    : 0;
+  if (!stderr_is_tty_ &&
+      last_render_micros_ != 0 &&
+      since_render < options_.render_throttle_ms * 1000) {
+    return;
+  }
+  const uint64_t bytes_delta =
+      sample.logical_bytes > last_render_logical_bytes_
+          ? sample.logical_bytes - last_render_logical_bytes_
+          : 0;
+  const uint64_t lookups = sample.cache_hits + sample.physical_blocks_read;
+  const double hit_pct =
+      lookups > 0 ? 100.0 * sample.cache_hits / lookups : 0.0;
+  const double contraction_pct =
+      run_info_.total_nodes > 0 && sample.live_nodes <= run_info_.total_nodes
+          ? 100.0 * (run_info_.total_nodes - sample.live_nodes) /
+                run_info_.total_nodes
+          : 0.0;
+  char line[256];
+  std::snprintf(
+      line, sizeof line,
+      "[%s] iter %" PRIu64 " | live %" PRIu64 "n/%" PRIu64
+      "e | contracted %.1f%% | %s | cache %.0f%% | %s%.0f%% eta %s",
+      run_info_.algorithm.c_str(), sample.iteration, sample.live_nodes,
+      sample.live_edges, contraction_pct,
+      FormatRate(bytes_delta, since_render).c_str(), hit_pct,
+      sample.progress >= 0 ? "" : "~", 100.0 * std::max(0.0, sample.progress),
+      FormatEta(sample.eta_seconds).c_str());
+  if (stderr_is_tty_) {
+    std::fprintf(stderr, "\r\x1b[K%s", line);
+    rendered_line_open_ = true;
+  } else {
+    std::fprintf(stderr, "%s\n", line);
+  }
+  std::fflush(stderr);
+  last_render_micros_ = sample.elapsed_micros;
+  last_render_logical_bytes_ = sample.logical_bytes;
+}
+
+std::vector<TelemetrySample> Telemetry::RingSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TelemetrySample>(ring_.begin(), ring_.end());
+}
+
+std::string Telemetry::TimeseriesToJson() const {
+  std::vector<TelemetrySample> samples = RingSnapshot();
+  std::string algorithm, dataset;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    algorithm = run_info_.algorithm;
+    dataset = run_info_.dataset;
+  }
+  JsonWriter head;
+  head.BeginObject();
+  head.Key("type").String("timeseries");
+  head.Key("algorithm").String(algorithm);
+  head.Key("dataset").String(dataset);
+  head.Key("interval_ms").UInt(options_.sample_interval_ms);
+  head.Key("sample_count").UInt(samples.size());
+  head.EndObject();
+  std::string record = head.Take();
+  record.pop_back();
+  record += ",\"samples\":" + SamplesToJsonArray(samples);
+  record += "}";
+  return record;
+}
+
+}  // namespace ioscc

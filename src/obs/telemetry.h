@@ -1,0 +1,238 @@
+// Live telemetry: a background time-series sampler, a budget-anchored
+// progress estimator, a TTY status renderer, and a stall watchdog.
+//
+// Everything the obs spine produced before this file is post-hoc — a
+// billion-edge run is a black box until it exits. The Telemetry engine
+// watches a run *while it happens*, from a dedicated sampler thread, using
+// nothing but relaxed-atomic observations:
+//
+//   * the process-wide I/O rate counters (io/io_counters.h), mirrors of
+//     the per-run ledgers bumped at the same block_file.cc sites;
+//   * three driver gauges (iteration, live_nodes, live_edges) that every
+//     scc/ driver publishes via TelemetryOnIteration at each pass
+//     boundary;
+//   * process RSS via getrusage and the I/O pool's queue depth.
+//
+// The sampler never touches an IoStats ledger, the audit log, or any
+// algorithm state, so the logical ledger, the audit stream, and the SCC
+// results are byte-identical whether telemetry is installed or not —
+// tests/telemetry_test.cc pins this at every threads x depth x cache
+// setting and CI gates it.
+//
+// Progress and ETA are *budget-anchored*, not wall-clock extrapolation:
+// the harness hands BeginRun the running driver's linear analytic cost
+// model (harness/io_budget.h TelemetryCostModel) and the estimator
+// divides cumulative logical blocks by that bound. The anchor grows
+// monotonically if the run outlives the anticipated iteration count, so
+// progress never runs backwards past 100%.
+//
+// Install with SetTelemetry() before opening files / starting runs —
+// the same capture-at-open contract as SetBlockCache/SetPhaseProfiler.
+// With none installed, the only cost anywhere is a relaxed atomic load.
+
+#ifndef IOSCC_OBS_TELEMETRY_H_
+#define IOSCC_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/io_counters.h"
+
+namespace ioscc {
+
+struct TelemetryOptions {
+  // Sampler cadence. 0 disables the background thread entirely: samples
+  // are then taken only by explicit SampleNow() calls (tests use this for
+  // deterministic single-step control).
+  uint64_t sample_interval_ms = 200;
+
+  // Bounded ring of retained samples; older samples are dropped. The
+  // {"type":"timeseries"} record carries at most this many entries no
+  // matter how long the run was.
+  size_t ring_capacity = 512;
+
+  // Stall watchdog: fires once per run when logical I/O and the driver
+  // iteration gauge have both stopped advancing for this long. 0 disables
+  // the watchdog.
+  uint64_t watchdog_window_ms = 0;
+
+  // Ring-buffer tail included in the watchdog's diagnostic snapshot.
+  size_t watchdog_tail_samples = 16;
+
+  // Live status line on stderr (phase, iteration, contraction %, MB/s,
+  // cache hit %, ETA), refreshed by the sampler.
+  bool render_status = false;
+
+  // Non-TTY stderr falls back to newline-delimited updates at most once
+  // per this interval (so CI logs and `2>file` captures stay readable).
+  uint64_t render_throttle_ms = 1000;
+
+  // Tests only: force the \r-rewrite TTY path / the newline path without
+  // a real terminal.
+  bool assume_tty = false;
+  bool assume_not_tty = false;
+};
+
+// What the harness knows about the run it is starting: identity, size,
+// and the driver's linear analytic cost model bound = fixed_blocks +
+// blocks_per_iteration * iterations (harness/io_budget.h derives these
+// from the same formulas CheckIoBudget enforces post-hoc).
+struct TelemetryRunInfo {
+  std::string algorithm;
+  std::string dataset;
+  uint64_t total_nodes = 0;
+  uint64_t total_edges = 0;
+  uint64_t fixed_blocks = 0;
+  uint64_t blocks_per_iteration = 0;
+  // Iterations the estimator anchors on until the run proves it wrong;
+  // the anchor is max(anticipated, current iteration + 1).
+  uint64_t anticipated_iterations = 0;
+};
+
+// One point of the time series. All counter fields are cumulative
+// process-wide values at sample time; consumers take deltas.
+struct TelemetrySample {
+  uint64_t elapsed_micros = 0;  // since the engine was constructed
+  // I/O rate counters (io/io_counters.h).
+  uint64_t logical_blocks = 0;  // read + written
+  uint64_t logical_bytes = 0;
+  uint64_t physical_blocks_read = 0;
+  uint64_t cache_hits = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetched_blocks = 0;
+  uint64_t read_stall_micros = 0;
+  uint64_t prefetch_depth = 0;
+  uint64_t pool_queue_depth = 0;
+  uint64_t max_rss_kb = 0;
+  // Driver gauges (TelemetryOnIteration).
+  uint64_t iteration = 0;
+  uint64_t live_nodes = 0;
+  uint64_t live_edges = 0;
+  // Budget-anchored estimator; negative when no run/model is active.
+  double progress = -1;     // 0..1
+  double eta_seconds = -1;  // elapsed * (1 - p) / p
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(const TelemetryOptions& options = TelemetryOptions());
+  ~Telemetry();
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  // Brackets one algorithm execution. BeginRun resets the gauges, the
+  // estimator anchor, and the per-run watchdog state; EndRun freezes the
+  // estimator and finishes the status line (newline on a TTY).
+  void BeginRun(const TelemetryRunInfo& info);
+  void EndRun();
+  bool run_active() const {
+    return run_active_.load(std::memory_order_relaxed);
+  }
+
+  // Driver gauge update; called from the algorithm thread at every pass
+  // boundary. Relaxed stores only — safe and cheap from any thread.
+  void OnIteration(uint64_t iteration, uint64_t live_nodes,
+                   uint64_t live_edges) {
+    iteration_.store(iteration, std::memory_order_relaxed);
+    live_nodes_.store(live_nodes, std::memory_order_relaxed);
+    live_edges_.store(live_edges, std::memory_order_relaxed);
+  }
+
+  // Takes one sample synchronously (the sampler thread calls this at the
+  // configured cadence; tests drive it by hand): snapshots the counters
+  // and gauges, runs the estimator and the watchdog, pushes into the
+  // ring, and renders the status line when enabled.
+  TelemetrySample SampleNow();
+
+  // Copy of the retained ring, oldest first.
+  std::vector<TelemetrySample> RingSnapshot() const;
+
+  // {"type":"timeseries",...} JSONL record with the retained samples.
+  std::string TimeseriesToJson() const;
+
+  // Number of times the watchdog fired since construction, and the last
+  // diagnostic record ({"type":"watchdog",...}; empty if never fired).
+  uint64_t watchdog_fires() const {
+    return watchdog_fires_.load(std::memory_order_relaxed);
+  }
+  std::string WatchdogReportJson() const;
+
+  const TelemetryOptions& options() const { return options_; }
+
+ private:
+  void SamplerLoop();
+  void CheckWatchdog(const TelemetrySample& sample, uint64_t interval_micros);
+  void FireWatchdog(const TelemetrySample& sample, uint64_t stalled_ms);
+  void RenderStatus(const TelemetrySample& sample);
+  uint64_t NowMicros() const;
+
+  const TelemetryOptions options_;
+
+  // Driver gauges + run bracket, written by other threads.
+  std::atomic<uint64_t> iteration_{0};
+  std::atomic<uint64_t> live_nodes_{0};
+  std::atomic<uint64_t> live_edges_{0};
+  std::atomic<bool> run_active_{false};
+  std::atomic<uint64_t> watchdog_fires_{0};
+
+  // Everything below mu_: run info, ring, watchdog + renderer state.
+  mutable std::mutex mu_;
+  TelemetryRunInfo run_info_;
+  uint64_t run_start_micros_ = 0;
+  uint64_t run_start_logical_blocks_ = 0;
+  std::deque<TelemetrySample> ring_;
+  // Watchdog progress tracking (sampler thread only, but kept under mu_
+  // for SampleNow calls from tests).
+  uint64_t wd_last_logical_ = 0;
+  uint64_t wd_last_iteration_ = 0;
+  uint64_t wd_stalled_micros_ = 0;
+  bool wd_fired_this_run_ = false;
+  std::string watchdog_report_;
+  // Renderer state.
+  bool stderr_is_tty_ = false;
+  uint64_t last_render_micros_ = 0;
+  uint64_t last_render_logical_bytes_ = 0;
+  bool rendered_line_open_ = false;
+
+  // Sampler thread lifecycle.
+  std::condition_variable stop_cv_;
+  std::mutex stop_mu_;
+  bool stop_ = false;
+  std::thread sampler_;
+  const std::chrono::steady_clock::time_point epoch_;
+};
+
+namespace internal_obs {
+inline std::atomic<Telemetry*> g_telemetry{nullptr};
+}  // namespace internal_obs
+
+// Installs `telemetry` as the process-wide engine (nullptr uninstalls).
+// Same contract as the other seams: install before starting runs,
+// uninstall (then destroy) after they finish — the engine must outlive
+// every run bracketed while installed.
+inline void SetTelemetry(Telemetry* telemetry) {
+  internal_obs::g_telemetry.store(telemetry, std::memory_order_release);
+}
+
+inline Telemetry* GetTelemetry() {
+  return internal_obs::g_telemetry.load(std::memory_order_relaxed);
+}
+
+// Driver-side gauge hook: one relaxed load when no engine is installed.
+inline void TelemetryOnIteration(uint64_t iteration, uint64_t live_nodes,
+                                 uint64_t live_edges) {
+  Telemetry* t = GetTelemetry();
+  if (t != nullptr) t->OnIteration(iteration, live_nodes, live_edges);
+}
+
+}  // namespace ioscc
+
+#endif  // IOSCC_OBS_TELEMETRY_H_

@@ -7,6 +7,7 @@
 #include "graph/digraph.h"
 #include "io/edge_file.h"
 #include "io/temp_dir.h"
+#include "obs/telemetry.h"
 #include "scc/tarjan.h"
 #include "scc/union_find.h"
 #include "util/logging.h"
@@ -147,7 +148,13 @@ Status EmScc(const std::string& edge_file, const SemiExternalOptions& options,
     iter_stats.edges_reduced =
         live_edges > new_edges ? live_edges - new_edges : 0;
     iter_stats.live_edges = new_edges;
+    // Every merged node folded into a representative; the survivors are
+    // the live side of the contraction.
+    iter_stats.live_nodes =
+        n > stats->contractions ? n - stats->contractions : 0;
     stats->per_iteration.push_back(iter_stats);
+    TelemetryOnIteration(stats->iterations, iter_stats.live_nodes,
+                         iter_stats.live_edges);
     if (options.progress &&
         !options.progress(stats->iterations, iter_stats)) {
       return Status::Incomplete("EM-SCC cancelled by progress callback");

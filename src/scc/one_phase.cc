@@ -6,6 +6,7 @@
 
 #include "io/edge_file.h"
 #include "io/temp_dir.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "scc/pass_metrics.h"
 #include "scc/spanning_tree.h"
@@ -271,6 +272,8 @@ Status OnePhaseRunner::Run() {
     iter_stats.io = stats_->io - io_mark;
     io_mark = stats_->io;
     stats_->per_iteration.push_back(iter_stats);
+    TelemetryOnIteration(stats_->iterations, iter_stats.live_nodes,
+                         iter_stats.live_edges);
     if (options_.progress &&
         !options_.progress(stats_->iterations, iter_stats)) {
       return Status::Incomplete("1P-SCC cancelled by progress callback");

@@ -7,6 +7,7 @@
 #include "graph/digraph.h"
 #include "io/edge_file.h"
 #include "io/temp_dir.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "scc/kosaraju.h"
 #include "scc/pass_metrics.h"
@@ -329,6 +330,8 @@ Status OnePhaseBatchRunner::Run() {
     iter_stats.io = stats_->io - io_mark;
     io_mark = stats_->io;
     stats_->per_iteration.push_back(iter_stats);
+    TelemetryOnIteration(stats_->iterations, iter_stats.live_nodes,
+                         iter_stats.live_edges);
     if (options_.progress &&
         !options_.progress(stats_->iterations, iter_stats)) {
       return Status::Incomplete("1PB-SCC cancelled by progress callback");

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "io/edge_file.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -145,6 +146,7 @@ Status BuildSemiExternalDfsTree(const std::string& path,
       options.max_iterations > 0 ? options.max_iterations
                                  : static_cast<uint64_t>(n) + 16;
   uint64_t iterations = 0;
+  IoStats io_mark = stats->io;
   bool updated = true;
   while (updated) {
     if (iterations >= max_iterations) {
@@ -179,8 +181,20 @@ Status BuildSemiExternalDfsTree(const std::string& path,
       updated = true;
       ++stats->pushdowns;  // counted per reshaping batch
     }
+    // A tree scan never reduces the graph, but the callback still gets
+    // real live counts and this scan's I/O delta (the two_phase.cc
+    // pattern) — a blind default-constructed record left DFS progress
+    // consumers with nothing to display.
+    IterationStats iter_stats;
+    iter_stats.live_nodes = n;
+    iter_stats.live_edges = scanner->edge_count();
+    iter_stats.io = stats->io - io_mark;
+    io_mark = stats->io;
+    stats->per_iteration.push_back(iter_stats);
+    TelemetryOnIteration(stats->iterations, iter_stats.live_nodes,
+                         iter_stats.live_edges);
     if (options.progress &&
-        !options.progress(stats->iterations, IterationStats())) {
+        !options.progress(stats->iterations, iter_stats)) {
       return Status::Incomplete(
           "semi-external DFS cancelled by progress callback");
     }

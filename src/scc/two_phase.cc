@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "io/edge_file.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "scc/drank.h"
 #include "scc/spanning_tree.h"
@@ -137,6 +138,8 @@ Status TwoPhaseScc(const std::string& edge_file,
     iter_stats.io = stats->io - io_mark;
     io_mark = stats->io;
     stats->per_iteration.push_back(iter_stats);
+    TelemetryOnIteration(stats->iterations, iter_stats.live_nodes,
+                         iter_stats.live_edges);
     if (options.progress &&
         !options.progress(stats->iterations, iter_stats)) {
       return Status::Incomplete("2P-SCC cancelled by progress callback");
@@ -191,6 +194,10 @@ Status TwoPhaseScc(const std::string& edge_file,
     iter_stats.io = stats->io - io_mark;
     io_mark = stats->io;
     stats->per_iteration.push_back(iter_stats);
+    // Search scans advance the telemetry iteration gauge too, so the
+    // stall watchdog sees a long search phase as forward progress.
+    TelemetryOnIteration(stats->iterations + stats->search_scans,
+                         iter_stats.live_nodes, iter_stats.live_edges);
   }
   search_span.Close();
 

@@ -1,0 +1,33 @@
+// Build provenance baked in at configure time (CMake), so every binary's
+// --version output and every BENCH environment block names the exact
+// build that produced a telemetry artifact: git SHA, compiler, flags,
+// build type. The values are constants captured when CMake last ran;
+// an incremental rebuild without re-configuring can lag the working tree
+// by design (CMake re-runs on CMakeLists changes, which covers CI).
+
+#ifndef IOSCC_UTIL_BUILD_INFO_H_
+#define IOSCC_UTIL_BUILD_INFO_H_
+
+#include <string>
+
+namespace ioscc {
+
+// Short git SHA of HEAD at configure time ("unknown" outside a repo),
+// with a "-dirty" suffix when the tree had uncommitted changes.
+const char* BuildGitSha();
+
+// "GNU 13.2.0" style compiler id + version.
+const char* BuildCompiler();
+
+// The CXX flags in effect (base + build-type flags).
+const char* BuildCxxFlags();
+
+// "RelWithDebInfo", "Debug", ...
+const char* BuildType();
+
+// One-line version banner: "<binary> (ioscc <sha>, <compiler>, <type>)".
+std::string BuildVersionLine(const std::string& binary_name);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_UTIL_BUILD_INFO_H_

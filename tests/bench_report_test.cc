@@ -205,6 +205,68 @@ TEST_F(BenchReportTest, DeterministicOnlyDropsTimingFields) {
   EXPECT_FALSE(point["io"].has("read_stall_micros"));
 }
 
+TEST_F(BenchReportTest, TelemetryRecordsSummarizedAndStripped) {
+  // A run report carrying live-telemetry records: the aggregator must
+  // reduce the timeseries ring to a summary (the full ring stays in the
+  // JSONL) and count watchdog fires — and drop both under
+  // deterministic_only, since they sample on a wall-clock cadence.
+  std::unique_ptr<TempDir> report_dir;
+  ASSERT_TRUE(TempDir::Create("bench-report-test", &report_dir).ok());
+  const std::string file = report_dir->FilePath("bench_alpha.jsonl");
+  {
+    std::unique_ptr<RunReportWriter> writer;
+    ASSERT_TRUE(RunReportWriter::Open(file, &writer).ok());
+    ASSERT_TRUE(writer->Append(SccRun("1P-SCC", "/tmp/x", 100, 1.5, 6)).ok());
+    ASSERT_TRUE(writer
+                    ->AppendRecordJson(
+                        "{\"type\":\"timeseries\",\"algorithm\":\"1P-SCC\","
+                        "\"dataset\":\"/tmp/x/f1.edges\",\"interval_ms\":200,"
+                        "\"sample_count\":2,\"samples\":["
+                        "{\"elapsed_micros\":10},{\"elapsed_micros\":20}]}")
+                    .ok());
+    ASSERT_TRUE(writer
+                    ->AppendRecordJson(
+                        "{\"type\":\"watchdog\",\"algorithm\":\"1P-SCC\","
+                        "\"dataset\":\"/tmp/x/f1.edges\",\"stalled_ms\":700,"
+                        "\"iteration\":2,\"logical_blocks\":10}")
+                    .ok());
+  }
+  report_dirs_.push_back(std::move(report_dir));
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(Aggregate({file}), &doc));
+  const JsonValue& bench = doc["benches"]["bench_alpha"];
+  ASSERT_TRUE(bench["timeseries"].is_array());
+  ASSERT_EQ(bench["timeseries"].array.size(), 1u);
+  const JsonValue& summary = bench["timeseries"].array[0];
+  EXPECT_EQ(summary["algorithm"].AsString(), "1P-SCC");
+  EXPECT_EQ(summary["dataset"].AsString(), "f1.edges");
+  EXPECT_EQ(summary["interval_ms"].AsUInt(), 200u);
+  EXPECT_EQ(summary["samples"].AsUInt(), 2u);
+  EXPECT_FALSE(summary.has("elapsed_micros"));  // summary, not the ring
+  EXPECT_EQ(bench["watchdog_fires"].AsUInt(), 1u);
+
+  JsonValue det;
+  ASSERT_TRUE(ParseJson(Aggregate({file}, /*deterministic_only=*/true), &det));
+  EXPECT_FALSE(det["benches"]["bench_alpha"].has("timeseries"));
+  EXPECT_FALSE(det["benches"]["bench_alpha"].has("watchdog_fires"));
+  ASSERT_EQ(det["benches"]["bench_alpha"]["runs"].array.size(), 1u);
+}
+
+TEST_F(BenchReportTest, EnvironmentRecordsBuildProvenance) {
+  const std::string alpha =
+      WriteReport("bench_alpha", {SccRun("1P-SCC", "/tmp/x", 100, 1.5, 6)});
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(Aggregate({alpha}), &doc));
+  // Exact values are configure-time constants; the schema just has to
+  // carry them (and they must not perturb environments_match, which the
+  // Compare* tests above cover by re-aggregating fresh reports).
+  ASSERT_TRUE(doc["environment"].has("git_sha"));
+  ASSERT_TRUE(doc["environment"].has("cxx_flags"));
+  EXPECT_FALSE(doc["environment"]["git_sha"].AsString().empty());
+  EXPECT_FALSE(doc["environment"]["compiler"].AsString().empty());
+}
+
 TEST_F(BenchReportTest, CompareIdenticalReportsPasses) {
   const std::string alpha = WriteReport(
       "bench_alpha", {SccRun("1P-SCC", "/tmp/base", 100, 1.5, 6)});

@@ -265,6 +265,67 @@ TEST_F(RunReportTest, PhaseProfilesRoundTripThroughJsonl) {
   EXPECT_FALSE(bare_run["phases"].is_array());
 }
 
+// The per_iteration array is capped at kMaxPerIterationEntries via
+// stride-based downsampling: the JSON records the stride and the true
+// total, keeps the last iteration, and labels each retained entry with
+// its 1-based index. --full-iterations (the entry flag) restores the
+// exact array.
+TEST_F(RunReportTest, PerIterationStrideDownsampling) {
+  RunReportEntry entry;
+  entry.experiment = "run_report_test";
+  entry.algorithm = "DFS-SCC";
+  entry.dataset = "synthetic";
+  entry.status = "OK";
+  const size_t total = 2 * kMaxPerIterationEntries + 7;
+  for (size_t i = 0; i < total; ++i) {
+    IterationStats iter;
+    iter.live_nodes = i + 1;  // recoverable from the JSON for spot checks
+    entry.stats.per_iteration.push_back(iter);
+  }
+
+  JsonValue run;
+  ASSERT_TRUE(ParseJson(RunReportEntryToJson(entry), &run));
+  EXPECT_EQ(run["per_iteration_total"].number, static_cast<double>(total));
+  EXPECT_EQ(run["per_iteration_stride"].number, 3.0);
+  const JsonValue& sampled = run["per_iteration"];
+  ASSERT_TRUE(sampled.is_array());
+  EXPECT_LE(sampled.array.size(), kMaxPerIterationEntries + 1);
+  // Every retained entry is labeled, stride-aligned (except the always-
+  // retained last), and carries its original payload.
+  for (const JsonValue& iter : sampled.array) {
+    ASSERT_TRUE(iter["iteration"].is_number());
+    const auto index = static_cast<size_t>(iter["iteration"].number);
+    EXPECT_TRUE((index - 1) % 3 == 0 || index == total);
+    EXPECT_EQ(iter["live_nodes"].number, static_cast<double>(index));
+  }
+  EXPECT_EQ(static_cast<size_t>(
+                sampled.array.back()["iteration"].number),
+            total);
+
+  // Opting into the exact array restores every record, unlabeled.
+  entry.full_iterations = true;
+  JsonValue full;
+  ASSERT_TRUE(ParseJson(RunReportEntryToJson(entry), &full));
+  EXPECT_EQ(full["per_iteration_stride"].number, 1.0);
+  ASSERT_EQ(full["per_iteration"].array.size(), total);
+  EXPECT_FALSE(full["per_iteration"].array[0]["iteration"].is_number());
+}
+
+// A watchdog that fired shows up as a "watchdog" object; a quiet run
+// serializes without the key.
+TEST_F(RunReportTest, WatchdogFiresAppearInJson) {
+  RunReportEntry entry;
+  entry.watchdog_fires = 2;
+  JsonValue run;
+  ASSERT_TRUE(ParseJson(RunReportEntryToJson(entry), &run));
+  EXPECT_EQ(run["watchdog"]["fires"].number, 2.0);
+
+  RunReportEntry quiet;
+  JsonValue quiet_run;
+  ASSERT_TRUE(ParseJson(RunReportEntryToJson(quiet), &quiet_run));
+  EXPECT_FALSE(quiet_run["watchdog"].is_object());
+}
+
 // An unfinished run must serialize without a result summary.
 TEST_F(RunReportTest, UnfinishedRunHasNoResult) {
   const std::string path = PaperGraph();

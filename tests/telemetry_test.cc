@@ -1,0 +1,368 @@
+// Tests for the live-telemetry engine (obs/telemetry.h): the byte-identity
+// guarantee (sampler on/off changes nothing observable), the
+// budget-anchored progress estimator, the bounded sample ring, the stall
+// watchdog (manual-stepped and against a real injected stall), and the
+// progress-callback cancellation contract across every driver.
+
+#include "obs/telemetry.h"
+
+#include <chrono>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "harness/runner.h"
+#include "io/block_cache.h"
+#include "io/block_file.h"
+#include "io/fault_env.h"
+#include "io/io_counters.h"
+#include "obs/io_audit.h"
+#include "scc/algorithms.h"
+#include "tests/json_test_util.h"
+#include "tests/test_util.h"
+#include "util/thread_pool.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::JsonParser;
+using testing_util::JsonValue;
+using testing_util::PaperFigure1Edges;
+using testing_util::kPaperFigure1Nodes;
+
+constexpr SccAlgorithm kAllAlgorithms[] = {
+    SccAlgorithm::kOnePhaseBatch, SccAlgorithm::kOnePhase,
+    SccAlgorithm::kTwoPhase,      SccAlgorithm::kDfs,
+    SccAlgorithm::kEm,
+};
+
+// One pipeline configuration of the byte-identity sweep.
+struct PipelineConfig {
+  int threads;
+  int prefetch_depth;
+  uint64_t cache_blocks;
+};
+
+// What a run observably produced: status, partition, the logical ledger,
+// and the full audit access stream.
+struct RunFingerprint {
+  std::string status;
+  SccResult result;
+  IoStats io;
+  AuditLogData audit;
+};
+
+RunFingerprint RunWithConfig(SccAlgorithm algorithm, const std::string& path,
+                             const PipelineConfig& config,
+                             Telemetry* telemetry) {
+  // Seams installed in the same order the binaries use.
+  std::unique_ptr<ThreadPool> pool;
+  if (config.threads > 0) {
+    pool = std::make_unique<ThreadPool>(static_cast<size_t>(config.threads));
+    SetIoThreadPool(pool.get());
+  }
+  std::unique_ptr<BlockCache> cache;
+  if (config.cache_blocks > 0 ||
+      (config.prefetch_depth >= 2 && pool != nullptr)) {
+    cache = std::make_unique<BlockCache>(config.cache_blocks);
+    cache->set_prefetch_depth(config.prefetch_depth);
+    SetBlockCache(cache.get());
+  }
+  BlockAccessLog audit;
+  SetBlockAccessLog(&audit);
+  if (telemetry != nullptr) SetTelemetry(telemetry);
+
+  SemiExternalOptions options;
+  options.memory_budget_bytes = 1 << 20;
+  RunOutcome outcome = RunAlgorithmOnFile(algorithm, path, options);
+
+  if (telemetry != nullptr) SetTelemetry(nullptr);
+  SetBlockAccessLog(nullptr);
+  if (cache != nullptr) SetBlockCache(nullptr);
+  if (pool != nullptr) SetIoThreadPool(nullptr);
+
+  RunFingerprint fp;
+  fp.status = outcome.status.ToString();
+  fp.result = outcome.result;
+  fp.io = outcome.stats.io;
+  fp.audit = audit.Snapshot();
+  return fp;
+}
+
+void ExpectSameObservables(const RunFingerprint& off,
+                           const RunFingerprint& on,
+                           const std::string& label) {
+  EXPECT_EQ(off.status, on.status) << label;
+  EXPECT_TRUE(off.result == on.result) << label;
+  // The logical ledger is the paper's "# of I/Os": must be exact.
+  EXPECT_TRUE(off.io == on.io) << label << ": logical/physical ledger drift";
+  // The audit stream must be the same accesses in the same order.
+  ASSERT_EQ(off.audit.files.size(), on.audit.files.size()) << label;
+  ASSERT_EQ(off.audit.accesses.size(), on.audit.accesses.size()) << label;
+  for (size_t i = 0; i < off.audit.accesses.size(); ++i) {
+    const BlockAccessRecord& a = off.audit.accesses[i];
+    const BlockAccessRecord& b = on.audit.accesses[i];
+    ASSERT_TRUE(a.file_id == b.file_id && a.block == b.block &&
+                a.is_write == b.is_write && a.seq == b.seq)
+        << label << ": audit record " << i << " differs";
+  }
+}
+
+class TelemetryTest : public testing_util::TempDirTest {};
+
+// The tentpole guarantee: installing the telemetry engine — sampler
+// thread running — changes nothing observable about a run, at every
+// pipeline configuration. The sampler only reads relaxed atomics.
+TEST_F(TelemetryTest, ByteIdentityAcrossPipelineConfigs) {
+  const std::string path =
+      WriteGraph(kPaperFigure1Nodes, PaperFigure1Edges());
+  const PipelineConfig configs[] = {
+      {0, 1, 0},   // serial, double buffer, no cache
+      {0, 0, 0},   // serial, no read-ahead
+      {0, 1, 32},  // serial + LRU cache
+      {2, 1, 0},   // pool, double buffer
+      {2, 4, 0},   // pool + async prefetch (budget-0 cache seam)
+      {2, 4, 32},  // the full pipeline
+  };
+  for (SccAlgorithm algorithm : kAllAlgorithms) {
+    for (const PipelineConfig& config : configs) {
+      const std::string label =
+          std::string(AlgorithmName(algorithm)) + " t" +
+          std::to_string(config.threads) + "/d" +
+          std::to_string(config.prefetch_depth) + "/c" +
+          std::to_string(config.cache_blocks);
+      RunFingerprint off =
+          RunWithConfig(algorithm, path, config, /*telemetry=*/nullptr);
+      TelemetryOptions topts;
+      topts.sample_interval_ms = 1;  // sample as hot as possible
+      topts.watchdog_window_ms = 10'000;
+      Telemetry telemetry(topts);
+      RunFingerprint on = RunWithConfig(algorithm, path, config, &telemetry);
+      ExpectSameObservables(off, on, label);
+      EXPECT_EQ(telemetry.watchdog_fires(), 0u) << label;
+    }
+  }
+}
+
+// The estimator divides measured logical blocks by the analytic bound at
+// the anchor iteration count, and the anchor grows monotonically once the
+// run outlives the anticipated count.
+TEST(TelemetryEstimatorTest, BudgetAnchoredProgress) {
+  TelemetryOptions topts;
+  topts.sample_interval_ms = 0;  // manual stepping only
+  Telemetry telemetry(topts);
+
+  TelemetryRunInfo info;
+  info.algorithm = "1PB-SCC";
+  info.dataset = "synthetic";
+  info.total_nodes = 100;
+  info.total_edges = 1000;
+  info.fixed_blocks = 10;
+  info.blocks_per_iteration = 10;
+  info.anticipated_iterations = 4;
+  telemetry.BeginRun(info);
+
+  // 25 measured blocks against bound 10 + 10 * max(4, 0+1) = 50.
+  for (int i = 0; i < 25; ++i) IoCounters().BumpRead(4096);
+  TelemetrySample s = telemetry.SampleNow();
+  EXPECT_DOUBLE_EQ(s.progress, 0.5);
+  EXPECT_GE(s.eta_seconds, 0.0);
+
+  // Outliving the anticipated count grows the anchor: bound becomes
+  // 10 + 10 * max(4, 9+1) = 110, so progress *drops* rather than pinning
+  // at a false 100%.
+  telemetry.OnIteration(9, 50, 500);
+  s = telemetry.SampleNow();
+  EXPECT_DOUBLE_EQ(s.progress, 25.0 / 110.0);
+  EXPECT_EQ(s.iteration, 9u);
+  EXPECT_EQ(s.live_nodes, 50u);
+
+  telemetry.EndRun();
+  // No active run: the estimator is parked.
+  s = telemetry.SampleNow();
+  EXPECT_LT(s.progress, 0.0);
+  EXPECT_LT(s.eta_seconds, 0.0);
+}
+
+// The ring is bounded and the timeseries record reflects the retained
+// tail only.
+TEST(TelemetryRingTest, RingIsBoundedAndSerializes) {
+  TelemetryOptions topts;
+  topts.sample_interval_ms = 0;
+  topts.ring_capacity = 4;
+  Telemetry telemetry(topts);
+
+  TelemetryRunInfo info;
+  info.algorithm = "DFS-SCC";
+  info.dataset = "ring-test";
+  telemetry.BeginRun(info);
+  for (int i = 0; i < 10; ++i) telemetry.SampleNow();
+  telemetry.EndRun();
+
+  EXPECT_EQ(telemetry.RingSnapshot().size(), 4u);
+  JsonValue record;
+  ASSERT_TRUE(JsonParser(telemetry.TimeseriesToJson()).Parse(&record));
+  EXPECT_EQ(record["type"].string_value, "timeseries");
+  EXPECT_EQ(record["algorithm"].string_value, "DFS-SCC");
+  EXPECT_EQ(record["dataset"].string_value, "ring-test");
+  ASSERT_TRUE(record["samples"].is_array());
+  EXPECT_EQ(record["samples"].array.size(), 4u);
+  EXPECT_EQ(static_cast<uint64_t>(record["sample_count"].number), 4u);
+  // Samples are oldest-first and monotone in time.
+  const auto& samples = record["samples"].array;
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i]["elapsed_micros"].number,
+              samples[i - 1]["elapsed_micros"].number);
+  }
+}
+
+// Manual-stepped watchdog: frozen logical I/O + frozen iteration gauge
+// accumulate stall time; advancing either resets it; it fires once per
+// run and the diagnostic record is well-formed JSON with the metrics,
+// phases, and ring-tail sub-records.
+TEST(TelemetryWatchdogTest, FiresOnceOnFrozenGauges) {
+  TelemetryOptions topts;
+  topts.sample_interval_ms = 0;
+  topts.watchdog_window_ms = 40;
+  topts.watchdog_tail_samples = 8;
+  Telemetry telemetry(topts);
+
+  TelemetryRunInfo info;
+  info.algorithm = "2P-SCC";
+  info.dataset = "stall-test";
+  telemetry.BeginRun(info);
+  telemetry.SampleNow();  // baseline sample
+
+  // Advancing I/O keeps the watchdog quiet.
+  IoCounters().BumpRead(4096);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  telemetry.SampleNow();
+  EXPECT_EQ(telemetry.watchdog_fires(), 0u);
+
+  // Freeze everything past the window: fires exactly once.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  telemetry.SampleNow();
+  EXPECT_EQ(telemetry.watchdog_fires(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  telemetry.SampleNow();
+  EXPECT_EQ(telemetry.watchdog_fires(), 1u) << "watchdog must be one-shot";
+
+  JsonValue record;
+  ASSERT_TRUE(JsonParser(telemetry.WatchdogReportJson()).Parse(&record));
+  EXPECT_EQ(record["type"].string_value, "watchdog");
+  EXPECT_EQ(record["algorithm"].string_value, "2P-SCC");
+  EXPECT_GE(record["stalled_ms"].number, 40.0);
+  EXPECT_EQ(record["metrics"]["type"].string_value, "metrics");
+  EXPECT_EQ(record["phases"]["type"].string_value, "phases");
+  ASSERT_TRUE(record["samples"].is_array());
+  EXPECT_GE(record["samples"].array.size(), 1u);
+
+  // A new run re-arms it.
+  telemetry.EndRun();
+  telemetry.BeginRun(info);
+  telemetry.SampleNow();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  telemetry.SampleNow();
+  EXPECT_EQ(telemetry.watchdog_fires(), 2u);
+  telemetry.EndRun();
+}
+
+// End-to-end stall: a permanent-EIO fault on a data block makes BlockFile
+// sit in its retry/backoff loop with logical I/O and the iteration gauge
+// frozen; the background sampler must fire the watchdog during the stall
+// and the run must surface the IoError afterwards.
+TEST_F(TelemetryTest, WatchdogFiresOnInjectedPermanentStall) {
+  std::vector<Edge> edges;
+  ASSERT_OK(GenerateUniformEdges(500, 3000, /*seed=*/7, &edges));
+  const std::string path = WriteGraph(500, edges);
+
+  // Stretch the bounded retry loop into a ~1.6 s stall window
+  // (100us * (2^14 - 1) of exponential backoff across 15 attempts).
+  const IoRetryPolicy saved = GetIoRetryPolicy();
+  IoRetryPolicy slow;
+  slow.max_attempts = 15;
+  slow.backoff_initial_us = 100;
+  SetIoRetryPolicy(slow);
+
+  // Block 1 (a data block — the header must stay readable so the harness
+  // can bracket the run) fails on every physical read attempt.
+  FaultInjector injector;
+  injector.AddRule(FaultInjector::PermanentAt(
+      path, /*block=*/1, FaultOp::kRead, FaultKind::kPermanentEio));
+  SetFaultInjector(&injector);
+
+  TelemetryOptions topts;
+  topts.sample_interval_ms = 20;
+  topts.watchdog_window_ms = 300;
+  Telemetry telemetry(topts);
+  SetTelemetry(&telemetry);
+
+  SemiExternalOptions options;
+  RunOutcome outcome =
+      RunAlgorithmOnFile(SccAlgorithm::kOnePhaseBatch, path, options);
+
+  SetTelemetry(nullptr);
+  SetFaultInjector(nullptr);
+  SetIoRetryPolicy(saved);
+
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_GE(telemetry.watchdog_fires(), 1u)
+      << "watchdog must fire during the injected retry stall";
+  JsonValue record;
+  ASSERT_TRUE(JsonParser(telemetry.WatchdogReportJson()).Parse(&record));
+  EXPECT_EQ(record["type"].string_value, "watchdog");
+}
+
+// Satellite: cooperative cancellation through the progress callback is
+// honored by every driver — the run ends Incomplete, the partial stats
+// stay consistent, and no scratch temp files leak.
+TEST_F(TelemetryTest, ProgressCancellationAcrossDrivers) {
+  std::vector<Edge> edges;
+  ASSERT_OK(GenerateUniformEdges(600, 3000, /*seed=*/11, &edges));
+  const std::string path = WriteGraph(600, edges);
+
+  const std::filesystem::path tmp_root =
+      std::filesystem::path(dir_->path()).parent_path();
+  auto scratch_entries = [&tmp_root]() {
+    std::set<std::string> names;
+    for (const auto& entry : std::filesystem::directory_iterator(tmp_root)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("ioscc-", 0) == 0) names.insert(name);
+    }
+    return names;
+  };
+  const std::set<std::string> before = scratch_entries();
+
+  for (SccAlgorithm algorithm : kAllAlgorithms) {
+    SemiExternalOptions options;
+    // Force the chunked/batched paths so EM and DFS iterate instead of
+    // solving in one in-memory pass.
+    options.memory_budget_bytes = 1;
+    uint64_t calls = 0;
+    options.progress = [&calls](uint64_t iteration,
+                                const IterationStats& iter) {
+      ++calls;
+      EXPECT_GE(iteration, 1u);
+      EXPECT_GT(iter.live_nodes + iter.live_edges, 0u);
+      return false;  // cancel immediately
+    };
+    RunOutcome outcome = RunAlgorithmOnFile(algorithm, path, options);
+    const std::string label = AlgorithmName(algorithm);
+    EXPECT_TRUE(outcome.status.IsIncomplete())
+        << label << ": " << outcome.status.ToString();
+    EXPECT_EQ(calls, 1u) << label << ": cancelled run must stop scanning";
+    EXPECT_GE(outcome.stats.iterations, 1u) << label;
+    EXPECT_GE(outcome.stats.per_iteration.size(), 1u) << label;
+  }
+
+  EXPECT_EQ(scratch_entries(), before)
+      << "cancelled runs must not leak scratch directories";
+}
+
+}  // namespace
+}  // namespace ioscc
