@@ -134,4 +134,6 @@ int Main(int argc, char** argv) {
 }  // namespace bench
 }  // namespace ioscc
 
-int main(int argc, char** argv) { return ioscc::bench::Main(argc, argv); }
+int main(int argc, char** argv) {
+  return ioscc::bench::BenchExitCode(ioscc::bench::Main(argc, argv));
+}

@@ -71,6 +71,7 @@
 #include "util/build_info.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/signals.h"
 #include "util/thread_pool.h"
 
 namespace ioscc {
@@ -174,8 +175,19 @@ struct BenchContext {
   }
 };
 
+// Maps a bench Main's return through the graceful-signal state: a run
+// cancelled by SIGINT/SIGTERM (the harness wraps every progress callback
+// with the check, and BenchContext's destructor has flushed the report/
+// telemetry/trace sinks by the time Main returns) exits 128+sig instead
+// of Main's own code, so scripts can tell "interrupted" from "failed".
+inline int BenchExitCode(int code) {
+  const int graceful = GracefulExitCode();
+  return graceful != 0 ? graceful : code;
+}
+
 inline bool InitBench(int argc, char** argv, BenchContext* ctx,
                       Flags* flags_out = nullptr) {
+  InstallGracefulSignalHandlers();
   Flags flags = Flags::Parse(argc, argv);
   if (argc > 0) {
     ctx->name = argv[0];

@@ -19,12 +19,23 @@
 //     $ scc_tool verify-file /tmp/web.edges
 //     $ scc_tool fsck /tmp/web.edges      (exits non-zero on corruption,
 //                                          names the first bad block)
+//     $ scc_tool fsck /tmp/ckpts          (checkpoint dir or .snap file:
+//                                          validates CRC/version/payload)
 //     $ scc_tool stats /tmp/web.edges
+//
+//   Crash-consistent checkpoint/resume (docs/ROBUSTNESS.md):
+//     $ scc_tool run /tmp/web.edges --checkpoint-dir=/tmp/ckpts
+//     $ scc_tool run /tmp/web.edges --checkpoint-dir=/tmp/ckpts --resume
+//
+//   Reap scratch left behind by killed runs:
+//     $ scc_tool clean-scratch [ROOT] [--age-seconds=86400] [--dry-run]
 //
 //   Show file metadata:
 //     $ scc_tool info /tmp/web.edges
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,11 +43,14 @@
 #include "gen/generators.h"
 #include "graph/digraph.h"
 #include "graph/graph_io.h"
+#include "harness/checkpoint.h"
 #include "harness/io_budget.h"
 #include "harness/runner.h"
 #include "harness/theory.h"
 #include "io/block_cache.h"
 #include "io/block_file.h"
+#include "io/temp_dir.h"
+#include "util/signals.h"
 #include "util/timer.h"
 #include "harness/table.h"
 #include "obs/metrics.h"
@@ -68,15 +82,19 @@ int Usage() {
                "[--trace=FILE] [--audit=FILE] [--cache-blocks=N] "
                "[--threads=N] [--prefetch-depth=N] [--progress] "
                "[--telemetry-interval-ms=N] [--watchdog-ms=N] "
-               "[--full-iterations]\n"
+               "[--full-iterations] [--checkpoint-dir=DIR] "
+               "[--checkpoint-every=N] [--checkpoint-keep=N] "
+               "[--keep-checkpoints] [--resume]\n"
                "       scc_tool info FILE\n"
                "       scc_tool import TEXT FILE [--densify=false]\n"
                "       scc_tool export FILE TEXT\n"
                "       scc_tool condense FILE DAGFILE "
                "[--algorithm=...]\n"
                "       scc_tool verify-file FILE\n"
-               "       scc_tool fsck FILE\n"
+               "       scc_tool fsck FILE|CKPTDIR|SNAPSHOT\n"
                "       scc_tool stats FILE\n"
+               "       scc_tool clean-scratch [ROOT] [--age-seconds=N] "
+               "[--dry-run]\n"
                "generate also takes --format=1|2 (2 = per-block CRC32C "
                "checksums)\n");
   return 2;
@@ -256,8 +274,52 @@ int RunOn(const std::string& path, const Flags& flags) {
     telemetry = std::make_unique<Telemetry>(topts);
     SetTelemetry(telemetry.get());
   }
+  // Crash-consistent checkpoint/resume (harness/checkpoint.h). Without
+  // --checkpoint-dir the hook stays null and the run is byte-identical
+  // to a build of this tool that has never heard of checkpoints.
+  CheckpointOptions ckpt_options;
+  ckpt_options.dir = flags.GetString("checkpoint-dir", "");
+  const int64_t ckpt_every = flags.GetInt("checkpoint-every", 1);
+  const int64_t ckpt_keep = flags.GetInt("checkpoint-keep", 2);
+  if (ckpt_every < 1 || ckpt_keep < 1) {
+    std::fprintf(stderr,
+                 "--checkpoint-every and --checkpoint-keep must be >= 1\n");
+    return 2;
+  }
+  ckpt_options.every = static_cast<uint64_t>(ckpt_every);
+  ckpt_options.keep = static_cast<uint64_t>(ckpt_keep);
+  ckpt_options.remove_on_success = !flags.GetBool("keep-checkpoints", false);
+  const bool resume = flags.GetBool("resume", false);
+  if (resume && ckpt_options.dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
+  }
+  Checkpointer checkpointer(ckpt_options);
+  if (checkpointer.enabled()) {
+    st = checkpointer.OpenForRun(AlgorithmName(algorithm), path, resume);
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    options.checkpoint = &checkpointer;
+  }
 
   RunOutcome outcome = RunAlgorithmOnFile(algorithm, path, options);
+  if (checkpointer.enabled()) {
+    checkpointer.OnRunFinished(outcome.status.ok());
+    std::fprintf(
+        stderr,
+        "checkpoint: %llu written, %llu write failures%s%s; resume: "
+        "%s (%llu fallbacks)\n",
+        static_cast<unsigned long long>(checkpointer.written()),
+        static_cast<unsigned long long>(checkpointer.write_failures()),
+        checkpointer.degraded() ? " (degraded: checkpointing disabled)" : "",
+        outcome.status.ok() && ckpt_options.remove_on_success
+            ? ", removed after success"
+            : "",
+        checkpointer.resumed() ? "yes" : "no",
+        static_cast<unsigned long long>(checkpointer.resume_fallbacks()));
+  }
   if (telemetry != nullptr) SetTelemetry(nullptr);
   if (pool != nullptr) SetIoThreadPool(nullptr);
   if (cache != nullptr) {
@@ -312,6 +374,7 @@ int RunOn(const std::string& path, const Flags& flags) {
     if (pool != nullptr) {
       entry.io_threads = static_cast<uint64_t>(pool->num_threads());
     }
+    AttachCheckpointInfo(&entry, checkpointer);
     std::printf("%s\n", RunReportEntryToJson(entry).c_str());
     std::printf(
         "%s\n",
@@ -323,6 +386,15 @@ int RunOn(const std::string& path, const Flags& flags) {
         std::printf("%s\n", watchdog_record.c_str());
       }
     }
+  }
+  if (SignalRequested() != 0) {
+    // Graceful SIGINT/SIGTERM: the run wound down at a pass boundary
+    // (final checkpoint written when enabled), the report/trace/audit
+    // sinks above are flushed — exit 128+sig so scripts can tell a
+    // cancelled run from a failed one.
+    std::fprintf(stderr, "%s: stopped by signal after a clean boundary\n",
+                 AlgorithmName(algorithm));
+    return GracefulExitCode();
   }
   if (!outcome.status.ok()) {
     std::fprintf(stderr, "%s: %s\n", AlgorithmName(algorithm),
@@ -401,6 +473,37 @@ int VerifyFile(const std::string& path) {
 }
 
 int Fsck(const std::string& path) {
+  // Checkpoint targets: a directory of ckpt-*.snap files, or one
+  // snapshot. Both validate magic/version/CRC and that the payload
+  // parses; the first bad record is named and the exit is non-zero.
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec) && !ec) {
+    CheckpointFsckReport ckpt;
+    Status st = FsckCheckpointDir(path, &ckpt);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      std::fprintf(stderr,
+                   "fsck: first bad snapshot %s (%llu of %llu bad)\n",
+                   ckpt.first_bad_path.c_str(),
+                   static_cast<unsigned long long>(ckpt.snapshots_bad),
+                   static_cast<unsigned long long>(ckpt.snapshots_checked));
+      return 1;
+    }
+    std::printf("%s: clean — %llu checkpoint snapshots validated\n",
+                path.c_str(),
+                static_cast<unsigned long long>(ckpt.snapshots_checked));
+    return 0;
+  }
+  if (path.size() > 5 && path.compare(path.size() - 5, 5, ".snap") == 0) {
+    std::string summary;
+    Status st = FsckSnapshotFile(path, &summary);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: clean — %s\n", path.c_str(), summary.c_str());
+    return 0;
+  }
   FsckReport report;
   Status st = FsckEdgeFile(path, &report, nullptr);
   if (!st.ok()) {
@@ -456,6 +559,47 @@ int Stats(const std::string& path) {
     table.AddRow({label, FormatCount(stats.out_degree_histogram[b])});
   }
   table.Print();
+  return 0;
+}
+
+int CleanScratch(const Flags& flags) {
+  const auto& positional = flags.positional();
+  std::string root;
+  if (positional.size() >= 2) {
+    root = positional[1];
+  } else if (const char* env = std::getenv("IOSCC_TMPDIR")) {
+    root = env;
+  } else {
+    std::error_code ec;
+    auto tmp = std::filesystem::temp_directory_path(ec);
+    if (ec) {
+      std::fprintf(stderr, "clean-scratch: no scratch root (give one, or "
+                           "set IOSCC_TMPDIR)\n");
+      return 2;
+    }
+    root = tmp.string();
+  }
+  const int64_t age = flags.GetInt("age-seconds", 86'400);
+  if (age < 0) {
+    std::fprintf(stderr, "--age-seconds must be >= 0\n");
+    return 2;
+  }
+  const bool dry_run = flags.GetBool("dry-run", false);
+  ScratchSweepStats stats;
+  Status st = SweepStaleScratch(root, static_cast<uint64_t>(age), dry_run,
+                                &stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s%s: %llu stale scratch dirs, %llu stray .tmp files%s; "
+              "kept %llu live, %llu young\n",
+              dry_run ? "[dry-run] " : "", root.c_str(),
+              static_cast<unsigned long long>(stats.dirs_removed),
+              static_cast<unsigned long long>(stats.files_removed),
+              dry_run ? " would be removed" : " removed",
+              static_cast<unsigned long long>(stats.skipped_live),
+              static_cast<unsigned long long>(stats.skipped_young));
   return 0;
 }
 
@@ -543,9 +687,29 @@ int main(int argc, char** argv) {
     std::printf("%s\n", BuildVersionLine("scc_tool").c_str());
     return 0;
   }
+  InstallGracefulSignalHandlers();
   const auto& positional = flags.positional();
   if (positional.empty()) return Usage();
   const std::string& command = positional[0];
+  // Opportunistic reaper: when the user pinned a private scratch root,
+  // quietly sweep scratch that a SIGKILLed previous run stranded there.
+  // The 24h age gate keeps concurrent runs' fresh scratch safe; the
+  // explicit clean-scratch command exists for anything more aggressive.
+  if (command != "clean-scratch") {
+    if (const char* env = std::getenv("IOSCC_TMPDIR")) {
+      ScratchSweepStats sweep;
+      (void)SweepStaleScratch(env, 86'400, /*dry_run=*/false, &sweep);
+      if (sweep.dirs_removed > 0 || sweep.files_removed > 0) {
+        std::fprintf(stderr,
+                     "scratch: reaped %llu stale dirs, %llu stray .tmp "
+                     "files under %s\n",
+                     static_cast<unsigned long long>(sweep.dirs_removed),
+                     static_cast<unsigned long long>(sweep.files_removed),
+                     env);
+      }
+    }
+  }
+  if (command == "clean-scratch") return CleanScratch(flags);
   if (command == "generate") return Generate(flags);
   if (command == "info" && positional.size() == 2) {
     return Info(positional[1]);

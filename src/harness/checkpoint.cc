@@ -1,0 +1,301 @@
+#include "harness/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "io/io_counters.h"
+#include "io/snapshot_file.h"
+#include "obs/metrics.h"
+#include "util/build_info.h"
+#include "util/logging.h"
+#include "util/signals.h"
+
+namespace ioscc {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CheckpointCounters {
+  Counter* written;
+  Counter* bytes_written;
+  Counter* write_failures;
+  Counter* pruned;
+  Counter* forced;
+  Counter* resume_loaded;
+  Counter* resume_fallbacks;
+
+  static const CheckpointCounters& Get() {
+    static CheckpointCounters counters{
+        MetricsRegistry::Global().GetCounter("checkpoint.written"),
+        MetricsRegistry::Global().GetCounter("checkpoint.bytes_written"),
+        MetricsRegistry::Global().GetCounter("checkpoint.write_failures"),
+        MetricsRegistry::Global().GetCounter("checkpoint.pruned"),
+        MetricsRegistry::Global().GetCounter("checkpoint.forced"),
+        MetricsRegistry::Global().GetCounter("resume.loaded"),
+        MetricsRegistry::Global().GetCounter("resume.fallbacks")};
+    return counters;
+  }
+};
+
+// Parses the sequence number out of "ckpt-NNNNNN.snap"; false otherwise.
+bool ParseSnapshotName(const std::string& name, uint64_t* seq) {
+  constexpr const char kPrefix[] = "ckpt-";
+  constexpr const char kSuffix[] = ".snap";
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  const size_t suffix_len = sizeof(kSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+// All snapshots in `dir`, sorted by ascending sequence number.
+std::vector<std::pair<uint64_t, std::string>> ListSnapshots(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    uint64_t seq = 0;
+    if (ParseSnapshotName(entry.path().filename().string(), &seq)) {
+      found.emplace_back(seq, entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace
+
+Checkpointer::Checkpointer(const CheckpointOptions& options)
+    : options_(options) {}
+
+std::string Checkpointer::SnapshotPath(uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%06llu.snap",
+                static_cast<unsigned long long>(seq));
+  return (fs::path(options_.dir) / name).string();
+}
+
+Status Checkpointer::OpenForRun(const std::string& algorithm,
+                                const std::string& input_path,
+                                bool resume) {
+  if (!enabled()) return Status::OK();
+  algorithm_ = algorithm;
+  input_path_ = input_path;
+
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create checkpoint dir " + options_.dir +
+                           ": " + ec.message());
+  }
+  IOSCC_RETURN_IF_ERROR(
+      FingerprintInputFile(input_path, &input_size_, &input_head_crc_));
+
+  if (!resume) return Status::OK();
+
+  // Newest first: the first candidate that validates wins; everything
+  // that does not (torn, truncated, wrong run) is a counted fallback.
+  auto snapshots = ListSnapshots(options_.dir);
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    SnapshotManifest manifest;
+    std::string state;
+    Status st = ReadSnapshot(it->second, &manifest, &state, &resume_io_);
+    if (!st.ok()) {
+      LogInfo("resume: skipping %s (%s)", it->second.c_str(),
+              st.ToString().c_str());
+      ++resume_fallbacks_;
+      CheckpointCounters::Get().resume_fallbacks->Increment();
+      continue;
+    }
+    if (manifest.algorithm != algorithm_ ||
+        manifest.input_path != input_path_ ||
+        manifest.input_size != input_size_ ||
+        manifest.input_head_crc != input_head_crc_ ||
+        manifest.build_sha != BuildGitSha()) {
+      LogInfo("resume: skipping %s (manifest does not match this run)",
+              it->second.c_str());
+      ++resume_fallbacks_;
+      CheckpointCounters::Get().resume_fallbacks->Increment();
+      continue;
+    }
+    // The snapshot may depend on a stream rewrite in the interrupted
+    // process's scratch dir. If that stream is gone (e.g. the snapshot
+    // was retained by --keep-checkpoints after a successful run, whose
+    // scratch was correctly deleted), the driver could not re-open it —
+    // fall back instead of handing over a dead-end state.
+    if (!manifest.stream_path.empty() &&
+        manifest.stream_path != input_path_ &&
+        !fs::exists(manifest.stream_path)) {
+      LogInfo("resume: skipping %s (its edge stream %s is gone)",
+              it->second.c_str(), manifest.stream_path.c_str());
+      ++resume_fallbacks_;
+      CheckpointCounters::Get().resume_fallbacks->Increment();
+      continue;
+    }
+    resume_phase_ = manifest.phase;
+    resume_payload_ = std::move(state);
+    has_resume_state_ = true;
+    resumed_ = true;
+    resume_seq_ = manifest.seq;
+    resume_iteration_ = manifest.iteration;
+    seq_ = manifest.seq;  // continue the sequence
+    CheckpointCounters::Get().resume_loaded->Increment();
+    LogInfo("resume: restored %s (phase %s, iteration %llu)",
+            it->second.c_str(), resume_phase_.c_str(),
+            static_cast<unsigned long long>(resume_iteration_));
+    return Status::OK();
+  }
+  // Nothing usable: run from scratch. A crash before the first boundary
+  // (or before the first snapshot) must resume into a plain fresh run.
+  return Status::OK();
+}
+
+void Checkpointer::AtBoundary(
+    const char* phase, uint64_t iteration, const std::string& stream_path,
+    const std::function<void(BlobWriter*)>& encode) {
+  if (!enabled() || degraded_) return;
+  // A pending graceful-stop signal forces a final snapshot regardless of
+  // cadence, so SIGINT never loses more than the in-flight pass.
+  const bool forced = SignalRequested() != 0;
+  if (!forced && options_.every > 1 && iteration % options_.every != 0) {
+    return;
+  }
+
+  BlobWriter state;
+  encode(&state);
+
+  SnapshotManifest manifest;
+  manifest.algorithm = algorithm_;
+  manifest.phase = phase;
+  manifest.iteration = iteration;
+  manifest.seq = ++seq_;
+  manifest.input_path = input_path_;
+  manifest.input_size = input_size_;
+  manifest.input_head_crc = input_head_crc_;
+  manifest.build_sha = BuildGitSha();
+  manifest.stream_path = stream_path;
+
+  const CheckpointCounters& counters = CheckpointCounters::Get();
+  Status st = WriteSnapshot(SnapshotPath(manifest.seq), manifest,
+                            state.data(), &checkpoint_io_);
+  if (!st.ok()) {
+    // Invariant 1: never poison a healthy run. Warn, record, and stop
+    // checkpointing; the algorithm itself continues unharmed.
+    degraded_ = true;
+    ++write_failures_;
+    counters.write_failures->Increment();
+    LogInfo("checkpoint write failed, continuing un-checkpointed: %s",
+            st.ToString().c_str());
+    return;
+  }
+  ++written_;
+  counters.written->Increment();
+  counters.bytes_written->Add(state.data().size());
+  if (forced) counters.forced->Increment();
+  IoCounters().BumpCheckpoint();
+  Prune();
+}
+
+void Checkpointer::Prune() {
+  const uint64_t keep = std::max<uint64_t>(1, options_.keep);
+  if (seq_ <= keep) return;
+  const CheckpointCounters& counters = CheckpointCounters::Get();
+  for (const auto& [seq, path] : ListSnapshots(options_.dir)) {
+    if (seq + keep > seq_) break;  // ascending: the rest are retained
+    std::error_code ec;
+    if (fs::remove(path, ec)) counters.pruned->Increment();
+  }
+}
+
+bool Checkpointer::ResumeState(std::string* phase, std::string* payload) {
+  if (!has_resume_state_) return false;
+  has_resume_state_ = false;
+  *phase = resume_phase_;
+  *payload = std::move(resume_payload_);
+  resume_payload_.clear();
+  return true;
+}
+
+void Checkpointer::ChargeResumeIo(const IoStats& delta) {
+  resume_io_ += delta;
+}
+
+void Checkpointer::OnRunFinished(bool run_ok) {
+  if (!enabled() || !run_ok || !options_.remove_on_success) return;
+  std::error_code ec;
+  for (const auto& [seq, path] : ListSnapshots(options_.dir)) {
+    (void)seq;
+    fs::remove(path, ec);
+  }
+}
+
+void AttachCheckpointInfo(RunReportEntry* entry, const Checkpointer& cp) {
+  if (!cp.enabled()) return;
+  entry->has_checkpoint = true;
+  entry->checkpoints_written = cp.written();
+  entry->checkpoint_write_failures = cp.write_failures();
+  entry->checkpoint_degraded = cp.degraded();
+  entry->checkpoint_io = cp.checkpoint_io();
+  entry->resumed = cp.resumed();
+  entry->resume_seq = cp.resume_seq();
+  entry->resume_iteration = cp.resume_iteration();
+  entry->resume_fallbacks = cp.resume_fallbacks();
+  entry->resume_io = cp.resume_io();
+}
+
+Status FsckSnapshotFile(const std::string& path, std::string* summary) {
+  SnapshotManifest manifest;
+  IOSCC_RETURN_IF_ERROR(ReadSnapshot(path, &manifest, nullptr, nullptr));
+  if (summary != nullptr) {
+    *summary = manifest.algorithm + " phase=" + manifest.phase +
+               " iteration=" + std::to_string(manifest.iteration) +
+               " seq=" + std::to_string(manifest.seq) + " input=" +
+               manifest.input_path;
+    // A snapshot whose recorded edge stream vanished is structurally
+    // sound but unresumable; surface that without failing the check.
+    if (!manifest.stream_path.empty() &&
+        manifest.stream_path != manifest.input_path &&
+        !fs::exists(manifest.stream_path)) {
+      *summary += " (stream " + manifest.stream_path + " is gone)";
+    }
+  }
+  return Status::OK();
+}
+
+Status FsckCheckpointDir(const std::string& dir,
+                         CheckpointFsckReport* report) {
+  *report = CheckpointFsckReport();
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound(dir + " is not a directory");
+  }
+  Status first_bad = Status::OK();
+  for (const auto& [seq, path] : ListSnapshots(dir)) {
+    (void)seq;
+    ++report->snapshots_checked;
+    Status st = FsckSnapshotFile(path, nullptr);
+    if (!st.ok()) {
+      ++report->snapshots_bad;
+      if (first_bad.ok()) {
+        first_bad = st;
+        report->first_bad_path = path;
+        report->first_bad_error = st.ToString();
+      }
+    }
+  }
+  return first_bad;
+}
+
+}  // namespace ioscc

@@ -1,0 +1,138 @@
+// Crash-consistent checkpoint/resume for long-running SCC runs.
+//
+// Checkpointer is the harness-side implementation of the driver seam
+// (scc/checkpoint_hook.h). At every boundary the drivers offer, it
+// decides by cadence (--checkpoint-every) whether to cut a snapshot,
+// serializes the driver state, and persists it through the durable
+// snapshot format (io/snapshot_file.h: version + CRC32C + temp/fsync/
+// rename). Snapshot files are `ckpt-NNNNNN.snap` under --checkpoint-dir,
+// with the newest `keep` retained so a snapshot torn by a crash mid-write
+// (which the format's rename discipline already makes nearly impossible)
+// or corrupted on disk still leaves a previous valid one to fall back to.
+//
+// Resume (`scc_tool run --resume`): OpenForRun scans the directory newest
+// first, validates each candidate (CRC + format version + algorithm +
+// input path + input content fingerprint + build SHA) and hands the first
+// valid state to the driver; invalid candidates are skipped with a
+// warning and counted as fallbacks.
+//
+// Two invariants this class is built around:
+//   1. A checkpoint must never poison a healthy run: any write failure
+//      (ENOSPC included) logs a warning, bumps checkpoint.write_failures,
+//      and permanently degrades to "no checkpointing" — the run itself
+//      continues and stays correct.
+//   2. Ledger identity: snapshot I/O goes to the Checkpointer's own
+//      ledger and resume replay I/O to a separate resume ledger, so the
+//      run's logical-I/O ledger is byte-identical to an uninterrupted,
+//      un-checkpointed run. Both side ledgers are reported in the run
+//      report's "checkpoint" object (AttachCheckpointInfo).
+
+#ifndef IOSCC_HARNESS_CHECKPOINT_H_
+#define IOSCC_HARNESS_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/io_stats.h"
+#include "obs/run_report.h"
+#include "scc/checkpoint_hook.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+struct CheckpointOptions {
+  std::string dir;    // empty = checkpointing disabled
+  uint64_t every = 1; // snapshot every N offered boundaries
+  uint64_t keep = 2;  // retained snapshots (>= 2 enables torn-fallback)
+  bool remove_on_success = true;  // clean snapshots after a finished run
+};
+
+class Checkpointer : public CheckpointHook {
+ public:
+  explicit Checkpointer(const CheckpointOptions& options);
+
+  // Creates the checkpoint directory, fingerprints the input, and — when
+  // `resume` — loads the newest valid snapshot for this (algorithm,
+  // input) pair. Finding no usable snapshot is NOT an error: the run
+  // simply starts fresh (a crash before the first boundary must still
+  // resume cleanly). No-op when disabled.
+  Status OpenForRun(const std::string& algorithm,
+                    const std::string& input_path, bool resume);
+
+  // CheckpointHook. AtBoundary writes out of cadence when a graceful-stop
+  // signal is pending (util/signals.h), so SIGINT gets a final snapshot.
+  void AtBoundary(const char* phase, uint64_t iteration,
+                  const std::string& stream_path,
+                  const std::function<void(BlobWriter*)>& encode) override;
+  bool ResumeState(std::string* phase, std::string* payload) override;
+  void ChargeResumeIo(const IoStats& delta) override;
+  bool SnapshotOnDisk() const override { return written_ > 0; }
+
+  // Removes the run's snapshots after a successful finish (when
+  // remove_on_success); keeps them after failures so the run can be
+  // resumed.
+  void OnRunFinished(bool run_ok);
+
+  bool enabled() const { return !options_.dir.empty(); }
+  bool degraded() const { return degraded_; }
+  bool resumed() const { return resumed_; }
+  uint64_t written() const { return written_; }
+  uint64_t write_failures() const { return write_failures_; }
+  uint64_t resume_seq() const { return resume_seq_; }
+  uint64_t resume_iteration() const { return resume_iteration_; }
+  uint64_t resume_fallbacks() const { return resume_fallbacks_; }
+  const IoStats& checkpoint_io() const { return checkpoint_io_; }
+  const IoStats& resume_io() const { return resume_io_; }
+
+ private:
+  std::string SnapshotPath(uint64_t seq) const;
+  void Prune();
+
+  const CheckpointOptions options_;
+  std::string algorithm_;
+  std::string input_path_;
+  uint64_t input_size_ = 0;
+  uint32_t input_head_crc_ = 0;
+
+  uint64_t seq_ = 0;          // last written (or resumed-from) sequence
+  uint64_t written_ = 0;
+  uint64_t write_failures_ = 0;
+  bool degraded_ = false;
+
+  bool has_resume_state_ = false;  // consumed by the driver exactly once
+  std::string resume_phase_;
+  std::string resume_payload_;
+  bool resumed_ = false;
+  uint64_t resume_seq_ = 0;
+  uint64_t resume_iteration_ = 0;
+  uint64_t resume_fallbacks_ = 0;
+
+  IoStats checkpoint_io_;  // snapshot writes; never the run ledger
+  IoStats resume_io_;      // replay reads on resume
+};
+
+// Copies the Checkpointer's outcome into the report entry's checkpoint
+// fields (kept here so runner.cc stays ignorant of checkpointing).
+void AttachCheckpointInfo(RunReportEntry* entry, const Checkpointer& cp);
+
+// fsck support (`scc_tool fsck <dir-or-.snap>`): validates every
+// `ckpt-*.snap` under `dir` (CRC, magic, version, payload parse).
+struct CheckpointFsckReport {
+  uint64_t snapshots_checked = 0;
+  uint64_t snapshots_bad = 0;
+  std::string first_bad_path;
+  std::string first_bad_error;
+};
+
+// Checks all snapshots; OK when every one validates, otherwise the first
+// bad snapshot's status (the report keeps counting past it).
+Status FsckCheckpointDir(const std::string& dir,
+                         CheckpointFsckReport* report);
+
+// Validates a single snapshot file; fills `summary` with a one-line
+// description (algorithm/phase/iteration/seq) on success.
+Status FsckSnapshotFile(const std::string& path, std::string* summary);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_HARNESS_CHECKPOINT_H_

@@ -3,6 +3,7 @@
 #include "harness/table.h"
 #include "io/edge_file.h"
 #include "obs/trace.h"
+#include "util/signals.h"
 
 namespace ioscc {
 
@@ -10,6 +11,19 @@ RunOutcome RunAlgorithmOnFile(SccAlgorithm algorithm, const std::string& path,
                               const SemiExternalOptions& options,
                               const SccResult* oracle) {
   RunOutcome outcome;
+  // Graceful-stop seam: every driver already polls its progress callback
+  // at pass boundaries, so folding the SIGINT/SIGTERM check in here
+  // covers scc_tool and every bench without per-driver edits. The driver
+  // winds down with Status::Incomplete at the next boundary — after the
+  // Checkpointer's forced final snapshot, which runs before the progress
+  // callback at each boundary.
+  SemiExternalOptions run_options = options;
+  const auto inner_progress = options.progress;
+  run_options.progress = [inner_progress](uint64_t iteration,
+                                          const IterationStats& stats) {
+    if (SignalRequested() != 0) return false;
+    return !inner_progress || inner_progress(iteration, stats);
+  };
   // Input header, read up front *unconditionally*: the telemetry
   // estimator needs the edge count before the run, the budget verdict
   // needs it after, and doing the read whether or not an engine is
@@ -31,8 +45,8 @@ RunOutcome RunAlgorithmOnFile(SccAlgorithm algorithm, const std::string& path,
     // Top-level span: one per algorithm execution, holding the whole
     // run's I/O delta (phase spans nest underneath).
     TraceSpan span(AlgorithmName(algorithm), &outcome.stats.io);
-    outcome.status =
-        RunScc(algorithm, path, options, &outcome.result, &outcome.stats);
+    outcome.status = RunScc(algorithm, path, run_options, &outcome.result,
+                            &outcome.stats);
   }
   if (telemetry != nullptr) telemetry->EndRun();
   if (profiler != nullptr) {

@@ -579,8 +579,13 @@ void BlockFile::AccountDroppedSlot(const PrefetchSlot& slot) {
 void BlockFile::ShutdownPrefetcher() {
   if (!async_prefetch()) return;
   std::unique_lock<std::mutex> lock(pf_mu_);
-  pf_shutdown_ = true;
+  // Drain before tearing down: aborting the filler mid-queue would make
+  // the number of completed (and therefore booked) read-ahead reads
+  // depend on thread timing, so two identical runs closed mid-window
+  // would disagree on physical_blocks_read/prefetched_blocks. The wait
+  // is bounded by the remaining window (<= prefetch_depth_ blocks).
   pf_cv_.wait(lock, [this] { return !pf_filler_active_; });
+  pf_shutdown_ = true;
   // Book reads the filler completed but nobody consumed, so the
   // physical ledger reflects what actually hit the disk.
   while (!pf_queue_.empty()) {

@@ -44,6 +44,9 @@ struct GlobalIoCounters {
   // Gauge: the deepest prefetch window in effect so far (0 = none,
   // 1 = synchronous double buffer, N>=2 = async pipeline).
   std::atomic<uint64_t> prefetch_depth_used{0};
+  // Snapshots published by the checkpoint subsystem; sampled by the
+  // telemetry ring so a live trace shows checkpoint markers.
+  std::atomic<uint64_t> checkpoints{0};
 
   void BumpRead(uint64_t bytes) {
     logical_blocks_read.fetch_add(1, std::memory_order_relaxed);
@@ -65,6 +68,9 @@ struct GlobalIoCounters {
   }
   void BumpReadStall(uint64_t micros) {
     read_stall_micros.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void BumpCheckpoint() {
+    checkpoints.fetch_add(1, std::memory_order_relaxed);
   }
   void NotePrefetchDepth(uint64_t depth) {
     uint64_t prev = prefetch_depth_used.load(std::memory_order_relaxed);
@@ -94,6 +100,7 @@ struct IoCountersSnapshot {
   uint64_t prefetched_blocks = 0;
   uint64_t read_stall_micros = 0;
   uint64_t prefetch_depth_used = 0;
+  uint64_t checkpoints = 0;
 
   uint64_t TotalLogicalBlocks() const {
     return logical_blocks_read + logical_blocks_written;
@@ -120,6 +127,7 @@ inline IoCountersSnapshot SnapshotIoCounters() {
   s.read_stall_micros = c.read_stall_micros.load(std::memory_order_relaxed);
   s.prefetch_depth_used =
       c.prefetch_depth_used.load(std::memory_order_relaxed);
+  s.checkpoints = c.checkpoints.load(std::memory_order_relaxed);
   return s;
 }
 

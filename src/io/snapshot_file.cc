@@ -1,0 +1,206 @@
+#include "io/snapshot_file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "io/block_file.h"
+#include "util/blob.h"
+#include "util/crc32c.h"
+
+namespace ioscc {
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'I', 'O', 'S', 'C',
+                                    'C', 'K', 'P', 'T'};
+
+void (*g_crash_hook)(SnapshotCrashPoint) = nullptr;
+
+void CrashPoint(SnapshotCrashPoint point) {
+  if (g_crash_hook != nullptr) g_crash_hook(point);
+}
+
+void EncodeManifest(BlobWriter* w, const SnapshotManifest& m) {
+  w->PutString(m.algorithm);
+  w->PutString(m.phase);
+  w->PutU64(m.iteration);
+  w->PutU64(m.seq);
+  w->PutString(m.input_path);
+  w->PutU64(m.input_size);
+  w->PutU32(m.input_head_crc);
+  w->PutString(m.build_sha);
+  w->PutString(m.stream_path);
+}
+
+bool DecodeManifest(BlobReader* r, SnapshotManifest* m) {
+  m->algorithm = r->GetString();
+  m->phase = r->GetString();
+  m->iteration = r->GetU64();
+  m->seq = r->GetU64();
+  m->input_path = r->GetString();
+  m->input_size = r->GetU64();
+  m->input_head_crc = r->GetU32();
+  m->build_sha = r->GetString();
+  m->stream_path = r->GetString();
+  return r->ok();
+}
+
+}  // namespace
+
+void SetSnapshotCrashHook(void (*hook)(SnapshotCrashPoint)) {
+  g_crash_hook = hook;
+}
+
+Status FingerprintInputFile(const std::string& path, uint64_t* size,
+                            uint32_t* head_crc) {
+  std::error_code ec;
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::IoError("fingerprint: cannot stat " + path + ": " +
+                           ec.message());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("fingerprint: cannot open " + path);
+  }
+  char head[kSnapshotBlockSize];
+  const size_t got = std::fread(head, 1, sizeof(head), f);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IoError("fingerprint: cannot read " + path);
+  }
+  *size = file_size;
+  *head_crc = crc32c::Value(head, got);
+  return Status::OK();
+}
+
+Status WriteSnapshot(const std::string& path,
+                     const SnapshotManifest& manifest,
+                     const std::string& driver_state, IoStats* stats) {
+  // Assemble the whole image in memory: header + manifest + state + CRC.
+  BlobWriter body;
+  {
+    BlobWriter mw;
+    EncodeManifest(&mw, manifest);
+    body.PutString(mw.data());
+  }
+  body.PutString(driver_state);
+  const std::string& payload = body.data();
+
+  std::string image;
+  image.reserve(payload.size() + kSnapshotBlockSize);
+  image.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  const uint32_t version = kSnapshotFormatVersion;
+  image.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  const uint64_t payload_len = payload.size();
+  image.append(reinterpret_cast<const char*>(&payload_len),
+               sizeof(payload_len));
+  image.append(payload);
+  const uint32_t crc =
+      crc32c::Mask(crc32c::Value(image.data(), image.size()));
+  image.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  // Pad to whole blocks.
+  const size_t padded =
+      (image.size() + kSnapshotBlockSize - 1) / kSnapshotBlockSize *
+      kSnapshotBlockSize;
+  image.resize(padded, '\0');
+
+  // Stage in <path>.tmp, known to the audit log and fault injector as
+  // the final path (fault rules target "ckpt-" names).
+  const std::string tmp_path = path + ".tmp";
+  std::unique_ptr<BlockFile> file;
+  Status st = BlockFile::Open(tmp_path, BlockFile::Mode::kWrite,
+                              kSnapshotBlockSize, stats, &file,
+                              /*logical_path=*/path);
+  if (!st.ok()) return st;
+  for (size_t off = 0; st.ok() && off < image.size();
+       off += kSnapshotBlockSize) {
+    st = file->AppendBlock(image.data() + off);
+    if (off == 0 && image.size() > kSnapshotBlockSize) {
+      CrashPoint(SnapshotCrashPoint::kMidTempWrite);
+    }
+  }
+  if (st.ok()) st = file->SyncToDisk();
+  file.reset();
+  if (!st.ok()) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);  // best effort
+    return st;
+  }
+  CrashPoint(SnapshotCrashPoint::kAfterTempWrite);
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    Status rename_st = Status::IoError("rename " + tmp_path + " -> " +
+                                       path + " failed");
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+    return rename_st;
+  }
+  CrashPoint(SnapshotCrashPoint::kAfterRename);
+  return Status::OK();
+}
+
+Status ReadSnapshot(const std::string& path, SnapshotManifest* manifest,
+                    std::string* driver_state, IoStats* stats) {
+  std::unique_ptr<BlockFile> file;
+  IOSCC_RETURN_IF_ERROR(BlockFile::Open(path, BlockFile::Mode::kRead,
+                                        kSnapshotBlockSize, stats, &file));
+  std::string image;
+  image.resize(file->block_count() * kSnapshotBlockSize);
+  for (uint64_t b = 0; b < file->block_count(); ++b) {
+    IOSCC_RETURN_IF_ERROR(
+        file->ReadBlock(b, image.data() + b * kSnapshotBlockSize));
+  }
+  const size_t kHeader = sizeof(kSnapshotMagic) + sizeof(uint32_t) +
+                         sizeof(uint64_t);
+  if (image.size() < kHeader + sizeof(uint32_t)) {
+    return Status::Corruption("snapshot " + path + " is truncated");
+  }
+  if (std::memcmp(image.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+      0) {
+    return Status::Corruption("snapshot " + path + " has a bad magic");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, image.data() + sizeof(kSnapshotMagic),
+              sizeof(version));
+  if (version != kSnapshotFormatVersion) {
+    return Status::Corruption(
+        "snapshot " + path + " has unsupported format version " +
+        std::to_string(version));
+  }
+  uint64_t payload_len = 0;
+  std::memcpy(&payload_len,
+              image.data() + sizeof(kSnapshotMagic) + sizeof(version),
+              sizeof(payload_len));
+  if (payload_len > image.size() - kHeader - sizeof(uint32_t)) {
+    return Status::Corruption("snapshot " + path +
+                              " declares an impossible payload length");
+  }
+  const size_t crc_offset = kHeader + static_cast<size_t>(payload_len);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, image.data() + crc_offset, sizeof(stored_crc));
+  const uint32_t actual = crc32c::Value(image.data(), crc_offset);
+  if (crc32c::Unmask(stored_crc) != actual) {
+    return Status::Corruption("snapshot " + path +
+                              " failed its CRC32C check (torn or corrupt)");
+  }
+  BlobReader reader(image.data() + kHeader,
+                    static_cast<size_t>(payload_len));
+  const std::string manifest_bytes = reader.GetString();
+  const std::string state_bytes = reader.GetString();
+  if (!reader.Done()) {
+    return Status::Corruption("snapshot " + path +
+                              " payload does not parse");
+  }
+  if (manifest != nullptr) {
+    BlobReader mr(manifest_bytes);
+    if (!DecodeManifest(&mr, manifest)) {
+      return Status::Corruption("snapshot " + path +
+                                " manifest does not parse");
+    }
+  }
+  if (driver_state != nullptr) *driver_state = state_bytes;
+  return Status::OK();
+}
+
+}  // namespace ioscc

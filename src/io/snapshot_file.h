@@ -1,0 +1,94 @@
+// On-disk checkpoint snapshot format (docs/FORMATS.md).
+//
+// A snapshot is a single self-validating file holding one manifest (who
+// wrote it, for which input, at which boundary) plus one opaque
+// driver-state blob. Layout, in 4 KiB blocks written through BlockFile
+// (so snapshot I/O is counted, audited, and fault-injectable like every
+// other block transfer):
+//
+//   "IOSCCKPT"            8-byte magic
+//   format_version  u32   kSnapshotFormatVersion
+//   payload_len     u64   bytes of payload that follow
+//   payload               manifest blob + driver-state blob (util/blob.h)
+//   crc             u32   masked CRC32C of everything above
+//   zero padding to a whole number of blocks
+//
+// Durability follows the PR 3 EdgeWriter discipline: the snapshot is
+// staged in `<path>.tmp`, fsync'd, then renamed over the final name —
+// a crash at any instant leaves either the previous complete snapshot
+// or a `.tmp` orphan (swept by `scc_tool clean-scratch`), never a torn
+// final file under the published name. A torn or bit-flipped snapshot
+// that somehow does appear (torn-write fault injection, disk damage) is
+// caught by the whole-payload CRC and reported as Status::Corruption so
+// resume can fall back to the previous sequence number.
+
+#ifndef IOSCC_IO_SNAPSHOT_FILE_H_
+#define IOSCC_IO_SNAPSHOT_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/io_stats.h"
+#include "util/status.h"
+
+namespace ioscc {
+
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr size_t kSnapshotBlockSize = 4096;
+
+// Identity + provenance of one snapshot; validated on resume before any
+// driver state is trusted.
+struct SnapshotManifest {
+  std::string algorithm;   // "1P-SCC", ... (scc/algorithms.h name)
+  std::string phase;       // driver loop tag, e.g. "1p", "2p.search"
+  uint64_t iteration = 0;  // boundary counter when the snapshot was cut
+  uint64_t seq = 0;        // monotone snapshot sequence number
+  std::string input_path;  // the run's input edge file
+  // Cheap content fingerprint of the input: file size plus the CRC32C of
+  // its first block. Catches "same path, different graph" without a full
+  // verify scan at every checkpoint.
+  uint64_t input_size = 0;
+  uint32_t input_head_crc = 0;
+  std::string build_sha;   // util/build_info.h BuildGitSha()
+  // The edge stream the driver was scanning when the snapshot was cut.
+  // Usually the input itself; after a contraction rewrite it is a file
+  // inside the (deliberately kept) scratch dir of the interrupted
+  // process. Resume refuses a snapshot whose stream is gone — e.g. one
+  // retained by --keep-checkpoints after a *successful* run, whose
+  // scratch was correctly deleted — and falls back to an older snapshot
+  // or a fresh start. Empty means "no stream dependency".
+  std::string stream_path;
+};
+
+// Computes the manifest fingerprint fields for `path`. Reads at most one
+// kSnapshotBlockSize chunk via stdio — constant work, deliberately
+// outside the block-I/O ledger (it is identity metadata, not data I/O).
+Status FingerprintInputFile(const std::string& path, uint64_t* size,
+                            uint32_t* head_crc);
+
+// Writes `manifest` + `driver_state` to `path` (temp + fsync + rename).
+// `stats` may be null; when set it receives the snapshot's block I/O —
+// callers keep this ledger separate from the run ledger so checkpointing
+// never perturbs the paper's I/O counts.
+Status WriteSnapshot(const std::string& path,
+                     const SnapshotManifest& manifest,
+                     const std::string& driver_state, IoStats* stats);
+
+// Reads and validates (magic, version, CRC) the snapshot at `path`.
+// Either output may be null when only validation is wanted.
+Status ReadSnapshot(const std::string& path, SnapshotManifest* manifest,
+                    std::string* driver_state, IoStats* stats);
+
+// Crash-point seam for the kill-torture suite: when installed, the hook
+// is invoked at the named instants of WriteSnapshot so a test child can
+// raise(SIGKILL) exactly mid-checkpoint. Never installed in production.
+enum class SnapshotCrashPoint {
+  kMidTempWrite,    // some but not all payload blocks staged in .tmp
+  kAfterTempWrite,  // .tmp complete + fsync'd, rename not yet issued
+  kAfterRename,     // the new snapshot is published
+};
+void SetSnapshotCrashHook(void (*hook)(SnapshotCrashPoint));
+
+}  // namespace ioscc
+
+#endif  // IOSCC_IO_SNAPSHOT_FILE_H_

@@ -1,10 +1,14 @@
 #include "io/temp_dir.h"
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <string>
 #include <system_error>
 
 namespace ioscc {
@@ -12,6 +16,43 @@ namespace fs = std::filesystem;
 
 namespace {
 std::atomic<uint64_t> g_dir_counter{0};
+
+// Parses a TempDir directory name of the shape `ioscc-*.<pid>.<id>`;
+// returns false (leaving *pid untouched) for anything else.
+bool ParseScratchDirName(const std::string& name, pid_t* pid) {
+  if (name.rfind("ioscc", 0) != 0) return false;
+  size_t last_dot = name.rfind('.');
+  if (last_dot == std::string::npos || last_dot + 1 >= name.size()) {
+    return false;
+  }
+  size_t pid_dot = name.rfind('.', last_dot - 1);
+  if (pid_dot == std::string::npos || pid_dot + 1 >= last_dot) return false;
+  uint64_t pid_value = 0;
+  for (size_t i = pid_dot + 1; i < last_dot; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    pid_value = pid_value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  for (size_t i = last_dot + 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  *pid = static_cast<pid_t>(pid_value);
+  return true;
+}
+
+bool ProcessAlive(pid_t pid) {
+  if (pid <= 0) return false;
+  // Signal 0 probes existence without delivering anything; EPERM means
+  // the process exists but belongs to someone else — treat as alive.
+  return ::kill(pid, 0) == 0 || errno == EPERM;
+}
+
+bool OlderThan(const fs::path& path, uint64_t max_age_seconds) {
+  std::error_code ec;
+  fs::file_time_type mtime = fs::last_write_time(path, ec);
+  if (ec) return false;  // unreadable: leave it alone
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  return age >= std::chrono::seconds(max_age_seconds);
+}
 }  // namespace
 
 Status TempDir::Create(const std::string& prefix,
@@ -37,6 +78,7 @@ Status TempDir::Create(const std::string& prefix,
 }
 
 TempDir::~TempDir() {
+  if (keep_) return;
   std::error_code ec;
   fs::remove_all(path_, ec);  // best effort
 }
@@ -47,6 +89,57 @@ std::string TempDir::FilePath(const std::string& name) const {
 
 std::string TempDir::NewFilePath(const std::string& suffix) {
   return FilePath("f" + std::to_string(counter_++) + suffix);
+}
+
+Status SweepStaleScratch(const std::string& root, uint64_t max_age_seconds,
+                         bool dry_run, ScratchSweepStats* stats) {
+  *stats = ScratchSweepStats();
+  std::error_code ec;
+  fs::directory_iterator it(root, ec);
+  if (ec) {
+    return Status::IoError("cannot scan scratch root " + root + ": " +
+                           ec.message());
+  }
+  for (const fs::directory_entry& entry : it) {
+    const fs::path& path = entry.path();
+    const std::string name = path.filename().string();
+    std::error_code type_ec;
+    if (entry.is_directory(type_ec) && !type_ec) {
+      pid_t pid = 0;
+      if (!ParseScratchDirName(name, &pid)) continue;
+      if (ProcessAlive(pid)) {
+        ++stats->skipped_live;
+        continue;
+      }
+      if (!OlderThan(path, max_age_seconds)) {
+        ++stats->skipped_young;
+        continue;
+      }
+      if (!dry_run) {
+        std::error_code rm_ec;
+        fs::remove_all(path, rm_ec);
+        if (rm_ec) continue;  // vanished or busy; next sweep retries
+      }
+      ++stats->dirs_removed;
+    } else if (entry.is_regular_file(type_ec) && !type_ec) {
+      // Write-temp-then-rename leftovers (e.g. "ckpt-000003.snap.tmp")
+      // carry no owner pid, so the age gate alone decides.
+      if (name.size() < 4 || name.rfind(".tmp") != name.size() - 4) {
+        continue;
+      }
+      if (!OlderThan(path, max_age_seconds)) {
+        ++stats->skipped_young;
+        continue;
+      }
+      if (!dry_run) {
+        std::error_code rm_ec;
+        fs::remove(path, rm_ec);
+        if (rm_ec) continue;
+      }
+      ++stats->files_removed;
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace ioscc

@@ -26,6 +26,12 @@ class TempDir {
 
   const std::string& path() const { return path_; }
 
+  // Disowns the directory: the destructor leaves it on disk. Used when a
+  // checkpoint snapshot references files inside it — the snapshots of a
+  // failed/interrupted run outlive the process, so the scratch they point
+  // at must too. SweepStaleScratch reaps it once the owner pid is gone.
+  void KeepOnExit() { keep_ = true; }
+
   // Returns an absolute path for a file named `name` inside the directory.
   std::string FilePath(const std::string& name) const;
 
@@ -37,7 +43,30 @@ class TempDir {
 
   std::string path_;
   uint64_t counter_ = 0;
+  bool keep_ = false;
 };
+
+// Outcome of one SweepStaleScratch pass.
+struct ScratchSweepStats {
+  uint64_t dirs_removed = 0;   // orphaned TempDir trees removed (or counted)
+  uint64_t files_removed = 0;  // stray *.tmp staging files removed
+  uint64_t skipped_live = 0;   // owner process is still running
+  uint64_t skipped_young = 0;  // newer than the age gate
+};
+
+// Stale-scratch reaper. TempDir cleans up via its destructor, so a
+// SIGKILL (or the crash-torture harness) strands `ioscc-*.<pid>.<id>`
+// trees and `ckpt-*.snap.tmp` staging files under the scratch root.
+// This removes, directly under `root`:
+//   * directories named `ioscc-<anything>.<pid>.<id>` whose owning pid
+//     is no longer alive (kill(pid, 0) => ESRCH), and
+//   * regular files ending in ".tmp" (write-temp-then-rename leftovers),
+// both only when older than `max_age_seconds` — the age gate keeps a
+// concurrent live run's freshly created scratch safe even if pid reuse
+// makes the liveness probe lie. `dry_run` counts without deleting.
+// Anything not matching those shapes is never touched.
+Status SweepStaleScratch(const std::string& root, uint64_t max_age_seconds,
+                         bool dry_run, ScratchSweepStats* stats);
 
 }  // namespace ioscc
 

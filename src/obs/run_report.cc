@@ -102,6 +102,26 @@ std::string RunReportEntryToJson(const RunReportEntry& entry) {
     json.Key("fires").UInt(entry.watchdog_fires);
     json.EndObject();
   }
+  if (entry.has_checkpoint) {
+    json.Key("checkpoint").BeginObject();
+    json.Key("written").UInt(entry.checkpoints_written);
+    json.Key("write_failures").UInt(entry.checkpoint_write_failures);
+    json.Key("degraded").Bool(entry.checkpoint_degraded);
+    json.Key("io");
+    WriteIoStats(&json, entry.checkpoint_io);
+    // The resume side is its own ledger entry: replayed-state reads,
+    // reported apart from the run ledger so the latter stays equal to an
+    // uninterrupted run's.
+    json.Key("resume").BeginObject();
+    json.Key("resumed").Bool(entry.resumed);
+    json.Key("seq").UInt(entry.resume_seq);
+    json.Key("iteration").UInt(entry.resume_iteration);
+    json.Key("fallbacks").UInt(entry.resume_fallbacks);
+    json.Key("io");
+    WriteIoStats(&json, entry.resume_io);
+    json.EndObject();
+    json.EndObject();
+  }
   // Stride-based downsampling: emit every stride-th record (always
   // including the last) so a million-iteration run stays bounded at
   // kMaxPerIterationEntries. stride == 1 — the exact array — whenever the

@@ -85,6 +85,21 @@ struct RunReportEntry {
   // Stall-watchdog outcome for this run (obs/telemetry.h): how many times
   // it fired; emitted as a "watchdog" object when nonzero.
   uint64_t watchdog_fires = 0;
+
+  // Checkpoint/resume outcome (harness/checkpoint.h AttachCheckpointInfo);
+  // emitted as a "checkpoint" object when has_checkpoint is set. The two
+  // IoStats are the side ledgers the checkpoint subsystem keeps apart from
+  // the run ledger: snapshot writes, and resume replay reads.
+  bool has_checkpoint = false;
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_write_failures = 0;
+  bool checkpoint_degraded = false;
+  IoStats checkpoint_io;
+  bool resumed = false;
+  uint64_t resume_seq = 0;
+  uint64_t resume_iteration = 0;
+  uint64_t resume_fallbacks = 0;
+  IoStats resume_io;
 };
 
 // Downsampling cap for the per_iteration array (see full_iterations).

@@ -27,6 +27,7 @@ void WriteSample(JsonWriter* json, const TelemetrySample& s) {
   json->Key("prefetched_blocks").UInt(s.prefetched_blocks);
   json->Key("read_stall_micros").UInt(s.read_stall_micros);
   json->Key("prefetch_depth").UInt(s.prefetch_depth);
+  json->Key("checkpoints").UInt(s.checkpoints);
   json->Key("pool_queue_depth").UInt(s.pool_queue_depth);
   json->Key("max_rss_kb").UInt(s.max_rss_kb);
   json->Key("iteration").UInt(s.iteration);
@@ -158,6 +159,7 @@ TelemetrySample Telemetry::SampleNow() {
   s.prefetched_blocks = io.prefetched_blocks;
   s.read_stall_micros = io.read_stall_micros;
   s.prefetch_depth = io.prefetch_depth_used;
+  s.checkpoints = io.checkpoints;
   if (ThreadPool* pool = GetIoThreadPool()) {
     s.pool_queue_depth = pool->queue_depth();
   }

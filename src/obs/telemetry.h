@@ -109,6 +109,9 @@ struct TelemetrySample {
   uint64_t prefetched_blocks = 0;
   uint64_t read_stall_micros = 0;
   uint64_t prefetch_depth = 0;
+  // Snapshots published so far (harness/checkpoint.cc bumps the counter);
+  // a step in this series marks a checkpoint between two samples.
+  uint64_t checkpoints = 0;
   uint64_t pool_queue_depth = 0;
   uint64_t max_rss_kb = 0;
   // Driver gauges (TelemetryOnIteration).

@@ -1,0 +1,167 @@
+// The driver-side seam of the checkpoint subsystem.
+//
+// The five semi-external drivers call AtBoundary() at every safe point —
+// the end of a full pass over the edge stream, where the scanner is
+// about to be Reset() and the in-memory state (tree / union-find /
+// labelling arrays) is consistent — handing over a closure that
+// serializes that state. What happens with it (cadence, snapshot files,
+// pruning, metrics) is the harness Checkpointer's business
+// (harness/checkpoint.h); the drivers only know this interface, which
+// keeps the scc layer free of any dependency on harness.
+//
+// Resume contract: ResumeState() yields the serialized state exactly
+// once; the driver decodes it, re-opens its scanner on the recorded
+// stream, and reports the I/O of that replay through ChargeResumeIo so
+// the run ledger stays byte-identical to an uninterrupted run (the
+// resume reads live in a separate ledger entry in the report).
+//
+// This header also hosts the RunStats/IoStats blob codecs shared by all
+// driver payloads.
+
+#ifndef IOSCC_SCC_CHECKPOINT_HOOK_H_
+#define IOSCC_SCC_CHECKPOINT_HOOK_H_
+
+#include <functional>
+#include <string>
+
+#include "io/io_stats.h"
+#include "io/temp_dir.h"
+#include "scc/options.h"
+#include "util/blob.h"
+
+namespace ioscc {
+
+class CheckpointHook {
+ public:
+  virtual ~CheckpointHook() = default;
+
+  // Called at a safe boundary; `phase` tags the driver loop ("1p",
+  // "2p.search", ...), `iteration` is the boundary counter used for
+  // cadence, `stream_path` is the edge stream the driver would re-open on
+  // resume (the input, or a rewrite inside the driver's scratch) — it is
+  // recorded in the snapshot manifest so resume can detect a vanished
+  // stream and fall back instead of failing. `encode` serializes the
+  // driver's full state; it is invoked only when this boundary is
+  // actually persisted. Must never fail the run: errors degrade to "no
+  // checkpoint" inside the implementation.
+  virtual void AtBoundary(const char* phase, uint64_t iteration,
+                          const std::string& stream_path,
+                          const std::function<void(BlobWriter*)>& encode) = 0;
+
+  // True when a validated snapshot is available for this run; fills the
+  // phase tag and the serialized driver state. Consumes the state — a
+  // second call returns false.
+  virtual bool ResumeState(std::string* phase, std::string* payload) = 0;
+
+  // Books block I/O performed only because of the resume (scanner
+  // re-open on the recorded stream). The driver subtracts this from its
+  // run ledger; the implementation reports it separately.
+  virtual void ChargeResumeIo(const IoStats& delta) = 0;
+
+  // True when this run has persisted at least one snapshot. Drivers use
+  // it (via ScratchKeepGuard) to decide whether their scratch files may
+  // be referenced by a snapshot that will outlive the run.
+  virtual bool SnapshotOnDisk() const { return false; }
+};
+
+// Keeps a driver's scratch directory on disk when the run exits without
+// success while snapshots exist: those snapshots can reference stream
+// rewrites inside the scratch, and deleting them would make the retained
+// snapshots unresumable. Declare after creating the scratch; set run_ok
+// before the successful return. The abandoned directory is reclaimed by
+// SweepStaleScratch once the owning process is gone.
+struct ScratchKeepGuard {
+  TempDir* scratch = nullptr;
+  const CheckpointHook* hook = nullptr;
+  bool run_ok = false;
+
+  ~ScratchKeepGuard() {
+    if (!run_ok && scratch != nullptr && hook != nullptr &&
+        hook->SnapshotOnDisk()) {
+      scratch->KeepOnExit();
+    }
+  }
+};
+
+// ---- Shared payload codecs ---------------------------------------------
+
+inline void PutIoStats(BlobWriter* w, const IoStats& io) {
+  w->PutU64(io.blocks_read);
+  w->PutU64(io.blocks_written);
+  w->PutU64(io.bytes_read);
+  w->PutU64(io.bytes_written);
+  w->PutU64(io.read_retries);
+  w->PutU64(io.write_retries);
+  w->PutU64(io.physical_blocks_read);
+  w->PutU64(io.cache_hits);
+  w->PutU64(io.prefetch_hits);
+  w->PutU64(io.prefetched_blocks);
+  w->PutU64(io.read_stall_micros);
+  w->PutU64(io.prefetch_depth_used);
+}
+
+inline void GetIoStats(BlobReader* r, IoStats* io) {
+  io->blocks_read = r->GetU64();
+  io->blocks_written = r->GetU64();
+  io->bytes_read = r->GetU64();
+  io->bytes_written = r->GetU64();
+  io->read_retries = r->GetU64();
+  io->write_retries = r->GetU64();
+  io->physical_blocks_read = r->GetU64();
+  io->cache_hits = r->GetU64();
+  io->prefetch_hits = r->GetU64();
+  io->prefetched_blocks = r->GetU64();
+  io->read_stall_micros = r->GetU64();
+  io->prefetch_depth_used = r->GetU64();
+}
+
+// Full-fidelity RunStats, per_iteration included, so a resumed run's
+// report (per-iteration I/O identity and all) matches the uninterrupted
+// one. `seconds` carries the wall time accumulated before the snapshot;
+// drivers add their post-resume timer on top.
+inline void PutRunStats(BlobWriter* w, const RunStats& stats,
+                        double seconds_so_far) {
+  PutIoStats(w, stats.io);
+  w->PutU64(stats.iterations);
+  w->PutU64(stats.search_scans);
+  w->PutU64(stats.nodes_accepted);
+  w->PutU64(stats.nodes_rejected);
+  w->PutU64(stats.pushdowns);
+  w->PutU64(stats.contractions);
+  w->PutDouble(seconds_so_far);
+  w->PutU64(stats.per_iteration.size());
+  for (const IterationStats& it : stats.per_iteration) {
+    w->PutU64(it.nodes_reduced);
+    w->PutU64(it.edges_reduced);
+    w->PutU64(it.live_nodes);
+    w->PutU64(it.live_edges);
+    PutIoStats(w, it.io);
+  }
+}
+
+inline void GetRunStats(BlobReader* r, RunStats* stats,
+                        double* seconds_so_far) {
+  GetIoStats(r, &stats->io);
+  stats->iterations = r->GetU64();
+  stats->search_scans = r->GetU64();
+  stats->nodes_accepted = r->GetU64();
+  stats->nodes_rejected = r->GetU64();
+  stats->pushdowns = r->GetU64();
+  stats->contractions = r->GetU64();
+  *seconds_so_far = r->GetDouble();
+  const uint64_t count = r->GetU64();
+  stats->per_iteration.clear();
+  for (uint64_t i = 0; i < count && r->ok(); ++i) {
+    IterationStats it;
+    it.nodes_reduced = r->GetU64();
+    it.edges_reduced = r->GetU64();
+    it.live_nodes = r->GetU64();
+    it.live_edges = r->GetU64();
+    GetIoStats(r, &it.io);
+    stats->per_iteration.push_back(it);
+  }
+}
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_CHECKPOINT_HOOK_H_

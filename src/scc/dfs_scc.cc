@@ -7,6 +7,7 @@
 #include "io/edge_file.h"
 #include "io/temp_dir.h"
 #include "obs/trace.h"
+#include "scc/checkpoint_hook.h"
 #include "scc/semi_external_dfs.h"
 #include "util/timer.h"
 
@@ -28,40 +29,117 @@ Status DfsScc(const std::string& edge_file,
               RunStats* stats) {
   Timer timer;
   Deadline deadline(options.time_limit_seconds);
+  double seconds_base = 0;
 
   EdgeFileInfo info;
   IOSCC_RETURN_IF_ERROR(ReadEdgeFileInfo(edge_file, &info));
   const NodeId n = static_cast<NodeId>(info.node_count);
 
-  std::vector<NodeId> priority(n);
-  std::iota(priority.begin(), priority.end(), NodeId{0});
-  std::unique_ptr<DfsForest> first_tree;
+  // Snapshot layouts, tagged by phase: "dfs.t1" carries the first tree
+  // fixpoint; "dfs.t2" additionally carries the decreasing postorder and
+  // the reversed-stream path (a scratch file of the dead process, which
+  // SIGKILL leaves behind), letting resume skip tree 1 and the external
+  // reverse entirely — their I/O is already in the restored ledger.
+  CheckpointHook* hook = options.checkpoint;
+  std::unique_ptr<DfsForest> resume_forest;
+  bool resume_updated = true;
+  std::vector<NodeId> resume_post;
+  std::string resume_reversed;
+  bool resume_t2 = false;
+  bool resumed = false;
   {
+    std::string phase, payload;
+    if (hook != nullptr && hook->ResumeState(&phase, &payload) &&
+        (phase == "dfs.t1" || phase == "dfs.t2")) {
+      BlobReader reader(payload);
+      resume_forest = std::make_unique<DfsForest>(DecodeDfsForest(&reader));
+      resume_updated = reader.GetBool();
+      if (phase == "dfs.t2") {
+        reader.GetVec(&resume_post);
+        resume_reversed = reader.GetString();
+        resume_t2 = true;
+      }
+      GetRunStats(&reader, stats, &seconds_base);
+      if (!reader.Done()) {
+        return Status::Corruption("DFS-SCC resume state does not parse");
+      }
+      resumed = true;
+    }
+  }
+
+  std::vector<NodeId> decreasing_post;
+  if (resume_t2) {
+    decreasing_post = std::move(resume_post);
+  } else {
+    std::vector<NodeId> priority(n);
+    std::iota(priority.begin(), priority.end(), NodeId{0});
+    std::unique_ptr<DfsForest> first_tree;
+    DfsTreeCheckpoint ckpt;
+    ckpt.hook = hook;
+    if (resumed) {
+      ckpt.resume_tree = resume_forest.get();
+      ckpt.resume_updated = resume_updated;
+    }
+    if (hook != nullptr) {
+      ckpt.at_boundary = [&](const DfsForest& tree, bool updated) {
+        hook->AtBoundary("dfs.t1", stats->iterations, edge_file,
+                         [&](BlobWriter* w) {
+          EncodeDfsForest(w, tree);
+          w->PutBool(updated);
+          PutRunStats(w, *stats, seconds_base + timer.ElapsedSeconds());
+        });
+      };
+    }
     TraceSpan span("dfs.first_tree", &stats->io);
     IOSCC_RETURN_IF_ERROR(BuildSemiExternalDfsTree(
-        edge_file, priority, options, deadline, stats, &first_tree));
+        edge_file, priority, options, deadline, stats, &first_tree,
+        hook != nullptr ? &ckpt : nullptr));
+    decreasing_post = first_tree->DecreasingPostorder();
+    resume_forest.reset();  // consumed by the first fixpoint (if at all)
   }
-  std::vector<NodeId> decreasing_post = first_tree->DecreasingPostorder();
-  first_tree.reset();
 
   std::unique_ptr<TempDir> scratch;
   IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-dfs", &scratch));
-  const std::string reversed = scratch->NewFilePath(".rev");
-  {
+  ScratchKeepGuard keep_guard{scratch.get(), hook};
+  std::string reversed;
+  if (resume_t2) {
+    reversed = resume_reversed;
+  } else {
+    reversed = scratch->NewFilePath(".rev");
     TraceSpan span("dfs.reverse", &stats->io);
     IOSCC_RETURN_IF_ERROR(ReverseEdgeFile(edge_file, reversed, &stats->io));
   }
 
   std::unique_ptr<DfsForest> second_tree;
   {
+    DfsTreeCheckpoint ckpt;
+    ckpt.hook = hook;
+    if (resume_t2) {
+      ckpt.resume_tree = resume_forest.get();
+      ckpt.resume_updated = resume_updated;
+    }
+    if (hook != nullptr) {
+      ckpt.at_boundary = [&](const DfsForest& tree, bool updated) {
+        hook->AtBoundary("dfs.t2", stats->iterations, reversed,
+                         [&](BlobWriter* w) {
+          EncodeDfsForest(w, tree);
+          w->PutBool(updated);
+          w->PutVec(decreasing_post);
+          w->PutString(reversed);
+          PutRunStats(w, *stats, seconds_base + timer.ElapsedSeconds());
+        });
+      };
+    }
     TraceSpan span("dfs.second_tree", &stats->io);
     IOSCC_RETURN_IF_ERROR(BuildSemiExternalDfsTree(
-        reversed, decreasing_post, options, deadline, stats, &second_tree));
+        reversed, decreasing_post, options, deadline, stats, &second_tree,
+        hook != nullptr ? &ckpt : nullptr));
   }
 
   second_tree->LabelRootSubtrees(&result->component);
   result->Normalize();
-  stats->seconds = timer.ElapsedSeconds();
+  stats->seconds = seconds_base + timer.ElapsedSeconds();
+  keep_guard.run_ok = true;
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #include "io/edge_file.h"
 #include "io/temp_dir.h"
 #include "obs/telemetry.h"
+#include "scc/checkpoint_hook.h"
 #include "scc/tarjan.h"
 #include "scc/union_find.h"
 #include "util/logging.h"
@@ -61,22 +62,54 @@ Status EmScc(const std::string& edge_file, const SemiExternalOptions& options,
              SccResult* result, RunStats* stats) {
   Timer timer;
   Deadline deadline(options.time_limit_seconds);
+  double seconds_base = 0;
 
   std::unique_ptr<TempDir> scratch;
   IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-em", &scratch));
+  ScratchKeepGuard keep_guard{scratch.get(), options.checkpoint};
 
   std::unique_ptr<EdgeScanner> scanner;
-  IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(edge_file, &stats->io, &scanner));
-  const NodeId n = static_cast<NodeId>(scanner->node_count());
-  UnionFind uf(n);
+  NodeId n = 0;
+  UnionFind uf;
+  std::string current = edge_file;
+  uint64_t live_edges = 0;
+
+  // EM's boundary sits at the very bottom of the pass loop, after the
+  // rewritten stream has been published and re-opened, so the snapshot
+  // references a complete scratch file (which SIGKILL leaves behind in
+  // the dead process's TempDir).
+  std::string resume_phase, resume_payload;
+  const bool resumed =
+      options.checkpoint != nullptr &&
+      options.checkpoint->ResumeState(&resume_phase, &resume_payload) &&
+      resume_phase == "em";
+  if (resumed) {
+    BlobReader reader(resume_payload);
+    n = reader.GetU32();
+    uf.DecodeFrom(&reader);
+    live_edges = reader.GetU64();
+    current = reader.GetString();
+    GetRunStats(&reader, stats, &seconds_base);
+    if (!reader.Done()) {
+      return Status::Corruption("EM-SCC resume state does not parse");
+    }
+    IoStats before_resume = stats->io;
+    IOSCC_RETURN_IF_ERROR(
+        EdgeScanner::Open(current, &stats->io, &scanner));
+    options.checkpoint->ChargeResumeIo(stats->io - before_resume);
+    stats->io = before_resume;
+  } else {
+    IOSCC_RETURN_IF_ERROR(
+        EdgeScanner::Open(edge_file, &stats->io, &scanner));
+    n = static_cast<NodeId>(scanner->node_count());
+    uf.Reset(n);
+    live_edges = scanner->edge_count();
+  }
 
   const size_t chunk_capacity = std::max<size_t>(
       1024, options.memory_budget_bytes / sizeof(Edge));
   const uint64_t max_iterations =
       options.max_iterations > 0 ? options.max_iterations : 64;
-
-  std::string current = edge_file;
-  uint64_t live_edges = scanner->edge_count();
 
   while (true) {
     if (deadline.Expired()) {
@@ -170,12 +203,23 @@ Status EmScc(const std::string& edge_file, const SemiExternalOptions& options,
     current = next_path;
     scanner.reset();
     IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(current, &stats->io, &scanner));
+    if (options.checkpoint != nullptr) {
+      options.checkpoint->AtBoundary(
+          "em", stats->iterations, current, [&](BlobWriter* w) {
+            w->PutU32(n);
+            uf.EncodeTo(w);
+            w->PutU64(live_edges);
+            w->PutString(current);
+            PutRunStats(w, *stats, seconds_base + timer.ElapsedSeconds());
+          });
+    }
   }
 
   result->component.resize(n);
   for (NodeId v = 0; v < n; ++v) result->component[v] = uf.Find(v);
   result->Normalize();
-  stats->seconds = timer.ElapsedSeconds();
+  stats->seconds = seconds_base + timer.ElapsedSeconds();
+  keep_guard.run_ok = true;
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #include "io/temp_dir.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "scc/checkpoint_hook.h"
 #include "scc/pass_metrics.h"
 #include "scc/spanning_tree.h"
 #include "scc/union_find.h"
@@ -62,6 +63,8 @@ class OnePhaseRunner {
   Status RejectFrozenScan(RejectBounds* bounds);
   void ApplyRejection(const RejectBounds& bounds);
   uint64_t ContractBackward(NodeId desc_rep, NodeId anc_rep);
+  void EncodeState(BlobWriter* w, bool updated, double seconds) const;
+  bool DecodeState(BlobReader* r, bool* updated);
 
   const std::string input_path_;
   const SemiExternalOptions& options_;
@@ -85,7 +88,40 @@ class OnePhaseRunner {
   uint64_t rejected_this_iter_ = 0;
   RejectBounds loose_bounds_;       // accumulated during mutating scans
   Deadline deadline_;
+  double seconds_base_ = 0;         // wall time restored from a snapshot
 };
+
+// Everything the loop needs to continue from a pass boundary. Per-pass
+// scratch (loose_bounds_, merged_this_iter_, ...) is reset at the top of
+// each pass and deliberately not saved; tau_abs_ and the iteration cap
+// are recomputed deterministically from the options.
+void OnePhaseRunner::EncodeState(BlobWriter* w, bool updated,
+                                 double seconds) const {
+  w->PutU32(n_);
+  tree_->EncodeTo(w);
+  uf_->EncodeTo(w);
+  w->PutBoolVec(removed_);
+  w->PutBool(pending_rewrite_);
+  w->PutU64(live_edges_);
+  w->PutString(current_path_);
+  w->PutBool(updated);
+  PutRunStats(w, *stats_, seconds);
+}
+
+bool OnePhaseRunner::DecodeState(BlobReader* r, bool* updated) {
+  n_ = r->GetU32();
+  tree_ = std::make_unique<SpanningTree>(0);
+  tree_->DecodeFrom(r);
+  uf_ = std::make_unique<UnionFind>(0);
+  uf_->DecodeFrom(r);
+  r->GetBoolVec(&removed_);
+  pending_rewrite_ = r->GetBool();
+  live_edges_ = r->GetU64();
+  current_path_ = r->GetString();
+  *updated = r->GetBool();
+  GetRunStats(r, stats_, &seconds_base_);
+  return r->Done();
+}
 
 uint64_t OnePhaseRunner::ContractBackward(NodeId desc_rep, NodeId anc_rep) {
   scratch_path_.clear();
@@ -201,20 +237,45 @@ Status OnePhaseRunner::Run() {
   Timer timer;
   deadline_ = Deadline(options_.time_limit_seconds);
 
+  IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-1p", &scratch_));
+  ScratchKeepGuard keep_guard{scratch_.get(), options_.checkpoint};
+
+  bool updated = true;
+  bool resumed = false;
+  std::string resume_phase, resume_payload;
+  if (options_.checkpoint != nullptr &&
+      options_.checkpoint->ResumeState(&resume_phase, &resume_payload) &&
+      resume_phase == "1p") {
+    BlobReader reader(resume_payload);
+    if (!DecodeState(&reader, &updated)) {
+      return Status::Corruption("1P-SCC resume state does not parse");
+    }
+    // Re-open the stream the snapshot pointed at (possibly a rewrite in
+    // the dead process's scratch dir, which SIGKILL leaves behind). The
+    // open is replay work, booked to the resume ledger so the run ledger
+    // ends byte-identical to the uninterrupted run.
+    IoStats before_resume = stats_->io;
+    IOSCC_RETURN_IF_ERROR(
+        EdgeScanner::Open(current_path_, &stats_->io, &scanner_));
+    options_.checkpoint->ChargeResumeIo(stats_->io - before_resume);
+    stats_->io = before_resume;
+    resumed = true;
+  }
+
   // Baseline for per-iteration I/O deltas; the first iteration also
   // absorbs the setup I/O below so the deltas sum to the run total.
   IoStats io_mark = stats_->io;
 
-  IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-1p", &scratch_));
-  current_path_ = input_path_;
-  IOSCC_RETURN_IF_ERROR(
-      EdgeScanner::Open(current_path_, &stats_->io, &scanner_));
-  n_ = static_cast<NodeId>(scanner_->node_count());
-  live_edges_ = scanner_->edge_count();
-
-  tree_ = std::make_unique<SpanningTree>(n_);
-  uf_ = std::make_unique<UnionFind>(n_ + 1);
-  removed_.assign(n_, false);
+  if (!resumed) {
+    current_path_ = input_path_;
+    IOSCC_RETURN_IF_ERROR(
+        EdgeScanner::Open(current_path_, &stats_->io, &scanner_));
+    n_ = static_cast<NodeId>(scanner_->node_count());
+    live_edges_ = scanner_->edge_count();
+    tree_ = std::make_unique<SpanningTree>(n_);
+    uf_ = std::make_unique<UnionFind>(n_ + 1);
+    removed_.assign(n_, false);
+  }
   tau_abs_ = options_.tau_fraction < 0
                  ? 0
                  : std::max<uint64_t>(
@@ -225,7 +286,6 @@ Status OnePhaseRunner::Run() {
       options_.max_iterations > 0 ? options_.max_iterations
                                   : static_cast<uint64_t>(n_) + 16;
 
-  bool updated = true;
   while (updated) {
     if (stats_->iterations >= max_iterations) {
       return Status::Incomplete("1P-SCC exceeded iteration cap");
@@ -274,6 +334,13 @@ Status OnePhaseRunner::Run() {
     stats_->per_iteration.push_back(iter_stats);
     TelemetryOnIteration(stats_->iterations, iter_stats.live_nodes,
                          iter_stats.live_edges);
+    if (options_.checkpoint != nullptr) {
+      options_.checkpoint->AtBoundary(
+          "1p", stats_->iterations, current_path_, [&](BlobWriter* w) {
+            EncodeState(w, updated,
+                        seconds_base_ + timer.ElapsedSeconds());
+          });
+    }
     if (options_.progress &&
         !options_.progress(stats_->iterations, iter_stats)) {
       return Status::Incomplete("1P-SCC cancelled by progress callback");
@@ -288,7 +355,8 @@ Status OnePhaseRunner::Run() {
   result_->component.resize(n_);
   for (NodeId v = 0; v < n_; ++v) result_->component[v] = uf_->Find(v);
   result_->Normalize();
-  stats_->seconds = timer.ElapsedSeconds();
+  stats_->seconds = seconds_base_ + timer.ElapsedSeconds();
+  keep_guard.run_ok = true;
   return Status::OK();
 }
 

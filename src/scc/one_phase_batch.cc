@@ -9,6 +9,7 @@
 #include "io/temp_dir.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "scc/checkpoint_hook.h"
 #include "scc/kosaraju.h"
 #include "scc/pass_metrics.h"
 #include "scc/spanning_tree.h"
@@ -36,6 +37,8 @@ class OnePhaseBatchRunner {
   Status Iterate(bool* updated);
   void ProcessBatch(std::vector<Edge>* batch, bool* updated);
   Status RejectFrozenScan();
+  void EncodeState(BlobWriter* w, bool updated, double seconds) const;
+  bool DecodeState(BlobReader* r, bool* updated);
 
   const std::string input_path_;
   const SemiExternalOptions& options_;
@@ -58,7 +61,38 @@ class OnePhaseBatchRunner {
   uint64_t rejected_this_iter_ = 0;
   size_t batch_capacity_ = 0;
   Deadline deadline_;
+  double seconds_base_ = 0;         // wall time restored from a snapshot
 };
+
+// Same boundary-state layout as 1P (one_phase.cc): tau_abs_ and
+// batch_capacity_ are recomputed from the options on resume.
+void OnePhaseBatchRunner::EncodeState(BlobWriter* w, bool updated,
+                                      double seconds) const {
+  w->PutU32(n_);
+  tree_->EncodeTo(w);
+  uf_->EncodeTo(w);
+  w->PutBoolVec(removed_);
+  w->PutBool(pending_rewrite_);
+  w->PutU64(live_edges_);
+  w->PutString(current_path_);
+  w->PutBool(updated);
+  PutRunStats(w, *stats_, seconds);
+}
+
+bool OnePhaseBatchRunner::DecodeState(BlobReader* r, bool* updated) {
+  n_ = r->GetU32();
+  tree_ = std::make_unique<SpanningTree>(0);
+  tree_->DecodeFrom(r);
+  uf_ = std::make_unique<UnionFind>(0);
+  uf_->DecodeFrom(r);
+  r->GetBoolVec(&removed_);
+  pending_rewrite_ = r->GetBool();
+  live_edges_ = r->GetU64();
+  current_path_ = r->GetString();
+  *updated = r->GetBool();
+  GetRunStats(r, stats_, &seconds_base_);
+  return r->Done();
+}
 
 void OnePhaseBatchRunner::ProcessBatch(std::vector<Edge>* batch,
                                        bool* updated) {
@@ -264,20 +298,43 @@ Status OnePhaseBatchRunner::Run() {
   Timer timer;
   deadline_ = Deadline(options_.time_limit_seconds);
 
+  IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-1pb", &scratch_));
+  ScratchKeepGuard keep_guard{scratch_.get(), options_.checkpoint};
+
+  bool updated = true;
+  bool resumed = false;
+  std::string resume_phase, resume_payload;
+  if (options_.checkpoint != nullptr &&
+      options_.checkpoint->ResumeState(&resume_phase, &resume_payload) &&
+      resume_phase == "1pb") {
+    BlobReader reader(resume_payload);
+    if (!DecodeState(&reader, &updated)) {
+      return Status::Corruption("1PB-SCC resume state does not parse");
+    }
+    // Replay-only work: the stream re-open is booked to the resume
+    // ledger so the run ledger matches the uninterrupted run.
+    IoStats before_resume = stats_->io;
+    IOSCC_RETURN_IF_ERROR(
+        EdgeScanner::Open(current_path_, &stats_->io, &scanner_));
+    options_.checkpoint->ChargeResumeIo(stats_->io - before_resume);
+    stats_->io = before_resume;
+    resumed = true;
+  }
+
   // Baseline for per-iteration I/O deltas; the first iteration also
   // absorbs the setup I/O below so the deltas sum to the run total.
   IoStats io_mark = stats_->io;
 
-  IOSCC_RETURN_IF_ERROR(TempDir::Create("ioscc-1pb", &scratch_));
-  current_path_ = input_path_;
-  IOSCC_RETURN_IF_ERROR(
-      EdgeScanner::Open(current_path_, &stats_->io, &scanner_));
-  n_ = static_cast<NodeId>(scanner_->node_count());
-  live_edges_ = scanner_->edge_count();
-
-  tree_ = std::make_unique<SpanningTree>(n_);
-  uf_ = std::make_unique<UnionFind>(n_ + 1);
-  removed_.assign(n_, false);
+  if (!resumed) {
+    current_path_ = input_path_;
+    IOSCC_RETURN_IF_ERROR(
+        EdgeScanner::Open(current_path_, &stats_->io, &scanner_));
+    n_ = static_cast<NodeId>(scanner_->node_count());
+    live_edges_ = scanner_->edge_count();
+    tree_ = std::make_unique<SpanningTree>(n_);
+    uf_ = std::make_unique<UnionFind>(n_ + 1);
+    removed_.assign(n_, false);
+  }
   tau_abs_ = options_.tau_fraction < 0
                  ? 0
                  : std::max<uint64_t>(
@@ -290,7 +347,6 @@ Status OnePhaseBatchRunner::Run() {
       options_.max_iterations > 0 ? options_.max_iterations
                                   : static_cast<uint64_t>(n_) + 16;
 
-  bool updated = true;
   while (updated) {
     if (stats_->iterations >= max_iterations) {
       return Status::Incomplete("1PB-SCC exceeded iteration cap");
@@ -332,6 +388,13 @@ Status OnePhaseBatchRunner::Run() {
     stats_->per_iteration.push_back(iter_stats);
     TelemetryOnIteration(stats_->iterations, iter_stats.live_nodes,
                          iter_stats.live_edges);
+    if (options_.checkpoint != nullptr) {
+      options_.checkpoint->AtBoundary(
+          "1pb", stats_->iterations, current_path_, [&](BlobWriter* w) {
+            EncodeState(w, updated,
+                        seconds_base_ + timer.ElapsedSeconds());
+          });
+    }
     if (options_.progress &&
         !options_.progress(stats_->iterations, iter_stats)) {
       return Status::Incomplete("1PB-SCC cancelled by progress callback");
@@ -346,7 +409,8 @@ Status OnePhaseBatchRunner::Run() {
   result_->component.resize(n_);
   for (NodeId v = 0; v < n_; ++v) result_->component[v] = uf_->Find(v);
   result_->Normalize();
-  stats_->seconds = timer.ElapsedSeconds();
+  stats_->seconds = seconds_base_ + timer.ElapsedSeconds();
+  keep_guard.run_ok = true;
   return Status::OK();
 }
 

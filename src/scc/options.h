@@ -12,6 +12,8 @@
 
 namespace ioscc {
 
+class CheckpointHook;  // scc/checkpoint_hook.h
+
 // Per-iteration reduction record (feeds the paper's Table 1).
 struct IterationStats {
   uint64_t nodes_reduced = 0;   // contracted away + rejected this iteration
@@ -78,6 +80,12 @@ struct SemiExternalOptions {
   // use this for progress reporting and cooperative cancellation.
   std::function<bool(uint64_t iteration, const IterationStats& stats)>
       progress;
+
+  // When set, the driver offers its state at every safe boundary and asks
+  // it for resume state on startup (scc/checkpoint_hook.h). Not owned;
+  // null (the default) leaves the run byte-identical to a build without
+  // the checkpoint subsystem.
+  CheckpointHook* checkpoint = nullptr;
 };
 
 struct RunStats {

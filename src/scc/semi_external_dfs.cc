@@ -5,6 +5,7 @@
 #include "io/edge_file.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "scc/checkpoint_hook.h"
 #include "util/logging.h"
 
 namespace ioscc {
@@ -127,17 +128,34 @@ Status BuildSemiExternalDfsTree(const std::string& path,
                                 const std::vector<NodeId>& priority,
                                 const SemiExternalOptions& options,
                                 const Deadline& deadline, RunStats* stats,
-                                std::unique_ptr<DfsForest>* out) {
+                                std::unique_ptr<DfsForest>* out,
+                                const DfsTreeCheckpoint* ckpt) {
+  const bool resuming = ckpt != nullptr && ckpt->resume_tree != nullptr;
   std::unique_ptr<EdgeScanner> scanner;
+  IoStats before_open = stats->io;
   IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(path, &stats->io, &scanner));
+  if (resuming && ckpt->hook != nullptr) {
+    // The restored ledger already contains the original open; this one is
+    // replay work and goes to the resume ledger.
+    ckpt->hook->ChargeResumeIo(stats->io - before_open);
+    stats->io = before_open;
+  }
   const NodeId n = static_cast<NodeId>(scanner->node_count());
   if (priority.size() != n) {
     return Status::InvalidArgument("priority must cover every node");
   }
   auto tree = std::make_unique<DfsForest>(n);
-  for (NodeId v : priority) {
-    tree->parent[v] = n;
-    tree->children[n].push_back(v);
+  if (resuming) {
+    *tree = *ckpt->resume_tree;
+    if (tree->n != n) {
+      return Status::Corruption(
+          "DFS resume tree does not match the stream's node count");
+    }
+  } else {
+    for (NodeId v : priority) {
+      tree->parent[v] = n;
+      tree->children[n].push_back(v);
+    }
   }
 
   const size_t batch_capacity = std::max<size_t>(
@@ -147,7 +165,7 @@ Status BuildSemiExternalDfsTree(const std::string& path,
                                  : static_cast<uint64_t>(n) + 16;
   uint64_t iterations = 0;
   IoStats io_mark = stats->io;
-  bool updated = true;
+  bool updated = resuming ? ckpt->resume_updated : true;
   while (updated) {
     if (iterations >= max_iterations) {
       return Status::Incomplete("DFS-Tree exceeded iteration cap");
@@ -193,6 +211,9 @@ Status BuildSemiExternalDfsTree(const std::string& path,
     stats->per_iteration.push_back(iter_stats);
     TelemetryOnIteration(stats->iterations, iter_stats.live_nodes,
                          iter_stats.live_edges);
+    if (ckpt != nullptr && ckpt->at_boundary) {
+      ckpt->at_boundary(*tree, updated);
+    }
     if (options.progress &&
         !options.progress(stats->iterations, iter_stats)) {
       return Status::Incomplete(

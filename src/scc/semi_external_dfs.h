@@ -16,12 +16,14 @@
 #ifndef IOSCC_SCC_SEMI_EXTERNAL_DFS_H_
 #define IOSCC_SCC_SEMI_EXTERNAL_DFS_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/types.h"
 #include "scc/options.h"
+#include "util/blob.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -73,16 +75,54 @@ struct DfsForest {
   void LabelRootSubtrees(std::vector<NodeId>* component) const;
 };
 
+// Blob codec for a forest (checkpoint payloads). Children order is the
+// DFS visit order and is preserved verbatim.
+inline void EncodeDfsForest(BlobWriter* w, const DfsForest& f) {
+  w->PutU32(f.n);
+  w->PutVec(f.parent);
+  w->PutU64(f.children.size());
+  for (const std::vector<NodeId>& c : f.children) w->PutVec(c);
+}
+
+inline DfsForest DecodeDfsForest(BlobReader* r) {
+  DfsForest f(r->GetU32());
+  r->GetVec(&f.parent);
+  const uint64_t lists = r->GetU64();
+  f.children.clear();
+  for (uint64_t i = 0; i < lists && r->ok(); ++i) {
+    std::vector<NodeId> c;
+    r->GetVec(&c);
+    f.children.push_back(std::move(c));
+  }
+  return f;
+}
+
+// Checkpoint plumbing for one tree fixpoint. The caller (dfs_scc.cc)
+// owns the snapshot layout and phase tags; this struct only tells the
+// fixpoint where to start and whom to call at scan boundaries. The
+// scanner open is charged through `hook` as resume I/O when
+// `resume_tree` is set, because the build opens its scanner internally —
+// restoring the ledger outside would double-charge the header read.
+struct DfsTreeCheckpoint {
+  const DfsForest* resume_tree = nullptr;  // start here instead of the star
+  bool resume_updated = true;              // loop flag at the snapshot
+  CheckpointHook* hook = nullptr;
+  std::function<void(const DfsForest& tree, bool updated)> at_boundary;
+};
+
 // Computes a DFS tree of the graph at `path` with root children in
 // `priority` order (must be a permutation of 0..n-1). Progress counters
 // are accumulated into `stats` (iterations = stream scans; pushdowns =
 // reshaping batches). Returns Incomplete on the iteration cap or
-// deadline.
+// deadline. `ckpt` (optional) resumes the fixpoint from a snapshot and
+// reports scan boundaries; note the per-build iteration cap restarts on
+// resume while stats->iterations continues from the restored ledger.
 Status BuildSemiExternalDfsTree(const std::string& path,
                                 const std::vector<NodeId>& priority,
                                 const SemiExternalOptions& options,
                                 const Deadline& deadline, RunStats* stats,
-                                std::unique_ptr<DfsForest>* out);
+                                std::unique_ptr<DfsForest>* out,
+                                const DfsTreeCheckpoint* ckpt = nullptr);
 
 }  // namespace ioscc
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "util/blob.h"
 
 namespace ioscc {
 
@@ -105,6 +106,27 @@ class SpanningTree {
   // match the parent chain, and every non-root node is reachable from the
   // root. O(n). Returns false (and asserts in debug builds) on violation.
   bool CheckConsistency() const;
+
+  // Checkpoint codec: all five link arrays verbatim. Sibling order is
+  // semantically load-bearing (child traversal order feeds contraction
+  // order), so the structure is restored bit-for-bit rather than rebuilt
+  // from parents.
+  void EncodeTo(BlobWriter* w) const {
+    w->PutU32(n_);
+    w->PutVec(parent_);
+    w->PutVec(depth_);
+    w->PutVec(first_child_);
+    w->PutVec(next_sibling_);
+    w->PutVec(prev_sibling_);
+  }
+  void DecodeFrom(BlobReader* r) {
+    n_ = r->GetU32();
+    r->GetVec(&parent_);
+    r->GetVec(&depth_);
+    r->GetVec(&first_child_);
+    r->GetVec(&next_sibling_);
+    r->GetVec(&prev_sibling_);
+  }
 
  private:
   void Detach(NodeId v);

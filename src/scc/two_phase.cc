@@ -6,6 +6,7 @@
 #include "io/edge_file.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "scc/checkpoint_hook.h"
 #include "scc/drank.h"
 #include "scc/spanning_tree.h"
 #include "scc/union_find.h"
@@ -40,17 +41,63 @@ Status TwoPhaseScc(const std::string& edge_file,
                    RunStats* stats) {
   Timer timer;
   Deadline deadline(options.time_limit_seconds);
+  double seconds_base = 0;
+
+  std::unique_ptr<EdgeScanner> scanner;
+  NodeId n = 0;
+  SpanningTree tree(0);
+  std::vector<NodeId> backedge;
+  UnionFind uf;
+  bool updated = true;       // construction-phase loop flag
+  bool changed = true;       // search-phase loop flag
+  bool resume_search = false;  // snapshot was cut inside Tree-Search
+
+  // Two snapshot layouts, tagged by phase: "2p.cons" carries the tree and
+  // the stored backward edges (drank is recomputed from them); "2p.search"
+  // carries the tree and the union-find. Both end with the RunStats
+  // ledger, so per-pass I/O deltas continue exactly where they stopped.
+  std::string resume_phase, resume_payload;
+  const bool resumed =
+      options.checkpoint != nullptr &&
+      options.checkpoint->ResumeState(&resume_phase, &resume_payload) &&
+      (resume_phase == "2p.cons" || resume_phase == "2p.search");
+  if (resumed) {
+    BlobReader reader(resume_payload);
+    n = reader.GetU32();
+    tree.DecodeFrom(&reader);
+    if (resume_phase == "2p.cons") {
+      reader.GetVec(&backedge);
+      updated = reader.GetBool();
+    } else {
+      uf.DecodeFrom(&reader);
+      changed = reader.GetBool();
+      backedge.assign(n, kInvalidNode);  // unused after construction
+      resume_search = true;
+    }
+    GetRunStats(&reader, stats, &seconds_base);
+    if (!reader.Done()) {
+      return Status::Corruption("2P-SCC resume state does not parse");
+    }
+    // The stream re-open is replay work, booked to the resume ledger so
+    // the run ledger ends byte-identical to the uninterrupted run.
+    IoStats before_resume = stats->io;
+    IOSCC_RETURN_IF_ERROR(
+        EdgeScanner::Open(edge_file, &stats->io, &scanner));
+    options.checkpoint->ChargeResumeIo(stats->io - before_resume);
+    stats->io = before_resume;
+  }
 
   // Baseline for per-pass I/O deltas; the first pass also absorbs the
   // setup I/O (header read) so the deltas sum to the run total.
   IoStats io_mark = stats->io;
 
-  std::unique_ptr<EdgeScanner> scanner;
-  IOSCC_RETURN_IF_ERROR(EdgeScanner::Open(edge_file, &stats->io, &scanner));
-  const NodeId n = static_cast<NodeId>(scanner->node_count());
-
-  SpanningTree tree(n);
-  std::vector<NodeId> backedge(n, kInvalidNode);
+  if (!resumed) {
+    IOSCC_RETURN_IF_ERROR(
+        EdgeScanner::Open(edge_file, &stats->io, &scanner));
+    n = static_cast<NodeId>(scanner->node_count());
+    tree = SpanningTree(n);
+    backedge.assign(n, kInvalidNode);
+  }
   DrankResult dr = ComputeDrank(tree, backedge);
 
   const uint64_t max_iterations =
@@ -59,7 +106,7 @@ Status TwoPhaseScc(const std::string& edge_file,
 
   // ---- Phase 1: Tree-Construction (Algorithm 4) ----
   TraceSpan construction_span("2p.construction", &stats->io);
-  bool updated = true;
+  if (resume_search) updated = false;  // phase 1 already complete
   while (updated) {
     if (stats->iterations >= max_iterations) {
       return Status::Incomplete("2P-SCC construction exceeded " +
@@ -140,6 +187,16 @@ Status TwoPhaseScc(const std::string& edge_file,
     stats->per_iteration.push_back(iter_stats);
     TelemetryOnIteration(stats->iterations, iter_stats.live_nodes,
                          iter_stats.live_edges);
+    if (options.checkpoint != nullptr) {
+      options.checkpoint->AtBoundary(
+          "2p.cons", stats->iterations, edge_file, [&](BlobWriter* w) {
+            w->PutU32(n);
+            tree.EncodeTo(w);
+            w->PutVec(backedge);
+            w->PutBool(updated);
+            PutRunStats(w, *stats, seconds_base + timer.ElapsedSeconds());
+          });
+    }
     if (options.progress &&
         !options.progress(stats->iterations, iter_stats)) {
       return Status::Incomplete("2P-SCC cancelled by progress callback");
@@ -151,16 +208,17 @@ Status TwoPhaseScc(const std::string& edge_file,
 
   // ---- Phase 2: Tree-Search (Algorithm 5) ----
   TraceSpan search_span("2p.search", &stats->io);
-  UnionFind uf(n + 1);
   std::vector<NodeId> scratch;
-  // Stored backward edges of the BR+-Tree are in memory: contract first.
-  for (NodeId v = 0; v < n; ++v) {
-    if (backedge[v] != kInvalidNode) {
-      stats->contractions +=
-          ContractBackward(&tree, &uf, v, backedge[v], &scratch);
+  if (!resume_search) {
+    uf.Reset(n + 1);
+    // Stored backward edges of the BR+-Tree are in memory: contract first.
+    for (NodeId v = 0; v < n; ++v) {
+      if (backedge[v] != kInvalidNode) {
+        stats->contractions +=
+            ContractBackward(&tree, &uf, v, backedge[v], &scratch);
+      }
     }
   }
-  bool changed = true;
   while (changed) {
     if (deadline.Expired()) {
       return Status::Incomplete("2P-SCC hit the time limit");
@@ -198,13 +256,32 @@ Status TwoPhaseScc(const std::string& edge_file,
     // stall watchdog sees a long search phase as forward progress.
     TelemetryOnIteration(stats->iterations + stats->search_scans,
                          iter_stats.live_nodes, iter_stats.live_edges);
+    if (options.checkpoint != nullptr) {
+      options.checkpoint->AtBoundary(
+          "2p.search", stats->iterations + stats->search_scans, edge_file,
+          [&](BlobWriter* w) {
+            w->PutU32(n);
+            tree.EncodeTo(w);
+            uf.EncodeTo(w);
+            w->PutBool(changed);
+            PutRunStats(w, *stats, seconds_base + timer.ElapsedSeconds());
+          });
+    }
+    // Search scans are cancellation boundaries like every other pass —
+    // without this poll a SIGINT during a long search phase could not
+    // wind the run down until the phase finished on its own.
+    if (options.progress &&
+        !options.progress(stats->iterations + stats->search_scans,
+                          iter_stats)) {
+      return Status::Incomplete("2P-SCC cancelled by progress callback");
+    }
   }
   search_span.Close();
 
   result->component.resize(n);
   for (NodeId v = 0; v < n; ++v) result->component[v] = uf.Find(v);
   result->Normalize();
-  stats->seconds = timer.ElapsedSeconds();
+  stats->seconds = seconds_base + timer.ElapsedSeconds();
   return Status::OK();
 }
 

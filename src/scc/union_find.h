@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "util/blob.h"
 
 namespace ioscc {
 
@@ -61,6 +62,18 @@ class UnionFind {
 
   // Size of x's set.
   uint32_t SetSize(NodeId x) { return size_[Find(x)]; }
+
+  // Checkpoint codec: the raw arrays verbatim. Path-halving state is part
+  // of the structure, so a restored instance answers every Find/SetSize
+  // exactly as the original would.
+  void EncodeTo(BlobWriter* w) const {
+    w->PutVec(parent_);
+    w->PutVec(size_);
+  }
+  void DecodeFrom(BlobReader* r) {
+    r->GetVec(&parent_);
+    r->GetVec(&size_);
+  }
 
  private:
   std::vector<NodeId> parent_;

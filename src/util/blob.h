@@ -1,0 +1,152 @@
+// Flat little-endian binary serialization for checkpoint payloads.
+//
+// BlobWriter appends fixed-width scalars, strings and vectors to a byte
+// string; BlobReader walks them back in the same order. There is no
+// per-field tagging — the checkpoint format (io/snapshot_file.h) wraps
+// every blob in a version + whole-payload CRC32C, so a reader only ever
+// sees bytes written by the matching writer version, and the only
+// defense a reader needs is bounds checking: any out-of-range read
+// latches ok() to false and yields zero values from then on, so decoders
+// can run to completion and check ok() once at the end.
+//
+// We only target little-endian hosts (see graph/types.h), so scalars are
+// memcpy'd raw.
+
+#ifndef IOSCC_UTIL_BLOB_H_
+#define IOSCC_UTIL_BLOB_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ioscc {
+
+class BlobWriter {
+ public:
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutBool(bool v) { PutU32(v ? 1 : 0); }
+
+  void PutString(const std::string& s) {
+    PutU64(s.size());
+    PutRaw(s.data(), s.size());
+  }
+
+  template <typename T>
+  void PutVec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "PutVec needs a flat element type");
+    PutU64(v.size());
+    if (!v.empty()) PutRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  // vector<bool> has no contiguous storage; one byte per element keeps
+  // the codec trivial (checkpoints are block-padded anyway).
+  void PutBoolVec(const std::vector<bool>& v) {
+    PutU64(v.size());
+    for (bool b : v) {
+      char byte = b ? 1 : 0;
+      PutRaw(&byte, 1);
+    }
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+
+  std::string buf_;
+};
+
+class BlobReader {
+ public:
+  BlobReader(const void* data, size_t size)
+      : p_(static_cast<const char*>(data)), end_(p_ + size) {}
+  explicit BlobReader(const std::string& data)
+      : BlobReader(data.data(), data.size()) {}
+
+  uint32_t GetU32() {
+    uint32_t v = 0;
+    GetRaw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t GetU64() {
+    uint64_t v = 0;
+    GetRaw(&v, sizeof(v));
+    return v;
+  }
+  double GetDouble() {
+    double v = 0;
+    GetRaw(&v, sizeof(v));
+    return v;
+  }
+  bool GetBool() { return GetU32() != 0; }
+
+  std::string GetString() {
+    uint64_t n = GetU64();
+    if (!CheckAvail(n)) return std::string();
+    std::string s(p_, static_cast<size_t>(n));
+    p_ += n;
+    return s;
+  }
+
+  template <typename T>
+  void GetVec(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "GetVec needs a flat element type");
+    uint64_t n = GetU64();
+    if (!CheckAvail(n * sizeof(T))) {
+      out->clear();
+      return;
+    }
+    out->resize(static_cast<size_t>(n));
+    if (n > 0) {
+      std::memcpy(out->data(), p_, static_cast<size_t>(n) * sizeof(T));
+      p_ += n * sizeof(T);
+    }
+  }
+
+  void GetBoolVec(std::vector<bool>* out) {
+    uint64_t n = GetU64();
+    if (!CheckAvail(n)) {
+      out->clear();
+      return;
+    }
+    out->assign(static_cast<size_t>(n), false);
+    for (uint64_t i = 0; i < n; ++i) (*out)[i] = *p_++ != 0;
+  }
+
+  // False once any read ran past the end; all reads after that return
+  // zero values.
+  bool ok() const { return ok_; }
+  // All bytes consumed and nothing overran.
+  bool Done() const { return ok_ && p_ == end_; }
+
+ private:
+  bool CheckAvail(uint64_t n) {
+    if (!ok_ || n > static_cast<uint64_t>(end_ - p_)) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  void GetRaw(void* out, size_t n) {
+    if (!CheckAvail(n)) return;
+    std::memcpy(out, p_, n);
+    p_ += n;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace ioscc
+
+#endif  // IOSCC_UTIL_BLOB_H_

@@ -1,0 +1,33 @@
+#include "util/signals.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace ioscc {
+namespace {
+
+std::atomic<int> g_signal_requested{0};
+
+void RecordSignal(int sig) {
+  g_signal_requested.store(sig, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallGracefulSignalHandlers() {
+  std::signal(SIGINT, RecordSignal);
+  std::signal(SIGTERM, RecordSignal);
+}
+
+int SignalRequested() {
+  return g_signal_requested.load(std::memory_order_relaxed);
+}
+
+int GracefulExitCode() {
+  const int sig = SignalRequested();
+  return sig == 0 ? 0 : 128 + sig;
+}
+
+void SetSignalRequestedForTest(int sig) { RecordSignal(sig); }
+
+}  // namespace ioscc

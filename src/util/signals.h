@@ -1,0 +1,32 @@
+// Graceful SIGINT/SIGTERM handling for long-running binaries.
+//
+// The handler only records the signal; the work of stopping is
+// cooperative. harness/runner.cc checks SignalRequested() in the
+// progress callback it wraps around every driver loop, so a Ctrl-C stops
+// the run at the next pass boundary (after the Checkpointer's forced
+// final snapshot, when checkpointing is enabled) instead of mid-write.
+// Binaries then flush their report sink / telemetry ring and exit with
+// GracefulExitCode() — the conventional 128 + signal, distinct from both
+// success and ordinary failure.
+
+#ifndef IOSCC_UTIL_SIGNALS_H_
+#define IOSCC_UTIL_SIGNALS_H_
+
+namespace ioscc {
+
+// Installs the SIGINT/SIGTERM recorder. Idempotent; call once at startup.
+void InstallGracefulSignalHandlers();
+
+// The last graceful-stop signal received, or 0. Async-signal-safe to set,
+// cheap to poll from driver loops.
+int SignalRequested();
+
+// 128 + signal when a graceful stop was requested, else 0.
+int GracefulExitCode();
+
+// Test hook: pretend `sig` was (or was not, with 0) received.
+void SetSignalRequestedForTest(int sig);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_UTIL_SIGNALS_H_

@@ -1,0 +1,603 @@
+// Checkpoint/resume subsystem tests (io/snapshot_file.h +
+// harness/checkpoint.h): snapshot format round-trip and corruption
+// detection, the no-checkpoint byte-identity guarantee, write cadence,
+// resume fallback across bad snapshots, ENOSPC degradation, the
+// stale-scratch reaper, and graceful SIGINT wind-down.
+//
+// The fork+SIGKILL crash-torture matrix lives in crash_torture_test.cc;
+// this file covers the subsystem's contracts in-process.
+
+#include "harness/checkpoint.h"
+
+#include <signal.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "harness/runner.h"
+#include "io/fault_env.h"
+#include "io/snapshot_file.h"
+#include "io/temp_dir.h"
+#include "scc/algorithms.h"
+#include "tests/test_util.h"
+#include "util/build_info.h"
+#include "util/signals.h"
+
+namespace ioscc {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testing_util::OracleFor;
+using testing_util::TempDirTest;
+
+constexpr SccAlgorithm kAllDrivers[] = {
+    SccAlgorithm::kOnePhase, SccAlgorithm::kOnePhaseBatch,
+    SccAlgorithm::kTwoPhase, SccAlgorithm::kDfs,
+    SccAlgorithm::kEm,
+};
+
+// A graph with planted cycles plus noise so every driver does several
+// passes (scans, rewrites, fixpoints) under a small memory budget.
+std::vector<Edge> TortureEdges(NodeId n, uint64_t noise, uint64_t seed) {
+  std::vector<Edge> edges;
+  EXPECT_TRUE(GenerateUniformEdges(n, noise, seed, &edges).ok());
+  for (NodeId v = 0; v < 100; ++v) edges.push_back({v, (v + 1) % 100});
+  for (NodeId v = 200; v + 2 < 280; v += 4) {
+    edges.push_back({v, v + 1});
+    edges.push_back({v + 1, v + 2});
+    edges.push_back({v + 2, v});
+  }
+  return edges;
+}
+
+SemiExternalOptions SmallBudgetOptions() {
+  SemiExternalOptions options;
+  options.scratch_block_size = 4096;
+  // Small enough that every driver runs chunked multi-pass loops — in
+  // particular EM-SCC (chunk capacity = budget / sizeof(Edge)) must not
+  // swallow the whole graph in its final in-memory pass, or it would
+  // never reach a checkpoint boundary.
+  options.memory_budget_bytes = 1 << 13;
+  return options;
+}
+
+int CountSnapshots(const std::string& dir) {
+  int count = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".snap") ++count;
+  }
+  return count;
+}
+
+// Flips one byte in the middle of `path`.
+void CorruptFile(const std::string& path) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(0, std::ios::end);
+  const auto size = f.tellg();
+  ASSERT_GT(size, 0);
+  f.seekg(static_cast<long>(size) / 2);
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(static_cast<long>(size) / 2);
+  byte ^= 0x40;
+  f.write(&byte, 1);
+}
+
+// Routes all driver scratch (TempDir reads $IOSCC_TMPDIR) under the
+// fixture directory: interrupted runs deliberately abandon scratch that
+// their snapshots reference (ScratchKeepGuard), and this way the fixture
+// teardown reclaims it instead of leaking into the system temp root.
+class CheckpointTest : public TempDirTest {
+ protected:
+  void SetUp() override {
+    TempDirTest::SetUp();
+    const char* prev = std::getenv("IOSCC_TMPDIR");
+    had_prev_tmpdir_ = prev != nullptr;
+    if (had_prev_tmpdir_) prev_tmpdir_ = prev;
+    ::setenv("IOSCC_TMPDIR", dir_->path().c_str(), 1);
+  }
+
+  void TearDown() override {
+    if (had_prev_tmpdir_) {
+      ::setenv("IOSCC_TMPDIR", prev_tmpdir_.c_str(), 1);
+    } else {
+      ::unsetenv("IOSCC_TMPDIR");
+    }
+  }
+
+  std::string prev_tmpdir_;
+  bool had_prev_tmpdir_ = false;
+};
+
+TEST_F(CheckpointTest, SnapshotRoundTripsManifestAndState) {
+  SnapshotManifest manifest;
+  manifest.algorithm = "1PB-SCC";
+  manifest.phase = "1pb";
+  manifest.iteration = 7;
+  manifest.seq = 3;
+  manifest.input_path = "/data/web.edges";
+  manifest.input_size = 123456;
+  manifest.input_head_crc = 0xdeadbeef;
+  manifest.build_sha = BuildGitSha();
+  // State larger than one block so the multi-block path is exercised.
+  std::string state(3 * kSnapshotBlockSize + 17, '\x5c');
+  const std::string path = NewPath(".snap");
+
+  IoStats io;
+  ASSERT_OK(WriteSnapshot(path, manifest, state, &io));
+  EXPECT_GT(io.blocks_written, 3u);
+
+  SnapshotManifest got;
+  std::string got_state;
+  ASSERT_OK(ReadSnapshot(path, &got, &got_state, nullptr));
+  EXPECT_EQ(got.algorithm, manifest.algorithm);
+  EXPECT_EQ(got.phase, manifest.phase);
+  EXPECT_EQ(got.iteration, manifest.iteration);
+  EXPECT_EQ(got.seq, manifest.seq);
+  EXPECT_EQ(got.input_path, manifest.input_path);
+  EXPECT_EQ(got.input_size, manifest.input_size);
+  EXPECT_EQ(got.input_head_crc, manifest.input_head_crc);
+  EXPECT_EQ(got.build_sha, manifest.build_sha);
+  EXPECT_EQ(got_state, state);
+  // The staging file was renamed away, never left behind.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(CheckpointTest, TornOrBitFlippedSnapshotIsCorruption) {
+  SnapshotManifest manifest;
+  manifest.algorithm = "1P-SCC";
+  const std::string state(2 * kSnapshotBlockSize, 'x');
+  const std::string path = NewPath(".snap");
+  ASSERT_OK(WriteSnapshot(path, manifest, state, nullptr));
+
+  // Bit damage anywhere in the image fails the whole-payload CRC.
+  CorruptFile(path);
+  Status st = ReadSnapshot(path, nullptr, nullptr, nullptr);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+
+  // A torn (truncated) snapshot under the final name is also caught.
+  ASSERT_OK(WriteSnapshot(path, manifest, state, nullptr));
+  fs::resize_file(path, kSnapshotBlockSize);
+  st = ReadSnapshot(path, nullptr, nullptr, nullptr);
+  EXPECT_FALSE(st.ok()) << "truncated snapshot accepted";
+}
+
+TEST_F(CheckpointTest, CheckpointedRunIsByteIdenticalToPlainRun) {
+  const std::vector<Edge> edges = TortureEdges(600, 2400, 5);
+  const std::string path = WriteGraph(600, edges);
+  for (SccAlgorithm algorithm : kAllDrivers) {
+    SCOPED_TRACE(AlgorithmName(algorithm));
+    // Reference: no checkpoint hook — today's behavior.
+    SccResult plain_result;
+    RunStats plain_stats;
+    Status plain_st = RunScc(algorithm, path, SmallBudgetOptions(),
+                             &plain_result, &plain_stats);
+
+    // Checkpointing at every boundary must not perturb anything the run
+    // reports: status, partition, the logical-I/O ledger, the iteration
+    // counts, or the per-iteration I/O deltas.
+    CheckpointOptions copts;
+    copts.dir = NewPath(".ckpt");
+    copts.remove_on_success = false;
+    Checkpointer cp(copts);
+    ASSERT_OK(cp.OpenForRun(AlgorithmName(algorithm), path, false));
+    SemiExternalOptions options = SmallBudgetOptions();
+    options.checkpoint = &cp;
+    SccResult ckpt_result;
+    RunStats ckpt_stats;
+    Status ckpt_st = RunScc(algorithm, path, options, &ckpt_result,
+                            &ckpt_stats);
+
+    EXPECT_EQ(plain_st.ToString(), ckpt_st.ToString());
+    if (plain_st.ok()) {
+      EXPECT_EQ(plain_result, ckpt_result);
+    }
+    EXPECT_TRUE(plain_stats.io == ckpt_stats.io) << "run ledger drift";
+    EXPECT_EQ(plain_stats.iterations, ckpt_stats.iterations);
+    EXPECT_EQ(plain_stats.search_scans, ckpt_stats.search_scans);
+    ASSERT_EQ(plain_stats.per_iteration.size(),
+              ckpt_stats.per_iteration.size());
+    for (size_t i = 0; i < plain_stats.per_iteration.size(); ++i) {
+      EXPECT_TRUE(plain_stats.per_iteration[i].io ==
+                  ckpt_stats.per_iteration[i].io)
+          << "per-iteration ledger drift at " << i;
+    }
+    // The snapshot I/O went somewhere — just not into the run ledger.
+    EXPECT_GT(cp.written(), 0u);
+    EXPECT_GT(cp.checkpoint_io().blocks_written, 0u);
+  }
+}
+
+TEST_F(CheckpointTest, SuccessfulRunRemovesItsSnapshots) {
+  const std::vector<Edge> edges = TortureEdges(400, 1600, 7);
+  const std::string path = WriteGraph(400, edges);
+  CheckpointOptions copts;
+  copts.dir = NewPath(".ckpt");
+  Checkpointer cp(copts);
+  ASSERT_OK(cp.OpenForRun("1PB-SCC", path, false));
+  SemiExternalOptions options = SmallBudgetOptions();
+  options.checkpoint = &cp;
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(RunScc(SccAlgorithm::kOnePhaseBatch, path, options, &result,
+                   &stats));
+  EXPECT_GT(cp.written(), 0u);
+  EXPECT_GT(CountSnapshots(copts.dir), 0);
+  cp.OnRunFinished(/*run_ok=*/true);
+  EXPECT_EQ(CountSnapshots(copts.dir), 0);
+}
+
+TEST_F(CheckpointTest, CadenceAndRetentionAreRespected) {
+  const std::vector<Edge> edges = TortureEdges(600, 2400, 5);
+  const std::string path = WriteGraph(600, edges);
+
+  // DFS offers the most boundaries of the five drivers (tens of fixpoint
+  // passes on this graph), making the cadence arithmetic meaningful.
+  CheckpointOptions copts;
+  copts.dir = NewPath(".ckpt");
+  copts.every = 2;
+  copts.keep = 1;
+  copts.remove_on_success = false;
+  Checkpointer cp(copts);
+  ASSERT_OK(cp.OpenForRun("DFS-SCC", path, false));
+  SemiExternalOptions options = SmallBudgetOptions();
+  options.checkpoint = &cp;
+  uint64_t boundaries = 0;
+  options.progress = [&boundaries](uint64_t, const IterationStats&) {
+    ++boundaries;
+    return true;
+  };
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(RunScc(SccAlgorithm::kDfs, path, options, &result, &stats));
+  ASSERT_GE(boundaries, 6u) << "graph too easy for this test";
+  // every=2 cuts at every second offered boundary.
+  EXPECT_EQ(cp.written(), boundaries / 2);
+  // keep=1 prunes everything but the newest.
+  EXPECT_EQ(CountSnapshots(copts.dir), 1);
+}
+
+TEST_F(CheckpointTest, ResumeFallsBackPastACorruptNewestSnapshot) {
+  const std::vector<Edge> edges = TortureEdges(600, 2400, 5);
+  const std::string path = WriteGraph(600, edges);
+  SccResult expected;
+  RunStats reference;
+  ASSERT_OK(RunScc(SccAlgorithm::kOnePhaseBatch, path,
+                   SmallBudgetOptions(), &expected, &reference));
+
+  ASSERT_GE(reference.iterations, 3u) << "graph too easy for this test";
+
+  // Interrupt a checkpointed run after its third boundary (cooperative
+  // cancellation, like a SIGINT) so three snapshots sit on disk and the
+  // driver's scratch survives for them (ScratchKeepGuard).
+  CheckpointOptions copts;
+  copts.dir = NewPath(".ckpt");
+  copts.keep = 3;
+  copts.remove_on_success = false;
+  {
+    Checkpointer cp(copts);
+    ASSERT_OK(cp.OpenForRun("1PB-SCC", path, false));
+    SemiExternalOptions options = SmallBudgetOptions();
+    options.checkpoint = &cp;
+    uint64_t boundaries = 0;
+    options.progress = [&boundaries](uint64_t, const IterationStats&) {
+      return ++boundaries < 3;
+    };
+    SccResult result;
+    RunStats stats;
+    Status st = RunScc(SccAlgorithm::kOnePhaseBatch, path, options,
+                       &result, &stats);
+    ASSERT_TRUE(st.IsIncomplete()) << st.ToString();
+    ASSERT_EQ(cp.written(), 3u);
+  }
+
+  // Corrupt the newest snapshot: resume must skip it (counted as a
+  // fallback), restore the previous one, and still finish correctly.
+  std::string newest;
+  for (const auto& entry : fs::directory_iterator(copts.dir)) {
+    const std::string p = entry.path().string();
+    if (entry.path().extension() == ".snap" && p > newest) newest = p;
+  }
+  ASSERT_FALSE(newest.empty());
+  CorruptFile(newest);
+
+  Checkpointer cp(copts);
+  ASSERT_OK(cp.OpenForRun("1PB-SCC", path, /*resume=*/true));
+  EXPECT_TRUE(cp.resumed());
+  EXPECT_EQ(cp.resume_fallbacks(), 1u);
+  SemiExternalOptions options = SmallBudgetOptions();
+  options.checkpoint = &cp;
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(RunScc(SccAlgorithm::kOnePhaseBatch, path, options, &result,
+                   &stats));
+  EXPECT_EQ(result, expected);
+  // Ledger identity: replayed passes re-charge exactly what the crash
+  // discarded, so the final ledger equals the uninterrupted run's and
+  // the replay cost is visible only in the separate resume ledger.
+  EXPECT_TRUE(stats.io == reference.io) << "resume perturbed the ledger";
+  EXPECT_GT(cp.resume_io().blocks_read, 0u);
+}
+
+TEST_F(CheckpointTest, ResumeSkipsSnapshotsWhoseStreamIsGone) {
+  const std::vector<Edge> edges = TortureEdges(600, 2400, 5);
+  const std::string path = WriteGraph(600, edges);
+  SccResult expected;
+  RunStats reference;
+  ASSERT_OK(RunScc(SccAlgorithm::kOnePhaseBatch, path,
+                   SmallBudgetOptions(), &expected, &reference));
+
+  // Interrupt a checkpointed run so snapshots referencing the scratch
+  // rewrite survive along with the kept scratch itself.
+  CheckpointOptions copts;
+  copts.dir = NewPath(".ckpt");
+  copts.keep = 3;
+  copts.remove_on_success = false;
+  {
+    Checkpointer cp(copts);
+    ASSERT_OK(cp.OpenForRun("1PB-SCC", path, false));
+    SemiExternalOptions options = SmallBudgetOptions();
+    options.checkpoint = &cp;
+    uint64_t boundaries = 0;
+    options.progress = [&boundaries](uint64_t, const IterationStats&) {
+      return ++boundaries < 3;
+    };
+    SccResult result;
+    RunStats stats;
+    Status st = RunScc(SccAlgorithm::kOnePhaseBatch, path, options,
+                       &result, &stats);
+    ASSERT_TRUE(st.IsIncomplete()) << st.ToString();
+    ASSERT_GE(cp.written(), 1u);
+  }
+
+  // Delete the kept scratch out from under the snapshots — the shape a
+  // retained checkpoint dir has after its run's scratch went away (most
+  // commonly: --keep-checkpoints across a *successful* run, whose
+  // scratch is correctly removed). Resume must skip every snapshot whose
+  // recorded stream is gone instead of handing the driver a dead path.
+  uint64_t scratch_removed = 0;
+  for (const auto& entry : fs::directory_iterator(dir_->path())) {
+    if (entry.path().filename().string().rfind("ioscc-", 0) == 0) {
+      scratch_removed += fs::remove_all(entry.path());
+    }
+  }
+  ASSERT_GT(scratch_removed, 0u) << "no scratch was kept to delete";
+
+  Checkpointer cp(copts);
+  ASSERT_OK(cp.OpenForRun("1PB-SCC", path, /*resume=*/true));
+  EXPECT_GE(cp.resume_fallbacks(), 1u);
+  SemiExternalOptions options = SmallBudgetOptions();
+  options.checkpoint = &cp;
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(RunScc(SccAlgorithm::kOnePhaseBatch, path, options, &result,
+                   &stats));
+  EXPECT_EQ(result, expected);
+  // Whether the fallback landed on an older input-stream snapshot or a
+  // fresh start, the run ledger must match the uninterrupted run's.
+  EXPECT_TRUE(stats.io == reference.io) << "fallback perturbed the ledger";
+}
+
+TEST_F(CheckpointTest, ResumeRejectsSnapshotsFromADifferentInput) {
+  const std::vector<Edge> edges_a = TortureEdges(600, 2400, 5);
+  const std::string path_a = WriteGraph(600, edges_a);
+  CheckpointOptions copts;
+  copts.dir = NewPath(".ckpt");
+  copts.remove_on_success = false;
+  {
+    Checkpointer cp(copts);
+    ASSERT_OK(cp.OpenForRun("1PB-SCC", path_a, false));
+    SemiExternalOptions options = SmallBudgetOptions();
+    options.checkpoint = &cp;
+    SccResult result;
+    RunStats stats;
+    ASSERT_OK(RunScc(SccAlgorithm::kOnePhaseBatch, path_a, options,
+                     &result, &stats));
+    ASSERT_GT(cp.written(), 0u);
+  }
+
+  // Same directory, different graph: every snapshot fails the content
+  // fingerprint and the run starts fresh (correctly) instead of
+  // restoring another input's state.
+  const std::vector<Edge> edges_b = TortureEdges(500, 2000, 99);
+  const std::string path_b = WriteGraph(500, edges_b);
+  Checkpointer cp(copts);
+  ASSERT_OK(cp.OpenForRun("1PB-SCC", path_b, /*resume=*/true));
+  EXPECT_FALSE(cp.resumed());
+  EXPECT_GT(cp.resume_fallbacks(), 0u);
+  SemiExternalOptions options = SmallBudgetOptions();
+  options.checkpoint = &cp;
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(RunScc(SccAlgorithm::kOnePhaseBatch, path_b, options, &result,
+                   &stats));
+  EXPECT_EQ(result, OracleFor(500, edges_b));
+}
+
+TEST_F(CheckpointTest, EnospcOnCheckpointWritesDegradesGracefully) {
+  const std::vector<Edge> edges = TortureEdges(600, 2400, 5);
+  const std::string path = WriteGraph(600, edges);
+  const SccResult oracle = OracleFor(600, edges);
+
+  // Every write to a snapshot file fails with ENOSPC; the run itself
+  // must finish, correct, with the failure recorded and checkpointing
+  // permanently off.
+  FaultInjector injector(1);
+  FaultRule rule;
+  rule.path_contains = "ckpt-";
+  rule.op = FaultOp::kWrite;
+  rule.any_op = false;
+  rule.fires_remaining = 0;  // permanent
+  rule.kind = FaultKind::kEnospc;
+  injector.AddRule(rule);
+  SetFaultInjector(&injector);
+
+  CheckpointOptions copts;
+  copts.dir = NewPath(".ckpt");
+  Checkpointer cp(copts);
+  ASSERT_OK(cp.OpenForRun("1PB-SCC", path, false));
+  SemiExternalOptions options = SmallBudgetOptions();
+  options.checkpoint = &cp;
+  SccResult result;
+  RunStats stats;
+  Status st = RunScc(SccAlgorithm::kOnePhaseBatch, path, options, &result,
+                     &stats);
+  SetFaultInjector(nullptr);
+
+  ASSERT_OK(st);
+  EXPECT_EQ(result, oracle);
+  EXPECT_TRUE(cp.degraded());
+  EXPECT_EQ(cp.written(), 0u);
+  EXPECT_EQ(cp.write_failures(), 1u);  // degraded after the first failure
+  // No half-written snapshot may sit under a final name.
+  for (const auto& entry : fs::directory_iterator(copts.dir)) {
+    EXPECT_NE(entry.path().extension(), ".snap")
+        << "orphaned snapshot: " << entry.path();
+  }
+}
+
+TEST_F(CheckpointTest, FsckValidatesCheckpointDirsAndSnapshots) {
+  const std::string dir = NewPath(".ckpt");
+  fs::create_directories(dir);
+  SnapshotManifest manifest;
+  manifest.algorithm = "EM-SCC";
+  manifest.phase = "em";
+  manifest.iteration = 4;
+  manifest.seq = 1;
+  const std::string good = dir + "/ckpt-000001.snap";
+  const std::string bad = dir + "/ckpt-000002.snap";
+  ASSERT_OK(WriteSnapshot(good, manifest, std::string(5000, 'a'), nullptr));
+  manifest.seq = 2;
+  ASSERT_OK(WriteSnapshot(bad, manifest, std::string(5000, 'b'), nullptr));
+
+  CheckpointFsckReport report;
+  ASSERT_OK(FsckCheckpointDir(dir, &report));
+  EXPECT_EQ(report.snapshots_checked, 2u);
+  EXPECT_EQ(report.snapshots_bad, 0u);
+
+  std::string summary;
+  ASSERT_OK(FsckSnapshotFile(good, &summary));
+  EXPECT_NE(summary.find("EM-SCC"), std::string::npos) << summary;
+
+  CorruptFile(bad);
+  Status st = FsckCheckpointDir(dir, &report);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_EQ(report.snapshots_checked, 2u);
+  EXPECT_EQ(report.snapshots_bad, 1u);
+  EXPECT_EQ(report.first_bad_path, bad);
+}
+
+TEST_F(CheckpointTest, StaleScratchSweepReapsOnlyDeadAndOld) {
+  const std::string root = NewPath(".scratchroot");
+  fs::create_directories(root);
+  const auto old_time =
+      fs::file_time_type::clock::now() - std::chrono::hours(48);
+
+  // Dead owner (pid 1 is init — alive; use an impossibly high pid), old.
+  const std::string stale = root + "/ioscc-1p.999999999.0";
+  fs::create_directories(stale);
+  std::ofstream(stale + "/f0.edges") << "x";
+  fs::last_write_time(stale, old_time);
+  // Live owner (this process), old: must survive.
+  const std::string live =
+      root + "/ioscc-em." + std::to_string(::getpid()) + ".3";
+  fs::create_directories(live);
+  fs::last_write_time(live, old_time);
+  // Dead owner but fresh: must survive the age gate.
+  const std::string young = root + "/ioscc-dfs.999999998.1";
+  fs::create_directories(young);
+  // Stray rename-staging orphan, old: reaped.
+  const std::string tmp = root + "/ckpt-000004.snap.tmp";
+  std::ofstream(tmp) << "partial";
+  fs::last_write_time(tmp, old_time);
+  // Not ours: never touched regardless of age.
+  const std::string foreign = root + "/somebody-else.123.4";
+  fs::create_directories(foreign);
+  fs::last_write_time(foreign, old_time);
+
+  // Dry run counts without deleting.
+  ScratchSweepStats stats;
+  ASSERT_OK(SweepStaleScratch(root, 3600, /*dry_run=*/true, &stats));
+  EXPECT_EQ(stats.dirs_removed, 1u);
+  EXPECT_EQ(stats.files_removed, 1u);
+  EXPECT_TRUE(fs::exists(stale));
+
+  ASSERT_OK(SweepStaleScratch(root, 3600, /*dry_run=*/false, &stats));
+  EXPECT_EQ(stats.dirs_removed, 1u);
+  EXPECT_EQ(stats.files_removed, 1u);
+  EXPECT_EQ(stats.skipped_live, 1u);
+  EXPECT_EQ(stats.skipped_young, 1u);
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_FALSE(fs::exists(tmp));
+  EXPECT_TRUE(fs::exists(live));
+  EXPECT_TRUE(fs::exists(young));
+  EXPECT_TRUE(fs::exists(foreign));
+}
+
+TEST_F(CheckpointTest, PendingSignalForcesAFinalCheckpointAndWindsDown) {
+  const std::vector<Edge> edges = TortureEdges(600, 2400, 5);
+  const std::string path = WriteGraph(600, edges);
+  SccResult expected;
+  RunStats reference;
+  ASSERT_OK(RunScc(SccAlgorithm::kOnePhaseBatch, path,
+                   SmallBudgetOptions(), &expected, &reference));
+  ASSERT_GE(reference.iterations, 2u);
+
+  CheckpointOptions copts;
+  copts.dir = NewPath(".ckpt");
+  copts.every = 1000;  // cadence would never fire — only the force path
+  copts.remove_on_success = false;
+  Checkpointer cp(copts);
+  ASSERT_OK(cp.OpenForRun("1PB-SCC", path, false));
+  // The harness progress wrap turns the pending signal into cooperative
+  // cancellation at the next boundary; the Checkpointer sees the same
+  // flag and force-writes a final snapshot out of cadence first.
+  SetSignalRequestedForTest(SIGINT);
+  SemiExternalOptions options = SmallBudgetOptions();
+  options.checkpoint = &cp;
+  RunOutcome outcome = RunAlgorithmOnFile(SccAlgorithm::kOnePhaseBatch,
+                                          path, options);
+  SetSignalRequestedForTest(0);
+  EXPECT_TRUE(outcome.status.IsIncomplete())
+      << outcome.status.ToString();
+  EXPECT_EQ(cp.written(), 1u) << "no forced final snapshot";
+  EXPECT_EQ(GracefulExitCode(), 0) << "flag leaked past the test";
+
+  // The interrupted run resumes to the exact reference outcome.
+  Checkpointer resume_cp(copts);
+  ASSERT_OK(resume_cp.OpenForRun("1PB-SCC", path, /*resume=*/true));
+  EXPECT_TRUE(resume_cp.resumed());
+  SemiExternalOptions resume_options = SmallBudgetOptions();
+  resume_options.checkpoint = &resume_cp;
+  SccResult result;
+  RunStats stats;
+  ASSERT_OK(RunScc(SccAlgorithm::kOnePhaseBatch, path, resume_options,
+                   &result, &stats));
+  EXPECT_EQ(result, expected);
+  EXPECT_TRUE(stats.io == reference.io) << "resume perturbed the ledger";
+}
+
+using CheckpointDeathTest = CheckpointTest;
+
+TEST_F(CheckpointDeathTest, GracefulSignalExitCodeIs128PlusSig) {
+  // What scc_tool/bench main()s do after an interrupted run unwinds:
+  // exit GracefulExitCode(). 128+SIGINT = 130, the shell convention.
+  EXPECT_EXIT(
+      {
+        InstallGracefulSignalHandlers();
+        ::raise(SIGINT);  // handled: recorded, not fatal
+        std::exit(GracefulExitCode());
+      },
+      ::testing::ExitedWithCode(130), "");
+}
+
+}  // namespace
+}  // namespace ioscc

@@ -1,0 +1,298 @@
+// Fork+SIGKILL crash torture for the checkpoint/resume subsystem.
+//
+// For every driver, a child process runs with checkpointing enabled and
+// kills itself (SIGKILL — no destructors, no flushes, scratch and
+// half-written files left exactly as the crash left them) at a chosen
+// instant; the parent then resumes from the surviving checkpoint
+// directory and must reproduce the uninterrupted run bit for bit:
+// same status, same partition, same logical-I/O ledger, same iteration
+// counts. Two kinds of instants are tortured:
+//
+//   * pass boundaries — the first, a middle, and the last boundary the
+//     driver offers (>= 3 distinct points per driver), and
+//   * mid-checkpoint-write — via the SetSnapshotCrashHook seam, killing
+//     with the staging file half-written (kMidTempWrite), fully written
+//     but not yet renamed (kAfterTempWrite), and just after the rename
+//     (kAfterRename), so the torn-snapshot fallback path is exercised
+//     by a real kill and not only by synthetic file corruption.
+//
+// The graph is seeded from $IOSCC_TORTURE_SEED (CI sweeps a small
+// matrix) so repeated runs walk different torture schedules.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "harness/checkpoint.h"
+#include "io/snapshot_file.h"
+#include "scc/algorithms.h"
+#include "tests/test_util.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::TempDirTest;
+
+uint64_t TortureSeed() {
+  const char* env = std::getenv("IOSCC_TORTURE_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0x70e77e5eedULL;
+}
+
+constexpr SccAlgorithm kDrivers[] = {
+    SccAlgorithm::kOnePhase, SccAlgorithm::kOnePhaseBatch,
+    SccAlgorithm::kTwoPhase, SccAlgorithm::kDfs,
+    SccAlgorithm::kEm,
+};
+
+// Crash-hook state. The hook is a plain function pointer, so the child
+// parameterizes it through file-scope statics (set after the fork, so
+// the parent process is never affected).
+SnapshotCrashPoint g_crash_point = SnapshotCrashPoint::kMidTempWrite;
+uint64_t g_crash_at_write = 0;  // kill at the Nth write reaching the point
+uint64_t g_crash_seen = 0;
+
+void CrashHook(SnapshotCrashPoint point) {
+  if (point != g_crash_point) return;
+  if (++g_crash_seen == g_crash_at_write) ::kill(::getpid(), SIGKILL);
+}
+
+// Routes all scratch under the fixture dir ($IOSCC_TMPDIR): the killed
+// children strand their TempDirs by design (the surviving snapshots
+// reference rewrites inside them), and the fixture teardown reclaims
+// everything instead of leaking into the system temp root.
+class CrashTortureDeathTest : public TempDirTest {
+ protected:
+  void SetUp() override {
+    TempDirTest::SetUp();
+    const char* prev = std::getenv("IOSCC_TMPDIR");
+    had_prev_tmpdir_ = prev != nullptr;
+    if (had_prev_tmpdir_) prev_tmpdir_ = prev;
+    ::setenv("IOSCC_TMPDIR", dir_->path().c_str(), 1);
+  }
+
+  void TearDown() override {
+    if (had_prev_tmpdir_) {
+      ::setenv("IOSCC_TMPDIR", prev_tmpdir_.c_str(), 1);
+    } else {
+      ::unsetenv("IOSCC_TMPDIR");
+    }
+  }
+
+  // Planted cycles (one long, many short) plus seeded uniform noise, so
+  // every driver runs several passes and EM keeps contracting across
+  // multiple chunked rewrites before it converges or documents a stall.
+  std::string TortureGraphPath() {
+    const NodeId n = 600;
+    std::vector<Edge> edges;
+    EXPECT_TRUE(GenerateUniformEdges(n, 2400, TortureSeed(), &edges).ok());
+    for (NodeId v = 0; v < 100; ++v) edges.push_back({v, (v + 1) % 100});
+    for (NodeId v = 100; v + 3 < 300; v += 4) {
+      edges.push_back({v, v + 1});
+      edges.push_back({v + 1, v + 2});
+      edges.push_back({v + 2, v + 3});
+      edges.push_back({v + 3, v});
+    }
+    return WriteGraph(n, edges);
+  }
+
+  // Small budget => chunked paths and many pass boundaries to kill at.
+  static SemiExternalOptions TortureOptions() {
+    SemiExternalOptions options;
+    options.scratch_block_size = 4096;
+    options.memory_budget_bytes = 1 << 13;
+    return options;
+  }
+
+  struct Reference {
+    Status status = Status::OK();
+    SccResult result;
+    RunStats stats;
+    uint64_t boundaries = 0;  // progress callbacks seen
+  };
+
+  Reference RunReference(SccAlgorithm algorithm, const std::string& path) {
+    Reference ref;
+    SemiExternalOptions options = TortureOptions();
+    options.progress = [&ref](uint64_t, const IterationStats&) {
+      ++ref.boundaries;
+      return true;
+    };
+    ref.status =
+        RunScc(algorithm, path, options, &ref.result, &ref.stats);
+    return ref;
+  }
+
+  // Checkpointed no-kill run: counts snapshot writes (the crash-hook
+  // schedule needs to know how many there are) and doubles as the
+  // "checkpointing changes nothing" identity check under torture opts.
+  uint64_t CountSnapshotWrites(SccAlgorithm algorithm,
+                               const std::string& path,
+                               const Reference& ref) {
+    CheckpointOptions copts;
+    copts.dir = NewPath(".ckpt");
+    copts.remove_on_success = false;
+    Checkpointer cp(copts);
+    EXPECT_OK(cp.OpenForRun(AlgorithmName(algorithm), path, false));
+    SemiExternalOptions options = TortureOptions();
+    options.checkpoint = &cp;
+    SccResult result;
+    RunStats stats;
+    Status st = RunScc(algorithm, path, options, &result, &stats);
+    EXPECT_EQ(ref.status.ToString(), st.ToString());
+    EXPECT_TRUE(ref.stats.io == stats.io)
+        << "checkpointing perturbed the run ledger";
+    return cp.written();
+  }
+
+  // The child half of every torture stage: run checkpointed and die by
+  // SIGKILL at the scheduled instant. `arm` installs the kill (boundary
+  // counter or crash hook) after the fork. Exits 0 if the run survives,
+  // which makes the enclosing EXPECT_EXIT fail — a stage that does not
+  // actually kill is a bug in the schedule.
+  template <typename Arm>
+  void RunChildToDeath(SccAlgorithm algorithm, const std::string& path,
+                       const std::string& ckpt_dir, const Arm& arm) {
+    EXPECT_EXIT(
+        {
+          CheckpointOptions copts;
+          copts.dir = ckpt_dir;
+          copts.remove_on_success = false;
+          Checkpointer cp(copts);
+          if (!cp.OpenForRun(AlgorithmName(algorithm), path, false).ok()) {
+            _exit(17);
+          }
+          SemiExternalOptions options = TortureOptions();
+          options.checkpoint = &cp;
+          arm(&options);
+          SccResult result;
+          RunStats stats;
+          RunScc(algorithm, path, options, &result, &stats);
+          _exit(0);
+        },
+        ::testing::KilledBySignal(SIGKILL), "");
+  }
+
+  // The parent half: resume from whatever the dead child left behind and
+  // demand the uninterrupted run's exact outcome.
+  void ResumeAndCheck(SccAlgorithm algorithm, const std::string& path,
+                      const std::string& ckpt_dir, const Reference& ref) {
+    CheckpointOptions copts;
+    copts.dir = ckpt_dir;
+    copts.remove_on_success = false;
+    Checkpointer cp(copts);
+    ASSERT_OK(cp.OpenForRun(AlgorithmName(algorithm), path, true));
+    SemiExternalOptions options = TortureOptions();
+    options.checkpoint = &cp;
+    SccResult result;
+    RunStats stats;
+    Status st = RunScc(algorithm, path, options, &result, &stats);
+    EXPECT_EQ(ref.status.ToString(), st.ToString());
+    if (ref.status.ok() && st.ok()) {
+      EXPECT_EQ(ref.result, result);
+    }
+    EXPECT_TRUE(ref.stats.io == stats.io)
+        << "resumed run's logical-I/O ledger drifted";
+    EXPECT_EQ(ref.stats.iterations, stats.iterations);
+    EXPECT_EQ(ref.stats.search_scans, stats.search_scans);
+    ASSERT_EQ(ref.stats.per_iteration.size(),
+              stats.per_iteration.size());
+    for (size_t i = 0; i < ref.stats.per_iteration.size(); ++i) {
+      EXPECT_TRUE(ref.stats.per_iteration[i].io ==
+                  stats.per_iteration[i].io)
+          << "per-iteration ledger drift at " << i;
+    }
+  }
+
+  std::string prev_tmpdir_;
+  bool had_prev_tmpdir_ = false;
+};
+
+TEST_F(CrashTortureDeathTest, KillAtPassBoundariesThenResume) {
+  const std::string path = TortureGraphPath();
+  for (SccAlgorithm algorithm : kDrivers) {
+    SCOPED_TRACE(AlgorithmName(algorithm));
+    const Reference ref = RunReference(algorithm, path);
+    // EM reaches its one boundary after a single chunked rewrite pass on
+    // this graph (its remaining distinct kill points come from the
+    // mid-checkpoint-write matrix below); every other driver must offer
+    // at least first/middle/last.
+    if (algorithm == SccAlgorithm::kEm) {
+      ASSERT_GE(ref.boundaries, 1u)
+          << "EM never reached a checkpoint boundary";
+    } else {
+      ASSERT_GE(ref.boundaries, 3u)
+          << "graph offers too few kill points for this driver";
+    }
+
+    // First, a middle, and the last boundary — three distinct instants.
+    std::vector<uint64_t> kill_points = {1, (ref.boundaries + 1) / 2,
+                                         ref.boundaries};
+    kill_points.erase(
+        std::unique(kill_points.begin(), kill_points.end()),
+        kill_points.end());
+    for (uint64_t kill_at : kill_points) {
+      SCOPED_TRACE("kill at boundary " + std::to_string(kill_at));
+      const std::string ckpt_dir = NewPath(".ckpt");
+      RunChildToDeath(algorithm, path, ckpt_dir,
+                      [kill_at](SemiExternalOptions* options) {
+                        auto boundary =
+                            std::make_shared<uint64_t>(0);
+                        options->progress =
+                            [boundary, kill_at](uint64_t,
+                                                const IterationStats&) {
+                              if (++*boundary == kill_at) {
+                                ::kill(::getpid(), SIGKILL);
+                              }
+                              return true;
+                            };
+                      });
+      ResumeAndCheck(algorithm, path, ckpt_dir, ref);
+    }
+  }
+}
+
+TEST_F(CrashTortureDeathTest, KillMidCheckpointWriteThenResume) {
+  const std::string path = TortureGraphPath();
+  for (SccAlgorithm algorithm : kDrivers) {
+    SCOPED_TRACE(AlgorithmName(algorithm));
+    const Reference ref = RunReference(algorithm, path);
+    const uint64_t writes = CountSnapshotWrites(algorithm, path, ref);
+    ASSERT_GE(writes, 1u) << "driver never reached a snapshot write";
+    // Kill at the second write when there is one, so a previous valid
+    // snapshot exists for the torn-write fallback; at the first
+    // otherwise (resume then proves the fresh-start path).
+    const uint64_t crash_at = std::min<uint64_t>(2, writes);
+
+    constexpr SnapshotCrashPoint kPoints[] = {
+        SnapshotCrashPoint::kMidTempWrite,
+        SnapshotCrashPoint::kAfterTempWrite,
+        SnapshotCrashPoint::kAfterRename,
+    };
+    for (SnapshotCrashPoint point : kPoints) {
+      SCOPED_TRACE("crash point " +
+                   std::to_string(static_cast<int>(point)));
+      const std::string ckpt_dir = NewPath(".ckpt");
+      RunChildToDeath(algorithm, path, ckpt_dir,
+                      [point, crash_at](SemiExternalOptions*) {
+                        g_crash_point = point;
+                        g_crash_at_write = crash_at;
+                        g_crash_seen = 0;
+                        SetSnapshotCrashHook(&CrashHook);
+                      });
+      ResumeAndCheck(algorithm, path, ckpt_dir, ref);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ioscc

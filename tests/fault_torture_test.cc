@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "gen/generators.h"
+#include "harness/checkpoint.h"
 #include "io/edge_file.h"
 #include "io/fault_env.h"
 #include "scc/algorithms.h"
@@ -104,8 +105,30 @@ const Schedule kSchedules[] = {
      }},
 };
 
+// $IOSCC_TMPDIR is routed under the fixture dir: interrupted checkpointed
+// runs deliberately keep their scratch alive for the snapshots that
+// reference it, and the fixture teardown reclaims it.
 class FaultTortureTest : public TempDirTest {
  protected:
+  void SetUp() override {
+    TempDirTest::SetUp();
+    const char* prev = std::getenv("IOSCC_TMPDIR");
+    had_prev_tmpdir_ = prev != nullptr;
+    if (had_prev_tmpdir_) prev_tmpdir_ = prev;
+    ::setenv("IOSCC_TMPDIR", dir_->path().c_str(), 1);
+  }
+
+  void TearDown() override {
+    if (had_prev_tmpdir_) {
+      ::setenv("IOSCC_TMPDIR", prev_tmpdir_.c_str(), 1);
+    } else {
+      ::unsetenv("IOSCC_TMPDIR");
+    }
+  }
+
+  std::string prev_tmpdir_;
+  bool had_prev_tmpdir_ = false;
+
   int correct_runs_ = 0;
   int corruption_runs_ = 0;
   int io_error_runs_ = 0;
@@ -200,6 +223,124 @@ TEST_F(FaultTortureTest, TrichotomyAcrossDriversAndSchedules) {
   EXPECT_GT(correct_runs_, 0) << "no run survived its schedule";
   EXPECT_GT(corruption_runs_, 0) << "no run hit a checksum mismatch";
   EXPECT_GT(io_error_runs_, 0) << "no run exhausted retries";
+}
+
+TEST_F(FaultTortureTest, CheckpointFaultsNeverPoisonTheRun) {
+  // Faults aimed exclusively at snapshot files (path substring "ckpt-",
+  // matching both ckpt-*.snap.tmp staging and the published names) must
+  // never change a run's outcome: invariant 1 of harness/checkpoint.h.
+  //   * permanent ENOSPC — every snapshot write fails: the run finishes
+  //     with the exact answer, checkpointing records the failure and
+  //     degrades itself off, and no snapshot lands under a final name;
+  //   * a torn write — the damage is invisible at write time (the write
+  //     "succeeds" short), so the proof is downstream: fsck or resume
+  //     validation catches the CRC mismatch and a subsequent resume
+  //     falls back cleanly and still completes exactly.
+  std::vector<Edge> edges;
+  ASSERT_OK(GenerateUniformEdges(400, 1600, /*seed=*/11, &edges));
+  for (NodeId v = 0; v < 60; ++v) edges.push_back({v, (v + 1) % 60});
+  const SccResult oracle = OracleFor(400, edges);
+  const std::string path = NewPath(".edges");
+  ASSERT_OK(WriteEdgeFile(path, 400, edges, 4096, nullptr, kEdgeFormatV2));
+  SetDefaultEdgeFileVersion(kEdgeFormatV2);
+  IoRetryPolicy fast;
+  fast.max_attempts = 4;
+  fast.backoff_initial_us = 0;
+  SetIoRetryPolicy(fast);
+
+  const struct {
+    const char* name;
+    FaultKind kind;
+    uint64_t fires;  // 0 = permanent
+  } kCkptSchedules[] = {
+      {"ckpt-enospc-permanent", FaultKind::kEnospc, 0},
+      {"ckpt-torn-write-once", FaultKind::kTornWrite, 1},
+  };
+
+  for (const auto& schedule : kCkptSchedules) {
+    for (SccAlgorithm algorithm : kDrivers) {
+      SCOPED_TRACE(std::string(AlgorithmName(algorithm)) + " under " +
+                   schedule.name + " (seed " +
+                   std::to_string(TortureSeed()) + ")");
+      FaultInjector injector(TortureSeed());
+      FaultRule rule;
+      rule.path_contains = "ckpt-";
+      rule.op = FaultOp::kWrite;
+      rule.any_op = false;
+      rule.fires_remaining = schedule.fires;
+      rule.kind = schedule.kind;
+      injector.AddRule(rule);
+      SetFaultInjector(&injector);
+
+      CheckpointOptions copts;
+      copts.dir = NewPath(".ckpt");
+      copts.remove_on_success = false;
+      Checkpointer cp(copts);
+      ASSERT_OK(cp.OpenForRun(AlgorithmName(algorithm), path, false));
+      SemiExternalOptions options;
+      options.scratch_block_size = 4096;
+      options.memory_budget_bytes = 1 << 16;
+      options.checkpoint = &cp;
+      uint64_t boundaries = 0;
+      if (schedule.kind == FaultKind::kTornWrite) {
+        // Interrupt after two boundaries (cooperative cancellation, as a
+        // SIGINT would): snapshots — the first of them torn — stay on
+        // disk together with the scratch they reference.
+        options.progress = [&boundaries](uint64_t,
+                                         const IterationStats&) {
+          return ++boundaries < 2;
+        };
+      }
+      SccResult result;
+      RunStats stats;
+      Status st = RunScc(algorithm, path, options, &result, &stats);
+
+      if (schedule.kind == FaultKind::kEnospc) {
+        if (!(algorithm == SccAlgorithm::kTwoPhase &&
+              st.IsIncomplete())) {
+          ASSERT_TRUE(st.ok())
+              << "checkpoint fault leaked into the run: " << st.ToString()
+              << "; " << injector.Summary();
+          EXPECT_EQ(result, oracle) << injector.Summary();
+        }
+        EXPECT_TRUE(cp.degraded());
+        EXPECT_GE(cp.write_failures(), 1u);
+        EXPECT_EQ(cp.written(), 0u);
+        for (const auto& entry :
+             std::filesystem::directory_iterator(copts.dir)) {
+          EXPECT_NE(entry.path().extension(), ".snap")
+              << "snapshot published despite ENOSPC: " << entry.path();
+        }
+      } else {
+        // The interruption (or the driver's own early finish) must be
+        // clean, and the resume must skip any torn snapshot and still
+        // produce the exact answer.
+        ASSERT_TRUE(st.ok() || st.IsIncomplete())
+            << "checkpoint fault leaked into the run: " << st.ToString()
+            << "; " << injector.Summary();
+        Checkpointer resume_cp(copts);
+        ASSERT_OK(
+            resume_cp.OpenForRun(AlgorithmName(algorithm), path, true));
+        SemiExternalOptions resume_options = options;
+        resume_options.progress = nullptr;  // run to completion this time
+        resume_options.checkpoint = &resume_cp;
+        SccResult resumed;
+        RunStats resumed_stats;
+        Status rst = RunScc(algorithm, path, resume_options, &resumed,
+                            &resumed_stats);
+        if (!(algorithm == SccAlgorithm::kTwoPhase &&
+              rst.IsIncomplete())) {
+          ASSERT_TRUE(rst.ok()) << "resume past a torn snapshot failed: "
+                                << rst.ToString();
+          EXPECT_EQ(resumed, oracle);
+        }
+      }
+      SetFaultInjector(nullptr);
+    }
+  }
+
+  SetDefaultEdgeFileVersion(kEdgeFormatV1);
+  SetIoRetryPolicy(IoRetryPolicy());
 }
 
 TEST_F(FaultTortureTest, CleanScheduleStillSucceedsEverywhere) {
