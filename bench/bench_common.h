@@ -16,11 +16,21 @@
 //   --audit=FILE       record every logical block access and write an
 //                      audit log (inspect with examples/io_audit_tool);
 //                      each run's I/O-budget verdict rides along in it
-//   --cache-blocks=N   install a real N-block LRU cache + read-ahead
-//                      between BlockFile and the disk (io/block_cache.h).
-//                      Logical I/O counts and results are byte-identical
-//                      at every N; only physical reads drop. 0 (default)
-//                      = no cache, exactly the historical behavior
+//   --cache-blocks=N   install a real N-block buffer manager + read-ahead
+//                      between BlockFile and the disk
+//                      (io/buffer_manager.h). Logical I/O counts and
+//                      results are byte-identical at every N; only
+//                      physical reads drop. 0 (default) = no cache,
+//                      exactly the historical behavior
+//   --cache-policy=P   eviction policy for --cache-blocks: "lru"
+//                      (default) or "clock" (second-chance). Identical
+//                      logical I/O and results; only the hit/miss split
+//                      (and therefore physical reads) can differ
+//   --io-backend=B     page provider for every BlockFile: "pread"
+//                      (default; buffered stdio) or "direct" (O_DIRECT,
+//                      page cache bypassed; silently falls back to
+//                      buffered where unsupported). Never changes
+//                      results or logical I/O
 //   --threads=N        install an N-worker I/O thread pool (async block
 //                      prefetch, parallel run sorting). 0 (default) =
 //                      no pool, fully serial. Results, logical I/O and
@@ -99,8 +109,11 @@ struct BenchContext {
   std::unique_ptr<PhaseProfiler> profiler;
   std::unique_ptr<BlockAccessLog> audit;
   std::string audit_path;
-  // Real block cache (--cache-blocks=N, N > 0); see io/block_cache.h.
-  std::unique_ptr<BlockCache> cache;
+  // Real buffer manager (--cache-blocks=N, N > 0); see
+  // io/buffer_manager.h. Policy and backend are recorded for the report.
+  std::unique_ptr<BufferManager> cache;
+  std::string cache_policy = "lru";
+  std::string io_backend = "pread";
   // I/O worker pool (--threads=N, N > 0); see util/thread_pool.h.
   std::unique_ptr<ThreadPool> pool;
   int io_threads = 0;
@@ -128,10 +141,11 @@ struct BenchContext {
     }
     if (cache != nullptr) {
       SetBlockCache(nullptr);
-      const BlockCache::Stats cs = cache->stats();
+      const BufferManager::Stats cs = cache->stats();
       std::fprintf(stderr,
-                   "cache: %llu blocks, %llu hits, %llu misses, "
+                   "cache(%s): %llu blocks, %llu hits, %llu misses, "
                    "%llu prefetch hits, %llu evictions\n",
+                   cache_policy.c_str(),
                    static_cast<unsigned long long>(cache->budget_blocks()),
                    static_cast<unsigned long long>(cs.hits),
                    static_cast<unsigned long long>(cs.misses),
@@ -246,6 +260,20 @@ inline bool InitBench(int argc, char** argv, BenchContext* ctx,
     std::fprintf(stderr, "--prefetch-depth must be >= 0\n");
     return false;
   }
+  ctx->cache_policy = flags.GetString("cache-policy", "lru");
+  if (ctx->cache_policy != "lru" && ctx->cache_policy != "clock") {
+    std::fprintf(stderr, "--cache-policy must be lru or clock (got %s)\n",
+                 ctx->cache_policy.c_str());
+    return false;
+  }
+  ctx->io_backend = flags.GetString("io-backend", "pread");
+  if (ctx->io_backend != "pread" && ctx->io_backend != "direct") {
+    std::fprintf(stderr, "--io-backend must be pread or direct (got %s)\n",
+                 ctx->io_backend.c_str());
+    return false;
+  }
+  SetDefaultIoBackend(ctx->io_backend == "direct" ? IoBackend::kDirect
+                                                  : IoBackend::kBuffered);
   ctx->io_threads = static_cast<int>(threads);
   ctx->prefetch_depth = static_cast<int>(prefetch_depth);
   if (threads > 0) {
@@ -262,13 +290,16 @@ inline bool InitBench(int argc, char** argv, BenchContext* ctx,
     // SimulateLruCache sees the exact access stream the cache saw. The
     // budget is charged against the semi-external model's constant-block
     // allowance, never the algorithms' O(|V|) grant.
-    ctx->cache =
-        std::make_unique<BlockCache>(static_cast<uint64_t>(cache_blocks));
-    SetBlockCache(ctx->cache.get());
+    ctx->cache = std::make_unique<BufferManager>(
+        static_cast<uint64_t>(cache_blocks),
+        ctx->cache_policy == "clock" ? EvictionPolicy::kClock
+                                     : EvictionPolicy::kLru);
+    SetBufferManager(ctx->cache.get());
     std::fprintf(stderr,
-                 "cache: %lld blocks (%.1f MiB charged to the "
-                 "semi-external memory model)\n",
+                 "cache: %lld blocks, %s eviction (%.1f MiB charged to "
+                 "the semi-external memory model)\n",
                  static_cast<long long>(cache_blocks),
+                 ctx->cache_policy.c_str(),
                  static_cast<double>(TheoryCacheMemoryBytes(
                      static_cast<uint64_t>(cache_blocks),
                      kDefaultBlockSize)) /
@@ -279,8 +310,8 @@ inline bool InitBench(int argc, char** argv, BenchContext* ctx,
     // The read-ahead setting rides on the cache seam; a budget-0 cache
     // caches nothing (every read misses, installs drop — same logical
     // I/O and results as no cache) and just carries the pipeline depth.
-    ctx->cache = std::make_unique<BlockCache>(0);
-    SetBlockCache(ctx->cache.get());
+    ctx->cache = std::make_unique<BufferManager>(0);
+    SetBufferManager(ctx->cache.get());
   }
   if (ctx->cache != nullptr) {
     ctx->cache->set_prefetch_depth(ctx->prefetch_depth);
@@ -361,6 +392,12 @@ inline RunOutcome Run(const BenchContext& ctx, SccAlgorithm algorithm,
                                  kDefaultBlockSize);
       entry.prefetch_depth =
           static_cast<uint64_t>(ctx.cache->prefetch_depth());
+      entry.cache_policy = ctx.cache_policy;
+    }
+    if (ctx.cache != nullptr || ctx.io_backend != "pread") {
+      // Recorded next to the cache config; a plain run on the default
+      // buffered backend keeps its historical report line.
+      entry.io_backend = ctx.io_backend;
     }
     if (ctx.pool != nullptr) {
       entry.io_threads = static_cast<uint64_t>(ctx.pool->num_threads());

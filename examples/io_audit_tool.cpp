@@ -1,14 +1,17 @@
 // io_audit_tool: explains a run's block I/O from a recorded access log.
 //
 //   $ scc_tool run g.edges --algorithm=1PB --audit=run.audit
-//   $ io_audit_tool run.audit [--budgets=16,64,256,1024]
+//   $ io_audit_tool run.audit [--budgets=16,64,256,1024] [--policy=lru|clock]
 //
 // (Benches write the same format via --audit=FILE; see
 // docs/OBSERVABILITY.md.) Prints three views:
 //   1. per-file access patterns — sequential runs vs random jumps,
 //      distinct blocks vs total accesses, re-read ratio;
-//   2. a cache-savings curve — how many reads an LRU block cache of c
-//      blocks would have absorbed, replayed at each --budgets point;
+//   2. a cache-savings curve — how many reads a block cache of c blocks
+//      would have absorbed under the chosen eviction policy (LRU by
+//      default, clock with --policy=clock), replayed at each --budgets
+//      point. The replay is the conformance spec for the real buffer
+//      manager: an actual run at budget c reports exactly these counts;
 //   3. the I/O-budget verdicts recorded by the harness — measured I/O
 //      vs the analytic theory.h bound, PASS/FAIL per run.
 
@@ -27,7 +30,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: io_audit_tool AUDITFILE [--budgets=N,N,...]\n"
+               "usage: io_audit_tool AUDITFILE [--budgets=N,N,...] "
+               "[--policy=lru|clock]\n"
                "  AUDITFILE comes from --audit=FILE on scc_tool run or "
                "any bench binary\n");
   return 2;
@@ -62,6 +66,15 @@ int main(int argc, char** argv) {
   const std::string path = flags.positional()[0];
   const std::vector<uint64_t> budgets =
       ParseBudgets(flags.GetString("budgets", "16,64,256,1024"));
+  const std::string policy_name = flags.GetString("policy", "lru");
+  if (policy_name != "lru" && policy_name != "clock") {
+    std::fprintf(stderr, "--policy must be lru or clock (got %s)\n",
+                 policy_name.c_str());
+    return 2;
+  }
+  const CacheSimPolicy policy = policy_name == "clock"
+                                    ? CacheSimPolicy::kClock
+                                    : CacheSimPolicy::kLru;
 
   AuditLogData log;
   Status st = LoadAuditLog(path, &log);
@@ -97,9 +110,10 @@ int main(int argc, char** argv) {
   }
   patterns.Print();
 
-  std::printf("\n== LRU cache savings (would-be read hits) ==\n");
+  std::printf("\n== %s cache savings (would-be read hits) ==\n",
+              policy_name == "clock" ? "clock" : "LRU");
   Table curve({"cache blocks", "hits", "misses", "hit %"});
-  for (const CacheSimPoint& point : CacheSavingsCurve(log, budgets)) {
+  for (const CacheSimPoint& point : CacheSavingsCurve(log, budgets, policy)) {
     curve.AddRow({FormatCount(point.budget_blocks),
                   FormatCount(point.hits), FormatCount(point.misses),
                   Percent(point.HitRatio())});

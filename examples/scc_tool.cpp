@@ -80,6 +80,7 @@ int Usage() {
                "       scc_tool run FILE [--algorithm=1PB|1P|2P|DFS|EM] "
                "[--verify] [--time-limit=SECONDS] [--report] "
                "[--trace=FILE] [--audit=FILE] [--cache-blocks=N] "
+               "[--cache-policy=lru|clock] [--io-backend=pread|direct] "
                "[--threads=N] [--prefetch-depth=N] [--progress] "
                "[--telemetry-interval-ms=N] [--watchdog-ms=N] "
                "[--full-iterations] [--checkpoint-dir=DIR] "
@@ -219,6 +220,24 @@ int RunOn(const std::string& path, const Flags& flags) {
     std::fprintf(stderr, "--cache-blocks must be >= 0\n");
     return 2;
   }
+  const std::string cache_policy = flags.GetString("cache-policy", "lru");
+  if (cache_policy != "lru" && cache_policy != "clock") {
+    std::fprintf(stderr, "--cache-policy must be lru or clock (got %s)\n",
+                 cache_policy.c_str());
+    return 2;
+  }
+  const std::string io_backend = flags.GetString("io-backend", "pread");
+  if (io_backend != "pread" && io_backend != "direct") {
+    std::fprintf(stderr, "--io-backend must be pread or direct (got %s)\n",
+                 io_backend.c_str());
+    return 2;
+  }
+  // Page provider for every BlockFile the run opens: buffered stdio
+  // (default) or O_DIRECT with a silent buffered fallback where the
+  // filesystem or block size rules it out. Never changes results or
+  // logical I/O.
+  SetDefaultIoBackend(io_backend == "direct" ? IoBackend::kDirect
+                                             : IoBackend::kBuffered);
   const int64_t threads = flags.GetInt("threads", 0);
   const int64_t prefetch_depth = flags.GetInt("prefetch-depth", 1);
   if (threads < 0 || prefetch_depth < 0) {
@@ -234,18 +253,21 @@ int RunOn(const std::string& path, const Flags& flags) {
                  "--prefetch-depth without --threads: falling back to the "
                  "synchronous double buffer\n");
   }
-  std::unique_ptr<BlockCache> cache;
+  std::unique_ptr<BufferManager> cache;
   if (cache_blocks > 0) {
-    // Real LRU block cache + read-ahead (io/block_cache.h). Logical I/O
-    // counts and the SCC result are identical at every budget; only the
-    // physical reads drop.
-    cache = std::make_unique<BlockCache>(static_cast<uint64_t>(cache_blocks));
-    SetBlockCache(cache.get());
+    // Real buffer manager + read-ahead (io/buffer_manager.h), with the
+    // chosen eviction policy. Logical I/O counts and the SCC result are
+    // identical at every budget and policy; only the physical reads drop.
+    cache = std::make_unique<BufferManager>(
+        static_cast<uint64_t>(cache_blocks),
+        cache_policy == "clock" ? EvictionPolicy::kClock
+                                : EvictionPolicy::kLru);
+    SetBufferManager(cache.get());
   } else if (prefetch_depth >= 2 && pool != nullptr) {
     // The read-ahead setting rides on the cache seam; a budget-0 cache
     // caches nothing and just carries the pipeline depth.
-    cache = std::make_unique<BlockCache>(0);
-    SetBlockCache(cache.get());
+    cache = std::make_unique<BufferManager>(0);
+    SetBufferManager(cache.get());
   }
   if (cache != nullptr) {
     cache->set_prefetch_depth(static_cast<int>(prefetch_depth));
@@ -324,11 +346,12 @@ int RunOn(const std::string& path, const Flags& flags) {
   if (pool != nullptr) SetIoThreadPool(nullptr);
   if (cache != nullptr) {
     SetBlockCache(nullptr);
-    const BlockCache::Stats cs = cache->stats();
+    const BufferManager::Stats cs = cache->stats();
     std::fprintf(stderr,
-                 "cache: %lld blocks (%.1f MiB charged to the semi-external "
-                 "model), %llu hits, %llu misses, %llu prefetch hits\n",
-                 static_cast<long long>(cache_blocks),
+                 "cache(%s): %lld blocks (%.1f MiB charged to the "
+                 "semi-external model), %llu hits, %llu misses, "
+                 "%llu prefetch hits\n",
+                 cache_policy.c_str(), static_cast<long long>(cache_blocks),
                  static_cast<double>(TheoryCacheMemoryBytes(
                      cache->budget_blocks(), kDefaultBlockSize)) /
                      (1024.0 * 1024.0),
@@ -370,6 +393,10 @@ int RunOn(const std::string& path, const Flags& flags) {
     }
     if (cache != nullptr) {
       entry.prefetch_depth = static_cast<uint64_t>(cache->prefetch_depth());
+      entry.cache_policy = cache_policy;
+    }
+    if (cache != nullptr || io_backend != "pread") {
+      entry.io_backend = io_backend;
     }
     if (pool != nullptr) {
       entry.io_threads = static_cast<uint64_t>(pool->num_threads());

@@ -96,8 +96,9 @@ inline uint64_t TheoryExtraBatchEdges(uint64_t pruned_nodes_per_iter,
   return pruned_nodes_per_iter * (iterations - 1) * iterations / 4;
 }
 
-// Memory the semi-external model charges for a c-block LRU cache
-// (io/block_cache.h): c resident blocks of B bytes. The paper's grant is
+// Memory the semi-external model charges for a c-block buffer manager
+// (io/buffer_manager.h, either eviction policy — the budget is the frame
+// count, not the policy): c resident blocks of B bytes. The paper's grant is
 // O(|V|) words *plus a constant number of blocks* (Section 2 — the same
 // constant PaperDefaultMemoryBytes spends on the scan buffer); a cache of
 // c blocks simply spends c such constants. Reported alongside the

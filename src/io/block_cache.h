@@ -1,161 +1,31 @@
-// A real, budgeted LRU block cache between BlockFile and the disk.
+// Legacy names for the buffer manager (io/buffer_manager.h).
 //
-// PR 2 built SimulateLruCache (obs/io_audit.h), which replays an audit
-// log and predicts how many reads a c-block cache would absorb. This is
-// the cache that actually absorbs them: one process-wide LRU over every
-// BlockFile opened while it is installed, holding at most budget_blocks
-// resident blocks — the constant number of in-memory blocks the
-// semi-external model grants (harness/theory.h charges the budget
-// against that grant; it never shrinks the algorithms' own O(|V|)
-// allocation, so results are byte-identical at every budget).
-//
-// The simulator is the spec: the cache's LRU state transitions are keyed
-// on exactly the *logical* accesses the audit log records, in the same
-// order, with the same (file, block) identity and the same semantics —
-// reads hit or miss and install on miss; writes install/refresh content
-// and promote but never count as hits; eviction drops the LRU tail once
-// residency exceeds the budget. tests/block_cache_test.cc pins down that
-// a run's real hit count equals SimulateLruCache replaying that run's
-// audit log at the same budget.
-//
-// Read-ahead lives *outside* the LRU: each sequentially-scanned
-// BlockFile keeps a private one-block prefetch buffer (double
-// buffering), filled opportunistically after a physical read. A logical
-// read served from that buffer is still an LRU miss (and installs, as
-// any miss does) — it just cost no new disk read at demand time. This
-// keeps hit/miss accounting in lockstep with the simulator no matter
-// how much the prefetcher saves.
-//
-// Installation follows the TraceSpan/BlockAccessLog pattern:
-// SetBlockCache() before opening files, nullptr to disable; BlockFile
-// captures the pointer once at Open. The cache must outlive every
-// BlockFile opened while installed. All methods are thread-safe.
+// PR 4's BlockCache was a single-policy, promote-on-every-access LRU
+// behind a process-wide capture-at-open seam. The buffer manager
+// subsumed it — same budget semantics, same simulator-is-the-spec
+// conformance contract, plus single-flight loads, a clock policy,
+// pin/unpin handles, and dirty-page write-back — so these aliases exist
+// only to keep the original spelling compiling: `BlockCache(budget)` is
+// a BufferManager fixed to the LRU policy, and SetBlockCache /
+// GetBlockCache forward to the one process-wide manager seam.
 
 #ifndef IOSCC_IO_BLOCK_CACHE_H_
 #define IOSCC_IO_BLOCK_CACHE_H_
 
-#include <atomic>
-#include <cstdint>
-#include <list>
-#include <mutex>
-#include <string>
-#include <unordered_map>
-#include <vector>
+#include "io/buffer_manager.h"
 
 namespace ioscc {
 
-class BlockCache {
+class BlockCache : public BufferManager {
  public:
-  struct Stats {
-    uint64_t hits = 0;        // logical reads served from the LRU
-    uint64_t misses = 0;      // logical reads that installed a block
-    uint64_t prefetch_hits = 0;       // misses served by the read-ahead buffer
-    uint64_t prefetched_blocks = 0;   // read-ahead disk reads performed
-    uint64_t evictions = 0;
-  };
-
-  // budget_blocks == 0 is legal and caches nothing (every read misses,
-  // installs are dropped immediately), matching SimulateLruCache; callers
-  // normally just leave the cache uninstalled instead. `read_ahead`
-  // enables the per-file prefetch buffer in BlockFile.
-  explicit BlockCache(uint64_t budget_blocks, bool read_ahead = true);
-
-  BlockCache(const BlockCache&) = delete;
-  BlockCache& operator=(const BlockCache&) = delete;
-
-  // Interns a logical path to a stable file id, exactly like
-  // BlockAccessLog::RegisterFile — both key on the logical ("known as")
-  // path, so cache identity matches audit identity for temp-then-rename
-  // writers and scanner re-opens.
-  uint32_t RegisterFile(const std::string& logical_path);
-
-  // Logical read through the LRU. On a hit copies the cached block into
-  // `data`, promotes it to MRU, counts a hit, and returns true. On a
-  // miss returns false and counts nothing — the caller performs the
-  // physical read (or consumes its prefetch buffer) and calls Install,
-  // which is where the miss is counted, mirroring the simulator's
-  // miss-then-install step.
-  bool Lookup(uint32_t file_id, uint64_t block, void* data,
-              size_t block_size);
-
-  // Installs block content after a successful physical read, a prefetch-
-  // buffer consume, or a write. Read installs (is_write == false) count
-  // one miss. Write installs refresh/insert content and promote without
-  // touching hit/miss counts, exactly as the simulator treats writes.
-  void Install(uint32_t file_id, uint64_t block, const void* data,
-               size_t block_size, bool is_write);
-
-  // Residency probe that does NOT promote — used by the prefetcher to
-  // skip blocks the LRU would serve anyway without perturbing its order.
-  bool Contains(uint32_t file_id, uint64_t block) const;
-
-  // Read-ahead accounting (the buffer itself lives in BlockFile).
-  void CountPrefetch();
-  void CountPrefetchHit();
-
-  uint64_t budget_blocks() const { return budget_blocks_; }
-  bool read_ahead() const { return read_ahead_; }
-
-  // Read-ahead pipeline depth, captured by BlockFile at Open:
-  //   0          no read-ahead (same as read_ahead == false)
-  //   1          the synchronous one-block double buffer (default —
-  //              today's behavior, no threads involved)
-  //   N >= 2     asynchronous N-deep prefetch window, serviced by the
-  //              process-wide ThreadPool (SetIoThreadPool); falls back
-  //              to the synchronous buffer when no pool is installed.
-  // Set before opening files, like the budget (not synchronized against
-  // open BlockFiles).
-  void set_prefetch_depth(int depth) {
-    prefetch_depth_.store(depth < 0 ? 0 : depth, std::memory_order_release);
-  }
-  int prefetch_depth() const {
-    return read_ahead_ ? prefetch_depth_.load(std::memory_order_relaxed)
-                       : 0;
-  }
-
-  Stats stats() const;
-  uint64_t resident_blocks() const;
-  uint64_t resident_bytes() const;
-
- private:
-  struct Entry {
-    std::list<uint64_t>::iterator lru_pos;
-    std::vector<char> data;
-  };
-
-  // Same packing as obs/io_audit.cc's BlockKey, so (file, block)
-  // identity is bit-identical between cache and simulator.
-  static uint64_t Key(uint32_t file_id, uint64_t block) {
-    return (static_cast<uint64_t>(file_id) << 40) | block;
-  }
-
-  void EvictIfOverBudget();  // mu_ held
-
-  const uint64_t budget_blocks_;
-  const bool read_ahead_;
-  std::atomic<int> prefetch_depth_{1};
-
-  mutable std::mutex mu_;
-  std::vector<std::string> files_;          // id -> logical path
-  std::list<uint64_t> lru_;                 // MRU at the front
-  std::unordered_map<uint64_t, Entry> resident_;
-  Stats stats_;
+  explicit BlockCache(uint64_t budget_blocks, bool read_ahead = true)
+      : BufferManager(budget_blocks, EvictionPolicy::kLru, read_ahead) {}
 };
 
-namespace internal_io {
-inline std::atomic<BlockCache*> g_block_cache{nullptr};
-}  // namespace internal_io
-
-// Installs `cache` as the process-wide block cache (nullptr disables).
-// Not synchronized against open BlockFiles: install before opening them,
-// uninstall after closing them (the same contract as SetBlockAccessLog).
-inline void SetBlockCache(BlockCache* cache) {
-  internal_io::g_block_cache.store(cache, std::memory_order_release);
-}
-
-inline BlockCache* GetBlockCache() {
-  return internal_io::g_block_cache.load(std::memory_order_relaxed);
-}
+// Forwarders to the buffer-manager seam: legacy installers and the new
+// code share one process-wide slot, whichever name they use.
+inline void SetBlockCache(BufferManager* cache) { SetBufferManager(cache); }
+inline BufferManager* GetBlockCache() { return GetBufferManager(); }
 
 }  // namespace ioscc
 

@@ -1,10 +1,12 @@
 #include "io/block_file.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -102,33 +104,102 @@ Status BlockAccessLog::WriteTo(const std::string& path) const {
   return WriteAuditLog(Snapshot(), path);
 }
 
+BlockFile::BlockFile(std::string path, std::string logical_path,
+                     std::FILE* file, int fd, Mode mode, size_t block_size,
+                     uint64_t block_count, IoStats* stats,
+                     BlockAccessLog* audit, uint32_t audit_file_id,
+                     FaultInjector* fault, BufferManager* cache,
+                     uint32_t cache_file_id, ThreadPool* pool,
+                     int prefetch_depth)
+    : path_(std::move(path)),
+      logical_path_(std::move(logical_path)),
+      file_(file),
+      fd_(fd),
+      mode_(mode),
+      block_size_(block_size),
+      block_count_(block_count),
+      stats_(stats),
+      audit_(audit),
+      audit_file_id_(audit_file_id),
+      fault_(fault),
+      cache_(cache),
+      cache_file_id_(cache_file_id),
+      pool_(pool),
+      prefetch_depth_(prefetch_depth) {
+  if (fd_ >= 0) {
+    // O_DIRECT transfers need sector-aligned memory; 4096 covers every
+    // common logical sector size. Open() only selects the direct
+    // backend when the allocation succeeds, so this cannot be null on
+    // the transfer paths.
+    void* buf = nullptr;
+    if (::posix_memalign(&buf, 4096, block_size_) == 0) {
+      aligned_buf_ = static_cast<char*>(buf);
+    }
+  }
+}
+
 Status BlockFile::Open(const std::string& path, Mode mode, size_t block_size,
                        IoStats* stats, std::unique_ptr<BlockFile>* out,
-                       const std::string& logical_path) {
+                       const std::string& logical_path, IoBackend backend) {
   if (block_size == 0) {
     return Status::InvalidArgument("block_size must be positive");
   }
-  const char* fmode = mode == Mode::kRead ? "rb" : "wb";
-  std::FILE* file = std::fopen(path.c_str(), fmode);
-  if (file == nullptr) {
-    return Status::IoError("open " + path + ": " + ErrnoText(errno));
-  }
+  if (backend == IoBackend::kDefault) backend = GetDefaultIoBackend();
 
+  // Direct backend: O_DIRECT wants sector-aligned lengths and offsets,
+  // so require a 4096-multiple block size; anything else (including the
+  // filesystem refusing O_DIRECT outright, e.g. tmpfs) silently falls
+  // back to the buffered path — the backend changes which layer absorbs
+  // re-reads, never what the file contains.
+  int fd = -1;
+#ifdef O_DIRECT
+  if (backend == IoBackend::kDirect && block_size % 4096 == 0) {
+    const int flags = mode == Mode::kRead
+                          ? (O_RDONLY | O_DIRECT)
+                          : (O_WRONLY | O_CREAT | O_TRUNC | O_DIRECT);
+    fd = ::open(path.c_str(), flags, 0644);
+  }
+#endif
+
+  std::FILE* file = nullptr;
   uint64_t block_count = 0;
-  if (mode == Mode::kRead) {
-    struct stat st;
-    if (::stat(path.c_str(), &st) != 0) {
-      const int err = errno;
-      std::fclose(file);
-      return Status::IoError("stat " + path + ": " + ErrnoText(err));
+  if (fd >= 0) {
+    if (mode == Mode::kRead) {
+      struct stat st;
+      if (::fstat(fd, &st) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return Status::IoError("stat " + path + ": " + ErrnoText(err));
+      }
+      if (st.st_size % static_cast<off_t>(block_size) != 0) {
+        ::close(fd);
+        return Status::Corruption(path + ": size " +
+                                  std::to_string(st.st_size) +
+                                  " is not a multiple of the block size");
+      }
+      block_count = static_cast<uint64_t>(st.st_size) / block_size;
     }
-    if (st.st_size % static_cast<off_t>(block_size) != 0) {
-      std::fclose(file);
-      return Status::Corruption(path + ": size " +
-                                std::to_string(st.st_size) +
-                                " is not a multiple of the block size");
+  } else {
+    const char* fmode = mode == Mode::kRead ? "rb" : "wb";
+    file = std::fopen(path.c_str(), fmode);
+    if (file == nullptr) {
+      return Status::IoError("open " + path + ": " + ErrnoText(errno));
     }
-    block_count = static_cast<uint64_t>(st.st_size) / block_size;
+    if (mode == Mode::kRead) {
+      struct stat st;
+      if (::stat(path.c_str(), &st) != 0) {
+        const int err = errno;
+        std::fclose(file);
+        return Status::IoError("stat " + path + ": " + ErrnoText(err));
+      }
+      if (st.st_size % static_cast<off_t>(block_size) != 0) {
+        std::fclose(file);
+        return Status::Corruption(path + ": size " +
+                                  std::to_string(st.st_size) +
+                                  " is not a multiple of the block size");
+      }
+      block_count = static_cast<uint64_t>(st.st_size) / block_size;
+    }
   }
 
   const std::string& known_as = logical_path.empty() ? path : logical_path;
@@ -138,7 +209,7 @@ Status BlockFile::Open(const std::string& path, Mode mode, size_t block_size,
   const uint32_t audit_file_id =
       audit != nullptr ? audit->RegisterFile(known_as) : 0;
   FaultInjector* fault = GetFaultInjector();
-  BlockCache* cache = GetBlockCache();
+  BufferManager* cache = GetBufferManager();
   const uint32_t cache_file_id =
       cache != nullptr ? cache->RegisterFile(known_as) : 0;
   ThreadPool* pool = GetIoThreadPool();
@@ -155,21 +226,76 @@ Status BlockFile::Open(const std::string& path, Mode mode, size_t block_size,
   if (mode == Mode::kRead && cache != nullptr) {
     IoCounters().NotePrefetchDepth(static_cast<uint64_t>(depth));
   }
-  out->reset(new BlockFile(path, known_as, file, mode, block_size,
+  out->reset(new BlockFile(path, known_as, file, fd, mode, block_size,
                            block_count, stats, audit, audit_file_id, fault,
                            cache, cache_file_id, pool, depth));
+  if (fd >= 0 && (*out)->aligned_buf_ == nullptr) {
+    // The aligned bounce buffer failed to allocate; reopen buffered.
+    out->reset();
+    ::close(fd);
+    return Open(path, mode, block_size, stats, out, logical_path,
+                IoBackend::kBuffered);
+  }
   return Status::OK();
 }
 
 BlockFile::~BlockFile() {
   ShutdownPrefetcher();
   if (file_ != nullptr) std::fclose(file_);
+  if (fd_ >= 0) ::close(fd_);
+  std::free(aligned_buf_);
+}
+
+size_t BlockFile::RawRead(uint64_t index, void* data, int* err) {
+  *err = 0;
+  if (fd_ >= 0) {
+    const off_t off = static_cast<off_t>(index * block_size_);
+    const ssize_t got = ::pread(fd_, aligned_buf_, block_size_, off);
+    if (got < 0) {
+      *err = errno;
+      return 0;
+    }
+    std::memcpy(data, aligned_buf_, static_cast<size_t>(got));
+    return static_cast<size_t>(got);
+  }
+  const size_t got = std::fread(data, 1, block_size_, file_);
+  if (got != block_size_) {
+    *err = std::ferror(file_) ? errno : 0;
+    std::clearerr(file_);
+  }
+  return got;
+}
+
+size_t BlockFile::RawWrite(uint64_t index, const void* data, size_t len,
+                           int* err) {
+  *err = 0;
+  if (fd_ >= 0) {
+    // O_DIRECT can only land whole sectors, so an injected short/torn
+    // prefix rounds down to the 512-byte grain.
+    const size_t n = len - len % 512;
+    if (n == 0) return 0;
+    std::memcpy(aligned_buf_, data, n);
+    const off_t off = static_cast<off_t>(index * block_size_);
+    const ssize_t wrote = ::pwrite(fd_, aligned_buf_, n, off);
+    if (wrote < 0) {
+      *err = errno;
+      return 0;
+    }
+    return static_cast<size_t>(wrote);
+  }
+  const size_t wrote =
+      std::fwrite(static_cast<const char*>(data), 1, len, file_);
+  if (wrote != len) {
+    *err = std::ferror(file_) ? errno : 0;
+    std::clearerr(file_);
+  }
+  return wrote;
 }
 
 Status BlockFile::ReadAttempt(uint64_t index, void* data, bool need_seek,
                               bool* retryable) {
   *retryable = false;
-  if (need_seek) {
+  if (need_seek && fd_ < 0) {
     if (std::fseek(file_, static_cast<long>(index * block_size_),
                    SEEK_SET) != 0) {
       *retryable = ErrnoIsRetryable(errno);
@@ -196,7 +322,8 @@ Status BlockFile::ReadAttempt(uint64_t index, void* data, bool need_seek,
                              " (injected)");
     case FaultKind::kShortRead: {
       // The transfer happens, but the kernel reports fewer bytes.
-      (void)std::fread(data, 1, block_size_, file_);
+      int ignored = 0;
+      (void)RawRead(index, data, &ignored);
       *retryable = true;
       return Status::IoError(
           "short read from " + path_ + ": got " +
@@ -207,10 +334,9 @@ Status BlockFile::ReadAttempt(uint64_t index, void* data, bool need_seek,
       break;
   }
 
-  const size_t got = std::fread(data, 1, block_size_, file_);
+  int err = 0;
+  const size_t got = RawRead(index, data, &err);
   if (got != block_size_) {
-    const int err = std::ferror(file_) ? errno : 0;
-    std::clearerr(file_);
     *retryable = err == 0 || ErrnoIsRetryable(err);
     std::string detail =
         err != 0 ? ErrnoText(err)
@@ -243,35 +369,45 @@ Status BlockFile::RetryRead(uint64_t index, void* data, Status first,
                          " attempts)");
 }
 
-Status BlockFile::ReadBlock(uint64_t index, void* data) {
-  if (mode_ != Mode::kRead) {
-    return Status::InvalidArgument("ReadBlock on write-only file");
+Status BlockFile::DemandRead(uint64_t index, void* data) {
+  const bool sample_latency = MetricsEnabled();
+  Timer timer;
+  bool retryable = false;
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(file_mu_);
+    // Avoid a redundant fseek for the common sequential-scan pattern.
+    st = ReadAttempt(index, data, /*need_seek=*/index != read_cursor_,
+                     &retryable);
+    if (!st.ok()) {
+      st = RetryRead(index, data, std::move(st), retryable);
+    }
+    read_cursor_ = st.ok() ? index + 1 : kNoBlock;
   }
-  if (index >= block_count_) {
-    return Status::InvalidArgument("block index out of range in " + path_);
-  }
-  const bool sequential = index == 0 || index == last_logical_read_ + 1;
-  bool disk_was_touched = false;  // demand read or prefetch consume
-  bool served = false;
-  if (cache_ != nullptr &&
-      cache_->Lookup(cache_file_id_, index, data, block_size_)) {
-    // LRU hit: served from memory, the disk head stays where it was.
-    if (stats_ != nullptr) ++stats_->cache_hits;
-    IoCounters().BumpCacheHit();
-    served = true;
-  } else if (async_prefetch()) {
+  const uint64_t micros =
+      static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+  if (stats_ != nullptr) stats_->read_stall_micros += micros;
+  IoCounters().BumpReadStall(micros);
+  if (!st.ok()) return st;
+  if (sample_latency) ReadLatencyHistogram()->Record(micros);
+  if (stats_ != nullptr) ++stats_->physical_blocks_read;
+  IoCounters().BumpPhysicalRead();
+  return Status::OK();
+}
+
+Status BlockFile::LoadForRead(uint64_t index, void* data,
+                              bool* disk_was_touched) {
+  if (async_prefetch()) {
     PrefetchSlot slot;
     if (TakeSlot(index, &slot)) {
       if (slot.ok_read) {
-        // Async read-ahead hit: an LRU miss whose physical read was
-        // already paid by the filler. Every counter moves here, on the
+        // Async read-ahead hit: a miss whose physical read was already
+        // paid by the filler. Every counter moves here, on the
         // consuming thread, so the ledger and the cache's hit/miss
-        // sequence stay in lockstep with SimulateLruCache.
+        // sequence stay in lockstep with the simulator.
         std::memcpy(data, slot.data.data(), block_size_);
         cache_->CountPrefetch();
         cache_->CountPrefetchHit();
-        cache_->Install(cache_file_id_, index, data, block_size_,
-                        /*is_write=*/false);
         if (stats_ != nullptr) {
           ++stats_->physical_blocks_read;
           ++stats_->prefetched_blocks;
@@ -280,9 +416,10 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
         IoCounters().BumpPhysicalRead();
         IoCounters().BumpPrefetched();
         IoCounters().BumpPrefetchHit();
-        disk_was_touched = true;
-        served = true;
-      } else if (!slot.status.ok()) {
+        *disk_was_touched = true;
+        return Status::OK();
+      }
+      if (!slot.status.ok()) {
         // Deferred fault: the filler's failed attempt stands in for this
         // logical read's first attempt. Retries happen here and count
         // into read_retries, so the surfaced Status and the retry ledger
@@ -300,64 +437,79 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
         if (stats_ != nullptr) stats_->read_stall_micros += stalled;
         IoCounters().BumpReadStall(stalled);
         if (!st.ok()) return st;
-        cache_->Install(cache_file_id_, index, data, block_size_,
-                        /*is_write=*/false);
         if (stats_ != nullptr) ++stats_->physical_blocks_read;
         IoCounters().BumpPhysicalRead();
-        disk_was_touched = true;
-        served = true;
+        *disk_was_touched = true;
+        return Status::OK();
       }
-      // Otherwise the filler skipped the block (LRU-resident when
+      // Otherwise the filler skipped the block (cache-resident when
       // probed, evicted since): fall through to a demand read.
     }
   } else if (prefetch_depth_ == 1 && prefetch_block_ == index) {
-    // Synchronous read-ahead hit: an LRU miss whose physical read was
-    // already paid by the prefetcher. Installs like any miss, so
-    // hit/miss accounting stays in lockstep with SimulateLruCache.
+    // Synchronous read-ahead hit: a miss whose physical read was
+    // already paid by the prefetcher (which also booked it).
     std::memcpy(data, prefetch_buffer_.data(), block_size_);
     prefetch_block_ = kNoBlock;
     cache_->CountPrefetchHit();
-    cache_->Install(cache_file_id_, index, data, block_size_,
-                    /*is_write=*/false);
-    disk_was_touched = true;
-    served = true;
     if (stats_ != nullptr) ++stats_->prefetch_hits;
     IoCounters().BumpPrefetchHit();
+    *disk_was_touched = true;
+    return Status::OK();
   }
-  if (!served) {
-    const bool sample_latency = MetricsEnabled();
-    Timer timer;
-    bool retryable = false;
-    Status st;
-    {
-      std::lock_guard<std::mutex> lock(file_mu_);
-      // Avoid a redundant fseek for the common sequential-scan pattern.
-      st = ReadAttempt(index, data, /*need_seek=*/index != read_cursor_,
-                       &retryable);
-      if (!st.ok()) {
-        st = RetryRead(index, data, std::move(st), retryable);
-      }
-      read_cursor_ = st.ok() ? index + 1 : kNoBlock;
+  IOSCC_RETURN_IF_ERROR(DemandRead(index, data));
+  *disk_was_touched = true;
+  return Status::OK();
+}
+
+Status BlockFile::ReadBlock(uint64_t index, void* data) {
+  if (mode_ != Mode::kRead) {
+    return Status::InvalidArgument("ReadBlock on write-only file");
+  }
+  if (index >= block_count_) {
+    return Status::InvalidArgument("block index out of range in " + path_);
+  }
+  const bool sequential = index == 0 || index == last_logical_read_ + 1;
+  bool disk_was_touched = false;  // demand read or prefetch consume
+
+  if (cache_ == nullptr) {
+    // Manager-less path: the demand read, the audit record, and the
+    // logical counters, exactly as before the buffer manager existed.
+    IOSCC_RETURN_IF_ERROR(DemandRead(index, data));
+    last_logical_read_ = index;
+    if (audit_ != nullptr) {
+      audit_->Record(audit_file_id_, index, /*is_write=*/false);
     }
-    const uint64_t micros =
-        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
-    if (stats_ != nullptr) stats_->read_stall_micros += micros;
-    IoCounters().BumpReadStall(micros);
-    if (!st.ok()) return st;
-    if (sample_latency) ReadLatencyHistogram()->Record(micros);
-    disk_was_touched = true;
-    if (stats_ != nullptr) ++stats_->physical_blocks_read;
-    IoCounters().BumpPhysicalRead();
-    if (cache_ != nullptr) {
-      cache_->Install(cache_file_id_, index, data, block_size_,
-                      /*is_write=*/false);
+    if (stats_ != nullptr) {
+      ++stats_->blocks_read;
+      stats_->bytes_read += block_size_;
     }
+    IoCounters().BumpRead(block_size_);
+    return Status::OK();
+  }
+
+  // Single-flight logical read: the manager either serves a hit (and
+  // writes the audit record atomically with the cache transition) or
+  // grants this thread the block's load token. Concurrent readers of
+  // the same cold block wait for the token holder and then hit — one
+  // miss, one physical read, however many threads demanded it.
+  if (cache_->BeginRead(cache_file_id_, index, data, block_size_, audit_,
+                        audit_file_id_) == BufferManager::ReadOutcome::kHit) {
+    if (stats_ != nullptr) ++stats_->cache_hits;
+    IoCounters().BumpCacheHit();
+  } else {
+    Status st = LoadForRead(index, data, &disk_was_touched);
+    if (!st.ok()) {
+      cache_->AbortLoad(cache_file_id_, index);
+      return st;
+    }
+    cache_->FinishLoad(cache_file_id_, index, data, block_size_, audit_,
+                       audit_file_id_);
   }
   // Read-ahead: while the head sits just past a sequentially-demanded
   // block, pull the next one (synchronous double buffer) or top the
   // async window back up to prefetch_depth_ blocks. Chains across
-  // prefetch consumes so a steady scan stays ahead; skipped on LRU hits
-  // (the disk was never involved).
+  // prefetch consumes so a steady scan stays ahead; skipped on cache
+  // hits (the disk was never involved).
   if (sequential && disk_was_touched) {
     if (async_prefetch()) {
       ScheduleAsyncPrefetch(index);
@@ -366,9 +518,6 @@ Status BlockFile::ReadBlock(uint64_t index, void* data) {
     }
   }
   last_logical_read_ = index;
-  if (audit_ != nullptr) {
-    audit_->Record(audit_file_id_, index, /*is_write=*/false);
-  }
   if (stats_ != nullptr) {
     ++stats_->blocks_read;
     stats_->bytes_read += block_size_;
@@ -597,7 +746,7 @@ void BlockFile::ShutdownPrefetcher() {
 Status BlockFile::WriteAttempt(uint64_t index, const void* data,
                                bool need_seek, bool* retryable) {
   *retryable = false;
-  if (need_seek) {
+  if (need_seek && fd_ < 0) {
     if (std::fseek(file_, static_cast<long>(index * block_size_),
                    SEEK_SET) != 0) {
       *retryable = ErrnoIsRetryable(errno);
@@ -627,31 +776,38 @@ Status BlockFile::WriteAttempt(uint64_t index, const void* data,
       return Status::IoError("write block " + std::to_string(index) +
                              " of " + path_ + ": " + ErrnoText(ENOSPC) +
                              " (injected)");
-    case FaultKind::kShortWrite:
+    case FaultKind::kShortWrite: {
       // A prefix lands; a retry rewrites the block from its start.
-      (void)std::fwrite(bytes, 1, static_cast<size_t>(action.param), file_);
+      int ignored = 0;
+      (void)RawWrite(index, bytes, static_cast<size_t>(action.param),
+                     &ignored);
       *retryable = true;
       return Status::IoError(
           "short write to " + path_ + ": wrote " +
           std::to_string(action.param) + " of " +
           std::to_string(block_size_) + " bytes (injected)");
-    case FaultKind::kTornWrite:
+    }
+    case FaultKind::kTornWrite: {
       // Crash-style failure: a partial block lands and the device is
       // gone. Not retryable — recovery is the writer's temp-then-rename.
-      (void)std::fwrite(bytes, 1, static_cast<size_t>(action.param), file_);
+      int ignored = 0;
+      (void)RawWrite(index, bytes, static_cast<size_t>(action.param),
+                     &ignored);
       return Status::IoError("torn write to " + path_ + ": " +
                              std::to_string(action.param) + " of " +
                              std::to_string(block_size_) +
                              " bytes hit disk (injected)");
+    }
     case FaultKind::kBitFlip: {
       std::vector<char> corrupted(bytes, bytes + block_size_);
       const uint64_t bit = action.param % (block_size_ * 8);
       corrupted[bit / 8] ^= static_cast<char>(1u << (bit % 8));
-      if (std::fwrite(corrupted.data(), 1, block_size_, file_) !=
+      int err = 0;
+      if (RawWrite(index, corrupted.data(), block_size_, &err) !=
           block_size_) {
         *retryable = true;
         return Status::IoError("short write to " + path_ + ": " +
-                               ErrnoText(errno));
+                               ErrnoText(err != 0 ? err : EIO));
       }
       return Status::OK();
     }
@@ -659,10 +815,9 @@ Status BlockFile::WriteAttempt(uint64_t index, const void* data,
       break;
   }
 
-  const size_t wrote = std::fwrite(bytes, 1, block_size_, file_);
+  int err = 0;
+  const size_t wrote = RawWrite(index, bytes, block_size_, &err);
   if (wrote != block_size_) {
-    const int err = std::ferror(file_) ? errno : 0;
-    std::clearerr(file_);
     *retryable = err == 0 || ErrnoIsRetryable(err);
     std::string detail =
         err != 0 ? ErrnoText(err)
@@ -709,10 +864,11 @@ Status BlockFile::AppendBlock(const void* data) {
   }
   ++block_count_;
   if (cache_ != nullptr) {
-    cache_->Install(cache_file_id_, block_count_ - 1, data, block_size_,
-                    /*is_write=*/true);
-  }
-  if (audit_ != nullptr) {
+    // The write transition and the audit record land in one critical
+    // section, so record order == transition order under concurrency.
+    cache_->WriteInstall(cache_file_id_, block_count_ - 1, data,
+                         block_size_, audit_, audit_file_id_);
+  } else if (audit_ != nullptr) {
     audit_->Record(audit_file_id_, block_count_ - 1, /*is_write=*/true);
   }
   if (stats_ != nullptr) {
@@ -736,16 +892,17 @@ Status BlockFile::WriteBlockAt(uint64_t index, const void* data) {
     st = RetryWrite(index, data, std::move(st), retryable);
     if (!st.ok()) return st;
   }
-  // Restore the append position for any subsequent AppendBlock.
-  if (std::fseek(file_, static_cast<long>(block_count_ * block_size_),
+  // Restore the append position for any subsequent AppendBlock (the
+  // direct backend positions per write and needs no restore).
+  if (fd_ < 0 &&
+      std::fseek(file_, static_cast<long>(block_count_ * block_size_),
                  SEEK_SET) != 0) {
     return Status::IoError("seek in " + path_ + ": " + ErrnoText(errno));
   }
   if (cache_ != nullptr) {
-    cache_->Install(cache_file_id_, index, data, block_size_,
-                    /*is_write=*/true);
-  }
-  if (audit_ != nullptr) {
+    cache_->WriteInstall(cache_file_id_, index, data, block_size_, audit_,
+                         audit_file_id_);
+  } else if (audit_ != nullptr) {
     audit_->Record(audit_file_id_, index, /*is_write=*/true);
   }
   if (stats_ != nullptr) {
@@ -778,7 +935,10 @@ Status BlockFile::FlushAttempt(bool* retryable) {
     default:
       break;
   }
-  if (std::fflush(file_) != 0) {
+  // The direct backend has no stdio buffer to flush: pwrite hands the
+  // sectors straight to the device. Injected flush faults still fire
+  // above so fault schedules are backend-independent.
+  if (fd_ < 0 && std::fflush(file_) != 0) {
     *retryable = ErrnoIsRetryable(errno);
     return Status::IoError("flush " + path_ + ": " + ErrnoText(errno));
   }
@@ -804,7 +964,7 @@ Status BlockFile::Flush() {
 Status BlockFile::SyncToDisk() {
   if (mode_ != Mode::kWrite) return Status::OK();
   IOSCC_RETURN_IF_ERROR(Flush());
-  if (::fsync(::fileno(file_)) != 0) {
+  if (::fsync(fd_ >= 0 ? fd_ : ::fileno(file_)) != 0) {
     return Status::IoError("fsync " + path_ + ": " + ErrnoText(errno));
   }
   return Status::OK();

@@ -7,13 +7,29 @@
 //
 // Robustness: every physical read/write/flush attempt flows through
 // opt-in seams captured once at Open — the BlockAccessLog auditor, the
-// BlockCache (io/block_cache.h, which also drives the per-file read-ahead
-// buffer), the FaultInjector (io/fault_env.h), and the ThreadPool
-// (util/thread_pool.h, which upgrades the read-ahead to an async N-deep
-// pipeline). The audit log records *logical* accesses (what the algorithm
-// asked for); IoStats counts both logical and physical reads, which
-// diverge exactly when the cache or prefetcher serves a block without
-// touching the disk.
+// BufferManager (io/buffer_manager.h, which also drives the per-file
+// read-ahead buffer), the FaultInjector (io/fault_env.h), and the
+// ThreadPool (util/thread_pool.h, which upgrades the read-ahead to an
+// async N-deep pipeline). The audit log records *logical* accesses (what
+// the algorithm asked for); IoStats counts both logical and physical
+// reads, which diverge exactly when the cache or prefetcher serves a
+// block without touching the disk.
+//
+// With a manager installed, logical reads use its single-flight
+// BeginRead/FinishLoad protocol: the manager serves hits (recording the
+// audit access atomically with the cache transition), and at most one
+// thread per cold block performs the physical read. The manager-less
+// path is unchanged.
+//
+// Page providers: each file reads/writes through one of two backends,
+// chosen per Open (or by the process-wide default, SetDefaultIoBackend):
+//   kBuffered — stdio FILE* with the kernel page cache (today's path);
+//   kDirect   — an O_DIRECT fd with an aligned bounce buffer, bypassing
+//               the page cache so the manager's budget is the *only*
+//               cache in play. Falls back to kBuffered when the platform
+//               or filesystem refuses O_DIRECT or the block size is not
+//               a multiple of 4096 — backends never change results, only
+//               which layer absorbs re-reads, so the fallback is silent.
 // Retryable failures (EINTR, EIO, short
 // transfers — real or injected) are retried with bounded exponential
 // backoff (IoRetryPolicy); the retry count lands in IoStats so run
@@ -101,6 +117,30 @@ inline BlockAccessLog* GetBlockAccessLog() {
   return internal_io::g_block_access_log.load(std::memory_order_relaxed);
 }
 
+// Physical page provider for a BlockFile (see the header comment).
+enum class IoBackend {
+  kDefault,   // resolve to the process-wide default at Open
+  kBuffered,  // stdio FILE* through the kernel page cache
+  kDirect,    // O_DIRECT fd + aligned bounce buffer (page cache bypassed)
+};
+
+namespace internal_io {
+inline std::atomic<IoBackend> g_default_io_backend{IoBackend::kBuffered};
+}  // namespace internal_io
+
+// Process-wide default backend for Opens that pass IoBackend::kDefault.
+// Same install-before-open contract as the other seams; kDefault resets
+// to kBuffered.
+inline void SetDefaultIoBackend(IoBackend backend) {
+  internal_io::g_default_io_backend.store(
+      backend == IoBackend::kDefault ? IoBackend::kBuffered : backend,
+      std::memory_order_release);
+}
+
+inline IoBackend GetDefaultIoBackend() {
+  return internal_io::g_default_io_backend.load(std::memory_order_acquire);
+}
+
 class BlockFile {
  public:
   enum class Mode { kRead, kWrite };
@@ -113,9 +153,14 @@ class BlockFile {
   // a temp file (EdgeWriter's write-temp-then-rename) pass the final
   // path here so access patterns and fault schedules stay keyed to one
   // stable name. Error messages always name the physical path.
+  //
+  // `backend` selects the page provider; kDefault defers to
+  // SetDefaultIoBackend. A kDirect request the platform cannot honor
+  // silently degrades to kBuffered (backend() reports what was used).
   static Status Open(const std::string& path, Mode mode, size_t block_size,
                      IoStats* stats, std::unique_ptr<BlockFile>* out,
-                     const std::string& logical_path = std::string());
+                     const std::string& logical_path = std::string(),
+                     IoBackend backend = IoBackend::kDefault);
 
   ~BlockFile();
 
@@ -145,28 +190,19 @@ class BlockFile {
   size_t block_size() const { return block_size_; }
   const std::string& path() const { return path_; }
 
+  // The page provider actually in use after Open's fallback.
+  IoBackend backend() const {
+    return fd_ >= 0 ? IoBackend::kDirect : IoBackend::kBuffered;
+  }
+
  private:
   static constexpr uint64_t kNoBlock = static_cast<uint64_t>(-1);
 
   BlockFile(std::string path, std::string logical_path, std::FILE* file,
-            Mode mode, size_t block_size, uint64_t block_count,
+            int fd, Mode mode, size_t block_size, uint64_t block_count,
             IoStats* stats, BlockAccessLog* audit, uint32_t audit_file_id,
-            FaultInjector* fault, BlockCache* cache, uint32_t cache_file_id,
-            ThreadPool* pool, int prefetch_depth)
-      : path_(std::move(path)),
-        logical_path_(std::move(logical_path)),
-        file_(file),
-        mode_(mode),
-        block_size_(block_size),
-        block_count_(block_count),
-        stats_(stats),
-        audit_(audit),
-        audit_file_id_(audit_file_id),
-        fault_(fault),
-        cache_(cache),
-        cache_file_id_(cache_file_id),
-        pool_(pool),
-        prefetch_depth_(prefetch_depth) {}
+            FaultInjector* fault, BufferManager* cache,
+            uint32_t cache_file_id, ThreadPool* pool, int prefetch_depth);
 
   // One physical attempt. `*retryable` reports whether the failure class
   // is worth retrying (EINTR/EIO/short transfer yes; ENOSPC/torn no).
@@ -175,6 +211,24 @@ class BlockFile {
   Status WriteAttempt(uint64_t index, const void* data, bool need_seek,
                       bool* retryable);
   Status FlushAttempt(bool* retryable);
+
+  // Raw transfer through the file's backend. Buffered assumes the FILE*
+  // position is already at `index` (the callers handle seeking); direct
+  // positions with pread/pwrite and bounces through aligned_buf_. On a
+  // short transfer *err is the errno (0 when the kernel reported no
+  // error). RawWrite moves `len` bytes (`len` < block_size only for
+  // injected short/torn writes; direct rounds it down to the 512-byte
+  // sector grain, the coarsest truncation O_DIRECT can express).
+  size_t RawRead(uint64_t index, void* data, int* err);
+  size_t RawWrite(uint64_t index, const void* data, size_t len, int* err);
+
+  // The demand-read slow path: physical read (+retries) under file_mu_,
+  // stall accounting, physical counters. No cache interaction.
+  Status DemandRead(uint64_t index, void* data);
+  // Produces a cold block's bytes for the single-flight load this thread
+  // owns: async window consume, sync prefetch-buffer consume, or demand
+  // read. Counters for the consumed read-ahead move here.
+  Status LoadForRead(uint64_t index, void* data, bool* disk_was_touched);
 
   // Slow path: bounded retry with exponential backoff; counts each extra
   // attempt into IoStats. `first` is the failed first attempt's status.
@@ -232,7 +286,13 @@ class BlockFile {
 
   std::string path_;
   std::string logical_path_;  // == path_ unless the caller aliased it
-  std::FILE* file_;
+  std::FILE* file_;  // buffered backend; null when fd_ >= 0
+  // Direct backend: the O_DIRECT fd and its aligned bounce buffer. The
+  // buffer is shared by all transfers, which is safe because every read
+  // path that can race holds file_mu_ and writers are single-threaded
+  // per file (the same contract the FILE* position already relies on).
+  int fd_ = -1;
+  char* aligned_buf_ = nullptr;
   Mode mode_;
   size_t block_size_;
   uint64_t block_count_;
@@ -248,7 +308,7 @@ class BlockFile {
   BlockAccessLog* audit_;   // captured at Open; null when uninstalled
   uint32_t audit_file_id_;  // meaningful only when audit_ != nullptr
   FaultInjector* fault_;    // captured at Open; null when uninstalled
-  BlockCache* cache_;       // captured at Open; null when uninstalled
+  BufferManager* cache_;    // captured at Open; null when uninstalled
   uint32_t cache_file_id_;  // meaningful only when cache_ != nullptr
   ThreadPool* pool_;        // captured at Open; null when uninstalled
   // Effective read-ahead mode after Open's fallback: 0 = none, 1 = the

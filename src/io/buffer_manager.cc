@@ -1,0 +1,524 @@
+#include "io/buffer_manager.h"
+
+#include "io/block_file.h"
+#include "obs/metrics.h"
+
+namespace ioscc {
+namespace {
+
+// Counter handles are process-lifetime-stable; look them up once.
+Counter* HitCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("cache.hits");
+  return c;
+}
+Counter* MissCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("cache.misses");
+  return c;
+}
+Counter* PrefetchHitCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("cache.prefetch_hits");
+  return c;
+}
+Counter* PrefetchedCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("cache.prefetched_blocks");
+  return c;
+}
+Counter* EvictionCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("cache.evictions");
+  return c;
+}
+Counter* WriteBackCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("cache.write_backs");
+  return c;
+}
+
+}  // namespace
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    mgr_ = other.mgr_;
+    id_ = other.id_;
+    mode_ = other.mode_;
+    data_ = other.data_;
+    size_ = other.size_;
+    other.mgr_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void PageHandle::MarkDirty() {
+  if (mgr_ != nullptr && mode_ == PinMode::kExclusive) {
+    mgr_->MarkDirtyInternal(id_);
+  }
+}
+
+void PageHandle::Release() {
+  if (mgr_ == nullptr) return;
+  BufferManager* mgr = mgr_;
+  mgr_ = nullptr;
+  data_ = nullptr;
+  size_ = 0;
+  mgr->Unpin(id_, mode_);
+}
+
+BufferManager::BufferManager(uint64_t budget_blocks, EvictionPolicy policy,
+                             bool read_ahead)
+    : budget_blocks_(budget_blocks),
+      policy_(policy),
+      read_ahead_(read_ahead) {}
+
+BufferManager::~BufferManager() { FlushDirty(); }
+
+uint32_t BufferManager::RegisterFile(const std::string& logical_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t id = 0; id < files_.size(); ++id) {
+    if (files_[id] == logical_path) return static_cast<uint32_t>(id);
+  }
+  files_.push_back(logical_path);
+  return static_cast<uint32_t>(files_.size() - 1);
+}
+
+// --- Internal state transitions (mu_ held) ---------------------------
+
+void BufferManager::TouchLocked(Frame* frame) {
+  if (policy_ == EvictionPolicy::kLru) {
+    list_.splice(list_.begin(), list_, frame->pos);  // promote to MRU
+  } else {
+    frame->ref = true;  // second chance; no list movement
+  }
+}
+
+void BufferManager::EraseFrameLocked(FrameMap::iterator it) {
+  const auto pos = it->second.pos;
+  resident_.erase(it);
+  if (hand_ == pos) {
+    hand_ = list_.erase(pos);
+  } else {
+    list_.erase(pos);
+  }
+}
+
+bool BufferManager::EvictOneLruLocked(std::vector<Spill>* spills) {
+  for (auto rit = list_.rbegin(); rit != list_.rend(); ++rit) {
+    auto fit = resident_.find(*rit);
+    Frame& f = fit->second;
+    if (f.pins > 0) continue;  // a pinned page is never dropped
+    if (f.dirty) spills->push_back(Spill{*rit, std::move(f.data)});
+    EraseFrameLocked(fit);
+    ++stats_.evictions;
+    EvictionCounter()->Increment();
+    return true;
+  }
+  return false;
+}
+
+bool BufferManager::EvictOneClockLocked(std::vector<Spill>* spills) {
+  // Two full laps always suffice when any unpinned frame exists: the
+  // first clears its reference bit, the second evicts it. The bound
+  // makes an all-pinned ring terminate instead of spinning.
+  size_t steps = 2 * list_.size() + 1;
+  while (steps-- > 0) {
+    if (hand_ == list_.end()) {
+      if (list_.empty()) return false;
+      hand_ = list_.begin();
+    }
+    auto fit = resident_.find(*hand_);
+    Frame& f = fit->second;
+    if (f.pins > 0) {
+      ++hand_;  // skip without clearing ref: pins aren't accesses
+      continue;
+    }
+    if (f.ref) {
+      f.ref = false;
+      ++hand_;
+      continue;
+    }
+    if (f.dirty) spills->push_back(Spill{*hand_, std::move(f.data)});
+    EraseFrameLocked(fit);
+    ++stats_.evictions;
+    EvictionCounter()->Increment();
+    return true;
+  }
+  return false;
+}
+
+void BufferManager::TrimToBudgetLocked(std::vector<Spill>* spills) {
+  if (policy_ == EvictionPolicy::kLru) {
+    while (resident_.size() > budget_blocks_ && EvictOneLruLocked(spills)) {
+    }
+  } else {
+    while (resident_.size() > budget_blocks_ &&
+           EvictOneClockLocked(spills)) {
+    }
+  }
+}
+
+BufferManager::Frame* BufferManager::InsertFrameLocked(
+    const BlockId& id, const void* data, size_t block_size,
+    uint32_t initial_pins, std::vector<Spill>* spills) {
+  if (policy_ == EvictionPolicy::kClock) {
+    // Clock makes room first, then installs just behind the hand with
+    // the reference bit set — the newcomer is examined only after a
+    // full sweep. This is SimulateClockCache's transition verbatim.
+    while (resident_.size() >= budget_blocks_ &&
+           EvictOneClockLocked(spills)) {
+    }
+    Frame f;
+    f.pos = list_.insert(hand_, id);
+    f.ref = true;
+    f.pins = initial_pins;
+    f.data.assign(static_cast<const char*>(data),
+                  static_cast<const char*>(data) + block_size);
+    auto [it, inserted] = resident_.emplace(id, std::move(f));
+    (void)inserted;
+    return &it->second;
+  }
+  // LRU installs at MRU, then trims — the legacy BlockCache order, and
+  // SimulateLruCache's.
+  list_.push_front(id);
+  Frame f;
+  f.pos = list_.begin();
+  f.pins = initial_pins;
+  f.data.assign(static_cast<const char*>(data),
+                static_cast<const char*>(data) + block_size);
+  resident_.emplace(id, std::move(f));
+  while (resident_.size() > budget_blocks_ && EvictOneLruLocked(spills)) {
+  }
+  // The trim may have chosen the newcomer itself (budget smaller than
+  // the pinned population); report residency truthfully.
+  auto post = resident_.find(id);
+  return post == resident_.end() ? nullptr : &post->second;
+}
+
+void BufferManager::InstallLocked(const BlockId& id, const void* data,
+                                  size_t block_size, bool count_miss,
+                                  std::vector<Spill>* spills) {
+  if (count_miss) {
+    ++stats_.misses;
+    MissCounter()->Increment();
+  }
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    Frame& f = it->second;
+    if (f.data.size() == block_size) {
+      // Refresh in place (memcpy, not assign: a pinned handle's data
+      // pointer must survive the refresh) and touch — the simulators'
+      // resident-write step.
+      std::memcpy(f.data.data(), data, block_size);
+      TouchLocked(&f);
+      return;
+    }
+    // A path re-registered at a different block size (nothing in this
+    // codebase does that — scratch rewrites get fresh names). Replace
+    // the stale entry.
+    EraseFrameLocked(it);
+  }
+  if (budget_blocks_ == 0) {
+    // Install-then-immediately-evict, without the detour: the block is
+    // never resident, but the eviction is still counted (the legacy
+    // budget-0 behavior).
+    ++stats_.evictions;
+    EvictionCounter()->Increment();
+    return;
+  }
+  InsertFrameLocked(id, data, block_size, /*initial_pins=*/0, spills);
+}
+
+// --- Single-flight protocol ------------------------------------------
+
+BufferManager::ReadOutcome BufferManager::BeginRead(
+    uint32_t file_id, uint64_t block, void* data, size_t block_size,
+    BlockAccessLog* audit, uint32_t audit_file_id) {
+  const BlockId id{file_id, block};
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = resident_.find(id);
+    if (it != resident_.end()) {
+      Frame& f = it->second;
+      if (f.data.size() != block_size) {
+        EraseFrameLocked(it);  // stale size: fall through to a load
+        continue;
+      }
+      if (f.exclusive) {
+        // An exclusive pin may be mid-mutation; a copy now could tear.
+        cv_.wait(lock);
+        continue;
+      }
+      std::memcpy(data, f.data.data(), block_size);
+      TouchLocked(&f);
+      ++stats_.hits;
+      HitCounter()->Increment();
+      // Recording under mu_ makes transition order == audit order: the
+      // invariant that lets the simulator replay concurrency exactly.
+      if (audit != nullptr) audit->Record(audit_file_id, block, false);
+      return ReadOutcome::kHit;
+    }
+    if (loading_.count(id) != 0) {
+      cv_.wait(lock);  // another thread owns the load; hit when it lands
+      continue;
+    }
+    loading_.insert(id);
+    return ReadOutcome::kLoad;
+  }
+}
+
+void BufferManager::FinishLoad(uint32_t file_id, uint64_t block, void* data,
+                               size_t block_size, BlockAccessLog* audit,
+                               uint32_t audit_file_id) {
+  const BlockId id{file_id, block};
+  std::vector<Spill> spills;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    loading_.erase(id);
+    auto it = resident_.find(id);
+    if (it != resident_.end() && it->second.data.size() == block_size) {
+      // A concurrent logical write installed the block while this load
+      // was in flight. The audit stream reads (..., w, r): the simulator
+      // replays that as a hit, so count a hit — and surface the fresher
+      // written content, not the stale loaded bytes.
+      std::memcpy(data, it->second.data.data(), block_size);
+      TouchLocked(&it->second);
+      ++stats_.hits;
+      HitCounter()->Increment();
+    } else {
+      if (it != resident_.end()) EraseFrameLocked(it);
+      InstallLocked(id, data, block_size, /*count_miss=*/true, &spills);
+    }
+    if (audit != nullptr) audit->Record(audit_file_id, block, false);
+  }
+  cv_.notify_all();
+  WriteBackSpills(&spills);
+}
+
+void BufferManager::AbortLoad(uint32_t file_id, uint64_t block) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    loading_.erase(BlockId{file_id, block});
+  }
+  cv_.notify_all();  // the first waiter becomes the new loader
+}
+
+void BufferManager::WriteInstall(uint32_t file_id, uint64_t block,
+                                 const void* data, size_t block_size,
+                                 BlockAccessLog* audit,
+                                 uint32_t audit_file_id) {
+  const BlockId id{file_id, block};
+  std::vector<Spill> spills;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    InstallLocked(id, data, block_size, /*count_miss=*/false, &spills);
+    if (audit != nullptr) audit->Record(audit_file_id, block, true);
+  }
+  cv_.notify_all();
+  WriteBackSpills(&spills);
+}
+
+// --- Legacy protocol --------------------------------------------------
+
+bool BufferManager::Lookup(uint32_t file_id, uint64_t block, void* data,
+                           size_t block_size) {
+  const BlockId id{file_id, block};
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = resident_.find(id);
+    if (it == resident_.end()) return false;
+    Frame& f = it->second;
+    if (f.data.size() != block_size) {
+      EraseFrameLocked(it);  // stale size: treat as a miss
+      return false;
+    }
+    if (f.exclusive) {
+      cv_.wait(lock);
+      continue;
+    }
+    std::memcpy(data, f.data.data(), block_size);
+    TouchLocked(&f);
+    ++stats_.hits;
+    HitCounter()->Increment();
+    return true;
+  }
+}
+
+void BufferManager::Install(uint32_t file_id, uint64_t block,
+                            const void* data, size_t block_size,
+                            bool is_write) {
+  std::vector<Spill> spills;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    InstallLocked(BlockId{file_id, block}, data, block_size,
+                  /*count_miss=*/!is_write, &spills);
+  }
+  cv_.notify_all();
+  WriteBackSpills(&spills);
+}
+
+bool BufferManager::Contains(uint32_t file_id, uint64_t block) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_.find(BlockId{file_id, block}) != resident_.end();
+}
+
+// --- Pin/unpin --------------------------------------------------------
+
+PageHandle BufferManager::Pin(uint32_t file_id, uint64_t block,
+                              size_t block_size, PinMode mode,
+                              const PageLoader& loader) {
+  const BlockId id{file_id, block};
+  std::vector<Spill> spills;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = resident_.find(id);
+    if (it != resident_.end()) {
+      Frame& f = it->second;
+      if (f.data.size() != block_size) {
+        if (f.pins > 0) return PageHandle();  // pinned at another size
+        EraseFrameLocked(it);
+        continue;
+      }
+      if (f.exclusive ||
+          (mode == PinMode::kExclusive && f.pins > 0)) {
+        cv_.wait(lock);
+        continue;
+      }
+      ++f.pins;
+      if (mode == PinMode::kExclusive) f.exclusive = true;
+      return PageHandle(this, id, mode, f.data.data(), block_size);
+    }
+    if (loading_.count(id) != 0) {
+      cv_.wait(lock);  // a logical read is bringing it in
+      continue;
+    }
+    if (!loader) return PageHandle();
+    // Load under the single-flight token so concurrent logical reads of
+    // this block wait instead of double-reading.
+    loading_.insert(id);
+    lock.unlock();
+    std::vector<char> buf(block_size);
+    const bool ok = loader(buf.data());
+    lock.lock();
+    loading_.erase(id);
+    cv_.notify_all();
+    if (!ok) return PageHandle();
+    if (resident_.find(id) == resident_.end()) {
+      // Access-transparent install: the pin load occupies a frame but
+      // counts no miss and writes no audit record, so pinning never
+      // perturbs the conformance story. initial_pins protects the frame
+      // from the room-making sweep it may itself trigger.
+      Frame* f = InsertFrameLocked(id, buf.data(), block_size,
+                                   /*initial_pins=*/1, &spills);
+      if (mode == PinMode::kExclusive) f->exclusive = true;
+      void* page = f->data.data();
+      lock.unlock();
+      WriteBackSpills(&spills);
+      return PageHandle(this, id, mode, page, block_size);
+    }
+    // A concurrent WriteInstall beat the loader; pin the resident frame.
+  }
+}
+
+void BufferManager::Unpin(const BlockId& id, PinMode mode) {
+  std::vector<Spill> spills;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = resident_.find(id);
+    if (it == resident_.end()) return;
+    Frame& f = it->second;
+    if (f.pins > 0) --f.pins;
+    if (mode == PinMode::kExclusive) f.exclusive = false;
+    // A pin taken while the manager ran over budget kept its frame
+    // alive; releasing the last pin lets the budget be honored again.
+    if (f.pins == 0) TrimToBudgetLocked(&spills);
+  }
+  cv_.notify_all();
+  WriteBackSpills(&spills);
+}
+
+void BufferManager::MarkDirtyInternal(const BlockId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = resident_.find(id);
+  if (it != resident_.end()) it->second.dirty = true;
+}
+
+void BufferManager::set_page_writer(PageWriter writer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  writer_ = std::move(writer);
+}
+
+uint64_t BufferManager::FlushDirty() {
+  std::vector<Spill> spills;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, f] : resident_) {
+      if (!f.dirty) continue;
+      spills.push_back(Spill{id, f.data});  // copy: the frame stays
+      f.dirty = false;
+    }
+  }
+  const uint64_t flushed = spills.size();
+  WriteBackSpills(&spills);
+  return flushed;
+}
+
+void BufferManager::WriteBackSpills(std::vector<Spill>* spills) {
+  if (spills->empty()) return;
+  PageWriter writer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer = writer_;
+    if (writer) stats_.write_backs += spills->size();
+  }
+  if (writer) {
+    for (const Spill& s : *spills) {
+      writer(s.id.file_id, s.id.block, s.data.data(), s.data.size());
+      WriteBackCounter()->Increment();
+    }
+  }
+  spills->clear();
+}
+
+// --- Accounting -------------------------------------------------------
+
+void BufferManager::CountPrefetch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.prefetched_blocks;
+  PrefetchedCounter()->Increment();
+}
+
+void BufferManager::CountPrefetchHit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.prefetch_hits;
+  PrefetchHitCounter()->Increment();
+}
+
+BufferManager::Stats BufferManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t BufferManager::resident_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_.size();
+}
+
+uint64_t BufferManager::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes = 0;
+  for (const auto& [id, f] : resident_) bytes += f.data.size();
+  return bytes;
+}
+
+uint64_t BufferManager::pinned_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t pinned = 0;
+  for (const auto& [id, f] : resident_) {
+    if (f.pins > 0) ++pinned;
+  }
+  return pinned;
+}
+
+}  // namespace ioscc

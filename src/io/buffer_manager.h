@@ -1,0 +1,352 @@
+// A fixed-size, thread-safe buffer manager between BlockFile and the
+// disk: the successor to the single-policy LRU BlockCache of PR 4.
+//
+// One process-wide BufferManager holds at most budget_blocks resident
+// blocks — the constant number of in-memory blocks the semi-external
+// model grants (harness/theory.h charges the budget against that grant)
+// — shared by every BlockFile opened while it is installed: concurrent
+// scanners, the async prefetcher pool, external sort, and all five SCC
+// drivers draw from one memory budget.
+//
+// What it adds over the old BlockCache:
+//
+//  * Single-flight loads. A logical read goes through the
+//    BeginRead/FinishLoad/AbortLoad protocol: the first thread to miss
+//    a block becomes its *loader*; concurrent readers of the same block
+//    wait on the load token and then hit. Exactly one miss is counted
+//    and exactly one physical read happens per cold block, no matter how
+//    many threads demand it at once — the double-miss/double-read bug of
+//    the legacy Lookup-then-Install protocol cannot occur.
+//
+//  * Atomic transition + audit. The cache state transition and the
+//    BlockAccessLog record for a logical access happen inside one
+//    critical section, so the audit stream's order *is* the order the
+//    cache saw. That is what keeps the conformance contract exact under
+//    concurrency: replaying a run's audit log through the matching
+//    simulator in obs/io_audit (SimulateLruCache / SimulateClockCache)
+//    reproduces the run's real hit/miss counts at any thread count.
+//    tests/buffer_manager_test.cc pins this down for both policies at
+//    budgets {1, 4, 64} with 1 and 4 scanner threads.
+//
+//  * Two eviction policies. EvictionPolicy::kLru is the legacy
+//    promote-on-access LRU; EvictionPolicy::kClock is a second-chance
+//    clock: a resident access sets the frame's reference bit (no list
+//    movement, so hot scans don't serialize on reordering), a miss
+//    installs the block just behind the hand, and the sweep clears
+//    reference bits until it finds an unreferenced, unpinned victim.
+//
+//  * Pin/unpin page handles with shared/exclusive latches. Pin() hands
+//    out a PageHandle whose data pointer stays valid until release:
+//    pinned frames are never evicted (eviction skips them; if every
+//    frame is pinned the manager runs transiently over budget rather
+//    than invalidate a handle). Shared pins coexist; an exclusive pin
+//    excludes every other pin *and* blocks concurrent logical reads of
+//    that block, so a reader can never copy out a half-mutated page.
+//    Pins are access-transparent: they touch no hit/miss counters and
+//    write no audit records, so pinning never perturbs conformance.
+//
+//  * Dirty-page write-back. An exclusive pin may MarkDirty(); dirty
+//    pages are written back through the installed PageWriter when
+//    evicted, flushed (FlushDirty), or at destruction. BlockFile itself
+//    stays write-through, so the logical write ledger is unchanged.
+//
+// Installation follows the TraceSpan pattern: SetBufferManager() before
+// opening files, nullptr to disable; BlockFile captures the pointer once
+// at Open. The manager must outlive every BlockFile opened while
+// installed. All methods are thread-safe.
+//
+// io/block_cache.h keeps the legacy names (BlockCache is now a
+// BufferManager fixed to the LRU policy; SetBlockCache forwards here).
+
+#ifndef IOSCC_IO_BUFFER_MANAGER_H_
+#define IOSCC_IO_BUFFER_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/io_audit.h"  // BlockId: the (file_id, block) identity
+
+namespace ioscc {
+
+class BlockAccessLog;
+class BufferManager;
+
+enum class EvictionPolicy { kLru, kClock };
+enum class PinMode { kShared, kExclusive };
+
+// RAII pin. data() is stable until Release()/destruction: the pinned
+// frame cannot be evicted and refreshes never reallocate its buffer.
+// Move-only; an empty handle (valid() == false) means Pin failed.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle() { Release(); }
+
+  bool valid() const { return mgr_ != nullptr; }
+  void* data() { return data_; }
+  const void* data() const { return data_; }
+  size_t size() const { return size_; }
+  uint32_t file_id() const { return id_.file_id; }
+  uint64_t block() const { return id_.block; }
+  PinMode mode() const { return mode_; }
+
+  // Marks the page for write-back on eviction/flush. Exclusive pins
+  // only (a shared pin cannot have mutated the page); no-op otherwise.
+  void MarkDirty();
+
+  // Early unpin; the handle becomes empty. Idempotent.
+  void Release();
+
+ private:
+  friend class BufferManager;
+  PageHandle(BufferManager* mgr, BlockId id, PinMode mode, void* data,
+             size_t size)
+      : mgr_(mgr), id_(id), mode_(mode), data_(data), size_(size) {}
+
+  BufferManager* mgr_ = nullptr;
+  BlockId id_{};
+  PinMode mode_ = PinMode::kShared;
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+class BufferManager {
+ public:
+  struct Stats {
+    uint64_t hits = 0;        // logical reads served from memory
+    uint64_t misses = 0;      // logical reads that installed a block
+    uint64_t prefetch_hits = 0;       // misses served by the read-ahead buffer
+    uint64_t prefetched_blocks = 0;   // read-ahead disk reads performed
+    uint64_t evictions = 0;
+    uint64_t write_backs = 0;         // dirty pages written back
+  };
+
+  // Sink for evicted/flushed dirty pages. Called *outside* the manager's
+  // lock, so it may perform blocking I/O (and may re-enter the manager).
+  using PageWriter = std::function<void(uint32_t file_id, uint64_t block,
+                                        const void* data, size_t size)>;
+
+  // Fills `dst` (block_size bytes) with a page's on-disk content for
+  // Pin-with-load; returns false to fail the pin.
+  using PageLoader = std::function<bool(void* dst)>;
+
+  // budget_blocks == 0 is legal and caches nothing (every read misses
+  // and is dropped immediately), matching the simulators; such a manager
+  // still carries the read-ahead configuration. Pinned pages may push
+  // residency transiently over any budget — a pin is a promise, not a
+  // hint.
+  explicit BufferManager(uint64_t budget_blocks,
+                         EvictionPolicy policy = EvictionPolicy::kLru,
+                         bool read_ahead = true);
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  // Interns a logical path to a stable file id, exactly like
+  // BlockAccessLog::RegisterFile — both key on the logical ("known as")
+  // path, so cache identity matches audit identity for temp-then-rename
+  // writers and scanner re-opens.
+  uint32_t RegisterFile(const std::string& logical_path);
+
+  // --- Single-flight logical-read protocol (what BlockFile uses) -----
+  //
+  // BeginRead either serves the block from memory (kHit: `data` is
+  // filled, a hit is counted, and the audit record is written — all in
+  // one critical section) or grants this thread the block's load token
+  // (kLoad: the caller must produce the bytes and then call FinishLoad,
+  // or AbortLoad on failure). Threads that race BeginRead on a loading
+  // block wait for the token holder and then hit. If an exclusive pin
+  // holds the block, BeginRead waits for it to release.
+  enum class ReadOutcome { kHit, kLoad };
+  ReadOutcome BeginRead(uint32_t file_id, uint64_t block, void* data,
+                        size_t block_size, BlockAccessLog* audit,
+                        uint32_t audit_file_id);
+
+  // Completes a load: installs the block (counting the miss), writes the
+  // audit record, and wakes waiters. If a concurrent logical *write*
+  // made the block resident while this load was in flight, the fresher
+  // content wins: the resident bytes are copied back into `data`, a hit
+  // is counted, and the loaded bytes are discarded — exactly what the
+  // simulator sees replaying the (write, read) record order.
+  void FinishLoad(uint32_t file_id, uint64_t block, void* data,
+                  size_t block_size, BlockAccessLog* audit,
+                  uint32_t audit_file_id);
+
+  // Releases the load token after a failed physical read; the first
+  // waiter (if any) becomes the new loader. Counts nothing.
+  void AbortLoad(uint32_t file_id, uint64_t block);
+
+  // Logical write: installs/refreshes content and touches the frame
+  // without counting hits or misses, and writes the audit record — the
+  // simulators' resident/absent write steps, fused with the audit.
+  void WriteInstall(uint32_t file_id, uint64_t block, const void* data,
+                    size_t block_size, BlockAccessLog* audit,
+                    uint32_t audit_file_id);
+
+  // --- Legacy non-single-flight protocol (unit tests, direct users) --
+  //
+  // Lookup returns true on a hit (counted); on a miss the caller reads
+  // and calls Install, which counts the miss. Two concurrent misses on
+  // one block through *this* protocol still double-count — new code uses
+  // BeginRead/FinishLoad, which cannot.
+  bool Lookup(uint32_t file_id, uint64_t block, void* data,
+              size_t block_size);
+  void Install(uint32_t file_id, uint64_t block, const void* data,
+               size_t block_size, bool is_write);
+
+  // Residency probe that does NOT touch the frame — used by the
+  // prefetcher to skip blocks the cache would serve anyway without
+  // perturbing eviction order.
+  bool Contains(uint32_t file_id, uint64_t block) const;
+
+  // --- Pin/unpin ----------------------------------------------------
+  //
+  // Pins the page, loading it via `loader` if absent (the load is
+  // access-transparent: no hit/miss counting, no audit record). Blocks
+  // while the page is exclusively pinned (any mode) or pinned at all
+  // (exclusive mode). Returns an empty handle when the page is absent
+  // and no loader was given, or when the loader fails.
+  PageHandle Pin(uint32_t file_id, uint64_t block, size_t block_size,
+                 PinMode mode, const PageLoader& loader = nullptr);
+
+  // Installs the dirty-page sink. Set before pages can get dirty (the
+  // same install-before-use contract as the process seams); without a
+  // writer, evicted dirty pages are dropped.
+  void set_page_writer(PageWriter writer);
+
+  // Writes back every dirty page through the PageWriter and clears the
+  // dirty bits. Returns the number of pages written.
+  uint64_t FlushDirty();
+
+  // Read-ahead accounting (the buffers themselves live in BlockFile).
+  void CountPrefetch();
+  void CountPrefetchHit();
+
+  uint64_t budget_blocks() const { return budget_blocks_; }
+  EvictionPolicy policy() const { return policy_; }
+  bool read_ahead() const { return read_ahead_; }
+
+  // Read-ahead pipeline depth, captured by BlockFile at Open:
+  //   0          no read-ahead (same as read_ahead == false)
+  //   1          the synchronous one-block double buffer (default —
+  //              no threads involved)
+  //   N >= 2     asynchronous N-deep prefetch window, serviced by the
+  //              process-wide ThreadPool (SetIoThreadPool); falls back
+  //              to the synchronous buffer when no pool is installed.
+  // Set before opening files, like the budget. The release/acquire pair
+  // makes a depth stored just before Open visible to the opening thread
+  // (the old relaxed load had no such guarantee).
+  void set_prefetch_depth(int depth) {
+    prefetch_depth_.store(depth < 0 ? 0 : depth, std::memory_order_release);
+  }
+  int prefetch_depth() const {
+    return read_ahead_ ? prefetch_depth_.load(std::memory_order_acquire)
+                       : 0;
+  }
+
+  Stats stats() const;
+  uint64_t resident_blocks() const;
+  uint64_t resident_bytes() const;
+  uint64_t pinned_blocks() const;
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    std::vector<char> data;
+    std::list<BlockId>::iterator pos;  // position in list_
+    uint32_t pins = 0;
+    bool exclusive = false;  // implies pins > 0
+    bool dirty = false;
+    bool ref = false;        // clock reference bit
+  };
+
+  // A dirty page captured under the lock for write-back outside it.
+  struct Spill {
+    BlockId id;
+    std::vector<char> data;
+  };
+
+  using FrameMap = std::unordered_map<BlockId, Frame, BlockIdHash>;
+
+  // All methods below require mu_ held.
+
+  // Promote (LRU) or set the reference bit (clock).
+  void TouchLocked(Frame* frame);
+  // Removes a frame, keeping the clock hand valid.
+  void EraseFrameLocked(FrameMap::iterator it);
+  // Inserts a new frame (evicting per policy to make room) and returns
+  // it. `initial_pins` protects the newcomer from its own eviction
+  // sweep. Never refuses: at budget 0 with pins the manager simply runs
+  // over budget.
+  Frame* InsertFrameLocked(const BlockId& id, const void* data,
+                           size_t block_size, uint32_t initial_pins,
+                           std::vector<Spill>* spills);
+  // The counting install shared by Install/WriteInstall/FinishLoad:
+  // refresh-or-insert, counting a miss when count_miss (budget-0 managers
+  // count the miss and the immediate eviction without ever inserting).
+  void InstallLocked(const BlockId& id, const void* data, size_t block_size,
+                     bool count_miss, std::vector<Spill>* spills);
+  // Evict one unpinned frame per policy; false when none qualifies.
+  bool EvictOneLruLocked(std::vector<Spill>* spills);
+  bool EvictOneClockLocked(std::vector<Spill>* spills);
+  void TrimToBudgetLocked(std::vector<Spill>* spills);
+
+  // Called without mu_ held.
+  void WriteBackSpills(std::vector<Spill>* spills);
+  void Unpin(const BlockId& id, PinMode mode);
+  void MarkDirtyInternal(const BlockId& id);
+
+  const uint64_t budget_blocks_;
+  const EvictionPolicy policy_;
+  const bool read_ahead_;
+  std::atomic<int> prefetch_depth_{1};
+
+  mutable std::mutex mu_;
+  // Waiters of all kinds (load tokens, latches) share one cv: wakeups
+  // are rare (cold blocks, contended pins) and the predicates re-check.
+  std::condition_variable cv_;
+  std::vector<std::string> files_;  // id -> logical path
+  // kLru: MRU at the front, victims from the back.
+  // kClock: insertion ring; hand_ walks it in sweep order.
+  std::list<BlockId> list_;
+  std::list<BlockId>::iterator hand_ = list_.end();
+  FrameMap resident_;
+  std::unordered_set<BlockId, BlockIdHash> loading_;  // live load tokens
+  PageWriter writer_;
+  Stats stats_;
+};
+
+namespace internal_io {
+inline std::atomic<BufferManager*> g_buffer_manager{nullptr};
+}  // namespace internal_io
+
+// Installs `manager` as the process-wide buffer manager (nullptr
+// disables). Not synchronized against open BlockFiles: install before
+// opening them, uninstall after closing them (the same contract as
+// SetBlockAccessLog).
+inline void SetBufferManager(BufferManager* manager) {
+  internal_io::g_buffer_manager.store(manager, std::memory_order_release);
+}
+
+inline BufferManager* GetBufferManager() {
+  return internal_io::g_buffer_manager.load(std::memory_order_relaxed);
+}
+
+}  // namespace ioscc
+
+#endif  // IOSCC_IO_BUFFER_MANAGER_H_

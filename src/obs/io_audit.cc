@@ -22,13 +22,6 @@ namespace {
 // run to end-of-line so paths with spaces survive the round trip.
 constexpr char kMagicLine[] = "ioscc-audit v1";
 
-// (file_id, block) -> one 64-bit cache/set key. Block files are bounded
-// by file size / block size; 2^40 blocks at the 64 KiB default is 64 EiB
-// per file, far beyond anything this system addresses.
-inline uint64_t BlockKey(uint32_t file_id, uint64_t block) {
-  return (static_cast<uint64_t>(file_id) << 40) | block;
-}
-
 }  // namespace
 
 Status WriteAuditLog(const AuditLogData& log, const std::string& path) {
@@ -207,12 +200,13 @@ CacheSimPoint SimulateLruCache(const AuditLogData& log,
   }
 
   // MRU at the front. The map holds list iterators for O(1) promotion.
-  std::list<uint64_t> lru;
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> resident;
+  std::list<BlockId> lru;
+  std::unordered_map<BlockId, std::list<BlockId>::iterator, BlockIdHash>
+      resident;
   resident.reserve(budget_blocks * 2);
 
   for (const BlockAccessRecord& a : log.accesses) {
-    const uint64_t key = BlockKey(a.file_id, a.block);
+    const BlockId key{a.file_id, a.block};
     auto it = resident.find(key);
     if (it != resident.end()) {
       if (!a.is_write) ++point.hits;
@@ -230,13 +224,75 @@ CacheSimPoint SimulateLruCache(const AuditLogData& log,
   return point;
 }
 
+CacheSimPoint SimulateClockCache(const AuditLogData& log,
+                                 uint64_t budget_blocks) {
+  CacheSimPoint point;
+  point.budget_blocks = budget_blocks;
+  if (budget_blocks == 0) {
+    for (const BlockAccessRecord& a : log.accesses) {
+      if (!a.is_write) ++point.misses;
+    }
+    return point;
+  }
+
+  // The ring in sweep order; the hand points at the next victim
+  // candidate (end() wraps to begin()). The map holds the frame's ring
+  // position and its reference bit.
+  struct Frame {
+    std::list<BlockId>::iterator pos;
+    bool ref = false;
+  };
+  std::list<BlockId> ring;
+  std::unordered_map<BlockId, Frame, BlockIdHash> resident;
+  resident.reserve(budget_blocks * 2);
+  auto hand = ring.end();
+
+  for (const BlockAccessRecord& a : log.accesses) {
+    const BlockId key{a.file_id, a.block};
+    auto it = resident.find(key);
+    if (it != resident.end()) {
+      // Resident: second chance — set the reference bit, no movement.
+      if (!a.is_write) ++point.hits;
+      it->second.ref = true;
+      continue;
+    }
+    if (!a.is_write) ++point.misses;
+    while (resident.size() >= budget_blocks) {
+      if (hand == ring.end()) hand = ring.begin();
+      Frame& f = resident[*hand];
+      if (f.ref) {
+        f.ref = false;
+        ++hand;
+      } else {
+        resident.erase(*hand);
+        hand = ring.erase(hand);
+      }
+    }
+    // Insert just behind the hand: the new frame is examined only after
+    // a full sweep, the classic clock placement.
+    Frame f;
+    f.pos = ring.insert(hand, key);
+    f.ref = true;
+    resident[key] = f;
+  }
+  return point;
+}
+
+CacheSimPoint SimulateCache(const AuditLogData& log, uint64_t budget_blocks,
+                            CacheSimPolicy policy) {
+  return policy == CacheSimPolicy::kClock
+             ? SimulateClockCache(log, budget_blocks)
+             : SimulateLruCache(log, budget_blocks);
+}
+
 std::vector<CacheSimPoint> CacheSavingsCurve(
-    const AuditLogData& log, const std::vector<uint64_t>& budgets) {
+    const AuditLogData& log, const std::vector<uint64_t>& budgets,
+    CacheSimPolicy policy) {
   std::vector<CacheSimPoint> curve;
   curve.reserve(budgets.size());
   for (uint64_t budget : budgets) {
     if (budget == 0) continue;
-    curve.push_back(SimulateLruCache(log, budget));
+    curve.push_back(SimulateCache(log, budget, policy));
   }
   return curve;
 }

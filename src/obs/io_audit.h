@@ -27,6 +27,40 @@
 
 namespace ioscc {
 
+// (file_id, block) identity shared by every layer that keys on a block:
+// the cache simulators below and the real buffer manager
+// (io/buffer_manager.h). A full-width pair — the former single-uint64_t
+// packing ((file_id << 40) | block) silently aliased a block index
+// >= 2^40 or a file id >= 2^24 onto another block, corrupting both cache
+// contents and audit identity.
+struct BlockId {
+  uint32_t file_id = 0;
+  uint64_t block = 0;
+
+  friend bool operator==(const BlockId& a, const BlockId& b) {
+    return a.file_id == b.file_id && a.block == b.block;
+  }
+  friend bool operator!=(const BlockId& a, const BlockId& b) {
+    return !(a == b);
+  }
+};
+
+// splitmix64-style mix over both halves; no information is discarded, so
+// distinct (file, block) pairs can never collide by construction of the
+// key (only by hash-bucket chance, which the table resolves).
+struct BlockIdHash {
+  size_t operator()(const BlockId& id) const {
+    uint64_t x = id.block + 0x9E3779B97F4A7C15ull *
+                                (static_cast<uint64_t>(id.file_id) + 1);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
 // One logical block access. `seq` is the process-global order of the
 // access across all files (0-based), so interleavings between files are
 // recoverable.
@@ -115,9 +149,28 @@ struct CacheSimPoint {
 CacheSimPoint SimulateLruCache(const AuditLogData& log,
                                uint64_t budget_blocks);
 
+// Clock (second-chance) replay with the exact transition rules the real
+// buffer manager (io/buffer_manager.h, EvictionPolicy::kClock) applies to
+// its logical accesses: a resident access sets the frame's reference bit
+// (reads count a hit, writes count nothing); a miss installs the block
+// just behind the hand with its reference bit set (reads count a miss,
+// writes count nothing); once residency would exceed the budget the hand
+// sweeps, clearing reference bits until it lands on an unreferenced frame
+// and evicts it. tests/buffer_manager_test.cc pins down that a run's real
+// clock-policy hit/miss counts equal this replay of the run's audit log.
+CacheSimPoint SimulateClockCache(const AuditLogData& log,
+                                 uint64_t budget_blocks);
+
+// Replay policy selector mirroring the buffer manager's EvictionPolicy.
+enum class CacheSimPolicy { kLru, kClock };
+
+CacheSimPoint SimulateCache(const AuditLogData& log, uint64_t budget_blocks,
+                            CacheSimPolicy policy);
+
 // Replays once per budget; budgets of zero are skipped.
 std::vector<CacheSimPoint> CacheSavingsCurve(
-    const AuditLogData& log, const std::vector<uint64_t>& budgets);
+    const AuditLogData& log, const std::vector<uint64_t>& budgets,
+    CacheSimPolicy policy = CacheSimPolicy::kLru);
 
 }  // namespace ioscc
 

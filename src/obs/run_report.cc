@@ -74,12 +74,19 @@ std::string RunReportEntryToJson(const RunReportEntry& entry) {
     json.EndObject();
   }
   if (entry.cache_blocks > 0 || entry.prefetch_depth > 0 ||
-      entry.io_threads > 0) {
+      entry.io_threads > 0 || !entry.cache_policy.empty() ||
+      !entry.io_backend.empty()) {
     json.Key("cache").BeginObject();
     json.Key("budget_blocks").UInt(entry.cache_blocks);
     json.Key("memory_bytes").UInt(entry.cache_memory_bytes);
     json.Key("prefetch_depth").UInt(entry.prefetch_depth);
     json.Key("io_threads").UInt(entry.io_threads);
+    if (!entry.cache_policy.empty()) {
+      json.Key("policy").String(entry.cache_policy);
+    }
+    if (!entry.io_backend.empty()) {
+      json.Key("io_backend").String(entry.io_backend);
+    }
     json.EndObject();
   }
   if (entry.finished) {

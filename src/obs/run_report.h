@@ -64,6 +64,12 @@ struct RunReportEntry {
   // "cache" object, which is emitted whenever any of the three is set.
   uint64_t prefetch_depth = 0;
   uint64_t io_threads = 0;
+  // Buffer-manager eviction policy ("lru"/"clock") and BlockFile page
+  // provider ("pread"/"direct") in effect; emitted inside the "cache"
+  // object when non-empty. Left empty by callers predating the buffer
+  // manager, so old report consumers see unchanged lines.
+  std::string cache_policy;
+  std::string io_backend;
 
   // Result summary; meaningful only when finished.
   uint64_t component_count = 0;

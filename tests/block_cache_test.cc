@@ -202,18 +202,19 @@ class BlockCacheConformanceTest : public TempDirTest {
     SccResult result;
     RunStats stats;
     AuditLogData log;
-    BlockCache::Stats cache_stats;
+    BufferManager::Stats cache_stats;
   };
 
   void RunAtBudget(const std::string& path, uint64_t budget,
-                   RunOutcome* out) {
+                   RunOutcome* out,
+                   EvictionPolicy policy = EvictionPolicy::kLru) {
     SemiExternalOptions options;
     options.scratch_block_size = 512;
     BlockAccessLog log;
-    std::unique_ptr<BlockCache> cache;
+    std::unique_ptr<BufferManager> cache;
     SetBlockAccessLog(&log);
     if (budget > 0) {
-      cache = std::make_unique<BlockCache>(budget);
+      cache = std::make_unique<BufferManager>(budget, policy);
       SetBlockCache(cache.get());
     }
     Status st = RunScc(SccAlgorithm::kTwoPhase, path, options, &out->result,
@@ -279,6 +280,35 @@ TEST_F(BlockCacheConformanceTest, RealHitsMatchSimulatedHitsAcrossBudgets) {
               run.stats.io.blocks_read);
     EXPECT_LE(run.stats.io.physical_blocks_read,
               baseline.stats.io.physical_blocks_read);
+  }
+}
+
+TEST_F(BlockCacheConformanceTest, ClockPolicyIsConformantAndInvisibleToo) {
+  const std::string path = MakeGraph();
+  RunOutcome baseline;
+  RunAtBudget(path, 0, &baseline);
+
+  for (uint64_t budget : {1u, 4u, 64u}) {
+    SCOPED_TRACE("budget=" + std::to_string(budget));
+    RunOutcome run;
+    RunAtBudget(path, budget, &run, EvictionPolicy::kClock);
+
+    // Same spec, different policy: the clock simulator replays the
+    // run's own audit log to the run's exact hit/miss counts.
+    CacheSimPoint sim = SimulateClockCache(run.log, budget);
+    EXPECT_EQ(run.cache_stats.hits, sim.hits);
+    EXPECT_EQ(run.cache_stats.misses, sim.misses);
+    EXPECT_EQ(run.stats.io.cache_hits, sim.hits);
+
+    // The eviction policy may only move the hit/miss split; the logical
+    // ledger and the SCC result stay byte-identical to the uncached run.
+    EXPECT_EQ(run.stats.io.blocks_read, baseline.stats.io.blocks_read);
+    EXPECT_EQ(run.stats.io.bytes_read, baseline.stats.io.bytes_read);
+    EXPECT_EQ(run.stats.io.blocks_written, baseline.stats.io.blocks_written);
+    EXPECT_EQ(run.stats.io.bytes_written, baseline.stats.io.bytes_written);
+    EXPECT_TRUE(run.result == baseline.result);
+    EXPECT_EQ(run.stats.io.physical_blocks_read + run.stats.io.cache_hits,
+              run.stats.io.blocks_read);
   }
 }
 
