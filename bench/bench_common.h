@@ -41,6 +41,16 @@
 //                      async N-deep window (needs --threads >= 1).
 //                      Implies a cache seam: with --cache-blocks=0 a
 //                      budget-0 cache is installed to carry the setting
+//   --kernel=K         in-memory batch kernel for 1PB-SCC: "tarjan"
+//                      (default), "kosaraju", or "parallel_fb" (the
+//                      forward-backward divide-and-conquer kernel,
+//                      scc/parallel_scc.h). RAM-only either way: results
+//                      and the logical I/O ledger are byte-identical
+//   --kernel-threads=N workers for --kernel=parallel_fb: 0 (default) =
+//                      one per hardware thread, 1 = serial, N = pool of
+//                      N. Output is identical at every N
+//   --kernel-granularity=N  simultaneous BFS sources per kernel task
+//                      (0 = default, scc/parallel_scc.h)
 //   --progress         live telemetry status line on stderr (TTY: one
 //                      updating line; non-TTY: throttled newline records)
 //   --telemetry-interval-ms=N   sampler cadence (default 200)
@@ -118,6 +128,12 @@ struct BenchContext {
   std::unique_ptr<ThreadPool> pool;
   int io_threads = 0;
   int prefetch_depth = 1;
+  // In-memory batch kernel (--kernel=K); kernel_set records whether the
+  // flag was passed so default runs keep their historical report lines.
+  bool kernel_set = false;
+  BatchKernel kernel = BatchKernel::kTarjan;
+  uint32_t kernel_threads = 0;
+  uint32_t kernel_granularity = 0;
   // Live telemetry engine (obs/telemetry.h), installed whenever a report
   // sink, --progress, or --watchdog-ms asks for it. Declared after the
   // pool so its destructor joins the sampler thread before the pool it
@@ -185,6 +201,9 @@ struct BenchContext {
     options.time_limit_seconds = time_limit;
     options.memory_budget_bytes =
         PaperDefaultMemoryBytes(node_count, kDefaultBlockSize);
+    options.batch_kernel = kernel;
+    options.kernel_threads = kernel_threads;
+    options.kernel_granularity = kernel_granularity;
     return options;
   }
 };
@@ -274,6 +293,27 @@ inline bool InitBench(int argc, char** argv, BenchContext* ctx,
   }
   SetDefaultIoBackend(ctx->io_backend == "direct" ? IoBackend::kDirect
                                                   : IoBackend::kBuffered);
+  const std::string kernel_name = flags.GetString("kernel", "");
+  if (!kernel_name.empty()) {
+    Status kst = ParseBatchKernel(kernel_name, &ctx->kernel);
+    if (!kst.ok()) {
+      std::fprintf(stderr, "--kernel: %s\n", kst.ToString().c_str());
+      return false;
+    }
+    ctx->kernel_set = true;
+  }
+  const int64_t kernel_threads = flags.GetInt("kernel-threads", 0);
+  const int64_t kernel_granularity = flags.GetInt("kernel-granularity", 0);
+  if (kernel_threads < 0) {
+    std::fprintf(stderr, "--kernel-threads must be >= 0\n");
+    return false;
+  }
+  if (kernel_granularity < 0) {
+    std::fprintf(stderr, "--kernel-granularity must be >= 0\n");
+    return false;
+  }
+  ctx->kernel_threads = static_cast<uint32_t>(kernel_threads);
+  ctx->kernel_granularity = static_cast<uint32_t>(kernel_granularity);
   ctx->io_threads = static_cast<int>(threads);
   ctx->prefetch_depth = static_cast<int>(prefetch_depth);
   if (threads > 0) {
@@ -401,6 +441,11 @@ inline RunOutcome Run(const BenchContext& ctx, SccAlgorithm algorithm,
     }
     if (ctx.pool != nullptr) {
       entry.io_threads = static_cast<uint64_t>(ctx.pool->num_threads());
+    }
+    if (ctx.kernel_set) {
+      entry.kernel_name = BatchKernelName(ctx.kernel);
+      entry.kernel_threads = ctx.kernel_threads;
+      entry.kernel_granularity = ctx.kernel_granularity;
     }
     Status st = ctx.report->Append(entry);
     if (!st.ok()) {

@@ -1,0 +1,243 @@
+// bench_kernel: in-memory batch-kernel throughput, swept over --threads.
+//
+// Generates the Fig. 14 planted-SCC families (Table 2, scaled) wholly in
+// memory — the shape 1PB-SCC hands its kernel on every batch — and times
+// the serial Tarjan kernel against the parallel FB kernel at each thread
+// count. Every parallel run is checked against the Tarjan partition; a
+// mismatch is a hard failure. Reported per point: best-of-rounds wall
+// time and the speedup over Tarjan. CI gates the 4-thread speedup via
+// BENCH_<tag>.json (scripts/bench_compare + the workflow's assert step).
+//
+//   bench_kernel [--scale=S] [--degree=D] [--seed=N] [--threads=1,2,4,8]
+//                [--granularity=N] [--rounds=N] [--report=FILE]
+//
+// --report writes the standard JSONL run report (docs/OBSERVABILITY.md),
+// one "run" record per (family, kernel, threads) point with the kernel
+// object carrying name / threads / granularity / micros.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/generators.h"
+#include "graph/digraph.h"
+#include "harness/table.h"
+#include "obs/run_report.h"
+#include "scc/algorithms.h"
+#include "scc/parallel_scc.h"
+#include "scc/tarjan.h"
+#include "util/flags.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace ioscc;  // bench binaries only
+
+namespace {
+
+std::vector<int> ParseIntList(const std::string& csv,
+                              const std::vector<int>& fallback) {
+  if (csv.empty()) return fallback;
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    out.push_back(std::atoi(csv.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct PointResult {
+  double seconds = 0;   // best of --rounds
+  SccResult result;
+};
+
+PointResult MeasureTarjan(const Digraph& graph, int rounds) {
+  PointResult r;
+  for (int round = 0; round < rounds; ++round) {
+    Timer timer;
+    SccResult result = TarjanScc(graph);
+    const double seconds = timer.ElapsedSeconds();
+    if (round == 0 || seconds < r.seconds) r.seconds = seconds;
+    if (round == 0) r.result = std::move(result);
+  }
+  return r;
+}
+
+PointResult MeasureParallelFb(const Digraph& graph, int threads,
+                              uint32_t granularity, int rounds) {
+  PointResult r;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(size_t(threads));
+  ParallelSccOptions options;
+  options.pool = pool.get();
+  options.granularity = granularity;
+  for (int round = 0; round < rounds; ++round) {
+    Timer timer;
+    SccResult result = ParallelFbScc(graph, options);
+    const double seconds = timer.ElapsedSeconds();
+    if (round == 0 || seconds < r.seconds) r.seconds = seconds;
+    if (round == 0) r.result = std::move(result);
+  }
+  return r;
+}
+
+void Report(RunReportWriter* report, const std::string& kernel,
+            const std::string& dataset, int threads, uint32_t granularity,
+            const PointResult& r) {
+  if (report == nullptr) return;
+  RunReportEntry entry;
+  entry.experiment = "bench_kernel";
+  entry.algorithm = kernel;
+  entry.dataset = dataset;
+  entry.status = Status::OK().ToString();
+  entry.finished = true;
+  entry.stats.seconds = r.seconds;
+  entry.stats.kernel_invocations = 1;
+  entry.stats.kernel_micros = static_cast<uint64_t>(r.seconds * 1e6);
+  entry.kernel_name = kernel;
+  entry.kernel_threads = static_cast<uint64_t>(threads);
+  entry.kernel_granularity = granularity;
+  entry.component_count = r.result.ComponentCount();
+  entry.largest_component = r.result.LargestComponentSize();
+  entry.nodes_in_nontrivial_sccs = r.result.NodesInNontrivialSccs();
+  Status st = report->Append(entry);
+  if (!st.ok()) {
+    std::fprintf(stderr, "report: %s\n", st.ToString().c_str());
+  }
+}
+
+std::string Secs(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return buf;
+}
+
+std::string Speedup(double base, double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx",
+                seconds > 0 ? base / seconds : 0.0);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.01);
+  const double degree_override = flags.GetDouble("degree", 0.0);
+  const uint64_t seed = flags.GetInt("seed", 42);
+  const std::vector<int> threads_list =
+      ParseIntList(flags.GetString("threads", ""), {1, 2, 4, 8});
+  const uint32_t granularity =
+      static_cast<uint32_t>(flags.GetInt("granularity", 0));
+  const int rounds = static_cast<int>(flags.GetInt("rounds", 3));
+
+  std::unique_ptr<RunReportWriter> report;
+  const std::string report_path = flags.GetString("report", "");
+  if (!report_path.empty()) {
+    Status st = RunReportWriter::Open(report_path, &report);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // The Fig. 14 families at the paper's 30M point, scaled — the same
+  // arithmetic as ScaledTable2 (bench_common.h), kept local so this stays
+  // a flag-only binary without the sweep harness.
+  struct {
+    uint64_t nodes;
+    double degree = 5.0;
+    uint64_t massive_size;
+    uint64_t large_size;
+    uint64_t large_count = 50;
+    uint64_t small_size = 40;
+    uint64_t small_count;
+  } defaults;
+  defaults.nodes = static_cast<uint64_t>(scale * 30e6);
+  defaults.massive_size =
+      std::max<uint64_t>(100, static_cast<uint64_t>(scale * 400e3));
+  defaults.large_size =
+      std::max<uint64_t>(8, static_cast<uint64_t>(scale * 8e3));
+  defaults.small_count =
+      std::max<uint64_t>(10, static_cast<uint64_t>(scale * 10e3));
+  const double degree =
+      degree_override > 0 ? degree_override : defaults.degree;
+
+  struct Family {
+    const char* name;
+    std::function<PlantedSccSpec()> spec;
+  };
+  const std::vector<Family> families = {
+      {"Massive-SCC",
+       [&] {
+         return MassiveSccSpec(defaults.nodes, degree,
+                               defaults.massive_size, seed);
+       }},
+      {"Large-SCC",
+       [&] {
+         return LargeSccSpec(defaults.nodes, degree, defaults.large_size,
+                             defaults.large_count, seed);
+       }},
+      {"Small-SCC",
+       [&] {
+         return SmallSccSpec(defaults.nodes, degree, defaults.small_size,
+                             defaults.small_count, seed);
+       }},
+  };
+
+  std::printf("bench_kernel: %llu nodes/family, degree %.1f, best of %d\n",
+              static_cast<unsigned long long>(defaults.nodes), degree,
+              rounds);
+
+  Table table({"family", "kernel", "threads", "seconds", "speedup"});
+  for (const Family& family : families) {
+    std::vector<Edge> edges;
+    Status st = GeneratePlantedSccEdges(family.spec(), &edges);
+    if (!st.ok()) {
+      std::fprintf(stderr, "generate: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    Digraph graph(static_cast<NodeId>(defaults.nodes), edges);
+    edges.clear();
+    edges.shrink_to_fit();
+    // No '/' in the name: the aggregator basenames path-like datasets
+    // when stripping nondeterminism, which would fold all families onto
+    // one comparison key.
+    const std::string dataset =
+        std::string(family.name) + ":" + std::to_string(defaults.nodes);
+
+    PointResult tarjan = MeasureTarjan(graph, rounds);
+    Report(report.get(), "tarjan", dataset, 1, 0, tarjan);
+    table.AddRow({family.name, "tarjan", "1", Secs(tarjan.seconds), "1.00x"});
+
+    for (int threads : threads_list) {
+      PointResult fb =
+          MeasureParallelFb(graph, threads, granularity, rounds);
+      if (!(fb.result == tarjan.result)) {
+        std::fprintf(stderr,
+                     "FATAL: parallel_fb partition differs from tarjan "
+                     "(%s, threads=%d)\n",
+                     family.name, threads);
+        return 1;
+      }
+      Report(report.get(), "parallel_fb", dataset, threads, granularity,
+             fb);
+      table.AddRow({family.name, "parallel_fb", std::to_string(threads),
+                    Secs(fb.seconds),
+                    Speedup(tarjan.seconds, fb.seconds)});
+    }
+  }
+  table.Print();
+  if (report != nullptr) {
+    (void)report->AppendMetricsSnapshot();
+    (void)report->Flush();
+  }
+  return 0;
+}

@@ -81,6 +81,8 @@ int Usage() {
                "[--verify] [--time-limit=SECONDS] [--report] "
                "[--trace=FILE] [--audit=FILE] [--cache-blocks=N] "
                "[--cache-policy=lru|clock] [--io-backend=pread|direct] "
+               "[--kernel=tarjan|kosaraju|parallel_fb] "
+               "[--kernel-threads=N] [--kernel-granularity=N] "
                "[--threads=N] [--prefetch-depth=N] [--progress] "
                "[--telemetry-interval-ms=N] [--watchdog-ms=N] "
                "[--full-iterations] [--checkpoint-dir=DIR] "
@@ -192,6 +194,26 @@ int RunOn(const std::string& path, const Flags& flags) {
   }
   SemiExternalOptions options;
   options.time_limit_seconds = flags.GetDouble("time-limit", 0);
+  // In-memory batch kernel for 1PB-SCC (scc/parallel_scc.h). RAM-only:
+  // results and the logical I/O ledger are byte-identical whichever
+  // kernel (and thread count) is selected.
+  const std::string kernel_name = flags.GetString("kernel", "");
+  if (!kernel_name.empty()) {
+    st = ParseBatchKernel(kernel_name, &options.batch_kernel);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--kernel: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
+  const int64_t kernel_threads = flags.GetInt("kernel-threads", 0);
+  const int64_t kernel_granularity = flags.GetInt("kernel-granularity", 0);
+  if (kernel_threads < 0 || kernel_granularity < 0) {
+    std::fprintf(stderr,
+                 "--kernel-threads and --kernel-granularity must be >= 0\n");
+    return 2;
+  }
+  options.kernel_threads = static_cast<uint32_t>(kernel_threads);
+  options.kernel_granularity = static_cast<uint32_t>(kernel_granularity);
   if (flags.GetBool("verbose", false)) SetLogLevel(LogLevel::kDebug);
   const bool report = flags.GetBool("report", false);
   const std::string trace_path = flags.GetString("trace", "");
@@ -400,6 +422,11 @@ int RunOn(const std::string& path, const Flags& flags) {
     }
     if (pool != nullptr) {
       entry.io_threads = static_cast<uint64_t>(pool->num_threads());
+    }
+    if (!kernel_name.empty()) {
+      entry.kernel_name = BatchKernelName(options.batch_kernel);
+      entry.kernel_threads = options.kernel_threads;
+      entry.kernel_granularity = options.kernel_granularity;
     }
     AttachCheckpointInfo(&entry, checkpointer);
     std::printf("%s\n", RunReportEntryToJson(entry).c_str());

@@ -4,6 +4,8 @@
 #
 #   scripts/run_all_benches.sh [build-dir] [output-file] [report-dir] \
 #       [--threads=N] [--prefetch-depth=N] [--cache-blocks=N] [--tag=NAME] \
+#       [--cache-policy=lru|clock] [--io-backend=pread|direct] \
+#       [--kernel=tarjan|kosaraju|parallel_fb] [--kernel-threads=N] \
 #       [--telemetry-interval-ms=N] [--watchdog-ms=N]
 #
 # Pass-through flags for individual binaries (scale, seeds, time limits)
@@ -33,6 +35,10 @@ REPORT_DIR="bench_reports"
 THREADS=0
 PREFETCH_DEPTH=1
 CACHE_BLOCKS=0
+CACHE_POLICY=""
+IO_BACKEND=""
+KERNEL=""
+KERNEL_THREADS=""
 TAG="local"
 TELEMETRY_INTERVAL_MS=200
 WATCHDOG_MS=0
@@ -43,6 +49,10 @@ for arg in "$@"; do
     --threads=*) THREADS="${arg#*=}" ;;
     --prefetch-depth=*) PREFETCH_DEPTH="${arg#*=}" ;;
     --cache-blocks=*) CACHE_BLOCKS="${arg#*=}" ;;
+    --cache-policy=*) CACHE_POLICY="${arg#*=}" ;;
+    --io-backend=*) IO_BACKEND="${arg#*=}" ;;
+    --kernel=*) KERNEL="${arg#*=}" ;;
+    --kernel-threads=*) KERNEL_THREADS="${arg#*=}" ;;
     --tag=*) TAG="${arg#*=}" ;;
     --telemetry-interval-ms=*) TELEMETRY_INTERVAL_MS="${arg#*=}" ;;
     --watchdog-ms=*) WATCHDOG_MS="${arg#*=}" ;;
@@ -81,6 +91,28 @@ PIPELINE_FLAGS=("--threads=$THREADS" "--prefetch-depth=$PREFETCH_DEPTH"
 if [[ "$WATCHDOG_MS" -gt 0 ]]; then
   PIPELINE_FLAGS+=("--watchdog-ms=$WATCHDOG_MS")
 fi
+# Buffer-manager / page-provider selection and the 1PB-SCC in-memory
+# kernel, forwarded only when explicitly requested so the default run
+# (and its JSONL reports) stay byte-identical to older scripts.
+if [[ -n "$CACHE_POLICY" ]]; then
+  PIPELINE_FLAGS+=("--cache-policy=$CACHE_POLICY")
+fi
+if [[ -n "$IO_BACKEND" ]]; then
+  PIPELINE_FLAGS+=("--io-backend=$IO_BACKEND")
+fi
+if [[ -n "$KERNEL" ]]; then
+  PIPELINE_FLAGS+=("--kernel=$KERNEL")
+fi
+if [[ -n "$KERNEL_THREADS" ]]; then
+  PIPELINE_FLAGS+=("--kernel-threads=$KERNEL_THREADS")
+fi
+# bench_kernel sweeps its own thread list; seed it with the requested
+# kernel thread count so the sweep covers the configured point.
+if [[ -n "$KERNEL_THREADS" && "$KERNEL_THREADS" -gt 1 ]]; then
+  KERNEL_THREAD_LIST="1,$KERNEL_THREADS"
+else
+  KERNEL_THREAD_LIST="1,2,4,8"
+fi
 # bench_io sweeps threads itself: always include the serial baseline
 # point so the speedup curve has a denominator.
 if [[ "$THREADS" -gt 0 ]]; then
@@ -103,6 +135,7 @@ for b in \
   bench_fig17_vary_scc_count \
   bench_ablation \
   bench_io \
+  bench_kernel \
   bench_micro; do
   if [[ ! -x "$BUILD_DIR/bench/$b" ]]; then
     echo "error: missing bench binary '$BUILD_DIR/bench/$b'" >&2
@@ -115,6 +148,14 @@ for b in \
       # takes --report and its own sweep lists of the standard sinks.
       "$BUILD_DIR/bench/$b" \
         "--threads=$IO_THREAD_LIST" \
+        "--report=$REPORT_DIR/$b.jsonl" 2>/dev/null | tee -a "$OUT"
+      REPORT_FILES+=("$REPORT_DIR/$b.jsonl")
+      ;;
+    bench_kernel)
+      # In-memory kernel sweep (tarjan vs parallel_fb over threads);
+      # takes --report plus its own sweep flags.
+      "$BUILD_DIR/bench/$b" \
+        "--threads=$KERNEL_THREAD_LIST" \
         "--report=$REPORT_DIR/$b.jsonl" 2>/dev/null | tee -a "$OUT"
       REPORT_FILES+=("$REPORT_DIR/$b.jsonl")
       ;;

@@ -118,6 +118,9 @@ void StripNondeterministic(JsonValue* v) {
   v->object.erase("cpu_sys_micros");
   v->object.erase("max_rss_kb");
   v->object.erase("phases");
+  // Kernel wall time (the bare "micros" key occurs only in the kernel
+  // object); its sibling invocation count is deterministic and stays.
+  v->object.erase("micros");
   for (const char* field : kTimingIoFields) v->object.erase(field);
   for (const char* field : kPhysicalIoFields) v->object.erase(field);
   for (auto& [key, value] : v->object) {
@@ -293,6 +296,81 @@ void WriteBenchIoSection(JsonWriter* json, const BenchFile& bench,
       json->Key("io_threads").UInt(key.io_threads);
       json->Key("prefetch_depth").UInt(key.prefetch_depth);
       json->Key("speedup").Double(seconds > 0 ? base_seconds / seconds : 0.0);
+      json->EndObject();
+    }
+    json->EndArray();
+  }
+  json->EndObject();
+}
+
+// A bench_kernel sweep point: one (dataset, kernel, threads) run record.
+struct KernelKey {
+  std::string dataset;
+  std::string kernel;
+  uint64_t threads = 0;
+
+  bool operator<(const KernelKey& other) const {
+    if (dataset != other.dataset) return dataset < other.dataset;
+    if (kernel != other.kernel) return kernel < other.kernel;
+    return threads < other.threads;
+  }
+};
+
+KernelKey KernelKeyFromRun(const JsonValue& run) {
+  KernelKey key;
+  key.dataset = run["dataset"].AsString();
+  key.kernel = run["kernel"]["name"].AsString();
+  key.threads = run["kernel"]["threads"].AsUInt();
+  return key;
+}
+
+void WriteBenchKernelSection(JsonWriter* json, const BenchFile& bench,
+                             bool deterministic_only) {
+  std::map<KernelKey, const JsonValue*> points;
+  for (const JsonValue& run : bench.runs) {
+    if (run.has("kernel")) points[KernelKeyFromRun(run)] = &run;
+  }
+  json->Key("bench_kernel").BeginObject();
+  json->Key("sweep").BeginArray();
+  for (const auto& [key, run] : points) {
+    json->BeginObject();
+    json->Key("dataset").String(key.dataset);
+    json->Key("kernel").String(key.kernel);
+    json->Key("threads").UInt(key.threads);
+    json->Key("granularity").UInt((*run)["kernel"]["granularity"].AsUInt());
+    // The SCC summary is the determinism witness: every kernel and thread
+    // count must land on the same partition.
+    if (run->has("result")) {
+      json->Key("result");
+      WriteJsonValue(json, (*run)["result"]);
+    }
+    if (!deterministic_only) {
+      json->Key("seconds").Double((*run)["seconds"].AsDouble());
+    }
+    json->EndObject();
+  }
+  json->EndArray();
+  if (!deterministic_only) {
+    // Two speedup curves per dataset: self-scaling (parallel_fb at N
+    // threads vs its own 1-thread run — the curve CI gates) and the
+    // honest cross-kernel ratio vs serial Tarjan.
+    json->Key("speedup").BeginArray();
+    for (const auto& [key, run] : points) {
+      if (key.kernel != "parallel_fb") continue;
+      const double seconds = (*run)["seconds"].AsDouble();
+      json->BeginObject();
+      json->Key("dataset").String(key.dataset);
+      json->Key("threads").UInt(key.threads);
+      auto self_it = points.find({key.dataset, "parallel_fb", 1});
+      if (self_it != points.end()) {
+        const double base = (*self_it->second)["seconds"].AsDouble();
+        json->Key("speedup").Double(seconds > 0 ? base / seconds : 0.0);
+      }
+      auto tarjan_it = points.find({key.dataset, "tarjan", 1});
+      if (tarjan_it != points.end()) {
+        const double base = (*tarjan_it->second)["seconds"].AsDouble();
+        json->Key("vs_tarjan").Double(seconds > 0 ? base / seconds : 0.0);
+      }
       json->EndObject();
     }
     json->EndArray();
@@ -494,11 +572,19 @@ void CompareRuns(CompareContext* ctx, const std::string& where,
 
 // Sweep benches (bench_io) repeat the same (algorithm, dataset) pair at
 // every configuration point, so the run identity includes the cache
-// object's threads/depth; runs without one contribute "/t0/d0".
+// object's threads/depth; runs without one contribute "/t0/d0". Kernel
+// sweeps (bench_kernel) vary kernel threads at a fixed dataset, so runs
+// carrying a kernel object add "/k<threads>"; runs without one keep the
+// old keys byte-for-byte.
 std::string RunKey(const JsonValue& run) {
-  return run["algorithm"].AsString() + " @ " + run["dataset"].AsString() +
-         "/t" + FmtUInt(run["cache"]["io_threads"].AsUInt()) + "/d" +
-         FmtUInt(run["cache"]["prefetch_depth"].AsUInt());
+  std::string key = run["algorithm"].AsString() + " @ " +
+                    run["dataset"].AsString() + "/t" +
+                    FmtUInt(run["cache"]["io_threads"].AsUInt()) + "/d" +
+                    FmtUInt(run["cache"]["prefetch_depth"].AsUInt());
+  if (run.has("kernel")) {
+    key += "/k" + FmtUInt(run["kernel"]["threads"].AsUInt());
+  }
+  return key;
 }
 
 std::string PointKey(const JsonValue& point) {
@@ -565,6 +651,12 @@ Status AggregateBenchReportFiles(const std::vector<std::string>& jsonl_paths,
   for (const BenchFile& bench : benches) {
     if (bench.name == "bench_io") {
       WriteBenchIoSection(&json, bench, options.deterministic_only);
+      break;
+    }
+  }
+  for (const BenchFile& bench : benches) {
+    if (bench.name == "bench_kernel") {
+      WriteBenchKernelSection(&json, bench, options.deterministic_only);
       break;
     }
   }
@@ -666,6 +758,46 @@ Status CompareBenchReports(const std::string& baseline_json,
           continue;
         }
         CompareRuns(&ctx, where, run, *it->second);
+      }
+    }
+  }
+
+  // bench_kernel sweep: every baseline point must exist and land on the
+  // identical SCC summary — the cross-kernel/cross-thread determinism
+  // gate. Speedup curves are machine-dependent and not gated here (the CI
+  // workflow asserts the 4-thread scaling separately).
+  if (base.has("bench_kernel")) {
+    if (!fresh.has("bench_kernel")) {
+      ctx.Hard("bench_kernel", "sweep missing from fresh report");
+    } else {
+      auto kernel_point_key = [](const JsonValue& point) {
+        return point["dataset"].AsString() + "/" +
+               point["kernel"].AsString() + "/k" +
+               FmtUInt(point["threads"].AsUInt());
+      };
+      std::map<std::string, const JsonValue*> fresh_points;
+      for (const JsonValue& point : fresh["bench_kernel"]["sweep"].array) {
+        fresh_points[kernel_point_key(point)] = &point;
+      }
+      for (const JsonValue& point : base["bench_kernel"]["sweep"].array) {
+        const std::string key = kernel_point_key(point);
+        const std::string where = "bench_kernel: " + key;
+        auto it = fresh_points.find(key);
+        if (it == fresh_points.end()) {
+          ctx.Hard(where, "sweep point missing from fresh report");
+          continue;
+        }
+        if (point.has("result")) {
+          for (const auto& [field, value] : point["result"].object) {
+            CompareScalarHard(&ctx, where + ".result." + field, value,
+                              (*it->second)["result"][field]);
+          }
+        }
+        if (point.has("seconds") && it->second->has("seconds")) {
+          CompareSoft(&ctx, where + ".seconds", point["seconds"].AsDouble(),
+                      (*it->second)["seconds"].AsDouble(),
+                      options.time_tolerance, 0.1, "s");
+        }
       }
     }
   }

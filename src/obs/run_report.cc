@@ -89,6 +89,15 @@ std::string RunReportEntryToJson(const RunReportEntry& entry) {
     }
     json.EndObject();
   }
+  if (!entry.kernel_name.empty()) {
+    json.Key("kernel").BeginObject();
+    json.Key("name").String(entry.kernel_name);
+    json.Key("threads").UInt(entry.kernel_threads);
+    json.Key("granularity").UInt(entry.kernel_granularity);
+    json.Key("invocations").UInt(entry.stats.kernel_invocations);
+    json.Key("micros").UInt(entry.stats.kernel_micros);
+    json.EndObject();
+  }
   if (entry.finished) {
     json.Key("result").BeginObject();
     json.Key("component_count").UInt(entry.component_count);

@@ -71,6 +71,16 @@ struct RunReportEntry {
   std::string cache_policy;
   std::string io_backend;
 
+  // In-memory batch-kernel selection (scc/parallel_scc.h), set by the
+  // caller that picked a kernel; emitted as a "kernel" object (name,
+  // threads, granularity, invocations, micros) when kernel_name is
+  // non-empty. invocations/micros come from RunStats. Left empty by
+  // callers predating the kernel option, so old report lines are
+  // byte-unchanged.
+  std::string kernel_name;
+  uint64_t kernel_threads = 0;
+  uint64_t kernel_granularity = 0;
+
   // Result summary; meaningful only when finished.
   uint64_t component_count = 0;
   uint64_t largest_component = 0;

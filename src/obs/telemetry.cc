@@ -33,6 +33,7 @@ void WriteSample(JsonWriter* json, const TelemetrySample& s) {
   json->Key("iteration").UInt(s.iteration);
   json->Key("live_nodes").UInt(s.live_nodes);
   json->Key("live_edges").UInt(s.live_edges);
+  json->Key("kernel_batches").UInt(s.kernel_batches);
   json->Key("progress").Double(s.progress);
   json->Key("eta_seconds").Double(s.eta_seconds);
   json->EndObject();
@@ -130,9 +131,13 @@ void Telemetry::BeginRun(const TelemetryRunInfo& info) {
   run_start_logical_blocks_ = SnapshotIoCounters().TotalLogicalBlocks();
   wd_last_logical_ = run_start_logical_blocks_;
   wd_last_iteration_ = 0;
+  wd_last_kernel_batches_ = 0;
+  wd_last_kernel_heartbeats_ = 0;
   wd_stalled_micros_ = 0;
   wd_fired_this_run_ = false;
   iteration_.store(0, std::memory_order_relaxed);
+  kernel_batches_.store(0, std::memory_order_relaxed);
+  kernel_heartbeats_.store(0, std::memory_order_relaxed);
   live_nodes_.store(info.total_nodes, std::memory_order_relaxed);
   live_edges_.store(info.total_edges, std::memory_order_relaxed);
   run_active_.store(true, std::memory_order_release);
@@ -167,6 +172,8 @@ TelemetrySample Telemetry::SampleNow() {
   s.iteration = iteration_.load(std::memory_order_relaxed);
   s.live_nodes = live_nodes_.load(std::memory_order_relaxed);
   s.live_edges = live_edges_.load(std::memory_order_relaxed);
+  s.kernel_batches = kernel_batches_.load(std::memory_order_relaxed);
+  s.kernel_heartbeats = kernel_heartbeats_.load(std::memory_order_relaxed);
 
   uint64_t interval_micros = 0;
   {
@@ -220,11 +227,15 @@ void Telemetry::CheckWatchdog(const TelemetrySample& sample,
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (sample.logical_blocks == wd_last_logical_ &&
-        sample.iteration == wd_last_iteration_) {
+        sample.iteration == wd_last_iteration_ &&
+        sample.kernel_batches == wd_last_kernel_batches_ &&
+        sample.kernel_heartbeats == wd_last_kernel_heartbeats_) {
       wd_stalled_micros_ += interval_micros;
     } else {
       wd_last_logical_ = sample.logical_blocks;
       wd_last_iteration_ = sample.iteration;
+      wd_last_kernel_batches_ = sample.kernel_batches;
+      wd_last_kernel_heartbeats_ = sample.kernel_heartbeats;
       wd_stalled_micros_ = 0;
     }
     stalled_ms = wd_stalled_micros_ / 1000;
@@ -323,13 +334,20 @@ void Telemetry::RenderStatus(const TelemetrySample& sample) {
           ? 100.0 * (run_info_.total_nodes - sample.live_nodes) /
                 run_info_.total_nodes
           : 0.0;
-  char line[256];
+  // Mid-pass the in-memory kernel is the only thing moving; surface its
+  // batch counter so the line visibly advances between pass boundaries.
+  char batches[32] = "";
+  if (sample.kernel_batches > 0) {
+    std::snprintf(batches, sizeof batches, " batch %" PRIu64,
+                  sample.kernel_batches);
+  }
+  char line[288];
   std::snprintf(
       line, sizeof line,
-      "[%s] iter %" PRIu64 " | live %" PRIu64 "n/%" PRIu64
+      "[%s] iter %" PRIu64 "%s | live %" PRIu64 "n/%" PRIu64
       "e | contracted %.1f%% | %s | cache %.0f%% | %s%.0f%% eta %s",
-      run_info_.algorithm.c_str(), sample.iteration, sample.live_nodes,
-      sample.live_edges, contraction_pct,
+      run_info_.algorithm.c_str(), sample.iteration, batches,
+      sample.live_nodes, sample.live_edges, contraction_pct,
       FormatRate(bytes_delta, since_render).c_str(), hit_pct,
       sample.progress >= 0 ? "" : "~", 100.0 * std::max(0.0, sample.progress),
       FormatEta(sample.eta_seconds).c_str());

@@ -114,10 +114,19 @@ struct TelemetrySample {
   uint64_t checkpoints = 0;
   uint64_t pool_queue_depth = 0;
   uint64_t max_rss_kb = 0;
-  // Driver gauges (TelemetryOnIteration).
+  // Driver gauges (TelemetryOnIteration / TelemetryOnKernelBatch).
   uint64_t iteration = 0;
   uint64_t live_nodes = 0;
   uint64_t live_edges = 0;
+  // In-memory batch-kernel heartbeat: batches solved this run. Advancing
+  // counts as progress for the watchdog even while logical I/O and the
+  // pass gauge are frozen (1PB-SCC's in-memory phase).
+  uint64_t kernel_batches = 0;
+  // Finer-grained kernel liveness: ticks per trim/BFS level and per
+  // solved subproblem *inside* a batch, plus once per completed batch.
+  // The watchdog's progress witness for batches that outlast the stall
+  // window on their own. Not serialized into the timeseries record.
+  uint64_t kernel_heartbeats = 0;
   // Budget-anchored estimator; negative when no run/model is active.
   double progress = -1;     // 0..1
   double eta_seconds = -1;  // elapsed * (1 - p) / p
@@ -147,6 +156,24 @@ class Telemetry {
     iteration_.store(iteration, std::memory_order_relaxed);
     live_nodes_.store(live_nodes, std::memory_order_relaxed);
     live_edges_.store(live_edges, std::memory_order_relaxed);
+  }
+
+  // Batch-kernel heartbeat: called by 1PB-SCC after every in-memory batch
+  // so the live gauges keep moving (and the watchdog keeps quiet) during
+  // long I/O-free stretches mid-pass.
+  void OnKernelBatch(uint64_t batches, uint64_t live_nodes,
+                     uint64_t live_edges) {
+    kernel_batches_.store(batches, std::memory_order_relaxed);
+    live_nodes_.store(live_nodes, std::memory_order_relaxed);
+    live_edges_.store(live_edges, std::memory_order_relaxed);
+    kernel_heartbeats_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Mid-batch kernel liveness tick (per trim/BFS level, per solved
+  // subproblem). Keeps the watchdog quiet through a single batch that
+  // takes longer than the stall window; updates no user-visible gauge.
+  void OnKernelProgress() {
+    kernel_heartbeats_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Takes one sample synchronously (the sampler thread calls this at the
@@ -183,6 +210,8 @@ class Telemetry {
   std::atomic<uint64_t> iteration_{0};
   std::atomic<uint64_t> live_nodes_{0};
   std::atomic<uint64_t> live_edges_{0};
+  std::atomic<uint64_t> kernel_batches_{0};
+  std::atomic<uint64_t> kernel_heartbeats_{0};
   std::atomic<bool> run_active_{false};
   std::atomic<uint64_t> watchdog_fires_{0};
 
@@ -196,6 +225,8 @@ class Telemetry {
   // for SampleNow calls from tests).
   uint64_t wd_last_logical_ = 0;
   uint64_t wd_last_iteration_ = 0;
+  uint64_t wd_last_kernel_batches_ = 0;
+  uint64_t wd_last_kernel_heartbeats_ = 0;
   uint64_t wd_stalled_micros_ = 0;
   bool wd_fired_this_run_ = false;
   std::string watchdog_report_;
@@ -234,6 +265,20 @@ inline void TelemetryOnIteration(uint64_t iteration, uint64_t live_nodes,
                                  uint64_t live_edges) {
   Telemetry* t = GetTelemetry();
   if (t != nullptr) t->OnIteration(iteration, live_nodes, live_edges);
+}
+
+// Batch-kernel heartbeat hook, same cost contract as above.
+inline void TelemetryOnKernelBatch(uint64_t batches, uint64_t live_nodes,
+                                   uint64_t live_edges) {
+  Telemetry* t = GetTelemetry();
+  if (t != nullptr) t->OnKernelBatch(batches, live_nodes, live_edges);
+}
+
+// Mid-batch kernel liveness hook (wired into ParallelSccOptions::heartbeat
+// by 1PB-SCC); same cost contract as above.
+inline void TelemetryOnKernelProgress() {
+  Telemetry* t = GetTelemetry();
+  if (t != nullptr) t->OnKernelProgress();
 }
 
 }  // namespace ioscc

@@ -1,9 +1,16 @@
 #include "scc/algorithms.h"
 
+#include <algorithm>
+#include <memory>
+#include <thread>
+
 #include "scc/dfs_scc.h"
 #include "scc/em_scc.h"
+#include "scc/kosaraju.h"
 #include "scc/one_phase.h"
 #include "scc/one_phase_batch.h"
+#include "scc/parallel_scc.h"
+#include "scc/tarjan.h"
 #include "scc/two_phase.h"
 
 namespace ioscc {
@@ -66,6 +73,61 @@ Status RunScc(SccAlgorithm algorithm, const std::string& path,
       return EmScc(path, options, result, stats);
   }
   return Status::InvalidArgument("bad algorithm enum");
+}
+
+const char* BatchKernelName(BatchKernel kernel) {
+  switch (kernel) {
+    case BatchKernel::kTarjan:
+      return "tarjan";
+    case BatchKernel::kKosaraju:
+      return "kosaraju";
+    case BatchKernel::kParallelFb:
+      return "parallel_fb";
+  }
+  return "?";
+}
+
+Status ParseBatchKernel(const std::string& name, BatchKernel* kernel) {
+  if (name == "tarjan") {
+    *kernel = BatchKernel::kTarjan;
+  } else if (name == "kosaraju") {
+    *kernel = BatchKernel::kKosaraju;
+  } else if (name == "parallel_fb") {
+    *kernel = BatchKernel::kParallelFb;
+  } else {
+    return Status::InvalidArgument("unknown kernel: " + name +
+                                   " (want tarjan|kosaraju|parallel_fb)");
+  }
+  return Status::OK();
+}
+
+std::vector<BatchKernel> AllBatchKernels() {
+  return {BatchKernel::kTarjan, BatchKernel::kKosaraju,
+          BatchKernel::kParallelFb};
+}
+
+SccResult RunInMemoryKernel(BatchKernel kernel, const Digraph& graph,
+                            uint32_t threads, uint32_t granularity) {
+  switch (kernel) {
+    case BatchKernel::kTarjan:
+      return TarjanScc(graph);
+    case BatchKernel::kKosaraju:
+      return KosarajuScc(graph);
+    case BatchKernel::kParallelFb: {
+      if (threads == 0) {
+        threads = std::max(1u, std::thread::hardware_concurrency());
+      }
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 1) {
+        pool = std::make_unique<ThreadPool>(static_cast<int>(threads));
+      }
+      ParallelSccOptions options;
+      options.pool = pool.get();
+      options.granularity = granularity;
+      return ParallelFbScc(graph, options);
+    }
+  }
+  return SccResult{};
 }
 
 }  // namespace ioscc

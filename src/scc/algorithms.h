@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/digraph.h"
 #include "scc/options.h"
 #include "scc/scc_result.h"
 #include "util/status.h"
@@ -37,6 +38,29 @@ std::vector<SccAlgorithm> AllAlgorithms();
 Status RunScc(SccAlgorithm algorithm, const std::string& path,
               const SemiExternalOptions& options, SccResult* result,
               RunStats* stats);
+
+// ---- In-memory batch kernels / oracles -------------------------------
+//
+// The same registry idea for the RAM-only kernels: 1PB-SCC dispatches
+// batch graphs by BatchKernel, and the oracle tests sweep every kernel
+// against every generator family.
+
+// Canonical kernel name ("tarjan", "kosaraju", "parallel_fb").
+const char* BatchKernelName(BatchKernel kernel);
+
+// Parses a kernel name (as produced by BatchKernelName).
+Status ParseBatchKernel(const std::string& name, BatchKernel* kernel);
+
+// All kernels, default first.
+std::vector<BatchKernel> AllBatchKernels();
+
+// Runs `kernel` on an in-memory graph as an oracle and returns the
+// normalized partition. `threads`/`granularity` follow the
+// SemiExternalOptions fields of the same name (0 = auto / default) and
+// are ignored by the serial kernels; kParallelFb builds a private pool
+// for the call when threads != 1.
+SccResult RunInMemoryKernel(BatchKernel kernel, const Digraph& graph,
+                            uint32_t threads = 1, uint32_t granularity = 0);
 
 }  // namespace ioscc
 

@@ -128,6 +128,8 @@ inline void PutRunStats(BlobWriter* w, const RunStats& stats,
   w->PutU64(stats.nodes_rejected);
   w->PutU64(stats.pushdowns);
   w->PutU64(stats.contractions);
+  w->PutU64(stats.kernel_invocations);
+  w->PutU64(stats.kernel_micros);
   w->PutDouble(seconds_so_far);
   w->PutU64(stats.per_iteration.size());
   for (const IterationStats& it : stats.per_iteration) {
@@ -148,6 +150,8 @@ inline void GetRunStats(BlobReader* r, RunStats* stats,
   stats->nodes_rejected = r->GetU64();
   stats->pushdowns = r->GetU64();
   stats->contractions = r->GetU64();
+  stats->kernel_invocations = r->GetU64();
+  stats->kernel_micros = r->GetU64();
   *seconds_so_far = r->GetDouble();
   const uint64_t count = r->GetU64();
   stats->per_iteration.clear();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "graph/digraph.h"
@@ -11,15 +12,31 @@
 #include "obs/trace.h"
 #include "scc/checkpoint_hook.h"
 #include "scc/kosaraju.h"
+#include "scc/parallel_scc.h"
 #include "scc/pass_metrics.h"
 #include "scc/spanning_tree.h"
 #include "scc/tarjan.h"
 #include "scc/union_find.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ioscc {
 namespace {
+
+// Kernel-side registry counters bumped per batch (the per-kernel work
+// counters live in parallel_scc.cc).
+struct BatchKernelCounters {
+  Counter* batches;
+  Counter* micros;
+
+  static const BatchKernelCounters& Get() {
+    static BatchKernelCounters counters{
+        MetricsRegistry::Global().GetCounter("kernel.batches"),
+        MetricsRegistry::Global().GetCounter("kernel.micros")};
+    return counters;
+  }
+};
 
 class OnePhaseBatchRunner {
  public:
@@ -53,6 +70,13 @@ class OnePhaseBatchRunner {
   std::unique_ptr<SpanningTree> tree_;
   std::unique_ptr<UnionFind> uf_;
   std::vector<bool> removed_;
+
+  // Private worker pool for the parallel batch kernel (null for the
+  // serial kernels or kernel_threads == 1). Deliberately distinct from
+  // the process-wide I/O pool: kernel tasks must never queue behind
+  // prefetch tasks or vice versa.
+  std::unique_ptr<ThreadPool> kernel_pool_;
+  uint64_t kernel_batches_ = 0;
 
   uint64_t tau_abs_ = 0;
   bool pending_rewrite_ = false;
@@ -116,16 +140,42 @@ void OnePhaseBatchRunner::ProcessBatch(std::vector<Edge>* batch,
   batch->clear();
 
   Digraph gpp(total, gpp_edges);
+  const uint64_t batch_edge_count = gpp.edge_count();
   SccResult comp;
   std::vector<NodeId> emit_order;
-  std::vector<Edge> dag_edges =
-      options_.batch_kernel == BatchKernel::kKosaraju
-          ? CondensationOfKosaraju(gpp, &comp, &emit_order)
-          : CondensationOf(gpp, &comp, &emit_order);
+  Timer kernel_timer;
+  std::vector<Edge> dag_edges;
+  switch (options_.batch_kernel) {
+    case BatchKernel::kKosaraju:
+      dag_edges = CondensationOfKosaraju(gpp, &comp, &emit_order);
+      break;
+    case BatchKernel::kParallelFb: {
+      ParallelSccOptions kernel_options;
+      kernel_options.pool = kernel_pool_.get();
+      kernel_options.granularity = options_.kernel_granularity;
+      // Mid-batch liveness: one batch can run longer than the stall
+      // watchdog's window, and the end-of-batch heartbeat below fires
+      // too late to keep it quiet.
+      kernel_options.heartbeat = [] { TelemetryOnKernelProgress(); };
+      dag_edges =
+          CondensationOfParallelFb(gpp, kernel_options, &comp, &emit_order);
+      break;
+    }
+    case BatchKernel::kTarjan:
+      dag_edges = CondensationOf(gpp, &comp, &emit_order);
+      break;
+  }
+  const uint64_t kernel_micros =
+      static_cast<uint64_t>(kernel_timer.ElapsedSeconds() * 1e6);
+  ++stats_->kernel_invocations;
+  stats_->kernel_micros += kernel_micros;
+  ++kernel_batches_;
+  BatchKernelCounters::Get().batches->Increment();
+  BatchKernelCounters::Get().micros->Add(kernel_micros);
 
-  // Contract every multi-member SCC of G''. Tarjan labels components by
-  // their smallest member id, so merging everything into the label keeps
-  // union-find representatives equal to component labels.
+  // Contract every multi-member SCC of G''. Every kernel labels
+  // components by their smallest member id, so merging everything into
+  // the label keeps union-find representatives equal to component labels.
   {
     std::vector<uint32_t> comp_size(total, 0);
     for (NodeId v = 0; v < n_; ++v) {
@@ -155,7 +205,8 @@ void OnePhaseBatchRunner::ProcessBatch(std::vector<Edge>* batch,
   // Rebuild the BR-Tree as the longest-path forest over the condensation:
   // process components in topological order; drank(c) = max over DAG
   // in-edges (u, c) of drank(u) + 1, parent(c) = the maximizing u.
-  // Tarjan emits successors first, so topological order is the reverse.
+  // Every kernel emits successors first, so topological order is the
+  // reverse.
   std::vector<uint32_t> in_head(static_cast<size_t>(total) + 1, 0);
   for (const Edge& e : dag_edges) ++in_head[e.to + 1];
   for (size_t i = 1; i < in_head.size(); ++i) in_head[i] += in_head[i - 1];
@@ -208,6 +259,15 @@ void OnePhaseBatchRunner::ProcessBatch(std::vector<Edge>* batch,
     ++stats_->pushdowns;  // counted per batch rebuild
     *updated = true;
   }
+
+  // Heartbeat for the telemetry sampler and the --progress status line:
+  // without it the live gauges freeze for the whole in-memory phase and
+  // large batches trip the stall watchdog. The node gauge is live (this
+  // batch's contractions are already counted); the edge gauge shows the
+  // batch graph just solved.
+  TelemetryOnKernelBatch(
+      kernel_batches_,
+      n_ - stats_->nodes_rejected - stats_->contractions, batch_edge_count);
 }
 
 Status OnePhaseBatchRunner::Iterate(bool* updated) {
@@ -342,6 +402,18 @@ Status OnePhaseBatchRunner::Run() {
                                                 static_cast<double>(n_)));
   batch_capacity_ = std::max<size_t>(
       1024, options_.memory_budget_bytes / sizeof(Edge));
+
+  if (options_.batch_kernel == BatchKernel::kParallelFb) {
+    uint32_t threads = options_.kernel_threads;
+    if (threads == 0) {
+      threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    // threads == 1 keeps the pool null: TaskGroup then runs every task
+    // inline and the kernel is strictly serial.
+    if (threads > 1) {
+      kernel_pool_ = std::make_unique<ThreadPool>(static_cast<int>(threads));
+    }
+  }
 
   const uint64_t max_iterations =
       options_.max_iterations > 0 ? options_.max_iterations

@@ -30,8 +30,12 @@ struct IterationStats {
 // In-memory SCC kernel used by 1PB-SCC on each batch graph. The paper
 // names Kosaraju-Sharir (it reuses the pass-1 finish order as the
 // topological sort); Tarjan produces the identical condensation in one
-// pass and is the default.
-enum class BatchKernel { kTarjan, kKosaraju };
+// pass and is the default. kParallelFb is the forward-backward
+// divide-and-conquer kernel (scc/parallel_scc.h): same partition and
+// condensation contract, parallel across kernel_threads workers. Every
+// kernel is RAM-only, so the logical I/O ledger is byte-identical
+// whichever one runs.
+enum class BatchKernel { kTarjan, kKosaraju, kParallelFb };
 
 struct SemiExternalOptions {
   // Bytes of main memory available to edge batches (1PB-SCC) and in-memory
@@ -73,6 +77,16 @@ struct SemiExternalOptions {
   // In-memory kernel for 1PB-SCC batch graphs.
   BatchKernel batch_kernel = BatchKernel::kTarjan;
 
+  // Worker threads for kParallelFb: 0 picks one per hardware thread,
+  // 1 runs inline (no pool), N > 1 builds a pool of N workers. The
+  // kernel pool is private to the run — never the process-wide I/O pool.
+  // Ignored by the serial kernels.
+  uint32_t kernel_threads = 0;
+
+  // Vertical granularity for kParallelFb: simultaneous BFS sources per
+  // task (0 = kDefaultKernelGranularity in scc/parallel_scc.h).
+  uint32_t kernel_granularity = 0;
+
   // Invoked after every full pass over the edge stream with the 1-based
   // pass number and that pass's reduction record (zeroed for algorithms
   // that do not reduce the graph). Return false to cancel: the algorithm
@@ -96,6 +110,11 @@ struct RunStats {
   uint64_t nodes_rejected = 0;   // removed via early rejection
   uint64_t pushdowns = 0;
   uint64_t contractions = 0;
+  // In-memory batch-kernel accounting (1PB-SCC): number of batch graphs
+  // solved and the wall time spent inside the kernel. Deterministic
+  // (invocations) and timing (micros) respectively.
+  uint64_t kernel_invocations = 0;
+  uint64_t kernel_micros = 0;
   double seconds = 0;
   std::vector<IterationStats> per_iteration;
 };

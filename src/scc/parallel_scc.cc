@@ -1,0 +1,477 @@
+#include "scc/parallel_scc.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "scc/tarjan.h"
+
+namespace ioscc {
+namespace {
+
+// kernel.* registry counters (mirrors pass_metrics.h): aggregate work done
+// by the parallel kernel across every invocation in the process.
+struct KernelCounters {
+  Counter* pivots;
+  Counter* trimmed;
+  Counter* bfs_levels;
+  Counter* small_subproblems;
+
+  static const KernelCounters& Get() {
+    static KernelCounters counters{
+        MetricsRegistry::Global().GetCounter("kernel.pivots"),
+        MetricsRegistry::Global().GetCounter("kernel.trimmed"),
+        MetricsRegistry::Global().GetCounter("kernel.bfs_levels"),
+        MetricsRegistry::Global().GetCounter("kernel.small_subproblems")};
+    return counters;
+  }
+};
+
+// Subproblems at or below this many nodes skip the FB split and run
+// restricted serial Tarjan, batched so independent subproblems solve in
+// parallel. Scaled off the granularity knob so one flag tunes both the
+// frontier chunking and the recursion floor.
+size_t SerialCutoff(uint32_t granularity) {
+  return std::max<size_t>(2048, 4ull * granularity);
+}
+
+struct FbState {
+  FbState(const Digraph& fwd_graph, const Digraph& bwd_graph,
+          ThreadPool* worker_pool, uint32_t gran)
+      : fwd(fwd_graph), bwd(bwd_graph), pool(worker_pool),
+        granularity(gran) {}
+
+  const Digraph& fwd;
+  const Digraph& bwd;  // fwd with every edge reversed
+  ThreadPool* pool;
+  uint32_t granularity;
+
+  // part[v]: id of the open subproblem v belongs to (0 = solved). Written
+  // only by the calling thread; tasks read it after a Submit()
+  // happens-before edge and never while the calling thread mutates it
+  // (the calling thread is blocked in Wait() whenever tasks run).
+  std::vector<uint32_t> part;
+  uint32_t next_part = 0;
+
+  // Reachability stamps. A node is in the current forward (backward)
+  // reachable set iff its stamp equals the round's stamp; bumping the
+  // stamp resets both sets in O(1). Claims race benignly: exchange
+  // admits each node into a frontier exactly once.
+  std::unique_ptr<std::atomic<uint32_t>[]> fwd_seen;
+  std::unique_ptr<std::atomic<uint32_t>[]> bwd_seen;
+  uint32_t stamp = 0;
+
+  // Scratch for restricted Tarjan: maps global id -> index in the
+  // subproblem's node list. Concurrent small-subproblem tasks write
+  // disjoint entries (their node sets are disjoint), so plain stores.
+  std::vector<uint32_t> local_index;
+
+  std::vector<NodeId> label;  // the answer: canonical SCC label per node
+
+  // Copied from ParallelSccOptions; ticked by the orchestrating thread
+  // only, never from pool tasks.
+  std::function<void()> heartbeat;
+};
+
+void Beat(FbState* st) {
+  if (st->heartbeat) st->heartbeat();
+}
+
+// Expands one frontier chunk of `dir` in subproblem `pid`, appending newly
+// claimed nodes to `out`. Runs on pool workers; touches only atomics plus
+// the read-only graph/part arrays.
+void ExpandChunk(const Digraph& dir, std::atomic<uint32_t>* seen,
+                 uint32_t stamp, const std::vector<uint32_t>& part,
+                 uint32_t pid, const NodeId* chunk, size_t chunk_size,
+                 std::vector<NodeId>* out) {
+  for (size_t i = 0; i < chunk_size; ++i) {
+    for (NodeId v : dir.OutNeighbors(chunk[i])) {
+      if (part[v] != pid) continue;
+      if (seen[v].load(std::memory_order_relaxed) == stamp) continue;
+      if (seen[v].exchange(stamp, std::memory_order_relaxed) != stamp) {
+        out->push_back(v);
+      }
+    }
+  }
+}
+
+// Level-synchronous BFS over `dir` restricted to subproblem `pid`,
+// stamping every reached node. Chunks of each level run as parallel tasks
+// in `group`; the caller owns the level barrier (group.Wait()) so forward
+// and backward sweeps can share one group and proceed concurrently.
+class ReachSweep {
+ public:
+  ReachSweep(const Digraph& dir, std::atomic<uint32_t>* seen, FbState* st,
+             uint32_t pid, NodeId pivot)
+      : dir_(dir), seen_(seen), st_(st), pid_(pid) {
+    seen_[pivot].store(st_->stamp, std::memory_order_relaxed);
+    frontier_.push_back(pivot);
+  }
+
+  bool done() const { return frontier_.empty(); }
+
+  // Submits this level's expansion tasks into `group`. Call Collect()
+  // after the group's Wait().
+  void SubmitLevel(TaskGroup* group) {
+    const size_t chunk = st_->granularity;
+    const size_t n_chunks = (frontier_.size() + chunk - 1) / chunk;
+    next_.assign(n_chunks, {});
+    for (size_t c = 0; c < n_chunks; ++c) {
+      const NodeId* base = frontier_.data() + c * chunk;
+      const size_t size = std::min(chunk, frontier_.size() - c * chunk);
+      std::vector<NodeId>* out = &next_[c];
+      group->Run([this, base, size, out] {
+        ExpandChunk(dir_, seen_, st_->stamp, st_->part, pid_, base, size,
+                    out);
+      });
+    }
+  }
+
+  void Collect() {
+    frontier_.clear();
+    for (std::vector<NodeId>& part : next_) {
+      frontier_.insert(frontier_.end(), part.begin(), part.end());
+    }
+    next_.clear();
+  }
+
+ private:
+  const Digraph& dir_;
+  std::atomic<uint32_t>* seen_;
+  FbState* st_;
+  uint32_t pid_;
+  std::vector<NodeId> frontier_;
+  std::vector<std::vector<NodeId>> next_;
+};
+
+// Peels zero in/out-degree nodes (self-loops excluded); each is its own
+// SCC. Level-synchronous and chunk-parallel like the BFS sweeps, because
+// planted and web-scale batch graphs shed the bulk of their nodes here —
+// a serial trim would cap the whole kernel's speedup. The peeled set per
+// level is a pure function of the graph (a node dies in level k iff the
+// level's total decrements exhaust one of its counters), so the result is
+// deterministic at every pool size; only frontier order varies, and
+// nothing downstream reads it. Returns survivors in ascending id order.
+std::vector<NodeId> TrimPass(FbState* st) {
+  const Digraph& fwd = st->fwd;
+  const Digraph& bwd = st->bwd;
+  const NodeId n = fwd.node_count();
+  std::unique_ptr<std::atomic<uint32_t>[]> outdeg(
+      new std::atomic<uint32_t>[n]);
+  std::unique_ptr<std::atomic<uint32_t>[]> indeg(
+      new std::atomic<uint32_t>[n]);
+  std::unique_ptr<std::atomic<uint8_t>[]> dead(new std::atomic<uint8_t>[n]);
+
+  // Per-node degree init is embarrassingly parallel: node-range chunks
+  // sized so every worker gets a handful of tasks, never below the
+  // granularity knob.
+  const size_t threads = st->pool != nullptr ? st->pool->num_threads() : 1;
+  const size_t init_chunk = std::max<size_t>(
+      st->granularity, (size_t{n} + 8 * threads - 1) / (8 * threads));
+  const size_t init_chunks = (size_t{n} + init_chunk - 1) / init_chunk;
+  std::vector<std::vector<NodeId>> first(init_chunks);
+  {
+    TaskGroup group(st->pool);
+    for (size_t c = 0; c < init_chunks; ++c) {
+      const NodeId begin = static_cast<NodeId>(c * init_chunk);
+      const NodeId end =
+          static_cast<NodeId>(std::min<size_t>(n, (c + 1) * init_chunk));
+      std::vector<NodeId>* out = &first[c];
+      group.Run([&fwd, &bwd, &outdeg, &indeg, &dead, begin, end, out] {
+        for (NodeId u = begin; u < end; ++u) {
+          uint32_t self = 0;  // a self-loop never extends an SCC
+          for (NodeId v : fwd.OutNeighbors(u)) {
+            if (v == u) ++self;
+          }
+          const uint32_t out_d = fwd.OutDegree(u) - self;
+          const uint32_t in_d = bwd.OutDegree(u) - self;
+          outdeg[u].store(out_d, std::memory_order_relaxed);
+          indeg[u].store(in_d, std::memory_order_relaxed);
+          if (out_d == 0 || in_d == 0) {
+            dead[u].store(1, std::memory_order_relaxed);
+            out->push_back(u);
+          } else {
+            dead[u].store(0, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    group.Wait();
+  }
+  std::vector<NodeId> frontier;
+  for (std::vector<NodeId>& part : first) {
+    frontier.insert(frontier.end(), part.begin(), part.end());
+  }
+
+  // Peel cascade. Claims race benignly (exchange admits a node once); a
+  // dead node's counters may keep absorbing decrements, which is harmless
+  // because the dead flag gates every claim.
+  while (!frontier.empty()) {
+    const size_t chunk = st->granularity;
+    const size_t n_chunks = (frontier.size() + chunk - 1) / chunk;
+    std::vector<std::vector<NodeId>> next(n_chunks);
+    TaskGroup group(st->pool);
+    for (size_t c = 0; c < n_chunks; ++c) {
+      const NodeId* base = frontier.data() + c * chunk;
+      const size_t size = std::min(chunk, frontier.size() - c * chunk);
+      std::vector<NodeId>* out = &next[c];
+      group.Run([st, &fwd, &bwd, &outdeg, &indeg, &dead, base, size, out] {
+        for (size_t i = 0; i < size; ++i) {
+          const NodeId u = base[i];
+          st->label[u] = u;  // claimed exactly once => disjoint writes
+          for (NodeId v : fwd.OutNeighbors(u)) {
+            if (v == u || dead[v].load(std::memory_order_relaxed)) continue;
+            if (indeg[v].fetch_sub(1, std::memory_order_relaxed) == 1 &&
+                dead[v].exchange(1, std::memory_order_relaxed) == 0) {
+              out->push_back(v);
+            }
+          }
+          for (NodeId v : bwd.OutNeighbors(u)) {
+            if (v == u || dead[v].load(std::memory_order_relaxed)) continue;
+            if (outdeg[v].fetch_sub(1, std::memory_order_relaxed) == 1 &&
+                dead[v].exchange(1, std::memory_order_relaxed) == 0) {
+              out->push_back(v);
+            }
+          }
+        }
+      });
+    }
+    group.Wait();
+    Beat(st);
+    frontier.clear();
+    for (std::vector<NodeId>& part : next) {
+      frontier.insert(frontier.end(), part.begin(), part.end());
+    }
+  }
+
+  std::vector<NodeId> live;
+  for (NodeId v = 0; v < n; ++v) {
+    if (dead[v].load(std::memory_order_relaxed) == 0) live.push_back(v);
+  }
+  const uint64_t trimmed = n - live.size();
+  if (trimmed > 0) KernelCounters::Get().trimmed->Add(trimmed);
+  return live;
+}
+
+// Deterministic pivot: maximize (out+1)*(in+1) over full-graph degrees,
+// smallest id on ties. Degrees are data, not timing, so every thread
+// count picks the same node.
+NodeId SelectPivot(const FbState& st, const std::vector<NodeId>& nodes) {
+  NodeId best = nodes[0];
+  uint64_t best_score = 0;
+  for (NodeId v : nodes) {
+    uint64_t score = (uint64_t{st.fwd.OutDegree(v)} + 1) *
+                     (uint64_t{st.bwd.OutDegree(v)} + 1);
+    if (score > best_score) {
+      best_score = score;
+      best = v;
+    }
+  }
+  return best;
+}
+
+// Solves one small subproblem with Tarjan restricted to its node set.
+// Runs as a pool task; subproblem node sets are disjoint, so concurrent
+// tasks write disjoint label/local_index entries.
+void SolveSmall(FbState* st, const std::vector<NodeId>& nodes,
+                uint32_t pid) {
+  const uint32_t local_n = static_cast<uint32_t>(nodes.size());
+  for (uint32_t i = 0; i < local_n; ++i) {
+    st->local_index[nodes[i]] = i;
+  }
+  std::vector<Edge> local_edges;
+  for (uint32_t i = 0; i < local_n; ++i) {
+    for (NodeId v : st->fwd.OutNeighbors(nodes[i])) {
+      if (st->part[v] != pid) continue;
+      local_edges.push_back(Edge{i, st->local_index[v]});
+    }
+  }
+  SccResult local = TarjanScc(Digraph(local_n, local_edges));
+  // Tarjan labels by smallest *local* index; remap to smallest global id.
+  std::vector<NodeId> min_global(local_n, kInvalidNode);
+  for (uint32_t i = 0; i < local_n; ++i) {
+    NodeId& rep = min_global[local.component[i]];
+    rep = std::min(rep, nodes[i]);
+  }
+  for (uint32_t i = 0; i < local_n; ++i) {
+    st->label[nodes[i]] = min_global[local.component[i]];
+  }
+}
+
+void RunFb(FbState* st, std::vector<NodeId> root_nodes) {
+  std::deque<std::vector<NodeId>> work;
+  std::vector<std::pair<std::vector<NodeId>, uint32_t>> small;
+  const size_t cutoff = SerialCutoff(st->granularity);
+  const size_t small_flush =
+      4 * static_cast<size_t>(st->pool ? st->pool->num_threads() : 1);
+
+  auto open_subproblem = [st](std::vector<NodeId> nodes,
+                              std::deque<std::vector<NodeId>>* q) {
+    uint32_t pid = ++st->next_part;
+    for (NodeId v : nodes) st->part[v] = pid;
+    q->push_back(std::move(nodes));
+  };
+
+  auto flush_small = [st, &small] {
+    if (small.empty()) return;
+    KernelCounters::Get().small_subproblems->Add(small.size());
+    TaskGroup group(st->pool);
+    for (auto& entry : small) {
+      const std::vector<NodeId>* nodes = &entry.first;
+      uint32_t pid = entry.second;
+      group.Run([st, nodes, pid] { SolveSmall(st, *nodes, pid); });
+    }
+    group.Wait();
+    Beat(st);
+    for (auto& entry : small) {
+      for (NodeId v : entry.first) st->part[v] = 0;
+    }
+    small.clear();
+  };
+
+  if (!root_nodes.empty()) {
+    open_subproblem(std::move(root_nodes), &work);
+  }
+
+  while (!work.empty()) {
+    std::vector<NodeId> nodes = std::move(work.front());
+    work.pop_front();
+    const uint32_t pid = st->part[nodes.front()];
+    if (nodes.size() <= cutoff) {
+      small.emplace_back(std::move(nodes), pid);
+      if (small.size() >= small_flush) flush_small();
+      continue;
+    }
+
+    const NodeId pivot = SelectPivot(*st, nodes);
+    KernelCounters::Get().pivots->Increment();
+    ++st->stamp;
+    ReachSweep fwd(st->fwd, st->fwd_seen.get(), st, pid, pivot);
+    ReachSweep bwd(st->bwd, st->bwd_seen.get(), st, pid, pivot);
+    while (!fwd.done() || !bwd.done()) {
+      KernelCounters::Get().bfs_levels->Increment();
+      TaskGroup level(st->pool);
+      if (!fwd.done()) fwd.SubmitLevel(&level);
+      if (!bwd.done()) bwd.SubmitLevel(&level);
+      level.Wait();
+      Beat(st);
+      fwd.Collect();
+      bwd.Collect();
+    }
+
+    // Split into SCC (F∩B) and the three remainders, preserving the
+    // ascending order of `nodes` so recursion order is deterministic.
+    std::vector<NodeId> in_scc, f_only, b_only, rest;
+    const uint32_t stamp = st->stamp;
+    for (NodeId v : nodes) {
+      const bool f = st->fwd_seen[v].load(std::memory_order_relaxed) == stamp;
+      const bool b = st->bwd_seen[v].load(std::memory_order_relaxed) == stamp;
+      if (f && b) {
+        in_scc.push_back(v);
+      } else if (f) {
+        f_only.push_back(v);
+      } else if (b) {
+        b_only.push_back(v);
+      } else {
+        rest.push_back(v);
+      }
+    }
+    const NodeId scc_label = in_scc.front();  // ascending order => minimum
+    for (NodeId v : in_scc) {
+      st->label[v] = scc_label;
+      st->part[v] = 0;
+    }
+    if (!f_only.empty()) open_subproblem(std::move(f_only), &work);
+    if (!b_only.empty()) open_subproblem(std::move(b_only), &work);
+    if (!rest.empty()) open_subproblem(std::move(rest), &work);
+    Beat(st);
+    if (work.empty()) flush_small();
+  }
+  flush_small();
+}
+
+}  // namespace
+
+SccResult ParallelFbScc(const Digraph& graph,
+                        const ParallelSccOptions& options) {
+  const NodeId n = graph.node_count();
+  SccResult result;
+  result.component.assign(n, kInvalidNode);
+  if (n == 0) return result;
+
+  const Digraph reversed = graph.Reversed();
+  FbState st(graph, reversed, options.pool,
+             options.granularity > 0 ? options.granularity
+                                     : kDefaultKernelGranularity);
+  st.part.assign(n, 0);
+  st.fwd_seen = std::make_unique<std::atomic<uint32_t>[]>(n);
+  st.bwd_seen = std::make_unique<std::atomic<uint32_t>[]>(n);
+  for (NodeId v = 0; v < n; ++v) {
+    st.fwd_seen[v].store(0, std::memory_order_relaxed);
+    st.bwd_seen[v].store(0, std::memory_order_relaxed);
+  }
+  st.local_index.assign(n, 0);
+  st.label.assign(n, kInvalidNode);
+  st.heartbeat = options.heartbeat;
+
+  std::vector<NodeId> live = TrimPass(&st);
+  RunFb(&st, std::move(live));
+
+  result.component = std::move(st.label);
+  return result;
+}
+
+std::vector<Edge> CondensationOfParallelFb(const Digraph& graph,
+                                           const ParallelSccOptions& options,
+                                           SccResult* scc,
+                                           std::vector<NodeId>* order) {
+  *scc = ParallelFbScc(graph, options);
+  const NodeId n = graph.node_count();
+
+  // Condensation edges in CSR scan order — a pure function of the graph
+  // and the (unique) partition, so identical at every thread count.
+  std::vector<Edge> dag_edges;
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId cu = scc->component[u];
+    for (NodeId v : graph.OutNeighbors(u)) {
+      const NodeId cv = scc->component[v];
+      if (cu != cv) dag_edges.push_back(Edge{cu, cv});
+    }
+  }
+
+  // Reverse-topological order of components (successors first), matching
+  // the CondensationOf contract: for every dag edge, `to` is emitted
+  // before `from`. Kahn's algorithm over outstanding out-edge counts,
+  // seeded with sink components in ascending id order.
+  std::vector<uint32_t> out_cnt(n, 0);
+  std::vector<uint64_t> rev_head(n + 1, 0);
+  for (const Edge& e : dag_edges) {
+    ++out_cnt[e.from];
+    ++rev_head[e.to + 1];
+  }
+  for (NodeId c = 0; c < n; ++c) rev_head[c + 1] += rev_head[c];
+  std::vector<NodeId> rev_adj(dag_edges.size());
+  {
+    std::vector<uint64_t> cursor(rev_head.begin(), rev_head.end() - 1);
+    for (const Edge& e : dag_edges) rev_adj[cursor[e.to]++] = e.from;
+  }
+  order->clear();
+  for (NodeId v = 0; v < n; ++v) {
+    if (scc->component[v] == v && out_cnt[v] == 0) order->push_back(v);
+  }
+  for (size_t head = 0; head < order->size(); ++head) {
+    const NodeId c = (*order)[head];
+    for (uint64_t i = rev_head[c]; i < rev_head[c + 1]; ++i) {
+      const NodeId u = rev_adj[i];
+      if (--out_cnt[u] == 0) order->push_back(u);
+    }
+  }
+  return dag_edges;
+}
+
+}  // namespace ioscc

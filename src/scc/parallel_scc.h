@@ -1,0 +1,88 @@
+// Parallel forward-backward (FB) divide-and-conquer SCC kernel.
+//
+// In-memory companion to Tarjan/Kosaraju for 1PB-SCC batch graphs and the
+// oracle suite, built on util/thread_pool. The algorithm (per *Parallel
+// Strong Connectivity Based on Faster Reachability*, PAPERS.md):
+//
+//   1. Trim: iteratively peel nodes with zero in- or out-degree (ignoring
+//      self-loops) — each is a size-1 SCC. Web-scale batch graphs shed the
+//      bulk of their periphery here, so the peel cascade is itself
+//      level-parallel on the pool, like the BFS below.
+//   2. Pivot: pick the remaining node maximizing
+//      (out-degree+1) * (in-degree+1), smallest id on ties — a
+//      deterministic stand-in for the classic "likely in the giant SCC"
+//      heuristic.
+//   3. Reach: run forward and backward BFS from the pivot concurrently.
+//      Both directions share one TaskGroup per level; each level's
+//      frontier is split into chunks of `granularity` sources expanded in
+//      parallel, claiming nodes via atomic stamp exchange.
+//   4. Split: F∩B is one SCC; recurse on F\B, B\F and the untouched rest.
+//      Subproblems live in an explicit deque drained by the calling
+//      thread (pool workers never Wait, so the FIFO pool cannot
+//      deadlock); small subproblems are batched and solved by parallel
+//      restricted-Tarjan tasks over disjoint node sets.
+//
+// Output is deterministic at every thread count: the SCC partition of a
+// graph is unique, labels are canonical (smallest member id), and the
+// derived condensation below is computed by data order, never completion
+// order. The kernel performs no block I/O — the logical ledger of a
+// 1PB-SCC run is byte-identical whichever kernel is selected
+// (tests assert this).
+
+#ifndef IOSCC_SCC_PARALLEL_SCC_H_
+#define IOSCC_SCC_PARALLEL_SCC_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/digraph.h"
+#include "scc/scc_result.h"
+#include "util/thread_pool.h"
+
+namespace ioscc {
+
+// Default vertical granularity: frontier sources expanded per task. Small
+// enough to split a few-thousand-node frontier across a handful of
+// workers, large enough that a task amortizes its queue round trip.
+inline constexpr uint32_t kDefaultKernelGranularity = 512;
+
+struct ParallelSccOptions {
+  // Worker pool; null runs every task inline on the calling thread (the
+  // serial path needs no separate code). The pool is borrowed, never
+  // owned — callers that want N threads build ThreadPool(N) themselves.
+  // Must NOT be the process-wide I/O pool: kernel tasks would otherwise
+  // interleave with prefetch tasks and starve the I/O pipeline.
+  ThreadPool* pool = nullptr;
+
+  // Vertical granularity: number of simultaneous BFS sources (frontier
+  // chunk size) per task, and the unit used to size the small-subproblem
+  // cutoff. 0 selects kDefaultKernelGranularity.
+  uint32_t granularity = 0;
+
+  // Liveness tick, invoked from the orchestrating thread after every trim
+  // level, BFS level, and drained subproblem. Purely observational — the
+  // 1PB-SCC driver wires it to the telemetry stall watchdog so one big
+  // batch can outlast the stall window without a false alarm. Must be
+  // cheap and must not touch kernel state; null disables it.
+  std::function<void()> heartbeat;
+};
+
+// Computes the SCC partition of `graph`. Labels are normalized (smallest
+// member id), identical to TarjanScc(graph) for every input and every
+// pool size.
+SccResult ParallelFbScc(const Digraph& graph,
+                        const ParallelSccOptions& options = {});
+
+// Condensation with the same contract as CondensationOf (tarjan.h):
+// normalized partition in `scc`, reverse-topological component order in
+// `order`, returns condensation edges named by canonical representatives
+// (self-loops removed, duplicates possible). Edge order and `order` are
+// deterministic functions of the graph alone.
+std::vector<Edge> CondensationOfParallelFb(const Digraph& graph,
+                                           const ParallelSccOptions& options,
+                                           SccResult* scc,
+                                           std::vector<NodeId>* order);
+
+}  // namespace ioscc
+
+#endif  // IOSCC_SCC_PARALLEL_SCC_H_

@@ -1,0 +1,264 @@
+// Parallel FB kernel tests: fixed graphs, thread-count determinism, the
+// condensation contract, and the 1PB-SCC ledger-identity guarantee (the
+// kernel choice must not change a single logical I/O).
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/digraph.h"
+#include "scc/algorithms.h"
+#include "scc/one_phase_batch.h"
+#include "scc/options.h"
+#include "scc/parallel_scc.h"
+#include "scc/tarjan.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace ioscc {
+namespace {
+
+using testing_util::kPaperFigure1Nodes;
+using testing_util::PaperFigure1Edges;
+using testing_util::TempDirTest;
+
+TEST(ParallelFbTest, EmptyGraph) {
+  SccResult result = ParallelFbScc(Digraph(0, {}));
+  EXPECT_EQ(result.ComponentCount(), 0u);
+}
+
+TEST(ParallelFbTest, SingleNodeNoEdges) {
+  SccResult result = ParallelFbScc(Digraph(1, {}));
+  EXPECT_EQ(result.ComponentCount(), 1u);
+  EXPECT_EQ(result.component[0], 0u);
+}
+
+TEST(ParallelFbTest, SelfLoopIsSingletonComponent) {
+  SccResult result = ParallelFbScc(Digraph(2, {{0, 0}, {0, 1}}));
+  EXPECT_EQ(result.ComponentCount(), 2u);
+}
+
+TEST(ParallelFbTest, TwoNodeCycle) {
+  SccResult result = ParallelFbScc(Digraph(2, {{0, 1}, {1, 0}}));
+  EXPECT_EQ(result.ComponentCount(), 1u);
+  EXPECT_EQ(result.component[0], result.component[1]);
+}
+
+TEST(ParallelFbTest, ChainIsAllSingletons) {
+  // Pathological high-diameter input: the trim pass must peel the whole
+  // chain without ever running a BFS round.
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < 100; ++v) edges.push_back({v, v + 1});
+  SccResult result = ParallelFbScc(Digraph(100, edges));
+  EXPECT_EQ(result.ComponentCount(), 100u);
+}
+
+TEST(ParallelFbTest, FullCycle) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < 100; ++v) edges.push_back({v, (v + 1) % 100});
+  SccResult result = ParallelFbScc(Digraph(100, edges));
+  EXPECT_EQ(result.ComponentCount(), 1u);
+  EXPECT_EQ(result.LargestComponentSize(), 100u);
+}
+
+TEST(ParallelFbTest, PaperFigure1MatchesTarjanLabels) {
+  Digraph graph(kPaperFigure1Nodes, PaperFigure1Edges());
+  SccResult result = ParallelFbScc(graph);
+  EXPECT_EQ(result, TarjanScc(graph));
+  // Labels are canonical: smallest member id.
+  EXPECT_EQ(result.component[1], 1u);
+  EXPECT_EQ(result.component[4], 1u);
+  EXPECT_EQ(result.component[6], 6u);
+  EXPECT_EQ(result.component[9], 6u);
+}
+
+// A mixed workload with a giant SCC, mid-size planted SCCs, and a DAG
+// periphery — exercises trim, pivot BFS, and the small-subproblem path.
+std::vector<Edge> MixedWorkload(uint64_t n, uint64_t seed) {
+  PlantedSccSpec spec = WebspamSpec(n, 4.0, seed);
+  std::vector<Edge> edges;
+  Status st = GeneratePlantedSccEdges(spec, &edges);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return edges;
+}
+
+TEST(ParallelFbTest, DeterministicAcrossThreadsAndGranularity) {
+  // Identical partition at threads {1,2,8} x granularity {1,3,64,default}:
+  // granularity 1 forces maximal chunking, 3 odd-sized chunks.
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const uint64_t n = 1500;
+    std::vector<Edge> edges = MixedWorkload(n, seed);
+    Digraph graph(static_cast<NodeId>(n), edges);
+    const SccResult oracle = TarjanScc(graph);
+    for (uint32_t threads : {1u, 2u, 8u}) {
+      for (uint32_t granularity : {1u, 3u, 64u, 0u}) {
+        EXPECT_EQ(RunInMemoryKernel(BatchKernel::kParallelFb, graph, threads,
+                                    granularity),
+                  oracle)
+            << "seed=" << seed << " threads=" << threads
+            << " granularity=" << granularity;
+      }
+    }
+  }
+}
+
+TEST(ParallelFbTest, RandomGraphsAcrossDensities) {
+  Rng rng(4242);
+  for (int round = 0; round < 40; ++round) {
+    const NodeId n = static_cast<NodeId>(5 + rng.Uniform(400));
+    std::vector<Edge> edges;
+    ASSERT_OK(GenerateUniformEdges(
+        n, (round % 7) * uint64_t{n} / 2, round * 31 + 7, &edges));
+    Digraph graph(n, edges);
+    ThreadPool pool(3);
+    ParallelSccOptions options;
+    options.pool = &pool;
+    options.granularity = 1 + round % 5;
+    EXPECT_EQ(ParallelFbScc(graph, options), TarjanScc(graph))
+        << "round " << round;
+  }
+}
+
+TEST(ParallelFbCondensationTest, MatchesTarjanContract) {
+  // Same partition as CondensationOf, valid reverse-topological order,
+  // and the same canonical edge set (duplicates aside).
+  Rng rng(909);
+  for (int round = 0; round < 25; ++round) {
+    const NodeId n = static_cast<NodeId>(10 + rng.Uniform(150));
+    std::vector<Edge> edges;
+    ASSERT_OK(GenerateUniformEdges(n, 3ull * n, round * 13 + 5, &edges));
+    Digraph graph(n, edges);
+
+    SccResult scc_t, scc_p;
+    std::vector<NodeId> order_t, order_p;
+    std::vector<Edge> dag_t = CondensationOf(graph, &scc_t, &order_t);
+    ThreadPool pool(2);
+    ParallelSccOptions options;
+    options.pool = &pool;
+    std::vector<Edge> dag_p =
+        CondensationOfParallelFb(graph, options, &scc_p, &order_p);
+
+    EXPECT_EQ(scc_t, scc_p) << "round " << round;
+    EXPECT_EQ(order_t.size(), order_p.size());
+
+    // Reverse-topological: every DAG edge goes from later-emitted to
+    // earlier-emitted component.
+    std::vector<int> pos(n, -1);
+    for (size_t i = 0; i < order_p.size(); ++i) pos[order_p[i]] = int(i);
+    for (const Edge& e : dag_p) {
+      EXPECT_GT(pos[e.from], pos[e.to]) << "round " << round;
+    }
+
+    // Canonical edge sets agree (duplicate multiplicity may differ).
+    auto edge_set = [](const std::vector<Edge>& dag) {
+      std::set<std::pair<NodeId, NodeId>> set;
+      for (const Edge& e : dag) set.emplace(e.from, e.to);
+      return set;
+    };
+    EXPECT_EQ(edge_set(dag_t), edge_set(dag_p)) << "round " << round;
+  }
+}
+
+TEST(ParallelFbCondensationTest, DeterministicAcrossThreads) {
+  // The full condensation output — edge sequence and emission order, not
+  // just the partition — must be byte-identical at every pool size.
+  const uint64_t n = 1200;
+  std::vector<Edge> edges = MixedWorkload(n, 11);
+  Digraph graph(static_cast<NodeId>(n), edges);
+
+  SccResult base_scc;
+  std::vector<NodeId> base_order;
+  std::vector<Edge> base_dag =
+      CondensationOfParallelFb(graph, {}, &base_scc, &base_order);
+  for (uint32_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    ParallelSccOptions options;
+    options.pool = &pool;
+    options.granularity = 7;
+    SccResult scc;
+    std::vector<NodeId> order;
+    std::vector<Edge> dag =
+        CondensationOfParallelFb(graph, options, &scc, &order);
+    EXPECT_EQ(scc, base_scc) << "threads " << threads;
+    EXPECT_EQ(order, base_order) << "threads " << threads;
+    ASSERT_EQ(dag.size(), base_dag.size()) << "threads " << threads;
+    for (size_t i = 0; i < dag.size(); ++i) {
+      EXPECT_EQ(dag[i].from, base_dag[i].from);
+      EXPECT_EQ(dag[i].to, base_dag[i].to);
+    }
+  }
+}
+
+// 1PB-SCC with the parallel kernel: identical result AND byte-identical
+// logical I/O ledger to the Tarjan kernel at every thread count. The
+// kernels are RAM-only, so the block ledger cannot legally differ.
+class BatchKernelLedgerTest : public TempDirTest {};
+
+TEST_F(BatchKernelLedgerTest, LedgerIsByteIdenticalAcrossKernels) {
+  const uint64_t n = 4000;
+  std::vector<Edge> edges = MixedWorkload(n, 23);
+  const std::string path = WriteGraph(static_cast<NodeId>(n), edges);
+
+  auto run = [&](BatchKernel kernel, uint32_t threads, SccResult* result,
+                 RunStats* stats) {
+    SemiExternalOptions options;
+    options.scratch_block_size = 4096;
+    // Small budget so the run needs several batches (several kernel
+    // invocations), not one.
+    options.memory_budget_bytes = 8192;
+    options.batch_kernel = kernel;
+    options.kernel_threads = threads;
+    ASSERT_OK(OnePhaseBatchScc(path, options, result, stats));
+  };
+
+  SccResult base_result;
+  RunStats base_stats;
+  run(BatchKernel::kTarjan, 0, &base_result, &base_stats);
+  ASSERT_GT(base_stats.kernel_invocations, 1u);
+  EXPECT_GT(base_stats.io.blocks_read, 0u);
+
+  for (uint32_t threads : {1u, 3u, 8u}) {
+    SccResult result;
+    RunStats stats;
+    run(BatchKernel::kParallelFb, threads, &result, &stats);
+    EXPECT_EQ(result, base_result) << "threads " << threads;
+    // IoStats::operator== covers every logical and physical counter
+    // (timing excluded): the same I/O must have happened.
+    EXPECT_EQ(stats.io, base_stats.io) << "threads " << threads;
+    EXPECT_EQ(stats.iterations, base_stats.iterations);
+    EXPECT_EQ(stats.kernel_invocations, base_stats.kernel_invocations);
+    ASSERT_EQ(stats.per_iteration.size(), base_stats.per_iteration.size());
+    for (size_t i = 0; i < stats.per_iteration.size(); ++i) {
+      EXPECT_EQ(stats.per_iteration[i].io, base_stats.per_iteration[i].io)
+          << "iteration " << i;
+      EXPECT_EQ(stats.per_iteration[i].live_nodes,
+                base_stats.per_iteration[i].live_nodes);
+      EXPECT_EQ(stats.per_iteration[i].live_edges,
+                base_stats.per_iteration[i].live_edges);
+    }
+  }
+
+  // Kosaraju rides the same guarantee.
+  SccResult result_k;
+  RunStats stats_k;
+  run(BatchKernel::kKosaraju, 0, &result_k, &stats_k);
+  EXPECT_EQ(result_k, base_result);
+  EXPECT_EQ(stats_k.io, base_stats.io);
+}
+
+TEST(BatchKernelRegistryTest, NamesParseRoundTrip) {
+  for (BatchKernel kernel : AllBatchKernels()) {
+    BatchKernel parsed;
+    ASSERT_OK(ParseBatchKernel(BatchKernelName(kernel), &parsed));
+    EXPECT_EQ(parsed, kernel);
+  }
+  BatchKernel parsed;
+  EXPECT_FALSE(ParseBatchKernel("bogus", &parsed).ok());
+}
+
+}  // namespace
+}  // namespace ioscc

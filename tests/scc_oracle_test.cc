@@ -1,9 +1,15 @@
-// In-memory oracle tests: Tarjan and Kosaraju on fixed and random graphs.
+// In-memory oracle tests: Tarjan, Kosaraju and the parallel FB kernel on
+// fixed and random graphs.
+
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "gen/generators.h"
 #include "graph/digraph.h"
+#include "scc/algorithms.h"
 #include "scc/kosaraju.h"
 #include "scc/scc_result.h"
 #include "scc/tarjan.h"
@@ -143,6 +149,71 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, OracleAgreementTest,
     ::testing::Combine(::testing::Range(1, 26),
                        ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0)));
+
+// Differential sweep over the kernel registry: every in-memory kernel
+// (tarjan, kosaraju, parallel_fb) must produce the identical partition on
+// every generator family at every scale — and parallel_fb must do so at
+// every thread count. Deeper parallel_fb-specific properties (condensation
+// contract, ledger identity) live in tests/parallel_scc_test.cc.
+std::vector<Edge> FamilyEdges(const std::string& family, uint64_t n,
+                              uint64_t seed) {
+  std::vector<Edge> edges;
+  Status st;
+  if (family == "uniform") {
+    st = GenerateUniformEdges(n, 3 * n, seed, &edges);
+  } else if (family == "power_law") {
+    st = GeneratePowerLawEdges(n, 4 * n, 2.1, seed, &edges);
+  } else if (family == "citation") {
+    CitationSpec spec;
+    spec.node_count = n;
+    spec.seed = seed;
+    st = GenerateCitationEdges(spec, &edges);
+  } else {
+    PlantedSccSpec spec;
+    if (family == "massive") {
+      spec = MassiveSccSpec(n, 4.0, std::max<uint64_t>(2, n / 10), seed);
+    } else if (family == "large") {
+      spec = LargeSccSpec(n, 4.0, std::max<uint64_t>(2, n / 50), 5, seed);
+    } else if (family == "small") {
+      spec = SmallSccSpec(n, 4.0, 4, std::max<uint64_t>(1, n / 40), seed);
+    } else {
+      EXPECT_EQ(family, "webspam");
+      spec = WebspamSpec(n, 4.0, seed);
+    }
+    st = GeneratePlantedSccEdges(spec, &edges);
+  }
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return edges;
+}
+
+class KernelFamilyTest
+    : public ::testing::TestWithParam<std::tuple<const char*, uint64_t>> {};
+
+TEST_P(KernelFamilyTest, AllKernelsAgreeAtEveryThreadCount) {
+  const std::string family = std::get<0>(GetParam());
+  const uint64_t n = std::get<1>(GetParam());
+  const std::vector<Edge> edges = FamilyEdges(family, n, 7 * n + 1);
+  Digraph graph(static_cast<NodeId>(n), edges);
+  const SccResult oracle = TarjanScc(graph);
+  for (BatchKernel kernel : AllBatchKernels()) {
+    if (kernel == BatchKernel::kParallelFb) continue;
+    EXPECT_EQ(RunInMemoryKernel(kernel, graph), oracle)
+        << BatchKernelName(kernel) << " on " << family << "/" << n;
+  }
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    EXPECT_EQ(RunInMemoryKernel(BatchKernel::kParallelFb, graph, threads),
+              oracle)
+        << "parallel_fb t=" << threads << " on " << family << "/" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, KernelFamilyTest,
+    ::testing::Combine(::testing::Values("uniform", "power_law", "citation",
+                                         "massive", "large", "small",
+                                         "webspam"),
+                       ::testing::Values(uint64_t{64}, uint64_t{400},
+                                         uint64_t{2000})));
 
 }  // namespace
 }  // namespace ioscc
